@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the linear-algebra kernels that
+//! dominate path tracking: LU solves (Newton steps), determinants
+//! (intersection residuals), cofactor matrices (determinant gradients)
+//! and the QR eigensolver (closed-loop verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pieri_linalg::{adjugate, det, eigenvalues, CMat, Lu};
+use pieri_num::{random_complex, seeded_rng, Complex64};
+
+fn random_matrix(n: usize, seed: u64) -> CMat {
+    let mut rng = seeded_rng(seed);
+    CMat::random(n, n, &mut rng, random_complex)
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for n in [4usize, 8, 16] {
+        let a = random_matrix(n, 40 + n as u64);
+        let b: Vec<Complex64> = {
+            let mut rng = seeded_rng(50 + n as u64);
+            (0..n).map(|_| random_complex(&mut rng)).collect()
+        };
+        group.bench_with_input(BenchmarkId::new("factor", n), &a, |bch, a| {
+            bch.iter(|| Lu::factor(a).expect("nonsingular"))
+        });
+        let lu = Lu::factor(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new("solve", n), &lu, |bch, lu| {
+            bch.iter(|| lu.solve(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_determinants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinant");
+    for n in [4usize, 6, 8] {
+        let a = random_matrix(n, 60 + n as u64);
+        group.bench_with_input(BenchmarkId::new("lu_det", n), &a, |bch, a| {
+            bch.iter(|| det(a))
+        });
+        // The ablation of DESIGN.md: cofactor matrices are the stable way
+        // to differentiate determinantal conditions; this measures their
+        // O(n^5) cost against the O(n^3) determinant itself.
+        group.bench_with_input(BenchmarkId::new("adjugate", n), &a, |bch, a| {
+            bch.iter(|| adjugate(a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigenvalues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigenvalues");
+    for n in [4usize, 8, 12] {
+        let a = random_matrix(n, 70 + n as u64);
+        group.bench_with_input(BenchmarkId::new("qr_iteration", n), &a, |bch, a| {
+            bch.iter(|| eigenvalues(a).expect("converges"))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lu, bench_determinants, bench_eigenvalues
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the schedulers and the cluster simulator:
+//! the static-vs-dynamic makespan ablation across workload variance, the
+//! simulator's own throughput at paper scale, and the threaded
+//! master/slave machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pieri_num::seeded_rng;
+use pieri_sim::{
+    simulate_dynamic, simulate_static, simulate_tree_dynamic, SimParams, TreeWorkload, Workload,
+};
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut rng = seeded_rng(100);
+    let w = Workload::cyclic_like(35_940, 1_000, 0.8, &mut rng);
+    let mut group = c.benchmark_group("simulator_35940_paths");
+    for workers in [8usize, 128] {
+        group.bench_with_input(BenchmarkId::new("dynamic", workers), &w, |b, w| {
+            b.iter(|| simulate_dynamic(w, &SimParams::mpi_like(workers)))
+        });
+        group.bench_with_input(BenchmarkId::new("static", workers), &w, |b, w| {
+            b.iter(|| simulate_static(w, &SimParams::mpi_like(workers)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variance_ablation(c: &mut Criterion) {
+    // The design question behind Tables I/II: how does the dynamic
+    // advantage scale with workload variance? (Here we benchmark the
+    // simulation cost; the advantage itself is printed by table1/table2.)
+    let mut rng = seeded_rng(101);
+    let workloads = vec![
+        ("uniform", Workload::from_costs(vec![1.0; 9216])),
+        ("rps", Workload::rps_like(9216, 8192, 1.0, &mut rng)),
+        ("cyclic", Workload::cyclic_like(9216, 256, 1.0, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("variance_ablation_64cpus");
+    for (name, w) in &workloads {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), w, |b, w| {
+            b.iter(|| {
+                let st = simulate_static(w, &SimParams::mpi_like(64)).makespan;
+                let dy = simulate_dynamic(w, &SimParams::mpi_like(64)).makespan;
+                (st, dy)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_simulation(c: &mut Criterion) {
+    // A Pieri-tree-shaped workload at the scale of (3,2,1): widths
+    // 1,2,3,5,8,13,21,34,55,55,55.
+    let widths = [1usize, 2, 3, 5, 8, 13, 21, 34, 55, 55, 55];
+    let levels: Vec<Vec<f64>> = widths
+        .iter()
+        .enumerate()
+        .map(|(k, &wd)| vec![0.01 * (k + 1) as f64; wd])
+        .collect();
+    let tree = TreeWorkload::from_levels(&levels);
+    c.bench_function("tree_sim_252_jobs_64cpus", |b| {
+        b.iter(|| simulate_tree_dynamic(&tree, &SimParams::mpi_like(64)))
+    });
+}
+
+fn bench_threaded_schedulers(c: &mut Criterion) {
+    // Real threads on a tiny tracking workload: measures the scheduling
+    // machinery itself (channel traffic, thread spawn) rather than the
+    // numerics.
+    use pieri_num::random_gamma;
+    use pieri_parallel::{track_paths_dynamic, track_paths_static};
+    use pieri_systems::{cyclic, total_degree_start};
+    use pieri_tracker::{LinearHomotopy, TrackSettings};
+    let mut rng = seeded_rng(102);
+    let target = cyclic(4);
+    let start = total_degree_start(&target, &mut rng);
+    let h = LinearHomotopy::new(start.system, target, random_gamma(&mut rng));
+    let settings = TrackSettings::default();
+    let mut group = c.benchmark_group("threaded_cyclic4");
+    group.sample_size(10);
+    group.bench_function("static_2w", |b| {
+        b.iter(|| track_paths_static(&h, &start.solutions, &settings, 2))
+    });
+    group.bench_function("dynamic_2w", |b| {
+        b.iter(|| track_paths_dynamic(&h, &start.solutions, &settings, 2))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simulator_throughput,
+        bench_variance_ablation,
+        bench_tree_simulation,
+        bench_threaded_schedulers
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Runs every table/figure experiment in sequence, producing the record
+//! behind EXPERIMENTS.md. Flags: --full, --seed N.
+
+type Runner = fn(&pieri_bench::Opts) -> String;
+
+fn main() {
+    let opts = pieri_bench::Opts::from_args();
+    let t0 = std::time::Instant::now();
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("table1", pieri_bench::experiments::table1::run),
+        ("fig1", pieri_bench::experiments::fig1::run),
+        ("table2", pieri_bench::experiments::table2::run),
+        ("fig2", pieri_bench::experiments::fig2::run),
+        ("fig3", pieri_bench::experiments::fig3::run),
+        ("fig4", pieri_bench::experiments::fig4::run),
+        ("fig5", pieri_bench::experiments::fig5::run),
+        ("fig6", pieri_bench::experiments::fig6::run),
+        ("table3", pieri_bench::experiments::table3::run),
+        ("table4", pieri_bench::experiments::table4::run),
+    ];
+    for (name, run) in experiments {
+        let t = std::time::Instant::now();
+        println!("\n################ {name} ################\n");
+        println!("{}", run(&opts));
+        eprintln!("[{name} took {:.1?}]", t.elapsed());
+    }
+    eprintln!("\n[repro_all total: {:.1?}]", t0.elapsed());
+}

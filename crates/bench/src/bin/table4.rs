@@ -1,0 +1,5 @@
+//! Regenerates Table4 of the paper. Flags: --full, --seed N.
+fn main() {
+    let opts = pieri_bench::Opts::from_args();
+    println!("{}", pieri_bench::experiments::table4::run(&opts));
+}

@@ -1,0 +1,73 @@
+//! Shared measurement helpers.
+
+use pieri_num::{random_gamma, seeded_rng};
+use pieri_sim::Workload;
+use pieri_systems::{bilinear_system, cyclic, total_degree_start};
+use pieri_tracker::{track_all, LinearHomotopy, TrackSettings, TrackStats};
+
+/// A measured workload: real per-path costs plus tracking statistics.
+pub struct MeasuredWorkload {
+    /// Name of the measured system.
+    pub name: String,
+    /// Per-path costs in seconds.
+    pub workload: Workload,
+    /// Tracking statistics (convergence/divergence counts, CV).
+    pub stats: TrackStats,
+}
+
+impl MeasuredWorkload {
+    /// Mean per-path cost in seconds.
+    pub fn mean_cost(&self) -> f64 {
+        self.stats.mean_time()
+    }
+
+    /// One-paragraph summary for the reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} paths tracked on this machine — {} converged, {} diverged, {} failed;\n\
+             mean path cost {:.2} ms, cost coefficient of variation {:.2}",
+            self.name,
+            self.stats.total(),
+            self.stats.converged,
+            self.stats.diverged,
+            self.stats.failed,
+            1e3 * self.mean_cost(),
+            self.stats.time_cv()
+        )
+    }
+}
+
+/// Tracks all total-degree paths of cyclic-n for real and returns the
+/// measured workload. `n = 5` gives 120 paths in well under a second;
+/// `n = 6` gives 720 paths; `n = 7` gives 5,040.
+pub fn measure_cyclic(n: usize, seed: u64) -> MeasuredWorkload {
+    let mut rng = seeded_rng(seed);
+    let target = cyclic(n);
+    let start = total_degree_start(&target, &mut rng);
+    let h = LinearHomotopy::new(start.system, target, random_gamma(&mut rng));
+    let (results, stats) = track_all(&h, &start.solutions, &TrackSettings::default());
+    drop(results);
+    MeasuredWorkload {
+        name: format!("cyclic-{n} (total-degree start)"),
+        workload: Workload::from_costs(stats.path_times.clone()),
+        stats,
+    }
+}
+
+/// Tracks the RPS *analog*: a generic bilinear system in `2k` variables
+/// under a total-degree start — deficient like the RPS mechanism system
+/// (only `C(2k,k)` of the `2^{2k}` paths converge, the rest diverge with
+/// near-uniform cost). `k = 3` gives 64 paths, `k = 4` gives 256.
+pub fn measure_rps_analog(k: usize, seed: u64) -> MeasuredWorkload {
+    let mut rng = seeded_rng(seed);
+    let target = bilinear_system(k, &mut rng);
+    let start = total_degree_start(&target, &mut rng);
+    let h = LinearHomotopy::new(start.system, target, random_gamma(&mut rng));
+    let (results, stats) = track_all(&h, &start.solutions, &TrackSettings::default());
+    drop(results);
+    MeasuredWorkload {
+        name: format!("bilinear-{k}+{k} RPS analog (total-degree start)"),
+        workload: Workload::from_costs(stats.path_times.clone()),
+        stats,
+    }
+}

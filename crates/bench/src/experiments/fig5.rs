@@ -1,0 +1,58 @@
+//! Fig. 5 — the Pieri tree for (2,2,1): the poset chains unfolded, so
+//! that every tree node is an independent path-tracking job once its
+//! parent's solution is known.
+
+use crate::Opts;
+use pieri_core::{Pattern, Poset, Shape};
+
+/// Depth-first enumeration of all chains from the trivial pattern to the
+/// root, for display.
+fn chains(poset: &Poset) -> Vec<Vec<Pattern>> {
+    let shape = poset.shape();
+    let n = shape.conditions();
+    let mut out = Vec::new();
+    let mut stack = vec![vec![shape.trivial()]];
+    while let Some(chain) = stack.pop() {
+        let last = chain.last().expect("chains are non-empty");
+        if last.rank() == n {
+            out.push(chain);
+            continue;
+        }
+        for parent in poset.parents_in_poset(last) {
+            let mut next = chain.clone();
+            next.push(parent);
+            stack.push(next);
+        }
+    }
+    out.sort_by_key(|c| c.iter().map(|p| p.shorthand()).collect::<Vec<_>>());
+    out
+}
+
+/// Renders the Fig. 5 report.
+pub fn run(_opts: &Opts) -> String {
+    let shape = Shape::new(2, 2, 1);
+    let poset = Poset::build(&shape);
+    let all = chains(&poset);
+    let mut out = String::new();
+    out.push_str("FIG. 5 — COMBINATORIAL ROOT COUNT FOR m = 2, p = 2, q = 1 (PIERI TREE)\n");
+    out.push_str(&"=".repeat(72));
+    out.push('\n');
+    out.push_str("every root-to-leaf chain of the tree is one solution; every edge is one\npath-tracking job:\n\n");
+    for (i, chain) in all.iter().enumerate() {
+        let path: Vec<String> = chain.iter().map(|p| p.shorthand()).collect();
+        out.push_str(&format!("chain {i}: {}\n", path.join(" → ")));
+    }
+    let profile = poset.level_profile();
+    out.push_str(&format!(
+        "\nchains (leaves): {} = d(2,2,1); tree widths per level: {:?}\n",
+        all.len(),
+        &profile.widths[1..]
+    ));
+    out.push_str(&format!("total jobs (tree edges): {}\n", profile.total_jobs()));
+    out.push_str(
+        "\nshape checks: 8 chains ending at [4 7]; two jobs become independent as\n\
+         soon as their common ancestor's solution is known — the tree, unlike\n\
+         the poset, exposes that parallelism (Section III.C of the paper).\n",
+    );
+    out
+}

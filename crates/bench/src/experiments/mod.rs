@@ -1,0 +1,16 @@
+//! The experiments, one module per table/figure.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+mod common;
+
+pub use common::{measure_cyclic, measure_rps_analog, MeasuredWorkload};

@@ -1,0 +1,86 @@
+//! Table I — static vs dynamic load balancing on cyclic n-roots.
+//!
+//! The paper traces the 35,940 paths of cyclic 10-roots on the NCSA
+//! Platinum cluster and reports static/dynamic times and speedups for
+//! 1..128 CPUs. Here: (1) the real tracker measures per-path costs of a
+//! smaller cyclic instance on this machine; (2) the measured mean cost
+//! calibrates the paper-scale synthetic workload (35,940 paths, ~1,000
+//! divergent, heavy tail); (3) the discrete-event cluster model produces
+//! the table under both policies.
+
+use crate::experiments::common::measure_cyclic;
+use crate::Opts;
+use pieri_num::seeded_rng;
+use pieri_sim::{speedup_table, SimParams, SpeedupTable, Workload};
+
+/// Paper values for the comparison block (CPU minutes and speedups).
+pub const PAPER_ROWS: [(usize, f64, f64, f64, f64); 6] = [
+    (1, 480.0, 1.0, 480.0, 1.0),
+    (8, 75.5, 6.4, 66.6, 7.2),
+    (16, 36.4, 13.2, 31.7, 15.2),
+    (32, 19.0, 25.3, 15.7, 30.7),
+    (64, 10.2, 46.9, 7.9, 60.5),
+    (128, 6.6, 73.3, 4.3, 112.9),
+];
+
+/// Produces the simulated table plus the measured calibration data.
+pub fn compute(opts: &Opts) -> (String, SpeedupTable) {
+    let n = if opts.full { 7 } else { 6 };
+    let measured = measure_cyclic(n, opts.seed);
+    let mut header = String::new();
+    header.push_str(&format!("calibration — {}\n", measured.summary()));
+
+    // Paper-scale workload: 35,940 paths, ~1,000 divergent. The local
+    // measurement validates the *distribution shape* (divergence fraction
+    // and heavy tail); the mean per-path cost is pinned to the paper's
+    // regime, 480 CPU min / 35,940 paths ≈ 0.80 s on a 1 GHz CPU, so the
+    // compute-to-communication ratio matches the Platinum cluster.
+    let paper_mean = 480.0 * 60.0 / 35_940.0;
+    header.push_str(&format!(
+        "measured divergent fraction {:.0}% (paper: ~1,000/35,940); per-path mean pinned to {:.2} s\n",
+        100.0 * (measured.stats.diverged + measured.stats.failed) as f64
+            / measured.stats.total() as f64,
+        paper_mean
+    ));
+    let mut rng = seeded_rng(opts.seed ^ 0xC1C11C);
+    let w = Workload::cyclic_like(35_940, 1_000, paper_mean, &mut rng);
+    header.push_str(&format!(
+        "synthetic cyclic-10 workload: {} paths, cv = {:.2}, sequential = {:.1} CPU min\n",
+        w.len(),
+        w.cv(),
+        w.total() / 60.0
+    ));
+    let cpus = [1usize, 8, 16, 32, 64, 128];
+    let table = speedup_table(&w, &cpus, SimParams::mpi_like);
+    (header, table)
+}
+
+/// Renders the full Table I report.
+pub fn run(opts: &Opts) -> String {
+    let (header, table) = compute(opts);
+    let mut out = String::new();
+    out.push_str("TABLE I — SPEEDUPS OF STATIC AND DYNAMIC LOAD BALANCING, CYCLIC 10-ROOTS\n");
+    out.push_str(&"=".repeat(76));
+    out.push('\n');
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&table.render("seconds"));
+    out.push('\n');
+    out.push_str("paper (NCSA Platinum, CPU minutes):\n");
+    out.push_str(&format!(
+        "{:>6} | {:>9} {:>8} | {:>9} {:>8} | {:>12}\n",
+        "#CPUs", "static", "speedup", "dynamic", "speedup", "improvement"
+    ));
+    for (cpus, st, ss, dt, ds) in PAPER_ROWS {
+        let imp = if cpus == 1 { "-".to_string() } else { format!("{:.2}%", 100.0 * (st - dt) / st) };
+        out.push_str(&format!(
+            "{cpus:>6} | {st:>9.1} {ss:>8.1} | {dt:>9.1} {ds:>8.1} | {imp:>12}\n"
+        ));
+    }
+    out.push_str(
+        "\nshape checks: dynamic beats static at every CPU count; the improvement\n\
+         grows with the number of CPUs (fewer jobs per CPU ⇒ higher variance of\n\
+         the static block sums); near-linear dynamic speedup below ~32 CPUs.\n",
+    );
+    out
+}

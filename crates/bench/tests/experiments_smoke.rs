@@ -1,0 +1,44 @@
+//! Smoke tests for the experiment harness: the combinatorial figures are
+//! instant and fully deterministic, so their rendered reports are checked
+//! for the paper's key facts.
+
+use pieri_bench::experiments::{fig3, fig4, fig5};
+use pieri_bench::Opts;
+
+#[test]
+fn fig3_report_contains_paper_facts() {
+    let out = fig3::run(&Opts::default());
+    assert!(out.contains("[4 7]"), "shorthand of the root pattern");
+    assert!(out.contains("n = mp + q(m+p) = 8"));
+    // Concatenated form: 10 nonzero entries over 8 rows.
+    let stars = out.matches('*').count();
+    assert!(stars >= 8, "concatenated + standard forms render stars");
+}
+
+#[test]
+fn fig4_report_counts_to_eight() {
+    let out = fig4::run(&Opts::default());
+    assert!(out.contains("root count d(2,2,1) = 8"));
+    assert!(out.contains("[4 7] (8)"), "root node annotated with its count");
+    assert!(out.contains("poset nodes: 12"));
+}
+
+#[test]
+fn fig5_report_lists_all_chains() {
+    let out = fig5::run(&Opts::default());
+    let chain_lines = out.lines().filter(|l| l.starts_with("chain ")).count();
+    assert_eq!(chain_lines, 8, "8 chains for (2,2,1)");
+    assert!(out.contains("total jobs (tree edges): 37"));
+    // Every chain starts at the trivial pattern and ends at the root.
+    for line in out.lines().filter(|l| l.starts_with("chain ")) {
+        assert!(line.contains("[1 2]"));
+        assert!(line.trim_end().ends_with("[4 7]"));
+    }
+}
+
+#[test]
+fn opts_defaults() {
+    let opts = Opts::default();
+    assert!(!opts.full);
+    assert_eq!(opts.seed, 2004);
+}

@@ -1,0 +1,152 @@
+//! Feedback compensators extracted from Pieri solution maps.
+
+use pieri_core::PMap;
+use pieri_linalg::{CMat, Lu};
+use pieri_num::Complex64;
+use pieri_poly::MatrixPoly;
+
+/// A feedback compensator `u = K(s)·y` with `K = V·U⁻¹`, extracted from a
+/// solution map `X(s) = [U(s); V(s)]` of the Pieri problem (`U` is the
+/// top `p × p` block, `V` the bottom `m × p` block).
+///
+/// For `q = 0` the compensator is a static gain; for `q ≥ 1` it is a
+/// dynamic compensator of McMillan degree (at most) `q`.
+#[derive(Debug, Clone)]
+pub struct Compensator {
+    u_s: MatrixPoly,
+    v_s: MatrixPoly,
+}
+
+impl Compensator {
+    /// Splits a solution map into its compensator fraction.
+    ///
+    /// # Panics
+    /// Panics when the map's row count is not `m + p` for `p = X.cols()`.
+    pub fn from_map(map: &PMap, m: usize, p: usize) -> Self {
+        let coeffs = map.coeffs();
+        let big_n = coeffs[0].rows();
+        assert_eq!(big_n, m + p, "map must live in ℂ^{{m+p}}");
+        assert_eq!(coeffs[0].cols(), p, "map must have p columns");
+        let u_coeffs: Vec<CMat> = coeffs.iter().map(|c| c.submatrix(0, 0, p, p)).collect();
+        let v_coeffs: Vec<CMat> = coeffs.iter().map(|c| c.submatrix(p, 0, m, p)).collect();
+        Compensator {
+            u_s: MatrixPoly::new(u_coeffs),
+            v_s: MatrixPoly::new(v_coeffs),
+        }
+    }
+
+    /// The denominator block `U(s)` (`p × p`).
+    pub fn u(&self) -> &MatrixPoly {
+        &self.u_s
+    }
+
+    /// The numerator block `V(s)` (`m × p`).
+    pub fn v(&self) -> &MatrixPoly {
+        &self.v_s
+    }
+
+    /// Evaluates the compensator gain `K(s₀) = V(s₀)·U(s₀)⁻¹`.
+    ///
+    /// Returns `None` when `U(s₀)` is singular (a pole of the
+    /// compensator).
+    pub fn gain_at(&self, s0: Complex64) -> Option<CMat> {
+        let u = self.u_s.eval(s0);
+        let lu = Lu::factor(&u).ok()?;
+        // Reject numerically-improper solutions: a relative determinant
+        // below threshold means the solution plane lies (to working
+        // precision) at the boundary of the compensator chart.
+        let rel = lu.det().norm() / u.fro_norm().max(f64::MIN_POSITIVE).powi(u.rows() as i32);
+        if rel < 1e-8 {
+            return None;
+        }
+        Some(&self.v_s.eval(s0) * &lu.inverse())
+    }
+
+    /// The static gain `K = V₀·U₀⁻¹` for degree-0 compensators.
+    ///
+    /// Returns `None` when the compensator is genuinely dynamic or `U₀`
+    /// is singular.
+    pub fn static_gain(&self) -> Option<CMat> {
+        if self.u_s.degree() > 0 || self.v_s.degree() > 0 {
+            let nonconst = self.u_s.coeffs()[1..]
+                .iter()
+                .chain(self.v_s.coeffs()[1..].iter())
+                .any(|c| c.max_norm() > 1e-12);
+            if nonconst {
+                return None;
+            }
+        }
+        self.gain_at(Complex64::ZERO)
+    }
+
+    /// True when all coefficients have (numerically) zero imaginary part —
+    /// real feedback laws are the physically implementable ones.
+    pub fn is_real(&self, tol: f64) -> bool {
+        self.u_s
+            .coeffs()
+            .iter()
+            .chain(self.v_s.coeffs().iter())
+            .all(|c| {
+                (0..c.rows()).all(|i| (0..c.cols()).all(|j| c[(i, j)].im.abs() <= tol))
+            })
+    }
+
+    /// The compensator's own characteristic polynomial `det U(s)`; its
+    /// roots are the compensator poles (degree ≤ q).
+    pub fn charpoly(&self) -> pieri_poly::UniPoly {
+        self.u_s.det_poly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_core::{PieriProblem, Shape};
+    use pieri_num::seeded_rng;
+
+    fn solved_maps(m: usize, p: usize, q: usize, seed: u64) -> (PieriProblem, Vec<PMap>) {
+        let mut rng = seeded_rng(seed);
+        let shape = Shape::new(m, p, q);
+        let problem = PieriProblem::random(shape, &mut rng);
+        let sol = pieri_core::solve(&problem);
+        (problem, sol.maps)
+    }
+
+    #[test]
+    fn static_gain_for_q0_solutions() {
+        let (_, maps) = solved_maps(2, 2, 0, 520);
+        assert_eq!(maps.len(), 2);
+        for map in &maps {
+            let comp = Compensator::from_map(map, 2, 2);
+            let k = comp.static_gain().expect("generic q=0 solution has invertible U");
+            assert_eq!((k.rows(), k.cols()), (2, 2));
+        }
+    }
+
+    #[test]
+    fn dynamic_compensator_varies_with_s() {
+        let (_, maps) = solved_maps(2, 2, 1, 521);
+        let comp = Compensator::from_map(&maps[0], 2, 2);
+        assert!(comp.static_gain().is_none(), "degree-1 solution is dynamic");
+        let k0 = comp.gain_at(Complex64::real(0.5)).unwrap();
+        let k1 = comp.gain_at(Complex64::real(2.0)).unwrap();
+        assert!((&k0 - &k1).fro_norm() > 1e-8);
+    }
+
+    #[test]
+    fn compensator_charpoly_degree_at_most_q() {
+        let (_, maps) = solved_maps(2, 2, 1, 522);
+        for map in &maps {
+            let comp = Compensator::from_map(map, 2, 2);
+            assert!(comp.charpoly().degree() <= 1);
+        }
+    }
+
+    #[test]
+    fn complex_data_gives_complex_compensators() {
+        let (_, maps) = solved_maps(2, 2, 0, 523);
+        let comp = Compensator::from_map(&maps[0], 2, 2);
+        // Random complex problem data: compensator should not be real.
+        assert!(!comp.is_real(1e-9));
+    }
+}

@@ -1,0 +1,249 @@
+//! Plants as right matrix fractions `G(s) = N(s)·D(s)⁻¹`.
+
+use pieri_linalg::{CMat, Lu};
+use pieri_num::{random_complex, Complex64};
+use pieri_poly::MatrixPoly;
+use rand::Rng;
+
+/// A linear plant with `m` inputs and `p` outputs given by a right matrix
+/// fraction: `y = G(s)·u`, `G = N·D⁻¹`, with `D` (`m × m`) column-reduced
+/// with leading column-coefficient matrix `I` and `N` (`p × m`) strictly
+/// proper (column degrees of `N` below those of `D`).
+///
+/// The *Hermann–Martin curve* `Γ(s) = [N(s); D(s)]` (an `m`-plane in
+/// ℂ^{m+p} for each `s`) is what enters the Pieri problem: `s₀` is a
+/// closed-loop pole of the feedback interconnection with a compensator
+/// plane `X` exactly when `det [X(s₀) | Γ(s₀)] = 0`.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    n_s: MatrixPoly,
+    d_s: MatrixPoly,
+    col_degrees: Vec<usize>,
+}
+
+impl Plant {
+    /// Builds a plant from numerator and denominator matrices.
+    ///
+    /// # Panics
+    /// Panics when shapes are inconsistent, `D` is not column-reduced with
+    /// identity leading column coefficients, or `N` is not strictly proper
+    /// columnwise.
+    pub fn from_matrix_fraction(n_s: MatrixPoly, d_s: MatrixPoly) -> Self {
+        let m = d_s.cols();
+        assert_eq!(d_s.rows(), m, "D(s) must be square m × m");
+        assert_eq!(n_s.cols(), m, "N(s) must have m columns");
+        // Column degrees of D and the leading-coefficient normalisation.
+        let mut col_degrees = vec![0usize; m];
+        for j in 0..m {
+            let mut deg = 0;
+            for (k, c) in d_s.coeffs().iter().enumerate() {
+                for i in 0..m {
+                    if c[(i, j)].norm() > 0.0 {
+                        deg = deg.max(k);
+                    }
+                }
+            }
+            col_degrees[j] = deg;
+            for i in 0..m {
+                let lead = d_s.coeffs()[deg][(i, j)];
+                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                assert!(
+                    lead.dist(expect) < 1e-12,
+                    "D(s) must have identity leading column coefficients"
+                );
+            }
+            // Strict properness of N in column j.
+            for (k, c) in n_s.coeffs().iter().enumerate() {
+                if k >= deg {
+                    for r in 0..n_s.rows() {
+                        assert!(
+                            c[(r, j)].norm() == 0.0,
+                            "N(s) must be strictly proper columnwise"
+                        );
+                    }
+                }
+            }
+        }
+        Plant { n_s, d_s, col_degrees }
+    }
+
+    /// Generates a random strictly proper plant for the `(m, p, q)`
+    /// pole-placement problem: McMillan degree `mp + q(m+p−1)`, so that
+    /// the number of prescribed closed-loop poles (`degree + q`) equals
+    /// the number of intersection conditions `n = mp + q(m+p)`.
+    pub fn random<R: Rng + ?Sized>(m: usize, p: usize, q: usize, rng: &mut R) -> Self {
+        let degree = m * p + q * (m + p - 1);
+        Plant::random_of_degree(m, p, degree, rng)
+    }
+
+    /// Generates a random strictly proper plant with the given McMillan
+    /// degree (column degrees as equal as possible, each ≥ 1).
+    ///
+    /// # Panics
+    /// Panics when `degree < m`.
+    pub fn random_of_degree<R: Rng + ?Sized>(
+        m: usize,
+        p: usize,
+        degree: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(degree >= m, "need every column degree ≥ 1");
+        // Distribute the degree over the m columns.
+        let base = degree / m;
+        let extra = degree % m;
+        let col_degrees: Vec<usize> =
+            (0..m).map(|j| base + usize::from(j < extra)).collect();
+        let max_deg = *col_degrees.iter().max().expect("m ≥ 1");
+
+        // D(s): random lower coefficients, identity leading column coeffs.
+        let mut d_coeffs = vec![CMat::zeros(m, m); max_deg + 1];
+        for j in 0..m {
+            for (k, c) in d_coeffs.iter_mut().enumerate() {
+                match k.cmp(&col_degrees[j]) {
+                    std::cmp::Ordering::Less => {
+                        for i in 0..m {
+                            c[(i, j)] = random_complex(rng);
+                        }
+                    }
+                    std::cmp::Ordering::Equal => c[(j, j)] = Complex64::ONE,
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+        }
+        // N(s): column degrees strictly below D's.
+        let n_len = max_deg.max(1);
+        let mut n_coeffs = vec![CMat::zeros(p, m); n_len];
+        for j in 0..m {
+            for (k, c) in n_coeffs.iter_mut().enumerate() {
+                if k < col_degrees[j] {
+                    for i in 0..p {
+                        c[(i, j)] = random_complex(rng);
+                    }
+                }
+            }
+        }
+        Plant::from_matrix_fraction(MatrixPoly::new(n_coeffs), MatrixPoly::new(d_coeffs))
+    }
+
+    /// Number of inputs `m`.
+    pub fn inputs(&self) -> usize {
+        self.d_s.cols()
+    }
+
+    /// Number of outputs `p`.
+    pub fn outputs(&self) -> usize {
+        self.n_s.rows()
+    }
+
+    /// McMillan degree (sum of the column degrees of `D`).
+    pub fn mcmillan_degree(&self) -> usize {
+        self.col_degrees.iter().sum()
+    }
+
+    /// Column degrees of `D`.
+    pub fn col_degrees(&self) -> &[usize] {
+        &self.col_degrees
+    }
+
+    /// The numerator `N(s)`.
+    pub fn numerator(&self) -> &MatrixPoly {
+        &self.n_s
+    }
+
+    /// The denominator `D(s)`.
+    pub fn denominator(&self) -> &MatrixPoly {
+        &self.d_s
+    }
+
+    /// The Hermann–Martin curve `Γ(s) = [N(s); D(s)]`.
+    pub fn curve(&self) -> MatrixPoly {
+        self.n_s.vstack(&self.d_s)
+    }
+
+    /// Evaluates the transfer matrix `G(s₀) = N(s₀)·D(s₀)⁻¹`.
+    ///
+    /// # Panics
+    /// Panics when `s₀` is a pole of the plant (`D(s₀)` singular).
+    pub fn transfer_at(&self, s0: Complex64) -> CMat {
+        let d = self.d_s.eval(s0);
+        let lu = Lu::factor(&d).expect("s₀ must not be an open-loop pole");
+        let dinv = lu.inverse();
+        &self.n_s.eval(s0) * &dinv
+    }
+
+    /// Open-loop characteristic polynomial `det D(s)` (monic of degree
+    /// equal to the McMillan degree, by column-reducedness).
+    pub fn open_loop_charpoly(&self) -> pieri_poly::UniPoly {
+        self.d_s.det_poly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn random_plant_has_requested_dimensions() {
+        let mut rng = seeded_rng(500);
+        let plant = Plant::random(2, 2, 1, &mut rng);
+        assert_eq!(plant.inputs(), 2);
+        assert_eq!(plant.outputs(), 2);
+        // Degree mp + q(m+p−1) = 4 + 3 = 7.
+        assert_eq!(plant.mcmillan_degree(), 7);
+        assert_eq!(plant.col_degrees(), &[4, 3]);
+    }
+
+    #[test]
+    fn q0_plant_degree_is_mp() {
+        let mut rng = seeded_rng(501);
+        let plant = Plant::random(3, 2, 0, &mut rng);
+        assert_eq!(plant.mcmillan_degree(), 6);
+    }
+
+    #[test]
+    fn open_loop_charpoly_is_monic_of_mcmillan_degree() {
+        let mut rng = seeded_rng(502);
+        let plant = Plant::random(2, 2, 1, &mut rng);
+        let chi = plant.open_loop_charpoly();
+        assert_eq!(chi.degree(), 7);
+        assert!(chi.leading().dist(Complex64::ONE) < 1e-8, "column-reduced ⇒ monic");
+    }
+
+    #[test]
+    fn curve_stacks_numerator_over_denominator() {
+        let mut rng = seeded_rng(503);
+        let plant = Plant::random(2, 3, 0, &mut rng);
+        let curve = plant.curve();
+        assert_eq!(curve.rows(), 5);
+        assert_eq!(curve.cols(), 2);
+        let s = Complex64::new(0.3, 0.4);
+        let top = curve.eval(s).submatrix(0, 0, 3, 2);
+        assert!((&top - &plant.numerator().eval(s)).fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_matches_curve_quotient() {
+        let mut rng = seeded_rng(504);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let s = Complex64::new(1.5, -0.5);
+        let g = plant.transfer_at(s);
+        // G·D = N.
+        let gd = &g * &plant.denominator().eval(s);
+        assert!((&gd - &plant.numerator().eval(s)).fro_norm() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly proper")]
+    fn non_proper_numerator_rejected() {
+        let m_id = CMat::identity(2);
+        // N has the same degree as D in column 0.
+        let n = MatrixPoly::new(vec![CMat::zeros(1, 2), {
+            let mut c = CMat::zeros(1, 2);
+            c[(0, 0)] = Complex64::ONE;
+            c
+        }]);
+        let d = MatrixPoly::new(vec![CMat::zeros(2, 2), m_id]);
+        let _ = Plant::from_matrix_fraction(n, d);
+    }
+}

@@ -1,0 +1,359 @@
+//! End-to-end pole placement: prescribe poles, solve, extract, verify.
+
+use crate::compensator::Compensator;
+use crate::plant::Plant;
+use crate::statespace::{spectrum_distance, StateSpace};
+use pieri_core::{PieriProblem, PieriSolution, Shape};
+use pieri_linalg::{CMat, Lu, Qr};
+use pieri_num::{random_complex, random_gamma, Complex64};
+use pieri_tracker::TrackSettings;
+use rand::Rng;
+
+/// A pole-placement problem: a plant, a compensator degree `q`, and
+/// `n = mp + q(m+p)` prescribed closed-loop poles.
+#[derive(Debug, Clone)]
+pub struct PolePlacement {
+    plant: Plant,
+    q: usize,
+    poles: Vec<Complex64>,
+}
+
+/// The result of solving a pole-placement problem.
+pub struct PolePlacementOutcome {
+    /// The Pieri problem that was solved (planes = curve at the poles).
+    pub problem: PieriProblem,
+    /// The raw Pieri solution (maps, job records).
+    pub solution: PieriSolution,
+    /// One compensator per solution map.
+    pub compensators: Vec<Compensator>,
+}
+
+impl PolePlacement {
+    /// Builds the problem.
+    ///
+    /// # Panics
+    /// Panics unless exactly `n = mp + q(m+p)` poles are prescribed and
+    /// the plant's McMillan degree is `n − q` (the square case the Pieri
+    /// count applies to).
+    pub fn new(plant: Plant, q: usize, poles: Vec<Complex64>) -> Self {
+        let m = plant.inputs();
+        let p = plant.outputs();
+        let n = m * p + q * (m + p);
+        assert_eq!(
+            poles.len(),
+            n,
+            "need n = mp + q(m+p) = {n} prescribed poles"
+        );
+        assert_eq!(
+            plant.mcmillan_degree() + q,
+            n,
+            "plant degree must be n − q for a square pole-placement problem"
+        );
+        PolePlacement { plant, q, poles }
+    }
+
+    /// The plant.
+    pub fn plant(&self) -> &Plant {
+        &self.plant
+    }
+
+    /// The prescribed poles.
+    pub fn poles(&self) -> &[Complex64] {
+        &self.poles
+    }
+
+    /// Assembles the Pieri problem: `L_i = Γ(s_i)`.
+    pub fn to_pieri_problem<R: Rng + ?Sized>(&self, rng: &mut R) -> PieriProblem {
+        let m = self.plant.inputs();
+        let p = self.plant.outputs();
+        let shape = Shape::new(m, p, self.q);
+        let curve = self.plant.curve();
+        let planes: Vec<CMat> = self.poles.iter().map(|&s| curve.eval(s)).collect();
+        PieriProblem::new(shape, planes, self.poles.clone(), random_gamma(rng))
+    }
+
+    /// Solves the problem: all `d(m,p,q)` compensators placing the poles.
+    pub fn solve<R: Rng + ?Sized>(&self, rng: &mut R) -> PolePlacementOutcome {
+        self.solve_with_settings(rng, &TrackSettings::default())
+    }
+
+    /// Solves with explicit tracker settings.
+    pub fn solve_with_settings<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        settings: &TrackSettings,
+    ) -> PolePlacementOutcome {
+        let problem = self.to_pieri_problem(rng);
+        let solution = pieri_core::solve_with_settings(&problem, settings);
+        let m = self.plant.inputs();
+        let p = self.plant.outputs();
+        let compensators = solution
+            .maps
+            .iter()
+            .map(|map| Compensator::from_map(map, m, p))
+            .collect();
+        PolePlacementOutcome { problem, solution, compensators }
+    }
+
+    /// Verifies one solution map: computes the closed-loop characteristic
+    /// polynomial `φ(s) = det [X(s) | Γ(s)]` and returns the spectral
+    /// distance between its roots and the prescribed poles.
+    pub fn verify_map(&self, map: &pieri_core::PMap) -> f64 {
+        let phi = map.to_matrix_poly().hstack(&self.plant.curve()).det_poly();
+        if phi.degree() != self.poles.len() {
+            return f64::INFINITY;
+        }
+        spectrum_distance(phi.roots(), &self.poles)
+    }
+
+    /// Worst-case verification over all solutions of an outcome.
+    pub fn max_pole_error(&self, outcome: &PolePlacementOutcome) -> f64 {
+        outcome
+            .solution
+            .maps
+            .iter()
+            .map(|m| self.verify_map(m))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Draws a random unitary coordinate change of ℂ^{m+p} (Q factor of a
+/// random complex matrix).
+fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMat {
+    let a = CMat::random(n, n, rng, random_complex);
+    Qr::factor(&a).q().clone()
+}
+
+/// Solves an *application* instance (planes not in general position) the
+/// way the paper prescribes: run the Pieri tree **once** on a random
+/// generic instance, then continue all `d(m,p,q)` generic solutions to
+/// the application data with one coefficient-parameter homotopy.
+///
+/// Two randomisations keep everything generic with probability one: the
+/// start instance itself, and a random unitary change of coordinates `T`
+/// of ℂ^{m+p} applied to the application planes (undone on the solution
+/// maps), which keeps the *endpoints* inside the localization-pattern
+/// chart. Instance solutions genuinely at infinity (e.g. improper static
+/// feedback laws) surface as divergent continuation paths.
+fn solve_application_instance<R: Rng + ?Sized>(
+    shape: Shape,
+    planes: Vec<CMat>,
+    points: Vec<Complex64>,
+    rng: &mut R,
+) -> (PieriSolution, PieriProblem) {
+    let big_n = shape.big_n();
+    let t = random_unitary(big_n, rng);
+    let rotated: Vec<CMat> = planes.iter().map(|l| &t * l).collect();
+    let target = PieriProblem::new(shape.clone(), rotated, points, random_gamma(rng));
+
+    // Stage 1: generic start instance through the Pieri tree.
+    let start = PieriProblem::random(shape, rng);
+    let mut solution = pieri_core::solve(&start);
+    // Stage 2: coefficient-parameter continuation to the application.
+    let cont = pieri_core::continue_to_instance(
+        &start,
+        &solution.coeffs,
+        &target,
+        &pieri_tracker::TrackSettings::default(),
+    );
+    solution.failures += cont.diverged + cont.failed;
+    solution.coeffs = cont.coeffs;
+    // Rotate the solution maps back: X = T⁻¹·X'.
+    let tinv = Lu::factor(&t).expect("unitary is nonsingular").inverse();
+    solution.maps = cont.maps.iter().map(|m| m.transform(&tinv)).collect();
+    (solution, target)
+}
+
+/// Solves static (`q = 0`) output feedback for a state-space plant: the
+/// planes come from the resolvent, `L_i = [C(s_iI−A)⁻¹B; I_m]`, and are
+/// put in general position by a random unitary coordinate change.
+///
+/// Returns the static gains `K` (one per Pieri solution with invertible
+/// `U` block — solutions with singular `U` are "improper" feedback laws
+/// at infinity and yield no gain) together with the Pieri solution.
+///
+/// # Panics
+/// Panics unless exactly `m·p` poles are prescribed, none of which may be
+/// an open-loop pole.
+pub fn solve_static_state_space<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    poles: &[Complex64],
+    rng: &mut R,
+) -> (Vec<CMat>, PieriSolution, PieriProblem) {
+    let m = ss.inputs();
+    let p = ss.outputs();
+    assert_eq!(poles.len(), m * p, "static output feedback needs m·p poles");
+    let shape = Shape::new(m, p, 0);
+    let planes: Vec<CMat> = poles.iter().map(|&s| ss.pole_plane(s)).collect();
+    let (solution, problem) = solve_application_instance(shape, planes, poles.to_vec(), rng);
+    let gains = solution
+        .maps
+        .iter()
+        .filter_map(|map| {
+            Compensator::from_map(map, m, p)
+                .static_gain()
+        })
+        .collect();
+    (gains, solution, problem)
+}
+
+/// Solves *dynamic* pole placement for a state-space plant of McMillan
+/// degree `n°` with a degree-`q` compensator.
+///
+/// The closed loop has `n° + q` poles, but the Pieri problem needs
+/// `n = mp + q(m+p)` interpolation conditions; the surplus
+/// `n − (n° + q)` conditions are *padded* with generic random planes and
+/// points, the standard squaring-up device (Rosenthal). Every returned
+/// compensator places all `n° + q` prescribed poles. This is the regime
+/// of the authors' satellite companion paper: plants whose degree is too
+/// small for static output feedback get a dynamic compensator.
+///
+/// # Panics
+/// Panics unless `poles.len() == n° + q ≤ n`.
+pub fn solve_dynamic_state_space<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    q: usize,
+    poles: &[Complex64],
+    rng: &mut R,
+) -> (Vec<Compensator>, PieriSolution, PieriProblem) {
+    let m = ss.inputs();
+    let p = ss.outputs();
+    let n = m * p + q * (m + p);
+    let placed = ss.dim() + q;
+    assert_eq!(poles.len(), placed, "prescribe n° + q poles");
+    assert!(placed <= n, "plant too large for a degree-{q} compensator");
+
+    let mut planes: Vec<CMat> = poles.iter().map(|&s| ss.pole_plane(s)).collect();
+    let mut points = poles.to_vec();
+    // Generic padding conditions.
+    for _ in placed..n {
+        planes.push(CMat::random(m + p, m, rng, pieri_num::random_complex));
+        points.push(pieri_num::unit_complex(rng));
+    }
+    let shape = Shape::new(m, p, q);
+    let (solution, problem) = solve_application_instance(shape, planes, points, rng);
+    let compensators = solution
+        .maps
+        .iter()
+        .map(|map| Compensator::from_map(map, m, p))
+        .collect();
+    (compensators, solution, problem)
+}
+
+/// Closed-loop characteristic data for a state-space plant and a solution
+/// map: returns the polynomial `det [X(s) | Γ̂(s)] = χ(s)^{m−1}·φ(s)` and
+/// the worst relative residual of that polynomial over the prescribed
+/// poles. A residual near zero certifies (non-circularly, through the
+/// Faddeev–LeVerrier curve) that every prescribed pole is a closed-loop
+/// pole.
+pub fn verify_closed_loop_ss(
+    ss: &StateSpace,
+    map: &pieri_core::PMap,
+    poles: &[Complex64],
+) -> (pieri_poly::UniPoly, f64) {
+    let phi = map
+        .to_matrix_poly()
+        .hstack(&ss.curve_polynomial())
+        .det_poly();
+    let scale = phi
+        .coeffs()
+        .iter()
+        .map(|c| c.norm())
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let worst = poles
+        .iter()
+        .map(|&s| phi.eval(s).norm() / (scale * (1.0 + s.norm()).powi(phi.degree() as i32)))
+        .fold(0.0, f64::max);
+    (phi, worst)
+}
+
+/// Produces a self-conjugate set of `n` random stable poles (negative
+/// real parts; complex ones in conjugate pairs, one real pole when `n` is
+/// odd). Real plants with self-conjugate pole sets admit real feedback
+/// laws among the `d(m,p,q)` complex solutions.
+pub fn conjugate_pole_set<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Complex64> {
+    let mut poles = Vec::with_capacity(n);
+    let mut remaining = n;
+    if n % 2 == 1 {
+        poles.push(Complex64::real(-(0.5 + rng.gen_range(0.0..2.0))));
+        remaining -= 1;
+    }
+    for _ in 0..remaining / 2 {
+        let re = -(0.2 + rng.gen_range(0.0..2.0));
+        let im = 0.2 + rng.gen_range(0.0..2.0);
+        poles.push(Complex64::new(re, im));
+        poles.push(Complex64::new(re, -im));
+    }
+    poles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{seeded_rng, unit_complex};
+
+    #[test]
+    fn static_output_feedback_places_poles_mfd() {
+        let mut rng = seeded_rng(530);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let poles: Vec<Complex64> = (0..4).map(|_| unit_complex(&mut rng).scale(2.0)).collect();
+        let pp = PolePlacement::new(plant, 0, poles);
+        let outcome = pp.solve(&mut rng);
+        assert_eq!(outcome.compensators.len(), 2, "d(2,2,0) = 2 feedback laws");
+        let err = pp.max_pole_error(&outcome);
+        assert!(err < 1e-5, "poles placed to {err:.2e}");
+    }
+
+    #[test]
+    fn dynamic_compensator_places_poles() {
+        let mut rng = seeded_rng(531);
+        let plant = Plant::random(2, 1, 1, &mut rng);
+        // n = mp + q(m+p) = 2 + 3 = 5 poles; plant degree 4.
+        let poles: Vec<Complex64> = (0..5).map(|_| unit_complex(&mut rng).scale(1.5)).collect();
+        let pp = PolePlacement::new(plant, 1, poles);
+        let outcome = pp.solve(&mut rng);
+        assert!(!outcome.compensators.is_empty());
+        let err = pp.max_pole_error(&outcome);
+        assert!(err < 1e-5, "poles placed to {err:.2e}");
+    }
+
+    #[test]
+    fn static_state_space_closed_loop_eigenvalues() {
+        let mut rng = seeded_rng(532);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let poles: Vec<Complex64> = (0..4).map(|_| unit_complex(&mut rng).scale(2.0)).collect();
+        let (gains, solution, _) = solve_static_state_space(&ss, &poles, &mut rng);
+        assert_eq!(solution.maps.len(), 2);
+        assert_eq!(gains.len(), 2);
+        for k in &gains {
+            let acl = ss.closed_loop_static(k);
+            let eigs = pieri_linalg::eigenvalues(&acl).unwrap();
+            let d = spectrum_distance(eigs, &poles);
+            assert!(d < 1e-5, "closed-loop spectrum off by {d:.2e}");
+        }
+    }
+
+    #[test]
+    fn conjugate_pole_sets_are_self_conjugate_and_stable() {
+        let mut rng = seeded_rng(533);
+        for n in [4usize, 5, 8, 11] {
+            let poles = conjugate_pole_set(n, &mut rng);
+            assert_eq!(poles.len(), n);
+            for s in &poles {
+                assert!(s.re < 0.0, "stable");
+                let has_conj = poles.iter().any(|t| t.dist(s.conj()) < 1e-12);
+                assert!(has_conj, "conjugate of {s} present");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prescribed poles")]
+    fn wrong_pole_count_rejected() {
+        let mut rng = seeded_rng(534);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let _ = PolePlacement::new(plant, 0, vec![Complex64::ONE]);
+    }
+}

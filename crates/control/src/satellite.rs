@@ -1,0 +1,141 @@
+//! The linearised satellite: the classical worked example.
+//!
+//! The authors' companion paper ("Numerical Homotopy Algorithms for
+//! Satellite Trajectory Control by Pole Placement", MTNS 2002) applies the
+//! Pieri machinery to the linearised equations of a satellite in circular
+//! orbit — a 4-state, 2-input (radial and tangential thrust), 2-output
+//! plant. With `m = p = 2` and `mp = 4` states, static output feedback
+//! yields `d(2,2,0) = 2` gain matrices for a generic choice of 4
+//! closed-loop poles.
+//!
+//! A physically instructive subtlety: *static* output feedback on the
+//! satellite is structurally obstructed. With position-only outputs
+//! `trace(B·K·C) = 0` for every gain `K`, so the `s³` coefficient of the
+//! closed-loop characteristic polynomial cannot be moved; with mixed
+//! position+rate outputs a different linear relation among the closed-loop
+//! coefficients appears. Either way the two Pieri solutions lie at
+//! infinity and the tracker reports both final-level paths divergent —
+//! the machinery *detects* the obstruction (see
+//! `degenerate_static_feedback`). The remedy, as in the companion paper,
+//! is a *dynamic* compensator: `q = 1` places `n° + q = 5` poles (the
+//! three surplus Pieri conditions are padded with generic data by
+//! [`crate::solve_dynamic_state_space`]).
+
+use crate::statespace::StateSpace;
+use pieri_linalg::CMat;
+use pieri_num::Complex64;
+
+/// Orbital rate used by the example (normalised).
+pub const SATELLITE_OMEGA: f64 = 1.0;
+
+/// State and input matrices of the linearised satellite at orbital rate
+/// `omega`:
+///
+/// ```text
+///     ⎡ 0      1    0   0    ⎤       ⎡ 0 0 ⎤
+/// A = ⎢ 3ω²    0    0   2ω   ⎥   B = ⎢ 1 0 ⎥
+///     ⎢ 0      0    0   1    ⎥       ⎢ 0 0 ⎥
+///     ⎣ 0     −2ω   0   0    ⎦       ⎣ 0 1 ⎦
+/// ```
+///
+/// States: radial deviation and rate, angular deviation and rate; inputs:
+/// radial and tangential thrust.
+fn satellite_ab(omega: f64) -> (CMat, CMat) {
+    let z = Complex64::ZERO;
+    let one = Complex64::ONE;
+    let c = Complex64::real;
+    let a = CMat::from_rows(&[
+        vec![z, one, z, z],
+        vec![c(3.0 * omega * omega), z, z, c(2.0 * omega)],
+        vec![z, z, z, one],
+        vec![z, c(-2.0 * omega), z, z],
+    ]);
+    let b = CMat::from_rows(&[
+        vec![z, z],
+        vec![one, z],
+        vec![z, z],
+        vec![z, one],
+    ]);
+    (a, b)
+}
+
+/// The classical satellite plant measuring the two position deviations
+/// (`C = [e₁ᵀ; e₃ᵀ]`).
+pub fn satellite_plant(omega: f64) -> StateSpace {
+    let (a, b) = satellite_ab(omega);
+    let z = Complex64::ZERO;
+    let one = Complex64::ONE;
+    let c = CMat::from_rows(&[
+        vec![one, z, z, z],
+        vec![z, z, one, z],
+    ]);
+    StateSpace::new(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pole::{conjugate_pole_set, solve_static_state_space};
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn satellite_dimensions() {
+        let sat = satellite_plant(SATELLITE_OMEGA);
+        assert_eq!(sat.dim(), 4);
+        assert_eq!(sat.inputs(), 2);
+        assert_eq!(sat.outputs(), 2);
+    }
+
+    #[test]
+    fn open_loop_poles_on_imaginary_axis() {
+        // The linearised satellite has open-loop eigenvalues {0, 0, ±iω}.
+        let sat = satellite_plant(1.0);
+        let mut eigs = sat.poles();
+        eigs.sort_by(|a, b| a.im.total_cmp(&b.im));
+        assert!(eigs.iter().all(|e| e.re.abs() < 1e-8));
+        assert!((eigs[0].im + 1.0).abs() < 1e-8);
+        assert!((eigs[3].im - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_static_feedback() {
+        // Position-only outputs: trace(BKC) = 0, so poles with a nonzero
+        // sum cannot be placed; the homotopy correctly reports all paths
+        // at the last level divergent (solutions at infinity).
+        let mut rng = seeded_rng(541);
+        let sat = satellite_plant(SATELLITE_OMEGA);
+        let poles = conjugate_pole_set(4, &mut rng);
+        let sum: Complex64 = poles.iter().copied().sum();
+        assert!(sum.norm() > 0.1, "test poles must have nonzero sum");
+        let (gains, solution, _) = solve_static_state_space(&sat, &poles, &mut rng);
+        // The two Grassmannian solutions exist but are improper: their
+        // top blocks U are singular, so no static gain can be extracted.
+        assert!(gains.is_empty(), "no proper static feedback law exists");
+        for map in &solution.maps {
+            let u0 = map.coeffs()[0].submatrix(0, 0, 2, 2);
+            let rel = pieri_linalg::det(&u0).norm() / u0.fro_norm().powi(2);
+            assert!(rel < 1e-6, "solution must be improper, |det U| rel = {rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn dynamic_feedback_places_satellite_poles() {
+        // q = 1 compensator: place n° + q = 5 poles; the 3 surplus Pieri
+        // conditions are padded with generic data. All d(2,2,1) = 8
+        // compensators must place the 5 prescribed poles, verified through
+        // the Faddeev–LeVerrier closed-loop polynomial.
+        let mut rng = seeded_rng(542);
+        let sat = satellite_plant(SATELLITE_OMEGA);
+        let poles = conjugate_pole_set(5, &mut rng);
+        let (comps, solution, _) =
+            crate::pole::solve_dynamic_state_space(&sat, 1, &poles, &mut rng);
+        assert_eq!(solution.maps.len(), 8, "d(2,2,1) = 8 dynamic feedback laws");
+        assert_eq!(comps.len(), 8);
+        for map in &solution.maps {
+            let (phi, res) = crate::pole::verify_closed_loop_ss(&sat, map, &poles);
+            assert!(res < 1e-6, "closed-loop polynomial residual {res:.2e}");
+            // φ = χ^{m−1}·φ_cl has degree n°(m−1) + n° + q = 4 + 5 = 9.
+            assert!(phi.degree() <= 9);
+        }
+    }
+}

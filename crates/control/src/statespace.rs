@@ -1,0 +1,298 @@
+//! State-space realisations and closed-loop eigenvalue checks.
+
+use crate::plant::Plant;
+use pieri_linalg::{eigenvalues, CMat, Lu};
+use pieri_num::Complex64;
+use pieri_poly::{MatrixPoly, UniPoly};
+
+/// A strictly proper state-space system `ẋ = Ax + Bu`, `y = Cx`.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    /// State matrix (`n × n`).
+    pub a: CMat,
+    /// Input matrix (`n × m`).
+    pub b: CMat,
+    /// Output matrix (`p × n`).
+    pub c: CMat,
+}
+
+impl StateSpace {
+    /// Builds a system, checking shape consistency.
+    ///
+    /// # Panics
+    /// Panics on inconsistent shapes.
+    pub fn new(a: CMat, b: CMat, c: CMat) -> Self {
+        let n = a.rows();
+        assert!(a.is_square(), "A must be square");
+        assert_eq!(b.rows(), n, "B row count");
+        assert_eq!(c.cols(), n, "C column count");
+        StateSpace { a, b, c }
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Controller-form realisation of a matrix-fraction [`Plant`]:
+    /// one integrator chain per column of `D(s)`, as in the standard
+    /// polynomial-MFD construction. The realisation has dimension equal
+    /// to the plant's McMillan degree.
+    pub fn realize(plant: &Plant) -> StateSpace {
+        let m = plant.inputs();
+        let p = plant.outputs();
+        let degs = plant.col_degrees().to_vec();
+        let n: usize = degs.iter().sum();
+        // State index of chain (j, i): offset[j] + i, i = 0..degs[j].
+        let mut offset = vec![0usize; m];
+        for j in 1..m {
+            offset[j] = offset[j - 1] + degs[j - 1];
+        }
+        let dcoeffs = plant.denominator().coeffs();
+        let ncoeffs = plant.numerator().coeffs();
+
+        let mut a = CMat::zeros(n, n);
+        let mut b = CMat::zeros(n, m);
+        let mut c = CMat::zeros(p, n);
+        for j in 0..m {
+            // Integrator chain: x_{j,i}' = x_{j,i+1}.
+            for i in 0..degs[j] - 1 {
+                a[(offset[j] + i, offset[j] + i + 1)] = Complex64::ONE;
+            }
+            // Top of the chain: s^{ν_j} ξ_j = u_j − Σ_{k,i} (D_i)_{jk} x_{k,i}.
+            let top = offset[j] + degs[j] - 1;
+            b[(top, j)] = Complex64::ONE;
+            for k in 0..m {
+                for i in 0..degs[k] {
+                    if i < dcoeffs.len() {
+                        a[(top, offset[k] + i)] -= dcoeffs[i][(j, k)];
+                    }
+                }
+            }
+        }
+        // Output: y_r = Σ_{k,i} (N_i)_{rk} x_{k,i}.
+        for r in 0..p {
+            for k in 0..m {
+                for i in 0..degs[k] {
+                    if i < ncoeffs.len() {
+                        c[(r, offset[k] + i)] = ncoeffs[i][(r, k)];
+                    }
+                }
+            }
+        }
+        StateSpace::new(a, b, c)
+    }
+
+    /// Transfer matrix `G(s₀) = C·(s₀I − A)⁻¹·B`.
+    ///
+    /// # Panics
+    /// Panics when `s₀` is an eigenvalue of `A`.
+    pub fn transfer_at(&self, s0: Complex64) -> CMat {
+        let n = self.dim();
+        let si_a = &CMat::identity(n).scale(s0) - &self.a;
+        let lu = Lu::factor(&si_a).expect("s₀ must not be an open-loop pole");
+        let x = lu.solve_mat(&self.b);
+        &self.c * &x
+    }
+
+    /// The plane `L(s₀) = colspan [G(s₀); I_m]` in ℂ^{m+p} entering the
+    /// Pieri problem for a pole prescribed at `s₀`.
+    pub fn pole_plane(&self, s0: Complex64) -> CMat {
+        self.transfer_at(s0).vstack(&CMat::identity(self.inputs()))
+    }
+
+    /// Closed-loop state matrix under static output feedback `u = K·y`:
+    /// `A + B·K·C`.
+    ///
+    /// # Panics
+    /// Panics when `K` is not `m × p`.
+    pub fn closed_loop_static(&self, k: &CMat) -> CMat {
+        assert_eq!((k.rows(), k.cols()), (self.inputs(), self.outputs()), "K must be m × p");
+        &self.a + &(&(&self.b * k) * &self.c)
+    }
+
+    /// Eigenvalues of the state matrix (the system poles).
+    pub fn poles(&self) -> Vec<Complex64> {
+        eigenvalues(&self.a).expect("QR iteration converges for these sizes")
+    }
+
+    /// Faddeev–LeVerrier: the characteristic polynomial `χ(s) = det(sI−A)`
+    /// and the resolvent adjugate `adj(sI − A) = Σ_k D_k·s^k` as a
+    /// polynomial matrix, computed exactly (no eigen-decomposition).
+    pub fn resolvent_adjugate(&self) -> (UniPoly, MatrixPoly) {
+        let n = self.dim();
+        // c[n] = 1; B_1 = I; B_{k+1} = A·B_k + c_{n−k}·I ;
+        // c_{n−k} = −tr(A·B_k)/k ; adj(sI−A) = Σ_{k=1..n} B_k s^{n−k}.
+        let mut c = vec![Complex64::ZERO; n + 1];
+        c[n] = Complex64::ONE;
+        let mut b = CMat::identity(n);
+        let mut adj_coeffs = vec![CMat::zeros(n, n); n.max(1)];
+        if n > 0 {
+            adj_coeffs[n - 1] = b.clone();
+        }
+        for k in 1..=n {
+            let ab = &self.a * &b;
+            c[n - k] = -(ab.trace() / k as f64);
+            if k < n {
+                b = &ab + &CMat::identity(n).scale(c[n - k]);
+                adj_coeffs[n - 1 - k] = b.clone();
+            }
+        }
+        (UniPoly::new(c), MatrixPoly::new(adj_coeffs))
+    }
+
+    /// The polynomial Hermann–Martin curve of the realisation:
+    /// `Γ̂(s) = [C·adj(sI−A)·B ; χ(s)·I_m]`, an `(m+p) × m` polynomial
+    /// matrix whose column span at any non-eigenvalue `s₀` equals
+    /// `colspan [G(s₀); I_m]`. Used for closed-loop verification:
+    /// `det [X(s) | Γ̂(s)] = χ(s)^{m−1} · φ(s)` with `φ` the closed-loop
+    /// characteristic polynomial.
+    pub fn curve_polynomial(&self) -> MatrixPoly {
+        let (chi, adj) = self.resolvent_adjugate();
+        let m = self.inputs();
+        // Top block: C·adj·B (degree n−1), padded to degree n.
+        let cadjb_coeffs: Vec<CMat> = adj
+            .coeffs()
+            .iter()
+            .map(|d| &(&self.c * d) * &self.b)
+            .collect();
+        let mut top_coeffs = cadjb_coeffs;
+        top_coeffs.push(CMat::zeros(self.outputs(), m));
+        // Bottom block: χ(s)·I_m.
+        let bot_coeffs: Vec<CMat> = chi
+            .coeffs()
+            .iter()
+            .map(|&ck| CMat::identity(m).scale(ck))
+            .collect();
+        MatrixPoly::new(top_coeffs).vstack(&MatrixPoly::new(bot_coeffs))
+    }
+}
+
+/// Greedy multiset match: largest pairing distance between two spectra.
+pub(crate) fn spectrum_distance(mut a: Vec<Complex64>, b: &[Complex64]) -> f64 {
+    let mut worst = 0.0f64;
+    for &bv in b {
+        let Some((idx, d)) = a
+            .iter()
+            .enumerate()
+            .map(|(i, av)| (i, av.dist(bv)))
+            .min_by(|x, y| x.1.total_cmp(&y.1))
+        else {
+            return f64::INFINITY;
+        };
+        worst = worst.max(d);
+        a.swap_remove(idx);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{seeded_rng, unit_complex};
+
+    #[test]
+    fn realization_matches_transfer_function() {
+        let mut rng = seeded_rng(510);
+        for &(m, p, q) in &[(2usize, 2usize, 0usize), (3, 2, 0), (2, 2, 1)] {
+            let plant = Plant::random(m, p, q, &mut rng);
+            let ss = StateSpace::realize(&plant);
+            assert_eq!(ss.dim(), plant.mcmillan_degree());
+            for _ in 0..4 {
+                let s = unit_complex(&mut rng).scale(2.0);
+                let g1 = plant.transfer_at(s);
+                let g2 = ss.transfer_at(s);
+                assert!(
+                    (&g1 - &g2).fro_norm() < 1e-7 * (1.0 + g1.fro_norm()),
+                    "({m},{p},{q}) at {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realization_poles_are_open_loop_charpoly_roots() {
+        let mut rng = seeded_rng(511);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let roots = plant.open_loop_charpoly().roots();
+        assert!(spectrum_distance(ss.poles(), &roots) < 1e-6);
+    }
+
+    #[test]
+    fn pole_plane_shape() {
+        let mut rng = seeded_rng(512);
+        let plant = Plant::random(2, 3, 0, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let l = ss.pole_plane(Complex64::new(2.0, 1.0));
+        assert_eq!((l.rows(), l.cols()), (5, 2));
+    }
+
+    #[test]
+    fn closed_loop_static_shape_and_zero_gain() {
+        let mut rng = seeded_rng(513);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let k0 = CMat::zeros(2, 2);
+        let acl = ss.closed_loop_static(&k0);
+        assert!((&acl - &ss.a).fro_norm() < 1e-14, "zero gain keeps A");
+    }
+
+    #[test]
+    fn faddeev_leverrier_matches_numeric_resolvent() {
+        let mut rng = seeded_rng(514);
+        use pieri_num::random_complex;
+        use pieri_linalg::Lu;
+        let a = CMat::random(4, 4, &mut rng, random_complex);
+        let ss = StateSpace::new(a.clone(), CMat::zeros(4, 1), CMat::zeros(1, 4));
+        let (chi, adj) = ss.resolvent_adjugate();
+        assert_eq!(chi.degree(), 4);
+        assert!(chi.leading().dist(Complex64::ONE) < 1e-12, "monic");
+        for _ in 0..3 {
+            let s = random_complex(&mut rng).scale(3.0);
+            let si_a = &CMat::identity(4).scale(s) - &a;
+            let lu = Lu::factor(&si_a).unwrap();
+            let expect = lu.inverse().scale(lu.det());
+            let got = adj.eval(s);
+            assert!(
+                (&got - &expect).fro_norm() < 1e-7 * (1.0 + expect.fro_norm()),
+                "adj(sI−A) at {s:?}"
+            );
+            assert!(chi.eval(s).dist(lu.det()) < 1e-7 * (1.0 + lu.det().norm()));
+        }
+    }
+
+    #[test]
+    fn curve_polynomial_spans_transfer_plane() {
+        let mut rng = seeded_rng(515);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let curve = ss.curve_polynomial();
+        let s = Complex64::new(0.7, 1.1);
+        // colspan Γ̂(s₀) == colspan [G(s₀); I]: Γ̂(s₀) = [G;I]·(χ(s₀)·I).
+        let g = ss.transfer_at(s);
+        let naive = g.vstack(&CMat::identity(2));
+        let (chi, _) = ss.resolvent_adjugate();
+        let expect = naive.scale(chi.eval(s));
+        assert!((&curve.eval(s) - &expect).fro_norm() < 1e-6 * (1.0 + expect.fro_norm()));
+    }
+
+    #[test]
+    fn spectrum_distance_detects_mismatch() {
+        let a = vec![Complex64::ONE, Complex64::I];
+        let b = vec![Complex64::ONE, Complex64::I];
+        assert!(spectrum_distance(a.clone(), &b) < 1e-15);
+        let c = vec![Complex64::ONE, Complex64::real(5.0)];
+        assert!(spectrum_distance(a, &c) > 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration sweep over pole-placement configurations: every solvable
+//! `(m, p, q)` combination with `n ≤ 8` gets a random plant, prescribed
+//! poles, and full verification through the closed-loop determinant
+//! polynomial.
+
+use pieri_control::{conjugate_pole_set, Plant, PolePlacement};
+use pieri_core::root_count;
+use pieri_num::{seeded_rng, unit_complex, Complex64};
+
+fn run_case(m: usize, p: usize, q: usize, seed: u64, real_poles: bool) {
+    let n = m * p + q * (m + p);
+    let mut rng = seeded_rng(seed);
+    let plant = Plant::random(m, p, q, &mut rng);
+    let poles: Vec<Complex64> = if real_poles {
+        conjugate_pole_set(n, &mut rng)
+    } else {
+        (0..n).map(|_| unit_complex(&mut rng).scale(1.5)).collect()
+    };
+    let pp = PolePlacement::new(plant, q, poles);
+    let outcome = pp.solve(&mut rng);
+    assert_eq!(
+        outcome.compensators.len() as u128,
+        root_count(m, p, q),
+        "({m},{p},{q}): all d(m,p,q) feedback laws"
+    );
+    assert_eq!(outcome.solution.failures, 0, "({m},{p},{q})");
+    let err = pp.max_pole_error(&outcome);
+    assert!(err < 1e-4, "({m},{p},{q}): pole error {err:.2e}");
+}
+
+#[test]
+fn static_feedback_2_2() {
+    run_case(2, 2, 0, 1000, false);
+}
+
+#[test]
+fn static_feedback_3_2() {
+    // 5 feedback laws for a degree-6 plant.
+    run_case(3, 2, 0, 1001, false);
+}
+
+#[test]
+fn static_feedback_2_3() {
+    // Duality partner: p > m.
+    run_case(2, 3, 0, 1002, false);
+}
+
+#[test]
+fn dynamic_feedback_2_1_1() {
+    run_case(2, 1, 1, 1003, false);
+}
+
+#[test]
+fn dynamic_feedback_1_2_1() {
+    run_case(1, 2, 1, 1004, false);
+}
+
+#[test]
+fn dynamic_feedback_1_1_3() {
+    // Single-input single-output with a degree-3 compensator: n = 7.
+    run_case(1, 1, 3, 1005, false);
+}
+
+#[test]
+fn self_conjugate_poles_admit_real_or_paired_laws() {
+    // Real plant data + self-conjugate poles: the solution set is closed
+    // under conjugation, so compensators are real or come in conjugate
+    // pairs.
+    let (m, p, q) = (2usize, 2usize, 0usize);
+    let mut rng = seeded_rng(1006);
+    // A real plant: real N, D coefficients.
+    let plant = {
+        use pieri_linalg::CMat;
+        use pieri_poly::MatrixPoly;
+        let mut real = |r: usize, c: usize, deg_present: &[bool]| -> Vec<CMat> {
+            deg_present
+                .iter()
+                .map(|&on| {
+                    CMat::from_fn(r, c, |_, _| {
+                        if on {
+                            pieri_num::random_real_in(&mut rng, -1.0, 1.0)
+                        } else {
+                            Complex64::ZERO
+                        }
+                    })
+                })
+                .collect()
+        };
+        // D: column degrees 2,2 with identity leading coefficients.
+        let mut d_coeffs = real(2, 2, &[true, true, false]);
+        d_coeffs[2] = CMat::identity(2);
+        // N: strictly proper.
+        let n_coeffs = real(2, 2, &[true, true]);
+        Plant::from_matrix_fraction(MatrixPoly::new(n_coeffs), MatrixPoly::new(d_coeffs))
+    };
+    let poles = conjugate_pole_set(m * p, &mut rng);
+    let pp = PolePlacement::new(plant, q, poles);
+    let outcome = pp.solve(&mut rng);
+    assert_eq!(outcome.compensators.len(), 2);
+    assert!(pp.max_pole_error(&outcome) < 1e-5);
+    // Conjugation closure: for each compensator, either it is real or its
+    // conjugate partner is in the set.
+    let gains: Vec<_> = outcome
+        .compensators
+        .iter()
+        .filter_map(|c| c.static_gain())
+        .collect();
+    assert_eq!(gains.len(), 2);
+    for k in &gains {
+        let is_real = (0..k.rows())
+            .all(|i| (0..k.cols()).all(|j| k[(i, j)].im.abs() < 1e-6));
+        if !is_real {
+            let has_conj = gains.iter().any(|other| {
+                (0..k.rows()).all(|i| {
+                    (0..k.cols()).all(|j| other[(i, j)].dist(k[(i, j)].conj()) < 1e-6)
+                })
+            });
+            assert!(has_conj, "complex gain without conjugate partner");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Coefficient-parameter continuation from a generic instance to a
+//! specific one.
+//!
+//! Section III of the paper frames the Pieri homotopies as the way "to
+//! find a general start system G(x) = 0 to be used in the homotopy (1) to
+//! solve a particular problem F(x) = 0": the Pieri tree is run **once**
+//! on random planes and points, and every concrete application instance
+//! (e.g. the pole-placement data of an actual plant, whose planes lie on
+//! a low-degree curve and are *not* in general position) is then reached
+//! by one straight-line parameter homotopy
+//!
+//! ```text
+//! det [ X(σ_i(t)) | (1−t)·γ·R_i + t·L_i ] = 0 ,   σ_i(t) = (1−t)·r_i + t·s_i ,
+//! ```
+//!
+//! tracking the `d(m,p,q)` generic solutions from `t = 0` to `t = 1`.
+//! Instance solutions lying outside the coordinate chart (improper
+//! feedback laws "at infinity") show up as honestly divergent paths.
+
+use crate::eval::CoeffLayout;
+use crate::maps::PMap;
+use crate::problem::PieriProblem;
+use pieri_linalg::{det, det_gradient, CMat};
+use pieri_num::Complex64;
+use pieri_tracker::{track_path, Homotopy, PathStatus, TrackSettings};
+
+/// The instance homotopy: every condition's plane and interpolation point
+/// moves from the generic start instance to the target instance.
+pub struct InstanceHomotopy {
+    layout: CoeffLayout,
+    /// Per condition: `(γ·R_i, L_i, r_i, s_i)`.
+    conditions: Vec<(CMat, CMat, Complex64, Complex64)>,
+}
+
+impl InstanceHomotopy {
+    /// Builds the homotopy between two instances of the same shape.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
+    pub fn new(start: &PieriProblem, target: &PieriProblem) -> Self {
+        assert_eq!(start.shape(), target.shape(), "instances must share a shape");
+        let shape = start.shape();
+        let root = shape.root();
+        let layout = CoeffLayout::new(&root);
+        let gamma = start.gamma();
+        let conditions = (0..shape.conditions())
+            .map(|i| {
+                (
+                    start.plane(i).scale(gamma),
+                    target.plane(i).clone(),
+                    start.point(i),
+                    target.point(i),
+                )
+            })
+            .collect();
+        InstanceHomotopy { layout, conditions }
+    }
+
+    fn point_at(&self, i: usize, t: f64) -> (Complex64, Complex64) {
+        let (_, _, r, s) = &self.conditions[i];
+        (r.scale(1.0 - t) + s.scale(t), *s - *r)
+    }
+
+    fn plane_at(&self, i: usize, t: f64) -> CMat {
+        let (gr, l, _, _) = &self.conditions[i];
+        &gr.scale(Complex64::real(1.0 - t)) + &l.scale(Complex64::real(t))
+    }
+}
+
+impl Homotopy for InstanceHomotopy {
+    fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    fn eval(&self, x: &[Complex64], t: f64, out: &mut [Complex64]) {
+        for i in 0..self.conditions.len() {
+            let (sigma, _) = self.point_at(i, t);
+            let a = self
+                .layout
+                .eval_map(x, sigma, Complex64::ONE)
+                .hstack(&self.plane_at(i, t));
+            out[i] = det(&a);
+        }
+    }
+
+    fn jacobian_x(&self, x: &[Complex64], t: f64, out: &mut CMat) {
+        let k = self.dim();
+        for i in 0..self.conditions.len() {
+            let (sigma, _) = self.point_at(i, t);
+            let a = self
+                .layout
+                .eval_map(x, sigma, Complex64::ONE)
+                .hstack(&self.plane_at(i, t));
+            let cof = det_gradient(&a);
+            for slot in 0..k {
+                let w = self.layout.weight(slot, sigma, Complex64::ONE);
+                out[(i, slot)] = cof[(self.layout.phys_row(slot), self.layout.col(slot))] * w;
+            }
+        }
+    }
+
+    fn dt(&self, x: &[Complex64], t: f64, out: &mut [Complex64]) {
+        let shape = self.layout.pattern().shape();
+        let p = shape.p();
+        for i in 0..self.conditions.len() {
+            let (sigma, dsigma) = self.point_at(i, t);
+            let a = self
+                .layout
+                .eval_map(x, sigma, Complex64::ONE)
+                .hstack(&self.plane_at(i, t));
+            let cof = det_gradient(&a);
+            let mut acc = Complex64::ZERO;
+            // X-block: point motion (u ≡ 1 so top pivots are constant).
+            for slot in 0..self.dim() {
+                if x[slot] == Complex64::ZERO {
+                    continue;
+                }
+                let wdt =
+                    self.layout
+                        .weight_dt(slot, sigma, Complex64::ONE, dsigma, Complex64::ZERO);
+                if wdt != Complex64::ZERO {
+                    acc += cof[(self.layout.phys_row(slot), self.layout.col(slot))]
+                        * x[slot]
+                        * wdt;
+                }
+            }
+            // Plane motion: dP/dt = L_i − γR_i.
+            let (gr, l, _, _) = &self.conditions[i];
+            let dm = l - gr;
+            for r in 0..shape.big_n() {
+                for c in 0..shape.m() {
+                    let v = dm[(r, c)];
+                    if v != Complex64::ZERO {
+                        acc += cof[(r, p + c)] * v;
+                    }
+                }
+            }
+            out[i] = acc;
+        }
+    }
+}
+
+/// Result of continuing a generic solution set to a target instance.
+#[derive(Debug)]
+pub struct InstanceContinuation {
+    /// Solution maps of the target instance.
+    pub maps: Vec<PMap>,
+    /// Coefficient vectors of the target solutions (root-pattern chart).
+    pub coeffs: Vec<Vec<Complex64>>,
+    /// Paths that diverged — target solutions at infinity (e.g. improper
+    /// feedback laws).
+    pub diverged: usize,
+    /// Paths that failed numerically.
+    pub failed: usize,
+}
+
+/// Tracks all solutions of the generic `start` instance to the `target`
+/// instance. `start_coeffs` are the root-pattern coefficient vectors
+/// produced by [`crate::solve`] on `start`.
+pub fn continue_to_instance(
+    start: &PieriProblem,
+    start_coeffs: &[Vec<Complex64>],
+    target: &PieriProblem,
+    settings: &TrackSettings,
+) -> InstanceContinuation {
+    let h = InstanceHomotopy::new(start, target);
+    let root = start.shape().root();
+    let mut maps = Vec::new();
+    let mut coeffs = Vec::new();
+    let mut diverged = 0;
+    let mut failed = 0;
+    for x0 in start_coeffs {
+        let r = track_path(&h, x0, settings);
+        match r.status {
+            PathStatus::Converged => {
+                maps.push(PMap::from_coeffs(&root, &r.x));
+                coeffs.push(r.x);
+            }
+            PathStatus::Diverged { .. } => diverged += 1,
+            PathStatus::Failed { .. } => failed += 1,
+        }
+    }
+    InstanceContinuation { maps, coeffs, diverged, failed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Shape;
+    use crate::problem::PieriProblem;
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn generic_to_generic_preserves_solution_count() {
+        let mut rng = seeded_rng(350);
+        let shape = Shape::new(2, 2, 0);
+        let start = PieriProblem::random(shape.clone(), &mut rng);
+        let target = PieriProblem::random(shape.clone(), &mut rng);
+        let sol = crate::solver::solve(&start);
+        assert_eq!(sol.maps.len(), 2);
+        let cont = continue_to_instance(
+            &start,
+            &sol.coeffs,
+            &target,
+            &TrackSettings::default(),
+        );
+        assert_eq!(cont.maps.len(), 2, "diverged={} failed={}", cont.diverged, cont.failed);
+        for m in &cont.maps {
+            assert!(m.max_residual(&target) < 1e-7);
+        }
+        // The two targets are distinct solutions.
+        assert!(cont.maps[0].dist(&cont.maps[1]) > 1e-5);
+    }
+
+    #[test]
+    fn instance_homotopy_derivatives_match_finite_differences() {
+        let mut rng = seeded_rng(351);
+        let shape = Shape::new(2, 2, 1);
+        let start = PieriProblem::random(shape.clone(), &mut rng);
+        let target = PieriProblem::random(shape.clone(), &mut rng);
+        let h = InstanceHomotopy::new(&start, &target);
+        let k = h.dim();
+        let x: Vec<Complex64> = (0..k).map(|_| pieri_num::random_complex(&mut rng)).collect();
+        let t = 0.3;
+        // dt check.
+        let mut an = vec![Complex64::ZERO; k];
+        h.dt(&x, t, &mut an);
+        let step = 1e-7;
+        let mut fp = vec![Complex64::ZERO; k];
+        let mut fm = vec![Complex64::ZERO; k];
+        h.eval(&x, t + step, &mut fp);
+        h.eval(&x, t - step, &mut fm);
+        for i in 0..k {
+            let fd = (fp[i] - fm[i]) / (2.0 * step);
+            assert!(fd.dist(an[i]) < 1e-5 * (1.0 + an[i].norm()), "row {i}");
+        }
+        // jacobian check.
+        let mut jac = CMat::zeros(k, k);
+        h.jacobian_x(&x, t, &mut jac);
+        let mut f0 = vec![Complex64::ZERO; k];
+        h.eval(&x, t, &mut f0);
+        for c in 0..k {
+            let mut xp = x.clone();
+            xp[c] += Complex64::real(step);
+            let mut f1 = vec![Complex64::ZERO; k];
+            h.eval(&xp, t, &mut f1);
+            for r in 0..k {
+                let fd = (f1[r] - f0[r]) / step;
+                assert!(fd.dist(jac[(r, c)]) < 1e-5 * (1.0 + jac[(r, c)].norm()), "J[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_one_start_system_for_many_instances() {
+        // The paper's stated workflow: one generic Pieri solve, many
+        // parameter continuations.
+        let mut rng = seeded_rng(352);
+        let shape = Shape::new(2, 2, 0);
+        let start = PieriProblem::random(shape.clone(), &mut rng);
+        let sol = crate::solver::solve(&start);
+        for _ in 0..3 {
+            let target = PieriProblem::random(shape.clone(), &mut rng);
+            let cont = continue_to_instance(
+                &start,
+                &sol.coeffs,
+                &target,
+                &TrackSettings::default(),
+            );
+            assert_eq!(cont.maps.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Problem data for a Pieri intersection problem.
+
+use crate::pattern::Shape;
+use pieri_linalg::CMat;
+use pieri_num::{random_complex, random_gamma, unit_complex, Complex64};
+use rand::Rng;
+
+/// One instance of the Pieri problem: `n` general `m`-planes in ℂ^{m+p}
+/// and `n` interpolation points.
+///
+/// The solutions are all degree-`q` maps `X(s)` of `p`-planes with
+/// `det [X(s_i) | L_i] = 0` for every `i`. The control layer produces
+/// instances whose planes come from a plant's Hermann–Martin curve and
+/// whose points are the prescribed closed-loop poles; [`PieriProblem::random`]
+/// produces the generic instances used by the paper's Table III/IV timings.
+#[derive(Debug, Clone)]
+pub struct PieriProblem {
+    shape: Shape,
+    planes: Vec<CMat>,
+    points: Vec<Complex64>,
+    gamma: Complex64,
+}
+
+impl PieriProblem {
+    /// Builds a problem from explicit data.
+    ///
+    /// # Panics
+    /// Panics unless exactly `n = mp + q(m+p)` planes of shape
+    /// `(m+p) × m` and `n` points are supplied.
+    pub fn new(
+        shape: Shape,
+        planes: Vec<CMat>,
+        points: Vec<Complex64>,
+        gamma: Complex64,
+    ) -> Self {
+        let n = shape.conditions();
+        assert_eq!(planes.len(), n, "need n = mp + q(m+p) planes");
+        assert_eq!(points.len(), n, "need n interpolation points");
+        for (i, l) in planes.iter().enumerate() {
+            assert_eq!(
+                (l.rows(), l.cols()),
+                (shape.big_n(), shape.m()),
+                "plane {i} must be (m+p) × m"
+            );
+        }
+        assert!(gamma.norm() > 0.0, "gamma must be nonzero");
+        PieriProblem { shape, planes, points, gamma }
+    }
+
+    /// Generates a generic random instance: planes with independent
+    /// complex entries and interpolation points on the unit circle
+    /// (well-separated from each other with probability one).
+    pub fn random<R: Rng + ?Sized>(shape: Shape, rng: &mut R) -> Self {
+        let n = shape.conditions();
+        let planes = (0..n)
+            .map(|_| CMat::random(shape.big_n(), shape.m(), rng, random_complex))
+            .collect();
+        let points = (0..n).map(|_| unit_complex(rng)).collect();
+        let gamma = random_gamma(rng);
+        PieriProblem::new(shape, planes, points, gamma)
+    }
+
+    /// The problem shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The `i`-th plane (0-indexed).
+    pub fn plane(&self, i: usize) -> &CMat {
+        &self.planes[i]
+    }
+
+    /// The `i`-th interpolation point (0-indexed).
+    pub fn point(&self, i: usize) -> Complex64 {
+        self.points[i]
+    }
+
+    /// All planes.
+    pub fn planes(&self) -> &[CMat] {
+        &self.planes
+    }
+
+    /// All interpolation points.
+    pub fn points(&self) -> &[Complex64] {
+        &self.points
+    }
+
+    /// The gamma constant used in the moving plane `M(t) = (1−t)γM_F + tL`.
+    pub fn gamma(&self) -> Complex64 {
+        self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn random_instance_has_right_shapes() {
+        let mut rng = seeded_rng(300);
+        let shape = Shape::new(2, 2, 1);
+        let prob = PieriProblem::random(shape.clone(), &mut rng);
+        assert_eq!(prob.planes().len(), 8);
+        assert_eq!(prob.points().len(), 8);
+        assert_eq!(prob.plane(0).rows(), 4);
+        assert_eq!(prob.plane(0).cols(), 2);
+        assert!((prob.point(3).norm() - 1.0).abs() < 1e-12);
+        assert!((prob.gamma().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n")]
+    fn wrong_plane_count_panics() {
+        let shape = Shape::new(2, 2, 0);
+        let _ = PieriProblem::new(shape, vec![], vec![], Complex64::ONE);
+    }
+
+    #[test]
+    fn points_are_distinct_generically() {
+        let mut rng = seeded_rng(301);
+        let prob = PieriProblem::random(Shape::new(3, 2, 1), &mut rng);
+        for i in 0..prob.points().len() {
+            for j in 0..i {
+                assert!(prob.point(i).dist(prob.point(j)) > 1e-6);
+            }
+        }
+    }
+}

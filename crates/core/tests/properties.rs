@@ -1,0 +1,182 @@
+//! Property-based tests of the Schubert combinatorics and the homotopy
+//! layer invariants.
+
+use pieri_core::{CoeffLayout, Pattern, PieriProblem, Poset, Shape};
+use pieri_num::{random_complex, seeded_rng, Complex64};
+use proptest::prelude::*;
+
+/// Strategy over small shapes (kept small enough that poset construction
+/// stays in microseconds).
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=4, 1usize..=4, 0usize..=2).prop_filter("bounded size", |&(m, p, q)| {
+        m * p + q * (m + p) <= 14
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The root pattern always has rank n and the trivial pattern rank 0.
+    #[test]
+    fn root_and_trivial_ranks((m, p, q) in shapes()) {
+        let shape = Shape::new(m, p, q);
+        prop_assert_eq!(shape.root().rank(), shape.conditions());
+        prop_assert_eq!(shape.trivial().rank(), 0);
+        prop_assert!(shape.root().is_valid());
+    }
+
+    /// Chain counts satisfy the defining recursion d(b) = Σ d(children).
+    #[test]
+    fn chain_counts_satisfy_recursion((m, p, q) in shapes()) {
+        let shape = Shape::new(m, p, q);
+        let poset = Poset::build(&shape);
+        for k in 1..poset.num_levels() {
+            for pat in poset.level(k) {
+                let children_sum: u128 = pat
+                    .children()
+                    .iter()
+                    .map(|c| poset.chain_count(c))
+                    .sum();
+                prop_assert_eq!(poset.chain_count(pat), children_sum, "{}", pat);
+            }
+        }
+    }
+
+    /// Level widths are monotone in the upward direction until the
+    /// maximum and the profile totals are consistent.
+    #[test]
+    fn level_profile_consistency((m, p, q) in shapes()) {
+        let shape = Shape::new(m, p, q);
+        let poset = Poset::build(&shape);
+        let profile = poset.level_profile();
+        prop_assert_eq!(profile.widths.len(), shape.conditions() + 1);
+        prop_assert_eq!(profile.widths[0], 1u128);
+        prop_assert_eq!(profile.root_count(), poset.root_count());
+        // Each width is at most p times the previous (≤ p parents per
+        // node) and at least ... bounded below by monotone root flow.
+        for k in 1..profile.widths.len() {
+            prop_assert!(profile.widths[k] <= profile.widths[k - 1] * p as u128,
+                "level {} width jump", k);
+            prop_assert!(profile.widths[k] >= 1);
+        }
+    }
+
+    /// Grassmannian duality: d(m,p,q) = d(p,m,q).
+    #[test]
+    fn duality((m, p, q) in shapes()) {
+        prop_assert_eq!(
+            pieri_core::root_count(m, p, q),
+            pieri_core::root_count(p, m, q)
+        );
+    }
+
+    /// Children and parents are mutually inverse within validity.
+    #[test]
+    fn children_parents_inverse((m, p, q) in shapes(), level_frac in 0.0f64..1.0) {
+        let shape = Shape::new(m, p, q);
+        let poset = Poset::build(&shape);
+        let k = ((poset.num_levels() - 1) as f64 * level_frac) as usize;
+        for pat in poset.level(k) {
+            for ch in pat.children() {
+                prop_assert!(ch.parents().contains(pat));
+                prop_assert_eq!(ch.rank() + 1, pat.rank());
+            }
+            for par in pat.parents() {
+                prop_assert!(par.children().contains(pat));
+            }
+        }
+    }
+
+    /// Pivot residues of valid patterns are pairwise distinct (the
+    /// property the special plane M_F relies on).
+    #[test]
+    fn residues_distinct((m, p, q) in shapes()) {
+        let shape = Shape::new(m, p, q);
+        let poset = Poset::build(&shape);
+        for k in 0..poset.num_levels() {
+            for pat in poset.level(k) {
+                let res: Vec<usize> = (0..p).map(|j| pat.pivot_residue(j)).collect();
+                let mut sorted = res.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), p, "pattern {}", pat);
+            }
+        }
+    }
+
+    /// Embedding a child solution preserves the evaluated plane at u = 1.
+    #[test]
+    fn embedding_preserves_plane((m, p, q) in shapes(), seed in 0u64..500) {
+        let shape = Shape::new(m, p, q);
+        let root = shape.root();
+        let layout = CoeffLayout::new(&root);
+        let mut rng = seeded_rng(seed);
+        for child in root.children() {
+            let lc = CoeffLayout::new(&child);
+            let y: Vec<Complex64> = (0..lc.dim()).map(|_| random_complex(&mut rng)).collect();
+            let x = layout.embed_child(&lc, &y);
+            let s = random_complex(&mut rng);
+            let a = layout.eval_map(&x, s, Complex64::ONE);
+            let b = lc.eval_map(&y, s, Complex64::ONE);
+            let diff = (&a - &b).fro_norm();
+            prop_assert!(diff < 1e-12, "child {} diff {}", child, diff);
+        }
+    }
+}
+
+/// Deterministic spot-checks that don't fit the proptest strategies.
+#[test]
+fn special_plane_det_identity_across_poset() {
+    // det [X(1,0) | M_F] vanishes iff a bottom-pivot coefficient is zero,
+    // for every pattern of the (2,2,1) poset with rank ≥ 1.
+    let shape = Shape::new(2, 2, 1);
+    let poset = Poset::build(&shape);
+    let mut rng = seeded_rng(77);
+    for k in 1..poset.num_levels() {
+        for pat in poset.level(k) {
+            let layout = CoeffLayout::new(pat);
+            let mf = pieri_core::special_plane(pat);
+            let x: Vec<Complex64> =
+                (0..layout.dim()).map(|_| random_complex(&mut rng)).collect();
+            let a = layout
+                .eval_map(&x, Complex64::ONE, Complex64::ZERO)
+                .hstack(&mf);
+            let d = pieri_linalg::det(&a);
+            // Generic coefficients: the determinant is the product of the
+            // pivot entries (nonzero) unless a pivot slot is the
+            // normalised top pivot itself.
+            assert!(
+                d.norm() > 1e-12,
+                "pattern {pat}: generic pivots must give det ≠ 0"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_solve_respects_all_poset_shapes() {
+    // Solve every shape with n ≤ 6 completely and verify counts.
+    for (m, p, q) in [(1usize, 1usize, 2usize), (2, 1, 1), (1, 3, 0), (3, 1, 0), (2, 2, 0)] {
+        let shape = Shape::new(m, p, q);
+        if shape.conditions() > 6 {
+            continue;
+        }
+        let mut rng = seeded_rng(800 + (10 * m + p) as u64);
+        let problem = PieriProblem::random(shape.clone(), &mut rng);
+        let sol = pieri_core::solve(&problem);
+        let poset = Poset::build(&shape);
+        assert_eq!(sol.maps.len() as u128, poset.root_count(), "({m},{p},{q})");
+        assert_eq!(sol.failures, 0, "({m},{p},{q})");
+        assert!(sol.max_residual(&problem) < 1e-7, "({m},{p},{q})");
+    }
+}
+
+#[test]
+fn patterns_reject_malformed_pivots() {
+    let shape = Shape::new(2, 2, 1);
+    // Too few pivots, duplicate pivots, reversed, over cap.
+    assert!(Pattern::new(&shape, vec![3]).is_none());
+    assert!(Pattern::new(&shape, vec![3, 3]).is_none());
+    assert!(Pattern::new(&shape, vec![4, 2]).is_none());
+    assert!(Pattern::new(&shape, vec![1, 9]).is_none());
+}

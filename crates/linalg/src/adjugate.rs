@@ -1,0 +1,198 @@
+//! Cofactor and adjugate machinery for determinantal conditions.
+//!
+//! The Pieri intersection conditions are determinants `det A(x,t)` of small
+//! matrices whose entries are *affine* in the unknowns. By Jacobi's formula,
+//!
+//! ```text
+//! ∂ det A / ∂ x_k  =  Σ_{r,c}  C_{r,c} · ∂A_{r,c}/∂x_k ,
+//! ```
+//!
+//! where `C` is the cofactor matrix. Evaluating the cofactor matrix
+//! numerically therefore differentiates every intersection condition exactly
+//! — no symbolic determinant expansion is ever formed.
+//!
+//! Near a solution the condition matrix is (by construction) nearly
+//! singular, so computing `adj(A) = det(A)·A⁻¹` through an LU solve is
+//! numerically treacherous exactly where we need it most. The minor-based
+//! evaluation used here costs `O(n⁵)` but is unconditionally stable, and the
+//! matrices are tiny (`n = m+p ≤ 8` in every experiment of the paper); the
+//! `det_jacobian` criterion bench quantifies the trade-off against the
+//! LU shortcut.
+
+use crate::lu::{Lu, LuError};
+use crate::matrix::CMat;
+use pieri_num::Complex64;
+
+/// Determinant computed by recursive cofactor expansion.
+///
+/// Exponential in `n`; intended for `n ≤ 4` cross-checks and for the bases
+/// of the minor computations. Falls back to expansion along the first row.
+pub fn det_via_minors(a: &CMat) -> Complex64 {
+    assert!(a.is_square(), "det of non-square matrix");
+    let n = a.rows();
+    match n {
+        0 => Complex64::ONE,
+        1 => a[(0, 0)],
+        2 => a[(0, 0)] * a[(1, 1)] - a[(0, 1)] * a[(1, 0)],
+        3 => {
+            let m = |i: usize, j: usize| a[(i, j)];
+            m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1))
+                - m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0))
+                + m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0))
+        }
+        _ => {
+            let mut acc = Complex64::ZERO;
+            let mut sign = 1.0;
+            for j in 0..n {
+                let entry = a[(0, j)];
+                if entry != Complex64::ZERO {
+                    acc += entry.scale(sign) * det_via_minors(&a.minor(0, j));
+                }
+                sign = -sign;
+            }
+            acc
+        }
+    }
+}
+
+/// Determinant of an `(n−1)`-sized minor through LU, with a cofactor-
+/// expansion fallback when the minor itself is singular (then its
+/// determinant is simply zero, which LU reports as an error).
+fn minor_det(a: &CMat, r: usize, c: usize) -> Complex64 {
+    let m = a.minor(r, c);
+    if m.rows() <= 3 {
+        return det_via_minors(&m);
+    }
+    match Lu::factor(&m) {
+        Ok(lu) => lu.det(),
+        Err(LuError::Singular { .. }) => Complex64::ZERO,
+        Err(LuError::NotSquare) => unreachable!("minor of square matrix is square"),
+    }
+}
+
+/// Single cofactor `C_{r,c} = (−1)^{r+c} · det(minor(a, r, c))`.
+pub fn cofactor(a: &CMat, r: usize, c: usize) -> Complex64 {
+    let sign = if (r + c).is_multiple_of(2) { 1.0 } else { -1.0 };
+    minor_det(a, r, c).scale(sign)
+}
+
+/// Full cofactor matrix `C` with `C_{r,c}` in position `(r, c)`.
+///
+/// The adjugate is its transpose: `adj(A) = Cᵀ`, and `A·adj(A) = det(A)·I`
+/// holds for *all* square matrices, including singular ones — the property
+/// the homotopy Jacobians rely on.
+pub fn cofactor_matrix(a: &CMat) -> CMat {
+    assert!(a.is_square(), "cofactor matrix of non-square matrix");
+    let n = a.rows();
+    CMat::from_fn(n, n, |r, c| cofactor(a, r, c))
+}
+
+/// Adjugate `adj(A) = Cᵀ` (classical adjoint).
+pub fn adjugate(a: &CMat) -> CMat {
+    cofactor_matrix(a).transpose()
+}
+
+/// Gradient of `det A` with respect to the matrix entries:
+/// `∂ det A / ∂ A_{r,c} = C_{r,c}`, returned as the full cofactor matrix.
+///
+/// This is the quantity the Pieri homotopy evaluator contracts against
+/// `∂A/∂x_k` (sparse: each unknown touches exactly one entry) and against
+/// `∂A/∂t` (dense in the moving column block).
+pub fn det_gradient(a: &CMat) -> CMat {
+    cofactor_matrix(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu;
+    use pieri_num::{random_complex, seeded_rng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn det_via_minors_matches_lu() {
+        let mut rng = seeded_rng(20);
+        for n in 1..=6 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let d1 = det_via_minors(&a);
+            let d2 = lu::det(&a);
+            assert!(d1.dist(d2) < 1e-9 * (1.0 + d1.norm()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn adjugate_identity_nonsingular() {
+        let mut rng = seeded_rng(21);
+        for n in 2..=6 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let adj = adjugate(&a);
+            let d = lu::det(&a);
+            let prod = &a * &adj;
+            let target = CMat::identity(n).scale(d);
+            let err = (&prod - &target).fro_norm();
+            assert!(err < 1e-8 * (1.0 + d.norm()), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn adjugate_identity_holds_for_singular_matrices() {
+        // Rank n−1 matrix: adj(A) is the rank-1 matrix spanning the null
+        // space; A·adj(A) must be exactly det(A)·I = 0.
+        let a = CMat::from_rows(&[
+            vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)],
+            vec![c(4.0, 0.0), c(5.0, 0.0), c(6.0, 0.0)],
+            vec![c(5.0, 0.0), c(7.0, 0.0), c(9.0, 0.0)], // row0 + row1
+        ]);
+        let adj = adjugate(&a);
+        assert!(adj.fro_norm() > 1e-12, "adjugate of rank n−1 matrix is nonzero");
+        let prod = &a * &adj;
+        assert!(prod.fro_norm() < 1e-10, "A·adj(A) = 0 for singular A");
+    }
+
+    #[test]
+    fn cofactor_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(22);
+        let a = CMat::random(5, 5, &mut rng, random_complex);
+        let grad = det_gradient(&a);
+        let d0 = det_via_minors(&a);
+        let h = 1e-7;
+        for r in 0..5 {
+            for cidx in 0..5 {
+                let mut ap = a.clone();
+                ap[(r, cidx)] += Complex64::real(h);
+                let d1 = det_via_minors(&ap);
+                let fd = (d1 - d0) / h;
+                assert!(
+                    fd.dist(grad[(r, cidx)]) < 1e-5 * (1.0 + grad[(r, cidx)].norm()),
+                    "entry ({r},{cidx}): fd={fd:?} grad={:?}",
+                    grad[(r, cidx)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjugate_of_2x2_closed_form() {
+        let a = CMat::from_rows(&[
+            vec![c(1.0, 1.0), c(2.0, 0.0)],
+            vec![c(0.0, 3.0), c(4.0, -1.0)],
+        ]);
+        let adj = adjugate(&a);
+        assert!(adj[(0, 0)].dist(a[(1, 1)]) < 1e-14);
+        assert!(adj[(0, 1)].dist(-a[(0, 1)]) < 1e-14);
+        assert!(adj[(1, 0)].dist(-a[(1, 0)]) < 1e-14);
+        assert!(adj[(1, 1)].dist(a[(0, 0)]) < 1e-14);
+    }
+
+    #[test]
+    fn empty_and_1x1_edge_cases() {
+        assert_eq!(det_via_minors(&CMat::zeros(0, 0)), Complex64::ONE);
+        let a = CMat::from_rows(&[vec![c(7.0, -2.0)]]);
+        assert_eq!(det_via_minors(&a), c(7.0, -2.0));
+        // adj of 1x1 is [1] (empty minor has det 1).
+        assert_eq!(adjugate(&a)[(0, 0)], Complex64::ONE);
+    }
+}

@@ -1,0 +1,374 @@
+//! Complex eigenvalues via Hessenberg reduction and the shifted QR
+//! iteration.
+//!
+//! The control layer uses this to *verify* pole placement: assemble the
+//! closed-loop state matrix from plant + computed compensator and check
+//! that its spectrum matches the prescribed poles. PHCpack delegates the
+//! equivalent check to its own eigenvalue code; we implement the standard
+//! explicit single-shift complex QR algorithm with Wilkinson shifts, which
+//! is entirely adequate for the small (≤ a few dozen states) systems in
+//! the paper's experiments.
+
+use crate::matrix::CMat;
+use pieri_num::Complex64;
+
+/// Failure of the QR iteration to deflate within the iteration budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EigError {
+    /// Index of the eigenvalue block that failed to converge.
+    pub stuck_at: usize,
+}
+
+impl std::fmt::Display for EigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QR iteration failed to converge (block {})", self.stuck_at)
+    }
+}
+
+impl std::error::Error for EigError {}
+
+/// Reduces `A` to upper Hessenberg form by unitary similarity
+/// (Householder reflectors). Eigenvalues are preserved.
+///
+/// # Panics
+/// Panics for non-square input.
+pub fn hessenberg(a: &CMat) -> CMat {
+    assert!(a.is_square(), "hessenberg of non-square matrix");
+    let n = a.rows();
+    let mut h = a.clone();
+    if n < 3 {
+        return h;
+    }
+    for k in 0..n - 2 {
+        // Annihilate column k below the first subdiagonal.
+        let mut xnorm_sq = 0.0;
+        for i in k + 1..n {
+            xnorm_sq += h[(i, k)].norm_sqr();
+        }
+        let xnorm = xnorm_sq.sqrt();
+        if xnorm == 0.0 {
+            continue;
+        }
+        let x0 = h[(k + 1, k)];
+        let phase = if x0.norm() == 0.0 { Complex64::ONE } else { x0 / x0.norm() };
+        let alpha = -phase.scale(xnorm);
+        let mut v = vec![Complex64::ZERO; n - k - 1];
+        for i in k + 1..n {
+            v[i - k - 1] = h[(i, k)];
+        }
+        v[0] -= alpha;
+        let vnorm_sq: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sq == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sq;
+
+        // H ← P·H with P = I − β v vᴴ acting on rows k+1.. .
+        for j in k..n {
+            let mut s = Complex64::ZERO;
+            for i in k + 1..n {
+                s += v[i - k - 1].conj() * h[(i, j)];
+            }
+            s = s.scale(beta);
+            for i in k + 1..n {
+                let vi = v[i - k - 1];
+                h[(i, j)] -= vi * s;
+            }
+        }
+        // H ← H·P acting on columns k+1.. .
+        for i in 0..n {
+            let mut s = Complex64::ZERO;
+            for j in k + 1..n {
+                s += h[(i, j)] * v[j - k - 1];
+            }
+            s = s.scale(beta);
+            for j in k + 1..n {
+                let vj = v[j - k - 1].conj();
+                h[(i, j)] -= s * vj;
+            }
+        }
+        // Zero out the annihilated entries explicitly.
+        h[(k + 1, k)] = alpha;
+        for i in k + 2..n {
+            h[(i, k)] = Complex64::ZERO;
+        }
+    }
+    h
+}
+
+/// Eigenvalues of the 2×2 block `[[a, b], [c, d]]` via the quadratic
+/// formula; returns `(λ₁, λ₂)`.
+fn eig2(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> (Complex64, Complex64) {
+    let half_tr = (a + d).scale(0.5);
+    let det = a * d - b * c;
+    let disc = (half_tr * half_tr - det).sqrt();
+    (half_tr + disc, half_tr - disc)
+}
+
+/// All `n` eigenvalues of a complex square matrix, unordered.
+///
+/// Uses Hessenberg reduction, then the explicit single-shift QR iteration
+/// with Wilkinson shifts (plus exceptional shifts to break cycles).
+pub fn eigenvalues(a: &CMat) -> Result<Vec<Complex64>, EigError> {
+    assert!(a.is_square(), "eigenvalues of non-square matrix");
+    let n = a.rows();
+    let mut h = hessenberg(a);
+    let mut eigs = Vec::with_capacity(n);
+    let mut hi = n; // active block is rows/cols [0, hi)
+    let mut iters_on_block = 0usize;
+    const MAX_ITERS_PER_EIG: usize = 120;
+
+    while hi > 0 {
+        if hi == 1 {
+            eigs.push(h[(0, 0)]);
+            break;
+        }
+        // Find deflation point: scan subdiagonal upward from hi−1.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let sub = h[(lo, lo - 1)].norm();
+            let scale = h[(lo - 1, lo - 1)].norm() + h[(lo, lo)].norm();
+            if sub <= f64::EPSILON * scale.max(f64::MIN_POSITIVE) {
+                h[(lo, lo - 1)] = Complex64::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+
+        if lo == hi - 1 {
+            // 1×1 block deflated.
+            eigs.push(h[(hi - 1, hi - 1)]);
+            hi -= 1;
+            iters_on_block = 0;
+            continue;
+        }
+        if lo == hi - 2 {
+            // 2×2 block deflated: closed form.
+            let (l1, l2) = eig2(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
+            eigs.push(l1);
+            eigs.push(l2);
+            hi -= 2;
+            iters_on_block = 0;
+            continue;
+        }
+
+        iters_on_block += 1;
+        if iters_on_block > MAX_ITERS_PER_EIG {
+            return Err(EigError { stuck_at: hi - 1 });
+        }
+
+        // Wilkinson shift from the trailing 2×2 of the active block, with an
+        // exceptional random-ish shift every 20 iterations to break cycles.
+        let shift = if iters_on_block.is_multiple_of(20) {
+            h[(hi - 1, hi - 2)].scale(1.5) + h[(hi - 1, hi - 1)]
+        } else {
+            let (l1, l2) = eig2(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
+            let d = h[(hi - 1, hi - 1)];
+            if (l1 - d).norm() <= (l2 - d).norm() { l1 } else { l2 }
+        };
+
+        qr_step(&mut h, lo, hi, shift);
+    }
+    Ok(eigs)
+}
+
+/// One explicit-shift QR step on the active Hessenberg block `[lo, hi)`:
+/// factor `H − σI = Q·R` with Givens rotations, then form `R·Q + σI`.
+fn qr_step(h: &mut CMat, lo: usize, hi: usize, sigma: Complex64) {
+    let m = hi - lo;
+    if m < 2 {
+        return;
+    }
+    // Shift the diagonal.
+    for i in lo..hi {
+        h[(i, i)] -= sigma;
+    }
+    // Forward sweep: Givens rotations zeroing the subdiagonal.
+    let mut rot: Vec<(Complex64, Complex64)> = Vec::with_capacity(m - 1);
+    for k in lo..hi - 1 {
+        let a = h[(k, k)];
+        let b = h[(k + 1, k)];
+        let r = (a.norm_sqr() + b.norm_sqr()).sqrt();
+        let (c, s) = if r == 0.0 {
+            (Complex64::ONE, Complex64::ZERO)
+        } else {
+            (a.conj().scale(1.0 / r), b.conj().scale(1.0 / r))
+        };
+        rot.push((c, s));
+        // Apply G = [[c, s], [−s̄, c̄]] to rows k, k+1 (columns k..hi).
+        for j in k..hi {
+            let x = h[(k, j)];
+            let y = h[(k + 1, j)];
+            h[(k, j)] = c * x + s * y;
+            h[(k + 1, j)] = -s.conj() * x + c.conj() * y;
+        }
+    }
+    // Backward sweep: multiply R by the adjoints on the right, R·Gᴴ.
+    for (idx, &(c, s)) in rot.iter().enumerate() {
+        let k = lo + idx;
+        // Apply Gᴴ to columns k, k+1 (rows lo..=k+1).
+        let top = hi.min(k + 2);
+        for i in lo..top {
+            let x = h[(i, k)];
+            let y = h[(i, k + 1)];
+            h[(i, k)] = x * c.conj() + y * s.conj();
+            h[(i, k + 1)] = -(x * s) + y * c;
+        }
+    }
+    // Unshift.
+    for i in lo..hi {
+        h[(i, i)] += sigma;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    /// Greedily matches two eigenvalue multisets; returns max pairing error.
+    fn multiset_dist(mut a: Vec<Complex64>, b: &[Complex64]) -> f64 {
+        let mut worst = 0.0f64;
+        for &bv in b {
+            let (idx, d) = a
+                .iter()
+                .enumerate()
+                .map(|(i, av)| (i, av.dist(bv)))
+                .min_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("non-empty");
+            worst = worst.max(d);
+            a.swap_remove(idx);
+        }
+        worst
+    }
+
+    #[test]
+    fn hessenberg_zeroes_below_subdiagonal_and_keeps_trace() {
+        let mut rng = seeded_rng(40);
+        let a = CMat::random(6, 6, &mut rng, random_complex);
+        let h = hessenberg(&a);
+        for i in 2..6 {
+            for j in 0..i - 1 {
+                assert!(h[(i, j)].norm() < 1e-12, "H[{i},{j}] = {:?}", h[(i, j)]);
+            }
+        }
+        assert!(h.trace().dist(a.trace()) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_of_diagonal() {
+        let d = CMat::from_fn(4, 4, |i, j| {
+            if i == j { c(i as f64, -(i as f64)) } else { Complex64::ZERO }
+        });
+        let eigs = eigenvalues(&d).unwrap();
+        let expect: Vec<Complex64> = (0..4).map(|i| c(i as f64, -(i as f64))).collect();
+        assert!(multiset_dist(eigs, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_of_triangular_read_off_diagonal() {
+        let mut rng = seeded_rng(41);
+        let mut t = CMat::random(5, 5, &mut rng, random_complex);
+        for i in 0..5 {
+            for j in 0..i {
+                t[(i, j)] = Complex64::ZERO;
+            }
+        }
+        let expect: Vec<Complex64> = (0..5).map(|i| t[(i, i)]).collect();
+        let eigs = eigenvalues(&t).unwrap();
+        assert!(multiset_dist(eigs, &expect) < 1e-8);
+    }
+
+    #[test]
+    fn companion_matrix_recovers_roots() {
+        // x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+        let a = CMat::from_rows(&[
+            vec![c(6.0, 0.0), c(-11.0, 0.0), c(6.0, 0.0)],
+            vec![c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0)],
+            vec![c(0.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)],
+        ]);
+        let eigs = eigenvalues(&a).unwrap();
+        let expect = vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)];
+        assert!(multiset_dist(eigs, &expect) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace_random() {
+        let mut rng = seeded_rng(42);
+        for n in 2..=10 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let eigs = eigenvalues(&a).unwrap();
+            assert_eq!(eigs.len(), n);
+            let sum: Complex64 = eigs.iter().copied().sum();
+            assert!(
+                sum.dist(a.trace()) < 1e-8 * (1.0 + a.trace().norm()),
+                "n={n}: Σλ={sum:?} tr={:?}",
+                a.trace()
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvalue_product_matches_determinant() {
+        let mut rng = seeded_rng(43);
+        let a = CMat::random(6, 6, &mut rng, random_complex);
+        let eigs = eigenvalues(&a).unwrap();
+        let prod: Complex64 = eigs.iter().copied().product();
+        let d = crate::lu::det(&a);
+        assert!(prod.dist(d) < 1e-7 * (1.0 + d.norm()));
+    }
+
+    #[test]
+    fn similarity_invariance() {
+        let mut rng = seeded_rng(44);
+        let a = CMat::random(5, 5, &mut rng, random_complex);
+        let s = CMat::random(5, 5, &mut rng, random_complex);
+        let sinv = crate::lu::Lu::factor(&s).unwrap().inverse();
+        let b = &(&s * &a) * &sinv;
+        let ea = eigenvalues(&a).unwrap();
+        let eb = eigenvalues(&b).unwrap();
+        assert!(multiset_dist(ea, &eb) < 1e-6);
+    }
+
+    #[test]
+    fn small_sizes() {
+        assert!(eigenvalues(&CMat::zeros(0, 0)).unwrap().is_empty());
+        let one = CMat::from_rows(&[vec![c(2.0, 3.0)]]);
+        assert_eq!(eigenvalues(&one).unwrap(), vec![c(2.0, 3.0)]);
+        let two = CMat::from_rows(&[
+            vec![c(0.0, 0.0), c(1.0, 0.0)],
+            vec![c(-1.0, 0.0), c(0.0, 0.0)],
+        ]);
+        let eigs = eigenvalues(&two).unwrap();
+        let expect = vec![Complex64::I, -Complex64::I];
+        assert!(multiset_dist(eigs, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn repeated_eigenvalues_jordan_block() {
+        // Jordan block with eigenvalue 2 (defective): QR must still deliver
+        // both eigenvalues near 2 (they split by ~sqrt(eps)).
+        let j = CMat::from_rows(&[
+            vec![c(2.0, 0.0), c(1.0, 0.0)],
+            vec![c(0.0, 0.0), c(2.0, 0.0)],
+        ]);
+        let eigs = eigenvalues(&j).unwrap();
+        for e in eigs {
+            assert!(e.dist(c(2.0, 0.0)) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! LU factorisation with partial pivoting.
+
+use crate::matrix::CMat;
+use pieri_num::Complex64;
+
+/// Failure modes of [`Lu::factor`] and its solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A pivot column was numerically zero: the matrix is singular to
+    /// working precision.
+    Singular {
+        /// Elimination step at which no acceptable pivot was found.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "LU factorisation requires a square matrix"),
+            LuError::Singular { step } => {
+                write!(f, "matrix is singular to working precision (step {step})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// Compact LU factorisation `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` (unit lower triangular) and `U` are packed into a single matrix;
+/// `perm` records row exchanges and `sign` the permutation parity, so the
+/// determinant comes out of [`Lu::det`] for free.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: CMat,
+    perm: Vec<usize>,
+    sign: f64,
+    /// Largest pivot modulus observed (for condition diagnostics).
+    max_pivot: f64,
+    /// Smallest pivot modulus observed.
+    min_pivot: f64,
+}
+
+impl Lu {
+    /// Factors `A`; fails on non-square or exactly/numerically singular input.
+    ///
+    /// Singularity is detected against a threshold scaled by the largest
+    /// entry of `A`, so the result does not depend on the overall scale of
+    /// the matrix.
+    pub fn factor(a: &CMat) -> Result<Lu, LuError> {
+        let n = a.rows();
+        if !a.is_square() {
+            return Err(LuError::NotSquare);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.max_norm().max(f64::MIN_POSITIVE);
+        let tol = scale * 1e-14 * n as f64;
+        let mut max_pivot: f64 = 0.0;
+        let mut min_pivot = f64::INFINITY;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest modulus in column k.
+            let mut best = k;
+            let mut best_norm = lu[(k, k)].norm();
+            for i in k + 1..n {
+                let v = lu[(i, k)].norm();
+                if v > best_norm {
+                    best = i;
+                    best_norm = v;
+                }
+            }
+            if best_norm <= tol {
+                return Err(LuError::Singular { step: k });
+            }
+            if best != k {
+                lu.swap_rows(k, best);
+                perm.swap(k, best);
+                sign = -sign;
+            }
+            max_pivot = max_pivot.max(best_norm);
+            min_pivot = min_pivot.min(best_norm);
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == Complex64::ZERO {
+                    continue;
+                }
+                for j in k + 1..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= m * u;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign, max_pivot, min_pivot })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> Complex64 {
+        let mut d = Complex64::real(self.sign);
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Ratio of largest to smallest pivot — a cheap (crude) growth-factor
+    /// proxy used by the tracker to notice ill-conditioned Jacobians.
+    pub fn pivot_ratio(&self) -> f64 {
+        if self.min_pivot == 0.0 {
+            f64::INFINITY
+        } else {
+            self.max_pivot / self.min_pivot
+        }
+    }
+
+    /// Solves `A·x = b`, overwriting and returning `x`.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<Complex64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_mat(&self, b: &CMat) -> CMat {
+        assert_eq!(b.rows(), self.dim(), "solve_mat: shape mismatch");
+        let mut out = CMat::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            out.set_col(j, &self.solve(&col));
+        }
+        out
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> CMat {
+        self.solve_mat(&CMat::identity(self.dim()))
+    }
+}
+
+/// Convenience: determinant of `A` via LU, returning zero for singular input.
+///
+/// Intersection-condition *residuals* use this form: at a solution the
+/// condition matrix is exactly singular and the residual is zero, which
+/// `Lu::factor`'s error path would otherwise obscure.
+pub fn det(a: &CMat) -> Complex64 {
+    match Lu::factor(a) {
+        Ok(lu) => lu.det(),
+        Err(LuError::Singular { .. }) => Complex64::ZERO,
+        Err(LuError::NotSquare) => panic!("det of non-square matrix"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng, unit_complex};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn solve_roundtrip_random() {
+        let mut rng = seeded_rng(10);
+        for n in 1..=8 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let x: Vec<Complex64> = (0..n).map(|_| random_complex(&mut rng)).collect();
+            let b = a.mul_vec(&x);
+            let lu = Lu::factor(&a).expect("generic matrix is nonsingular");
+            let xs = lu.solve(&b);
+            for i in 0..n {
+                assert!(xs[i].dist(x[i]) < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn det_of_identity_and_permutation() {
+        assert!(det(&CMat::identity(5)).dist(Complex64::ONE) < 1e-14);
+        // Swapping two rows of I flips the sign.
+        let mut p = CMat::identity(4);
+        p.swap_rows(0, 3);
+        assert!(det(&p).dist(Complex64::real(-1.0)) < 1e-14);
+    }
+
+    #[test]
+    fn det_of_diagonal() {
+        let d = CMat::from_fn(3, 3, |i, j| {
+            if i == j { c(i as f64 + 1.0, 1.0) } else { Complex64::ZERO }
+        });
+        let expect = c(1.0, 1.0) * c(2.0, 1.0) * c(3.0, 1.0);
+        assert!(det(&d).dist(expect) < 1e-12);
+    }
+
+    #[test]
+    fn det_is_multiplicative() {
+        let mut rng = seeded_rng(11);
+        let a = CMat::random(5, 5, &mut rng, random_complex);
+        let b = CMat::random(5, 5, &mut rng, random_complex);
+        let lhs = det(&(&a * &b));
+        let rhs = det(&a) * det(&b);
+        assert!(lhs.dist(rhs) < 1e-9 * (1.0 + rhs.norm()));
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        // Rank-1 matrix.
+        let a = CMat::from_fn(3, 3, |i, j| c((i + 1) as f64 * (j + 1) as f64, 0.0));
+        match Lu::factor(&a) {
+            Err(LuError::Singular { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+        assert_eq!(det(&a), Complex64::ZERO);
+    }
+
+    #[test]
+    fn not_square_is_an_error() {
+        assert_eq!(Lu::factor(&CMat::zeros(2, 3)).unwrap_err(), LuError::NotSquare);
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity() {
+        let mut rng = seeded_rng(12);
+        let a = CMat::random(6, 6, &mut rng, unit_complex);
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = &a * &inv;
+        let err = (&prod - &CMat::identity(6)).fro_norm();
+        assert!(err < 1e-9, "‖A·A⁻¹ − I‖ = {err}");
+    }
+
+    #[test]
+    fn solve_mat_matches_solve() {
+        let mut rng = seeded_rng(13);
+        let a = CMat::random(4, 4, &mut rng, random_complex);
+        let b = CMat::random(4, 2, &mut rng, random_complex);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_mat(&b);
+        for j in 0..2 {
+            let xj = lu.solve(&b.col(j));
+            for i in 0..4 {
+                assert!(x[(i, j)].dist(xj[i]) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_invariant_singularity_threshold() {
+        // A tiny but perfectly conditioned matrix must factor.
+        let a = CMat::identity(3).scale(c(1e-200, 0.0));
+        assert!(Lu::factor(&a).is_ok());
+    }
+}

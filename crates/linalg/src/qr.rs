@@ -1,0 +1,217 @@
+//! Householder QR factorisation.
+
+use crate::matrix::CMat;
+use pieri_num::Complex64;
+
+/// Householder QR factorisation `A = Q·R` of an `m × n` matrix with
+/// `m ≥ n`.
+///
+/// `Q` is `m × m` unitary and `R` is `m × n` upper triangular. Used for
+/// least-squares solves (path refinement in overdetermined verification
+/// systems) and for extracting orthonormal bases of planes when
+/// conditioning input data.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: CMat,
+    r: CMat,
+}
+
+impl Qr {
+    /// Factors `A` (requires `rows ≥ cols`).
+    ///
+    /// # Panics
+    /// Panics when `rows < cols`.
+    pub fn factor(a: &CMat) -> Qr {
+        let m = a.rows();
+        let n = a.cols();
+        assert!(m >= n, "QR requires rows ≥ cols");
+        let mut r = a.clone();
+        let mut q = CMat::identity(m);
+
+        for k in 0..n.min(m.saturating_sub(1)) {
+            // Build the Householder reflector for column k.
+            let mut xnorm_sq = 0.0;
+            for i in k..m {
+                xnorm_sq += r[(i, k)].norm_sqr();
+            }
+            let xnorm = xnorm_sq.sqrt();
+            if xnorm == 0.0 {
+                continue;
+            }
+            let x0 = r[(k, k)];
+            // alpha = -e^{i·arg(x0)}·‖x‖ avoids cancellation.
+            let phase = if x0.norm() == 0.0 {
+                Complex64::ONE
+            } else {
+                x0 / x0.norm()
+            };
+            let alpha = -phase.scale(xnorm);
+            // v = x − α·e₁ , H = I − 2 v vᴴ / ‖v‖².
+            let mut v = vec![Complex64::ZERO; m - k];
+            for i in k..m {
+                v[i - k] = r[(i, k)];
+            }
+            v[0] -= alpha;
+            let vnorm_sq: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+            if vnorm_sq == 0.0 {
+                continue;
+            }
+            let beta = 2.0 / vnorm_sq;
+
+            // R ← H·R (only columns k.. change).
+            for j in k..n {
+                let mut s = Complex64::ZERO;
+                for i in k..m {
+                    s += v[i - k].conj() * r[(i, j)];
+                }
+                s = s.scale(beta);
+                for i in k..m {
+                    let vi = v[i - k];
+                    r[(i, j)] -= vi * s;
+                }
+            }
+            // Q ← Q·H (accumulate on the right; H is Hermitian).
+            for i in 0..m {
+                let mut s = Complex64::ZERO;
+                for j in k..m {
+                    s += q[(i, j)] * v[j - k];
+                }
+                s = s.scale(beta);
+                for j in k..m {
+                    let vj = v[j - k].conj();
+                    q[(i, j)] -= s * vj;
+                }
+            }
+            // Clean the annihilated entries explicitly.
+            r[(k, k)] = alpha;
+            for i in k + 1..m {
+                r[(i, k)] = Complex64::ZERO;
+            }
+        }
+        Qr { q, r }
+    }
+
+    /// The unitary factor `Q` (`m × m`).
+    pub fn q(&self) -> &CMat {
+        &self.q
+    }
+
+    /// The triangular factor `R` (`m × n`).
+    pub fn r(&self) -> &CMat {
+        &self.r
+    }
+
+    /// Least-squares solution of `min ‖A·x − b‖₂` via `R x = Qᴴ b`.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != rows`, or when `R` has a zero diagonal entry
+    /// (rank-deficient `A`).
+    pub fn solve_least_squares(&self, b: &[Complex64]) -> Vec<Complex64> {
+        let m = self.q.rows();
+        let n = self.r.cols();
+        assert_eq!(b.len(), m, "least squares: rhs length mismatch");
+        // y = Qᴴ·b
+        let mut y = vec![Complex64::ZERO; m];
+        for i in 0..m {
+            let mut acc = Complex64::ZERO;
+            for k in 0..m {
+                acc += self.q[(k, i)].conj() * b[k];
+            }
+            y[i] = acc;
+        }
+        // Back substitution on the top n×n block of R.
+        let mut x = vec![Complex64::ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            assert!(d.norm() > 0.0, "rank-deficient least-squares system");
+            x[i] = acc / d;
+        }
+        x
+    }
+
+    /// Orthonormal basis of the column span of the factored matrix: the
+    /// first `n` columns of `Q`.
+    pub fn thin_q(&self) -> CMat {
+        self.q.submatrix(0, 0, self.q.rows(), self.r.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+
+    #[test]
+    fn reconstruction_qr_equals_a() {
+        let mut rng = seeded_rng(30);
+        for &(m, n) in &[(3usize, 3usize), (5, 3), (6, 6), (7, 2)] {
+            let a = CMat::random(m, n, &mut rng, random_complex);
+            let qr = Qr::factor(&a);
+            let back = qr.q() * qr.r();
+            assert!((&back - &a).fro_norm() < 1e-10, "shape {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn q_is_unitary() {
+        let mut rng = seeded_rng(31);
+        let a = CMat::random(6, 4, &mut rng, random_complex);
+        let qr = Qr::factor(&a);
+        let qhq = &qr.q().conj_transpose() * qr.q();
+        assert!((&qhq - &CMat::identity(6)).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = seeded_rng(32);
+        let a = CMat::random(5, 5, &mut rng, random_complex);
+        let qr = Qr::factor(&a);
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(qr.r()[(i, j)].norm() < 1e-12, "R[{i},{j}] not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        let mut rng = seeded_rng(33);
+        let a = CMat::random(6, 3, &mut rng, random_complex);
+        let x: Vec<Complex64> = (0..3).map(|_| random_complex(&mut rng)).collect();
+        let b = a.mul_vec(&x);
+        let xs = Qr::factor(&a).solve_least_squares(&b);
+        for i in 0..3 {
+            assert!(xs[i].dist(x[i]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        let mut rng = seeded_rng(34);
+        let a = CMat::random(5, 2, &mut rng, random_complex);
+        let b: Vec<Complex64> = (0..5).map(|_| random_complex(&mut rng)).collect();
+        let x = Qr::factor(&a).solve_least_squares(&b);
+        let ax = a.mul_vec(&x);
+        let r: Vec<Complex64> = (0..5).map(|i| b[i] - ax[i]).collect();
+        // Residual ⟂ column span: Aᴴ r = 0.
+        let atr = a.conj_transpose().mul_vec(&r);
+        for v in atr {
+            assert!(v.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn thin_q_spans_columns() {
+        let mut rng = seeded_rng(35);
+        let a = CMat::random(6, 3, &mut rng, random_complex);
+        let qr = Qr::factor(&a);
+        let qt = qr.thin_q();
+        // Projector onto span(Q₁) must fix A: Q₁ Q₁ᴴ A = A.
+        let proj = &(&qt * &qt.conj_transpose()) * &a;
+        assert!((&proj - &a).fro_norm() < 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Complex vector helpers.
+//!
+//! Vectors are plain `Vec<Complex64>` / `&[Complex64]`; these free functions
+//! provide the handful of BLAS-1 style kernels the trackers need without
+//! introducing a wrapper type.
+
+use pieri_num::Complex64;
+
+/// Convenience alias used across the workspace for solution vectors.
+pub type CVec = Vec<Complex64>;
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[Complex64]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Max modulus `‖x‖∞`.
+pub fn inf_norm(x: &[Complex64]) -> f64 {
+    x.iter().map(|z| z.norm()).fold(0.0, f64::max)
+}
+
+/// Unconjugated dot product `Σ xᵢ yᵢ` (bilinear, as used in polynomial
+/// evaluation).
+pub fn dot(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(a, b)| *a * *b).sum()
+}
+
+/// Hermitian inner product `Σ conj(xᵢ) yᵢ`.
+pub fn dot_conj(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(a, b)| a.conj() * *b).sum()
+}
+
+/// `y ← y + a·x`.
+pub fn axpy(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * *xi;
+    }
+}
+
+/// `out ← x − y`.
+pub fn sub_into(x: &[Complex64], y: &[Complex64], out: &mut [Complex64]) {
+    debug_assert!(x.len() == y.len() && y.len() == out.len());
+    for i in 0..x.len() {
+        out[i] = x[i] - y[i];
+    }
+}
+
+/// `x ← k·x`.
+pub fn scale_in_place(x: &mut [Complex64], k: Complex64) {
+    for xi in x.iter_mut() {
+        *xi *= k;
+    }
+}
+
+/// Scales `x` to unit Euclidean norm; leaves the zero vector unchanged.
+pub fn normalize(x: &mut [Complex64]) {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale_in_place(x, Complex64::real(1.0 / n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+
+    #[test]
+    fn norms_on_unit_vectors() {
+        let e = vec![Complex64::ONE, Complex64::ZERO];
+        assert!((norm2(&e) - 1.0).abs() < 1e-15);
+        assert!((inf_norm(&e) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_is_bilinear_not_hermitian() {
+        let x = vec![Complex64::I];
+        assert!(dot(&x, &x).dist(Complex64::real(-1.0)) < 1e-15);
+        assert!(dot_conj(&x, &x).dist(Complex64::ONE) < 1e-15);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![Complex64::ONE, Complex64::I];
+        let mut y = vec![Complex64::ZERO, Complex64::ONE];
+        axpy(Complex64::real(2.0), &x, &mut y);
+        assert_eq!(y[0], Complex64::real(2.0));
+        assert_eq!(y[1], Complex64::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut rng = seeded_rng(9);
+        let mut x: Vec<Complex64> = (0..5).map(|_| random_complex(&mut rng)).collect();
+        normalize(&mut x);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+        let mut z = vec![Complex64::ZERO; 3];
+        normalize(&mut z);
+        assert!(z.iter().all(|v| *v == Complex64::ZERO));
+    }
+
+    #[test]
+    fn sub_into_subtracts() {
+        let x = vec![Complex64::real(3.0)];
+        let y = vec![Complex64::real(1.0)];
+        let mut out = vec![Complex64::ZERO];
+        sub_into(&x, &y, &mut out);
+        assert_eq!(out[0], Complex64::real(2.0));
+    }
+}

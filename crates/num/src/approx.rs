@@ -1,0 +1,93 @@
+//! Approximate comparison helpers shared by tests and verification code.
+
+use crate::complex::Complex64;
+
+/// Default absolute/relative tolerance used across the workspace when a
+/// caller does not specify one. Residual checks for solved systems use
+/// tighter, context-specific tolerances.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Mixed absolute/relative comparison of two reals:
+/// `|a−b| ≤ tol·max(1, |a|, |b|)`.
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * 1.0f64.max(a.abs()).max(b.abs())
+}
+
+/// [`approx_eq_tol`] with [`DEFAULT_TOL`].
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, DEFAULT_TOL)
+}
+
+/// Types comparable up to a numerical tolerance.
+pub trait ApproxEq {
+    /// True when `self` and `other` agree to within `tol` (mixed
+    /// absolute/relative, like [`approx_eq_tol`]).
+    fn approx_eq_tol(&self, other: &Self, tol: f64) -> bool;
+
+    /// [`ApproxEq::approx_eq_tol`] with [`DEFAULT_TOL`].
+    fn approx_eq(&self, other: &Self) -> bool {
+        self.approx_eq_tol(other, DEFAULT_TOL)
+    }
+}
+
+impl ApproxEq for f64 {
+    fn approx_eq_tol(&self, other: &Self, tol: f64) -> bool {
+        approx_eq_tol(*self, *other, tol)
+    }
+}
+
+impl ApproxEq for Complex64 {
+    fn approx_eq_tol(&self, other: &Self, tol: f64) -> bool {
+        self.dist(*other) <= tol * 1.0f64.max(self.norm()).max(other.norm())
+    }
+}
+
+impl<T: ApproxEq> ApproxEq for [T] {
+    fn approx_eq_tol(&self, other: &Self, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|(a, b)| a.approx_eq_tol(b, tol))
+    }
+}
+
+impl<T: ApproxEq> ApproxEq for Vec<T> {
+    fn approx_eq_tol(&self, other: &Self, tol: f64) -> bool {
+        self.as_slice().approx_eq_tol(other.as_slice(), tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_branch_near_zero() {
+        assert!(approx_eq(1e-12, 0.0));
+        assert!(!approx_eq(1e-6, 0.0));
+    }
+
+    #[test]
+    fn relative_branch_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+        assert!(!approx_eq(1e12, 1.0001e12));
+    }
+
+    #[test]
+    fn complex_approx() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(1.0 + 1e-12, 2.0 - 1e-12);
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&Complex64::new(1.1, 2.0)));
+    }
+
+    #[test]
+    fn slices_compare_elementwise_and_by_length() {
+        let a = vec![1.0, 2.0];
+        let b = vec![1.0, 2.0 + 1e-12];
+        let c = vec![1.0];
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&c));
+    }
+}

@@ -1,0 +1,411 @@
+//! Double-precision complex numbers.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// This is a from-scratch replacement for the complex type PHCpack obtains
+/// from Ada's `Generic_Complex_Numbers`; no external crate is used.
+///
+/// The type is `Copy` and 16 bytes, so it moves through the linear-algebra
+/// kernels without allocation. Division uses Smith's algorithm to avoid
+/// overflow for badly scaled operands, which matters once paths are tracked
+/// close to infinity.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a real number (zero imaginary part).
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus (Euclidean norm). Uses `hypot` for overflow safety.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse, using Smith's scaling to avoid overflow.
+    #[inline]
+    pub fn inv(self) -> Self {
+        Complex64::ONE / self
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex64::ZERO;
+        }
+        let r = self.norm();
+        // Branch on the sign of re for numerical stability.
+        if self.re >= 0.0 {
+            let t = (0.5 * (r + self.re)).sqrt();
+            Complex64::new(t, 0.5 * self.im / t)
+        } else {
+            let t = (0.5 * (r - self.re)).sqrt();
+            let sign = if self.im >= 0.0 { 1.0 } else { -1.0 };
+            Complex64::new(0.5 * self.im.abs() / t, sign * t)
+        }
+    }
+
+    /// Complex exponential `e^{re}·(cos im + i sin im)`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Integer power by repeated squaring; `z.powi(0) == 1` including `z == 0`.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex64::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex64::ONE;
+        let mut e = n as u32;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `|a - b|`, the modulus of the difference.
+    #[inline]
+    pub fn dist(self, other: Complex64) -> f64 {
+        (self - other).norm()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6e}{:+.6e}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(x: f64) -> Self {
+        Complex64::real(x)
+    }
+}
+
+impl From<i32> for Complex64 {
+    #[inline]
+    fn from(x: i32) -> Self {
+        Complex64::real(x as f64)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    /// Smith's algorithm: scale by the larger component of the divisor.
+    fn div(self, rhs: Complex64) -> Complex64 {
+        if rhs.re.abs() >= rhs.im.abs() {
+            if rhs.re == 0.0 && rhs.im == 0.0 {
+                return Complex64::new(self.re / 0.0, self.im / 0.0);
+            }
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + r * rhs.im;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.im + r * rhs.re;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, k: f64) -> Complex64 {
+        self.scale(k)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, k: f64) -> Complex64 {
+        Complex64::new(self.re / k, self.im / k)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, z: Complex64) -> Complex64 {
+        z.scale(self)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex64 {
+    fn product<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq_tol;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -1.0);
+        assert_eq!(a + b, c(4.0, 1.0));
+        assert_eq!(a - b, c(-2.0, 3.0));
+        assert_eq!(a * b, c(5.0, 5.0));
+        assert_eq!(-a, c(-1.0, -2.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c(1.5, -2.25);
+        let b = c(-0.5, 4.0);
+        let q = (a * b) / b;
+        assert!(approx_eq_tol(q.re, a.re, 1e-12) && approx_eq_tol(q.im, a.im, 1e-12));
+    }
+
+    #[test]
+    fn division_by_zero_is_nonfinite() {
+        let z = c(1.0, 1.0) / Complex64::ZERO;
+        assert!(!z.is_finite());
+    }
+
+    #[test]
+    fn smith_division_avoids_overflow() {
+        // Naive (a*c+b*d)/(c^2+d^2) overflows because c^2 = 1e400; Smith's
+        // algorithm stays finite.
+        let huge = c(1e200, 1e200);
+        let q = c(1e200, 0.0) / huge;
+        assert!(q.is_finite(), "naive division would overflow: {q:?}");
+        assert!((q.re - 0.5).abs() < 1e-12 && (q.im + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = c(3.0, 4.0);
+        assert_eq!(a.conj().conj(), a);
+        assert!((a * a.conj()).im.abs() < 1e-15);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let a = c(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < 1e-15);
+        assert!((a.norm_sqr() - 25.0).abs() < 1e-12);
+        assert!((Complex64::I.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c(4.0, 0.0), c(-4.0, 0.0), c(1.0, 1.0), c(-3.0, -7.0), c(0.0, 2.0)] {
+            let s = z.sqrt();
+            assert!((s * s).dist(z) < 1e-12 * (1.0 + z.norm()), "sqrt({z:?})={s:?}");
+        }
+        assert_eq!(Complex64::ZERO.sqrt(), Complex64::ZERO);
+    }
+
+    #[test]
+    fn sqrt_principal_branch() {
+        // Principal square root has non-negative real part.
+        for &z in &[c(-1.0, 0.5), c(-2.0, -0.5), c(5.0, -3.0)] {
+            assert!(z.sqrt().re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c(0.7, -0.3);
+        let mut acc = Complex64::ONE;
+        for k in 0..=8 {
+            assert!(z.powi(k).dist(acc) < 1e-12, "k={k}");
+            acc *= z;
+        }
+        // Negative exponents.
+        assert!(z.powi(-3).dist((z * z * z).inv()) < 1e-12);
+        // 0^0 == 1 by convention.
+        assert_eq!(Complex64::ZERO.powi(0), Complex64::ONE);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_on_unit_circle() {
+        let z = Complex64::new(0.0, 1.234).exp();
+        assert!((z.norm() - 1.0).abs() < 1e-14);
+        assert!((z.re - 1.234f64.cos()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn from_polar_roundtrip() {
+        let z = Complex64::from_polar(2.5, 0.9);
+        assert!((z.norm() - 2.5).abs() < 1e-14);
+        assert!((z.arg() - 0.9).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs = [c(1.0, 0.0), c(0.0, 1.0), c(2.0, 2.0)];
+        let s: Complex64 = xs.iter().copied().sum();
+        assert_eq!(s, c(3.0, 3.0));
+        let p: Complex64 = xs.iter().copied().product();
+        assert_eq!(p, c(0.0, 1.0) * c(2.0, 2.0));
+    }
+}

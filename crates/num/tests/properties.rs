@@ -1,0 +1,95 @@
+//! Property-based tests: approximate field axioms of `Complex64` and
+//! distributional properties of the random helpers.
+
+use pieri_num::{random_complex, seeded_rng, unit_complex, Complex64};
+use proptest::prelude::*;
+
+fn small_complex() -> impl Strategy<Value = Complex64> {
+    (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn nonzero_complex() -> impl Strategy<Value = Complex64> {
+    small_complex().prop_filter("nonzero", |z| z.norm() > 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_commutes_and_associates(a in small_complex(), b in small_complex(), c in small_complex()) {
+        prop_assert!((a + b).dist(b + a) < 1e-9);
+        let scale = 1.0 + a.norm() + b.norm() + c.norm();
+        prop_assert!(((a + b) + c).dist(a + (b + c)) < 1e-9 * scale);
+    }
+
+    #[test]
+    fn multiplication_commutes_and_associates(a in small_complex(), b in small_complex(), c in small_complex()) {
+        prop_assert!((a * b).dist(b * a) < 1e-9 * (1.0 + (a * b).norm()));
+        let scale = 1.0 + (a * b * c).norm();
+        prop_assert!(((a * b) * c).dist(a * (b * c)) < 1e-8 * scale);
+    }
+
+    #[test]
+    fn distributivity(a in small_complex(), b in small_complex(), c in small_complex()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!(lhs.dist(rhs) < 1e-8 * (1.0 + lhs.norm()));
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in nonzero_complex()) {
+        prop_assert!((a * a.inv()).dist(Complex64::ONE) < 1e-9);
+        prop_assert!((a / a).dist(Complex64::ONE) < 1e-9);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in small_complex(), b in nonzero_complex()) {
+        prop_assert!(((a * b) / b).dist(a) < 1e-8 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in small_complex(), b in small_complex()) {
+        let lhs = (a * b).norm();
+        let rhs = a.norm() * b.norm();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn triangle_inequality(a in small_complex(), b in small_complex()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn conjugation_is_a_ring_homomorphism(a in small_complex(), b in small_complex()) {
+        prop_assert!((a * b).conj().dist(a.conj() * b.conj()) < 1e-8 * (1.0 + (a*b).norm()));
+        prop_assert!((a + b).conj().dist(a.conj() + b.conj()) < 1e-9 * (1.0 + (a+b).norm()));
+    }
+
+    #[test]
+    fn sqrt_squares_back(a in small_complex()) {
+        let s = a.sqrt();
+        prop_assert!((s * s).dist(a) < 1e-8 * (1.0 + a.norm()));
+        prop_assert!(s.re >= -1e-12, "principal branch");
+    }
+
+    #[test]
+    fn powi_adds_exponents(a in nonzero_complex(), m in 0i32..6, n in 0i32..6) {
+        let lhs = a.powi(m + n);
+        let rhs = a.powi(m) * a.powi(n);
+        prop_assert!(lhs.dist(rhs) < 1e-7 * (1.0 + lhs.norm().max(rhs.norm())));
+    }
+
+    #[test]
+    fn unit_complex_is_unit(seed in 0u64..10_000) {
+        let mut rng = seeded_rng(seed);
+        let g = unit_complex(&mut rng);
+        prop_assert!((g.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_complex_in_box(seed in 0u64..10_000) {
+        let mut rng = seeded_rng(seed);
+        let z = random_complex(&mut rng);
+        prop_assert!(z.re.abs() <= 1.0 && z.im.abs() <= 1.0);
+    }
+}

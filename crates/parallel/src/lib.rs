@@ -1,0 +1,44 @@
+//! Parallel path tracking: static and dynamic load balancing, and the
+//! master/slave Pieri-tree scheduler of Fig. 6.
+//!
+//! The paper's MPI (C + Ada) implementation maps onto threads and
+//! channels: each *slave* is a worker thread, the *master* owns the job
+//! queue, and messages travel over `crossbeam` channels. The three
+//! schedulers:
+//!
+//! * [`track_paths_static`] — the static workload distribution of
+//!   Section II.A: paths are split into contiguous blocks, one per
+//!   worker, with no further communication (minimal overhead, but the
+//!   per-path cost variance lands unevenly);
+//! * [`track_paths_dynamic`] — the dynamic master/slave model: one job
+//!   per slave at a time, first-come-first-served;
+//! * [`solve_tree_parallel`] — the parallel Pieri homotopy of Fig. 6:
+//!   the master maintains the virtual tree, a queue of ready jobs (a job
+//!   is ready once the solution at its parent node is known), an idle
+//!   slave queue for reactivation, and the leaf-count termination
+//!   protocol;
+//! * [`track_paths_rayon`] — a work-stealing baseline on Rayon, as an
+//!   ablation against the hand-rolled schedulers (which are the object of
+//!   study and therefore stay hand-rolled);
+//! * [`solve_by_levels_parallel`] — the poset (level-synchronous)
+//!   organisation with a barrier per rank, instrumented for the memory
+//!   and idle-time comparison of Section III.C.
+//!
+//! Every scheduler returns a [`ParallelReport`] with per-worker busy
+//! times and message counts, the observables behind Tables I/II of the
+//! paper. Wall-clock *speedups* at cluster scale are produced by the
+//! discrete-event simulator in `pieri-sim`, fed with the per-job costs
+//! measured here (the build machine has a single core; see DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod levels;
+mod paths;
+mod report;
+mod tree;
+
+pub use levels::{solve_by_levels_parallel, LevelRunStats};
+pub use paths::{track_paths_dynamic, track_paths_rayon, track_paths_static};
+pub use report::{ParallelReport, WorkerStats};
+pub use tree::{solve_tree_parallel, TreeRunStats};

@@ -1,0 +1,271 @@
+//! Parallel tracking of independent solution paths (Section II).
+
+use crate::report::{ParallelReport, WorkerStats};
+use crossbeam::channel;
+use pieri_num::Complex64;
+use pieri_tracker::{track_path, Homotopy, PathResult, TrackSettings};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Static workload distribution: the `starts` are split into `workers`
+/// contiguous blocks up front, one thread per block, no communication
+/// until the join. Results are returned in input order.
+///
+/// # Panics
+/// Panics when `workers == 0`.
+pub fn track_paths_static<H: Homotopy>(
+    h: &H,
+    starts: &[Vec<Complex64>],
+    settings: &TrackSettings,
+    workers: usize,
+) -> (Vec<PathResult>, ParallelReport) {
+    assert!(workers >= 1, "need at least one worker");
+    let t0 = Instant::now();
+    let n = starts.len();
+    let chunk = n.div_ceil(workers.max(1));
+    let mut results: Vec<Option<PathResult>> = (0..n).map(|_| None).collect();
+    let mut stats = vec![WorkerStats::default(); workers];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, block) in starts.chunks(chunk.max(1)).enumerate() {
+            let offset = w * chunk.max(1);
+            handles.push((
+                w,
+                offset,
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let out: Vec<PathResult> =
+                        block.iter().map(|s| track_path(h, s, settings)).collect();
+                    (out, t.elapsed())
+                }),
+            ));
+        }
+        for (w, offset, handle) in handles {
+            let (block_results, busy) = handle.join().expect("worker panicked");
+            stats[w].jobs = block_results.len();
+            stats[w].busy = busy;
+            for (i, r) in block_results.into_iter().enumerate() {
+                results[offset + i] = Some(r);
+            }
+        }
+    });
+
+    let report = ParallelReport {
+        workers: stats,
+        wall: t0.elapsed(),
+        messages: 0,
+        peak_queue: 0,
+    };
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every path tracked"))
+        .collect();
+    (results, report)
+}
+
+/// Dynamic master/slave distribution with first-come-first-served
+/// assignment: each slave holds one job at a time; the master hands out
+/// the next start solution whenever a result comes back.
+///
+/// # Panics
+/// Panics when `workers == 0`.
+pub fn track_paths_dynamic<H: Homotopy>(
+    h: &H,
+    starts: &[Vec<Complex64>],
+    settings: &TrackSettings,
+    workers: usize,
+) -> (Vec<PathResult>, ParallelReport) {
+    assert!(workers >= 1, "need at least one worker");
+    let t0 = Instant::now();
+    let n = starts.len();
+    let mut results: Vec<Option<PathResult>> = (0..n).map(|_| None).collect();
+    let mut stats = vec![WorkerStats::default(); workers];
+    let mut messages = 0usize;
+
+    // Job = index into `starts`; result = (worker, index, PathResult, busy).
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    let (res_tx, res_rx) =
+        channel::unbounded::<(usize, usize, PathResult, std::time::Duration)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                // Slave: busy-wait on the job channel until it closes.
+                while let Ok(idx) = job_rx.recv() {
+                    let t = Instant::now();
+                    let r = track_path(h, &starts[idx], settings);
+                    if res_tx.send((w, idx, r, t.elapsed())).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        // Master: seed one job per slave, then first-come-first-served.
+        let mut next = 0usize;
+        let mut outstanding = 0usize;
+        for _ in 0..workers.min(n) {
+            job_tx.send(next).expect("workers alive");
+            messages += 1;
+            next += 1;
+            outstanding += 1;
+        }
+        while outstanding > 0 {
+            let (w, idx, r, busy) = res_rx.recv().expect("workers alive");
+            messages += 1;
+            stats[w].jobs += 1;
+            stats[w].busy += busy;
+            results[idx] = Some(r);
+            outstanding -= 1;
+            if next < n {
+                job_tx.send(next).expect("workers alive");
+                messages += 1;
+                next += 1;
+                outstanding += 1;
+            }
+        }
+        // Closing the channel terminates the slaves' waiting loops.
+        drop(job_tx);
+    });
+
+    let report = ParallelReport {
+        workers: stats,
+        wall: t0.elapsed(),
+        messages,
+        peak_queue: 0,
+    };
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every path tracked"))
+        .collect();
+    (results, report)
+}
+
+/// Work-stealing baseline on the Rayon thread pool (ablation: the guides'
+/// idiomatic data-parallel formulation versus the paper's explicit
+/// master/slave protocol).
+pub fn track_paths_rayon<H: Homotopy>(
+    h: &H,
+    starts: &[Vec<Complex64>],
+    settings: &TrackSettings,
+) -> Vec<PathResult> {
+    starts
+        .par_iter()
+        .map(|s| track_path(h, s, settings))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_gamma, seeded_rng, Complex64};
+    use pieri_poly::{Poly, PolySystem};
+    use pieri_tracker::PathStatus;
+
+    /// x^d − 1 → random degree-d target; returns (homotopy, starts, d).
+    fn setup(d: usize, seed: u64) -> (pieri_tracker::LinearHomotopy, Vec<Vec<Complex64>>) {
+        let mut rng = seeded_rng(seed);
+        let x = Poly::var(1, 0);
+        let mut start_p = x.pow(d as u32);
+        start_p = start_p.sub(&Poly::constant(1, Complex64::ONE));
+        let roots: Vec<Complex64> = (0..d)
+            .map(|_| pieri_num::random_complex(&mut rng))
+            .collect();
+        let target_uni = pieri_poly::UniPoly::from_roots(&roots);
+        let mut target_p = Poly::zero(1);
+        for (k, &c) in target_uni.coeffs().iter().enumerate() {
+            target_p = target_p.add(&x.pow(k as u32).scale(c));
+        }
+        let g = PolySystem::new(vec![start_p]);
+        let f = PolySystem::new(vec![target_p]);
+        let h = pieri_tracker::LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let starts = (0..d)
+            .map(|k| {
+                vec![Complex64::from_polar(
+                    1.0,
+                    std::f64::consts::TAU * k as f64 / d as f64,
+                )]
+            })
+            .collect();
+        (h, starts)
+    }
+
+    fn endpoints_sorted(results: &[PathResult]) -> Vec<Complex64> {
+        let mut xs: Vec<Complex64> = results.iter().map(|r| r.x[0]).collect();
+        xs.sort_by(|a, b| a.re.total_cmp(&b.re).then(a.im.total_cmp(&b.im)));
+        xs
+    }
+
+    #[test]
+    fn static_and_dynamic_match_sequential() {
+        let (h, starts) = setup(8, 700);
+        let settings = TrackSettings::default();
+        let (seq, _) = pieri_tracker::track_all(&h, &starts, &settings);
+        let (sta, rep_s) = track_paths_static(&h, &starts, &settings, 3);
+        let (dyn_, rep_d) = track_paths_dynamic(&h, &starts, &settings, 3);
+        assert!(seq.iter().all(|r| r.status == PathStatus::Converged));
+        let e0 = endpoints_sorted(&seq);
+        let e1 = endpoints_sorted(&sta);
+        let e2 = endpoints_sorted(&dyn_);
+        for i in 0..e0.len() {
+            assert!(e0[i].dist(e1[i]) < 1e-8, "static endpoint {i}");
+            assert!(e0[i].dist(e2[i]) < 1e-8, "dynamic endpoint {i}");
+        }
+        // Accounting.
+        assert_eq!(rep_s.workers.iter().map(|w| w.jobs).sum::<usize>(), 8);
+        assert_eq!(rep_d.workers.iter().map(|w| w.jobs).sum::<usize>(), 8);
+        // Dynamic: 8 job sends + 8 results.
+        assert_eq!(rep_d.messages, 16);
+    }
+
+    #[test]
+    fn rayon_matches_sequential() {
+        let (h, starts) = setup(6, 701);
+        let settings = TrackSettings::default();
+        let (seq, _) = pieri_tracker::track_all(&h, &starts, &settings);
+        let par = track_paths_rayon(&h, &starts, &settings);
+        let e0 = endpoints_sorted(&seq);
+        let e1 = endpoints_sorted(&par);
+        for i in 0..e0.len() {
+            assert!(e0[i].dist(e1[i]) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let (h, starts) = setup(3, 702);
+        let settings = TrackSettings::default();
+        let (r1, _) = track_paths_static(&h, &starts, &settings, 8);
+        let (r2, _) = track_paths_dynamic(&h, &starts, &settings, 8);
+        assert_eq!(r1.len(), 3);
+        assert_eq!(r2.len(), 3);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let (h, starts) = setup(5, 703);
+        let settings = TrackSettings::default();
+        let (seq, _) = pieri_tracker::track_all(&h, &starts, &settings);
+        let (one, rep) = track_paths_dynamic(&h, &starts, &settings, 1);
+        assert_eq!(rep.workers.len(), 1);
+        assert_eq!(rep.workers[0].jobs, 5);
+        let e0 = endpoints_sorted(&seq);
+        let e1 = endpoints_sorted(&one);
+        for i in 0..5 {
+            assert!(e0[i].dist(e1[i]) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_start_list() {
+        let (h, _) = setup(2, 704);
+        let settings = TrackSettings::default();
+        let (r, rep) = track_paths_dynamic(&h, &[], &settings, 2);
+        assert!(r.is_empty());
+        assert_eq!(rep.messages, 0);
+    }
+}

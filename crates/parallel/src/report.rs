@@ -1,0 +1,91 @@
+//! Instrumentation shared by the schedulers.
+
+use std::time::Duration;
+
+/// Per-worker accounting.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Jobs completed by this worker.
+    pub jobs: usize,
+    /// Time spent computing (sum of job durations).
+    pub busy: Duration,
+}
+
+/// What a scheduler reports besides the computational results.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelReport {
+    /// Per-worker statistics.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Messages exchanged with the master (jobs sent + results returned);
+    /// zero for the static scheduler, which communicates only at start
+    /// and end.
+    pub messages: usize,
+    /// Largest number of jobs ever waiting in the master's queue
+    /// (the memory footprint argument of Section III.C).
+    pub peak_queue: usize,
+}
+
+impl ParallelReport {
+    /// Total busy time across workers (the sequential-equivalent cost).
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Ratio of the most-loaded to least-loaded worker busy time — the
+    /// imbalance measure that separates static from dynamic scheduling in
+    /// the paper's discussion.
+    pub fn imbalance(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for w in &self.workers {
+            let b = w.busy.as_secs_f64();
+            lo = lo.min(b);
+            hi = hi.max(b);
+        }
+        if lo <= 0.0 {
+            f64::INFINITY
+        } else {
+            hi / lo
+        }
+    }
+
+    /// Parallel efficiency estimate: total busy time over
+    /// `workers × wall`.
+    pub fn efficiency(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 || self.workers.is_empty() {
+            return 0.0;
+        }
+        self.total_busy().as_secs_f64() / (self.workers.len() as f64 * wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_imbalance() {
+        let r = ParallelReport {
+            workers: vec![
+                WorkerStats { jobs: 3, busy: Duration::from_millis(30) },
+                WorkerStats { jobs: 1, busy: Duration::from_millis(10) },
+            ],
+            wall: Duration::from_millis(25),
+            messages: 8,
+            peak_queue: 4,
+        };
+        assert_eq!(r.total_busy(), Duration::from_millis(40));
+        assert!((r.imbalance() - 3.0).abs() < 1e-12);
+        assert!((r.efficiency() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_reports() {
+        let r = ParallelReport::default();
+        assert_eq!(r.total_busy(), Duration::ZERO);
+        assert_eq!(r.efficiency(), 0.0);
+    }
+}

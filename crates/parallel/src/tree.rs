@@ -1,0 +1,285 @@
+//! The parallel Pieri homotopy of Fig. 6: master/slave over the virtual
+//! tree.
+//!
+//! The master maintains (i) the job queue — a job is one tree edge, ready
+//! as soon as the solution at its parent node has been computed; (ii) the
+//! idle-slave queue — slaves that returned a result while the queue was
+//! empty wait there and are *reactivated* when new jobs appear (without
+//! this, a slave that happens to return a leaf early would sit out the
+//! rest of the run, the unbalanced scenario Section III.D warns about);
+//! and (iii) the termination protocol — the run ends when no job is
+//! queued or in flight, at which point the master closes the channels and
+//! the slaves' waiting loops end.
+//!
+//! Start solutions travel inside the job messages, so a node's solution
+//! lives only until its successor jobs have been generated — the memory
+//! frugality of trees over posets that Section III.C describes. The
+//! master records the peak queue length to make that argument measurable.
+
+use crate::report::{ParallelReport, WorkerStats};
+use crossbeam::channel;
+use pieri_core::{JobRecord, Pattern, PieriProblem, PieriSolution, PMap, Poset};
+use pieri_num::Complex64;
+use pieri_tracker::TrackSettings;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One unit of work: track the path extending `child`'s solution to
+/// `pattern` (a tree edge).
+struct Job {
+    pattern: Pattern,
+    child: Pattern,
+    start: Vec<Complex64>,
+}
+
+/// Extra observables of a tree-parallel run.
+#[derive(Debug, Clone, Default)]
+pub struct TreeRunStats {
+    /// Scheduler-level accounting.
+    pub report: ParallelReport,
+    /// Times a slave was parked on the idle queue because the job queue
+    /// was empty while work was still in flight.
+    pub idle_parks: usize,
+    /// Times a parked slave was reactivated with a new job.
+    pub reactivations: usize,
+}
+
+/// Solves a Pieri problem with the master/slave tree scheduler of Fig. 6.
+///
+/// Produces the same solution set as [`pieri_core::solve`] (same gamma,
+/// same homotopies, same endpoints up to tracking tolerance) — the
+/// integration tests cross-check this — while exposing the parallel
+/// observables of the paper.
+///
+/// # Panics
+/// Panics when `workers == 0`.
+pub fn solve_tree_parallel(
+    problem: &PieriProblem,
+    settings: &TrackSettings,
+    workers: usize,
+) -> (PieriSolution, TreeRunStats) {
+    assert!(workers >= 1, "need at least one worker");
+    let t0 = Instant::now();
+    let shape = problem.shape();
+    let poset = Poset::build(shape);
+    let n = shape.conditions();
+    let trivial = shape.trivial();
+
+    let mut stats = vec![WorkerStats::default(); workers];
+    let mut messages = 0usize;
+    let mut peak_queue = 0usize;
+    let mut idle_parks = 0usize;
+    let mut reactivations = 0usize;
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut failures = 0usize;
+    let mut root_coeffs: Vec<Vec<Complex64>> = Vec::new();
+
+    // Direct channel to each slave (an MPI send to a rank) plus a shared
+    // result channel back to the master.
+    let mut job_txs = Vec::with_capacity(workers);
+    let mut job_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = channel::unbounded::<Job>();
+        job_txs.push(tx);
+        job_rxs.push(rx);
+    }
+    type ResultMsg = (
+        usize,
+        Pattern,
+        Option<Vec<Complex64>>,
+        JobRecord,
+        std::time::Duration,
+    );
+    let (res_tx, res_rx) = channel::unbounded::<ResultMsg>();
+
+    std::thread::scope(|scope| {
+        for (w, job_rx) in job_rxs.into_iter().enumerate() {
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let t = Instant::now();
+                    let (sol, record) = pieri_core::run_job(
+                        problem,
+                        &job.pattern,
+                        &job.child,
+                        &job.start,
+                        settings,
+                    );
+                    if res_tx
+                        .send((w, job.pattern, sol, record, t.elapsed()))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        // Seed the queue with the level-1 jobs (children of the trivial
+        // pattern's solutions — the empty coefficient vector).
+        let mut queue: VecDeque<Job> = poset
+            .parents_in_poset(&trivial)
+            .into_iter()
+            .map(|pattern| Job { pattern, child: trivial.clone(), start: Vec::new() })
+            .collect();
+        let mut idle: VecDeque<usize> = (0..workers).collect();
+        let mut in_flight = 0usize;
+
+        // Dispatch helper state is inline to keep borrows simple.
+        loop {
+            // Hand out jobs to idle slaves, reactivating parked ones.
+            while let (Some(&w), false) = (idle.front(), queue.is_empty()) {
+                let job = queue.pop_front().expect("checked non-empty");
+                idle.pop_front();
+                if stats[w].jobs > 0 {
+                    reactivations += 1;
+                }
+                job_txs[w].send(job).expect("slave alive");
+                messages += 1;
+                in_flight += 1;
+            }
+            peak_queue = peak_queue.max(queue.len());
+            if in_flight == 0 {
+                break; // queue empty and nothing in flight: done.
+            }
+            // Wait for a result.
+            let (w, pattern, sol, record, busy) = res_rx.recv().expect("slaves alive");
+            messages += 1;
+            in_flight -= 1;
+            stats[w].jobs += 1;
+            stats[w].busy += busy;
+            let level = record.level;
+            records.push(record);
+            match sol {
+                Some(x) => {
+                    if level == n {
+                        root_coeffs.push(x);
+                    } else {
+                        for parent in poset.parents_in_poset(&pattern) {
+                            queue.push_back(Job {
+                                pattern: parent,
+                                child: pattern.clone(),
+                                start: x.clone(),
+                            });
+                        }
+                    }
+                }
+                None => failures += 1,
+            }
+            if queue.is_empty() && in_flight > 0 {
+                idle_parks += 1;
+            }
+            idle.push_back(w);
+        }
+        // Termination: closing the job channels ends the slaves' loops.
+        drop(job_txs);
+    });
+
+    let root = shape.root();
+    let maps: Vec<PMap> = root_coeffs
+        .iter()
+        .map(|x| PMap::from_coeffs(&root, x))
+        .collect();
+    let solution = PieriSolution { maps, coeffs: root_coeffs, records, failures };
+    let stats = TreeRunStats {
+        report: ParallelReport {
+            workers: stats,
+            wall: t0.elapsed(),
+            messages,
+            peak_queue,
+        },
+        idle_parks,
+        reactivations,
+    };
+    (solution, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_core::Shape;
+    use pieri_num::seeded_rng;
+
+    /// Multiset match of solution coefficient vectors.
+    fn solutions_match(a: &PieriSolution, b: &PieriSolution, tol: f64) -> bool {
+        if a.maps.len() != b.maps.len() {
+            return false;
+        }
+        let mut unmatched: Vec<&PMap> = b.maps.iter().collect();
+        for m in &a.maps {
+            let Some(pos) = unmatched.iter().position(|u| m.dist(u) < tol) else {
+                return false;
+            };
+            unmatched.swap_remove(pos);
+        }
+        true
+    }
+
+    #[test]
+    fn matches_sequential_2_2_0() {
+        let mut rng = seeded_rng(720);
+        let problem = PieriProblem::random(Shape::new(2, 2, 0), &mut rng);
+        let seq = pieri_core::solve(&problem);
+        let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 3);
+        assert_eq!(par.failures, 0);
+        assert!(solutions_match(&seq, &par, 1e-6));
+        assert_eq!(
+            stats.report.workers.iter().map(|w| w.jobs).sum::<usize>(),
+            seq.records.len()
+        );
+    }
+
+    #[test]
+    fn matches_sequential_2_2_1() {
+        let mut rng = seeded_rng(721);
+        let problem = PieriProblem::random(Shape::new(2, 2, 1), &mut rng);
+        let seq = pieri_core::solve(&problem);
+        assert_eq!(seq.maps.len(), 8);
+        let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 4);
+        assert!(solutions_match(&seq, &par, 1e-6), "8 dynamic feedback laws agree");
+        // 37 jobs (Fig 4/5), each one send + one result, plus messages.
+        assert_eq!(stats.report.messages, 2 * 37);
+    }
+
+    #[test]
+    fn single_worker_tree_run() {
+        let mut rng = seeded_rng(722);
+        let problem = PieriProblem::random(Shape::new(3, 2, 0), &mut rng);
+        let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 1);
+        assert_eq!(par.maps.len(), 5);
+        assert_eq!(stats.report.workers.len(), 1);
+        assert_eq!(stats.report.workers[0].jobs, par.records.len());
+    }
+
+    #[test]
+    fn job_levels_respect_dependencies() {
+        // A job at level k can only be recorded after some job at level
+        // k−1 (its parent) — check the record order respects this.
+        let mut rng = seeded_rng(723);
+        let problem = PieriProblem::random(Shape::new(2, 2, 1), &mut rng);
+        let (par, _) = solve_tree_parallel(&problem, &TrackSettings::default(), 4);
+        let mut seen_levels = [0usize; 10];
+        for r in &par.records {
+            if r.level > 1 {
+                assert!(
+                    seen_levels[r.level - 1] > 0,
+                    "level {} job finished before any level {} job",
+                    r.level,
+                    r.level - 1
+                );
+            }
+            seen_levels[r.level] += 1;
+        }
+    }
+
+    #[test]
+    fn reports_track_queue_and_idle_protocol() {
+        let mut rng = seeded_rng(724);
+        let problem = PieriProblem::random(Shape::new(2, 2, 1), &mut rng);
+        let (_, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 4);
+        // The (2,2,1) tree fans out to width 8; with 4 workers the queue
+        // must have backed up at least once.
+        assert!(stats.report.peak_queue > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Polynomial types for homotopy continuation.
+//!
+//! Three representations cover everything the ICPP 2004 reproduction needs:
+//!
+//! * [`Poly`]/[`PolySystem`] — sparse multivariate polynomials over ℂ with
+//!   cached partial derivatives; the general path tracker of Section II of
+//!   the paper consumes these (cyclic-n roots, mechanism design systems,
+//!   total-degree and linear-product start systems).
+//! * [`UniPoly`] — dense univariate polynomials; characteristic polynomials
+//!   and root finding via companion matrices.
+//! * [`MatrixPoly`] — polynomial matrices `M(s) = M₀ + M₁s + … + M_d s^d`;
+//!   transfer-function factorisations `G = N·D⁻¹`, the Hermann–Martin curve
+//!   of a plant, and determinants via evaluation/interpolation at roots of
+//!   unity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matpoly;
+mod monomial;
+mod poly;
+mod system;
+mod univariate;
+
+pub use matpoly::MatrixPoly;
+pub use monomial::Monomial;
+pub use poly::Poly;
+pub use system::PolySystem;
+pub use univariate::UniPoly;

@@ -1,0 +1,332 @@
+//! Polynomial matrices `M(s) = M₀ + M₁·s + … + M_d·s^d`.
+//!
+//! Transfer functions of linear systems enter the Pieri machinery as right
+//! matrix fractions `G(s) = N(s)·D(s)⁻¹`; the stacked curve
+//! `Γ(s) = [N(s); D(s)]` evaluated at the prescribed poles produces the
+//! input planes of the Schubert problem, and the closed-loop characteristic
+//! polynomial is the determinant of a polynomial matrix. Determinants are
+//! computed by evaluation at roots of unity followed by an inverse DFT —
+//! exact for polynomials up to the sampled degree and numerically benign.
+
+use crate::univariate::UniPoly;
+use pieri_linalg::{det, CMat};
+use pieri_num::Complex64;
+
+/// A matrix with univariate-polynomial entries, stored as the list of its
+/// coefficient matrices (lowest degree first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixPoly {
+    rows: usize,
+    cols: usize,
+    /// `coeffs[k]` is the coefficient of `s^k`; always at least one entry.
+    coeffs: Vec<CMat>,
+}
+
+impl MatrixPoly {
+    /// Builds from coefficient matrices (lowest first).
+    ///
+    /// # Panics
+    /// Panics when `coeffs` is empty or shapes disagree.
+    pub fn new(coeffs: Vec<CMat>) -> Self {
+        let first = coeffs.first().expect("matrix polynomial needs ≥ 1 coefficient");
+        let (rows, cols) = (first.rows(), first.cols());
+        assert!(
+            coeffs.iter().all(|m| m.rows() == rows && m.cols() == cols),
+            "coefficient matrices must share a shape"
+        );
+        MatrixPoly { rows, cols, coeffs }
+    }
+
+    /// The constant matrix polynomial.
+    pub fn constant(m: CMat) -> Self {
+        MatrixPoly::new(vec![m])
+    }
+
+    /// Zero matrix polynomial of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixPoly::constant(CMat::zeros(rows, cols))
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Degree bound (index of the highest stored coefficient).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficient matrices, lowest first.
+    pub fn coeffs(&self) -> &[CMat] {
+        &self.coeffs
+    }
+
+    /// Entry `(i, j)` as a univariate polynomial.
+    pub fn entry(&self, i: usize, j: usize) -> UniPoly {
+        UniPoly::new(self.coeffs.iter().map(|m| m[(i, j)]).collect())
+    }
+
+    /// Evaluates at the point `s`.
+    pub fn eval(&self, s: Complex64) -> CMat {
+        let mut acc = self.coeffs.last().expect("nonempty").clone();
+        for k in (0..self.coeffs.len() - 1).rev() {
+            acc = acc.scale(s);
+            acc = &acc + &self.coeffs[k];
+        }
+        acc
+    }
+
+    /// Homogenised evaluation `Σ M_k · s^k · u^{d−k}` where `d` is the
+    /// stored degree bound. `eval_homog(s, 1) == eval(s)` and
+    /// `eval_homog(1, 0)` picks the leading coefficient.
+    pub fn eval_homog(&self, s: Complex64, u: Complex64) -> CMat {
+        let d = self.degree();
+        let mut acc = CMat::zeros(self.rows, self.cols);
+        for (k, m) in self.coeffs.iter().enumerate() {
+            let w = s.powi(k as i32) * u.powi((d - k) as i32);
+            if w != Complex64::ZERO {
+                acc = &acc + &m.scale(w);
+            }
+        }
+        acc
+    }
+
+    /// Sum of two matrix polynomials (same shape).
+    pub fn add(&self, other: &MatrixPoly) -> MatrixPoly {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut m = CMat::zeros(self.rows, self.cols);
+            if k < self.coeffs.len() {
+                m = &m + &self.coeffs[k];
+            }
+            if k < other.coeffs.len() {
+                m = &m + &other.coeffs[k];
+            }
+            out.push(m);
+        }
+        MatrixPoly::new(out)
+    }
+
+    /// Product of two matrix polynomials (inner dimensions must agree).
+    pub fn mul(&self, other: &MatrixPoly) -> MatrixPoly {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let d = self.degree() + other.degree();
+        let mut out = vec![CMat::zeros(self.rows, other.cols); d + 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                let prod = a * b;
+                out[i + j] = &out[i + j] + &prod;
+            }
+        }
+        MatrixPoly::new(out)
+    }
+
+    /// Vertical stack `[self; other]`.
+    pub fn vstack(&self, other: &MatrixPoly) -> MatrixPoly {
+        assert_eq!(self.cols, other.cols, "vstack: column mismatch");
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        let zs = CMat::zeros(self.rows, self.cols);
+        let zo = CMat::zeros(other.rows, other.cols);
+        for k in 0..n {
+            let top = self.coeffs.get(k).unwrap_or(&zs);
+            let bot = other.coeffs.get(k).unwrap_or(&zo);
+            out.push(top.vstack(bot));
+        }
+        MatrixPoly::new(out)
+    }
+
+    /// Horizontal stack `[self | other]`.
+    pub fn hstack(&self, other: &MatrixPoly) -> MatrixPoly {
+        assert_eq!(self.rows, other.rows, "hstack: row mismatch");
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        let zs = CMat::zeros(self.rows, self.cols);
+        let zo = CMat::zeros(other.rows, other.cols);
+        for k in 0..n {
+            let left = self.coeffs.get(k).unwrap_or(&zs);
+            let right = other.coeffs.get(k).unwrap_or(&zo);
+            out.push(left.hstack(right));
+        }
+        MatrixPoly::new(out)
+    }
+
+    /// Determinant as a univariate polynomial, by evaluation at scaled
+    /// roots of unity and inverse DFT.
+    ///
+    /// The degree bound is `Σⱼ max-degree(column j)`, which is tight for
+    /// column-reduced matrices and safe otherwise. Sampling on the unit
+    /// circle keeps the Vandermonde system perfectly conditioned (it *is*
+    /// the DFT matrix).
+    ///
+    /// # Panics
+    /// Panics for non-square input.
+    pub fn det_poly(&self) -> UniPoly {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix polynomial");
+        if self.rows == 0 {
+            return UniPoly::constant(Complex64::ONE);
+        }
+        // Column-degree bound on deg det.
+        let mut bound = 0usize;
+        for j in 0..self.cols {
+            let mut colmax = 0usize;
+            for (k, m) in self.coeffs.iter().enumerate() {
+                for i in 0..self.rows {
+                    if m[(i, j)].norm() > 0.0 {
+                        colmax = colmax.max(k);
+                    }
+                }
+            }
+            bound += colmax;
+        }
+        let npts = bound + 1;
+        // Evaluate det at the npts-th roots of unity.
+        let tau = std::f64::consts::TAU;
+        let values: Vec<Complex64> = (0..npts)
+            .map(|k| {
+                let w = Complex64::from_polar(1.0, tau * k as f64 / npts as f64);
+                det(&self.eval(w))
+            })
+            .collect();
+        // Inverse DFT: c_j = (1/n) Σ_k v_k ω^{−jk}.
+        let mut coeffs = Vec::with_capacity(npts);
+        for j in 0..npts {
+            let mut acc = Complex64::ZERO;
+            for (k, &v) in values.iter().enumerate() {
+                let w = Complex64::from_polar(1.0, -tau * (j * k % npts) as f64 / npts as f64);
+                acc += v * w;
+            }
+            coeffs.push(acc / npts as f64);
+        }
+        // The interpolation is exact up to rounding; trim the noise floor.
+        let scale: f64 = values.iter().map(|v| v.norm()).fold(0.0, f64::max);
+        UniPoly::new_trimmed(coeffs, 1e-10 * (1.0 + scale) / (1.0 + scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn random_matpoly(rows: usize, cols: usize, deg: usize, seed: u64) -> MatrixPoly {
+        let mut rng = seeded_rng(seed);
+        MatrixPoly::new(
+            (0..=deg)
+                .map(|_| CMat::random(rows, cols, &mut rng, random_complex))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn eval_matches_entrywise_polynomials() {
+        let mp = random_matpoly(3, 2, 2, 70);
+        let s = c(0.3, -0.8);
+        let m = mp.eval(s);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!(m[(i, j)].dist(mp.entry(i, j).eval(s)) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_homog_specialisations() {
+        let mp = random_matpoly(2, 2, 3, 71);
+        let s = c(1.7, 0.4);
+        let dehomog = mp.eval_homog(s, Complex64::ONE);
+        assert!((&dehomog - &mp.eval(s)).fro_norm() < 1e-10);
+        let leading = mp.eval_homog(Complex64::ONE, Complex64::ZERO);
+        assert!((&leading - &mp.coeffs()[3]).fro_norm() < 1e-14);
+    }
+
+    #[test]
+    fn mul_matches_pointwise_product() {
+        let a = random_matpoly(2, 3, 2, 72);
+        let b = random_matpoly(3, 2, 1, 73);
+        let ab = a.mul(&b);
+        let s = c(-0.2, 0.9);
+        let lhs = ab.eval(s);
+        let rhs = &a.eval(s) * &b.eval(s);
+        assert!((&lhs - &rhs).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn add_and_stacks_evaluate_consistently() {
+        let a = random_matpoly(2, 2, 1, 74);
+        let b = random_matpoly(2, 2, 3, 75);
+        let s = c(0.5, 0.5);
+        let sum = a.add(&b).eval(s);
+        assert!((&sum - &(&a.eval(s) + &b.eval(s))).fro_norm() < 1e-10);
+        let v = a.vstack(&b).eval(s);
+        assert_eq!(v.rows(), 4);
+        assert!((&v.submatrix(0, 0, 2, 2) - &a.eval(s)).fro_norm() < 1e-12);
+        assert!((&v.submatrix(2, 0, 2, 2) - &b.eval(s)).fro_norm() < 1e-12);
+        let h = a.hstack(&b).eval(s);
+        assert_eq!(h.cols(), 4);
+        assert!((&h.submatrix(0, 2, 2, 2) - &b.eval(s)).fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn det_poly_of_diagonal() {
+        // diag(s−1, s−2): det = (s−1)(s−2) = s² − 3s + 2.
+        let m0 = CMat::from_rows(&[
+            vec![c(-1.0, 0.0), Complex64::ZERO],
+            vec![Complex64::ZERO, c(-2.0, 0.0)],
+        ]);
+        let m1 = CMat::identity(2);
+        let d = MatrixPoly::new(vec![m0, m1]).det_poly();
+        assert_eq!(d.degree(), 2);
+        assert!(d.coeffs()[0].dist(c(2.0, 0.0)) < 1e-10);
+        assert!(d.coeffs()[1].dist(c(-3.0, 0.0)) < 1e-10);
+        assert!(d.coeffs()[2].dist(Complex64::ONE) < 1e-10);
+    }
+
+    #[test]
+    fn det_poly_matches_pointwise_dets() {
+        let mp = random_matpoly(3, 3, 2, 76);
+        let d = mp.det_poly();
+        let mut rng = seeded_rng(77);
+        for _ in 0..5 {
+            let s = random_complex(&mut rng);
+            let lhs = d.eval(s);
+            let rhs = det(&mp.eval(s));
+            assert!(lhs.dist(rhs) < 1e-8 * (1.0 + rhs.norm()), "at {s:?}");
+        }
+    }
+
+    #[test]
+    fn det_poly_of_constant_matrix_is_constant() {
+        let mut rng = seeded_rng(78);
+        let m = CMat::random(4, 4, &mut rng, random_complex);
+        let d = MatrixPoly::constant(m.clone()).det_poly();
+        assert_eq!(d.degree(), 0);
+        assert!(d.coeffs()[0].dist(det(&m)) < 1e-10);
+    }
+
+    #[test]
+    fn det_poly_degree_uses_column_bounds() {
+        // [[s, 0], [0, 1]]: bound = 1, det = s.
+        let m0 = CMat::from_rows(&[
+            vec![Complex64::ZERO, Complex64::ZERO],
+            vec![Complex64::ZERO, Complex64::ONE],
+        ]);
+        let mut m1 = CMat::zeros(2, 2);
+        m1[(0, 0)] = Complex64::ONE;
+        let d = MatrixPoly::new(vec![m0, m1]).det_poly();
+        assert_eq!(d.degree(), 1);
+        assert!(d.coeffs()[1].dist(Complex64::ONE) < 1e-10);
+    }
+}

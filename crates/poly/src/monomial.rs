@@ -1,0 +1,164 @@
+//! Monomials: exponent vectors with graded-lexicographic order.
+
+use pieri_num::Complex64;
+use std::cmp::Ordering;
+
+/// A monomial `x₀^{e₀}·x₁^{e₁}·…` over a fixed number of variables.
+///
+/// Exponents are `u32`; total degrees in this workspace stay far below that
+/// (the largest systems are degree ≤ 10 per variable).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    exps: Vec<u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `1` in `nvars` variables.
+    pub fn one(nvars: usize) -> Self {
+        Monomial { exps: vec![0; nvars] }
+    }
+
+    /// The single variable `x_i` in `nvars` variables.
+    ///
+    /// # Panics
+    /// Panics when `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable index out of range");
+        let mut exps = vec![0; nvars];
+        exps[i] = 1;
+        Monomial { exps }
+    }
+
+    /// Builds a monomial from an exponent vector.
+    pub fn from_exps(exps: Vec<u32>) -> Self {
+        Monomial { exps }
+    }
+
+    /// Exponent of variable `i`.
+    #[inline]
+    pub fn exp(&self, i: usize) -> u32 {
+        self.exps[i]
+    }
+
+    /// The exponent vector.
+    #[inline]
+    pub fn exps(&self) -> &[u32] {
+        &self.exps
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn nvars(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Total degree `Σ eᵢ`.
+    pub fn degree(&self) -> u32 {
+        self.exps.iter().sum()
+    }
+
+    /// Product of two monomials (same variable count).
+    ///
+    /// # Panics
+    /// Panics on variable-count mismatch.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        assert_eq!(self.nvars(), other.nvars(), "monomial nvars mismatch");
+        Monomial {
+            exps: self
+                .exps
+                .iter()
+                .zip(&other.exps)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Evaluates at the point `x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != nvars`.
+    pub fn eval(&self, x: &[Complex64]) -> Complex64 {
+        assert_eq!(x.len(), self.nvars(), "monomial eval dimension mismatch");
+        let mut acc = Complex64::ONE;
+        for (xi, &e) in x.iter().zip(&self.exps) {
+            if e > 0 {
+                acc *= xi.powi(e as i32);
+            }
+        }
+        acc
+    }
+
+    /// Partial derivative with respect to `x_i`: returns `(coefficient,
+    /// monomial)` or `None` when the derivative vanishes.
+    pub fn diff(&self, i: usize) -> Option<(f64, Monomial)> {
+        let e = self.exps[i];
+        if e == 0 {
+            return None;
+        }
+        let mut exps = self.exps.clone();
+        exps[i] = e - 1;
+        Some((e as f64, Monomial { exps }))
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// Graded lexicographic: compare total degree first, then exponents.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.exps.cmp(&other.exps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_mul() {
+        let a = Monomial::from_exps(vec![2, 0, 1]);
+        let b = Monomial::from_exps(vec![0, 3, 1]);
+        assert_eq!(a.degree(), 3);
+        let ab = a.mul(&b);
+        assert_eq!(ab.exps(), &[2, 3, 2]);
+        assert_eq!(ab.degree(), 7);
+    }
+
+    #[test]
+    fn eval_known() {
+        let m = Monomial::from_exps(vec![2, 1]);
+        let x = [Complex64::real(2.0), Complex64::I];
+        // 4 · i = 4i
+        assert!(m.eval(&x).dist(Complex64::new(0.0, 4.0)) < 1e-14);
+    }
+
+    #[test]
+    fn diff_rules() {
+        let m = Monomial::from_exps(vec![3, 1]);
+        let (c, d) = m.diff(0).unwrap();
+        assert_eq!(c, 3.0);
+        assert_eq!(d.exps(), &[2, 1]);
+        assert!(m.diff(1).is_some());
+        let m0 = Monomial::one(2);
+        assert!(m0.diff(0).is_none());
+    }
+
+    #[test]
+    fn grlex_order() {
+        let one = Monomial::one(2);
+        let x = Monomial::var(2, 0);
+        let y = Monomial::var(2, 1);
+        let xy = x.mul(&y);
+        let x2 = x.mul(&x);
+        assert!(one < x);
+        assert!(y < x, "grlex: higher exponent vector wins at equal degree");
+        assert!(x < xy);
+        assert!(xy < x2);
+    }
+}

@@ -1,0 +1,414 @@
+//! Sparse multivariate polynomials over ℂ.
+
+use crate::monomial::Monomial;
+use pieri_num::Complex64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sparse multivariate polynomial with complex coefficients.
+///
+/// Terms are kept sorted in graded-lex order with no duplicate monomials and
+/// no (numerically) zero coefficients, so equality of the term lists is
+/// structural equality of polynomials.
+#[derive(Clone, PartialEq)]
+pub struct Poly {
+    nvars: usize,
+    /// `(coefficient, monomial)` pairs, grlex-sorted, coefficients nonzero.
+    terms: Vec<(Complex64, Monomial)>,
+}
+
+/// Coefficients below this modulus are dropped during normalisation.
+const COEFF_EPS: f64 = 0.0;
+
+impl Poly {
+    /// The zero polynomial in `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        Poly { nvars, terms: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(nvars: usize, c: Complex64) -> Self {
+        let mut p = Poly::zero(nvars);
+        if c != Complex64::ZERO {
+            p.terms.push((c, Monomial::one(nvars)));
+        }
+        p
+    }
+
+    /// The single variable `x_i`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        Poly {
+            nvars,
+            terms: vec![(Complex64::ONE, Monomial::var(nvars, i))],
+        }
+    }
+
+    /// Builds a polynomial from raw terms; merges duplicates and drops zeros.
+    pub fn from_terms(nvars: usize, terms: Vec<(Complex64, Monomial)>) -> Self {
+        let mut map: BTreeMap<Monomial, Complex64> = BTreeMap::new();
+        for (c, m) in terms {
+            assert_eq!(m.nvars(), nvars, "term with wrong variable count");
+            *map.entry(m).or_insert(Complex64::ZERO) += c;
+        }
+        Poly {
+            nvars,
+            terms: map
+                .into_iter()
+                .filter(|(_, c)| c.norm() > COEFF_EPS)
+                .map(|(m, c)| (c, m))
+                .collect(),
+        }
+    }
+
+    /// A linear polynomial `c₀ + Σ cᵢ₊₁·xᵢ` from its coefficient slice
+    /// (constant first).
+    ///
+    /// # Panics
+    /// Panics when `coeffs.len() != nvars + 1`.
+    pub fn linear(nvars: usize, coeffs: &[Complex64]) -> Self {
+        assert_eq!(coeffs.len(), nvars + 1, "linear form needs nvars+1 coefficients");
+        let mut terms = vec![(coeffs[0], Monomial::one(nvars))];
+        for i in 0..nvars {
+            terms.push((coeffs[i + 1], Monomial::var(nvars, i)));
+        }
+        Poly::from_terms(nvars, terms)
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The term list (grlex-sorted, nonzero coefficients).
+    #[inline]
+    pub fn terms(&self) -> &[(Complex64, Monomial)] {
+        &self.terms
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree; zero polynomial reports degree 0.
+    pub fn degree(&self) -> u32 {
+        self.terms.iter().map(|(_, m)| m.degree()).max().unwrap_or(0)
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Sum of two polynomials.
+    pub fn add(&self, other: &Poly) -> Poly {
+        assert_eq!(self.nvars, other.nvars, "poly nvars mismatch");
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        Poly::from_terms(self.nvars, terms)
+    }
+
+    /// Difference `self − other`.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.scale(Complex64::real(-1.0)))
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        assert_eq!(self.nvars, other.nvars, "poly nvars mismatch");
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for (ca, ma) in &self.terms {
+            for (cb, mb) in &other.terms {
+                terms.push((*ca * *cb, ma.mul(mb)));
+            }
+        }
+        Poly::from_terms(self.nvars, terms)
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scale(&self, k: Complex64) -> Poly {
+        if k == Complex64::ZERO {
+            return Poly::zero(self.nvars);
+        }
+        Poly {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(c, m)| (*c * k, m.clone())).collect(),
+        }
+    }
+
+    /// Raises to the `e`-th power by repeated squaring.
+    pub fn pow(&self, e: u32) -> Poly {
+        let mut acc = Poly::constant(self.nvars, Complex64::ONE);
+        let mut base = self.clone();
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Evaluates at `x` using precomputed variable powers, so the cost is
+    /// `O(terms + Σ max_exponents)` rather than `O(terms·degree)`.
+    pub fn eval(&self, x: &[Complex64]) -> Complex64 {
+        assert_eq!(x.len(), self.nvars, "poly eval dimension mismatch");
+        // Precompute powers up to the max exponent per variable.
+        let mut max_exp = vec![0u32; self.nvars];
+        for (_, m) in &self.terms {
+            for (i, &e) in m.exps().iter().enumerate() {
+                max_exp[i] = max_exp[i].max(e);
+            }
+        }
+        let mut powers: Vec<Vec<Complex64>> = Vec::with_capacity(self.nvars);
+        for i in 0..self.nvars {
+            let mut ps = Vec::with_capacity(max_exp[i] as usize + 1);
+            ps.push(Complex64::ONE);
+            for e in 1..=max_exp[i] as usize {
+                let prev = ps[e - 1];
+                ps.push(prev * x[i]);
+            }
+            powers.push(ps);
+        }
+        let mut acc = Complex64::ZERO;
+        for (c, m) in &self.terms {
+            let mut t = *c;
+            for (i, &e) in m.exps().iter().enumerate() {
+                if e > 0 {
+                    t *= powers[i][e as usize];
+                }
+            }
+            acc += t;
+        }
+        acc
+    }
+
+    /// Partial derivative with respect to `x_i`.
+    pub fn diff(&self, i: usize) -> Poly {
+        let terms = self
+            .terms
+            .iter()
+            .filter_map(|(c, m)| m.diff(i).map(|(k, dm)| (c.scale(k), dm)))
+            .collect();
+        Poly::from_terms(self.nvars, terms)
+    }
+
+    /// Largest coefficient modulus (0 for the zero polynomial).
+    pub fn max_coeff(&self) -> f64 {
+        self.terms.iter().map(|(c, _)| c.norm()).fold(0.0, f64::max)
+    }
+
+    /// Symbolic determinant of a square matrix of polynomials (cofactor
+    /// expansion along the first row, skipping zero entries).
+    ///
+    /// Exponential in the matrix size; intended for the small condition
+    /// matrices of intersection conditions (`n ≤ 6`), where it turns a
+    /// determinantal condition into an explicit [`Poly`] — the bridge
+    /// that lets the black-box total-degree solver cross-validate the
+    /// Pieri solver on the same system.
+    ///
+    /// # Panics
+    /// Panics on ragged or empty input.
+    pub fn det(mat: &[Vec<Poly>]) -> Poly {
+        let n = mat.len();
+        assert!(n > 0, "determinant of an empty matrix");
+        assert!(mat.iter().all(|row| row.len() == n), "matrix must be square");
+        let nvars = mat[0][0].nvars();
+        if n == 1 {
+            return mat[0][0].clone();
+        }
+        let mut acc = Poly::zero(nvars);
+        let mut sign = 1.0;
+        for j in 0..n {
+            if !mat[0][j].is_zero() {
+                // Minor: delete row 0 and column j.
+                let minor: Vec<Vec<Poly>> = (1..n)
+                    .map(|i| {
+                        (0..n)
+                            .filter(|&c| c != j)
+                            .map(|c| mat[i][c].clone())
+                            .collect()
+                    })
+                    .collect();
+                let term = mat[0][j].mul(&Poly::det(&minor));
+                acc = acc.add(&term.scale(Complex64::real(sign)));
+            }
+            sign = -sign;
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (k, (c, m)) in self.terms.iter().enumerate() {
+            if k > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({c})")?;
+            for (i, &e) in m.exps().iter().enumerate() {
+                match e {
+                    0 => {}
+                    1 => write!(f, "·x{i}")?,
+                    _ => write!(f, "·x{i}^{e}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn x(i: usize) -> Poly {
+        Poly::var(3, i)
+    }
+
+    #[test]
+    fn construction_merges_and_drops_zero_terms() {
+        let m = Monomial::var(2, 0);
+        let p = Poly::from_terms(
+            2,
+            vec![
+                (c(1.0, 0.0), m.clone()),
+                (c(-1.0, 0.0), m.clone()),
+                (c(2.0, 0.0), Monomial::one(2)),
+            ],
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn arithmetic_known_identity() {
+        // (x+y)(x−y) = x² − y²
+        let nv = 2;
+        let xp = Poly::var(nv, 0);
+        let yp = Poly::var(nv, 1);
+        let lhs = xp.add(&yp).mul(&xp.sub(&yp));
+        let rhs = xp.mul(&xp).sub(&yp.mul(&yp));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let p = x(0).add(&x(1)).add(&Poly::constant(3, c(1.0, 1.0)));
+        let p3 = p.pow(3);
+        let expect = p.mul(&p).mul(&p);
+        assert_eq!(p3, expect);
+        assert_eq!(p.pow(0), Poly::constant(3, Complex64::ONE));
+    }
+
+    #[test]
+    fn eval_agrees_with_structure() {
+        // p = 2·x0²·x2 − i·x1
+        let p = Poly::from_terms(
+            3,
+            vec![
+                (c(2.0, 0.0), Monomial::from_exps(vec![2, 0, 1])),
+                (c(0.0, -1.0), Monomial::from_exps(vec![0, 1, 0])),
+            ],
+        );
+        let pt = [c(1.0, 1.0), c(2.0, 0.0), c(0.0, 1.0)];
+        // x0² = 2i, ·x2 = 2i·i = −2, ·2 = −4 ; −i·x1 = −2i.
+        assert!(p.eval(&pt).dist(c(-4.0, -2.0)) < 1e-13);
+    }
+
+    #[test]
+    fn diff_product_rule_spot_check() {
+        let p = x(0).mul(&x(1));
+        let d0 = p.diff(0);
+        assert_eq!(d0, x(1));
+        let q = x(0).pow(3);
+        assert_eq!(q.diff(0), x(0).mul(&x(0)).scale(c(3.0, 0.0)));
+        assert!(q.diff(1).is_zero());
+    }
+
+    #[test]
+    fn linear_constructor() {
+        let p = Poly::linear(2, &[c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)]);
+        let v = p.eval(&[c(10.0, 0.0), c(100.0, 0.0)]);
+        assert!(v.dist(c(321.0, 0.0)) < 1e-12);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn eval_of_empty_poly_is_zero() {
+        let p = Poly::zero(4);
+        assert_eq!(p.eval(&[Complex64::ONE; 4]), Complex64::ZERO);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// eval is a ring homomorphism: (p·q)(x) = p(x)·q(x), (p+q)(x) = p(x)+q(x).
+        #[test]
+        fn eval_is_ring_homomorphism(seed in 0u64..1000) {
+            let mut rng = seeded_rng(seed);
+            let nv = 3;
+            let rand_poly = |rng: &mut rand::rngs::StdRng| {
+                let mut terms = Vec::new();
+                for _ in 0..4 {
+                    let exps: Vec<u32> = (0..nv).map(|_| rng.gen_range(0u32..3)).collect();
+                    terms.push((random_complex(rng), Monomial::from_exps(exps)));
+                }
+                Poly::from_terms(nv, terms)
+            };
+            let p = rand_poly(&mut rng);
+            let q = rand_poly(&mut rng);
+            let pt: Vec<Complex64> = (0..nv).map(|_| random_complex(&mut rng)).collect();
+            let prod = p.mul(&q).eval(&pt);
+            let expect = p.eval(&pt) * q.eval(&pt);
+            prop_assert!(prod.dist(expect) < 1e-9 * (1.0 + expect.norm()));
+            let sum = p.add(&q).eval(&pt);
+            prop_assert!(sum.dist(p.eval(&pt) + q.eval(&pt)) < 1e-10 * (1.0 + sum.norm()));
+        }
+
+        /// d/dx agrees with central finite differences at random points.
+        #[test]
+        fn diff_matches_finite_difference(seed in 0u64..500) {
+            let mut rng = seeded_rng(seed);
+            let nv = 2;
+            let mut terms = Vec::new();
+            for _ in 0..5 {
+                let exps: Vec<u32> = (0..nv).map(|_| rng.gen_range(0u32..4)).collect();
+                terms.push((random_complex(&mut rng), Monomial::from_exps(exps)));
+            }
+            let p = Poly::from_terms(nv, terms);
+            let pt: Vec<Complex64> = (0..nv).map(|_| random_complex(&mut rng)).collect();
+            let h = 1e-6;
+            for i in 0..nv {
+                let mut plus = pt.clone();
+                plus[i] += Complex64::real(h);
+                let mut minus = pt.clone();
+                minus[i] -= Complex64::real(h);
+                let fd = (p.eval(&plus) - p.eval(&minus)) / (2.0 * h);
+                let an = p.diff(i).eval(&pt);
+                prop_assert!(fd.dist(an) < 1e-4 * (1.0 + an.norm()),
+                    "var {i}: fd={fd:?} analytic={an:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Square polynomial systems with cached Jacobians.
+
+use crate::poly::Poly;
+use pieri_linalg::CMat;
+use pieri_num::Complex64;
+
+/// A system of polynomials `F : ℂⁿ → ℂᵏ` (usually square, `k = n`) with
+/// the full Jacobian matrix of partial derivatives precomputed once.
+///
+/// The path tracker evaluates `F` and `JF` thousands of times per path;
+/// differentiating up front turns each Jacobian evaluation into plain
+/// polynomial evaluation.
+#[derive(Debug, Clone)]
+pub struct PolySystem {
+    nvars: usize,
+    polys: Vec<Poly>,
+    /// `jac[i][j] = ∂Fᵢ/∂xⱼ`.
+    jac: Vec<Vec<Poly>>,
+}
+
+impl PolySystem {
+    /// Builds a system from its component polynomials.
+    ///
+    /// # Panics
+    /// Panics when the polynomials disagree on the variable count or the
+    /// system is empty.
+    pub fn new(polys: Vec<Poly>) -> Self {
+        let nvars = polys.first().expect("empty polynomial system").nvars();
+        assert!(
+            polys.iter().all(|p| p.nvars() == nvars),
+            "all polynomials must share one variable set"
+        );
+        let jac = polys
+            .iter()
+            .map(|p| (0..nvars).map(|j| p.diff(j)).collect())
+            .collect();
+        PolySystem { nvars, polys, jac }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of equations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// True when the system has no equations (never constructed; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.polys.is_empty()
+    }
+
+    /// True when #equations == #variables.
+    pub fn is_square(&self) -> bool {
+        self.len() == self.nvars
+    }
+
+    /// The component polynomials.
+    pub fn polys(&self) -> &[Poly] {
+        &self.polys
+    }
+
+    /// Evaluates `F(x)` into `out`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn eval_into(&self, x: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(out.len(), self.len(), "output length mismatch");
+        for (o, p) in out.iter_mut().zip(&self.polys) {
+            *o = p.eval(x);
+        }
+    }
+
+    /// Evaluates `F(x)`, allocating the result.
+    pub fn eval(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.len()];
+        self.eval_into(x, &mut out);
+        out
+    }
+
+    /// Evaluates the Jacobian `JF(x)`.
+    pub fn jacobian(&self, x: &[Complex64]) -> CMat {
+        CMat::from_fn(self.len(), self.nvars, |i, j| self.jac[i][j].eval(x))
+    }
+
+    /// Residual `‖F(x)‖∞`.
+    pub fn residual(&self, x: &[Complex64]) -> f64 {
+        self.polys.iter().map(|p| p.eval(x).norm()).fold(0.0, f64::max)
+    }
+
+    /// Product of the total degrees — the Bézout bound on the number of
+    /// isolated solutions, which is the path count of a total-degree
+    /// homotopy.
+    pub fn total_degree(&self) -> u128 {
+        self.polys.iter().map(|p| p.degree() as u128).product()
+    }
+
+    /// Per-equation degrees.
+    pub fn degrees(&self) -> Vec<u32> {
+        self.polys.iter().map(|p| p.degree()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    /// x² + y² − 1, x − y  (intersection of circle and diagonal).
+    fn circle_line() -> PolySystem {
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let one = Poly::constant(2, Complex64::ONE);
+        PolySystem::new(vec![x.mul(&x).add(&y.mul(&y)).sub(&one), x.sub(&y)])
+    }
+
+    #[test]
+    fn eval_and_residual_at_known_root() {
+        let s = circle_line();
+        let r = 0.5f64.sqrt();
+        let root = [c(r, 0.0), c(r, 0.0)];
+        assert!(s.residual(&root) < 1e-12);
+        let not_root = [c(1.0, 0.0), c(0.0, 0.0)];
+        assert!(s.residual(&not_root) > 0.5);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let s = circle_line();
+        let mut rng = seeded_rng(50);
+        let x: Vec<Complex64> = (0..2).map(|_| random_complex(&mut rng)).collect();
+        let j = s.jacobian(&x);
+        let h = 1e-7;
+        let f0 = s.eval(&x);
+        for col in 0..2 {
+            let mut xp = x.clone();
+            xp[col] += Complex64::real(h);
+            let f1 = s.eval(&xp);
+            for row in 0..2 {
+                let fd = (f1[row] - f0[row]) / h;
+                assert!(fd.dist(j[(row, col)]) < 1e-5, "J[{row},{col}]");
+            }
+        }
+    }
+
+    #[test]
+    fn total_degree_is_bezout_product() {
+        let s = circle_line();
+        assert_eq!(s.total_degree(), 2);
+        assert_eq!(s.degrees(), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one variable set")]
+    fn mismatched_nvars_panics() {
+        let _ = PolySystem::new(vec![Poly::var(2, 0), Poly::var(3, 0)]);
+    }
+}

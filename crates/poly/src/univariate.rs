@@ -1,0 +1,386 @@
+//! Dense univariate polynomials over ℂ.
+
+use pieri_linalg::{eigenvalues, CMat};
+use pieri_num::Complex64;
+
+/// A univariate polynomial stored dense, lowest coefficient first:
+/// `p(s) = c₀ + c₁ s + … + c_d s^d`.
+///
+/// Trailing (numerically) zero coefficients are trimmed on construction so
+/// `degree` is meaningful. Root finding goes through the companion matrix
+/// and the workspace QR eigensolver, which is PHCpack's approach as well.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniPoly {
+    coeffs: Vec<Complex64>,
+}
+
+impl UniPoly {
+    /// Builds from coefficients (lowest first), trimming trailing zeros.
+    pub fn new(mut coeffs: Vec<Complex64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last().is_some_and(|c| c.norm() == 0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(Complex64::ZERO);
+        }
+        UniPoly { coeffs }
+    }
+
+    /// Like [`UniPoly::new`] but trims coefficients whose modulus is below
+    /// `tol` relative to the largest coefficient — used after numerical
+    /// interpolation where the leading coefficient may be noise.
+    pub fn new_trimmed(coeffs: Vec<Complex64>, tol: f64) -> Self {
+        let max = coeffs.iter().map(|c| c.norm()).fold(0.0, f64::max);
+        let mut coeffs = coeffs;
+        while coeffs.len() > 1
+            && coeffs.last().is_some_and(|c| c.norm() <= tol * max)
+        {
+            coeffs.pop();
+        }
+        UniPoly::new(coeffs)
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        UniPoly { coeffs: vec![Complex64::ZERO] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Complex64) -> Self {
+        UniPoly::new(vec![c])
+    }
+
+    /// The monic monomial `s`.
+    pub fn s() -> Self {
+        UniPoly::new(vec![Complex64::ZERO, Complex64::ONE])
+    }
+
+    /// Monic polynomial with the given roots: `∏ (s − rᵢ)`.
+    pub fn from_roots(roots: &[Complex64]) -> Self {
+        let mut p = UniPoly::constant(Complex64::ONE);
+        for &r in roots {
+            p = p.mul(&UniPoly::new(vec![-r, Complex64::ONE]));
+        }
+        p
+    }
+
+    /// Coefficients, lowest first.
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Leading coefficient.
+    pub fn leading(&self) -> Complex64 {
+        *self.coeffs.last().expect("coeffs nonempty by construction")
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.len() == 1 && self.coeffs[0] == Complex64::ZERO
+    }
+
+    /// Horner evaluation.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * s + c;
+        }
+        acc
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &UniPoly) -> UniPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![Complex64::ZERO; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        for (i, &c) in other.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        UniPoly::new(out)
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &UniPoly) -> UniPoly {
+        self.add(&other.scale(Complex64::real(-1.0)))
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &UniPoly) -> UniPoly {
+        if self.is_zero() || other.is_zero() {
+            return UniPoly::zero();
+        }
+        let mut out = vec![Complex64::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        UniPoly::new(out)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: Complex64) -> UniPoly {
+        UniPoly::new(self.coeffs.iter().map(|&c| c * k).collect())
+    }
+
+    /// Derivative.
+    pub fn derivative(&self) -> UniPoly {
+        if self.coeffs.len() == 1 {
+            return UniPoly::zero();
+        }
+        UniPoly::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c.scale((i + 1) as f64))
+                .collect(),
+        )
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q·divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    /// Panics when dividing by the zero polynomial.
+    pub fn div_rem(&self, divisor: &UniPoly) -> (UniPoly, UniPoly) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let dd = divisor.degree();
+        if self.degree() < dd || self.is_zero() {
+            return (UniPoly::zero(), self.clone());
+        }
+        let lead = divisor.leading();
+        let mut rem = self.coeffs.clone();
+        let mut quo = vec![Complex64::ZERO; self.degree() - dd + 1];
+        for k in (dd..rem.len()).rev() {
+            let factor = rem[k] / lead;
+            quo[k - dd] = factor;
+            if factor == Complex64::ZERO {
+                continue;
+            }
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[k - dd + j] -= factor * dc;
+            }
+        }
+        rem.truncate(dd);
+        (UniPoly::new(quo), UniPoly::new(rem))
+    }
+
+    /// Monic greatest common divisor by the Euclidean algorithm with a
+    /// relative-size termination threshold (numerical coefficients).
+    ///
+    /// Two polynomials without (numerically) common roots report a
+    /// constant gcd — the coprimeness check for compensator fractions
+    /// `K = V·U⁻¹`.
+    pub fn gcd(&self, other: &UniPoly) -> UniPoly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.degree() < b.degree() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let scale = self.max_coeff().max(other.max_coeff()).max(1.0);
+        while !b.is_zero() {
+            // Treat a negligible remainder as zero.
+            if b.max_coeff() < 1e-10 * scale {
+                break;
+            }
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        if a.is_zero() {
+            return UniPoly::zero();
+        }
+        a.scale(a.leading().inv())
+    }
+
+    /// Largest coefficient modulus.
+    pub fn max_coeff(&self) -> f64 {
+        self.coeffs.iter().map(|c| c.norm()).fold(0.0, f64::max)
+    }
+
+    /// All complex roots via the companion matrix of the monic normalisation.
+    ///
+    /// Returns an empty vector for constants. Panics only if the QR
+    /// iteration fails to converge, which does not happen for the sizes
+    /// used here (degree ≤ ~30).
+    pub fn roots(&self) -> Vec<Complex64> {
+        let d = self.degree();
+        if d == 0 {
+            return Vec::new();
+        }
+        let lead = self.leading();
+        assert!(lead.norm() > 0.0, "roots of the zero polynomial");
+        // Companion matrix (monic): top row −c_{d−1}/c_d … −c₀/c_d.
+        let comp = CMat::from_fn(d, d, |i, j| {
+            if i == 0 {
+                -self.coeffs[d - 1 - j] / lead
+            } else if i == j + 1 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            }
+        });
+        eigenvalues(&comp).expect("companion QR iteration converged")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::{random_complex, seeded_rng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn multiset_dist(mut a: Vec<Complex64>, b: &[Complex64]) -> f64 {
+        let mut worst = 0.0f64;
+        for &bv in b {
+            let (idx, d) = a
+                .iter()
+                .enumerate()
+                .map(|(i, av)| (i, av.dist(bv)))
+                .min_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("non-empty");
+            worst = worst.max(d);
+            a.swap_remove(idx);
+        }
+        worst
+    }
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let p = UniPoly::new(vec![c(1.0, 0.0), c(2.0, 0.0), Complex64::ZERO]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(UniPoly::new(vec![]).degree(), 0);
+    }
+
+    #[test]
+    fn horner_eval() {
+        // 1 + 2s + 3s² at s = 2 → 17.
+        let p = UniPoly::new(vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)]);
+        assert!(p.eval(c(2.0, 0.0)).dist(c(17.0, 0.0)) < 1e-13);
+    }
+
+    #[test]
+    fn from_roots_vanishes_at_roots() {
+        let roots = vec![c(1.0, 0.0), c(-2.0, 1.0), c(0.0, -1.0)];
+        let p = UniPoly::from_roots(&roots);
+        assert_eq!(p.degree(), 3);
+        for &r in &roots {
+            assert!(p.eval(r).norm() < 1e-12);
+        }
+        assert!(p.leading().dist(Complex64::ONE) < 1e-15, "monic");
+    }
+
+    #[test]
+    fn mul_degree_and_values() {
+        let mut rng = seeded_rng(60);
+        let a = UniPoly::new((0..4).map(|_| random_complex(&mut rng)).collect());
+        let b = UniPoly::new((0..3).map(|_| random_complex(&mut rng)).collect());
+        let ab = a.mul(&b);
+        assert_eq!(ab.degree(), a.degree() + b.degree());
+        let s = random_complex(&mut rng);
+        assert!(ab.eval(s).dist(a.eval(s) * b.eval(s)) < 1e-10);
+    }
+
+    #[test]
+    fn derivative_linearity_and_power_rule() {
+        // d/ds (s³) = 3s².
+        let p = UniPoly::new(vec![
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ]);
+        let d = p.derivative();
+        assert_eq!(d.degree(), 2);
+        assert!(d.eval(c(2.0, 0.0)).dist(c(12.0, 0.0)) < 1e-13);
+        assert!(UniPoly::constant(c(5.0, 0.0)).derivative().is_zero());
+    }
+
+    #[test]
+    fn roots_of_constructed_polynomial() {
+        let roots = vec![c(1.0, 2.0), c(-1.0, 0.5), c(3.0, 0.0), c(0.0, -2.0)];
+        let p = UniPoly::from_roots(&roots).scale(c(0.0, 2.0));
+        let found = p.roots();
+        assert_eq!(found.len(), 4);
+        assert!(multiset_dist(found, &roots) < 1e-7);
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        // s⁵ − 1.
+        let mut coeffs = vec![Complex64::ZERO; 6];
+        coeffs[0] = c(-1.0, 0.0);
+        coeffs[5] = Complex64::ONE;
+        let p = UniPoly::new(coeffs);
+        let rts = p.roots();
+        assert_eq!(rts.len(), 5);
+        for r in &rts {
+            assert!((r.norm() - 1.0).abs() < 1e-9);
+            assert!(p.eval(*r).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let mut rng = seeded_rng(61);
+        let a = UniPoly::new((0..6).map(|_| random_complex(&mut rng)).collect());
+        let b = UniPoly::new((0..3).map(|_| random_complex(&mut rng)).collect());
+        let (q, r) = a.div_rem(&b);
+        assert!(r.degree() < b.degree());
+        let back = q.mul(&b).add(&r);
+        for (x, y) in back.coeffs().iter().zip(a.coeffs()) {
+            assert!(x.dist(*y) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn div_rem_degenerate_cases() {
+        let a = UniPoly::new(vec![c(1.0, 0.0), c(2.0, 0.0)]);
+        let big = UniPoly::from_roots(&[c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)]);
+        let (q, r) = a.div_rem(&big);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn gcd_extracts_common_roots() {
+        let common = vec![c(1.0, 1.0), c(-2.0, 0.5)];
+        let mut a_roots = common.clone();
+        a_roots.push(c(3.0, 0.0));
+        let mut b_roots = common.clone();
+        b_roots.push(c(0.0, -1.0));
+        b_roots.push(c(0.5, 0.5));
+        let g = UniPoly::from_roots(&a_roots).gcd(&UniPoly::from_roots(&b_roots));
+        assert_eq!(g.degree(), 2, "gcd picks up exactly the common roots");
+        for r in &common {
+            assert!(g.eval(*r).norm() < 1e-8, "gcd vanishes at {r}");
+        }
+        assert!(g.leading().dist(Complex64::ONE) < 1e-10, "monic");
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_constant() {
+        let a = UniPoly::from_roots(&[c(1.0, 0.0), c(2.0, 0.0)]);
+        let b = UniPoly::from_roots(&[c(-1.0, 0.0), c(-2.0, 0.0)]);
+        assert_eq!(a.gcd(&b).degree(), 0);
+    }
+
+    #[test]
+    fn new_trimmed_removes_noise_leading_coeff() {
+        let p = UniPoly::new_trimmed(
+            vec![c(1.0, 0.0), c(1.0, 0.0), c(1e-13, 0.0)],
+            1e-10,
+        );
+        assert_eq!(p.degree(), 1);
+    }
+}

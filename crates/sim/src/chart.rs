@@ -1,0 +1,111 @@
+//! ASCII charts: the speedup curves of Figs. 1 and 2.
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct ChartSeries {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders an ASCII scatter chart of the given series on a shared grid,
+/// with axis annotations — enough to eyeball the speedup curves of
+/// Figs. 1/2 in a terminal or a log file.
+pub fn ascii_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[ChartSeries],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(16);
+    let height = height.max(8);
+    let mut xmax = f64::MIN_POSITIVE;
+    let mut ymax = f64::MIN_POSITIVE;
+    for s in series {
+        for &(x, y) in &s.points {
+            xmax = xmax.max(x);
+            ymax = ymax.max(y);
+        }
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = ((x / xmax) * (width - 1) as f64).round() as usize;
+            let row = ((y / ymax) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            let c = col.min(width - 1);
+            grid[r][c] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let yval = ymax * (height - 1 - i) as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yval:>8.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>10}0{:>w$.0}\n", "", xmax, w = width - 1));
+    out.push_str(&format!("{:>10}{x_label}   (y: {y_label})\n", ""));
+    for s in series {
+        out.push_str(&format!("{:>10}{} = {}\n", "", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<ChartSeries> {
+        vec![
+            ChartSeries {
+                label: "static".into(),
+                glyph: 's',
+                points: vec![(1.0, 1.0), (64.0, 40.0), (128.0, 73.0)],
+            },
+            ChartSeries {
+                label: "dynamic".into(),
+                glyph: 'd',
+                points: vec![(1.0, 1.0), (64.0, 60.0), (128.0, 113.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_renders_glyphs_and_legend() {
+        let text = ascii_chart("Speedup", "#CPUs", "speedup", &demo_series(), 60, 20);
+        assert!(text.contains('s'));
+        assert!(text.contains('d'));
+        assert!(text.contains("static"));
+        assert!(text.contains("dynamic"));
+        assert!(text.lines().count() > 20);
+    }
+
+    #[test]
+    fn top_right_corner_is_the_maximum() {
+        let series = vec![ChartSeries {
+            label: "one".into(),
+            glyph: '*',
+            points: vec![(10.0, 10.0)],
+        }];
+        let text = ascii_chart("t", "x", "y", &series, 30, 10);
+        // The single point at the maximum lands on the first grid row,
+        // last column.
+        let first_grid_line = text.lines().nth(1).expect("grid row");
+        assert!(first_grid_line.trim_end().ends_with('*'));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let text = ascii_chart("t", "x", "y", &demo_series(), 1, 1);
+        assert!(text.lines().count() >= 8);
+    }
+}

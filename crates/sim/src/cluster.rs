@@ -1,0 +1,245 @@
+//! The cluster model and the two scheduling policies.
+
+use crate::workload::Workload;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cluster parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimParams {
+    /// Number of worker processors (the paper's "slaves"; under the
+    /// static policy all of them compute, under the dynamic policy they
+    /// are fed by a master).
+    pub workers: usize,
+    /// Master time to send one job (seconds). The master serialises
+    /// sends/receives, so with many processors and short jobs this is the
+    /// dynamic policy's bottleneck.
+    pub send_overhead: f64,
+    /// Master time to receive and process one result (seconds).
+    pub recv_overhead: f64,
+}
+
+impl SimParams {
+    /// Zero-overhead cluster with `workers` processors.
+    pub fn ideal(workers: usize) -> Self {
+        SimParams { workers, send_overhead: 0.0, recv_overhead: 0.0 }
+    }
+
+    /// The cluster model used to extrapolate the paper's tables: a small
+    /// per-message cost (~0.5 ms) relative to per-path costs of ~0.1–1 s,
+    /// which is the regime of MPI on Myrinet-class interconnects.
+    pub fn mpi_like(workers: usize) -> Self {
+        SimParams { workers, send_overhead: 5e-4, recv_overhead: 5e-4 }
+    }
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Wall-clock makespan.
+    pub makespan: f64,
+    /// Per-worker busy times.
+    pub busy: Vec<f64>,
+    /// Messages through the master (dynamic policy only).
+    pub messages: usize,
+}
+
+impl SimOutcome {
+    /// Parallel speedup relative to the sequential time of the workload.
+    pub fn speedup(&self, sequential: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        sequential / self.makespan
+    }
+
+    /// Mean utilisation of the workers.
+    pub fn utilisation(&self) -> f64 {
+        if self.makespan <= 0.0 || self.busy.is_empty() {
+            return 0.0;
+        }
+        self.busy.iter().sum::<f64>() / (self.makespan * self.busy.len() as f64)
+    }
+}
+
+/// Static policy: paths are dealt to the workers in contiguous blocks,
+/// once, before the run; no communication during the run. The makespan is
+/// the largest block sum — cost variance translates directly into idle
+/// time, which is the effect Table I quantifies.
+pub fn simulate_static(w: &Workload, params: &SimParams) -> SimOutcome {
+    assert!(params.workers >= 1, "need at least one worker");
+    let n = w.len();
+    let chunk = n.div_ceil(params.workers).max(1);
+    let mut busy = vec![0.0; params.workers];
+    for (i, &c) in w.costs().iter().enumerate() {
+        busy[(i / chunk).min(params.workers - 1)] += c;
+    }
+    let makespan = busy.iter().copied().fold(0.0, f64::max);
+    SimOutcome { makespan, busy, messages: 0 }
+}
+
+/// Dynamic policy: master/slave, first-come-first-served, one job per
+/// slave in flight, with per-message master overheads.
+///
+/// The event loop mirrors the MPI implementation: the master seeds every
+/// slave with one job, then repeatedly receives the earliest finishing
+/// result and hands that slave the next job. Send/receive overheads
+/// serialise on the master.
+pub fn simulate_dynamic(w: &Workload, params: &SimParams) -> SimOutcome {
+    assert!(params.workers >= 1, "need at least one worker");
+    let costs = w.costs();
+    let n = costs.len();
+    let workers = params.workers;
+    let mut busy = vec![0.0; workers];
+    let mut messages = 0usize;
+    let mut master_t = 0.0f64;
+    let mut next = 0usize;
+    // (finish_time, worker) min-heap via Reverse of ordered bits.
+    let mut pending: BinaryHeap<(Reverse<OrderedF64>, usize)> = BinaryHeap::new();
+
+    // Seed one job per slave.
+    for wkr in 0..workers.min(n) {
+        master_t += params.send_overhead;
+        messages += 1;
+        let start = master_t; // worker idle until seeded
+        let finish = start + costs[next];
+        busy[wkr] += costs[next];
+        pending.push((Reverse(OrderedF64(finish)), wkr));
+        next += 1;
+    }
+    let mut makespan = 0.0f64;
+    while let Some((Reverse(OrderedF64(t)), wkr)) = pending.pop() {
+        // Master receives the result (serialised).
+        master_t = master_t.max(t) + params.recv_overhead;
+        messages += 1;
+        makespan = makespan.max(master_t);
+        if next < n {
+            master_t += params.send_overhead;
+            messages += 1;
+            let start = master_t.max(t);
+            let finish = start + costs[next];
+            busy[wkr] += costs[next];
+            pending.push((Reverse(OrderedF64(finish)), wkr));
+            next += 1;
+        }
+    }
+    SimOutcome { makespan, busy, messages }
+}
+
+/// Total order on finite f64 for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_equal_jobs_is_perfect() {
+        let w = Workload::from_costs(vec![1.0; 64]);
+        let out = simulate_static(&w, &SimParams::ideal(8));
+        assert!((out.makespan - 8.0).abs() < 1e-12);
+        assert!((out.speedup(w.total()) - 8.0).abs() < 1e-9);
+        assert!((out.utilisation() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_equal_jobs_is_near_perfect() {
+        let w = Workload::from_costs(vec![1.0; 64]);
+        let out = simulate_dynamic(&w, &SimParams::ideal(8));
+        assert!((out.makespan - 8.0).abs() < 1e-9);
+        assert_eq!(out.messages, 128);
+    }
+
+    #[test]
+    fn makespan_lower_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(10);
+        let w = Workload::cyclic_like(500, 25, 1.0, &mut r);
+        for workers in [1usize, 4, 16, 64] {
+            for out in [
+                simulate_static(&w, &SimParams::ideal(workers)),
+                simulate_dynamic(&w, &SimParams::ideal(workers)),
+            ] {
+                assert!(out.makespan >= w.total() / workers as f64 - 1e-9);
+                assert!(out.makespan >= w.max() - 1e-9);
+                let total_busy: f64 = out.busy.iter().sum();
+                assert!((total_busy - w.total()).abs() < 1e-6, "work conservation");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_static_under_high_variance() {
+        let mut r = StdRng::seed_from_u64(11);
+        let w = Workload::cyclic_like(2000, 80, 1.0, &mut r);
+        for workers in [16usize, 64, 128] {
+            let st = simulate_static(&w, &SimParams::mpi_like(workers));
+            let dy = simulate_dynamic(&w, &SimParams::mpi_like(workers));
+            assert!(
+                dy.makespan < st.makespan,
+                "workers={workers}: dynamic {:.2} vs static {:.2}",
+                dy.makespan,
+                st.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_divergent_workload_shrinks_the_gap() {
+        // The RPS regime: low variance ⇒ static is already balanced; the
+        // improvement of dynamic over static is marginal.
+        let mut r = StdRng::seed_from_u64(12);
+        let w = Workload::rps_like(9216, 8192, 0.2, &mut r);
+        let st = simulate_static(&w, &SimParams::mpi_like(32));
+        let dy = simulate_dynamic(&w, &SimParams::mpi_like(32));
+        let improvement = (st.makespan - dy.makespan) / st.makespan;
+        assert!(improvement.abs() < 0.05, "improvement {improvement:.3}");
+    }
+
+    #[test]
+    fn master_overhead_throttles_many_tiny_jobs() {
+        let w = Workload::from_costs(vec![1e-4; 10_000]);
+        let ideal = simulate_dynamic(&w, &SimParams::ideal(64));
+        let slow = simulate_dynamic(
+            &w,
+            &SimParams { workers: 64, send_overhead: 1e-3, recv_overhead: 1e-3 },
+        );
+        // With 1 ms messaging and 0.1 ms jobs the master is the bottleneck.
+        assert!(slow.makespan > 10.0 * ideal.makespan);
+        assert!(slow.makespan >= 10_000.0 * 2e-3 - 1e-9);
+    }
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        let w = Workload::from_costs(vec![0.5, 1.5, 2.0]);
+        let st = simulate_static(&w, &SimParams::ideal(1));
+        let dy = simulate_dynamic(&w, &SimParams::ideal(1));
+        assert!((st.makespan - 4.0).abs() < 1e-12);
+        assert!((dy.makespan - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::from_costs(vec![]);
+        let st = simulate_static(&w, &SimParams::ideal(4));
+        let dy = simulate_dynamic(&w, &SimParams::ideal(4));
+        assert_eq!(st.makespan, 0.0);
+        assert_eq!(dy.makespan, 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Speedup tables: the rows of Tables I and II.
+
+use crate::cluster::{simulate_dynamic, simulate_static, SimParams};
+use crate::workload::Workload;
+
+/// One row of a speedup table.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Number of processors.
+    pub cpus: usize,
+    /// Static-policy makespan (same time unit as the workload costs).
+    pub static_time: f64,
+    /// Static speedup over the 1-CPU time.
+    pub static_speedup: f64,
+    /// Dynamic-policy makespan.
+    pub dynamic_time: f64,
+    /// Dynamic speedup over the 1-CPU time.
+    pub dynamic_speedup: f64,
+}
+
+impl SpeedupRow {
+    /// The paper's "Improvement dynamic/static" column:
+    /// `(static − dynamic) / static`, as a percentage.
+    pub fn improvement_pct(&self) -> f64 {
+        if self.static_time <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.static_time - self.dynamic_time) / self.static_time
+    }
+}
+
+/// A full table: one row per processor count.
+#[derive(Debug, Clone)]
+pub struct SpeedupTable {
+    /// Sequential (1-CPU) time of the workload.
+    pub sequential: f64,
+    /// Rows, in the order requested.
+    pub rows: Vec<SpeedupRow>,
+}
+
+impl SpeedupTable {
+    /// Formats the table in the layout of Tables I/II of the paper.
+    pub fn render(&self, time_unit: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>6} | {:>12} {:>9} | {:>12} {:>9} | {:>12}\n",
+            "#CPUs", "static", "speedup", "dynamic", "speedup", "improvement"
+        ));
+        out.push_str(&format!(
+            "{:>6} | {:>12} {:>9} | {:>12} {:>9} | {:>12}\n",
+            "", time_unit, "", time_unit, "", "dyn/static"
+        ));
+        out.push_str(&"-".repeat(76));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>6} | {:>12.2} {:>9.1} | {:>12.2} {:>9.1} | {:>11.2}%\n",
+                r.cpus,
+                r.static_time,
+                r.static_speedup,
+                r.dynamic_time,
+                r.dynamic_speedup,
+                r.improvement_pct()
+            ));
+        }
+        out
+    }
+}
+
+/// Sweeps processor counts over a workload under both policies.
+///
+/// `params_for` supplies the cluster model per processor count (so
+/// overheads can scale if desired); use `SimParams::mpi_like` to
+/// reproduce the paper's setting.
+pub fn speedup_table(
+    w: &Workload,
+    cpus: &[usize],
+    params_for: impl Fn(usize) -> SimParams,
+) -> SpeedupTable {
+    let sequential = w.total();
+    let rows = cpus
+        .iter()
+        .map(|&n| {
+            let st = simulate_static(w, &params_for(n));
+            let dy = simulate_dynamic(w, &params_for(n));
+            SpeedupRow {
+                cpus: n,
+                static_time: st.makespan,
+                static_speedup: st.speedup(sequential),
+                dynamic_time: dy.makespan,
+                dynamic_speedup: dy.speedup(sequential),
+            }
+        })
+        .collect();
+    SpeedupTable { sequential, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_shape_and_monotonicity() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let w = Workload::cyclic_like(2000, 80, 1.0, &mut rng);
+        let cpus = [1usize, 8, 16, 32, 64, 128];
+        let table = speedup_table(&w, &cpus, SimParams::mpi_like);
+        assert_eq!(table.rows.len(), 6);
+        // 1-CPU speedup is 1 (up to messaging overhead).
+        assert!((table.rows[0].dynamic_speedup - 1.0).abs() < 0.05);
+        // Speedups grow with the processor count.
+        for k in 1..table.rows.len() {
+            assert!(table.rows[k].dynamic_speedup > table.rows[k - 1].dynamic_speedup);
+        }
+    }
+
+    #[test]
+    fn improvement_grows_with_cpus_for_heavy_tails() {
+        // Table I's pattern: the dynamic advantage increases with the
+        // number of processors (fewer jobs per processor ⇒ larger
+        // variance of the static block sums).
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = Workload::cyclic_like(35_940, 1_000, 0.8, &mut rng);
+        let table = speedup_table(&w, &[8, 128], SimParams::mpi_like);
+        let low = table.rows[0].improvement_pct();
+        let high = table.rows[1].improvement_pct();
+        assert!(high > low, "improvement {low:.1}% → {high:.1}%");
+        assert!(high > 5.0, "at 128 CPUs the gap is material: {high:.1}%");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let w = Workload::from_costs(vec![1.0; 16]);
+        let table = speedup_table(&w, &[1, 4], SimParams::ideal);
+        let text = table.render("seconds");
+        assert!(text.contains("#CPUs"));
+        assert!(text.lines().count() >= 5);
+        assert!(text.contains("improvement"));
+    }
+}

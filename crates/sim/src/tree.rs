@@ -1,0 +1,237 @@
+//! Dependency-aware simulation of Pieri-tree workloads.
+
+use crate::cluster::{OrderedF64, SimOutcome, SimParams};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One job of a tree workload.
+#[derive(Debug, Clone)]
+pub struct TreeJob {
+    /// Cost in seconds.
+    pub cost: f64,
+    /// Index of the parent job whose completion makes this job ready;
+    /// `None` for the level-1 jobs (children of the trivial pattern).
+    pub parent: Option<usize>,
+}
+
+/// A workload with tree dependencies: the job graph of the parallel Pieri
+/// homotopy (each job is one tree edge; a job becomes ready when the job
+/// producing its start solution completes).
+#[derive(Debug, Clone)]
+pub struct TreeWorkload {
+    jobs: Vec<TreeJob>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+}
+
+impl TreeWorkload {
+    /// Builds a tree workload; `parent` indices must point backwards
+    /// (a forest given in topological order).
+    ///
+    /// # Panics
+    /// Panics when a parent index is not smaller than the job index.
+    pub fn new(jobs: Vec<TreeJob>) -> Self {
+        let mut children = vec![Vec::new(); jobs.len()];
+        let mut roots = Vec::new();
+        for (i, j) in jobs.iter().enumerate() {
+            match j.parent {
+                Some(p) => {
+                    assert!(p < i, "parents must precede children");
+                    children[p].push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+        TreeWorkload { jobs, children, roots }
+    }
+
+    /// Builds the forest from per-level job lists with a uniform fan-out
+    /// assumption: the `k`-th job of level `l` is attached to job
+    /// `k mod width(l−1)` of the previous level. This preserves the level
+    /// widths and costs — the quantities that drive the schedule — even
+    /// when the true chain structure is not available.
+    pub fn from_levels(levels: &[Vec<f64>]) -> Self {
+        let mut jobs = Vec::new();
+        let mut prev_start = 0usize;
+        let mut prev_len = 0usize;
+        for level in levels {
+            let start = jobs.len();
+            for (k, &cost) in level.iter().enumerate() {
+                let parent = if prev_len == 0 {
+                    None
+                } else {
+                    Some(prev_start + (k % prev_len))
+                };
+                jobs.push(TreeJob { cost, parent });
+            }
+            prev_start = start;
+            prev_len = level.len();
+        }
+        TreeWorkload::new(jobs)
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Sequential time (sum of all costs).
+    pub fn total(&self) -> f64 {
+        self.jobs.iter().map(|j| j.cost).sum()
+    }
+
+    /// Critical-path length — the wall-clock lower bound no number of
+    /// processors can beat ("every job has to wait for the job providing
+    /// its start solution", Section III.D).
+    pub fn critical_path(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.jobs.len()];
+        let mut longest = 0.0f64;
+        for (i, j) in self.jobs.iter().enumerate() {
+            let ready = j.parent.map_or(0.0, |p| finish[p]);
+            finish[i] = ready + j.cost;
+            longest = longest.max(finish[i]);
+        }
+        longest
+    }
+}
+
+/// Simulates the dynamic master/slave scheduler of Fig. 6 on a tree
+/// workload: jobs become ready when their parent completes; the master
+/// hands ready jobs to idle slaves FCFS with per-message overheads.
+pub fn simulate_tree_dynamic(w: &TreeWorkload, params: &SimParams) -> SimOutcome {
+    assert!(params.workers >= 1, "need at least one worker");
+    let mut busy = vec![0.0f64; params.workers];
+    let mut messages = 0usize;
+    let mut master_t = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    let mut ready: std::collections::VecDeque<usize> = w.roots.iter().copied().collect();
+    let mut idle: Vec<usize> = (0..params.workers).rev().collect();
+    // (finish time, worker, job) min-heap.
+    let mut pending: BinaryHeap<(Reverse<OrderedF64>, usize, usize)> = BinaryHeap::new();
+    let mut completed = 0usize;
+
+    while completed < w.len() {
+        // Dispatch ready jobs to idle slaves.
+        while let (Some(&job), true) = (ready.front(), !idle.is_empty()) {
+            ready.pop_front();
+            let wkr = idle.pop().expect("checked non-empty");
+            master_t += params.send_overhead;
+            messages += 1;
+            let start = master_t;
+            let finish = start + w.jobs[job].cost;
+            busy[wkr] += w.jobs[job].cost;
+            pending.push((Reverse(OrderedF64(finish)), wkr, job));
+        }
+        // Receive the earliest completion.
+        let Some((Reverse(OrderedF64(t)), wkr, job)) = pending.pop() else {
+            unreachable!("jobs remain but nothing in flight: dependency cycle");
+        };
+        master_t = master_t.max(t) + params.recv_overhead;
+        messages += 1;
+        makespan = makespan.max(master_t);
+        completed += 1;
+        idle.push(wkr);
+        for &child in &w.children[job] {
+            ready.push_back(child);
+        }
+    }
+    SimOutcome { makespan, busy, messages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-level fan: 1 root job, then 8 independent children.
+    fn fan() -> TreeWorkload {
+        let mut jobs = vec![TreeJob { cost: 1.0, parent: None }];
+        for _ in 0..8 {
+            jobs.push(TreeJob { cost: 1.0, parent: Some(0) });
+        }
+        TreeWorkload::new(jobs)
+    }
+
+    #[test]
+    fn critical_path_of_fan() {
+        let w = fan();
+        assert!((w.critical_path() - 2.0).abs() < 1e-12);
+        assert!((w.total() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_sim_respects_dependencies() {
+        let w = fan();
+        // With 8 workers: 1 (root) + 1 (children in parallel) = 2.
+        let out = simulate_tree_dynamic(&w, &SimParams::ideal(8));
+        assert!((out.makespan - 2.0).abs() < 1e-9);
+        // With 2 workers: 1 + ceil(8/2) = 5.
+        let out = simulate_tree_dynamic(&w, &SimParams::ideal(2));
+        assert!((out.makespan - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_work() {
+        let levels: Vec<Vec<f64>> = vec![
+            vec![0.1],
+            vec![0.2, 0.3],
+            vec![0.1, 0.4, 0.2, 0.3],
+            vec![0.5; 8],
+        ];
+        let w = TreeWorkload::from_levels(&levels);
+        for workers in [1usize, 2, 4, 16] {
+            let out = simulate_tree_dynamic(&w, &SimParams::ideal(workers));
+            assert!(out.makespan >= w.critical_path() - 1e-9, "workers={workers}");
+            assert!(out.makespan >= w.total() / workers as f64 - 1e-9);
+            let total_busy: f64 = out.busy.iter().sum();
+            assert!((total_busy - w.total()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn infinite_workers_reach_critical_path() {
+        let levels: Vec<Vec<f64>> =
+            vec![vec![1.0], vec![0.5, 0.5], vec![0.25; 4], vec![0.125; 8]];
+        let w = TreeWorkload::from_levels(&levels);
+        let out = simulate_tree_dynamic(&w, &SimParams::ideal(64));
+        assert!((out.makespan - w.critical_path()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_levels_builds_consistent_forest() {
+        let w = TreeWorkload::from_levels(&[vec![1.0], vec![1.0; 3], vec![1.0; 6]]);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.roots.len(), 1);
+        // Every level-2 job hangs under a level-1 job.
+        for (i, j) in w.jobs.iter().enumerate().skip(4) {
+            let p = j.parent.expect("level-2 job has a parent");
+            assert!((1..4).contains(&p), "job {i} parent {p}");
+        }
+    }
+
+    #[test]
+    fn ramp_up_limits_early_parallelism() {
+        // Section III.D: at the start only few processors can be active.
+        // A deep chain followed by wide fan: speedup is capped well below
+        // the worker count.
+        let mut levels: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0]).collect();
+        levels.push(vec![1.0; 30]);
+        let w = TreeWorkload::from_levels(&levels);
+        let out = simulate_tree_dynamic(&w, &SimParams::ideal(30));
+        let speedup = w.total() / out.makespan;
+        assert!(speedup < 4.0, "chain dominates: speedup {speedup:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "parents must precede")]
+    fn forward_parent_rejected() {
+        let _ = TreeWorkload::new(vec![
+            TreeJob { cost: 1.0, parent: Some(0) },
+        ]);
+    }
+}

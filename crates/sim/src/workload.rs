@@ -1,0 +1,230 @@
+//! Workload models: per-path cost vectors.
+
+use rand::Rng;
+use rand_distr_free::{lognormal, normal_clamped};
+
+/// A list of per-path costs (seconds of CPU time).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    costs: Vec<f64>,
+}
+
+impl Workload {
+    /// Wraps measured per-path costs (e.g. `TrackStats::path_times`).
+    ///
+    /// # Panics
+    /// Panics when any cost is negative or non-finite.
+    pub fn from_costs(costs: Vec<f64>) -> Self {
+        assert!(
+            costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "costs must be finite and non-negative"
+        );
+        Workload { costs }
+    }
+
+    /// Synthetic cyclic-n-roots-like workload: `total − diverging` regular
+    /// paths with log-normal cost around `mean_cost`, plus `diverging`
+    /// paths with a heavy tail (diverging paths run into the endgame and
+    /// cost several times the mean, with large variance). For the paper's
+    /// cyclic 10-roots experiment: `total = 35_940`, `diverging ≈ 1_000`.
+    ///
+    /// Divergent paths appear in *clusters* along the path order: start
+    /// solutions are combinations of roots of unity, and neighbouring
+    /// combinations run to the same solution families at infinity. The
+    /// clustering is what makes contiguous static partitions unlucky — a
+    /// uniformly shuffled divergent set would largely balance itself.
+    ///
+    /// # Panics
+    /// Panics when `diverging > total` or `mean_cost <= 0`.
+    pub fn cyclic_like<R: Rng + ?Sized>(
+        total: usize,
+        diverging: usize,
+        mean_cost: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(diverging <= total, "diverging paths cannot exceed total");
+        assert!(mean_cost > 0.0, "mean cost must be positive");
+        // Build blocks: regular singletons and divergent clusters of ~40.
+        const CLUSTER: usize = 40;
+        let mut blocks: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..total - diverging {
+            // Regular paths: moderate spread (σ = 0.4 in log space).
+            blocks.push(vec![lognormal(rng, mean_cost.ln(), 0.4)]);
+        }
+        let mut left = diverging;
+        while left > 0 {
+            let size = CLUSTER.min(left);
+            // Divergent paths: 4–5× the mean with a wide spread — these
+            // are the jobs that dominate the static-partition variance.
+            let cluster = (0..size)
+                .map(|_| lognormal(rng, (4.5 * mean_cost).ln(), 0.8))
+                .collect();
+            blocks.push(cluster);
+            left -= size;
+        }
+        // Fisher–Yates shuffle of the blocks, then flatten.
+        for i in (1..blocks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            blocks.swap(i, j);
+        }
+        let costs = blocks.into_iter().flatten().collect();
+        Workload { costs }
+    }
+
+    /// Synthetic RPS-mechanism-like workload: `diverging` of the `total`
+    /// paths diverge, dominate the total time, and all take nearly the
+    /// same time (the paper's explanation for why dynamic balancing does
+    /// not beat static on this system). For Table II: `total = 9_216`,
+    /// `diverging = 8_192`.
+    ///
+    /// # Panics
+    /// Panics when `diverging > total` or `mean_cost <= 0`.
+    pub fn rps_like<R: Rng + ?Sized>(
+        total: usize,
+        diverging: usize,
+        mean_cost: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(diverging <= total, "diverging paths cannot exceed total");
+        assert!(mean_cost > 0.0, "mean cost must be positive");
+        let mut costs = Vec::with_capacity(total);
+        for _ in 0..total - diverging {
+            costs.push(normal_clamped(rng, 0.6 * mean_cost, 0.2 * mean_cost));
+        }
+        for _ in 0..diverging {
+            // Near-uniform: 5% relative spread.
+            costs.push(normal_clamped(rng, mean_cost, 0.05 * mean_cost));
+        }
+        Workload { costs }
+    }
+
+    /// The cost vector.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Total sequential time.
+    pub fn total(&self) -> f64 {
+        self.costs.iter().sum()
+    }
+
+    /// Largest single cost.
+    pub fn max(&self) -> f64 {
+        self.costs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Coefficient of variation (σ/μ) — the statistic the paper's
+    /// static-vs-dynamic discussion revolves around.
+    pub fn cv(&self) -> f64 {
+        if self.costs.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.total() / self.costs.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .costs
+            .iter()
+            .map(|c| (c - mean) * (c - mean))
+            .sum::<f64>()
+            / (self.costs.len() - 1) as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Minimal distribution helpers so the simulator depends only on `rand`.
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal with the given log-space mean and deviation.
+    pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * standard_normal(rng)).exp()
+    }
+
+    /// Normal clamped to a small positive floor (costs must be ≥ 0).
+    pub fn normal_clamped<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+        (mean + sd * standard_normal(rng)).max(mean * 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn measured_costs_roundtrip() {
+        let w = Workload::from_costs(vec![1.0, 2.0, 3.0]);
+        assert_eq!(w.len(), 3);
+        assert!((w.total() - 6.0).abs() < 1e-12);
+        assert!((w.max() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_costs_rejected() {
+        let _ = Workload::from_costs(vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn cyclic_like_statistics() {
+        let mut r = rng(1);
+        let w = Workload::cyclic_like(5000, 150, 1.0, &mut r);
+        assert_eq!(w.len(), 5000);
+        // Heavy tail ⇒ substantial coefficient of variation.
+        assert!(w.cv() > 0.5, "cv = {}", w.cv());
+        // Divergent tail dominates the max.
+        assert!(w.max() > 3.0);
+    }
+
+    #[test]
+    fn rps_like_statistics() {
+        let mut r = rng(2);
+        let w = Workload::rps_like(9216, 8192, 1.0, &mut r);
+        assert_eq!(w.len(), 9216);
+        // Near-uniform dominant block ⇒ small coefficient of variation.
+        assert!(w.cv() < 0.3, "cv = {}", w.cv());
+        // Divergent block carries most of the time.
+        let divergent_share: f64 = w.costs()[9216 - 8192..].iter().sum::<f64>() / w.total();
+        assert!(divergent_share > 0.8);
+    }
+
+    #[test]
+    fn rps_has_lower_variance_than_cyclic() {
+        let mut r = rng(3);
+        let cyc = Workload::cyclic_like(2000, 60, 1.0, &mut r);
+        let rps = Workload::rps_like(2000, 1700, 1.0, &mut r);
+        assert!(cyc.cv() > 2.0 * rps.cv());
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        assert_eq!(Workload::from_costs(vec![]).cv(), 0.0);
+        assert_eq!(Workload::from_costs(vec![5.0]).cv(), 0.0);
+        let uniform = Workload::from_costs(vec![2.0; 100]);
+        assert!(uniform.cv() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the discrete-event scheduler model.
+
+use pieri_sim::{
+    simulate_dynamic, simulate_static, simulate_tree_dynamic, SimParams, TreeWorkload, Workload,
+};
+use proptest::prelude::*;
+
+fn costs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..10.0, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan lower bounds and work conservation, both policies.
+    #[test]
+    fn makespan_bounds(costs in costs_strategy(), workers in 1usize..32) {
+        let w = Workload::from_costs(costs);
+        for out in [
+            simulate_static(&w, &SimParams::ideal(workers)),
+            simulate_dynamic(&w, &SimParams::ideal(workers)),
+        ] {
+            prop_assert!(out.makespan + 1e-9 >= w.total() / workers as f64);
+            prop_assert!(out.makespan + 1e-9 >= w.max());
+            prop_assert!(out.makespan <= w.total() + 1e-9, "never slower than serial");
+            let busy: f64 = out.busy.iter().sum();
+            prop_assert!((busy - w.total()).abs() < 1e-6);
+        }
+    }
+
+    /// Dynamic scheduling with zero overhead is within the classical
+    /// Graham bound of optimal: T_dyn ≤ T_opt·(2 − 1/m) where
+    /// T_opt ≥ max(total/m, max job).
+    #[test]
+    fn dynamic_respects_graham_bound(costs in costs_strategy(), workers in 1usize..16) {
+        let w = Workload::from_costs(costs);
+        let out = simulate_dynamic(&w, &SimParams::ideal(workers));
+        let opt_lb = (w.total() / workers as f64).max(w.max());
+        let factor = 2.0 - 1.0 / workers as f64;
+        prop_assert!(out.makespan <= factor * opt_lb + 1e-9,
+            "makespan {} > {}·{}", out.makespan, factor, opt_lb);
+    }
+
+    /// Adding message overhead never speeds the dynamic schedule up.
+    #[test]
+    fn overhead_monotone(costs in costs_strategy(), workers in 1usize..16) {
+        let w = Workload::from_costs(costs);
+        let fast = simulate_dynamic(&w, &SimParams::ideal(workers));
+        let slow = simulate_dynamic(
+            &w,
+            &SimParams { workers, send_overhead: 0.01, recv_overhead: 0.01 },
+        );
+        prop_assert!(slow.makespan + 1e-9 >= fast.makespan);
+    }
+
+    /// More workers never hurt the ideal dynamic schedule.
+    #[test]
+    fn workers_monotone(costs in costs_strategy(), workers in 1usize..16) {
+        let w = Workload::from_costs(costs);
+        let few = simulate_dynamic(&w, &SimParams::ideal(workers));
+        let many = simulate_dynamic(&w, &SimParams::ideal(workers * 2));
+        prop_assert!(many.makespan <= few.makespan + 1e-9);
+    }
+
+    /// Tree simulation: bounded below by both the critical path and the
+    /// work bound, and exact for one worker.
+    #[test]
+    fn tree_bounds(level_sizes in proptest::collection::vec(1usize..8, 1..6),
+                   workers in 1usize..16) {
+        let levels: Vec<Vec<f64>> = level_sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| vec![0.1 + 0.05 * k as f64; n])
+            .collect();
+        let w = TreeWorkload::from_levels(&levels);
+        let out = simulate_tree_dynamic(&w, &SimParams::ideal(workers));
+        prop_assert!(out.makespan + 1e-9 >= w.critical_path());
+        prop_assert!(out.makespan + 1e-9 >= w.total() / workers as f64);
+        let one = simulate_tree_dynamic(&w, &SimParams::ideal(1));
+        prop_assert!((one.makespan - w.total()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! One-call sequential black-box solver: total-degree start + tracking.
+
+use crate::start::total_degree_start;
+use pieri_num::{random_gamma, Complex64};
+use pieri_poly::PolySystem;
+use pieri_tracker::{track_all, LinearHomotopy, PathResult, TrackSettings, TrackStats};
+use rand::Rng;
+
+/// Everything a caller needs from a black-box solve: the per-path results,
+/// aggregate statistics, and the deduplicated finite solutions.
+pub struct SolveReport {
+    /// Per-path outcomes, in start-solution order.
+    pub paths: Vec<PathResult>,
+    /// Aggregate statistics (converged/diverged counts, per-path times —
+    /// the workload vector for the schedulers and the cluster simulator).
+    pub stats: TrackStats,
+    /// Distinct finite solutions (converged endpoints deduplicated to
+    /// `dedup_tol` in the ∞-norm).
+    pub solutions: Vec<Vec<Complex64>>,
+    /// Tolerance used for deduplication.
+    pub dedup_tol: f64,
+}
+
+/// Solves `target` with a total-degree homotopy: builds the start system,
+/// applies the gamma trick, tracks all `∏ dᵢ` paths sequentially, and
+/// deduplicates the converged endpoints.
+///
+/// This mirrors the sequential black-box mode of PHCpack that the paper
+/// uses as its 1-CPU baseline.
+pub fn solve_by_total_degree<R: Rng + ?Sized>(
+    target: &PolySystem,
+    rng: &mut R,
+    settings: &TrackSettings,
+) -> SolveReport {
+    let start = total_degree_start(target, rng);
+    let gamma = random_gamma(rng);
+    let homotopy = LinearHomotopy::new(start.system, target.clone(), gamma);
+    let (paths, stats) = track_all(&homotopy, &start.solutions, settings);
+
+    let dedup_tol = 1e-6;
+    let mut solutions: Vec<Vec<Complex64>> = Vec::new();
+    for p in &paths {
+        if !p.status.is_converged() {
+            continue;
+        }
+        let is_new = solutions.iter().all(|s| {
+            s.iter()
+                .zip(&p.x)
+                .map(|(a, b)| a.dist(*b))
+                .fold(0.0, f64::max)
+                > dedup_tol
+        });
+        if is_new {
+            solutions.push(p.x.clone());
+        }
+    }
+    SolveReport { paths, stats, solutions, dedup_tol }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{bilinear_root_count, bilinear_system, cyclic, katsura};
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn solves_cyclic_5_completely() {
+        let mut rng = seeded_rng(220);
+        let target = cyclic(5);
+        let report = solve_by_total_degree(&target, &mut rng, &TrackSettings::default());
+        assert_eq!(report.paths.len(), 120, "Bézout number of cyclic-5");
+        // cyclic-5 has exactly 70 isolated solutions; the 50 excess paths
+        // diverge.
+        assert_eq!(report.solutions.len(), 70, "stats: {:?}", report.stats);
+        assert_eq!(report.stats.converged, 70);
+        assert_eq!(report.stats.diverged + report.stats.failed, 50);
+        for s in &report.solutions {
+            assert!(target.residual(s) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn solves_katsura_3() {
+        let mut rng = seeded_rng(221);
+        let target = katsura(3);
+        let report = solve_by_total_degree(&target, &mut rng, &TrackSettings::default());
+        assert_eq!(report.paths.len(), 8);
+        assert_eq!(report.solutions.len(), 8, "katsura-3 has 2³ solutions");
+        assert_eq!(report.stats.converged, 8);
+    }
+
+    #[test]
+    fn bilinear_deficiency_produces_divergent_paths() {
+        let mut rng = seeded_rng(222);
+        let target = bilinear_system(2, &mut rng);
+        let report = solve_by_total_degree(&target, &mut rng, &TrackSettings::default());
+        assert_eq!(report.paths.len(), 16);
+        assert_eq!(
+            report.solutions.len() as u128,
+            bilinear_root_count(2),
+            "stats: {:?}",
+            report.stats
+        );
+        // 16 − 6 = 10 paths go to infinity.
+        assert_eq!(report.stats.diverged + report.stats.failed, 10);
+    }
+}

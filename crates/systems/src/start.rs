@@ -1,0 +1,210 @@
+//! Start systems: total degree and linear product.
+
+use pieri_linalg::{CMat, Lu};
+use pieri_num::{unit_complex, Complex64};
+use pieri_poly::{Poly, PolySystem};
+use rand::Rng;
+
+/// A total-degree start system `gᵢ = cᵢ·xᵢ^{dᵢ} − bᵢ` together with its
+/// `∏ dᵢ` start solutions (scaled roots of unity).
+pub struct TotalDegreeStart {
+    /// The start system `G`.
+    pub system: PolySystem,
+    /// All start solutions of `G(x) = 0`.
+    pub solutions: Vec<Vec<Complex64>>,
+}
+
+/// Builds the total-degree start system matching the degrees of `target`,
+/// with random unit-modulus constants for genericity.
+///
+/// The number of start solutions is the Bézout number `∏ dᵢ`; when the
+/// target has fewer finite solutions the surplus paths diverge to infinity
+/// — the phenomenon driving the workload variance in Tables I and II of
+/// the paper.
+///
+/// # Panics
+/// Panics when the target is not square or has a constant equation.
+pub fn total_degree_start<R: Rng + ?Sized>(target: &PolySystem, rng: &mut R) -> TotalDegreeStart {
+    assert!(target.is_square(), "total-degree start needs a square target");
+    let n = target.nvars();
+    let degrees = target.degrees();
+    assert!(
+        degrees.iter().all(|&d| d >= 1),
+        "total-degree start needs every equation nonconstant"
+    );
+    let mut polys = Vec::with_capacity(n);
+    let mut radii = Vec::with_capacity(n);
+    let mut phases = Vec::with_capacity(n);
+    for (i, &d) in degrees.iter().enumerate() {
+        let c = unit_complex(rng);
+        let b = unit_complex(rng);
+        // cᵢ·xᵢ^d − bᵢ
+        let xi_d = Poly::var(n, i).pow(d);
+        polys.push(xi_d.scale(c).sub(&Poly::constant(n, b)));
+        // Roots: x = (b/c)^{1/d}·ω_d^k ; b/c has modulus 1.
+        let ratio = b / c;
+        radii.push(1.0f64);
+        phases.push(ratio.arg());
+    }
+    let system = PolySystem::new(polys);
+
+    // Enumerate the mixed radix product of roots of unity.
+    let total: usize = degrees.iter().map(|&d| d as usize).product();
+    let mut solutions = Vec::with_capacity(total);
+    let mut idx = vec![0usize; n];
+    let tau = std::f64::consts::TAU;
+    loop {
+        let sol: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let d = degrees[i] as f64;
+                Complex64::from_polar(radii[i], (phases[i] + tau * idx[i] as f64) / d)
+            })
+            .collect();
+        solutions.push(sol);
+        // Increment the mixed-radix counter.
+        let mut carry = true;
+        for i in 0..n {
+            if carry {
+                idx[i] += 1;
+                if idx[i] == degrees[i] as usize {
+                    idx[i] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    debug_assert_eq!(solutions.len(), total);
+    TotalDegreeStart { system, solutions }
+}
+
+/// A linear-product start system: each equation is a product of random
+/// linear forms, with start solutions obtained by solving one linear form
+/// per equation.
+pub struct LinearProductStart {
+    /// The start system `G` (equation `i` is a product of `factors[i]`
+    /// linear forms).
+    pub system: PolySystem,
+    /// Start solutions — one per nonsingular choice of factors.
+    pub solutions: Vec<Vec<Complex64>>,
+}
+
+/// Builds a linear-product start system with `factors[i]` dense random
+/// linear factors for equation `i` (Su–McCarthy–Watson style; this is the
+/// start-system family used for the RPS mechanism system in the paper).
+///
+/// The start solutions are all solutions of the `∏ factors[i]` linear
+/// systems picking one factor per equation; combinations whose matrix is
+/// singular contribute none (for dense generic factors that has
+/// probability zero).
+///
+/// # Panics
+/// Panics when `factors.len() != nvars` or any factor count is zero.
+pub fn linear_product_start<R: Rng + ?Sized>(
+    nvars: usize,
+    factors: &[u32],
+    rng: &mut R,
+) -> LinearProductStart {
+    assert_eq!(factors.len(), nvars, "one factor count per equation");
+    assert!(factors.iter().all(|&f| f >= 1), "every equation needs ≥ 1 factor");
+    // forms[i][j] = coefficients (constant + nvars) of factor j of eq i.
+    let mut forms: Vec<Vec<Vec<Complex64>>> = Vec::with_capacity(nvars);
+    let mut polys = Vec::with_capacity(nvars);
+    for &f in factors {
+        let mut eq_forms = Vec::with_capacity(f as usize);
+        let mut poly = Poly::constant(nvars, Complex64::ONE);
+        for _ in 0..f {
+            let coeffs: Vec<Complex64> = (0..=nvars).map(|_| unit_complex(rng)).collect();
+            poly = poly.mul(&Poly::linear(nvars, &coeffs));
+            eq_forms.push(coeffs);
+        }
+        forms.push(eq_forms);
+        polys.push(poly);
+    }
+    let system = PolySystem::new(polys);
+
+    // Enumerate factor choices and solve each linear system.
+    let mut solutions = Vec::new();
+    let mut choice = vec![0usize; nvars];
+    loop {
+        let a = CMat::from_fn(nvars, nvars, |i, j| forms[i][choice[i]][j + 1]);
+        let b: Vec<Complex64> = (0..nvars).map(|i| -forms[i][choice[i]][0]).collect();
+        if let Ok(lu) = Lu::factor(&a) {
+            solutions.push(lu.solve(&b));
+        }
+        let mut carry = true;
+        for i in 0..nvars {
+            if carry {
+                choice[i] += 1;
+                if choice[i] == factors[i] as usize {
+                    choice[i] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    LinearProductStart { system, solutions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::cyclic;
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn total_degree_start_solutions_are_roots() {
+        let mut rng = seeded_rng(210);
+        let target = cyclic(4);
+        let start = total_degree_start(&target, &mut rng);
+        assert_eq!(start.solutions.len(), 24); // 1·2·3·4
+        for sol in &start.solutions {
+            assert!(start.system.residual(sol) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn total_degree_start_solutions_are_distinct() {
+        let mut rng = seeded_rng(211);
+        let target = cyclic(3);
+        let start = total_degree_start(&target, &mut rng);
+        assert_eq!(start.solutions.len(), 6);
+        for i in 0..6 {
+            for j in 0..i {
+                let d: f64 = start.solutions[i]
+                    .iter()
+                    .zip(&start.solutions[j])
+                    .map(|(a, b)| a.dist(*b))
+                    .fold(0.0, f64::max);
+                assert!(d > 1e-6, "solutions {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_product_start_solutions_are_roots() {
+        let mut rng = seeded_rng(212);
+        let lp = linear_product_start(3, &[2, 1, 3], &mut rng);
+        assert_eq!(lp.solutions.len(), 6);
+        assert_eq!(lp.system.degrees(), vec![2, 1, 3]);
+        for sol in &lp.solutions {
+            assert!(lp.system.residual(sol) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_product_matches_total_degree_for_dense_factors() {
+        // With dense generic factors the linear-product bound equals the
+        // Bézout number.
+        let mut rng = seeded_rng(213);
+        let lp = linear_product_start(2, &[2, 2], &mut rng);
+        assert_eq!(lp.solutions.len(), 4);
+    }
+}

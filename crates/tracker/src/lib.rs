@@ -1,0 +1,39 @@
+//! Predictor–corrector path tracking for polynomial homotopies.
+//!
+//! This crate is the Rust counterpart of PHCpack's `Continuation`
+//! packages, the sequential engine that Section II of the ICPP 2004 paper
+//! parallelises. The pieces:
+//!
+//! * [`Homotopy`] — the trait a family `H(x, t)` must implement
+//!   (evaluation, Jacobian in `x`, derivative in `t`);
+//! * [`LinearHomotopy`] — the convex combination
+//!   `H(x,t) = γ·(1−t)·G(x) + t·F(x)` with the gamma trick (eq. (1) of the
+//!   paper);
+//! * [`newton_correct`] — Newton's method as the corrector;
+//! * [`Predictor`] — secant, tangent (Euler) and fourth-order Runge–Kutta
+//!   predictors;
+//! * [`track_path`] — the adaptive step-size driver producing a
+//!   [`PathResult`] (converged / diverged-to-infinity / failed), plus
+//!   [`track_all`] and [`TrackStats`] for whole-system runs.
+//!
+//! Paths that diverge to infinity are first-class citizens: the cyclic
+//! 10-roots and RPS experiments of the paper owe their load-balancing
+//! behaviour to them, so the tracker reports them (with the `t` reached
+//! and time spent) rather than erroring out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod homotopy;
+mod newton;
+mod path;
+mod predictor;
+mod settings;
+mod stats;
+
+pub use homotopy::{Homotopy, LinearHomotopy};
+pub use newton::{newton_correct, NewtonOutcome};
+pub use path::{track_all, track_path, PathResult, PathStatus};
+pub use predictor::Predictor;
+pub use settings::TrackSettings;
+pub use stats::TrackStats;

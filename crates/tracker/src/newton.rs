@@ -1,0 +1,158 @@
+//! Newton's method as the corrector of the predictor–corrector scheme.
+
+use crate::homotopy::Homotopy;
+use pieri_linalg::{inf_norm, CMat, Lu};
+use pieri_num::Complex64;
+
+/// Result of a Newton correction at fixed `t`.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOutcome {
+    /// True when the last update step was below the requested tolerance.
+    pub converged: bool,
+    /// `‖H(x,t)‖∞` after the final iteration.
+    pub residual: f64,
+    /// Size of the last Newton update `‖Δx‖∞`.
+    pub last_step: f64,
+    /// Iterations actually performed.
+    pub iters: usize,
+    /// True when a Jacobian was singular to working precision (the
+    /// iteration then stops early and reports non-convergence).
+    pub singular: bool,
+}
+
+/// Runs Newton's method on `x ↦ H(x, t)` at fixed `t`, correcting `x` in
+/// place.
+///
+/// Convergence is declared when the update norm `‖Δx‖∞` falls below `tol`
+/// (an error-estimate criterion, which is what PHCpack uses; residual
+/// tolerance alone is scale-dependent). The iteration also stops early
+/// when the update norm *grows* by more than 4× — that is a diverging
+/// Newton iteration and more steps only waste time.
+pub fn newton_correct<H: Homotopy + ?Sized>(
+    h: &H,
+    x: &mut [Complex64],
+    t: f64,
+    tol: f64,
+    max_iters: usize,
+) -> NewtonOutcome {
+    let n = h.dim();
+    debug_assert_eq!(x.len(), n);
+    let mut jac = CMat::zeros(n, n);
+    let mut fx = vec![Complex64::ZERO; n];
+    let mut last_step = f64::INFINITY;
+
+    for iter in 1..=max_iters {
+        h.eval(x, t, &mut fx);
+        h.jacobian_x(x, t, &mut jac);
+        let lu = match Lu::factor(&jac) {
+            Ok(lu) => lu,
+            Err(_) => {
+                return NewtonOutcome {
+                    converged: false,
+                    residual: inf_norm(&fx),
+                    last_step,
+                    iters: iter,
+                    singular: true,
+                }
+            }
+        };
+        let neg_fx: Vec<Complex64> = fx.iter().map(|z| -*z).collect();
+        let dx = lu.solve(&neg_fx);
+        for (xi, di) in x.iter_mut().zip(dx.iter()) {
+            *xi += *di;
+        }
+        let prev_step = last_step;
+        last_step = inf_norm(&dx);
+
+        if last_step <= tol * (1.0 + inf_norm(x)) {
+            h.eval(x, t, &mut fx);
+            return NewtonOutcome {
+                converged: true,
+                residual: inf_norm(&fx),
+                last_step,
+                iters: iter,
+                singular: false,
+            };
+        }
+        if last_step > 4.0 * prev_step {
+            // Diverging iteration: bail out, the predictor overshot.
+            break;
+        }
+    }
+    h.eval(x, t, &mut fx);
+    NewtonOutcome {
+        converged: false,
+        residual: inf_norm(&fx),
+        last_step,
+        iters: max_iters,
+        singular: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homotopy::LinearHomotopy;
+    use pieri_num::Complex64;
+    use pieri_poly::{Poly, PolySystem};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn squares_minus(a: f64, b: f64) -> PolySystem {
+        // {x² − a, y² − b}
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        PolySystem::new(vec![
+            x.mul(&x).sub(&Poly::constant(2, c(a, 0.0))),
+            y.mul(&y).sub(&Poly::constant(2, c(b, 0.0))),
+        ])
+    }
+
+    fn fixed_t_homotopy() -> LinearHomotopy {
+        // At t = 1 this is exactly the target system; Newton at t = 1 is
+        // plain root polishing.
+        LinearHomotopy::new(squares_minus(1.0, 1.0), squares_minus(4.0, 9.0), Complex64::ONE)
+    }
+
+    #[test]
+    fn quadratic_convergence_from_close_guess() {
+        let h = fixed_t_homotopy();
+        let mut x = [c(2.1, 0.05), c(-2.9, -0.1)];
+        let out = newton_correct(&h, &mut x, 1.0, 1e-12, 10);
+        assert!(out.converged, "{out:?}");
+        assert!(out.iters <= 6, "quadratic convergence expected, got {}", out.iters);
+        assert!(x[0].dist(c(2.0, 0.0)) < 1e-10);
+        assert!(x[1].dist(c(-3.0, 0.0)) < 1e-10);
+        assert!(out.residual < 1e-10);
+    }
+
+    #[test]
+    fn reports_failure_from_far_guess_with_few_iters() {
+        let h = fixed_t_homotopy();
+        let mut x = [c(50.0, 30.0), c(-80.0, 10.0)];
+        let out = newton_correct(&h, &mut x, 1.0, 1e-12, 2);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn singular_jacobian_detected() {
+        let h = fixed_t_homotopy();
+        // Jacobian of {x²−4, y²−9} is diag(2x, 2y): singular at x = 0.
+        let mut x = [c(0.0, 0.0), c(0.0, 0.0)];
+        let out = newton_correct(&h, &mut x, 1.0, 1e-12, 5);
+        assert!(out.singular);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn converges_at_intermediate_t() {
+        let h = fixed_t_homotopy();
+        // Solve H(x, 0.5) = 0 starting near the t=0 root (1,1).
+        let mut x = [c(1.0, 0.0), c(1.0, 0.0)];
+        let out = newton_correct(&h, &mut x, 0.5, 1e-12, 20);
+        assert!(out.converged, "{out:?}");
+        assert!(h.residual(&x, 0.5) < 1e-10);
+    }
+}

@@ -1,0 +1,457 @@
+//! The adaptive predictor–corrector driver.
+
+use crate::homotopy::Homotopy;
+use crate::newton::newton_correct;
+use crate::settings::TrackSettings;
+use crate::stats::TrackStats;
+use pieri_linalg::inf_norm;
+use pieri_num::Complex64;
+use std::time::{Duration, Instant};
+
+/// Terminal state of one tracked path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathStatus {
+    /// Reached `t = 1` and passed the final Newton refinement.
+    Converged,
+    /// The solution norm blew past the divergence threshold: the path leads
+    /// to a solution at infinity. `at_t` records how far it got.
+    Diverged {
+        /// Continuation parameter at which divergence was declared.
+        at_t: f64,
+    },
+    /// Step control collapsed (or the step budget ran out) without a large
+    /// norm; numerically stuck, e.g. near a singular endpoint.
+    Failed {
+        /// Continuation parameter at which tracking gave up.
+        at_t: f64,
+    },
+}
+
+impl PathStatus {
+    /// True for [`PathStatus::Converged`].
+    pub fn is_converged(self) -> bool {
+        matches!(self, PathStatus::Converged)
+    }
+}
+
+/// Outcome of tracking one solution path.
+#[derive(Debug, Clone)]
+pub struct PathResult {
+    /// Terminal state.
+    pub status: PathStatus,
+    /// Final approximation (the refined solution when converged).
+    pub x: Vec<Complex64>,
+    /// Final residual `‖H(x, t_end)‖∞`.
+    pub residual: f64,
+    /// Accepted predictor–corrector steps.
+    pub steps: usize,
+    /// Rejected (re-tried) steps.
+    pub rejections: usize,
+    /// Total Newton iterations spent.
+    pub newton_iters: usize,
+    /// Wall-clock time spent on this path.
+    pub elapsed: Duration,
+}
+
+/// Mutable tracking state shared between the main loop and the endgame.
+struct Progress {
+    x: Vec<Complex64>,
+    t: f64,
+    steps: usize,
+    rejections: usize,
+    newton_total: usize,
+    prev: Option<(Vec<Complex64>, f64)>,
+}
+
+/// Tracks one path of `h` from the start solution `x0` (a solution of
+/// `H(·, 0) = 0`) towards `t = 1`.
+///
+/// The loop predicts with the configured [`crate::Predictor`], corrects
+/// with Newton at fixed `t`, and adapts the step: a correction that
+/// converges within budget accepts the step (expanding after a streak),
+/// anything else rejects it and halves the step.
+///
+/// Inside `1 − t < endgame_radius` the tracker switches to a *geometric
+/// endgame*: steps always cover half the remaining distance, and the path
+/// ends either when consecutive iterates become Cauchy (then one last
+/// Newton polish at `t = 1` produces the solution) or when the solution
+/// norm blows up (a path to infinity). Without this, a divergent path of a
+/// deficient system would be "snapped" onto some finite root by the final
+/// refinement and counted twice — the endgame is what lets the cyclic
+/// 10-roots and RPS experiments of the paper report their divergent-path
+/// counts honestly.
+pub fn track_path<H: Homotopy + ?Sized>(
+    h: &H,
+    x0: &[Complex64],
+    settings: &TrackSettings,
+) -> PathResult {
+    let start_time = Instant::now();
+    let mut p = Progress {
+        x: x0.to_vec(),
+        t: 0.0,
+        steps: 0,
+        rejections: 0,
+        newton_total: 0,
+        prev: None,
+    };
+    let mut dt = settings.initial_step;
+    let mut streak = 0usize;
+    let endgame_start = 1.0 - settings.endgame_radius.clamp(0.0, 0.5);
+
+    let finish = |status: PathStatus, p: Progress, residual: f64| PathResult {
+        status,
+        x: p.x,
+        residual,
+        steps: p.steps,
+        rejections: p.rejections,
+        newton_iters: p.newton_total,
+        elapsed: start_time.elapsed(),
+    };
+
+    // Main adaptive phase: up to the endgame boundary.
+    while p.t < endgame_start {
+        if p.steps + p.rejections > settings.max_steps {
+            let r = h.residual(&p.x, p.t);
+            let t = p.t;
+            return finish(PathStatus::Failed { at_t: t }, p, r);
+        }
+        let step = dt.min(endgame_start - p.t);
+        match try_step(h, &mut p, step, settings) {
+            StepOutcome::Accepted => {
+                streak += 1;
+                if streak >= settings.expand_after {
+                    dt = (dt * settings.expand_factor).min(settings.max_step);
+                    streak = 0;
+                }
+                if inf_norm(&p.x) > settings.divergence_threshold {
+                    let r = h.residual(&p.x, p.t);
+                    let t = p.t;
+                    return finish(PathStatus::Diverged { at_t: t }, p, r);
+                }
+            }
+            StepOutcome::Rejected => {
+                streak = 0;
+                dt *= settings.shrink_factor;
+                if dt < settings.min_step {
+                    let r = h.residual(&p.x, p.t);
+                    let t = p.t;
+                    let status = if inf_norm(&p.x) > settings.divergence_threshold.sqrt() {
+                        PathStatus::Diverged { at_t: t }
+                    } else {
+                        PathStatus::Failed { at_t: t }
+                    };
+                    return finish(status, p, r);
+                }
+            }
+        }
+    }
+
+    // Geometric endgame towards t = 1.
+    let mut endgame_fail_shrink = 1.0f64;
+    // Norm history over the endgame halvings: a path diverging like
+    // (1−t)^{−1/k} towards a multiplicity-k solution at infinity never
+    // crosses an absolute norm threshold within f64 range, but its norm
+    // grows by the consistent factor 2^{1/k} per halving. The trailing
+    // growth ratio is the cheap stand-in for PHCpack's winding-number
+    // endgame test; bounded-but-stuck paths show ratio ≈ 1 instead.
+    let mut endgame_norms: Vec<f64> = vec![inf_norm(&p.x)];
+    loop {
+        if p.steps + p.rejections > settings.max_steps {
+            let r = h.residual(&p.x, p.t);
+            let t = p.t;
+            return finish(PathStatus::Failed { at_t: t }, p, r);
+        }
+        let remaining = 1.0 - p.t;
+        if remaining < 1e-13 {
+            break;
+        }
+        let step = 0.5 * remaining * endgame_fail_shrink;
+        if step < f64::EPSILON * 4.0 {
+            break;
+        }
+        let x_before = p.x.clone();
+        match try_step(h, &mut p, step, settings) {
+            StepOutcome::Accepted => {
+                endgame_fail_shrink = 1.0;
+                let norm = inf_norm(&p.x);
+                endgame_norms.push(norm);
+                if norm > settings.divergence_threshold {
+                    let r = h.residual(&p.x, p.t);
+                    let t = p.t;
+                    return finish(PathStatus::Diverged { at_t: t }, p, r);
+                }
+                // Cauchy test: iterates have stopped moving.
+                let diff: f64 = p
+                    .x
+                    .iter()
+                    .zip(x_before.iter())
+                    .map(|(a, b)| (*a - *b).norm())
+                    .fold(0.0, f64::max);
+                if diff <= settings.endgame_tol * (1.0 + norm) {
+                    break;
+                }
+            }
+            StepOutcome::Rejected => {
+                endgame_fail_shrink *= settings.shrink_factor;
+                if endgame_fail_shrink * remaining < settings.min_step {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Final refinement at t = 1 from the endgame limit point.
+    let x_entry = p.x.clone();
+    let entry_norm = inf_norm(&x_entry);
+    let out = newton_correct(h, &mut p.x, 1.0, settings.final_tol, settings.final_iters);
+    p.newton_total += out.iters;
+    // Reject a refinement that jumped far away from the tracked limit:
+    // that is Newton snapping a divergent path onto an unrelated root.
+    let jump: f64 = p
+        .x
+        .iter()
+        .zip(x_entry.iter())
+        .map(|(a, b)| (*a - *b).norm())
+        .fold(0.0, f64::max);
+    let snapped = jump > 0.25 * (1.0 + entry_norm);
+    // Growth-based divergence: over the trailing endgame window the norm
+    // kept growing geometrically (total factor ≥ 3 over ≤ 24 halvings,
+    // i.e. exponent ≥ ~1/15) and ended clearly above solution scale.
+    let window = endgame_norms.len().min(24);
+    let slow_divergence = window >= 8 && {
+        let first = endgame_norms[endgame_norms.len() - window].max(f64::MIN_POSITIVE);
+        entry_norm / first >= 3.0 && entry_norm > 10.0
+    };
+    let status = if out.converged && !snapped && inf_norm(&p.x) <= settings.divergence_threshold
+    {
+        PathStatus::Converged
+    } else if entry_norm > settings.divergence_threshold.sqrt()
+        || slow_divergence
+        || snapped && entry_norm > 1e3
+    {
+        PathStatus::Diverged { at_t: p.t }
+    } else {
+        PathStatus::Failed { at_t: p.t }
+    };
+    finish(status, p, out.residual)
+}
+
+enum StepOutcome {
+    Accepted,
+    Rejected,
+}
+
+/// One predict–correct attempt of length `step`; on success advances `p`.
+fn try_step<H: Homotopy + ?Sized>(
+    h: &H,
+    p: &mut Progress,
+    step: f64,
+    settings: &TrackSettings,
+) -> StepOutcome {
+    let t_next = (p.t + step).min(1.0);
+    let predicted = settings.predictor.predict(
+        h,
+        &p.x,
+        p.t,
+        t_next - p.t,
+        p.prev.as_ref().map(|(xp, tp)| (xp.as_slice(), *tp)),
+    );
+    match predicted {
+        Some(mut xp) if xp.iter().all(|z| z.is_finite()) => {
+            let out = newton_correct(
+                h,
+                &mut xp,
+                t_next,
+                settings.corrector_tol,
+                settings.corrector_iters,
+            );
+            p.newton_total += out.iters;
+            if out.converged && xp.iter().all(|z| z.is_finite()) {
+                p.prev = Some((std::mem::replace(&mut p.x, xp), p.t));
+                p.t = t_next;
+                p.steps += 1;
+                StepOutcome::Accepted
+            } else {
+                p.rejections += 1;
+                StepOutcome::Rejected
+            }
+        }
+        _ => {
+            p.rejections += 1;
+            StepOutcome::Rejected
+        }
+    }
+}
+
+/// Tracks every start solution sequentially, collecting per-path results
+/// and aggregate [`TrackStats`]. This is the "1 CPU" baseline that the
+/// schedulers in `pieri-parallel` and the cluster simulator accelerate.
+pub fn track_all<H: Homotopy + ?Sized>(
+    h: &H,
+    starts: &[Vec<Complex64>],
+    settings: &TrackSettings,
+) -> (Vec<PathResult>, TrackStats) {
+    let results: Vec<PathResult> = starts.iter().map(|s| track_path(h, s, settings)).collect();
+    let stats = TrackStats::from_results(&results);
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homotopy::LinearHomotopy;
+    use crate::predictor::Predictor;
+    use pieri_num::{random_gamma, seeded_rng};
+    use pieri_poly::{Poly, PolySystem};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn univar(coeffs: &[Complex64]) -> PolySystem {
+        let x = Poly::var(1, 0);
+        let mut p = Poly::zero(1);
+        for (k, &ck) in coeffs.iter().enumerate() {
+            p = p.add(&x.pow(k as u32).scale(ck));
+        }
+        PolySystem::new(vec![p])
+    }
+
+    /// x^d − 1 with its known roots of unity.
+    fn unity_start(d: usize) -> (PolySystem, Vec<Vec<Complex64>>) {
+        let mut coeffs = vec![Complex64::ZERO; d + 1];
+        coeffs[0] = c(-1.0, 0.0);
+        coeffs[d] = Complex64::ONE;
+        let sys = univar(&coeffs);
+        let roots = (0..d)
+            .map(|k| {
+                vec![Complex64::from_polar(
+                    1.0,
+                    std::f64::consts::TAU * k as f64 / d as f64,
+                )]
+            })
+            .collect();
+        (sys, roots)
+    }
+
+    #[test]
+    fn tracks_simple_quadratic() {
+        let (g, starts) = unity_start(2);
+        let f = univar(&[c(-4.0, 0.0), Complex64::ZERO, Complex64::ONE]); // x² − 4
+        let mut rng = seeded_rng(100);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let settings = TrackSettings::default();
+        let (results, stats) = track_all(&h, &starts, &settings);
+        assert_eq!(stats.converged, 2);
+        let mut endpoints: Vec<f64> = results.iter().map(|r| r.x[0].re).collect();
+        endpoints.sort_by(f64::total_cmp);
+        assert!((endpoints[0] + 2.0).abs() < 1e-8);
+        assert!((endpoints[1] - 2.0).abs() < 1e-8);
+        for r in &results {
+            assert!(r.residual < 1e-9);
+            assert!(r.x[0].im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn recovers_all_roots_of_degree_five_target() {
+        // Target: monic degree-5 with known random-ish roots.
+        let roots = [
+            c(1.0, 0.5),
+            c(-0.5, 1.5),
+            c(0.25, -0.75),
+            c(-1.5, -0.25),
+            c(2.0, 0.0),
+        ];
+        let target_uni = pieri_poly::UniPoly::from_roots(&roots);
+        let f = univar(target_uni.coeffs());
+        let (g, starts) = unity_start(5);
+        let mut rng = seeded_rng(101);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let (results, stats) = track_all(&h, &starts, &TrackSettings::default());
+        assert_eq!(stats.converged, 5, "{stats:?}");
+        // Endpoints must be the target roots as a multiset.
+        let mut found: Vec<Complex64> = results.iter().map(|r| r.x[0]).collect();
+        for &r in &roots {
+            let (i, d) = found
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f.dist(r)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert!(d < 1e-7, "root {r:?} missing (best {d:.2e})");
+            found.swap_remove(i);
+        }
+    }
+
+    #[test]
+    fn divergent_path_detected_for_deficient_target() {
+        // Target x − 1 treated as the degree-2 target 0·x² + x − 1 by
+        // pairing it with the quadratic start x² − 1: one path converges to
+        // 1, the other goes to infinity.
+        let (g, starts) = unity_start(2);
+        let f = univar(&[c(-1.0, 0.0), Complex64::ONE]);
+        let mut rng = seeded_rng(102);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let (results, stats) = track_all(&h, &starts, &TrackSettings::default());
+        assert_eq!(stats.converged, 1, "{stats:?}");
+        assert_eq!(stats.diverged, 1, "{stats:?}");
+        let conv = results.iter().find(|r| r.status.is_converged()).unwrap();
+        assert!(conv.x[0].dist(Complex64::ONE) < 1e-8);
+        let div = results.iter().find(|r| !r.status.is_converged()).unwrap();
+        match div.status {
+            PathStatus::Diverged { at_t } => assert!(at_t > 0.5, "diverges near t=1, got {at_t}"),
+            ref s => panic!("expected divergence, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn all_predictors_reach_the_same_endpoints() {
+        let (g, starts) = unity_start(3);
+        let f = univar(&[c(0.5, 0.25), c(-1.0, 0.5), c(0.0, -0.5), Complex64::ONE]);
+        let mut rng = seeded_rng(103);
+        let gamma = random_gamma(&mut rng);
+        let mut endpoints: Vec<Vec<Complex64>> = Vec::new();
+        for predictor in [Predictor::Secant, Predictor::Tangent, Predictor::RungeKutta4] {
+            let h = LinearHomotopy::new(g.clone(), f.clone(), gamma);
+            let settings = TrackSettings { predictor, ..TrackSettings::default() };
+            let (results, stats) = track_all(&h, &starts, &settings);
+            assert_eq!(stats.converged, 3, "{predictor:?}: {stats:?}");
+            let mut xs: Vec<Complex64> = results.iter().map(|r| r.x[0]).collect();
+            xs.sort_by(|a, b| a.re.total_cmp(&b.re).then(a.im.total_cmp(&b.im)));
+            endpoints.push(xs);
+        }
+        for k in 1..endpoints.len() {
+            for (a, b) in endpoints[0].iter().zip(endpoints[k].iter()) {
+                assert!(a.dist(*b) < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn max_steps_guard_fails_gracefully() {
+        let (g, starts) = unity_start(2);
+        let f = univar(&[c(-4.0, 0.0), Complex64::ZERO, Complex64::ONE]);
+        let mut rng = seeded_rng(104);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let settings = TrackSettings { max_steps: 3, ..TrackSettings::default() };
+        let r = track_path(&h, &starts[0], &settings);
+        // With a 3-step budget the tracker cannot reach t=1 (max_step 0.1).
+        assert!(matches!(r.status, PathStatus::Failed { .. }), "{:?}", r.status);
+    }
+
+    #[test]
+    fn track_counts_work() {
+        let (g, starts) = unity_start(4);
+        let f = univar(&[c(1.0, 2.0), c(0.5, 0.0), Complex64::ZERO, Complex64::ZERO, Complex64::ONE]);
+        let mut rng = seeded_rng(105);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let (results, stats) = track_all(&h, &starts, &TrackSettings::default());
+        assert_eq!(results.len(), 4);
+        assert_eq!(stats.total(), 4);
+        for r in &results {
+            assert!(r.steps > 0);
+            assert!(r.newton_iters >= r.steps);
+        }
+    }
+}

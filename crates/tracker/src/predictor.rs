@@ -1,0 +1,183 @@
+//! Predictors: secant, tangent (Euler) and fourth-order Runge–Kutta.
+//!
+//! The solution path `x(t)` of `H(x(t), t) = 0` obeys the Davidenko ODE
+//!
+//! ```text
+//! ∂H/∂x · dx/dt = −∂H/∂t ,
+//! ```
+//!
+//! so a predictor is an ODE step; the Newton corrector then pulls the
+//! prediction back onto the path. Higher-order predictors buy larger steps
+//! at more Jacobian solves per step — the `tracker` criterion bench
+//! measures that trade-off on cyclic-n paths.
+
+use crate::homotopy::Homotopy;
+use pieri_linalg::{CMat, Lu, LuError};
+use pieri_num::Complex64;
+
+/// Predictor order used by [`crate::track_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Predictor {
+    /// Extrapolate through the two most recent points. One extra point of
+    /// memory, zero extra solves; PHCpack's default cheap predictor.
+    Secant,
+    /// First-order tangent (Euler) step: one linear solve.
+    Tangent,
+    /// Classical fourth-order Runge–Kutta on the Davidenko ODE: four
+    /// linear solves per step.
+    #[default]
+    RungeKutta4,
+}
+
+/// Solves the Davidenko system for the tangent `dx/dt` at `(x, t)`.
+///
+/// Returns `None` when the Jacobian is singular to working precision.
+pub fn tangent<H: Homotopy + ?Sized>(h: &H, x: &[Complex64], t: f64) -> Option<Vec<Complex64>> {
+    let n = h.dim();
+    let mut jac = CMat::zeros(n, n);
+    let mut ht = vec![Complex64::ZERO; n];
+    h.jacobian_x(x, t, &mut jac);
+    h.dt(x, t, &mut ht);
+    let lu = match Lu::factor(&jac) {
+        Ok(lu) => lu,
+        Err(LuError::Singular { .. }) => return None,
+        Err(LuError::NotSquare) => unreachable!("homotopy Jacobian is square"),
+    };
+    let rhs: Vec<Complex64> = ht.iter().map(|z| -*z).collect();
+    Some(lu.solve(&rhs))
+}
+
+impl Predictor {
+    /// Predicts `x(t + dt)` from `x(t)`; `prev` is the previous accepted
+    /// point `(x_prev, t_prev)` when one exists (used by the secant rule).
+    ///
+    /// Returns `None` when a required Jacobian is singular; the driver
+    /// treats that as a failed step and shrinks `dt`.
+    pub fn predict<H: Homotopy + ?Sized>(
+        self,
+        h: &H,
+        x: &[Complex64],
+        t: f64,
+        dt: f64,
+        prev: Option<(&[Complex64], f64)>,
+    ) -> Option<Vec<Complex64>> {
+        match self {
+            Predictor::Secant => match prev {
+                Some((xp, tp)) if (t - tp).abs() > 1e-14 => {
+                    let scale = dt / (t - tp);
+                    Some(
+                        x.iter()
+                            .zip(xp.iter())
+                            .map(|(xi, pi)| *xi + (*xi - *pi).scale(scale))
+                            .collect(),
+                    )
+                }
+                // No history yet: fall back to a tangent step.
+                _ => Predictor::Tangent.predict(h, x, t, dt, None),
+            },
+            Predictor::Tangent => {
+                let v = tangent(h, x, t)?;
+                Some(
+                    x.iter()
+                        .zip(v.iter())
+                        .map(|(xi, vi)| *xi + vi.scale(dt))
+                        .collect(),
+                )
+            }
+            Predictor::RungeKutta4 => {
+                let n = h.dim();
+                let k1 = tangent(h, x, t)?;
+                let mid1: Vec<Complex64> =
+                    (0..n).map(|i| x[i] + k1[i].scale(dt / 2.0)).collect();
+                let k2 = tangent(h, &mid1, t + dt / 2.0)?;
+                let mid2: Vec<Complex64> =
+                    (0..n).map(|i| x[i] + k2[i].scale(dt / 2.0)).collect();
+                let k3 = tangent(h, &mid2, t + dt / 2.0)?;
+                let end: Vec<Complex64> = (0..n).map(|i| x[i] + k3[i].scale(dt)).collect();
+                let k4 = tangent(h, &end, t + dt)?;
+                Some(
+                    (0..n)
+                        .map(|i| {
+                            x[i] + (k1[i] + k2[i].scale(2.0) + k3[i].scale(2.0) + k4[i])
+                                .scale(dt / 6.0)
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homotopy::LinearHomotopy;
+    use pieri_poly::{Poly, PolySystem};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    /// Homotopy x² − (1 + 3t) = 0, whose positive path is x(t) = √(1+3t).
+    fn sqrt_homotopy() -> LinearHomotopy {
+        let x = Poly::var(1, 0);
+        let g = PolySystem::new(vec![x.mul(&x).sub(&Poly::constant(1, c(1.0, 0.0)))]);
+        let f = PolySystem::new(vec![x.mul(&x).sub(&Poly::constant(1, c(4.0, 0.0)))]);
+        // γ = 1 keeps the path real: H = (1−t)(x²−1) + t(x²−4) = x² − (1+3t).
+        LinearHomotopy::new(g, f, Complex64::ONE)
+    }
+
+    #[test]
+    fn tangent_matches_analytic_derivative() {
+        let h = sqrt_homotopy();
+        let t = 0.3f64;
+        let xt = (1.0 + 3.0 * t).sqrt();
+        let v = tangent(&h, &[c(xt, 0.0)], t).unwrap();
+        // dx/dt = 3 / (2√(1+3t)).
+        let expect = 3.0 / (2.0 * xt);
+        assert!(v[0].dist(c(expect, 0.0)) < 1e-10);
+    }
+
+    #[test]
+    fn predictor_orders_rank_correctly() {
+        let h = sqrt_homotopy();
+        let t = 0.2;
+        let dt = 0.2;
+        let x0 = [c((1.0f64 + 3.0 * t).sqrt(), 0.0)];
+        let exact = (1.0f64 + 3.0 * (t + dt)).sqrt();
+        let euler = Predictor::Tangent.predict(&h, &x0, t, dt, None).unwrap();
+        let rk4 = Predictor::RungeKutta4.predict(&h, &x0, t, dt, None).unwrap();
+        let e_euler = (euler[0].re - exact).abs();
+        let e_rk4 = (rk4[0].re - exact).abs();
+        assert!(e_rk4 < e_euler / 20.0, "RK4 ({e_rk4:.2e}) ≪ Euler ({e_euler:.2e})");
+        assert!(e_rk4 < 1e-3);
+    }
+
+    #[test]
+    fn secant_uses_history() {
+        let h = sqrt_homotopy();
+        let t0 = 0.1;
+        let t1 = 0.2;
+        let x0 = [c((1.0f64 + 3.0 * t0).sqrt(), 0.0)];
+        let x1 = [c((1.0f64 + 3.0 * t1).sqrt(), 0.0)];
+        let dt = 0.1;
+        let pred = Predictor::Secant
+            .predict(&h, &x1, t1, dt, Some((&x0[..], t0)))
+            .unwrap();
+        let exact = (1.0f64 + 3.0 * (t1 + dt)).sqrt();
+        assert!((pred[0].re - exact).abs() < 2e-2);
+        // Without history it still produces something sensible (tangent).
+        let pred0 = Predictor::Secant.predict(&h, &x1, t1, dt, None).unwrap();
+        assert!((pred0[0].re - exact).abs() < 2e-2);
+    }
+
+    #[test]
+    fn singular_jacobian_yields_none() {
+        let h = sqrt_homotopy();
+        // Jacobian 2x is singular at x = 0.
+        assert!(tangent(&h, &[Complex64::ZERO], 0.5).is_none());
+        assert!(Predictor::RungeKutta4
+            .predict(&h, &[Complex64::ZERO], 0.5, 0.1, None)
+            .is_none());
+    }
+}

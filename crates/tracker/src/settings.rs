@@ -1,0 +1,102 @@
+//! Tunable parameters of the adaptive tracker.
+
+use crate::predictor::Predictor;
+
+/// Step-size control and tolerance settings for [`crate::track_path`].
+///
+/// The defaults reproduce PHCpack's conservative continuation parameters
+/// and track every system in this workspace's test suite reliably; the
+/// benches sweep some of them (predictor order, corrector budget) as
+/// ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackSettings {
+    /// Predictor order.
+    pub predictor: Predictor,
+    /// Initial step length in `t`.
+    pub initial_step: f64,
+    /// Smallest permitted step; when the controller wants to go below this
+    /// the path is declared failed (or diverged when the norm is large).
+    pub min_step: f64,
+    /// Largest permitted step.
+    pub max_step: f64,
+    /// Multiplier applied after [`TrackSettings::expand_after`] consecutive
+    /// successful steps.
+    pub expand_factor: f64,
+    /// Multiplier applied after a rejected step.
+    pub shrink_factor: f64,
+    /// Consecutive successes required before expanding the step.
+    pub expand_after: usize,
+    /// Newton tolerance (on the update norm) during tracking.
+    pub corrector_tol: f64,
+    /// Newton iteration budget per correction during tracking; keeping it
+    /// small is what makes the step-size controller adaptive.
+    pub corrector_iters: usize,
+    /// Newton tolerance for the final refinement at `t = 1`.
+    pub final_tol: f64,
+    /// Newton budget for the final refinement.
+    pub final_iters: usize,
+    /// `‖x‖∞` beyond which a path is declared divergent (going to a
+    /// solution at infinity).
+    pub divergence_threshold: f64,
+    /// Hard cap on accepted + rejected steps, guarding against cycling.
+    pub max_steps: usize,
+    /// Distance from `t = 1` at which the tracker switches to the
+    /// geometric endgame (steps halving towards 1 with a Cauchy test).
+    /// Diverging paths are recognised inside this region instead of being
+    /// "snapped" onto a finite root by the final Newton refinement.
+    pub endgame_radius: f64,
+    /// Cauchy criterion of the endgame: consecutive endgame iterates
+    /// closer than `endgame_tol·(1+‖x‖)` end the path.
+    pub endgame_tol: f64,
+}
+
+impl Default for TrackSettings {
+    fn default() -> Self {
+        TrackSettings {
+            predictor: Predictor::RungeKutta4,
+            initial_step: 0.05,
+            min_step: 1e-10,
+            max_step: 0.1,
+            expand_factor: 1.5,
+            shrink_factor: 0.5,
+            expand_after: 3,
+            corrector_tol: 1e-9,
+            corrector_iters: 4,
+            final_tol: 1e-12,
+            final_iters: 12,
+            divergence_threshold: 1e8,
+            max_steps: 20_000,
+            endgame_radius: 0.01,
+            endgame_tol: 1e-8,
+        }
+    }
+}
+
+impl TrackSettings {
+    /// A faster, looser profile used by large benchmark sweeps where
+    /// per-path cost matters more than final polish.
+    pub fn fast() -> Self {
+        TrackSettings {
+            predictor: Predictor::RungeKutta4,
+            initial_step: 0.1,
+            max_step: 0.2,
+            corrector_tol: 1e-8,
+            final_tol: 1e-10,
+            ..TrackSettings::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = TrackSettings::default();
+        assert!(s.min_step < s.initial_step && s.initial_step <= s.max_step);
+        assert!(s.shrink_factor < 1.0 && s.expand_factor > 1.0);
+        assert!(s.corrector_tol > s.final_tol);
+        assert!(s.endgame_radius > 0.0 && s.endgame_radius < 0.5);
+    }
+}

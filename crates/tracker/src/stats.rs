@@ -1,0 +1,147 @@
+//! Aggregate statistics over a batch of tracked paths.
+
+use crate::path::{PathResult, PathStatus};
+use std::time::Duration;
+
+/// Summary of a multi-path tracking run.
+///
+/// These are exactly the numbers the load-balancing analysis of the paper
+/// needs: how many paths diverge, and how skewed the per-path cost
+/// distribution is (the variance drives the static-vs-dynamic gap of
+/// Tables I and II).
+#[derive(Debug, Clone, Default)]
+pub struct TrackStats {
+    /// Paths that reached `t = 1` and refined successfully.
+    pub converged: usize,
+    /// Paths that diverged to infinity.
+    pub diverged: usize,
+    /// Paths that got numerically stuck.
+    pub failed: usize,
+    /// Total accepted steps over all paths.
+    pub total_steps: usize,
+    /// Total Newton iterations over all paths.
+    pub total_newton_iters: usize,
+    /// Sum of per-path wall-clock times (the sequential cost).
+    pub total_time: Duration,
+    /// Longest single path.
+    pub max_path_time: Duration,
+    /// Per-path wall-clock times in seconds, in input order — the workload
+    /// vector handed to the schedulers and the cluster simulator.
+    pub path_times: Vec<f64>,
+}
+
+impl TrackStats {
+    /// Builds the summary from per-path results.
+    pub fn from_results(results: &[PathResult]) -> Self {
+        let mut s = TrackStats::default();
+        for r in results {
+            match r.status {
+                PathStatus::Converged => s.converged += 1,
+                PathStatus::Diverged { .. } => s.diverged += 1,
+                PathStatus::Failed { .. } => s.failed += 1,
+            }
+            s.total_steps += r.steps;
+            s.total_newton_iters += r.newton_iters;
+            s.total_time += r.elapsed;
+            s.max_path_time = s.max_path_time.max(r.elapsed);
+            s.path_times.push(r.elapsed.as_secs_f64());
+        }
+        s
+    }
+
+    /// Number of paths accounted for.
+    pub fn total(&self) -> usize {
+        self.converged + self.diverged + self.failed
+    }
+
+    /// Mean per-path time in seconds (0 when empty).
+    pub fn mean_time(&self) -> f64 {
+        if self.path_times.is_empty() {
+            0.0
+        } else {
+            self.path_times.iter().sum::<f64>() / self.path_times.len() as f64
+        }
+    }
+
+    /// Coefficient of variation of per-path times — the paper's
+    /// explanation for when dynamic load balancing beats static hinges on
+    /// this number being large.
+    pub fn time_cv(&self) -> f64 {
+        let mean = self.mean_time();
+        if mean == 0.0 || self.path_times.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .path_times
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / (self.path_times.len() - 1) as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::Complex64;
+
+    fn result(status: PathStatus, millis: u64, steps: usize) -> PathResult {
+        PathResult {
+            status,
+            x: vec![Complex64::ZERO],
+            residual: 0.0,
+            steps,
+            rejections: 0,
+            newton_iters: 2 * steps,
+            elapsed: Duration::from_millis(millis),
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_and_times() {
+        let rs = vec![
+            result(PathStatus::Converged, 10, 5),
+            result(PathStatus::Diverged { at_t: 0.9 }, 30, 20),
+            result(PathStatus::Failed { at_t: 0.5 }, 20, 7),
+        ];
+        let s = TrackStats::from_results(&rs);
+        assert_eq!((s.converged, s.diverged, s.failed), (1, 1, 1));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.total_steps, 32);
+        assert_eq!(s.total_newton_iters, 64);
+        assert_eq!(s.total_time, Duration::from_millis(60));
+        assert_eq!(s.max_path_time, Duration::from_millis(30));
+        assert!((s.mean_time() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_zero_for_uniform_times() {
+        let rs = vec![
+            result(PathStatus::Converged, 10, 1),
+            result(PathStatus::Converged, 10, 1),
+        ];
+        let s = TrackStats::from_results(&rs);
+        assert!(s.time_cv() < 1e-9);
+    }
+
+    #[test]
+    fn cv_large_for_skewed_times() {
+        let rs = vec![
+            result(PathStatus::Converged, 1, 1),
+            result(PathStatus::Converged, 1, 1),
+            result(PathStatus::Converged, 1, 1),
+            result(PathStatus::Converged, 1000, 1),
+        ];
+        let s = TrackStats::from_results(&rs);
+        assert!(s.time_cv() > 1.0);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TrackStats::from_results(&[]);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.mean_time(), 0.0);
+        assert_eq!(s.time_cv(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Cluster-scale what-if analysis with the discrete-event simulator.
+//!
+//! ```sh
+//! cargo run --release --example cluster_sim
+//! ```
+//!
+//! Recreates the paper's two workload regimes at full scale — cyclic
+//! 10-roots (35,940 paths, heavy-tailed divergence) and the RPS mechanism
+//! (9,216 paths, 8,192 near-uniform divergent paths) — and sweeps the
+//! processor count from 1 to 128 under both scheduling policies,
+//! rendering the speedup tables and curves.
+
+use pieri::num::seeded_rng;
+use pieri::sim::{ascii_chart, speedup_table, ChartSeries, SimParams, Workload};
+
+fn main() {
+    let mut rng = seeded_rng(2004);
+    let cpus = [1usize, 8, 16, 32, 64, 128];
+
+    // Cyclic 10-roots regime: large variance, ~1000 divergent paths.
+    let cyclic = Workload::cyclic_like(35_940, 1_000, 0.8, &mut rng);
+    println!("cyclic 10-roots-like workload: {} paths, cv = {:.2}", cyclic.len(), cyclic.cv());
+    let table = speedup_table(&cyclic, &cpus, SimParams::mpi_like);
+    println!("{}", table.render("seconds"));
+
+    // RPS regime: 89% divergent, near-uniform cost.
+    let rps = Workload::rps_like(9_216, 8_192, 0.5, &mut rng);
+    println!("RPS-like workload: {} paths, cv = {:.2}", rps.len(), rps.cv());
+    let table2 = speedup_table(&rps, &cpus, SimParams::mpi_like);
+    println!("{}", table2.render("seconds"));
+
+    // The Fig. 1-style chart for the cyclic workload.
+    let to_points = |f: fn(&pieri::sim::SpeedupRow) -> f64| -> Vec<(f64, f64)> {
+        table.rows.iter().map(|r| (r.cpus as f64, f(r))).collect()
+    };
+    let series = vec![
+        ChartSeries { label: "static".into(), glyph: 's', points: to_points(|r| r.static_speedup) },
+        ChartSeries { label: "dynamic".into(), glyph: 'd', points: to_points(|r| r.dynamic_speedup) },
+        ChartSeries {
+            label: "optimal".into(),
+            glyph: '.',
+            points: cpus.iter().map(|&c| (c as f64, c as f64)).collect(),
+        },
+    ];
+    println!("{}", ascii_chart("Speedup comparison (cyclic regime)", "#CPUs", "speedup", &series, 64, 20));
+}

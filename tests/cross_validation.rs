@@ -1,0 +1,152 @@
+//! Cross-validation of the two solver stacks on the *same* problem.
+//!
+//! The Pieri solver walks the tree of localization patterns; the
+//! black-box solver expands the intersection conditions into an explicit
+//! polynomial system and throws the generic total-degree tracker at it.
+//! They share nothing above the linear-algebra layer, so agreement on the
+//! full solution set is a strong end-to-end check of both.
+
+use pieri::num::{random_gamma, seeded_rng, Complex64};
+use pieri::poly::{Poly, PolySystem};
+use pieri::schubert::{self, CoeffLayout, PieriProblem, Shape};
+use pieri::systems::solve_by_total_degree;
+use pieri::tracker::TrackSettings;
+
+/// Builds the explicit polynomial system of the `(m,p,0)` Pieri problem
+/// in the root-pattern chart: `n = mp` determinants `det [X | L_i]`
+/// expanded symbolically in the `n` unknown coefficients.
+fn determinantal_system(problem: &PieriProblem) -> PolySystem {
+    let shape = problem.shape();
+    assert_eq!(shape.q(), 0, "static chart only");
+    let n = shape.conditions();
+    let root = shape.root();
+    let layout = CoeffLayout::new(&root);
+    let big_n = shape.big_n();
+    let p = shape.p();
+
+    // Symbolic map entries: X[i][j] as polynomials in the n unknowns.
+    let mut x_entries = vec![vec![Poly::zero(n); p]; big_n];
+    for (j, row) in x_entries.iter_mut().enumerate().take(p) {
+        row[j] = Poly::constant(n, Complex64::ONE); // top pivots
+    }
+    for (k, &(r, j)) in layout.slots().iter().enumerate() {
+        // q = 0: concatenated row r is physical row r − 1 (0-indexed).
+        x_entries[r - 1][j] = Poly::var(n, k);
+    }
+
+    let polys = (0..n)
+        .map(|i| {
+            let l = problem.plane(i);
+            let mat: Vec<Vec<Poly>> = (0..big_n)
+                .map(|row| {
+                    let mut full: Vec<Poly> = x_entries[row].clone();
+                    for c in 0..shape.m() {
+                        full.push(Poly::constant(n, l[(row, c)]));
+                    }
+                    full
+                })
+                .collect();
+            Poly::det(&mat)
+        })
+        .collect();
+    PolySystem::new(polys)
+}
+
+#[test]
+fn pieri_and_blackbox_agree_on_2_2_0() {
+    let mut rng = seeded_rng(910);
+    let shape = Shape::new(2, 2, 0);
+    let problem = PieriProblem::random(shape, &mut rng);
+
+    // Route 1: the Pieri tree.
+    let pieri_sol = schubert::solve(&problem);
+    assert_eq!(pieri_sol.maps.len(), 2);
+
+    // Route 2: symbolic expansion + total-degree tracking.
+    let system = determinantal_system(&problem);
+    assert_eq!(system.nvars(), 4);
+    // Each determinant is multilinear in the columns: degree ≤ p = 2.
+    assert!(system.degrees().iter().all(|&d| d <= 2));
+    let report = solve_by_total_degree(&system, &mut rng, &TrackSettings::default());
+    assert_eq!(
+        report.solutions.len(),
+        2,
+        "black-box finds the same count (stats: {:?})",
+        report.stats
+    );
+
+    // The coefficient vectors must match as multisets.
+    let mut unmatched: Vec<&Vec<Complex64>> = report.solutions.iter().collect();
+    for x in &pieri_sol.coeffs {
+        let pos = unmatched
+            .iter()
+            .position(|y| {
+                x.iter()
+                    .zip(y.iter())
+                    .map(|(a, b)| a.dist(*b))
+                    .fold(0.0, f64::max)
+                    < 1e-6
+            })
+            .expect("Pieri solution found by the black-box solver");
+        unmatched.swap_remove(pos);
+    }
+}
+
+#[test]
+fn pieri_and_blackbox_agree_on_3_2_0() {
+    let mut rng = seeded_rng(911);
+    let shape = Shape::new(3, 2, 0);
+    let problem = PieriProblem::random(shape, &mut rng);
+    let pieri_sol = schubert::solve(&problem);
+    assert_eq!(pieri_sol.maps.len(), 5);
+
+    let system = determinantal_system(&problem);
+    assert_eq!(system.nvars(), 6);
+    let report = solve_by_total_degree(&system, &mut rng, &TrackSettings::default());
+    assert_eq!(report.solutions.len(), 5, "stats: {:?}", report.stats);
+    // Bézout bound 2^6 = 64 paths but only 5 finite solutions: the Pieri
+    // count is what the geometry actually delivers — the economic
+    // argument for Pieri homotopies over black-box solving.
+    assert_eq!(report.paths.len(), 64);
+    for x in &pieri_sol.coeffs {
+        let found = report.solutions.iter().any(|y| {
+            x.iter()
+                .zip(y.iter())
+                .map(|(a, b)| a.dist(*b))
+                .fold(0.0, f64::max)
+                < 1e-6
+        });
+        assert!(found, "Pieri solution missing from black-box set");
+    }
+}
+
+#[test]
+fn symbolic_det_matches_numeric_det() {
+    // Poly::det on a constant matrix equals the LU determinant.
+    let mut rng = seeded_rng(912);
+    for n in 1..=5 {
+        let a = pieri::linalg::CMat::random(n, n, &mut rng, pieri::num::random_complex);
+        let mat: Vec<Vec<Poly>> = (0..n)
+            .map(|i| (0..n).map(|j| Poly::constant(1, a[(i, j)])).collect())
+            .collect();
+        let sym = Poly::det(&mat);
+        let sym_val = sym.eval(&[Complex64::ZERO]);
+        let num = pieri::linalg::det(&a);
+        assert!(sym_val.dist(num) < 1e-9 * (1.0 + num.norm()), "n={n}");
+    }
+}
+
+#[test]
+fn symbolic_det_multilinearity() {
+    // det is linear in each matrix row of polynomials: check on 2×2 with
+    // variable entries against the hand expansion.
+    let x = Poly::var(2, 0);
+    let y = Poly::var(2, 1);
+    let one = Poly::constant(2, Complex64::ONE);
+    let mat = vec![vec![x.clone(), one.clone()], vec![one.clone(), y.clone()]];
+    let d = Poly::det(&mat);
+    let expect = x.mul(&y).sub(&one);
+    assert_eq!(d, expect);
+
+    let _ = random_gamma(&mut seeded_rng(0)); // silence unused-import lints on some toolchains
+}
