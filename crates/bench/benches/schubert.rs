@@ -11,12 +11,16 @@ fn bench_poset_counts(c: &mut Criterion) {
     let mut group = c.benchmark_group("poset_root_count");
     for (m, p, q) in [(2usize, 2usize, 3usize), (3, 3, 1), (4, 4, 0), (4, 3, 1)] {
         let label = format!("{m}{p}{q}");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(m, p, q), |b, &(m, p, q)| {
-            b.iter(|| {
-                let poset = Poset::build(&Shape::new(m, p, q));
-                poset.root_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(m, p, q),
+            |b, &(m, p, q)| {
+                b.iter(|| {
+                    let poset = Poset::build(&Shape::new(m, p, q));
+                    poset.root_count()
+                })
+            },
+        );
     }
     group.finish();
 }

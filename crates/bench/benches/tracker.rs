@@ -31,7 +31,10 @@ fn bench_predictor_ablation(c: &mut Criterion) {
         ("euler", Predictor::Tangent),
         ("rk4", Predictor::RungeKutta4),
     ] {
-        let settings = TrackSettings { predictor, ..TrackSettings::default() };
+        let settings = TrackSettings {
+            predictor,
+            ..TrackSettings::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &settings, |b, s| {
             // Track a small batch so step-count differences show up.
             b.iter(|| {
@@ -54,7 +57,11 @@ fn bench_pieri_job(c: &mut Criterion) {
     let problem = PieriProblem::random(shape.clone(), &mut rng);
     let solution = pieri_core::solve(&problem);
     let root = shape.root();
-    let child = root.children().into_iter().next().expect("root has children");
+    let child = root
+        .children()
+        .into_iter()
+        .next()
+        .expect("root has children");
     // Re-run the last-level job from one of the child solutions.
     let child_sol = solution.coeffs[0][..child.rank()].to_vec();
     let settings = TrackSettings::default();

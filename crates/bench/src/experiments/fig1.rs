@@ -24,9 +24,21 @@ pub fn run(opts: &Opts) -> String {
         .map(|r| (r.cpus as f64, r.cpus as f64))
         .collect();
     let series = vec![
-        ChartSeries { label: "static".into(), glyph: 's', points: static_pts },
-        ChartSeries { label: "dynamic".into(), glyph: 'd', points: dynamic_pts },
-        ChartSeries { label: "optimal".into(), glyph: '.', points: optimal_pts },
+        ChartSeries {
+            label: "static".into(),
+            glyph: 's',
+            points: static_pts,
+        },
+        ChartSeries {
+            label: "dynamic".into(),
+            glyph: 'd',
+            points: dynamic_pts,
+        },
+        ChartSeries {
+            label: "optimal".into(),
+            glyph: '.',
+            points: optimal_pts,
+        },
     ];
     let mut out = String::new();
     out.push_str("FIG. 1 — SPEEDUP COMPARISON, CYCLIC 10-ROOTS (SIMULATED CLUSTER)\n");

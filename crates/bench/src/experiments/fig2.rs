@@ -12,12 +12,18 @@ pub fn run(opts: &Opts) -> String {
         ChartSeries {
             label: "static".into(),
             glyph: 's',
-            points: rows.iter().map(|r| (r.cpus as f64, r.static_speedup)).collect(),
+            points: rows
+                .iter()
+                .map(|r| (r.cpus as f64, r.static_speedup))
+                .collect(),
         },
         ChartSeries {
             label: "dynamic".into(),
             glyph: 'd',
-            points: rows.iter().map(|r| (r.cpus as f64, r.dynamic_speedup)).collect(),
+            points: rows
+                .iter()
+                .map(|r| (r.cpus as f64, r.dynamic_speedup))
+                .collect(),
         },
     ];
     let mut out = String::new();
@@ -26,7 +32,14 @@ pub fn run(opts: &Opts) -> String {
     out.push('\n');
     out.push_str(&header);
     out.push('\n');
-    out.push_str(&ascii_chart("Speedup comparison", "#CPUs", "speedup*", &series, 64, 24));
+    out.push_str(&ascii_chart(
+        "Speedup comparison",
+        "#CPUs",
+        "speedup*",
+        &series,
+        64,
+        24,
+    ));
     out.push_str(
         "\nshape checks: both curves climb together — uniform-cost divergent paths\n\
          balance themselves statically, so the two policies nearly coincide\n\

@@ -24,11 +24,18 @@ pub fn run(_opts: &Opts) -> String {
     out.push_str("n + p = 10 nonzero entries, '1' marks the normalised top pivots):\n");
     out.push_str(&root.concatenated_form());
     out.push('\n');
-    out.push_str(&format!("shorthand (bottom pivots): {}\n", root.shorthand()));
+    out.push_str(&format!(
+        "shorthand (bottom pivots): {}\n",
+        root.shorthand()
+    ));
     out.push_str(&format!(
         "column degrees: {:?}; pivot residues within their blocks: {:?}\n",
-        (0..shape.p()).map(|j| root.col_degree(j)).collect::<Vec<_>>(),
-        (0..shape.p()).map(|j| root.pivot_residue(j)).collect::<Vec<_>>(),
+        (0..shape.p())
+            .map(|j| root.col_degree(j))
+            .collect::<Vec<_>>(),
+        (0..shape.p())
+            .map(|j| root.pivot_residue(j))
+            .collect::<Vec<_>>(),
     ));
     out.push_str(
         "\nshape checks: first column capped at one block (4 rows), second at two\n\

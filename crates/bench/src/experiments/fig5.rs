@@ -48,7 +48,10 @@ pub fn run(_opts: &Opts) -> String {
         all.len(),
         &profile.widths[1..]
     ));
-    out.push_str(&format!("total jobs (tree edges): {}\n", profile.total_jobs()));
+    out.push_str(&format!(
+        "total jobs (tree edges): {}\n",
+        profile.total_jobs()
+    ));
     out.push_str(
         "\nshape checks: 8 chains ending at [4 7]; two jobs become independent as\n\
          soon as their common ancestor's solution is known — the tree, unlike\n\

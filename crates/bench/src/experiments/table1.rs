@@ -72,7 +72,11 @@ pub fn run(opts: &Opts) -> String {
         "#CPUs", "static", "speedup", "dynamic", "speedup", "improvement"
     ));
     for (cpus, st, ss, dt, ds) in PAPER_ROWS {
-        let imp = if cpus == 1 { "-".to_string() } else { format!("{:.2}%", 100.0 * (st - dt) / st) };
+        let imp = if cpus == 1 {
+            "-".to_string()
+        } else {
+            format!("{:.2}%", 100.0 * (st - dt) / st)
+        };
         out.push_str(&format!(
             "{cpus:>6} | {st:>9.1} {ss:>8.1} | {dt:>9.1} {ds:>8.1} | {imp:>12}\n"
         ));

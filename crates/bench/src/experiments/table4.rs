@@ -20,8 +20,7 @@ struct Cell {
 }
 
 /// The paper's grid: (m, p) rows × q columns (upper-triangular coverage).
-const GRID: [(usize, usize, usize); 5] =
-    [(2, 2, 3), (3, 2, 3), (3, 3, 2), (4, 3, 1), (4, 4, 0)];
+const GRID: [(usize, usize, usize); 5] = [(2, 2, 3), (3, 2, 3), (3, 3, 2), (4, 3, 1), (4, 4, 0)];
 
 fn solve_cell(m: usize, p: usize, q: usize, seed: u64) -> (f64, f64, f64) {
     let mut rng = seeded_rng(seed);
@@ -60,7 +59,8 @@ pub fn run(opts: &Opts) -> String {
         for q in 0..=maxq {
             let solutions = root_count(m, p, q);
             let cell = if tractable.contains(&(m, p, q)) {
-                let (pc, cluster, residual) = solve_cell(m, p, q, opts.seed + (100 * m + 10 * p + q) as u64);
+                let (pc, cluster, residual) =
+                    solve_cell(m, p, q, opts.seed + (100 * m + 10 * p + q) as u64);
                 Cell {
                     m,
                     p,
@@ -71,7 +71,15 @@ pub fn run(opts: &Opts) -> String {
                     residual: Some(residual),
                 }
             } else {
-                Cell { m, p, q, solutions, pc_seconds: None, cluster_seconds: None, residual: None }
+                Cell {
+                    m,
+                    p,
+                    q,
+                    solutions,
+                    pc_seconds: None,
+                    cluster_seconds: None,
+                    residual: None,
+                }
             };
             cells.push(cell);
         }
@@ -100,9 +108,7 @@ pub fn run(opts: &Opts) -> String {
         let cl = c
             .cluster_seconds
             .map_or("-".to_string(), |t| format!("{t:.3}s"));
-        let rs = c
-            .residual
-            .map_or("-".to_string(), |r| format!("{r:.0e}"));
+        let rs = c.residual.map_or("-".to_string(), |r| format!("{r:.0e}"));
         out.push_str(&format!(
             "{:>3} {:>3} {:>3} {:>12} {:>12} {:>14} {:>10}\n",
             c.m, c.p, c.q, c.solutions, pc, cl, rs

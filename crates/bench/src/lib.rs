@@ -24,7 +24,10 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { full: false, seed: 2004 }
+        Opts {
+            full: false,
+            seed: 2004,
+        }
     }
 }
 

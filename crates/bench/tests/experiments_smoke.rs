@@ -19,7 +19,10 @@ fn fig3_report_contains_paper_facts() {
 fn fig4_report_counts_to_eight() {
     let out = fig4::run(&Opts::default());
     assert!(out.contains("root count d(2,2,1) = 8"));
-    assert!(out.contains("[4 7] (8)"), "root node annotated with its count");
+    assert!(
+        out.contains("[4 7] (8)"),
+        "root node annotated with its count"
+    );
     assert!(out.contains("poset nodes: 12"));
 }
 

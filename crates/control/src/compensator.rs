@@ -86,9 +86,7 @@ impl Compensator {
             .coeffs()
             .iter()
             .chain(self.v_s.coeffs().iter())
-            .all(|c| {
-                (0..c.rows()).all(|i| (0..c.cols()).all(|j| c[(i, j)].im.abs() <= tol))
-            })
+            .all(|c| (0..c.rows()).all(|i| (0..c.cols()).all(|j| c[(i, j)].im.abs() <= tol)))
     }
 
     /// The compensator's own characteristic polynomial `det U(s)`; its
@@ -118,7 +116,9 @@ mod tests {
         assert_eq!(maps.len(), 2);
         for map in &maps {
             let comp = Compensator::from_map(map, 2, 2);
-            let k = comp.static_gain().expect("generic q=0 solution has invertible U");
+            let k = comp
+                .static_gain()
+                .expect("generic q=0 solution has invertible U");
             assert_eq!((k.rows(), k.cols()), (2, 2));
         }
     }

@@ -35,8 +35,8 @@ mod statespace;
 pub use compensator::Compensator;
 pub use plant::Plant;
 pub use pole::{
-    conjugate_pole_set, solve_dynamic_state_space, solve_static_state_space,
-    verify_closed_loop_ss, PolePlacement, PolePlacementOutcome,
+    conjugate_pole_set, solve_dynamic_state_space, solve_static_state_space, verify_closed_loop_ss,
+    PolePlacement, PolePlacementOutcome,
 };
 pub use satellite::{satellite_plant, SATELLITE_OMEGA};
 pub use statespace::StateSpace;

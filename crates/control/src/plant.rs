@@ -46,7 +46,11 @@ impl Plant {
             col_degrees[j] = deg;
             for i in 0..m {
                 let lead = d_s.coeffs()[deg][(i, j)];
-                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(
                     lead.dist(expect) < 1e-12,
                     "D(s) must have identity leading column coefficients"
@@ -64,7 +68,11 @@ impl Plant {
                 }
             }
         }
-        Plant { n_s, d_s, col_degrees }
+        Plant {
+            n_s,
+            d_s,
+            col_degrees,
+        }
     }
 
     /// Generates a random strictly proper plant for the `(m, p, q)`
@@ -91,8 +99,7 @@ impl Plant {
         // Distribute the degree over the m columns.
         let base = degree / m;
         let extra = degree % m;
-        let col_degrees: Vec<usize> =
-            (0..m).map(|j| base + usize::from(j < extra)).collect();
+        let col_degrees: Vec<usize> = (0..m).map(|j| base + usize::from(j < extra)).collect();
         let max_deg = *col_degrees.iter().max().expect("m ≥ 1");
 
         // D(s): random lower coefficients, identity leading column coeffs.
@@ -207,7 +214,10 @@ mod tests {
         let plant = Plant::random(2, 2, 1, &mut rng);
         let chi = plant.open_loop_charpoly();
         assert_eq!(chi.degree(), 7);
-        assert!(chi.leading().dist(Complex64::ONE) < 1e-8, "column-reduced ⇒ monic");
+        assert!(
+            chi.leading().dist(Complex64::ONE) < 1e-8,
+            "column-reduced ⇒ monic"
+        );
     }
 
     #[test]

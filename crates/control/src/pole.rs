@@ -92,7 +92,11 @@ impl PolePlacement {
             .iter()
             .map(|map| Compensator::from_map(map, m, p))
             .collect();
-        PolePlacementOutcome { problem, solution, compensators }
+        PolePlacementOutcome {
+            problem,
+            solution,
+            compensators,
+        }
     }
 
     /// Verifies one solution map: computes the closed-loop characteristic
@@ -189,10 +193,7 @@ pub fn solve_static_state_space<R: Rng + ?Sized>(
     let gains = solution
         .maps
         .iter()
-        .filter_map(|map| {
-            Compensator::from_map(map, m, p)
-                .static_gain()
-        })
+        .filter_map(|map| Compensator::from_map(map, m, p).static_gain())
         .collect();
     (gains, solution, problem)
 }

@@ -50,12 +50,7 @@ fn satellite_ab(omega: f64) -> (CMat, CMat) {
         vec![z, z, z, one],
         vec![z, c(-2.0 * omega), z, z],
     ]);
-    let b = CMat::from_rows(&[
-        vec![z, z],
-        vec![one, z],
-        vec![z, z],
-        vec![z, one],
-    ]);
+    let b = CMat::from_rows(&[vec![z, z], vec![one, z], vec![z, z], vec![z, one]]);
     (a, b)
 }
 
@@ -65,10 +60,7 @@ pub fn satellite_plant(omega: f64) -> StateSpace {
     let (a, b) = satellite_ab(omega);
     let z = Complex64::ZERO;
     let one = Complex64::ONE;
-    let c = CMat::from_rows(&[
-        vec![one, z, z, z],
-        vec![z, z, one, z],
-    ]);
+    let c = CMat::from_rows(&[vec![one, z, z, z], vec![z, z, one, z]]);
     StateSpace::new(a, b, c)
 }
 
@@ -114,7 +106,10 @@ mod tests {
         for map in &solution.maps {
             let u0 = map.coeffs()[0].submatrix(0, 0, 2, 2);
             let rel = pieri_linalg::det(&u0).norm() / u0.fro_norm().powi(2);
-            assert!(rel < 1e-6, "solution must be improper, |det U| rel = {rel:.2e}");
+            assert!(
+                rel < 1e-6,
+                "solution must be improper, |det U| rel = {rel:.2e}"
+            );
         }
     }
 

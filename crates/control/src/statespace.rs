@@ -117,7 +117,11 @@ impl StateSpace {
     /// # Panics
     /// Panics when `K` is not `m × p`.
     pub fn closed_loop_static(&self, k: &CMat) -> CMat {
-        assert_eq!((k.rows(), k.cols()), (self.inputs(), self.outputs()), "K must be m × p");
+        assert_eq!(
+            (k.rows(), k.cols()),
+            (self.inputs(), self.outputs()),
+            "K must be m × p"
+        );
         &self.a + &(&(&self.b * k) * &self.c)
     }
 
@@ -251,8 +255,8 @@ mod tests {
     #[test]
     fn faddeev_leverrier_matches_numeric_resolvent() {
         let mut rng = seeded_rng(514);
-        use pieri_num::random_complex;
         use pieri_linalg::Lu;
+        use pieri_num::random_complex;
         let a = CMat::random(4, 4, &mut rng, random_complex);
         let ss = StateSpace::new(a.clone(), CMat::zeros(4, 1), CMat::zeros(1, 4));
         let (chi, adj) = ss.resolvent_adjugate();

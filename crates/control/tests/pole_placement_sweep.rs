@@ -107,13 +107,11 @@ fn self_conjugate_poles_admit_real_or_paired_laws() {
         .collect();
     assert_eq!(gains.len(), 2);
     for k in &gains {
-        let is_real = (0..k.rows())
-            .all(|i| (0..k.cols()).all(|j| k[(i, j)].im.abs() < 1e-6));
+        let is_real = (0..k.rows()).all(|i| (0..k.cols()).all(|j| k[(i, j)].im.abs() < 1e-6));
         if !is_real {
             let has_conj = gains.iter().any(|other| {
-                (0..k.rows()).all(|i| {
-                    (0..k.cols()).all(|j| other[(i, j)].dist(k[(i, j)].conj()) < 1e-6)
-                })
+                (0..k.rows())
+                    .all(|i| (0..k.cols()).all(|j| other[(i, j)].dist(k[(i, j)].conj()) < 1e-6))
             });
             assert!(has_conj, "complex gain without conjugate partner");
         }

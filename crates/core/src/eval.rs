@@ -49,7 +49,13 @@ impl CoeffLayout {
             }
         }
         let col_deg = (0..p).map(|j| pattern.col_degree(j)).collect();
-        CoeffLayout { pattern: pattern.clone(), slots, phys, deg, col_deg }
+        CoeffLayout {
+            pattern: pattern.clone(),
+            slots,
+            phys,
+            deg,
+            col_deg,
+        }
     }
 
     /// The pattern this layout belongs to.
@@ -210,7 +216,11 @@ mod tests {
         // Columns are e_1, e_2.
         for i in 0..4 {
             for j in 0..2 {
-                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert_eq!(m[(i, j)], expect);
             }
         }
@@ -222,7 +232,9 @@ mod tests {
         let root = shape.root();
         let layout = CoeffLayout::new(&root);
         let mut rng = seeded_rng(310);
-        let x: Vec<Complex64> = (0..layout.dim()).map(|_| random_complex(&mut rng)).collect();
+        let x: Vec<Complex64> = (0..layout.dim())
+            .map(|_| random_complex(&mut rng))
+            .collect();
         let a = layout.eval_map(&x, c(0.1, 0.2), Complex64::ONE);
         let b = layout.eval_map(&x, c(-5.0, 3.0), Complex64::ONE);
         assert!((&a - &b).fro_norm() < 1e-14);
@@ -295,7 +307,11 @@ mod tests {
         let mc = lc.eval_map(&y, s, Complex64::ONE);
         assert!((&mp - &mc).fro_norm() < 1e-13);
         // The zeroed slot is the parent pivot (row 7, col 1).
-        let pivot_slot = lp.slots().iter().position(|&(r, j)| r == 7 && j == 1).unwrap();
+        let pivot_slot = lp
+            .slots()
+            .iter()
+            .position(|&(r, j)| r == 7 && j == 1)
+            .unwrap();
         assert_eq!(x[pivot_slot], Complex64::ZERO);
     }
 

@@ -36,7 +36,9 @@ use pieri_tracker::Homotopy;
 pub fn special_plane(pattern: &Pattern) -> CMat {
     let shape = pattern.shape();
     let big_n = shape.big_n();
-    let residues: Vec<usize> = (0..shape.p()).map(|j| pattern.pivot_residue(j) - 1).collect();
+    let residues: Vec<usize> = (0..shape.p())
+        .map(|j| pattern.pivot_residue(j) - 1)
+        .collect();
     let mut cols: Vec<usize> = (0..big_n).filter(|i| !residues.contains(i)).collect();
     cols.truncate(shape.m());
     debug_assert_eq!(cols.len(), shape.m(), "residues are distinct");
@@ -111,13 +113,7 @@ impl PieriHomotopy {
     }
 
     /// Condition matrix `[X(s,u) | L]`.
-    fn condition_matrix(
-        &self,
-        x: &[Complex64],
-        s: Complex64,
-        u: Complex64,
-        plane: &CMat,
-    ) -> CMat {
+    fn condition_matrix(&self, x: &[Complex64], s: Complex64, u: Complex64, plane: &CMat) -> CMat {
         self.layout.eval_map(x, s, u).hstack(plane)
     }
 }
@@ -235,9 +231,12 @@ mod tests {
             let root = shape.root();
             let layout = CoeffLayout::new(&root);
             let mf = special_plane(&root);
-            let x: Vec<Complex64> =
-                (0..layout.dim()).map(|_| random_complex(&mut rng)).collect();
-            let a = layout.eval_map(&x, Complex64::ONE, Complex64::ZERO).hstack(&mf);
+            let x: Vec<Complex64> = (0..layout.dim())
+                .map(|_| random_complex(&mut rng))
+                .collect();
+            let a = layout
+                .eval_map(&x, Complex64::ONE, Complex64::ZERO)
+                .hstack(&mf);
             let d = det(&a);
             assert!(d.norm() > 1e-10, "generic pivots: det ≠ 0 ({m},{p},{q})");
             // Zero the pivot of the last column.
@@ -249,8 +248,13 @@ mod tests {
                 .unwrap();
             let mut x0 = x.clone();
             x0[slot] = Complex64::ZERO;
-            let a0 = layout.eval_map(&x0, Complex64::ONE, Complex64::ZERO).hstack(&mf);
-            assert!(det(&a0).norm() < 1e-12, "zeroed pivot: det = 0 ({m},{p},{q})");
+            let a0 = layout
+                .eval_map(&x0, Complex64::ONE, Complex64::ZERO)
+                .hstack(&mf);
+            assert!(
+                det(&a0).norm() < 1e-12,
+                "zeroed pivot: det = 0 ({m},{p},{q})"
+            );
         }
     }
 

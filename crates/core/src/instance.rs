@@ -38,7 +38,11 @@ impl InstanceHomotopy {
     /// # Panics
     /// Panics when the shapes differ.
     pub fn new(start: &PieriProblem, target: &PieriProblem) -> Self {
-        assert_eq!(start.shape(), target.shape(), "instances must share a shape");
+        assert_eq!(
+            start.shape(),
+            target.shape(),
+            "instances must share a shape"
+        );
         let shape = start.shape();
         let root = shape.root();
         let layout = CoeffLayout::new(&root);
@@ -119,9 +123,7 @@ impl Homotopy for InstanceHomotopy {
                     self.layout
                         .weight_dt(slot, sigma, Complex64::ONE, dsigma, Complex64::ZERO);
                 if wdt != Complex64::ZERO {
-                    acc += cof[(self.layout.phys_row(slot), self.layout.col(slot))]
-                        * x[slot]
-                        * wdt;
+                    acc += cof[(self.layout.phys_row(slot), self.layout.col(slot))] * x[slot] * wdt;
                 }
             }
             // Plane motion: dP/dt = L_i − γR_i.
@@ -180,7 +182,12 @@ pub fn continue_to_instance(
             PathStatus::Failed { .. } => failed += 1,
         }
     }
-    InstanceContinuation { maps, coeffs, diverged, failed }
+    InstanceContinuation {
+        maps,
+        coeffs,
+        diverged,
+        failed,
+    }
 }
 
 #[cfg(test)]
@@ -198,13 +205,14 @@ mod tests {
         let target = PieriProblem::random(shape.clone(), &mut rng);
         let sol = crate::solver::solve(&start);
         assert_eq!(sol.maps.len(), 2);
-        let cont = continue_to_instance(
-            &start,
-            &sol.coeffs,
-            &target,
-            &TrackSettings::default(),
+        let cont = continue_to_instance(&start, &sol.coeffs, &target, &TrackSettings::default());
+        assert_eq!(
+            cont.maps.len(),
+            2,
+            "diverged={} failed={}",
+            cont.diverged,
+            cont.failed
         );
-        assert_eq!(cont.maps.len(), 2, "diverged={} failed={}", cont.diverged, cont.failed);
         for m in &cont.maps {
             assert!(m.max_residual(&target) < 1e-7);
         }
@@ -220,7 +228,9 @@ mod tests {
         let target = PieriProblem::random(shape.clone(), &mut rng);
         let h = InstanceHomotopy::new(&start, &target);
         let k = h.dim();
-        let x: Vec<Complex64> = (0..k).map(|_| pieri_num::random_complex(&mut rng)).collect();
+        let x: Vec<Complex64> = (0..k)
+            .map(|_| pieri_num::random_complex(&mut rng))
+            .collect();
         let t = 0.3;
         // dt check.
         let mut an = vec![Complex64::ZERO; k];
@@ -246,7 +256,10 @@ mod tests {
             h.eval(&xp, t, &mut f1);
             for r in 0..k {
                 let fd = (f1[r] - f0[r]) / step;
-                assert!(fd.dist(jac[(r, c)]) < 1e-5 * (1.0 + jac[(r, c)].norm()), "J[{r},{c}]");
+                assert!(
+                    fd.dist(jac[(r, c)]) < 1e-5 * (1.0 + jac[(r, c)].norm()),
+                    "J[{r},{c}]"
+                );
             }
         }
     }
@@ -261,12 +274,8 @@ mod tests {
         let sol = crate::solver::solve(&start);
         for _ in 0..3 {
             let target = PieriProblem::random(shape.clone(), &mut rng);
-            let cont = continue_to_instance(
-                &start,
-                &sol.coeffs,
-                &target,
-                &TrackSettings::default(),
-            );
+            let cont =
+                continue_to_instance(&start, &sol.coeffs, &target, &TrackSettings::default());
             assert_eq!(cont.maps.len(), 2);
         }
     }

@@ -124,8 +124,9 @@ mod tests {
             let shape = Shape::new(m, p, q);
             let root = shape.root();
             let layout = CoeffLayout::new(&root);
-            let x: Vec<Complex64> =
-                (0..layout.dim()).map(|_| random_complex(&mut rng)).collect();
+            let x: Vec<Complex64> = (0..layout.dim())
+                .map(|_| random_complex(&mut rng))
+                .collect();
             let pmap = PMap::from_coeffs(&root, &x);
             let s = random_complex(&mut rng);
             let a = pmap.eval(s);
@@ -140,7 +141,9 @@ mod tests {
         let shape = Shape::new(2, 2, 1);
         let root = shape.root();
         let layout = CoeffLayout::new(&root);
-        let x: Vec<Complex64> = (0..layout.dim()).map(|_| random_complex(&mut rng)).collect();
+        let x: Vec<Complex64> = (0..layout.dim())
+            .map(|_| random_complex(&mut rng))
+            .collect();
         let pmap = PMap::from_coeffs(&root, &x);
         let mp = pmap.to_matrix_poly();
         let s = random_complex(&mut rng);

@@ -34,7 +34,13 @@ impl Shape {
         let a = q / p;
         let r = q % p;
         let caps = (0..p)
-            .map(|j| if j < p - r { (a + 1) * big_n } else { (a + 2) * big_n })
+            .map(|j| {
+                if j < p - r {
+                    (a + 1) * big_n
+                } else {
+                    (a + 2) * big_n
+                }
+            })
             .collect();
         Shape { m, p, q, caps }
     }
@@ -106,7 +112,10 @@ impl Shape {
             }
             pivots[p - 1] -= 1;
         }
-        let pat = Pattern { shape: self.clone(), pivots };
+        let pat = Pattern {
+            shape: self.clone(),
+            pivots,
+        };
         assert!(pat.is_valid(), "greedy root pattern must be valid");
         assert_eq!(
             pat.rank(),
@@ -138,7 +147,10 @@ impl Pattern {
     ///
     /// Returns `None` when the pivots violate the pattern rules.
     pub fn new(shape: &Shape, pivots: Vec<usize>) -> Option<Pattern> {
-        let pat = Pattern { shape: shape.clone(), pivots };
+        let pat = Pattern {
+            shape: shape.clone(),
+            pivots,
+        };
         pat.is_valid().then_some(pat)
     }
 
@@ -363,7 +375,14 @@ mod tests {
 
     #[test]
     fn root_and_trivial_ranks() {
-        for &(m, p, q) in &[(2, 2, 0), (2, 2, 1), (3, 2, 1), (3, 3, 1), (2, 3, 1), (4, 4, 0)] {
+        for &(m, p, q) in &[
+            (2, 2, 0),
+            (2, 2, 1),
+            (3, 2, 1),
+            (3, 3, 1),
+            (2, 3, 1),
+            (4, 4, 0),
+        ] {
             let s = Shape::new(m, p, q);
             assert_eq!(s.trivial().rank(), 0, "({m},{p},{q})");
             assert_eq!(s.root().rank(), s.conditions(), "({m},{p},{q})");
@@ -421,11 +440,7 @@ mod tests {
         for b1 in 1..=8 {
             for b2 in (b1 + 1)..=8 {
                 if let Some(pat) = Pattern::new(&s, vec![b1, b2]) {
-                    assert_ne!(
-                        pat.pivot_residue(0),
-                        pat.pivot_residue(1),
-                        "pattern {pat}"
-                    );
+                    assert_ne!(pat.pivot_residue(0), pat.pivot_residue(1), "pattern {pat}");
                 }
             }
         }

@@ -87,7 +87,11 @@ impl Poset {
                 chains.insert(pat.pivots().to_vec(), total);
             }
         }
-        Poset { shape: shape.clone(), levels, chains }
+        Poset {
+            shape: shape.clone(),
+            levels,
+            chains,
+        }
     }
 
     /// The shape this poset belongs to.

@@ -27,12 +27,7 @@ impl PieriProblem {
     /// # Panics
     /// Panics unless exactly `n = mp + q(m+p)` planes of shape
     /// `(m+p) × m` and `n` points are supplied.
-    pub fn new(
-        shape: Shape,
-        planes: Vec<CMat>,
-        points: Vec<Complex64>,
-        gamma: Complex64,
-    ) -> Self {
+    pub fn new(shape: Shape, planes: Vec<CMat>, points: Vec<Complex64>, gamma: Complex64) -> Self {
         let n = shape.conditions();
         assert_eq!(planes.len(), n, "need n = mp + q(m+p) planes");
         assert_eq!(points.len(), n, "need n interpolation points");
@@ -44,7 +39,12 @@ impl PieriProblem {
             );
         }
         assert!(gamma.norm() > 0.0, "gamma must be nonzero");
-        PieriProblem { shape, planes, points, gamma }
+        PieriProblem {
+            shape,
+            planes,
+            points,
+            gamma,
+        }
     }
 
     /// Generates a generic random instance: planes with independent

@@ -153,7 +153,12 @@ pub fn solve_with_settings(problem: &PieriProblem, settings: &TrackSettings) -> 
     let root = shape.root();
     let coeffs = prev.remove(root.pivots()).unwrap_or_default();
     let maps = coeffs.iter().map(|x| PMap::from_coeffs(&root, x)).collect();
-    PieriSolution { maps, coeffs, records, failures }
+    PieriSolution {
+        maps,
+        coeffs,
+        records,
+        failures,
+    }
 }
 
 /// Solves one job explicitly: used by the parallel scheduler, which owns
@@ -198,7 +203,10 @@ mod tests {
             poset.root_count(),
             "({m},{p},{q}): expected d(m,p,q) solutions"
         );
-        assert_eq!(sol.records.len() as u128, poset.level_profile().total_jobs());
+        assert_eq!(
+            sol.records.len() as u128,
+            poset.level_profile().total_jobs()
+        );
         let res = sol.max_residual(&problem);
         assert!(res < 1e-7, "({m},{p},{q}): residual {res:.2e}");
         if sol.maps.len() > 1 {

@@ -8,9 +8,8 @@ use proptest::prelude::*;
 /// Strategy over small shapes (kept small enough that poset construction
 /// stays in microseconds).
 fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..=4, 1usize..=4, 0usize..=2).prop_filter("bounded size", |&(m, p, q)| {
-        m * p + q * (m + p) <= 14
-    })
+    (1usize..=4, 1usize..=4, 0usize..=2)
+        .prop_filter("bounded size", |&(m, p, q)| m * p + q * (m + p) <= 14)
 }
 
 proptest! {
@@ -136,8 +135,9 @@ fn special_plane_det_identity_across_poset() {
         for pat in poset.level(k) {
             let layout = CoeffLayout::new(pat);
             let mf = pieri_core::special_plane(pat);
-            let x: Vec<Complex64> =
-                (0..layout.dim()).map(|_| random_complex(&mut rng)).collect();
+            let x: Vec<Complex64> = (0..layout.dim())
+                .map(|_| random_complex(&mut rng))
+                .collect();
             let a = layout
                 .eval_map(&x, Complex64::ONE, Complex64::ZERO)
                 .hstack(&mf);
@@ -156,7 +156,13 @@ fn special_plane_det_identity_across_poset() {
 #[test]
 fn full_solve_respects_all_poset_shapes() {
     // Solve every shape with n ≤ 6 completely and verify counts.
-    for (m, p, q) in [(1usize, 1usize, 2usize), (2, 1, 1), (1, 3, 0), (3, 1, 0), (2, 2, 0)] {
+    for (m, p, q) in [
+        (1usize, 1usize, 2usize),
+        (2, 1, 1),
+        (1, 3, 0),
+        (3, 1, 0),
+        (2, 2, 0),
+    ] {
         let shape = Shape::new(m, p, q);
         if shape.conditions() > 6 {
             continue;

@@ -147,7 +147,10 @@ mod tests {
             vec![c(5.0, 0.0), c(7.0, 0.0), c(9.0, 0.0)], // row0 + row1
         ]);
         let adj = adjugate(&a);
-        assert!(adj.fro_norm() > 1e-12, "adjugate of rank n−1 matrix is nonzero");
+        assert!(
+            adj.fro_norm() > 1e-12,
+            "adjugate of rank n−1 matrix is nonzero"
+        );
         let prod = &a * &adj;
         assert!(prod.fro_norm() < 1e-10, "A·adj(A) = 0 for singular A");
     }

@@ -21,7 +21,11 @@ pub struct EigError {
 
 impl std::fmt::Display for EigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QR iteration failed to converge (block {})", self.stuck_at)
+        write!(
+            f,
+            "QR iteration failed to converge (block {})",
+            self.stuck_at
+        )
     }
 }
 
@@ -50,7 +54,11 @@ pub fn hessenberg(a: &CMat) -> CMat {
             continue;
         }
         let x0 = h[(k + 1, k)];
-        let phase = if x0.norm() == 0.0 { Complex64::ONE } else { x0 / x0.norm() };
+        let phase = if x0.norm() == 0.0 {
+            Complex64::ONE
+        } else {
+            x0 / x0.norm()
+        };
         let alpha = -phase.scale(xnorm);
         let mut v = vec![Complex64::ZERO; n - k - 1];
         for i in k + 1..n {
@@ -174,7 +182,11 @@ pub fn eigenvalues(a: &CMat) -> Result<Vec<Complex64>, EigError> {
                 h[(hi - 1, hi - 1)],
             );
             let d = h[(hi - 1, hi - 1)];
-            if (l1 - d).norm() <= (l2 - d).norm() { l1 } else { l2 }
+            if (l1 - d).norm() <= (l2 - d).norm() {
+                l1
+            } else {
+                l2
+            }
         };
 
         qr_step(&mut h, lo, hi, shift);
@@ -272,7 +284,11 @@ mod tests {
     #[test]
     fn eigenvalues_of_diagonal() {
         let d = CMat::from_fn(4, 4, |i, j| {
-            if i == j { c(i as f64, -(i as f64)) } else { Complex64::ZERO }
+            if i == j {
+                c(i as f64, -(i as f64))
+            } else {
+                Complex64::ZERO
+            }
         });
         let eigs = eigenvalues(&d).unwrap();
         let expect: Vec<Complex64> = (0..4).map(|i| c(i as f64, -(i as f64))).collect();

@@ -36,6 +36,4 @@ pub use eig::{eigenvalues, hessenberg, EigError};
 pub use lu::{det, Lu, LuError};
 pub use matrix::CMat;
 pub use qr::Qr;
-pub use vector::{
-    axpy, dot, dot_conj, inf_norm, norm2, normalize, scale_in_place, sub_into, CVec,
-};
+pub use vector::{axpy, dot, dot_conj, inf_norm, norm2, normalize, scale_in_place, sub_into, CVec};

@@ -98,7 +98,13 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, sign, max_pivot, min_pivot })
+        Ok(Lu {
+            lu,
+            perm,
+            sign,
+            max_pivot,
+            min_pivot,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -219,7 +225,11 @@ mod tests {
     #[test]
     fn det_of_diagonal() {
         let d = CMat::from_fn(3, 3, |i, j| {
-            if i == j { c(i as f64 + 1.0, 1.0) } else { Complex64::ZERO }
+            if i == j {
+                c(i as f64 + 1.0, 1.0)
+            } else {
+                Complex64::ZERO
+            }
         });
         let expect = c(1.0, 1.0) * c(2.0, 1.0) * c(3.0, 1.0);
         assert!(det(&d).dist(expect) < 1e-12);
@@ -248,7 +258,10 @@ mod tests {
 
     #[test]
     fn not_square_is_an_error() {
-        assert_eq!(Lu::factor(&CMat::zeros(2, 3)).unwrap_err(), LuError::NotSquare);
+        assert_eq!(
+            Lu::factor(&CMat::zeros(2, 3)).unwrap_err(),
+            LuError::NotSquare
+        );
     }
 
     #[test]

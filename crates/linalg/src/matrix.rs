@@ -61,7 +61,11 @@ impl CMat {
         for row in rows {
             data.extend_from_slice(row);
         }
-        CMat { rows: r, cols: c, data }
+        CMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix with independent entries drawn by `gen`.
@@ -172,7 +176,10 @@ impl CMat {
     /// Copies the contiguous block with top-left corner `(r0, c0)` and the
     /// given shape.
     pub fn submatrix(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> CMat {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "submatrix out of range"
+        );
         CMat::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -275,11 +282,20 @@ impl IndexMut<(usize, usize)> for CMat {
 impl Add for &CMat {
     type Output = CMat;
     fn add(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -287,11 +303,20 @@ impl Add for &CMat {
 impl Sub for &CMat {
     type Output = CMat;
     fn sub(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -434,7 +459,13 @@ mod tests {
 
     #[test]
     fn trace_sums_diagonal() {
-        let a = CMat::from_fn(3, 3, |i, j| if i == j { c(i as f64 + 1.0, 1.0) } else { c(9.0, 9.0) });
+        let a = CMat::from_fn(3, 3, |i, j| {
+            if i == j {
+                c(i as f64 + 1.0, 1.0)
+            } else {
+                c(9.0, 9.0)
+            }
+        });
         assert_eq!(a.trace(), c(6.0, 3.0));
     }
 

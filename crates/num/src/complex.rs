@@ -357,9 +357,18 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[c(4.0, 0.0), c(-4.0, 0.0), c(1.0, 1.0), c(-3.0, -7.0), c(0.0, 2.0)] {
+        for &z in &[
+            c(4.0, 0.0),
+            c(-4.0, 0.0),
+            c(1.0, 1.0),
+            c(-3.0, -7.0),
+            c(0.0, 2.0),
+        ] {
             let s = z.sqrt();
-            assert!((s * s).dist(z) < 1e-12 * (1.0 + z.norm()), "sqrt({z:?})={s:?}");
+            assert!(
+                (s * s).dist(z) < 1e-12 * (1.0 + z.norm()),
+                "sqrt({z:?})={s:?}"
+            );
         }
         assert_eq!(Complex64::ZERO.sqrt(), Complex64::ZERO);
     }

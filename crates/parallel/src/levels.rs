@@ -9,7 +9,7 @@
 //! inside each level, instrumented so the benches can measure both
 //! effects against [`crate::solve_tree_parallel`].
 
-use pieri_core::{JobRecord, Pattern, PieriProblem, PieriSolution, PMap, Poset};
+use pieri_core::{JobRecord, PMap, Pattern, PieriProblem, PieriSolution, Poset};
 use pieri_num::Complex64;
 use pieri_tracker::TrackSettings;
 use rayon::prelude::*;
@@ -95,7 +95,15 @@ pub fn solve_by_levels_parallel(
     let coeffs = prev.remove(root.pivots()).unwrap_or_default();
     let maps: Vec<PMap> = coeffs.iter().map(|x| PMap::from_coeffs(&root, x)).collect();
     stats.wall = t0.elapsed().as_secs_f64();
-    (PieriSolution { maps, coeffs, records, failures }, stats)
+    (
+        PieriSolution {
+            maps,
+            coeffs,
+            records,
+            failures,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

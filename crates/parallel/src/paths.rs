@@ -85,8 +85,7 @@ pub fn track_paths_dynamic<H: Homotopy>(
 
     // Job = index into `starts`; result = (worker, index, PathResult, busy).
     let (job_tx, job_rx) = channel::unbounded::<usize>();
-    let (res_tx, res_rx) =
-        channel::unbounded::<(usize, usize, PathResult, std::time::Duration)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, usize, PathResult, std::time::Duration)>();
 
     std::thread::scope(|scope| {
         for w in 0..workers {

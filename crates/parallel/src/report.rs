@@ -70,8 +70,14 @@ mod tests {
     fn totals_and_imbalance() {
         let r = ParallelReport {
             workers: vec![
-                WorkerStats { jobs: 3, busy: Duration::from_millis(30) },
-                WorkerStats { jobs: 1, busy: Duration::from_millis(10) },
+                WorkerStats {
+                    jobs: 3,
+                    busy: Duration::from_millis(30),
+                },
+                WorkerStats {
+                    jobs: 1,
+                    busy: Duration::from_millis(10),
+                },
             ],
             wall: Duration::from_millis(25),
             messages: 8,

@@ -18,7 +18,7 @@
 
 use crate::report::{ParallelReport, WorkerStats};
 use crossbeam::channel;
-use pieri_core::{JobRecord, Pattern, PieriProblem, PieriSolution, PMap, Poset};
+use pieri_core::{JobRecord, PMap, Pattern, PieriProblem, PieriSolution, Poset};
 use pieri_num::Complex64;
 use pieri_tracker::TrackSettings;
 use std::collections::VecDeque;
@@ -121,7 +121,11 @@ pub fn solve_tree_parallel(
         let mut queue: VecDeque<Job> = poset
             .parents_in_poset(&trivial)
             .into_iter()
-            .map(|pattern| Job { pattern, child: trivial.clone(), start: Vec::new() })
+            .map(|pattern| Job {
+                pattern,
+                child: trivial.clone(),
+                start: Vec::new(),
+            })
             .collect();
         let mut idle: VecDeque<usize> = (0..workers).collect();
         let mut in_flight = 0usize;
@@ -181,7 +185,12 @@ pub fn solve_tree_parallel(
         .iter()
         .map(|x| PMap::from_coeffs(&root, x))
         .collect();
-    let solution = PieriSolution { maps, coeffs: root_coeffs, records, failures };
+    let solution = PieriSolution {
+        maps,
+        coeffs: root_coeffs,
+        records,
+        failures,
+    };
     let stats = TreeRunStats {
         report: ParallelReport {
             workers: stats,
@@ -237,7 +246,10 @@ mod tests {
         let seq = pieri_core::solve(&problem);
         assert_eq!(seq.maps.len(), 8);
         let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 4);
-        assert!(solutions_match(&seq, &par, 1e-6), "8 dynamic feedback laws agree");
+        assert!(
+            solutions_match(&seq, &par, 1e-6),
+            "8 dynamic feedback laws agree"
+        );
         // 37 jobs (Fig 4/5), each one send + one result, plus messages.
         assert_eq!(stats.report.messages, 2 * 37);
     }

@@ -28,7 +28,9 @@ impl MatrixPoly {
     /// # Panics
     /// Panics when `coeffs` is empty or shapes disagree.
     pub fn new(coeffs: Vec<CMat>) -> Self {
-        let first = coeffs.first().expect("matrix polynomial needs ≥ 1 coefficient");
+        let first = coeffs
+            .first()
+            .expect("matrix polynomial needs ≥ 1 coefficient");
         let (rows, cols) = (first.rows(), first.cols());
         assert!(
             coeffs.iter().all(|m| m.rows() == rows && m.cols() == cols),
@@ -99,7 +101,11 @@ impl MatrixPoly {
 
     /// Sum of two matrix polynomials (same shape).
     pub fn add(&self, other: &MatrixPoly) -> MatrixPoly {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let n = self.coeffs.len().max(other.coeffs.len());
         let mut out = Vec::with_capacity(n);
         for k in 0..n {
@@ -170,7 +176,10 @@ impl MatrixPoly {
     /// # Panics
     /// Panics for non-square input.
     pub fn det_poly(&self) -> UniPoly {
-        assert_eq!(self.rows, self.cols, "determinant of non-square matrix polynomial");
+        assert_eq!(
+            self.rows, self.cols,
+            "determinant of non-square matrix polynomial"
+        );
         if self.rows == 0 {
             return UniPoly::constant(Complex64::ONE);
         }

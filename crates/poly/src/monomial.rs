@@ -15,7 +15,9 @@ pub struct Monomial {
 impl Monomial {
     /// The constant monomial `1` in `nvars` variables.
     pub fn one(nvars: usize) -> Self {
-        Monomial { exps: vec![0; nvars] }
+        Monomial {
+            exps: vec![0; nvars],
+        }
     }
 
     /// The single variable `x_i` in `nvars` variables.

@@ -23,7 +23,10 @@ const COEFF_EPS: f64 = 0.0;
 impl Poly {
     /// The zero polynomial in `nvars` variables.
     pub fn zero(nvars: usize) -> Self {
-        Poly { nvars, terms: Vec::new() }
+        Poly {
+            nvars,
+            terms: Vec::new(),
+        }
     }
 
     /// The constant polynomial `c`.
@@ -66,7 +69,11 @@ impl Poly {
     /// # Panics
     /// Panics when `coeffs.len() != nvars + 1`.
     pub fn linear(nvars: usize, coeffs: &[Complex64]) -> Self {
-        assert_eq!(coeffs.len(), nvars + 1, "linear form needs nvars+1 coefficients");
+        assert_eq!(
+            coeffs.len(),
+            nvars + 1,
+            "linear form needs nvars+1 coefficients"
+        );
         let mut terms = vec![(coeffs[0], Monomial::one(nvars))];
         for i in 0..nvars {
             terms.push((coeffs[i + 1], Monomial::var(nvars, i)));
@@ -93,7 +100,11 @@ impl Poly {
 
     /// Total degree; zero polynomial reports degree 0.
     pub fn degree(&self) -> u32 {
-        self.terms.iter().map(|(_, m)| m.degree()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|(_, m)| m.degree())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of terms.
@@ -138,7 +149,11 @@ impl Poly {
         }
         Poly {
             nvars: self.nvars,
-            terms: self.terms.iter().map(|(c, m)| (*c * k, m.clone())).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(c, m)| (*c * k, m.clone()))
+                .collect(),
         }
     }
 
@@ -222,7 +237,10 @@ impl Poly {
     pub fn det(mat: &[Vec<Poly>]) -> Poly {
         let n = mat.len();
         assert!(n > 0, "determinant of an empty matrix");
-        assert!(mat.iter().all(|row| row.len() == n), "matrix must be square");
+        assert!(
+            mat.iter().all(|row| row.len() == n),
+            "matrix must be square"
+        );
         let nvars = mat[0][0].nvars();
         if n == 1 {
             return mat[0][0].clone();

@@ -89,7 +89,10 @@ impl PolySystem {
 
     /// Residual `‖F(x)‖∞`.
     pub fn residual(&self, x: &[Complex64]) -> f64 {
-        self.polys.iter().map(|p| p.eval(x).norm()).fold(0.0, f64::max)
+        self.polys
+            .iter()
+            .map(|p| p.eval(x).norm())
+            .fold(0.0, f64::max)
     }
 
     /// Product of the total degrees — the Bézout bound on the number of

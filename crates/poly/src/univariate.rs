@@ -32,9 +32,7 @@ impl UniPoly {
     pub fn new_trimmed(coeffs: Vec<Complex64>, tol: f64) -> Self {
         let max = coeffs.iter().map(|c| c.norm()).fold(0.0, f64::max);
         let mut coeffs = coeffs;
-        while coeffs.len() > 1
-            && coeffs.last().is_some_and(|c| c.norm() <= tol * max)
-        {
+        while coeffs.len() > 1 && coeffs.last().is_some_and(|c| c.norm() <= tol * max) {
             coeffs.pop();
         }
         UniPoly::new(coeffs)
@@ -42,7 +40,9 @@ impl UniPoly {
 
     /// The zero polynomial.
     pub fn zero() -> Self {
-        UniPoly { coeffs: vec![Complex64::ZERO] }
+        UniPoly {
+            coeffs: vec![Complex64::ZERO],
+        }
     }
 
     /// The constant polynomial `c`.
@@ -377,10 +377,7 @@ mod tests {
 
     #[test]
     fn new_trimmed_removes_noise_leading_coeff() {
-        let p = UniPoly::new_trimmed(
-            vec![c(1.0, 0.0), c(1.0, 0.0), c(1e-13, 0.0)],
-            1e-10,
-        );
+        let p = UniPoly::new_trimmed(vec![c(1.0, 0.0), c(1.0, 0.0), c(1e-13, 0.0)], 1e-10);
         assert_eq!(p.degree(), 1);
     }
 }

@@ -22,14 +22,22 @@ pub struct SimParams {
 impl SimParams {
     /// Zero-overhead cluster with `workers` processors.
     pub fn ideal(workers: usize) -> Self {
-        SimParams { workers, send_overhead: 0.0, recv_overhead: 0.0 }
+        SimParams {
+            workers,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+        }
     }
 
     /// The cluster model used to extrapolate the paper's tables: a small
     /// per-message cost (~0.5 ms) relative to per-path costs of ~0.1–1 s,
     /// which is the regime of MPI on Myrinet-class interconnects.
     pub fn mpi_like(workers: usize) -> Self {
-        SimParams { workers, send_overhead: 5e-4, recv_overhead: 5e-4 }
+        SimParams {
+            workers,
+            send_overhead: 5e-4,
+            recv_overhead: 5e-4,
+        }
     }
 }
 
@@ -75,7 +83,11 @@ pub fn simulate_static(w: &Workload, params: &SimParams) -> SimOutcome {
         busy[(i / chunk).min(params.workers - 1)] += c;
     }
     let makespan = busy.iter().copied().fold(0.0, f64::max);
-    SimOutcome { makespan, busy, messages: 0 }
+    SimOutcome {
+        makespan,
+        busy,
+        messages: 0,
+    }
 }
 
 /// Dynamic policy: master/slave, first-come-first-served, one job per
@@ -123,7 +135,11 @@ pub fn simulate_dynamic(w: &Workload, params: &SimParams) -> SimOutcome {
             next += 1;
         }
     }
-    SimOutcome { makespan, busy, messages }
+    SimOutcome {
+        makespan,
+        busy,
+        messages,
+    }
 }
 
 /// Total order on finite f64 for the event heap.
@@ -218,7 +234,11 @@ mod tests {
         let ideal = simulate_dynamic(&w, &SimParams::ideal(64));
         let slow = simulate_dynamic(
             &w,
-            &SimParams { workers: 64, send_overhead: 1e-3, recv_overhead: 1e-3 },
+            &SimParams {
+                workers: 64,
+                send_overhead: 1e-3,
+                recv_overhead: 1e-3,
+            },
         );
         // With 1 ms messaging and 0.1 ms jobs the master is the bottleneck.
         assert!(slow.makespan > 10.0 * ideal.makespan);

@@ -42,7 +42,11 @@ impl TreeWorkload {
                 None => roots.push(i),
             }
         }
-        TreeWorkload { jobs, children, roots }
+        TreeWorkload {
+            jobs,
+            children,
+            roots,
+        }
     }
 
     /// Builds the forest from per-level job lists with a uniform fan-out
@@ -141,7 +145,11 @@ pub fn simulate_tree_dynamic(w: &TreeWorkload, params: &SimParams) -> SimOutcome
             ready.push_back(child);
         }
     }
-    SimOutcome { makespan, busy, messages }
+    SimOutcome {
+        makespan,
+        busy,
+        messages,
+    }
 }
 
 #[cfg(test)]
@@ -150,9 +158,15 @@ mod tests {
 
     /// A two-level fan: 1 root job, then 8 independent children.
     fn fan() -> TreeWorkload {
-        let mut jobs = vec![TreeJob { cost: 1.0, parent: None }];
+        let mut jobs = vec![TreeJob {
+            cost: 1.0,
+            parent: None,
+        }];
         for _ in 0..8 {
-            jobs.push(TreeJob { cost: 1.0, parent: Some(0) });
+            jobs.push(TreeJob {
+                cost: 1.0,
+                parent: Some(0),
+            });
         }
         TreeWorkload::new(jobs)
     }
@@ -186,7 +200,10 @@ mod tests {
         let w = TreeWorkload::from_levels(&levels);
         for workers in [1usize, 2, 4, 16] {
             let out = simulate_tree_dynamic(&w, &SimParams::ideal(workers));
-            assert!(out.makespan >= w.critical_path() - 1e-9, "workers={workers}");
+            assert!(
+                out.makespan >= w.critical_path() - 1e-9,
+                "workers={workers}"
+            );
             assert!(out.makespan >= w.total() / workers as f64 - 1e-9);
             let total_busy: f64 = out.busy.iter().sum();
             assert!((total_busy - w.total()).abs() < 1e-9);
@@ -195,8 +212,7 @@ mod tests {
 
     #[test]
     fn infinite_workers_reach_critical_path() {
-        let levels: Vec<Vec<f64>> =
-            vec![vec![1.0], vec![0.5, 0.5], vec![0.25; 4], vec![0.125; 8]];
+        let levels: Vec<Vec<f64>> = vec![vec![1.0], vec![0.5, 0.5], vec![0.25; 4], vec![0.125; 8]];
         let w = TreeWorkload::from_levels(&levels);
         let out = simulate_tree_dynamic(&w, &SimParams::ideal(64));
         assert!((out.makespan - w.critical_path()).abs() < 1e-9);
@@ -230,8 +246,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "parents must precede")]
     fn forward_parent_rejected() {
-        let _ = TreeWorkload::new(vec![
-            TreeJob { cost: 1.0, parent: Some(0) },
-        ]);
+        let _ = TreeWorkload::new(vec![TreeJob {
+            cost: 1.0,
+            parent: Some(0),
+        }]);
     }
 }

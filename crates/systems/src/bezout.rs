@@ -136,7 +136,10 @@ mod tests {
     fn hand_computed_two_by_two() {
         // Two equations, groups of size 1 each, degrees [[1,2],[3,4]]:
         // coefficient of α·β in (α + 2β)(3α + 4β) = 4 + 6 = 10.
-        assert_eq!(multihomogeneous_bezout(&[1, 1], &[vec![1, 2], vec![3, 4]]), 10);
+        assert_eq!(
+            multihomogeneous_bezout(&[1, 1], &[vec![1, 2], vec![3, 4]]),
+            10
+        );
     }
 
     #[test]
@@ -145,9 +148,15 @@ mod tests {
         // charge group 1 — impossible with k_1 = 1: count 0... actually
         // k = [1,1]: eq1 must take group 2. (d= [[1,1],[5,0]]):
         // assignments: eq2→g1 (5), eq1→g2 (1): 5.
-        assert_eq!(multihomogeneous_bezout(&[1, 1], &[vec![1, 1], vec![5, 0]]), 5);
+        assert_eq!(
+            multihomogeneous_bezout(&[1, 1], &[vec![1, 1], vec![5, 0]]),
+            5
+        );
         // Both equations zero in group 2: no valid assignment.
-        assert_eq!(multihomogeneous_bezout(&[1, 1], &[vec![1, 0], vec![5, 0]]), 0);
+        assert_eq!(
+            multihomogeneous_bezout(&[1, 1], &[vec![1, 0], vec![5, 0]]),
+            0
+        );
     }
 
     #[test]

@@ -165,8 +165,9 @@ pub fn eco(n: usize) -> PolySystem {
         terms.push((Complex64::real(-(k as f64)), Monomial::one(n)));
         polys.push(Poly::from_terms(n, terms));
     }
-    let mut terms: Vec<(Complex64, Monomial)> =
-        (0..n - 1).map(|i| (Complex64::ONE, Monomial::var(n, i))).collect();
+    let mut terms: Vec<(Complex64, Monomial)> = (0..n - 1)
+        .map(|i| (Complex64::ONE, Monomial::var(n, i)))
+        .collect();
     terms.push((Complex64::ONE, Monomial::one(n)));
     polys.push(Poly::from_terms(n, terms));
     PolySystem::new(polys)

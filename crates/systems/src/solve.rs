@@ -54,7 +54,12 @@ pub fn solve_by_total_degree<R: Rng + ?Sized>(
             solutions.push(p.x.clone());
         }
     }
-    SolveReport { paths, stats, solutions, dedup_tol }
+    SolveReport {
+        paths,
+        stats,
+        solutions,
+        dedup_tol,
+    }
 }
 
 #[cfg(test)]

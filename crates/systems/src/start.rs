@@ -25,7 +25,10 @@ pub struct TotalDegreeStart {
 /// # Panics
 /// Panics when the target is not square or has a constant equation.
 pub fn total_degree_start<R: Rng + ?Sized>(target: &PolySystem, rng: &mut R) -> TotalDegreeStart {
-    assert!(target.is_square(), "total-degree start needs a square target");
+    assert!(
+        target.is_square(),
+        "total-degree start needs a square target"
+    );
     let n = target.nvars();
     let degrees = target.degrees();
     assert!(
@@ -109,7 +112,10 @@ pub fn linear_product_start<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> LinearProductStart {
     assert_eq!(factors.len(), nvars, "one factor count per equation");
-    assert!(factors.iter().all(|&f| f >= 1), "every equation needs ≥ 1 factor");
+    assert!(
+        factors.iter().all(|&f| f >= 1),
+        "every equation needs ≥ 1 factor"
+    );
     // forms[i][j] = coefficients (constant + nvars) of factor j of eq i.
     let mut forms: Vec<Vec<Vec<Complex64>>> = Vec::with_capacity(nvars);
     let mut polys = Vec::with_capacity(nvars);

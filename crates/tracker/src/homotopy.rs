@@ -53,9 +53,20 @@ impl LinearHomotopy {
     /// # Panics
     /// Panics when the systems are not square of equal dimensions.
     pub fn new(start: PolySystem, target: PolySystem, gamma: Complex64) -> Self {
-        assert!(start.is_square() && target.is_square(), "homotopy systems must be square");
-        assert_eq!(start.nvars(), target.nvars(), "start/target dimension mismatch");
-        LinearHomotopy { start, target, gamma }
+        assert!(
+            start.is_square() && target.is_square(),
+            "homotopy systems must be square"
+        );
+        assert_eq!(
+            start.nvars(),
+            target.nvars(),
+            "start/target dimension mismatch"
+        );
+        LinearHomotopy {
+            start,
+            target,
+            gamma,
+        }
     }
 
     /// The start system `G`.

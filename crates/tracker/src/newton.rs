@@ -113,7 +113,11 @@ mod tests {
     fn fixed_t_homotopy() -> LinearHomotopy {
         // At t = 1 this is exactly the target system; Newton at t = 1 is
         // plain root polishing.
-        LinearHomotopy::new(squares_minus(1.0, 1.0), squares_minus(4.0, 9.0), Complex64::ONE)
+        LinearHomotopy::new(
+            squares_minus(1.0, 1.0),
+            squares_minus(4.0, 9.0),
+            Complex64::ONE,
+        )
     }
 
     #[test]
@@ -122,7 +126,11 @@ mod tests {
         let mut x = [c(2.1, 0.05), c(-2.9, -0.1)];
         let out = newton_correct(&h, &mut x, 1.0, 1e-12, 10);
         assert!(out.converged, "{out:?}");
-        assert!(out.iters <= 6, "quadratic convergence expected, got {}", out.iters);
+        assert!(
+            out.iters <= 6,
+            "quadratic convergence expected, got {}",
+            out.iters
+        );
         assert!(x[0].dist(c(2.0, 0.0)) < 1e-10);
         assert!(x[1].dist(c(-3.0, 0.0)) < 1e-10);
         assert!(out.residual < 1e-10);

@@ -181,12 +181,11 @@ pub fn track_path<H: Homotopy + ?Sized>(
                     return finish(PathStatus::Diverged { at_t: t }, p, r);
                 }
                 // Cauchy test: iterates have stopped moving.
-                let diff: f64 = p
-                    .x
-                    .iter()
-                    .zip(x_before.iter())
-                    .map(|(a, b)| (*a - *b).norm())
-                    .fold(0.0, f64::max);
+                let diff: f64 =
+                    p.x.iter()
+                        .zip(x_before.iter())
+                        .map(|(a, b)| (*a - *b).norm())
+                        .fold(0.0, f64::max);
                 if diff <= settings.endgame_tol * (1.0 + norm) {
                     break;
                 }
@@ -207,12 +206,11 @@ pub fn track_path<H: Homotopy + ?Sized>(
     p.newton_total += out.iters;
     // Reject a refinement that jumped far away from the tracked limit:
     // that is Newton snapping a divergent path onto an unrelated root.
-    let jump: f64 = p
-        .x
-        .iter()
-        .zip(x_entry.iter())
-        .map(|(a, b)| (*a - *b).norm())
-        .fold(0.0, f64::max);
+    let jump: f64 =
+        p.x.iter()
+            .zip(x_entry.iter())
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max);
     let snapped = jump > 0.25 * (1.0 + entry_norm);
     // Growth-based divergence: over the trailing endgame window the norm
     // kept growing geometrically (total factor ≥ 3 over ≤ 24 halvings,
@@ -222,8 +220,7 @@ pub fn track_path<H: Homotopy + ?Sized>(
         let first = endgame_norms[endgame_norms.len() - window].max(f64::MIN_POSITIVE);
         entry_norm / first >= 3.0 && entry_norm > 10.0
     };
-    let status = if out.converged && !snapped && inf_norm(&p.x) <= settings.divergence_threshold
-    {
+    let status = if out.converged && !snapped && inf_norm(&p.x) <= settings.divergence_threshold {
         PathStatus::Converged
     } else if entry_norm > settings.divergence_threshold.sqrt()
         || slow_divergence
@@ -412,9 +409,16 @@ mod tests {
         let mut rng = seeded_rng(103);
         let gamma = random_gamma(&mut rng);
         let mut endpoints: Vec<Vec<Complex64>> = Vec::new();
-        for predictor in [Predictor::Secant, Predictor::Tangent, Predictor::RungeKutta4] {
+        for predictor in [
+            Predictor::Secant,
+            Predictor::Tangent,
+            Predictor::RungeKutta4,
+        ] {
             let h = LinearHomotopy::new(g.clone(), f.clone(), gamma);
-            let settings = TrackSettings { predictor, ..TrackSettings::default() };
+            let settings = TrackSettings {
+                predictor,
+                ..TrackSettings::default()
+            };
             let (results, stats) = track_all(&h, &starts, &settings);
             assert_eq!(stats.converged, 3, "{predictor:?}: {stats:?}");
             let mut xs: Vec<Complex64> = results.iter().map(|r| r.x[0]).collect();
@@ -434,16 +438,29 @@ mod tests {
         let f = univar(&[c(-4.0, 0.0), Complex64::ZERO, Complex64::ONE]);
         let mut rng = seeded_rng(104);
         let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
-        let settings = TrackSettings { max_steps: 3, ..TrackSettings::default() };
+        let settings = TrackSettings {
+            max_steps: 3,
+            ..TrackSettings::default()
+        };
         let r = track_path(&h, &starts[0], &settings);
         // With a 3-step budget the tracker cannot reach t=1 (max_step 0.1).
-        assert!(matches!(r.status, PathStatus::Failed { .. }), "{:?}", r.status);
+        assert!(
+            matches!(r.status, PathStatus::Failed { .. }),
+            "{:?}",
+            r.status
+        );
     }
 
     #[test]
     fn track_counts_work() {
         let (g, starts) = unity_start(4);
-        let f = univar(&[c(1.0, 2.0), c(0.5, 0.0), Complex64::ZERO, Complex64::ZERO, Complex64::ONE]);
+        let f = univar(&[
+            c(1.0, 2.0),
+            c(0.5, 0.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ]);
         let mut rng = seeded_rng(105);
         let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
         let (results, stats) = track_all(&h, &starts, &TrackSettings::default());

@@ -87,11 +87,9 @@ impl Predictor {
             Predictor::RungeKutta4 => {
                 let n = h.dim();
                 let k1 = tangent(h, x, t)?;
-                let mid1: Vec<Complex64> =
-                    (0..n).map(|i| x[i] + k1[i].scale(dt / 2.0)).collect();
+                let mid1: Vec<Complex64> = (0..n).map(|i| x[i] + k1[i].scale(dt / 2.0)).collect();
                 let k2 = tangent(h, &mid1, t + dt / 2.0)?;
-                let mid2: Vec<Complex64> =
-                    (0..n).map(|i| x[i] + k2[i].scale(dt / 2.0)).collect();
+                let mid2: Vec<Complex64> = (0..n).map(|i| x[i] + k2[i].scale(dt / 2.0)).collect();
                 let k3 = tangent(h, &mid2, t + dt / 2.0)?;
                 let end: Vec<Complex64> = (0..n).map(|i| x[i] + k3[i].scale(dt)).collect();
                 let k4 = tangent(h, &end, t + dt)?;
@@ -146,10 +144,15 @@ mod tests {
         let x0 = [c((1.0f64 + 3.0 * t).sqrt(), 0.0)];
         let exact = (1.0f64 + 3.0 * (t + dt)).sqrt();
         let euler = Predictor::Tangent.predict(&h, &x0, t, dt, None).unwrap();
-        let rk4 = Predictor::RungeKutta4.predict(&h, &x0, t, dt, None).unwrap();
+        let rk4 = Predictor::RungeKutta4
+            .predict(&h, &x0, t, dt, None)
+            .unwrap();
         let e_euler = (euler[0].re - exact).abs();
         let e_rk4 = (rk4[0].re - exact).abs();
-        assert!(e_rk4 < e_euler / 20.0, "RK4 ({e_rk4:.2e}) ≪ Euler ({e_euler:.2e})");
+        assert!(
+            e_rk4 < e_euler / 20.0,
+            "RK4 ({e_rk4:.2e}) ≪ Euler ({e_euler:.2e})"
+        );
         assert!(e_rk4 < 1e-3);
     }
 

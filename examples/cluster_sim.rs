@@ -19,13 +19,21 @@ fn main() {
 
     // Cyclic 10-roots regime: large variance, ~1000 divergent paths.
     let cyclic = Workload::cyclic_like(35_940, 1_000, 0.8, &mut rng);
-    println!("cyclic 10-roots-like workload: {} paths, cv = {:.2}", cyclic.len(), cyclic.cv());
+    println!(
+        "cyclic 10-roots-like workload: {} paths, cv = {:.2}",
+        cyclic.len(),
+        cyclic.cv()
+    );
     let table = speedup_table(&cyclic, &cpus, SimParams::mpi_like);
     println!("{}", table.render("seconds"));
 
     // RPS regime: 89% divergent, near-uniform cost.
     let rps = Workload::rps_like(9_216, 8_192, 0.5, &mut rng);
-    println!("RPS-like workload: {} paths, cv = {:.2}", rps.len(), rps.cv());
+    println!(
+        "RPS-like workload: {} paths, cv = {:.2}",
+        rps.len(),
+        rps.cv()
+    );
     let table2 = speedup_table(&rps, &cpus, SimParams::mpi_like);
     println!("{}", table2.render("seconds"));
 
@@ -34,13 +42,31 @@ fn main() {
         table.rows.iter().map(|r| (r.cpus as f64, f(r))).collect()
     };
     let series = vec![
-        ChartSeries { label: "static".into(), glyph: 's', points: to_points(|r| r.static_speedup) },
-        ChartSeries { label: "dynamic".into(), glyph: 'd', points: to_points(|r| r.dynamic_speedup) },
+        ChartSeries {
+            label: "static".into(),
+            glyph: 's',
+            points: to_points(|r| r.static_speedup),
+        },
+        ChartSeries {
+            label: "dynamic".into(),
+            glyph: 'd',
+            points: to_points(|r| r.dynamic_speedup),
+        },
         ChartSeries {
             label: "optimal".into(),
             glyph: '.',
             points: cpus.iter().map(|&c| (c as f64, c as f64)).collect(),
         },
     ];
-    println!("{}", ascii_chart("Speedup comparison (cyclic regime)", "#CPUs", "speedup", &series, 64, 20));
+    println!(
+        "{}",
+        ascii_chart(
+            "Speedup comparison (cyclic regime)",
+            "#CPUs",
+            "speedup",
+            &series,
+            64,
+            20
+        )
+    );
 }

@@ -35,7 +35,10 @@ fn main() {
     let (results, report) = track_paths_static(&h, &start.solutions, &settings, workers);
     let stats = TrackStats::from_results(&results);
     println!("\nstatic, {workers} workers:");
-    println!("  converged {} | diverged {} | failed {}", stats.converged, stats.diverged, stats.failed);
+    println!(
+        "  converged {} | diverged {} | failed {}",
+        stats.converged, stats.diverged, stats.failed
+    );
     println!("  per-path cost cv = {:.2}", stats.time_cv());
     println!("  imbalance (max/min busy) = {:.2}", report.imbalance());
     println!("  efficiency = {:.2}", report.efficiency());
@@ -44,7 +47,10 @@ fn main() {
     let (results, report) = track_paths_dynamic(&h, &start.solutions, &settings, workers);
     let stats = TrackStats::from_results(&results);
     println!("\ndynamic (master/slave FCFS), {workers} workers:");
-    println!("  converged {} | diverged {} | failed {}", stats.converged, stats.diverged, stats.failed);
+    println!(
+        "  converged {} | diverged {} | failed {}",
+        stats.converged, stats.diverged, stats.failed
+    );
     println!("  messages through master = {}", report.messages);
     println!("  imbalance (max/min busy) = {:.2}", report.imbalance());
     println!("  efficiency = {:.2}", report.efficiency());

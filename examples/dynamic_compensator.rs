@@ -22,7 +22,12 @@ use pieri::num::seeded_rng;
 fn main() {
     let mut rng = seeded_rng(1969);
     let sat = satellite_plant(SATELLITE_OMEGA);
-    println!("linearised satellite: {} states, {} inputs, {} outputs", sat.dim(), sat.inputs(), sat.outputs());
+    println!(
+        "linearised satellite: {} states, {} inputs, {} outputs",
+        sat.dim(),
+        sat.inputs(),
+        sat.outputs()
+    );
     println!("open-loop poles (marginally stable orbit dynamics):");
     for e in sat.poles() {
         println!("  {e}");
@@ -55,7 +60,11 @@ fn main() {
 
     for (i, (comp, map)) in comps.iter().zip(&solution.maps).enumerate() {
         let (_, residual) = verify_closed_loop_ss(&sat, map, &poles);
-        let kind = if comp.is_real(1e-6) { "real" } else { "complex" };
+        let kind = if comp.is_real(1e-6) {
+            "real"
+        } else {
+            "complex"
+        };
         println!(
             "compensator #{i}: {kind}, det U(s) degree {}, closed-loop residual {residual:.2e}",
             comp.charpoly().degree()

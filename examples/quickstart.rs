@@ -18,23 +18,46 @@ fn main() {
     let (m, p, q) = (2usize, 2usize, 1usize);
     let shape = Shape::new(m, p, q);
     println!("machine: m = {m} inputs, p = {p} outputs, compensator degree q = {q}");
-    println!("intersection conditions: n = mp + q(m+p) = {}", shape.conditions());
+    println!(
+        "intersection conditions: n = mp + q(m+p) = {}",
+        shape.conditions()
+    );
 
     // 1. Combinatorics: the poset of localization patterns (Fig. 4).
     let poset = Poset::build(&shape);
-    println!("\nposet: {} patterns over {} levels", poset.node_count(), poset.num_levels());
+    println!(
+        "\nposet: {} patterns over {} levels",
+        poset.node_count(),
+        poset.num_levels()
+    );
     let profile = poset.level_profile();
-    println!("tree level widths (jobs per level): {:?}", &profile.widths[1..]);
+    println!(
+        "tree level widths (jobs per level): {:?}",
+        &profile.widths[1..]
+    );
     println!("total path-tracking jobs: {}", profile.total_jobs());
-    println!("number of feedback laws d({m},{p},{q}) = {}", profile.root_count());
+    println!(
+        "number of feedback laws d({m},{p},{q}) = {}",
+        profile.root_count()
+    );
 
     // 2. Numerics: solve a random generic instance.
     let mut rng = seeded_rng(2004);
     let problem = PieriProblem::random(shape, &mut rng);
     let solution = schubert::solve(&problem);
-    println!("\nsolved: {} maps, {} failed paths", solution.maps.len(), solution.failures);
-    println!("worst intersection residual: {:.2e}", solution.max_residual(&problem));
-    println!("closest pair of solutions:   {:.2e}", solution.min_pairwise_distance());
+    println!(
+        "\nsolved: {} maps, {} failed paths",
+        solution.maps.len(),
+        solution.failures
+    );
+    println!(
+        "worst intersection residual: {:.2e}",
+        solution.max_residual(&problem)
+    );
+    println!(
+        "closest pair of solutions:   {:.2e}",
+        solution.min_pairwise_distance()
+    );
     println!("total tracking time:         {:?}", solution.total_time());
 
     // 3. Show one solution map.

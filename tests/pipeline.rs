@@ -42,7 +42,10 @@ fn sequential_and_parallel_pieri_agree_on_231() {
 
     let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 4);
     assert_eq!(par.failures, 0);
-    assert!(maps_match(&seq.maps, &par.maps, 1e-6), "parallel = sequential");
+    assert!(
+        maps_match(&seq.maps, &par.maps, 1e-6),
+        "parallel = sequential"
+    );
     assert_eq!(stats.report.messages, 2 * 252);
 }
 

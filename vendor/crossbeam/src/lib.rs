@@ -1,0 +1,210 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate: the `channel::unbounded` MPMC channel with crossbeam's
+//! disconnect semantics (recv fails once the queue is empty *and* all
+//! senders are gone; send fails once all receivers are gone), built on
+//! `Mutex` + `Condvar`. Throughput is far below the real lock-free
+//! implementation, but the schedulers in this workspace exchange one
+//! message per tracked path, so the lock is never contended enough to
+//! matter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crossbeam: Debug does not require `T: Debug` (the
+    // message is elided), so `.expect()` works on any payload type.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, failing only when every receiver has been
+        /// dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                // Wake blocked receivers so they observe the disconnect.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails when the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.chan.ready.wait(state).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_a_sender() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn cross_thread_mpmc() {
+            let (job_tx, job_rx) = unbounded::<usize>();
+            let (res_tx, res_rx) = unbounded::<usize>();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok(j) = job_rx.recv() {
+                            res_tx.send(j * j).unwrap();
+                        }
+                    });
+                }
+                drop(res_tx);
+                for j in 0..100 {
+                    job_tx.send(j).unwrap();
+                }
+                drop(job_tx);
+                let mut got: Vec<usize> = (0..100).map(|_| res_rx.recv().unwrap()).collect();
+                got.sort_unstable();
+                let want: Vec<usize> = (0..100).map(|j| j * j).collect();
+                assert_eq!(got, want);
+                assert_eq!(res_rx.recv(), Err(RecvError));
+            });
+        }
+    }
+}

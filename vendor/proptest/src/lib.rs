@@ -1,0 +1,411 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset this workspace's property tests use:
+//!
+//! * [`Strategy`] over primitive ranges, tuples, [`prop_map`](Strategy::prop_map),
+//!   [`prop_filter`](Strategy::prop_filter) and [`collection::vec`];
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`];
+//! * a deterministic runner: case `k` of test `t` always draws from the
+//!   same seed, so failures reproduce without a persistence file.
+//!
+//! There is **no shrinking** — a failing case reports its case index and
+//! seed instead of a minimised input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Mirrors `proptest::prelude::prop` (module alias).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case and draw another.
+    Reject(String),
+    /// `prop_assert!`/`prop_assert_eq!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; draws are retried until one
+    /// passes (up to an internal attempt cap).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.base.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive draws",
+            self.reason
+        );
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is uniform in `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property test: draws cases until `config.cases` of them
+/// are accepted, rerunning on [`TestCaseError::Reject`] and panicking on
+/// the first [`TestCaseError::Fail`].
+///
+/// Case `k` of test `name` always uses the same RNG seed, derived from
+/// `(name, k)`, so a failure message's case index fully reproduces it.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let base_seed = hasher.finish();
+
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = config.cases as u64 * 16 + 256;
+    while accepted < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "proptest {name}: gave up after {max_attempts} attempts \
+                 ({accepted}/{} cases accepted; too many prop_assume rejections)",
+                config.cases
+            );
+        }
+        let seed = base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case failed (attempt {attempt}, seed {seed:#x}):\n{msg}")
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     fn addition_commutes(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+///         prop_assert!((a + b) == (b + a));
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+///
+/// (Tests normally also carry `#[test]`, as in the real proptest; the
+/// attribute is forwarded verbatim.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests! { [$cfg] $($rest)* }
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking,
+/// so the runner can report the case index and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (it does not count towards `cases`) when
+/// the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..=4) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn map_and_filter_compose(e in evens().prop_filter("positive", |&e| e > 0)) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(e > 0, "filter keeps {} positive", e);
+        }
+
+        #[test]
+        fn assume_discards((a, b) in (0u32..10, 0u32..10)) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec(0.0f64..1.0, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(8),
+                "always_fails",
+                |_rng| -> Result<(), TestCaseError> { Err(TestCaseError::fail("nope")) },
+            );
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails") && msg.contains("seed"));
+    }
+}

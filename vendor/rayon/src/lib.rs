@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! [`IntoParallelIterator::into_par_iter`],
+//! [`IntoParallelRefIterator::par_iter`], `map` and `collect` — with real
+//! parallelism: items are pulled off a shared index-tagged work queue by
+//! one scoped thread per available core (dynamic load balancing, like
+//! rayon's work stealing, minus the per-thread deques). Results are
+//! returned in input order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference).
+    type Item: Send + 'data;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// A finite, order-preserving parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialises the items (called once, on the driving thread).
+    fn items(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the items into `C`, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.items().into_iter().collect()
+    }
+}
+
+/// A parallel iterator over an owned `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = VecIter<&'data T>;
+    fn par_iter(&'data self) -> VecIter<&'data T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = VecIter<&'data T>;
+    fn par_iter(&'data self) -> VecIter<&'data T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The result of [`ParallelIterator::map`]; the only stage that actually
+/// fans work out to threads.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn items(self) -> Vec<R> {
+        par_map(self.base.items(), &self.f)
+    }
+}
+
+/// Applies `f` to every item on a pool of scoped threads, returning the
+/// results in input order.
+fn par_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop_front();
+                let Some((idx, item)) = job else { break };
+                let out = f(item);
+                results.lock().expect("results poisoned")[idx] = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every item mapped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+        assert_eq!(v.len(), 100, "input still owned by caller");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(none.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}
