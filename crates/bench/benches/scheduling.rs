@@ -64,10 +64,12 @@ fn bench_tree_simulation(c: &mut Criterion) {
 
 fn bench_threaded_schedulers(c: &mut Criterion) {
     // Real threads on a tiny tracking workload: measures the scheduling
-    // machinery itself (channel traffic, thread spawn) rather than the
-    // numerics.
+    // machinery itself (channel traffic, thread spawn, deque stealing)
+    // rather than the numerics. The pool entry reuses the persistent
+    // work-stealing workers, so it also shows what skipping per-call
+    // thread spawns buys.
     use pieri_num::random_gamma;
-    use pieri_parallel::{track_paths_dynamic, track_paths_static};
+    use pieri_parallel::{track_paths_dynamic, track_paths_rayon, track_paths_static};
     use pieri_systems::{cyclic, total_degree_start};
     use pieri_tracker::{LinearHomotopy, TrackSettings};
     let mut rng = seeded_rng(102);
@@ -83,6 +85,10 @@ fn bench_threaded_schedulers(c: &mut Criterion) {
     group.bench_function("dynamic_2w", |b| {
         b.iter(|| track_paths_dynamic(&h, &start.solutions, &settings, 2))
     });
+    group.bench_function(
+        format!("pool_{}_threads", rayon::current_num_threads()),
+        |b| b.iter(|| track_paths_rayon(&h, &start.solutions, &settings)),
+    );
     group.finish();
 }
 

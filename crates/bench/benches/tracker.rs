@@ -1,6 +1,8 @@
 //! Criterion benchmarks for the path tracker: per-path cost on the
-//! cyclic-5 benchmark and the predictor-order ablation (secant vs Euler
-//! vs RK4 — more solves per step vs fewer, larger steps).
+//! cyclic-5 benchmark, the predictor-order ablation (secant vs Euler
+//! vs RK4 — more solves per step vs fewer, larger steps), and batch
+//! tracking on the work-stealing fork-join pool vs the sequential
+//! baseline (the pool-backed timing behind the Fig. 1–3 calibrations).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pieri_num::{random_gamma, seeded_rng};
@@ -70,6 +72,31 @@ fn bench_pieri_job(c: &mut Criterion) {
     });
 }
 
+fn bench_pool_batch_tracking(c: &mut Criterion) {
+    // The whole cyclic-5 batch (120 paths) sequentially vs on the
+    // work-stealing pool: the speedup here is what the vendored rayon's
+    // chunked par-map + per-worker deques buy over the old
+    // single-mutex work queue (and over one core).
+    use pieri_parallel::track_paths_rayon;
+    let (h, starts) = cyclic5_setup();
+    let settings = TrackSettings::default();
+    let mut group = c.benchmark_group("cyclic5_batch_120_paths");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            starts
+                .iter()
+                .map(|x0| track_path(&h, x0, &settings).steps)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(
+        format!("pool_{}_threads", rayon::current_num_threads()),
+        |b| b.iter(|| track_paths_rayon(&h, &starts, &settings).len()),
+    );
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .measurement_time(std::time::Duration::from_secs(3))
@@ -80,6 +107,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_single_path, bench_predictor_ablation, bench_pieri_job
+    targets = bench_single_path, bench_predictor_ablation, bench_pieri_job,
+        bench_pool_batch_tracking
 }
 criterion_main!(benches);

@@ -1,9 +1,29 @@
 //! Shared measurement helpers.
+//!
+//! The per-path costs behind Figs. 1–3 / Tables I–II are recorded by
+//! tracking every path on the work-stealing fork-join pool
+//! ([`pieri_parallel::track_paths_rayon`]), so the calibration numbers
+//! are pool-backed: they reflect the same scheduler the repository's
+//! parallel solvers run on (pool size = `available_parallelism`, or
+//! `PIERI_NUM_THREADS` when set) rather than an idealised sequential
+//! sweep. The collect is order-preserving, so the workload vector lines
+//! up with the start solutions either way.
+//!
+//! Deliberate tradeoff: on a multi-core pool each path's elapsed time
+//! includes contention from concurrently tracked neighbours (memory
+//! bandwidth, turbo headroom), so the measured cost *variation* is an
+//! in-situ number, not an isolated-core one — slightly noisier than a
+//! sequential sweep would report. The experiments absorb this: the
+//! synthetic paper-scale workloads pin the *mean* to the paper's regime
+//! and take only the distribution shape from the measurement, and the
+//! summary prints the pool width so a reader can judge the conditions.
+//! Set `PIERI_NUM_THREADS=1` for contention-free calibration.
 
 use pieri_num::{random_gamma, seeded_rng};
+use pieri_parallel::track_paths_rayon;
 use pieri_sim::Workload;
 use pieri_systems::{bilinear_system, cyclic, total_degree_start};
-use pieri_tracker::{track_all, LinearHomotopy, TrackSettings, TrackStats};
+use pieri_tracker::{LinearHomotopy, TrackSettings, TrackStats};
 
 /// A measured workload: real per-path costs plus tracking statistics.
 pub struct MeasuredWorkload {
@@ -24,10 +44,12 @@ impl MeasuredWorkload {
     /// One-paragraph summary for the reports.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} paths tracked on this machine — {} converged, {} diverged, {} failed;\n\
+            "{}: {} paths tracked on this machine ({} pool threads) — \
+             {} converged, {} diverged, {} failed;\n\
              mean path cost {:.2} ms, cost coefficient of variation {:.2}",
             self.name,
             self.stats.total(),
+            rayon::current_num_threads(),
             self.stats.converged,
             self.stats.diverged,
             self.stats.failed,
@@ -37,16 +59,16 @@ impl MeasuredWorkload {
     }
 }
 
-/// Tracks all total-degree paths of cyclic-n for real and returns the
-/// measured workload. `n = 5` gives 120 paths in well under a second;
-/// `n = 6` gives 720 paths; `n = 7` gives 5,040.
+/// Tracks all total-degree paths of cyclic-n on the fork-join pool and
+/// returns the measured workload. `n = 5` gives 120 paths in well under
+/// a second; `n = 6` gives 720 paths; `n = 7` gives 5,040.
 pub fn measure_cyclic(n: usize, seed: u64) -> MeasuredWorkload {
     let mut rng = seeded_rng(seed);
     let target = cyclic(n);
     let start = total_degree_start(&target, &mut rng);
     let h = LinearHomotopy::new(start.system, target, random_gamma(&mut rng));
-    let (results, stats) = track_all(&h, &start.solutions, &TrackSettings::default());
-    drop(results);
+    let results = track_paths_rayon(&h, &start.solutions, &TrackSettings::default());
+    let stats = TrackStats::from_results(&results);
     MeasuredWorkload {
         name: format!("cyclic-{n} (total-degree start)"),
         workload: Workload::from_costs(stats.path_times.clone()),
@@ -63,8 +85,8 @@ pub fn measure_rps_analog(k: usize, seed: u64) -> MeasuredWorkload {
     let target = bilinear_system(k, &mut rng);
     let start = total_degree_start(&target, &mut rng);
     let h = LinearHomotopy::new(start.system, target, random_gamma(&mut rng));
-    let (results, stats) = track_all(&h, &start.solutions, &TrackSettings::default());
-    drop(results);
+    let results = track_paths_rayon(&h, &start.solutions, &TrackSettings::default());
+    let stats = TrackStats::from_results(&results);
     MeasuredWorkload {
         name: format!("bilinear-{k}+{k} RPS analog (total-degree start)"),
         workload: Workload::from_costs(stats.path_times.clone()),

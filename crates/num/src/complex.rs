@@ -10,9 +10,10 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// from Ada's `Generic_Complex_Numbers`; no external crate is used.
 ///
 /// The type is `Copy` and 16 bytes, so it moves through the linear-algebra
-/// kernels without allocation. Division uses Smith's algorithm to avoid
-/// overflow for badly scaled operands, which matters once paths are tracked
-/// close to infinity.
+/// kernels without allocation. Division uses the robust Baudin–Smith
+/// algorithm (Smith's scaling plus exact power-of-two pre-scaling) to stay
+/// finite and accurate for badly scaled operands, which matters once paths
+/// are tracked close to infinity.
 #[derive(Clone, Copy, PartialEq, Default)]
 pub struct Complex64 {
     /// Real part.
@@ -203,22 +204,90 @@ impl Mul for Complex64 {
     }
 }
 
+/// Core of Smith's division `(a + bi) / (c + di)` assuming `|d| <= |c|`,
+/// with the Baudin–Smith underflow refinements: whenever a ratio or a
+/// cross product (`d/c`, `b·r`, `a·r`) underflows to zero, that term is
+/// re-associated (`d·(b/c)` instead of `b·(d/c)`, `(b·t)·r` instead of
+/// `(b·r)·t`, …) so no representable contribution is silently dropped.
+#[inline]
+fn smith_core(a: f64, b: f64, c: f64, d: f64) -> (f64, f64) {
+    let r = d / c;
+    let t = 1.0 / (c + d * r);
+    if r != 0.0 {
+        let br = b * r;
+        let e = if br != 0.0 {
+            (a + br) * t
+        } else {
+            a * t + (b * t) * r
+        };
+        let ar = a * r;
+        let f = if ar != 0.0 {
+            (b - ar) * t
+        } else {
+            b * t - (a * t) * r
+        };
+        (e, f)
+    } else {
+        ((a + d * (b / c)) * t, (b - d * (a / c)) * t)
+    }
+}
+
 impl Div for Complex64 {
     type Output = Complex64;
-    /// Smith's algorithm: scale by the larger component of the divisor.
+    /// Robust complex division: Smith's algorithm with the scaling and
+    /// underflow refinements of Baudin & Smith (*A Robust Complex
+    /// Division in Scilab*, 2012).
+    ///
+    /// The naive `(ac + bd)/(c² + d²)` formula overflows to `inf`/`NaN`
+    /// once the divisor's components approach `1e155` (their squares
+    /// exceed `f64::MAX`) and underflows to zero-divides for tiny ones —
+    /// exactly the magnitudes the tracker's divergence checks feed in as
+    /// paths escape to infinity. Plain Smith fixes those but still loses
+    /// the answer when the component ratio itself under- or overflows;
+    /// the pre-scaling by powers of two (exact in binary floating point)
+    /// and the re-associated cross terms in [`smith_core`] keep every
+    /// representable quotient finite and accurate.
     fn div(self, rhs: Complex64) -> Complex64 {
-        if rhs.re.abs() >= rhs.im.abs() {
-            if rhs.re == 0.0 && rhs.im == 0.0 {
-                return Complex64::new(self.re / 0.0, self.im / 0.0);
-            }
-            let r = rhs.im / rhs.re;
-            let d = rhs.re + r * rhs.im;
-            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
-        } else {
-            let r = rhs.re / rhs.im;
-            let d = rhs.im + r * rhs.re;
-            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        if rhs.re == 0.0 && rhs.im == 0.0 {
+            // IEEE semantics: finite/0 diverges, 0/0 and NaN/0 are NaN.
+            return Complex64::new(self.re / 0.0, self.im / 0.0);
         }
+        let (mut a, mut b, mut c, mut d) = (self.re, self.im, rhs.re, rhs.im);
+        let ab = a.abs().max(b.abs());
+        let cd = c.abs().max(d.abs());
+        // Result = computed · s; all four scale factors are powers of
+        // two, so the scaling is exact.
+        let mut s = 1.0f64;
+        let half_max = 0.5 * f64::MAX;
+        let tiny = f64::MIN_POSITIVE * 2.0 / f64::EPSILON;
+        let big = 2.0 / (f64::EPSILON * f64::EPSILON);
+        if ab >= half_max {
+            a *= 0.5;
+            b *= 0.5;
+            s *= 2.0;
+        }
+        if cd >= half_max {
+            c *= 0.5;
+            d *= 0.5;
+            s *= 0.5;
+        }
+        if ab <= tiny {
+            a *= big;
+            b *= big;
+            s /= big;
+        }
+        if cd <= tiny {
+            c *= big;
+            d *= big;
+            s *= big;
+        }
+        let (e, f) = if d.abs() <= c.abs() {
+            smith_core(a, b, c, d)
+        } else {
+            let (e, f) = smith_core(b, a, d, c);
+            (e, -f)
+        };
+        Complex64::new(e * s, f * s)
     }
 }
 
@@ -337,6 +406,79 @@ mod tests {
         let q = c(1e200, 0.0) / huge;
         assert!(q.is_finite(), "naive division would overflow: {q:?}");
         assert!((q.re - 0.5).abs() < 1e-12 && (q.im + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_survives_1e155_components() {
+        // The tracker's divergence checks divide by values whose squares
+        // exceed f64::MAX (1e155² = 1e310): the naive formula returns
+        // inf/inf = NaN here.
+        let z = c(1e155, 1e155);
+        assert_eq!(z / z, Complex64::ONE);
+        let q = c(2e155, 1e155) / c(1e155, 1e155);
+        // (2+i)/(1+i) = 1.5 - 0.5i
+        assert!((q.re - 1.5).abs() < 1e-12 && (q.im + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_survives_tiny_components() {
+        // Naive denominators underflow to 0 (1e-155² = 1e-310 per term is
+        // representable, but 1e-200² is not), turning the quotient into
+        // inf; endgame iterates shrink into exactly this regime.
+        let z = c(1e-155, 1e-155);
+        assert_eq!(z / z, Complex64::ONE);
+        let w = c(1e-200, -1e-200);
+        let q = c(2e-200, 0.0) / w;
+        // 2/(1-i) = 1 + i
+        assert!((q.re - 1.0).abs() < 1e-12 && (q.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_handles_extreme_component_ratios() {
+        // Baudin & Smith's hard case: the divisor's component ratio
+        // d/c = 1e-410 underflows to zero, so plain Smith silently drops
+        // the a·d cross term and returns im = 0 instead of ~ -1e-308.
+        let q = c(1e307, 1e-307) / c(1e205, 1e-205);
+        assert!((q.re / 1e102 - 1.0).abs() < 1e-12, "re: {:e}", q.re);
+        assert!((q.im / -1e-308 - 1.0).abs() < 1e-6, "im: {:e}", q.im);
+    }
+
+    #[test]
+    fn division_keeps_underflowing_cross_terms() {
+        // b·r = 1e-170·1e-160 underflows to zero, so Smith's fast path
+        // would return re = 0; the re-associated a·t + (b·t)·r recovers
+        // the representable true value 1e-230 (and its mirror for im).
+        let q = c(0.0, 1e-170) / c(1e-100, 1e-260);
+        assert!((q.re / 1e-230 - 1.0).abs() < 1e-12, "re: {:e}", q.re);
+        assert!((q.im / 1e-70 - 1.0).abs() < 1e-12, "im: {:e}", q.im);
+        let q = c(1e-170, 0.0) / c(1e-100, 1e-260);
+        assert!((q.re / 1e-70 - 1.0).abs() < 1e-12, "re: {:e}", q.re);
+        assert!((q.im / -1e-230 - 1.0).abs() < 1e-12, "im: {:e}", q.im);
+    }
+
+    #[test]
+    fn inverse_of_near_max_magnitude() {
+        // Plain Smith overflows its own denominator (c + d·r = 2e308)
+        // and returns 0; the power-of-two pre-scaling keeps the exact
+        // subnormal answer 5e-309·(1 - i).
+        let q = c(1e308, 1e308).inv();
+        assert!(q.norm() > 0.0, "inverse must not flush to zero");
+        assert!((q.re / 5e-309 - 1.0).abs() < 1e-9, "re: {:e}", q.re);
+        assert!((q.im / -5e-309 - 1.0).abs() < 1e-9, "im: {:e}", q.im);
+    }
+
+    #[test]
+    fn division_scaled_roundtrip_across_exponent_range() {
+        // (x·y)/y ≈ x for operands spread across ±150 decades.
+        for &(ex, ey) in &[(0, 0), (140, -140), (-140, 140), (150, 150), (-150, -150)] {
+            let x = c(1.5 * 10f64.powi(ex), -0.3 * 10f64.powi(ex));
+            let y = c(-0.7 * 10f64.powi(ey), 1.1 * 10f64.powi(ey));
+            let q = (x * y) / y;
+            assert!(
+                q.dist(x) < 1e-10 * x.norm(),
+                "exponents ({ex},{ey}): {q:?} vs {x:?}"
+            );
+        }
     }
 
     #[test]

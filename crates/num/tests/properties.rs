@@ -80,6 +80,25 @@ proptest! {
     }
 
     #[test]
+    fn division_roundtrips_across_the_exponent_range(
+        a in small_complex(),
+        b in nonzero_complex(),
+        ea in -140i32..140,
+        eb in -140i32..140,
+    ) {
+        // The robust Baudin–Smith division must invert multiplication
+        // even when operands sit hundreds of decades apart — the regime
+        // where the naive formula over- or underflows.
+        let x = a.scale(10f64.powi(ea));
+        let y = b.scale(10f64.powi(eb));
+        let q = (x * y) / y;
+        prop_assert!(
+            q.dist(x) < 1e-8 * (1e-300 + x.norm()),
+            "({ea},{eb}): {q:?} vs {x:?}"
+        );
+    }
+
+    #[test]
     fn unit_complex_is_unit(seed in 0u64..10_000) {
         let mut rng = seeded_rng(seed);
         let g = unit_complex(&mut rng);

@@ -5,9 +5,12 @@
 //! memory (a poset node's solutions stay live until the whole level is
 //! done, while a tree job's start solution dies with the job) and
 //! scheduling (the level barrier idles workers at every rank). This
-//! module implements the poset organisation with Rayon data parallelism
-//! inside each level, instrumented so the benches can measure both
-//! effects against [`crate::solve_tree_parallel`].
+//! module implements the poset organisation with work-stealing data
+//! parallelism inside each level — each level's jobs fan out in chunks
+//! across the global fork-join pool (see the vendored `rayon`), with an
+//! order-preserving collect so the run is deterministic — instrumented
+//! so the benches can measure both effects against
+//! [`crate::solve_tree_parallel`].
 
 use pieri_core::{JobRecord, PMap, Pattern, PieriProblem, PieriSolution, Poset};
 use pieri_num::Complex64;
@@ -130,6 +133,20 @@ mod tests {
         }
         assert_eq!(stats.level_wall.len(), 8);
         assert_eq!(par.records.len(), 37);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs() {
+        // The barrier-parallel level map preserves job order, so repeated
+        // runs must agree bitwise however the pool interleaves chunks.
+        let mut rng = seeded_rng(732);
+        let problem = PieriProblem::random(Shape::new(2, 2, 1), &mut rng);
+        let settings = TrackSettings::default();
+        let (a, _) = solve_by_levels_parallel(&problem, &settings);
+        let (b, _) = solve_by_levels_parallel(&problem, &settings);
+        assert_eq!(a.coeffs, b.coeffs, "bitwise identical solutions");
+        let levels = |s: &PieriSolution| s.records.iter().map(|r| r.level).collect::<Vec<_>>();
+        assert_eq!(levels(&a), levels(&b), "record order stable");
     }
 
     #[test]

@@ -17,12 +17,20 @@
 //!   is ready once the solution at its parent node is known), an idle
 //!   slave queue for reactivation, and the leaf-count termination
 //!   protocol;
-//! * [`track_paths_rayon`] — a work-stealing baseline on Rayon, as an
-//!   ablation against the hand-rolled schedulers (which are the object of
-//!   study and therefore stay hand-rolled);
+//! * [`track_paths_rayon`] — a work-stealing baseline on the fork-join
+//!   pool, as an ablation against the hand-rolled schedulers (which are
+//!   the object of study and therefore stay hand-rolled);
 //! * [`solve_by_levels_parallel`] — the poset (level-synchronous)
 //!   organisation with a barrier per rank, instrumented for the memory
 //!   and idle-time comparison of Section III.C.
+//!
+//! All three pool consumers ([`track_paths_rayon`],
+//! [`solve_by_levels_parallel`], [`solve_tree_parallel`]) execute on the
+//! persistent work-stealing pool of the vendored `rayon` crate — sized
+//! by `available_parallelism`, overridable with `PIERI_NUM_THREADS` —
+//! and produce order-preserving, run-to-run deterministic output (the
+//! tree scheduler sorts by job lineage; the data-parallel maps write
+//! results into disjoint slots in input order).
 //!
 //! Every scheduler returns a [`ParallelReport`] with per-worker busy
 //! times and message counts, the observables behind Tables I/II of the

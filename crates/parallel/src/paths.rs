@@ -11,6 +11,11 @@ use std::time::Instant;
 /// contiguous blocks up front, one thread per block, no communication
 /// until the join. Results are returned in input order.
 ///
+/// When `starts.len() < workers` fewer blocks than `workers` are
+/// spawned, and the report contains exactly one [`WorkerStats`] entry
+/// per block actually spawned — no phantom all-zero workers skewing the
+/// efficiency and imbalance numbers.
+///
 /// # Panics
 /// Panics when `workers == 0`.
 pub fn track_paths_static<H: Homotopy>(
@@ -22,16 +27,15 @@ pub fn track_paths_static<H: Homotopy>(
     assert!(workers >= 1, "need at least one worker");
     let t0 = Instant::now();
     let n = starts.len();
-    let chunk = n.div_ceil(workers.max(1));
+    let chunk = n.div_ceil(workers).max(1);
     let mut results: Vec<Option<PathResult>> = (0..n).map(|_| None).collect();
-    let mut stats = vec![WorkerStats::default(); workers];
+    let mut stats: Vec<WorkerStats> = Vec::with_capacity(n.div_ceil(chunk));
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (w, block) in starts.chunks(chunk.max(1)).enumerate() {
-            let offset = w * chunk.max(1);
+        for (w, block) in starts.chunks(chunk).enumerate() {
+            let offset = w * chunk;
             handles.push((
-                w,
                 offset,
                 scope.spawn(move || {
                     let t = Instant::now();
@@ -41,10 +45,12 @@ pub fn track_paths_static<H: Homotopy>(
                 }),
             ));
         }
-        for (w, offset, handle) in handles {
+        for (offset, handle) in handles {
             let (block_results, busy) = handle.join().expect("worker panicked");
-            stats[w].jobs = block_results.len();
-            stats[w].busy = busy;
+            stats.push(WorkerStats {
+                jobs: block_results.len(),
+                busy,
+            });
             for (i, r) in block_results.into_iter().enumerate() {
                 results[offset + i] = Some(r);
             }
@@ -144,9 +150,14 @@ pub fn track_paths_dynamic<H: Homotopy>(
     (results, report)
 }
 
-/// Work-stealing baseline on the Rayon thread pool (ablation: the guides'
+/// Work-stealing baseline on the Rayon fork-join pool (ablation: the
 /// idiomatic data-parallel formulation versus the paper's explicit
 /// master/slave protocol).
+///
+/// Paths are tracked in chunks on the persistent global pool (sized by
+/// `available_parallelism`, overridable with `PIERI_NUM_THREADS`); the
+/// collect is order-preserving, so the output is identical run to run
+/// regardless of which worker tracks which chunk.
 pub fn track_paths_rayon<H: Homotopy>(
     h: &H,
     starts: &[Vec<Complex64>],
@@ -266,5 +277,46 @@ mod tests {
         let (r, rep) = track_paths_dynamic(&h, &[], &settings, 2);
         assert!(r.is_empty());
         assert_eq!(rep.messages, 0);
+    }
+
+    #[test]
+    fn static_report_has_no_phantom_workers() {
+        // Regression: with workers > starts.len() only 3 blocks are
+        // spawned; the report used to pad itself to `workers` entries of
+        // all-zero WorkerStats, dragging efficiency() and imbalance()
+        // toward nonsense.
+        let (h, starts) = setup(3, 705);
+        let settings = TrackSettings::default();
+        let (results, rep) = track_paths_static(&h, &starts, &settings, 8);
+        assert_eq!(results.len(), 3);
+        assert_eq!(rep.workers.len(), 3, "one entry per spawned block");
+        assert!(rep.workers.iter().all(|w| w.jobs == 1));
+        assert!(rep.imbalance().is_finite(), "no zero-busy phantom entries");
+    }
+
+    #[test]
+    fn static_report_empty_when_no_paths() {
+        let (h, _) = setup(2, 706);
+        let settings = TrackSettings::default();
+        let (results, rep) = track_paths_static(&h, &[], &settings, 4);
+        assert!(results.is_empty());
+        assert!(rep.workers.is_empty(), "no blocks spawned, no stats");
+    }
+
+    #[test]
+    fn rayon_output_is_deterministic_and_ordered() {
+        // The pool's chunked map writes into disjoint slots, so repeated
+        // runs must agree bitwise and in input order with the sequential
+        // tracker, whatever the stealing interleaving was.
+        let (h, starts) = setup(7, 707);
+        let settings = TrackSettings::default();
+        let (seq, _) = pieri_tracker::track_all(&h, &starts, &settings);
+        let a = track_paths_rayon(&h, &starts, &settings);
+        let b = track_paths_rayon(&h, &starts, &settings);
+        assert_eq!(a.len(), seq.len());
+        for i in 0..a.len() {
+            assert_eq!(a[i].x, b[i].x, "path {i} bitwise stable across runs");
+            assert_eq!(a[i].x, seq[i].x, "path {i} matches sequential order");
+        }
     }
 }

@@ -8,13 +8,32 @@
 //! this, a slave that happens to return a leaf early would sit out the
 //! rest of the run, the unbalanced scenario Section III.D warns about);
 //! and (iii) the termination protocol — the run ends when no job is
-//! queued or in flight, at which point the master closes the channels and
-//! the slaves' waiting loops end.
+//! queued or in flight.
+//!
+//! The slaves are *virtual*: dispatching a job to slave `w` spawns it
+//! onto the global work-stealing fork-join pool (see the vendored
+//! `rayon`), tagged with `w` so the per-slave accounting of the paper is
+//! preserved. This sources the actual CPU time from the shared pool —
+//! `PIERI_NUM_THREADS` bounds hardware parallelism while `workers`
+//! remains the number of ranks in the paper's protocol — and `workers`
+//! may freely exceed the pool size, because a dispatched job never
+//! blocks (it tracks its path and sends one result message). The one
+//! requirement is that the *master* run outside the pool: it blocks on
+//! the result channel without helping to drain the pool's queues, so a
+//! call from inside a pool job could starve its own slaves. The entry
+//! point asserts this instead of deadlocking.
 //!
 //! Start solutions travel inside the job messages, so a node's solution
 //! lives only until its successor jobs have been generated — the memory
 //! frugality of trees over posets that Section III.C describes. The
 //! master records the peak queue length to make that argument measurable.
+//!
+//! **Determinism:** results arrive in scheduling order, which varies run
+//! to run. Every job therefore carries its *lineage* — the path of
+//! child-indices from its seed job down the tree, under which a parent's
+//! lineage is a strict prefix of its children's — and the returned
+//! records and root solutions are sorted by lineage. Output is thus
+//! bitwise identical across runs and worker counts.
 
 use crate::report::{ParallelReport, WorkerStats};
 use crossbeam::channel;
@@ -25,11 +44,12 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 /// One unit of work: track the path extending `child`'s solution to
-/// `pattern` (a tree edge).
+/// `pattern` (a tree edge), tagged with its position in the virtual tree.
 struct Job {
     pattern: Pattern,
     child: Pattern,
     start: Vec<Complex64>,
+    lineage: Vec<u32>,
 }
 
 /// Extra observables of a tree-parallel run.
@@ -49,16 +69,26 @@ pub struct TreeRunStats {
 /// Produces the same solution set as [`pieri_core::solve`] (same gamma,
 /// same homotopies, same endpoints up to tracking tolerance) — the
 /// integration tests cross-check this — while exposing the parallel
-/// observables of the paper.
+/// observables of the paper. Records and solutions are returned in
+/// lineage order, so the output is deterministic run to run.
 ///
 /// # Panics
-/// Panics when `workers == 0`.
+/// Panics when `workers == 0`, or when called from inside a pool worker
+/// (the master blocks on its result channel without draining the pool,
+/// so an in-pool call could starve its own slaves — see the module
+/// docs). A panic inside a slave's tracking job is resumed on the
+/// caller once the remaining in-flight jobs have drained, instead of
+/// hanging the master.
 pub fn solve_tree_parallel(
     problem: &PieriProblem,
     settings: &TrackSettings,
     workers: usize,
 ) -> (PieriSolution, TreeRunStats) {
     assert!(workers >= 1, "need at least one worker");
+    assert!(
+        rayon::current_thread_index().is_none(),
+        "solve_tree_parallel must be called from outside the worker pool"
+    );
     let t0 = Instant::now();
     let shape = problem.shape();
     let poset = Poset::build(shape);
@@ -70,76 +100,66 @@ pub fn solve_tree_parallel(
     let mut peak_queue = 0usize;
     let mut idle_parks = 0usize;
     let mut reactivations = 0usize;
-    let mut records: Vec<JobRecord> = Vec::new();
     let mut failures = 0usize;
-    let mut root_coeffs: Vec<Vec<Complex64>> = Vec::new();
+    // (lineage, payload) pairs, sorted after the run for determinism.
+    let mut tagged_records: Vec<(Vec<u32>, JobRecord)> = Vec::new();
+    let mut tagged_roots: Vec<(Vec<u32>, Vec<Complex64>)> = Vec::new();
 
-    // Direct channel to each slave (an MPI send to a rank) plus a shared
-    // result channel back to the master.
-    let mut job_txs = Vec::with_capacity(workers);
-    let mut job_rxs = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = channel::unbounded::<Job>();
-        job_txs.push(tx);
-        job_rxs.push(rx);
-    }
-    type ResultMsg = (
-        usize,
-        Pattern,
-        Option<Vec<Complex64>>,
-        JobRecord,
-        std::time::Duration,
-    );
+    // Result channel back to the master (worker id, lineage, pattern,
+    // job outcome, busy time) — one message per job, like the MPI sends
+    // of the paper. The outcome is Err when the job panicked: the master
+    // holds a sender for the whole run, so the channel can never
+    // disconnect, and a slave that died without sending would leave
+    // `in_flight` stuck above zero and the master blocked forever.
+    type JobOutcome = Result<(Option<Vec<Complex64>>, JobRecord), Box<dyn std::any::Any + Send>>;
+    type ResultMsg = (usize, Vec<u32>, Pattern, JobOutcome, std::time::Duration);
     let (res_tx, res_rx) = channel::unbounded::<ResultMsg>();
+    let mut slave_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
-    std::thread::scope(|scope| {
-        for (w, job_rx) in job_rxs.into_iter().enumerate() {
-            let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    let t = Instant::now();
-                    let (sol, record) = pieri_core::run_job(
-                        problem,
-                        &job.pattern,
-                        &job.child,
-                        &job.start,
-                        settings,
-                    );
-                    if res_tx
-                        .send((w, job.pattern, sol, record, t.elapsed()))
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-
+    rayon::scope(|s| {
         // Seed the queue with the level-1 jobs (children of the trivial
         // pattern's solutions — the empty coefficient vector).
         let mut queue: VecDeque<Job> = poset
             .parents_in_poset(&trivial)
             .into_iter()
-            .map(|pattern| Job {
+            .enumerate()
+            .map(|(i, pattern)| Job {
                 pattern,
                 child: trivial.clone(),
                 start: Vec::new(),
+                lineage: vec![i as u32],
             })
             .collect();
         let mut idle: VecDeque<usize> = (0..workers).collect();
+        // Slaves that returned a result while the queue was empty (the
+        // III.D parking event) — distinct from merely being between
+        // jobs, so `reactivations` counts real park-then-redispatch
+        // transitions only.
+        let mut parked = vec![false; workers];
         let mut in_flight = 0usize;
 
-        // Dispatch helper state is inline to keep borrows simple.
+        // The master runs inline on the calling thread; each dispatch
+        // spawns one pool job acting as slave `w` for that job.
         loop {
             // Hand out jobs to idle slaves, reactivating parked ones.
             while let (Some(&w), false) = (idle.front(), queue.is_empty()) {
                 let job = queue.pop_front().expect("checked non-empty");
                 idle.pop_front();
-                if stats[w].jobs > 0 {
+                if parked[w] {
                     reactivations += 1;
+                    parked[w] = false;
                 }
-                job_txs[w].send(job).expect("slave alive");
+                let tx = res_tx.clone();
+                s.spawn(move |_| {
+                    let t = Instant::now();
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pieri_core::run_job(problem, &job.pattern, &job.child, &job.start, settings)
+                    }));
+                    // The master outlives every in-flight job, so the
+                    // receiver is always alive.
+                    tx.send((w, job.lineage, job.pattern, outcome, t.elapsed()))
+                        .expect("master alive");
+                });
                 messages += 1;
                 in_flight += 1;
             }
@@ -148,23 +168,36 @@ pub fn solve_tree_parallel(
                 break; // queue empty and nothing in flight: done.
             }
             // Wait for a result.
-            let (w, pattern, sol, record, busy) = res_rx.recv().expect("slaves alive");
+            let (w, lineage, pattern, outcome, busy) = res_rx.recv().expect("slaves alive");
             messages += 1;
             in_flight -= 1;
+            let (sol, record) = match outcome {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    // Fail fast (after the scope drains the other
+                    // in-flight jobs) rather than hanging the master.
+                    slave_panic = Some(payload);
+                    break;
+                }
+            };
             stats[w].jobs += 1;
             stats[w].busy += busy;
             let level = record.level;
-            records.push(record);
+            tagged_records.push((lineage.clone(), record));
             match sol {
                 Some(x) => {
                     if level == n {
-                        root_coeffs.push(x);
+                        tagged_roots.push((lineage, x));
                     } else {
-                        for parent in poset.parents_in_poset(&pattern) {
+                        for (k, parent) in poset.parents_in_poset(&pattern).into_iter().enumerate()
+                        {
+                            let mut child_lineage = lineage.clone();
+                            child_lineage.push(k as u32);
                             queue.push_back(Job {
                                 pattern: parent,
                                 child: pattern.clone(),
                                 start: x.clone(),
+                                lineage: child_lineage,
                             });
                         }
                     }
@@ -173,12 +206,26 @@ pub fn solve_tree_parallel(
             }
             if queue.is_empty() && in_flight > 0 {
                 idle_parks += 1;
+                parked[w] = true;
             }
             idle.push_back(w);
         }
-        // Termination: closing the job channels ends the slaves' loops.
-        drop(job_txs);
+        // Termination: in_flight == 0 means every spawned job has sent
+        // its result, so the scope drains immediately. (On a slave
+        // panic the scope still waits for the other in-flight jobs,
+        // whose sends succeed because res_rx outlives the scope.)
     });
+    drop(res_tx);
+    if let Some(payload) = slave_panic {
+        std::panic::resume_unwind(payload);
+    }
+
+    // Lineage order is scheduling-independent and puts every parent
+    // before its children (prefix < extension in lexicographic order).
+    tagged_records.sort_by(|a, b| a.0.cmp(&b.0));
+    tagged_roots.sort_by(|a, b| a.0.cmp(&b.0));
+    let records: Vec<JobRecord> = tagged_records.into_iter().map(|(_, r)| r).collect();
+    let root_coeffs: Vec<Vec<Complex64>> = tagged_roots.into_iter().map(|(_, x)| x).collect();
 
     let root = shape.root();
     let maps: Vec<PMap> = root_coeffs
@@ -262,6 +309,8 @@ mod tests {
         assert_eq!(par.maps.len(), 5);
         assert_eq!(stats.report.workers.len(), 1);
         assert_eq!(stats.report.workers[0].jobs, par.records.len());
+        // A lone slave can never be parked while work is in flight.
+        assert_eq!(stats.idle_parks, 0);
     }
 
     #[test]
@@ -293,5 +342,88 @@ mod tests {
         // The (2,2,1) tree fans out to width 8; with 4 workers the queue
         // must have backed up at least once.
         assert!(stats.report.peak_queue > 0);
+    }
+
+    #[test]
+    fn terminates_with_more_workers_than_jobs() {
+        // Stress: 16 virtual slaves on a tree whose widest level is far
+        // narrower. Most slaves idle the whole run; the termination
+        // protocol must still close the scope without stranding anyone,
+        // whatever PIERI_NUM_THREADS says the real pool size is.
+        let mut rng = seeded_rng(725);
+        let problem = PieriProblem::random(Shape::new(2, 2, 0), &mut rng);
+        let seq = pieri_core::solve(&problem);
+        let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 16);
+        assert_eq!(par.failures, 0);
+        assert!(solutions_match(&seq, &par, 1e-6));
+        assert_eq!(stats.report.workers.len(), 16);
+        assert_eq!(
+            stats.report.workers.iter().map(|w| w.jobs).sum::<usize>(),
+            seq.records.len()
+        );
+    }
+
+    #[test]
+    fn unbalanced_tree_parks_slaves_without_stranding_them() {
+        // Section III.D scenario: slaves that return a result while the
+        // job queue is empty (but work is still in flight) are parked.
+        // On (2,2,1) with 4 slaves the final-level drain guarantees such
+        // parks deterministically. A reactivation — a *parked* slave
+        // handed a fresh job — additionally needs a fast chain to reach
+        // the root while slower chains still climb, which is genuinely
+        // timing-dependent, so a deterministic test asserts the protocol
+        // invariants instead: parks happen, reactivations never exceed
+        // parks, and parking strands nobody — the run still terminates
+        // with every job accounted for and nothing left in flight.
+        let mut rng = seeded_rng(726);
+        let problem = PieriProblem::random(Shape::new(2, 2, 1), &mut rng);
+        let (par, stats) = solve_tree_parallel(&problem, &TrackSettings::default(), 4);
+        assert_eq!(par.failures, 0);
+        assert!(stats.idle_parks > 0, "final drain parks slaves: {stats:?}");
+        assert!(
+            stats.reactivations <= stats.idle_parks,
+            "only parked slaves can be reactivated: {stats:?}"
+        );
+        assert_eq!(par.records.len(), 37, "no job lost to a parked slave");
+        assert_eq!(
+            stats.report.workers.iter().map(|w| w.jobs).sum::<usize>(),
+            37
+        );
+    }
+
+    #[test]
+    fn rejects_calls_from_inside_the_pool() {
+        // The master blocks on its result channel without draining pool
+        // queues, so running it on a pool worker could starve its own
+        // slaves; it must fail fast instead of deadlocking.
+        let mut rng = seeded_rng(728);
+        let problem = PieriProblem::random(Shape::new(2, 2, 0), &mut rng);
+        let settings = TrackSettings::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rayon::scope(|s| {
+                s.spawn(|_| {
+                    let _ = solve_tree_parallel(&problem, &settings, 1);
+                });
+            });
+        }));
+        assert!(result.is_err(), "in-pool call must panic, not hang");
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs_and_worker_counts() {
+        // Lineage ordering makes the result independent of scheduling:
+        // bitwise-equal coefficients and identical record order for
+        // repeated runs and for different virtual-slave counts.
+        let mut rng = seeded_rng(727);
+        let problem = PieriProblem::random(Shape::new(2, 2, 1), &mut rng);
+        let settings = TrackSettings::default();
+        let (a, _) = solve_tree_parallel(&problem, &settings, 4);
+        let (b, _) = solve_tree_parallel(&problem, &settings, 4);
+        let (c, _) = solve_tree_parallel(&problem, &settings, 2);
+        assert_eq!(a.coeffs, b.coeffs, "same worker count: bitwise equal");
+        assert_eq!(a.coeffs, c.coeffs, "different worker count: bitwise equal");
+        let levels = |s: &PieriSolution| s.records.iter().map(|r| r.level).collect::<Vec<_>>();
+        assert_eq!(levels(&a), levels(&b));
+        assert_eq!(levels(&a), levels(&c));
     }
 }

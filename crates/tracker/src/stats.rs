@@ -21,7 +21,9 @@ pub struct TrackStats {
     pub total_steps: usize,
     /// Total Newton iterations over all paths.
     pub total_newton_iters: usize,
-    /// Sum of per-path wall-clock times (the sequential cost).
+    /// Sum of per-path wall-clock times (the sequential-equivalent
+    /// cost; when the batch was tracked concurrently, each path's time
+    /// also carries its share of cross-core contention).
     pub total_time: Duration,
     /// Longest single path.
     pub max_path_time: Duration,

@@ -1,11 +1,18 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! crate: the `channel::unbounded` MPMC channel with crossbeam's
-//! disconnect semantics (recv fails once the queue is empty *and* all
-//! senders are gone; send fails once all receivers are gone), built on
-//! `Mutex` + `Condvar`. Throughput is far below the real lock-free
-//! implementation, but the schedulers in this workspace exchange one
-//! message per tracked path, so the lock is never contended enough to
-//! matter.
+//! crate, covering the two pieces this workspace uses:
+//!
+//! * [`channel`] — the `unbounded` MPMC channel with crossbeam's
+//!   disconnect semantics (recv fails once the queue is empty *and* all
+//!   senders are gone; send fails once all receivers are gone), built on
+//!   `Mutex` + `Condvar`;
+//! * [`deque`] — the `crossbeam-deque` work-stealing primitives
+//!   ([`deque::Worker`], [`deque::Stealer`], [`deque::Injector`]) that
+//!   the vendored `rayon` pool schedules on, built on per-queue mutexes
+//!   rather than the real crate's lock-free Chase–Lev deque.
+//!
+//! Throughput is below the real lock-free implementations, but the locks
+//! here are per-queue (one per pool worker), so contention stays local
+//! even when every core is stealing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -205,6 +212,197 @@ pub mod channel {
                 assert_eq!(got, want);
                 assert_eq!(res_rx.recv(), Err(RecvError));
             });
+        }
+    }
+}
+
+/// Work-stealing double-ended queues, mirroring the `crossbeam-deque`
+/// API surface the vendored `rayon` pool uses.
+///
+/// Semantics match the real crate: the owning thread pushes and pops at
+/// one end in LIFO order (good cache locality for fork-join recursion),
+/// thieves steal single items from the opposite end in FIFO order (they
+/// take the oldest — typically largest — piece of work), and the
+/// [`deque::Injector`](Injector) is a shared FIFO for submissions from
+/// outside the pool.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried (never produced by
+        /// this mutex-based implementation; kept for API compatibility).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Converts into `Option`, mapping both `Empty` and `Retry` to
+        /// `None`.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(item) => Some(item),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+    }
+
+    /// The owner's handle to a work-stealing deque: LIFO push/pop at the
+    /// back; [`Stealer`]s take from the front.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner operates in LIFO order (the only
+        /// flavour the vendored pool needs).
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a job onto the owner's end.
+        pub fn push(&self, item: T) {
+            self.inner.lock().expect("deque poisoned").push_back(item);
+        }
+
+        /// Pops the most recently pushed job (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque poisoned").pop_back()
+        }
+
+        /// True when no jobs are queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Creates a stealing handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// A thief's handle: steals the oldest job (FIFO end).
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the job at the FIFO end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared FIFO queue for jobs submitted from outside the pool.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a job at the back.
+        pub fn push(&self, item: T) {
+            self.inner
+                .lock()
+                .expect("injector poisoned")
+                .push_back(item);
+        }
+
+        /// Attempts to take the oldest queued job.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("injector poisoned").pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no jobs are queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3), "owner pops newest");
+            assert!(matches!(s.steal(), Steal::Success(1)), "thief takes oldest");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().success().is_none());
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push('a');
+            inj.push('b');
+            assert_eq!(inj.steal().success(), Some('a'));
+            assert_eq!(inj.steal().success(), Some('b'));
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_drains_everything() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let taken = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let s = w.stealer();
+                    let taken = &taken;
+                    scope.spawn(move || {
+                        while let Some(v) = s.steal().success() {
+                            taken.lock().unwrap().push(v);
+                        }
+                    });
+                }
+            });
+            let mut got = taken.into_inner().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..1000).collect::<Vec<_>>());
         }
     }
 }

@@ -1,0 +1,273 @@
+//! Type-erased jobs and completion latches.
+//!
+//! This module is the only place in the crate (and the workspace) that
+//! uses `unsafe`. Two erasures happen here, both with the same shape as
+//! real rayon's `job.rs`:
+//!
+//! * [`StackJob`] — a `join` closure lives on the *caller's* stack; a raw
+//!   pointer to it is pushed onto the deques. Sound because `join` does
+//!   not return (and therefore the stack frame does not die) until the
+//!   job's latch is set.
+//! * [`HeapJob`] — a `scope` closure is boxed and its borrow lifetime
+//!   erased to `'static`. Sound because `scope` blocks until every
+//!   spawned job has completed, so the borrows outlive the job.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot completion flag that threads can block on.
+///
+/// Pool workers poll [`Latch::probe`] in a steal-work loop; threads
+/// outside the pool block on the condvar via [`Latch::wait`].
+///
+/// The flag lives *inside* the mutex, and every access — including the
+/// probe — goes through it. This is what makes destroying the latch
+/// immediately after observing completion sound: an observer can only
+/// see `true` by acquiring the mutex, the setter's store and notify both
+/// happen under the same mutex, and the setter's final action is its
+/// unlock. So by the time any observer returns `true`, the setter can
+/// never touch the latch again — there is no window where the owner
+/// frees the latch while `set` is still mid-flight (the use-after-free
+/// real rayon's latch/sleep split exists to prevent).
+pub(crate) struct Latch {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            state: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking check (one uncontended lock).
+    pub(crate) fn probe(&self) -> bool {
+        *self.state.lock().expect("latch poisoned")
+    }
+
+    /// Sets the latch and wakes every waiter. Notifying while holding
+    /// the lock means no waiter can observe `true` and free the latch
+    /// before this call has made its last access.
+    pub(crate) fn set(&self) {
+        let mut state = self.state.lock().expect("latch poisoned");
+        *state = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut state = self.state.lock().expect("latch poisoned");
+        while !*state {
+            state = self.cond.wait(state).expect("latch poisoned");
+        }
+    }
+
+    /// Blocks until the latch is set or `dur` elapses; returns the state.
+    pub(crate) fn wait_timeout(&self, dur: Duration) -> bool {
+        let state = self.state.lock().expect("latch poisoned");
+        if *state {
+            return true;
+        }
+        let (state, _) = self.cond.wait_timeout(state, dur).expect("latch poisoned");
+        *state
+    }
+}
+
+/// A type-erased pointer to a job plus the function that executes it.
+///
+/// The pointee is either a [`StackJob`] on some `join` caller's stack or
+/// a leaked [`HeapJob`] box; in both cases the protocol above guarantees
+/// it is alive until `execute` runs.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef only travels between the pushing thread and the one
+// executor that pops it; the pointee is Sync-accessible by construction
+// (StackJob) or uniquely owned (HeapJob).
+#[allow(unsafe_code)]
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Must be called exactly once.
+    pub(crate) fn execute(self) {
+        // SAFETY: `data` is alive (see type docs) and each JobRef is
+        // popped from a queue by exactly one thread.
+        #[allow(unsafe_code)]
+        unsafe {
+            (self.execute_fn)(self.data)
+        }
+    }
+}
+
+enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A `join` closure parked on its caller's stack, with the slot its
+/// result (or panic payload) is delivered into.
+pub(crate) struct StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) latch: Latch,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+// SAFETY: the UnsafeCells are written by the single executing thread and
+// read by the owner only after `latch` is set; the latch's internal mutex
+// (unlock in `Latch::set`, lock in `probe`/`wait`) orders those accesses.
+#[allow(unsafe_code)]
+unsafe impl<F, R> Sync for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            latch: Latch::new(),
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    /// Erases `self` into a queueable [`JobRef`].
+    ///
+    /// The caller must keep `self` alive (not move or drop it) until
+    /// `self.latch` is set — `join` guarantees this by blocking.
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        #[allow(unsafe_code)]
+        unsafe fn execute_erased<F, R>(data: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            // SAFETY: `data` came from `as_job_ref` on a StackJob<F, R>
+            // that outlives its latch; this executor is the only thread
+            // touching the cells before the latch is set.
+            let this = unsafe { &*(data as *const StackJob<F, R>) };
+            let func = unsafe { (*this.func.get()).take().expect("job run twice") };
+            let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+                Ok(r) => JobResult::Ok(r),
+                Err(payload) => JobResult::Panicked(payload),
+            };
+            unsafe {
+                *this.result.get() = result;
+            }
+            this.latch.set();
+        }
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: execute_erased::<F, R>,
+        }
+    }
+
+    /// Recovers the result after the latch has been set, surfacing the
+    /// executing thread's panic payload if the closure panicked.
+    pub(crate) fn into_result(self) -> Result<R, Box<dyn Any + Send>> {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => Ok(r),
+            JobResult::Panicked(payload) => Err(payload),
+            JobResult::Pending => unreachable!("latch set but no result recorded"),
+        }
+    }
+}
+
+/// Boxes `func`, erases its borrow lifetime, and returns a queueable
+/// [`JobRef`] that will run (and free) it exactly once.
+///
+/// The caller must not let any borrow captured by `func` die before the
+/// job has executed — `scope` guarantees this by blocking until its
+/// completion counter drains.
+pub(crate) fn heap_job_erased<'a, F>(func: F) -> JobRef
+where
+    F: FnOnce() + Send + 'a,
+{
+    #[allow(unsafe_code)]
+    unsafe fn execute_boxed<F: FnOnce() + Send>(data: *const ()) {
+        // SAFETY: `data` is the unique Box::into_raw pointer produced
+        // below; re-boxing transfers ownership back and runs the closure
+        // once. Panic propagation is the closure's responsibility (the
+        // scope machinery wraps user code in catch_unwind).
+        let job = unsafe { Box::from_raw(data as *mut F) };
+        job();
+    }
+    let boxed: Box<F> = Box::new(func);
+    JobRef {
+        data: Box::into_raw(boxed) as *const (),
+        execute_fn: execute_boxed::<F>,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn latch_set_and_probe() {
+        let latch = Latch::new();
+        assert!(!latch.probe());
+        latch.set();
+        assert!(latch.probe());
+        latch.wait(); // returns immediately once set
+        assert!(latch.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn latch_wakes_blocked_waiter() {
+        let latch = Latch::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                latch.set();
+            });
+            latch.wait();
+            assert!(latch.probe());
+        });
+    }
+
+    #[test]
+    fn stack_job_roundtrip() {
+        let job = StackJob::new(|| 6 * 7);
+        let job_ref = job.as_job_ref();
+        job_ref.execute();
+        assert!(job.latch.probe());
+        assert_eq!(job.into_result().ok(), Some(42));
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job = StackJob::new(|| -> usize { panic!("boom") });
+        job.as_job_ref().execute();
+        assert!(job.latch.probe(), "latch set even on panic");
+        assert!(job.into_result().is_err());
+    }
+
+    #[test]
+    fn heap_job_runs_once_with_borrows() {
+        let counter = AtomicUsize::new(0);
+        let job = heap_job_erased(|| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        job.execute();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,18 +1,38 @@
-//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate, built around a real work-stealing fork-join pool.
 //!
-//! Implements the slice of the rayon API this workspace uses —
-//! [`IntoParallelIterator::into_par_iter`],
-//! [`IntoParallelRefIterator::par_iter`], `map` and `collect` — with real
-//! parallelism: items are pulled off a shared index-tagged work queue by
-//! one scoped thread per available core (dynamic load balancing, like
-//! rayon's work stealing, minus the per-thread deques). Results are
-//! returned in input order.
+//! Implements the slice of the rayon API this workspace uses:
+//!
+//! * a lazily spawned, persistent global thread pool, sized by
+//!   [`std::thread::available_parallelism`] with a `PIERI_NUM_THREADS`
+//!   environment override ([`current_num_threads`] reports the size);
+//! * per-worker LIFO deques with FIFO stealing (via the vendored
+//!   `crossbeam::deque`) plus a shared injector for submissions from
+//!   threads outside the pool;
+//! * the fork-join primitives [`join`] and [`scope`];
+//! * [`IntoParallelIterator::into_par_iter`] /
+//!   [`IntoParallelRefIterator::par_iter`] with `map` and `collect`.
+//!   `map` fans out in contiguous chunks whose results are written into
+//!   disjoint regions of the output — no shared result lock — and
+//!   `collect` preserves input order, so pipelines are deterministic
+//!   run to run regardless of scheduling.
+//!
+//! Divergences from upstream: only the API above is provided, thread
+//! pools are global-only (no `ThreadPoolBuilder`), the deques are
+//! mutex-based rather than lock-free Chase–Lev, and the env override is
+//! named `PIERI_NUM_THREADS` (upstream reads `RAYON_NUM_THREADS`).
+//!
+//! `unsafe` is confined to `src/job.rs` (type-erased job pointers, the
+//! same two erasures real rayon performs); every block carries a SAFETY
+//! argument tied to the blocking protocol of `join`/`scope`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+mod job;
+mod registry;
+
+pub use registry::{current_num_threads, current_thread_index, join, scope, Scope};
 
 /// Re-exports, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -47,7 +67,7 @@ pub trait ParallelIterator: Sized {
     /// Materialises the items (called once, on the driving thread).
     fn items(self) -> Vec<Self::Item>;
 
-    /// Maps each item through `f` in parallel.
+    /// Maps each item through `f` on the pool.
     fn map<R, F>(self, f: F) -> Map<Self, F>
     where
         R: Send,
@@ -103,7 +123,7 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
 }
 
 /// The result of [`ParallelIterator::map`]; the only stage that actually
-/// fans work out to threads.
+/// fans work out to the pool.
 pub struct Map<B, F> {
     base: B,
     f: F,
@@ -122,36 +142,39 @@ where
     }
 }
 
-/// Applies `f` to every item on a pool of scoped threads, returning the
-/// results in input order.
+/// Applies `f` to every item on the pool and returns the results in
+/// input order.
+///
+/// The items are cut into contiguous chunks (a few per worker, so the
+/// stealers can rebalance uneven chunks); each chunk is one pool job
+/// that writes its results into the matching disjoint region of the
+/// output buffer obtained with `split_at_mut` — threads never share a
+/// result slot, so no lock is taken per item.
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if workers <= 1 || n <= 1 {
+    let threads = current_num_threads();
+    if n <= 1 || threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue poisoned").pop_front();
-                let Some((idx, item)) = job else { break };
-                let out = f(item);
-                results.lock().expect("results poisoned")[idx] = Some(out);
+    let chunk = n.div_ceil(4 * threads).max(1);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut slots: &mut [Option<R>] = &mut out;
+    let mut rest = items;
+    scope(|s| {
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let tail = rest.split_off(take);
+            let block = std::mem::replace(&mut rest, tail);
+            let (head, tail_slots) = std::mem::take(&mut slots).split_at_mut(take);
+            slots = tail_slots;
+            s.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(block) {
+                    *slot = Some(f(item));
+                }
             });
         }
     });
-
-    results
-        .into_inner()
-        .expect("results poisoned")
-        .into_iter()
+    out.into_iter()
         .map(|r| r.expect("every item mapped"))
         .collect()
 }
@@ -183,5 +206,72 @@ mod tests {
         assert!(none.is_empty());
         let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn skewed_workload_is_rebalanced_and_ordered() {
+        // Early items are ~1000x more expensive than late ones; chunked
+        // stealing must still produce results in input order.
+        let v: Vec<u64> = (0..256).collect();
+        let out: Vec<u64> = v
+            .into_par_iter()
+            .map(|x| {
+                let iters = if x < 16 { 200_000 } else { 200 };
+                let mut acc = x;
+                for _ in 0..iters {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                // Return something index-identifying but iteration-mixed.
+                acc ^ (acc >> 33) ^ x
+            })
+            .collect();
+        let expect: Vec<u64> = (0..256)
+            .map(|x: u64| {
+                let iters = if x < 16 { 200_000 } else { 200 };
+                let mut acc = x;
+                for _ in 0..iters {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc ^ (acc >> 33) ^ x
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let run = || -> Vec<f64> {
+            (0..500)
+                .collect::<Vec<i64>>()
+                .into_par_iter()
+                .map(|x| (x as f64).sqrt().sin())
+                .collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "bitwise identical across runs");
+    }
+
+    #[test]
+    fn nested_par_iter_inside_pool_jobs() {
+        // A par_iter whose closure itself runs a par_iter: inner scopes
+        // on pool threads must help drain rather than deadlock.
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .into_par_iter()
+            .map(|k| {
+                let inner: Vec<usize> = (0..50).map(|i| i + k).collect();
+                inner
+                    .into_par_iter()
+                    .map(|x| x * 2)
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        for (k, s) in sums.iter().enumerate() {
+            let expect: usize = (0..50).map(|i| (i + k) * 2).sum();
+            assert_eq!(*s, expect);
+        }
     }
 }

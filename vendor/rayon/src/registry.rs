@@ -1,0 +1,502 @@
+//! The persistent work-stealing thread pool.
+//!
+//! One global [`Registry`] is spawned lazily on first use. Each worker
+//! thread owns a LIFO deque (`crossbeam::deque::Worker`); work enters
+//! either at the owner's end (fork-join pushes from `join`/`scope` on a
+//! pool thread) or through a shared FIFO [`Injector`] (submissions from
+//! threads outside the pool). Idle workers steal the oldest job from the
+//! injector or a sibling's deque, and park on a condvar when the whole
+//! pool is empty.
+//!
+//! Pool size: `PIERI_NUM_THREADS` (a positive integer) when set,
+//! otherwise [`std::thread::available_parallelism`].
+
+use crate::job::{heap_job_erased, JobRef, StackJob};
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// How long an idle worker parks before re-scanning the queues. The
+/// sleep protocol is notify-based and sound without this timeout; it is
+/// defence in depth against lost-wakeup bugs ever deadlocking the pool.
+const PARK: Duration = Duration::from_millis(10);
+
+/// How long a thread blocked in `join`/`scope` parks between steal
+/// attempts when the pool has no runnable work.
+const SPIN_PARK: Duration = Duration::from_micros(200);
+
+pub(crate) struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    num_threads: usize,
+    /// Jobs pushed but not yet taken by any thread. Incremented *before*
+    /// the push so the taker's decrement can never underflow; used only
+    /// by the sleep protocol, so transient over-counts are benign.
+    pending: AtomicUsize,
+    /// Workers registered as parked (or about to park). Lets `submit`
+    /// skip the lock + notify entirely on the hot path where every
+    /// worker is busy — same-worker LIFO pushes from deep join/scope
+    /// recursion must not funnel through one global mutex.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+    /// Worker-end handles, parked here until the threads are spawned.
+    parked: Mutex<Vec<Option<Worker<JobRef>>>>,
+    started: Once,
+}
+
+struct WorkerCtx {
+    index: usize,
+    worker: Worker<JobRef>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+fn in_worker() -> bool {
+    CTX.with(|ctx| ctx.borrow().is_some())
+}
+
+/// Resolves the pool size from an optional `PIERI_NUM_THREADS` value,
+/// falling back to the machine's available parallelism.
+pub(crate) fn resolve_num_threads(var: Option<&str>) -> usize {
+    if let Some(s) = var {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The global registry, spawning its worker threads on first call.
+pub(crate) fn global() -> &'static Registry {
+    let registry = GLOBAL.get_or_init(Registry::new);
+    registry.started.call_once(|| {
+        let mut parked = registry.parked.lock().expect("registry poisoned");
+        for (index, slot) in parked.iter_mut().enumerate() {
+            let worker = slot.take().expect("worker handle present before start");
+            std::thread::Builder::new()
+                .name(format!("pieri-pool-{index}"))
+                .spawn(move || worker_loop(registry, index, worker))
+                .expect("spawn pool worker");
+        }
+    });
+    registry
+}
+
+/// Number of threads in the global pool.
+pub fn current_num_threads() -> usize {
+    global().num_threads
+}
+
+/// The index of the current thread within the global pool, or `None`
+/// when called from a thread outside it (mirrors upstream rayon's API).
+///
+/// Useful as a guard: code that blocks waiting for pool-executed work
+/// without helping to drain it (e.g. a master loop on a channel) must
+/// only run where this returns `None`, or it can deadlock the pool.
+pub fn current_thread_index() -> Option<usize> {
+    CTX.with(|ctx| ctx.borrow().as_ref().map(|c| c.index))
+}
+
+impl Registry {
+    fn new() -> Registry {
+        let num_threads = resolve_num_threads(std::env::var("PIERI_NUM_THREADS").ok().as_deref());
+        let mut stealers = Vec::with_capacity(num_threads);
+        let mut parked = Vec::with_capacity(num_threads);
+        for _ in 0..num_threads {
+            let worker = Worker::new_lifo();
+            stealers.push(worker.stealer());
+            parked.push(Some(worker));
+        }
+        Registry {
+            injector: Injector::new(),
+            stealers,
+            num_threads,
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            parked: Mutex::new(parked),
+            started: Once::new(),
+        }
+    }
+
+    /// Queues a job: onto the current worker's own deque when called
+    /// from a pool thread (LIFO, fork-join locality), otherwise into the
+    /// shared injector.
+    pub(crate) fn submit(&self, job: JobRef) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let job = CTX.with(|ctx| {
+            let ctx = ctx.borrow();
+            match ctx.as_ref() {
+                Some(ctx) => {
+                    ctx.worker.push(job);
+                    None
+                }
+                None => Some(job),
+            }
+        });
+        if let Some(job) = job {
+            self.injector.push(job);
+        }
+        // Wake a parked worker, but only if one might exist — the busy
+        // pool's push path must stay lock-free. SeqCst makes the check
+        // sound: a sleeper registers in `sleepers` *before* loading
+        // `pending`, and we incremented `pending` *before* loading
+        // `sleepers`, so either we see its registration here or it sees
+        // our job there; a lost wakeup would need both loads to miss.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the sleep lock orders the notification after the
+            // sleeper's pending-check inside `sleep`.
+            drop(self.sleep_lock.lock().expect("sleep lock poisoned"));
+            self.sleep_cond.notify_one();
+        }
+    }
+
+    /// Pops from the calling worker's own deque, then steals: injector
+    /// first (external submissions are oldest), then siblings round-robin.
+    /// Must be called from a pool thread.
+    fn find_work(&self) -> Option<JobRef> {
+        let (own, index) = CTX.with(|ctx| {
+            let ctx = ctx.borrow();
+            let ctx = ctx.as_ref().expect("find_work called off-pool");
+            (ctx.worker.pop(), ctx.index)
+        });
+        if let Some(job) = own {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        if let Some(job) = self.injector.steal().success() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        for k in 1..self.num_threads {
+            let victim = (index + k) % self.num_threads;
+            if let Some(job) = self.stealers[victim].steal().success() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Parks an idle worker until new work is (probably) available.
+    fn sleep(&self) {
+        let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        // Register before the pending-check (the mirror image of
+        // `submit`'s increment-then-check) so a concurrent submitter
+        // either sees us in `sleepers` and notifies, or we see its job
+        // in `pending` and skip the wait.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            let _ = self
+                .sleep_cond
+                .wait_timeout(guard, PARK)
+                .expect("sleep lock poisoned");
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(registry: &'static Registry, index: usize, worker: Worker<JobRef>) {
+    CTX.with(|ctx| *ctx.borrow_mut() = Some(WorkerCtx { index, worker }));
+    loop {
+        match registry.find_work() {
+            // Jobs handle their own panics (StackJob catches, scope
+            // wraps); the outer catch is a last resort so a stray unwind
+            // can never kill a pool thread.
+            Some(job) => {
+                let _ = panic::catch_unwind(AssertUnwindSafe(|| job.execute()));
+            }
+            None => registry.sleep(),
+        }
+    }
+}
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. Implements rayon's fork-join contract: `oper_b` is offered
+/// to the pool while the calling thread runs `oper_a`; whoever is free
+/// first executes it, and the caller steals other work while waiting. A
+/// panic in either closure resumes on the caller once both have settled.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = global();
+    if registry.num_threads <= 1 {
+        // Degenerate pool: inline execution is the fastest correct plan.
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let job_b = StackJob::new(oper_b);
+    registry.submit(job_b.as_job_ref());
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+    if in_worker() {
+        // Work-steal while waiting. The first pop typically returns
+        // job_b itself (it sits on top of our own LIFO deque unless a
+        // thief took it), which we then execute inline.
+        while !job_b.latch.probe() {
+            match registry.find_work() {
+                Some(job) => job.execute(),
+                None => {
+                    job_b.latch.wait_timeout(SPIN_PARK);
+                }
+            }
+        }
+    } else {
+        job_b.latch.wait();
+    }
+    let result_b = job_b.into_result();
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// A fork-join scope: jobs spawned on it may borrow anything that
+/// outlives the [`scope`] call, which blocks until all of them finish.
+pub struct Scope<'scope> {
+    registry: &'static Registry,
+    /// Spawned-but-unfinished jobs. Kept *inside* the mutex (not an
+    /// atomic beside it): the owner can only observe zero by taking the
+    /// lock, and the last job's decrement-and-notify happens under the
+    /// same lock, so the owner can never destroy the scope while that
+    /// job is still touching it (the teardown use-after-free this
+    /// design exists to prevent — see `Latch` for the full argument).
+    jobs: Mutex<usize>,
+    done_cond: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    // Invariant in 'scope (like real rayon) without affecting Sync.
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// Creates a scope on the global pool, runs `op` with it, waits for
+/// every job spawned inside (including nested spawns), and propagates
+/// the first panic, if any, after the scope has drained.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        registry: global(),
+        jobs: Mutex::new(0),
+        done_cond: Condvar::new(),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.wait_all();
+    if let Some(payload) = scope.panic.lock().expect("scope poisoned").take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the pool. The closure may borrow from the
+    /// enclosing stack frame (anything outliving `'scope`) and receives
+    /// the scope again so it can spawn recursively.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.jobs.lock().expect("scope poisoned") += 1;
+        let job = heap_job_erased(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(self))) {
+                self.panic
+                    .lock()
+                    .expect("scope poisoned")
+                    .get_or_insert(payload);
+            }
+            // This must be the job's LAST access to the scope: once the
+            // count hits zero the owner is free to destroy it.
+            self.job_completed();
+        });
+        self.registry.submit(job);
+    }
+
+    fn job_completed(&self) {
+        let mut jobs = self.jobs.lock().expect("scope poisoned");
+        *jobs -= 1;
+        if *jobs == 0 {
+            // Notify while holding the lock (see the `jobs` field docs).
+            self.done_cond.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        if in_worker() {
+            // Help drain the pool instead of blocking a worker thread.
+            loop {
+                if *self.jobs.lock().expect("scope poisoned") == 0 {
+                    return;
+                }
+                match self.registry.find_work() {
+                    Some(job) => job.execute(),
+                    None => {
+                        let jobs = self.jobs.lock().expect("scope poisoned");
+                        if *jobs == 0 {
+                            return;
+                        }
+                        let _ = self
+                            .done_cond
+                            .wait_timeout(jobs, SPIN_PARK)
+                            .expect("scope poisoned");
+                    }
+                }
+            }
+        } else {
+            let mut jobs = self.jobs.lock().expect("scope poisoned");
+            while *jobs > 0 {
+                jobs = self
+                    .done_cond
+                    .wait_timeout(jobs, PARK)
+                    .expect("scope poisoned")
+                    .0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_prefers_env_override() {
+        assert_eq!(resolve_num_threads(Some("3")), 3);
+        assert_eq!(resolve_num_threads(Some(" 8 ")), 8);
+        let auto = resolve_num_threads(None);
+        assert!(auto >= 1);
+        // Invalid values fall back to auto-detection.
+        assert_eq!(resolve_num_threads(Some("0")), auto);
+        assert_eq!(resolve_num_threads(Some("lots")), auto);
+        assert_eq!(resolve_num_threads(Some("")), auto);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_recursion_computes_fib() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        let caught = panic::catch_unwind(|| {
+            join(|| 1, || -> usize { panic!("b failed") });
+        });
+        assert!(caught.is_err());
+        // The pool survives a panicked job.
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_jobs_with_borrows() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|_| {
+                        counter.fetch_add(10, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 11);
+    }
+
+    #[test]
+    fn scope_propagates_job_panic_after_draining() {
+        let finished = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("job failed"));
+                for _ in 0..10 {
+                    s.spawn(|_| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            10,
+            "sibling jobs still ran to completion"
+        );
+    }
+
+    #[test]
+    fn scopes_from_many_external_threads_share_the_pool() {
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|threads| {
+            for _ in 0..4 {
+                threads.spawn(|| {
+                    scope(|s| {
+                        for _ in 0..50 {
+                            s.spawn(|_| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
