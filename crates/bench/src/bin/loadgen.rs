@@ -1,0 +1,153 @@
+//! HTTP load generator for `pieri-service`: boots the server in-process
+//! on an ephemeral port, slams it with concurrent pole-placement
+//! clients, and reports cold-vs-warm latency and throughput — the
+//! numbers behind the README's "Service" section.
+//!
+//! ```sh
+//! cargo run --release --bin loadgen [clients] [requests-per-client]
+//! ```
+//!
+//! Defaults: 4 clients × 8 requests, satellite plant, shape (2,2,1).
+//! Every request goes over the wire (TCP + JSON both ways); the first
+//! request per shape is the only cold one, so the workload is exactly
+//! the service's steady state.
+
+use pieri_control::{conjugate_pole_set, satellite_plant};
+use pieri_num::seeded_rng;
+use pieri_service::{Client, Engine, EngineConfig, JobRequest, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct).round() as usize;
+    sorted[idx]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let per_client: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let engine = Arc::new(Engine::start(EngineConfig::default()));
+    let server = Server::start("127.0.0.1:0", engine).expect("bind");
+    let addr = server.addr();
+    println!(
+        "loadgen: {clients} clients × {per_client} requests against http://{addr} \
+         (pool: {} threads)",
+        rayon::current_num_threads()
+    );
+
+    let sat = satellite_plant(1.0);
+    let mut rng = seeded_rng(1);
+    let poles = conjugate_pole_set(5, &mut rng);
+    let request = |seed: u64| JobRequest::PlacePoles {
+        a: sat.a.clone(),
+        b: sat.b.clone(),
+        c: sat.c.clone(),
+        q: 1,
+        poles: poles.clone(),
+        seed,
+    };
+
+    // Cold request: pays poset + Pieri tree + continuation.
+    let client = Client::new(addr).expect("client");
+    let t0 = Instant::now();
+    let cold = client.solve(&request(0)).expect("cold request");
+    let cold_latency = t0.elapsed();
+    assert!(!cold.cache_hit);
+    println!(
+        "\ncold request: {:.1} ms end-to-end (bundle build {:.1} ms, \
+         continuation {:.1} ms), {} compensators, residual {:.2e}",
+        ms(cold_latency),
+        ms(cold.bundle_build),
+        ms(cold.solve_time),
+        cold.solutions,
+        cold.max_residual,
+    );
+
+    // Warm phase, single client: like-for-like latency against the cold
+    // request (no queueing in either number).
+    let mut solo = Vec::new();
+    for i in 0..per_client {
+        let t = Instant::now();
+        let res = client.solve(&request(1000 + i as u64)).expect("warm solo");
+        solo.push(t.elapsed());
+        assert!(res.cache_hit);
+    }
+    solo.sort();
+    let solo_p50 = percentile(&solo, 0.50);
+    println!(
+        "warm request (single client): p50 {:.1} ms — cold/warm speedup {:.1}×",
+        ms(solo_p50),
+        cold_latency.as_secs_f64() / solo_p50.as_secs_f64()
+    );
+
+    // Concurrency phase: all clients at once, every request a cache hit;
+    // the interesting number here is throughput, not latency (requests
+    // queue behind each other when clients outnumber engine workers).
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let sat = sat.clone();
+            let poles = poles.clone();
+            std::thread::spawn(move || {
+                let client = Client::new(addr).expect("client");
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let seed = (c * per_client + i) as u64 + 1;
+                    let req = JobRequest::PlacePoles {
+                        a: sat.a.clone(),
+                        b: sat.b.clone(),
+                        c: sat.c.clone(),
+                        q: 1,
+                        poles: poles.clone(),
+                        seed,
+                    };
+                    let t = Instant::now();
+                    let res = client.solve(&req).expect("warm request");
+                    latencies.push(t.elapsed());
+                    assert!(res.cache_hit, "warm phase must hit the cache");
+                    assert!(res.max_residual < 1e-5);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = t0.elapsed();
+    latencies.sort();
+
+    let total = latencies.len();
+    let mean = latencies.iter().sum::<Duration>() / total as u32;
+    println!(
+        "\nwarm phase: {total} requests in {:.1} ms wall → {:.1} req/s",
+        ms(wall),
+        total as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "warm latency under load: mean {:.1} ms, p50 {:.1} ms, p90 {:.1} ms, max {:.1} ms",
+        ms(mean),
+        ms(percentile(&latencies, 0.50)),
+        ms(percentile(&latencies, 0.90)),
+        ms(percentile(&latencies, 1.0)),
+    );
+
+    let stats = server.engine().stats();
+    println!(
+        "\ncache: {} hit(s), {} miss(es), {} shape(s) resident; engine: {} completed, {} rejected",
+        stats.cache.hits, stats.cache.misses, stats.cache.shapes, stats.completed, stats.rejected
+    );
+
+    server.engine().shutdown();
+    server.shutdown();
+}

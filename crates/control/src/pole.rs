@@ -3,7 +3,7 @@
 use crate::compensator::Compensator;
 use crate::plant::Plant;
 use crate::statespace::{spectrum_distance, StateSpace};
-use pieri_core::{PieriProblem, PieriSolution, Shape};
+use pieri_core::{InstanceContinuation, PieriProblem, PieriSolution, Shape, StartBundle};
 use pieri_linalg::{CMat, Lu, Qr};
 use pieri_num::{random_complex, random_gamma, Complex64};
 use pieri_tracker::TrackSettings;
@@ -145,27 +145,62 @@ fn solve_application_instance<R: Rng + ?Sized>(
     points: Vec<Complex64>,
     rng: &mut R,
 ) -> (PieriSolution, PieriProblem) {
-    let big_n = shape.big_n();
-    let t = random_unitary(big_n, rng);
-    let rotated: Vec<CMat> = planes.iter().map(|l| &t * l).collect();
-    let target = PieriProblem::new(shape.clone(), rotated, points, random_gamma(rng));
+    let (t, target) = rotated_target(&shape, &planes, points, rng);
 
     // Stage 1: generic start instance through the Pieri tree.
     let start = PieriProblem::random(shape, rng);
     let mut solution = pieri_core::solve(&start);
     // Stage 2: coefficient-parameter continuation to the application.
-    let cont = pieri_core::continue_to_instance(
+    let mut cont = pieri_core::continue_to_instance(
         &start,
         &solution.coeffs,
         &target,
         &pieri_tracker::TrackSettings::default(),
     );
+    unrotate_maps(&mut cont, &t);
     solution.failures += cont.diverged + cont.failed;
     solution.coeffs = cont.coeffs;
-    // Rotate the solution maps back: X = T⁻¹·X'.
-    let tinv = Lu::factor(&t).expect("unitary is nonsingular").inverse();
-    solution.maps = cont.maps.iter().map(|m| m.transform(&tinv)).collect();
+    solution.maps = cont.maps;
     (solution, target)
+}
+
+/// Rotates the application planes into general position by a random
+/// unitary `T` and assembles the target problem with a fresh gamma.
+fn rotated_target<R: Rng + ?Sized>(
+    shape: &Shape,
+    planes: &[CMat],
+    points: Vec<Complex64>,
+    rng: &mut R,
+) -> (CMat, PieriProblem) {
+    let t = random_unitary(shape.big_n(), rng);
+    let rotated: Vec<CMat> = planes.iter().map(|l| &t * l).collect();
+    let target = PieriProblem::new(shape.clone(), rotated, points, random_gamma(rng));
+    (t, target)
+}
+
+/// Undoes the coordinate change on the continued maps: `X = T⁻¹·X'`.
+fn unrotate_maps(cont: &mut InstanceContinuation, t: &CMat) {
+    let tinv = Lu::factor(t).expect("unitary is nonsingular").inverse();
+    cont.maps = cont.maps.iter().map(|m| m.transform(&tinv)).collect();
+}
+
+/// The warm path of [`solve_application_instance`]: skip the Pieri tree
+/// and continue the *cached* generic solutions of `start` to the
+/// application data. `d(m,p,q)` straight-line paths is all it costs —
+/// this is what a shape-cache hit buys the batch service.
+fn continue_application_instance<R: Rng + ?Sized>(
+    shape: Shape,
+    planes: Vec<CMat>,
+    points: Vec<Complex64>,
+    rng: &mut R,
+    start: &StartBundle,
+    settings: &TrackSettings,
+) -> (InstanceContinuation, PieriProblem) {
+    assert_eq!(start.shape(), &shape, "start bundle serves another shape");
+    let (t, target) = rotated_target(&shape, &planes, points, rng);
+    let mut cont = start.continue_to(&target, settings);
+    unrotate_maps(&mut cont, &t);
+    (cont, target)
 }
 
 /// Solves static (`q = 0`) output feedback for a state-space plant: the
@@ -198,6 +233,38 @@ pub fn solve_static_state_space<R: Rng + ?Sized>(
     (gains, solution, problem)
 }
 
+/// Warm-path variant of [`solve_static_state_space`]: reuses a cached
+/// [`StartBundle`] for shape `(m, p, 0)` instead of running the Pieri
+/// tree, so only the `d(m,p,0)` continuation paths are tracked. The
+/// randomisation (unitary rotation, gamma) is drawn from `rng`, so the
+/// result is a deterministic function of `(rng stream, bundle, plant,
+/// poles)` — a cache hit and a cache miss that built the same bundle
+/// produce bitwise-identical gains.
+///
+/// # Panics
+/// Panics when `poles.len() != m·p` or the bundle serves another shape.
+pub fn solve_static_state_space_with_start<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    poles: &[Complex64],
+    rng: &mut R,
+    start: &StartBundle,
+    settings: &TrackSettings,
+) -> (Vec<CMat>, InstanceContinuation, PieriProblem) {
+    let m = ss.inputs();
+    let p = ss.outputs();
+    assert_eq!(poles.len(), m * p, "static output feedback needs m·p poles");
+    let shape = Shape::new(m, p, 0);
+    let planes: Vec<CMat> = poles.iter().map(|&s| ss.pole_plane(s)).collect();
+    let (cont, problem) =
+        continue_application_instance(shape, planes, poles.to_vec(), rng, start, settings);
+    let gains = cont
+        .maps
+        .iter()
+        .filter_map(|map| Compensator::from_map(map, m, p).static_gain())
+        .collect();
+    (gains, cont, problem)
+}
+
 /// Solves *dynamic* pole placement for a state-space plant of McMillan
 /// degree `n°` with a degree-`q` compensator.
 ///
@@ -219,6 +286,30 @@ pub fn solve_dynamic_state_space<R: Rng + ?Sized>(
 ) -> (Vec<Compensator>, PieriSolution, PieriProblem) {
     let m = ss.inputs();
     let p = ss.outputs();
+    let (shape, planes, points) = dynamic_conditions(ss, q, poles, rng);
+    let (solution, problem) = solve_application_instance(shape, planes, points, rng);
+    let compensators = solution
+        .maps
+        .iter()
+        .map(|map| Compensator::from_map(map, m, p))
+        .collect();
+    (compensators, solution, problem)
+}
+
+/// Assembles the interpolation conditions of a dynamic pole-placement
+/// problem: curve planes at the prescribed poles plus the generic
+/// padding conditions that square the problem up.
+///
+/// # Panics
+/// Panics unless `poles.len() == n° + q ≤ n`.
+fn dynamic_conditions<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    q: usize,
+    poles: &[Complex64],
+    rng: &mut R,
+) -> (Shape, Vec<CMat>, Vec<Complex64>) {
+    let m = ss.inputs();
+    let p = ss.outputs();
     let n = m * p + q * (m + p);
     let placed = ss.dim() + q;
     assert_eq!(poles.len(), placed, "prescribe n° + q poles");
@@ -231,14 +322,36 @@ pub fn solve_dynamic_state_space<R: Rng + ?Sized>(
         planes.push(CMat::random(m + p, m, rng, pieri_num::random_complex));
         points.push(pieri_num::unit_complex(rng));
     }
-    let shape = Shape::new(m, p, q);
-    let (solution, problem) = solve_application_instance(shape, planes, points, rng);
-    let compensators = solution
+    (Shape::new(m, p, q), planes, points)
+}
+
+/// Warm-path variant of [`solve_dynamic_state_space`]: reuses a cached
+/// [`StartBundle`] for shape `(m, p, q)`, tracking only the `d(m,p,q)`
+/// continuation paths. See
+/// [`solve_static_state_space_with_start`] for the determinism contract.
+///
+/// # Panics
+/// Panics unless `poles.len() == n° + q ≤ n` and the bundle serves shape
+/// `(m, p, q)`.
+pub fn solve_dynamic_state_space_with_start<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    q: usize,
+    poles: &[Complex64],
+    rng: &mut R,
+    start: &StartBundle,
+    settings: &TrackSettings,
+) -> (Vec<Compensator>, InstanceContinuation, PieriProblem) {
+    let m = ss.inputs();
+    let p = ss.outputs();
+    let (shape, planes, points) = dynamic_conditions(ss, q, poles, rng);
+    let (cont, problem) =
+        continue_application_instance(shape, planes, points, rng, start, settings);
+    let compensators = cont
         .maps
         .iter()
         .map(|map| Compensator::from_map(map, m, p))
         .collect();
-    (compensators, solution, problem)
+    (compensators, cont, problem)
 }
 
 /// Closed-loop characteristic data for a state-space plant and a solution
@@ -348,6 +461,58 @@ mod tests {
                 assert!(has_conj, "conjugate of {s} present");
             }
         }
+    }
+
+    #[test]
+    fn with_start_places_same_poles_as_cold_path() {
+        let mut rng = seeded_rng(535);
+        let plant = Plant::random(2, 2, 0, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let poles = conjugate_pole_set(4, &mut rng);
+        let bundle = StartBundle::build(Shape::new(2, 2, 0), &mut rng, &TrackSettings::default());
+        let (gains, cont, _) = solve_static_state_space_with_start(
+            &ss,
+            &poles,
+            &mut rng,
+            &bundle,
+            &TrackSettings::default(),
+        );
+        assert_eq!(cont.maps.len(), 2);
+        assert_eq!(gains.len(), 2);
+        // Only d(2,2,0) = 2 paths were tracked — the tree was skipped.
+        assert_eq!(cont.stats.total(), 2);
+        for k in &gains {
+            let acl = ss.closed_loop_static(k);
+            let eigs = pieri_linalg::eigenvalues(&acl).unwrap();
+            let d = spectrum_distance(eigs, &poles);
+            assert!(d < 1e-5, "closed-loop spectrum off by {d:.2e}");
+        }
+    }
+
+    #[test]
+    fn with_start_is_deterministic_per_request_seed() {
+        let mut rng = seeded_rng(536);
+        let plant = Plant::random(2, 1, 1, &mut rng);
+        let ss = StateSpace::realize(&plant);
+        let poles = conjugate_pole_set(5, &mut rng);
+        let bundle = StartBundle::build(Shape::new(2, 1, 1), &mut rng, &TrackSettings::default());
+        let run = |bundle: &StartBundle| {
+            let mut req_rng = seeded_rng(9001);
+            let (comps, cont, _) = solve_dynamic_state_space_with_start(
+                &ss,
+                1,
+                &poles,
+                &mut req_rng,
+                bundle,
+                &TrackSettings::default(),
+            );
+            (comps.len(), cont.coeffs)
+        };
+        let (n_a, coeffs_a) = run(&bundle);
+        let (n_b, coeffs_b) = run(&bundle);
+        assert_eq!(n_a, n_b);
+        assert_eq!(coeffs_a, coeffs_b, "same bundle + request seed → same bits");
+        assert!(n_a > 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::maps::PMap;
 use crate::problem::PieriProblem;
 use pieri_linalg::{det, det_gradient, CMat};
 use pieri_num::Complex64;
-use pieri_tracker::{track_path, Homotopy, PathStatus, TrackSettings};
+use pieri_tracker::{track_path, Homotopy, PathStatus, TrackSettings, TrackStats};
 
 /// The instance homotopy: every condition's plane and interpolation point
 /// moves from the generic start instance to the target instance.
@@ -154,6 +154,9 @@ pub struct InstanceContinuation {
     pub diverged: usize,
     /// Paths that failed numerically.
     pub failed: usize,
+    /// Aggregate tracking statistics over all continuation paths (the
+    /// per-job diagnostics the batch service reports).
+    pub stats: TrackStats,
 }
 
 /// Tracks all solutions of the generic `start` instance to the `target`
@@ -171,8 +174,10 @@ pub fn continue_to_instance(
     let mut coeffs = Vec::new();
     let mut diverged = 0;
     let mut failed = 0;
+    let mut stats = TrackStats::default();
     for x0 in start_coeffs {
         let r = track_path(&h, x0, settings);
+        stats.record(r.status, r.steps, r.newton_iters, r.elapsed);
         match r.status {
             PathStatus::Converged => {
                 maps.push(PMap::from_coeffs(&root, &r.x));
@@ -187,6 +192,7 @@ pub fn continue_to_instance(
         coeffs,
         diverged,
         failed,
+        stats,
     }
 }
 

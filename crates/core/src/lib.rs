@@ -28,7 +28,10 @@
 //!   homogenised interpolation point `(ŝ, û)(t) = (1−t)·(1,0) + t·(s_k,1)`;
 //! * [`solve`] / [`PieriSolution`] — the level-by-level (poset) sequential
 //!   solver and verified solution maps; the tree-parallel scheduler lives
-//!   in `pieri-parallel`.
+//!   in `pieri-parallel`;
+//! * [`StartBundle`] — the reusable shape-level work (poset + generic
+//!   start solutions) that [`continue_to_instance`] stretches to any
+//!   concrete instance; the unit the `pieri-service` shape cache stores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +48,7 @@ mod pattern;
 mod poset;
 mod problem;
 mod solver;
+mod start;
 
 pub use eval::CoeffLayout;
 pub use homotopy::{special_plane, PieriHomotopy};
@@ -53,4 +57,5 @@ pub use maps::PMap;
 pub use pattern::{Pattern, Shape};
 pub use poset::{root_count, LevelProfile, Poset};
 pub use problem::PieriProblem;
-pub use solver::{run_job, solve, solve_with_settings, JobRecord, PieriSolution};
+pub use solver::{run_job, solve, solve_prepared, solve_with_settings, JobRecord, PieriSolution};
+pub use start::StartBundle;

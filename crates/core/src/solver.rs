@@ -98,13 +98,36 @@ pub fn solve(problem: &PieriProblem) -> PieriSolution {
 
 /// Solves a Pieri problem level by level with the given tracker settings.
 ///
+/// Builds the poset for the problem's shape and delegates to
+/// [`solve_prepared`]. Callers that solve many instances of the same
+/// shape (the batch service's shape cache) build the poset once and call
+/// [`solve_prepared`] directly — the poset depends only on `(m, p, q)`,
+/// not on the problem data.
+pub fn solve_with_settings(problem: &PieriProblem, settings: &TrackSettings) -> PieriSolution {
+    let poset = Poset::build(problem.shape());
+    solve_prepared(problem, &poset, settings)
+}
+
+/// Solves a Pieri problem against a pre-built poset.
+///
 /// Solutions at level `k−1` are dropped as soon as level `k` completes —
 /// the poset organisation needs two live levels, whereas the Pieri-tree
 /// organisation of the parallel scheduler needs only one chain per worker
 /// (the memory argument of Section III.C of the paper).
-pub fn solve_with_settings(problem: &PieriProblem, settings: &TrackSettings) -> PieriSolution {
+///
+/// # Panics
+/// Panics when `poset` was built for a different shape.
+pub fn solve_prepared(
+    problem: &PieriProblem,
+    poset: &Poset,
+    settings: &TrackSettings,
+) -> PieriSolution {
     let shape = problem.shape();
-    let poset = Poset::build(shape);
+    assert_eq!(
+        poset.shape(),
+        shape,
+        "poset was built for a different shape"
+    );
     let n = shape.conditions();
 
     // Solutions per pattern at the previous level; trivial level seeds the
@@ -241,6 +264,28 @@ mod tests {
     fn solves_2_1_2_single_input() {
         // p = 1: single column patterns, hypersurface case.
         check_full_solve(2, 1, 2, 403);
+    }
+
+    #[test]
+    fn prepared_poset_reproduces_solve_exactly() {
+        let shape = Shape::new(2, 2, 1);
+        let poset = Poset::build(&shape);
+        let make = || {
+            let mut rng = seeded_rng(405);
+            PieriProblem::random(shape.clone(), &mut rng)
+        };
+        let fresh = solve(&make());
+        let shared = solve_prepared(&make(), &poset, &TrackSettings::default());
+        assert_eq!(fresh.coeffs, shared.coeffs, "same path, same bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn prepared_poset_shape_mismatch_panics() {
+        let mut rng = seeded_rng(406);
+        let problem = PieriProblem::random(Shape::new(2, 2, 0), &mut rng);
+        let poset = Poset::build(&Shape::new(3, 2, 0));
+        let _ = solve_prepared(&problem, &poset, &TrackSettings::default());
     }
 
     #[test]

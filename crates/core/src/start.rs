@@ -1,0 +1,171 @@
+//! Reusable generic start systems: the shape-level work of a Pieri solve.
+//!
+//! Everything expensive about a Pieri solve depends only on the shape
+//! `(m, p, q)`: the poset of localization patterns and the one run of
+//! the Pieri tree on a *generic* random instance. A concrete instance
+//! (e.g. the pole-placement data of an actual plant) is then reached
+//! from the generic solutions by a single straight-line coefficient-
+//! parameter homotopy — `d(m,p,q)` cheap paths instead of the whole
+//! tree (Huber–Sottile–Sturmfels call this reusing the start system;
+//! Section III of the ICPP paper frames the Pieri tree as exactly the
+//! way "to find a general start system").
+//!
+//! [`StartBundle`] packages that reusable work — shape, poset, generic
+//! problem, and its tracked root solutions — so a long-lived server can
+//! compute it once per shape and amortize it across every later request
+//! (the `pieri-service` shape cache stores `Arc<StartBundle>`s).
+
+use crate::instance::{continue_to_instance, InstanceContinuation};
+use crate::poset::Poset;
+use crate::problem::PieriProblem;
+use crate::solver::{solve_prepared, PieriSolution};
+use crate::Shape;
+use pieri_num::Complex64;
+use pieri_tracker::TrackSettings;
+use rand::Rng;
+use std::time::Duration;
+
+/// A generic start system for one shape: the poset, the random generic
+/// instance, and its `d(m,p,q)` tracked root solutions.
+#[derive(Debug, Clone)]
+pub struct StartBundle {
+    poset: Poset,
+    problem: PieriProblem,
+    coeffs: Vec<Vec<Complex64>>,
+    build_time: Duration,
+}
+
+impl StartBundle {
+    /// Builds the bundle: one generic instance through the Pieri tree
+    /// with the sequential level-by-level solver.
+    ///
+    /// # Panics
+    /// Panics if the generic solve loses roots — random instances are
+    /// generic with probability one, so a shortfall is a numerics bug,
+    /// not an input error.
+    pub fn build<R: Rng + ?Sized>(shape: Shape, rng: &mut R, settings: &TrackSettings) -> Self {
+        let t0 = std::time::Instant::now();
+        let poset = Poset::build(&shape);
+        let problem = PieriProblem::random(shape, rng);
+        let solution = solve_prepared(&problem, &poset, settings);
+        Self::from_parts(poset, problem, solution, t0.elapsed())
+    }
+
+    /// Wraps an already-computed generic solve (e.g. one produced by the
+    /// tree-parallel scheduler, which can't be invoked from in here
+    /// without committing core to a scheduler choice).
+    ///
+    /// # Panics
+    /// Panics when the solution's root count falls short of `d(m,p,q)`
+    /// or the poset does not match the problem's shape.
+    pub fn from_parts(
+        poset: Poset,
+        problem: PieriProblem,
+        solution: PieriSolution,
+        build_time: Duration,
+    ) -> Self {
+        assert_eq!(poset.shape(), problem.shape(), "poset/problem shape");
+        assert_eq!(
+            solution.coeffs.len() as u128,
+            poset.root_count(),
+            "generic start solve must find all d(m,p,q) roots"
+        );
+        StartBundle {
+            poset,
+            problem,
+            coeffs: solution.coeffs,
+            build_time,
+        }
+    }
+
+    /// The shape this bundle serves.
+    pub fn shape(&self) -> &Shape {
+        self.problem.shape()
+    }
+
+    /// The pre-built poset (shared with [`solve_prepared`] callers).
+    pub fn poset(&self) -> &Poset {
+        &self.poset
+    }
+
+    /// The generic start instance.
+    pub fn problem(&self) -> &PieriProblem {
+        &self.problem
+    }
+
+    /// Root-pattern coefficient vectors of the generic solutions.
+    pub fn coeffs(&self) -> &[Vec<Complex64>] {
+        &self.coeffs
+    }
+
+    /// Number of start solutions (`d(m,p,q)`).
+    pub fn root_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Wall-clock time the shape-level work took (reported by the cache
+    /// as the cost a hit avoids).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Continues all generic solutions to `target` — the cheap warm
+    /// path: `d(m,p,q)` straight-line paths, no tree.
+    ///
+    /// # Panics
+    /// Panics when `target` has a different shape (via
+    /// [`crate::InstanceHomotopy::new`]).
+    pub fn continue_to(
+        &self,
+        target: &PieriProblem,
+        settings: &TrackSettings,
+    ) -> InstanceContinuation {
+        continue_to_instance(&self.problem, &self.coeffs, target, settings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieri_num::seeded_rng;
+
+    #[test]
+    fn bundle_matches_direct_solve_and_continues() {
+        let mut rng = seeded_rng(370);
+        let shape = Shape::new(2, 2, 0);
+        let bundle = StartBundle::build(shape.clone(), &mut rng, &TrackSettings::default());
+        assert_eq!(bundle.root_count(), 2);
+        assert_eq!(bundle.shape(), &shape);
+
+        let target = PieriProblem::random(shape, &mut rng);
+        let cont = bundle.continue_to(&target, &TrackSettings::default());
+        assert_eq!(cont.maps.len(), 2, "both roots reach the target");
+        assert_eq!(cont.stats.total(), 2);
+        for m in &cont.maps {
+            assert!(m.max_residual(&target) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn reusing_one_bundle_is_deterministic_per_target() {
+        let mut rng = seeded_rng(371);
+        let shape = Shape::new(2, 2, 0);
+        let bundle = StartBundle::build(shape.clone(), &mut rng, &TrackSettings::default());
+        let target = PieriProblem::random(shape, &mut rng);
+        let a = bundle.continue_to(&target, &TrackSettings::default());
+        let b = bundle.continue_to(&target, &TrackSettings::default());
+        assert_eq!(a.coeffs, b.coeffs, "same bundle + target → same bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "all d(m,p,q) roots")]
+    fn from_parts_rejects_lost_roots() {
+        let mut rng = seeded_rng(372);
+        let shape = Shape::new(2, 2, 0);
+        let poset = Poset::build(&shape);
+        let problem = PieriProblem::random(shape, &mut rng);
+        let mut solution = solve_prepared(&problem, &poset, &TrackSettings::default());
+        solution.coeffs.pop();
+        let _ = StartBundle::from_parts(poset, problem, solution, Duration::ZERO);
+    }
+}

@@ -33,7 +33,7 @@ mod vector;
 
 pub use adjugate::{adjugate, cofactor, cofactor_matrix, det_gradient, det_via_minors};
 pub use eig::{eigenvalues, hessenberg, EigError};
-pub use lu::{det, Lu, LuError};
+pub use lu::{det, try_det, Lu, LuError};
 pub use matrix::CMat;
 pub use qr::Qr;
 pub use vector::{axpy, dot, dot_conj, inf_norm, norm2, normalize, scale_in_place, sub_into, CVec};

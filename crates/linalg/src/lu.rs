@@ -176,17 +176,32 @@ impl Lu {
     }
 }
 
+/// Fallible determinant of `A` via LU, returning zero for singular input
+/// and `Err(LuError::NotSquare)` for non-square input.
+///
+/// Intersection-condition *residuals* use the singular-is-zero form: at a
+/// solution the condition matrix is exactly singular and the residual is
+/// zero, which `Lu::factor`'s error path would otherwise obscure. Long-
+/// running callers (the batch service) use this entry point so a
+/// malformed matrix surfaces as a recoverable error instead of taking
+/// the process down.
+pub fn try_det(a: &CMat) -> Result<Complex64, LuError> {
+    match Lu::factor(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(LuError::Singular { .. }) => Ok(Complex64::ZERO),
+        Err(e @ LuError::NotSquare) => Err(e),
+    }
+}
+
 /// Convenience: determinant of `A` via LU, returning zero for singular input.
 ///
-/// Intersection-condition *residuals* use this form: at a solution the
-/// condition matrix is exactly singular and the residual is zero, which
-/// `Lu::factor`'s error path would otherwise obscure.
+/// # Panics
+/// Panics when `A` is not square — the hot numeric kernels construct
+/// their condition matrices square by shape arithmetic, so this is a
+/// programming error there. Code that takes matrices across a trust
+/// boundary must use [`try_det`] instead.
 pub fn det(a: &CMat) -> Complex64 {
-    match Lu::factor(a) {
-        Ok(lu) => lu.det(),
-        Err(LuError::Singular { .. }) => Complex64::ZERO,
-        Err(LuError::NotSquare) => panic!("det of non-square matrix"),
-    }
+    try_det(a).expect("det of non-square matrix (use try_det at trust boundaries)")
 }
 
 #[cfg(test)]
@@ -262,6 +277,17 @@ mod tests {
             Lu::factor(&CMat::zeros(2, 3)).unwrap_err(),
             LuError::NotSquare
         );
+    }
+
+    #[test]
+    fn try_det_reports_non_square_without_panicking() {
+        assert_eq!(try_det(&CMat::zeros(2, 3)), Err(LuError::NotSquare));
+        let mut rng = seeded_rng(14);
+        let a = CMat::random(4, 4, &mut rng, random_complex);
+        assert_eq!(try_det(&a), Ok(det(&a)));
+        // Singular input is a zero determinant, not an error.
+        let s = CMat::from_fn(3, 3, |i, j| c((i + 1) as f64 * (j + 1) as f64, 0.0));
+        assert_eq!(try_det(&s), Ok(Complex64::ZERO));
     }
 
     #[test]

@@ -42,9 +42,27 @@ pub fn solve_by_levels_parallel(
     problem: &PieriProblem,
     settings: &TrackSettings,
 ) -> (PieriSolution, LevelRunStats) {
+    let poset = Poset::build(problem.shape());
+    solve_by_levels_prepared(problem, &poset, settings)
+}
+
+/// [`solve_by_levels_parallel`] against a pre-built poset (the shared
+/// shape-cache seam; see [`pieri_core::solve_prepared`]).
+///
+/// # Panics
+/// Panics when `poset` was built for a different shape.
+pub fn solve_by_levels_prepared(
+    problem: &PieriProblem,
+    poset: &Poset,
+    settings: &TrackSettings,
+) -> (PieriSolution, LevelRunStats) {
     let t0 = Instant::now();
     let shape = problem.shape();
-    let poset = Poset::build(shape);
+    assert_eq!(
+        poset.shape(),
+        shape,
+        "poset was built for a different shape"
+    );
     let n = shape.conditions();
     let trivial = shape.trivial();
 

@@ -46,7 +46,7 @@ mod paths;
 mod report;
 mod tree;
 
-pub use levels::{solve_by_levels_parallel, LevelRunStats};
+pub use levels::{solve_by_levels_parallel, solve_by_levels_prepared, LevelRunStats};
 pub use paths::{track_paths_dynamic, track_paths_rayon, track_paths_static};
 pub use report::{ParallelReport, WorkerStats};
-pub use tree::{solve_tree_parallel, TreeRunStats};
+pub use tree::{solve_tree_parallel, solve_tree_parallel_prepared, TreeRunStats};

@@ -84,14 +84,36 @@ pub fn solve_tree_parallel(
     settings: &TrackSettings,
     workers: usize,
 ) -> (PieriSolution, TreeRunStats) {
+    let poset = Poset::build(problem.shape());
+    solve_tree_parallel_prepared(problem, &poset, settings, workers)
+}
+
+/// [`solve_tree_parallel`] against a pre-built poset — the same seam as
+/// [`pieri_core::solve_prepared`], so shape-cached callers (the batch
+/// service) share one poset between the sequential and tree-parallel
+/// solvers.
+///
+/// # Panics
+/// As [`solve_tree_parallel`], and additionally when `poset` was built
+/// for a different shape.
+pub fn solve_tree_parallel_prepared(
+    problem: &PieriProblem,
+    poset: &Poset,
+    settings: &TrackSettings,
+    workers: usize,
+) -> (PieriSolution, TreeRunStats) {
     assert!(workers >= 1, "need at least one worker");
     assert!(
         rayon::current_thread_index().is_none(),
         "solve_tree_parallel must be called from outside the worker pool"
     );
-    let t0 = Instant::now();
     let shape = problem.shape();
-    let poset = Poset::build(shape);
+    assert_eq!(
+        poset.shape(),
+        shape,
+        "poset was built for a different shape"
+    );
+    let t0 = Instant::now();
     let n = shape.conditions();
     let trivial = shape.trivial();
 

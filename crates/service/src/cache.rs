@@ -1,0 +1,302 @@
+//! The shape-keyed cache of Pieri start systems.
+//!
+//! Everything expensive about a pole-placement request depends only on
+//! the shape `(m, p, q)`: the poset and the one generic run of the
+//! Pieri tree. This cache maps `Shape → Arc<StartBundle>` so the first
+//! request for a shape pays the tree (on the global work-stealing pool)
+//! and every later request — any plant, any poles — skips straight to
+//! the `d(m,p,q)` cheap continuation paths.
+//!
+//! Concurrency: one builder per shape. A request that finds the slot
+//! `Building` parks on a condvar and wakes with the finished bundle —
+//! it never duplicates the build, and it counts as a hit (it did not pay
+//! for the tree). A failed build returns the error to the request that
+//! ran it and leaves the slot empty; parked waiters wake and retry the
+//! build themselves, each retry drawing a *fresh* generic instance
+//! (the attempt number is mixed into the seed — a deterministic
+//! failure must not recur identically forever).
+
+use crate::job::JobError;
+use pieri_core::{Shape, StartBundle};
+use pieri_num::seeded_rng;
+use pieri_parallel::solve_tree_parallel_prepared;
+use pieri_tracker::TrackSettings;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the cache builds a bundle on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMode {
+    /// Sequential level-by-level solver (one core; other jobs keep the
+    /// pool).
+    Sequential,
+    /// Tree-parallel scheduler on the global work-stealing pool with one
+    /// virtual slave per pool thread — the PR-2 runtime does the heavy
+    /// lifting of cold shapes.
+    TreeParallel,
+}
+
+/// Shared per-shape slot.
+#[derive(Default)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+    /// Build attempts so far; attempt 0 uses the pure
+    /// `(bundle_seed, shape)` seed, retries after a failure mix the
+    /// attempt number in so a doomed generic instance is not redrawn.
+    attempts: AtomicUsize,
+}
+
+#[derive(Default)]
+enum SlotState {
+    #[default]
+    Empty,
+    Building,
+    Ready(Arc<StartBundle>),
+}
+
+/// Aggregate cache counters (monotone; snapshot via
+/// [`ShapeCache::stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a ready bundle (including requests that
+    /// waited for a concurrent build rather than duplicating it).
+    pub hits: usize,
+    /// Requests that paid for a bundle build.
+    pub misses: usize,
+    /// Distinct shapes currently resident.
+    pub shapes: usize,
+}
+
+/// A concurrent map `(m, p, q) → Arc<StartBundle>`.
+pub struct ShapeCache {
+    slots: Mutex<HashMap<Shape, Arc<Slot>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    /// Seed stream for bundle builds: the bundle for a shape is a
+    /// deterministic function of `(bundle_seed, shape)`, independent of
+    /// request order.
+    bundle_seed: u64,
+    settings: TrackSettings,
+    mode: BuildMode,
+}
+
+impl ShapeCache {
+    /// Creates an empty cache.
+    pub fn new(bundle_seed: u64, settings: TrackSettings, mode: BuildMode) -> Self {
+        ShapeCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            bundle_seed,
+            settings,
+            mode,
+        }
+    }
+
+    /// Returns the bundle for `shape`, building it (once, whoever gets
+    /// there first) on a miss. The boolean is `true` on a hit.
+    pub fn get_or_build(&self, shape: &Shape) -> Result<(Arc<StartBundle>, bool), JobError> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("shape map poisoned");
+            slots.entry(shape.clone()).or_default().clone()
+        };
+
+        let mut state = slot.state.lock().expect("slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Ready(bundle) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((bundle.clone(), true));
+                }
+                SlotState::Building => {
+                    state = slot.ready.wait(state).expect("slot poisoned");
+                }
+                SlotState::Empty => {
+                    *state = SlotState::Building;
+                    drop(state);
+                    let attempt = slot.attempts.fetch_add(1, Ordering::Relaxed);
+                    let built = self.build(shape, attempt);
+                    let mut state = slot.state.lock().expect("slot poisoned");
+                    match built {
+                        Ok(bundle) => {
+                            let bundle = Arc::new(bundle);
+                            *state = SlotState::Ready(bundle.clone());
+                            slot.ready.notify_all();
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            return Ok((bundle, false));
+                        }
+                        Err(e) => {
+                            // Leave the slot retryable and fail the
+                            // waiters through the Empty branch retrying
+                            // — they will attempt their own build.
+                            *state = SlotState::Empty;
+                            slot.ready.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a bundle outside any lock. Panics inside the solvers are
+    /// contained here (the build runs caller-side, possibly on an engine
+    /// worker thread). Attempt 0 seeds purely from
+    /// `(bundle_seed, shape)`; retries perturb the stream.
+    fn build(&self, shape: &Shape, attempt: usize) -> Result<StartBundle, JobError> {
+        let shape = shape.clone();
+        let seed = self.bundle_seed
+            ^ shape_tag(&shape)
+            ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let settings = self.settings;
+        let mode = self.mode;
+        catch_unwind(AssertUnwindSafe(move || match mode {
+            BuildMode::Sequential => {
+                let mut rng = seeded_rng(seed);
+                StartBundle::build(shape, &mut rng, &settings)
+            }
+            BuildMode::TreeParallel => {
+                let t0 = Instant::now();
+                let poset = pieri_core::Poset::build(&shape);
+                let mut rng = seeded_rng(seed);
+                let problem = pieri_core::PieriProblem::random(shape, &mut rng);
+                let workers = rayon::current_num_threads().max(1);
+                let (solution, _) =
+                    solve_tree_parallel_prepared(&problem, &poset, &settings, workers);
+                StartBundle::from_parts(poset, problem, solution, t0.elapsed())
+            }
+        }))
+        .map_err(|payload| JobError::StartSystem(panic_message(&payload)))
+    }
+
+    /// Counter snapshot. `shapes` counts only *resident* bundles — a
+    /// slot whose build is in flight (or failed and awaits retry) is
+    /// not a shape the cache can serve, and must agree with
+    /// [`ShapeCache::resident`].
+    pub fn stats(&self) -> CacheStats {
+        let shapes = {
+            let slots = self.slots.lock().expect("shape map poisoned");
+            slots
+                .values()
+                .filter(|slot| {
+                    matches!(
+                        &*slot.state.lock().expect("slot poisoned"),
+                        SlotState::Ready(_)
+                    )
+                })
+                .count()
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            shapes,
+        }
+    }
+
+    /// The resident shapes with their root counts and build times — the
+    /// `/v1/stats` payload.
+    pub fn resident(&self) -> Vec<(Shape, usize, Duration)> {
+        let slots = self.slots.lock().expect("shape map poisoned");
+        let mut out = Vec::new();
+        for (shape, slot) in slots.iter() {
+            if let SlotState::Ready(bundle) = &*slot.state.lock().expect("slot poisoned") {
+                out.push((shape.clone(), bundle.root_count(), bundle.build_time()));
+            }
+        }
+        out.sort_by_key(|(s, _, _)| (s.m(), s.p(), s.q()));
+        out
+    }
+}
+
+/// Mixes a shape into the bundle seed stream (FNV-1a over the dims).
+fn shape_tag(shape: &Shape) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for dim in [shape.m(), shape.p(), shape.q()] {
+        h ^= dim as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Best-effort panic payload to string.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> ShapeCache {
+        ShapeCache::new(0x5eed, TrackSettings::default(), BuildMode::Sequential)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_bundle() {
+        let c = cache();
+        let shape = Shape::new(2, 2, 0);
+        let (a, hit_a) = c.get_or_build(&shape).unwrap();
+        let (b, hit_b) = c.get_or_build(&shape).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "one bundle per shape");
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                shapes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_bundles() {
+        let c = cache();
+        let (a, _) = c.get_or_build(&Shape::new(2, 2, 0)).unwrap();
+        let (b, _) = c.get_or_build(&Shape::new(3, 2, 0)).unwrap();
+        assert_eq!(a.root_count(), 2);
+        assert_eq!(b.root_count(), 5);
+        assert_eq!(c.stats().shapes, 2);
+        let resident = c.resident();
+        assert_eq!(resident.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let c = Arc::new(cache());
+        let shape = Shape::new(2, 2, 1);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                let shape = shape.clone();
+                std::thread::spawn(move || c.get_or_build(&shape).unwrap().0)
+            })
+            .collect();
+        let bundles: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for b in &bundles[1..] {
+            assert!(Arc::ptr_eq(&bundles[0], b));
+        }
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1, "exactly one thread built");
+        assert_eq!(stats.hits, 3, "the others shared it");
+    }
+
+    #[test]
+    fn tree_parallel_build_matches_root_count() {
+        let c = ShapeCache::new(0x5eed, TrackSettings::default(), BuildMode::TreeParallel);
+        let (bundle, hit) = c.get_or_build(&Shape::new(2, 2, 1)).unwrap();
+        assert!(!hit);
+        assert_eq!(bundle.root_count(), 8);
+    }
+}

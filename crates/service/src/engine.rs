@@ -1,0 +1,510 @@
+//! The job engine: a bounded queue feeding worker threads, with the
+//! heavy shape-level work running on the global work-stealing pool.
+//!
+//! Flow of a job: `submit` validates against the admission limits and
+//! enqueues (back-pressure: a full queue rejects with
+//! [`JobError::QueueFull`], a blocking variant waits for space); a
+//! worker pops it, resolves the shape through the [`ShapeCache`] — a
+//! miss runs the Pieri tree on the pool, a hit costs nothing — and
+//! tracks the `d(m,p,q)` continuation paths to the request's data.
+//! Shutdown is graceful: intake closes immediately, queued and in-flight
+//! jobs finish, workers exit, and every late submitter gets
+//! [`JobError::ShuttingDown`].
+//!
+//! No panic crosses the boundary: execution is wrapped in
+//! `catch_unwind` and surfaces as [`JobError::Internal`].
+
+use crate::cache::{panic_message, BuildMode, CacheStats, ShapeCache};
+use crate::job::{CompensatorAnswer, JobError, JobLimits, JobRequest, JobResult};
+use crossbeam::channel;
+use pieri_control::{solve_dynamic_state_space_with_start, verify_closed_loop_ss};
+use pieri_core::Shape;
+use pieri_num::{seeded_rng, Complex64};
+use pieri_tracker::TrackSettings;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads popping the job queue. Each worker tracks its
+    /// job's continuation paths itself; cold-shape tree solves fan out
+    /// on the global pool regardless of this number.
+    pub workers: usize,
+    /// Bounded queue capacity (back-pressure beyond this).
+    pub queue_capacity: usize,
+    /// Seed stream for the cache's generic start instances.
+    pub bundle_seed: u64,
+    /// Tracker settings used for bundle builds and continuations.
+    pub settings: TrackSettings,
+    /// Admission limits.
+    pub limits: JobLimits,
+    /// How cache misses run the Pieri tree.
+    pub build_mode: BuildMode,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: rayon::current_num_threads().max(1),
+            queue_capacity: 64,
+            bundle_seed: 0x5eed_cafe,
+            settings: TrackSettings::default(),
+            limits: JobLimits::default(),
+            build_mode: BuildMode::TreeParallel,
+        }
+    }
+}
+
+struct Queued {
+    req: JobRequest,
+    enqueued: Instant,
+    tx: channel::Sender<Result<JobResult, JobError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Queued>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers wait here for jobs.
+    jobs: Condvar,
+    /// Blocking submitters wait here for queue space.
+    space: Condvar,
+    cache: ShapeCache,
+    limits: JobLimits,
+    settings: TrackSettings,
+    capacity: usize,
+    submitted: AtomicUsize,
+    completed: AtomicUsize,
+    rejected: AtomicUsize,
+}
+
+/// A handle to one submitted job; resolve it with [`JobTicket::wait`].
+pub struct JobTicket {
+    rx: channel::Receiver<Result<JobResult, JobError>>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobTicket")
+    }
+}
+
+impl JobTicket {
+    /// Blocks until the job finishes.
+    pub fn wait(self) -> Result<JobResult, JobError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(JobError::Internal("worker disappeared".into())))
+    }
+}
+
+/// Engine counters and gauges (the `/v1/stats` payload).
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Jobs currently queued.
+    pub queue_len: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs accepted so far.
+    pub submitted: usize,
+    /// Jobs finished (ok or error) so far.
+    pub completed: usize,
+    /// Submissions bounced by back-pressure or shutdown.
+    pub rejected: usize,
+    /// Shape-cache counters.
+    pub cache: CacheStats,
+}
+
+/// The batch job engine. Create with [`Engine::start`], stop with
+/// [`Engine::shutdown`] (also runs on drop).
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts the worker threads.
+    ///
+    /// # Panics
+    /// Panics when `config.workers == 0` or `config.queue_capacity == 0`.
+    pub fn start(config: EngineConfig) -> Engine {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            jobs: Condvar::new(),
+            space: Condvar::new(),
+            cache: ShapeCache::new(config.bundle_seed, config.settings, config.build_mode),
+            limits: config.limits,
+            settings: config.settings,
+            capacity: config.queue_capacity,
+            submitted: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("pieri-service-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: config.workers,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Starts with the default configuration.
+    pub fn with_defaults() -> Engine {
+        Engine::start(EngineConfig::default())
+    }
+
+    /// Validates and enqueues a job; non-blocking back-pressure — a full
+    /// queue returns [`JobError::QueueFull`] immediately.
+    pub fn submit(&self, req: JobRequest) -> Result<JobTicket, JobError> {
+        self.enqueue(req, false)
+    }
+
+    /// Validates and enqueues a job, waiting for queue space when full.
+    pub fn submit_blocking(&self, req: JobRequest) -> Result<JobTicket, JobError> {
+        self.enqueue(req, true)
+    }
+
+    /// Convenience: blocking submit + wait.
+    pub fn run(&self, req: JobRequest) -> Result<JobResult, JobError> {
+        self.submit_blocking(req)?.wait()
+    }
+
+    fn enqueue(&self, req: JobRequest, block: bool) -> Result<JobTicket, JobError> {
+        if let Err(e) = req.validate(&self.shared.limits) {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let (tx, rx) = channel::unbounded();
+        let mut state = self.shared.state.lock().expect("queue poisoned");
+        loop {
+            if !state.open {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(JobError::ShuttingDown);
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(Queued {
+                    req,
+                    enqueued: Instant::now(),
+                    tx,
+                });
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.jobs.notify_one();
+                return Ok(JobTicket { rx });
+            }
+            if !block {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(JobError::QueueFull);
+            }
+            state = self.shared.space.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let queue_len = self
+            .shared
+            .state
+            .lock()
+            .expect("queue poisoned")
+            .queue
+            .len();
+        EngineStats {
+            workers: self.workers,
+            queue_len,
+            queue_capacity: self.shared.capacity,
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// The shape cache (read access for diagnostics).
+    pub fn cache(&self) -> &ShapeCache {
+        &self.shared.cache
+    }
+
+    /// The bounded queue's capacity (the HTTP batch endpoint caps batch
+    /// size at this).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Graceful shutdown: closes intake, lets queued and in-flight jobs
+    /// finish, joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.open = false;
+            self.shared.jobs.notify_all();
+            self.shared.space.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    shared.space.notify_one();
+                    break Some(job);
+                }
+                if !state.open {
+                    break None;
+                }
+                state = shared.jobs.wait(state).expect("queue poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        let queue_wait = job.enqueued.elapsed();
+        let result = execute(shared, &job.req, queue_wait);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped ticket (client gave up) is fine; ignore send errors.
+        let _ = job.tx.send(result);
+    }
+}
+
+/// Runs one validated job; never panics across this frame.
+fn execute(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<JobResult, JobError> {
+    catch_unwind(AssertUnwindSafe(|| run_job(shared, req, queue_wait)))
+        .unwrap_or_else(|payload| Err(JobError::Internal(panic_message(&payload))))
+}
+
+fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<JobResult, JobError> {
+    let (m, p, q) = req.shape_dims();
+    let shape = Shape::new(m, p, q);
+    let (bundle, cache_hit) = shared.cache.get_or_build(&shape)?;
+    let bundle_build = if cache_hit {
+        Duration::ZERO
+    } else {
+        bundle.build_time()
+    };
+    let t0 = Instant::now();
+
+    let mut result = match req {
+        JobRequest::SolvePieri { seed, .. } => {
+            let mut rng = seeded_rng(*seed);
+            let target = pieri_core::PieriProblem::random(shape.clone(), &mut rng);
+            let cont = bundle.continue_to(&target, &shared.settings);
+            let max_residual = cont
+                .maps
+                .iter()
+                .map(|map| map.max_residual(&target))
+                .fold(0.0, f64::max);
+            JobResult {
+                solutions: cont.maps.len(),
+                improper: cont.diverged,
+                failed: cont.failed,
+                coeffs: cont.coeffs,
+                compensators: Vec::new(),
+                max_residual,
+                track: cont.stats,
+                ..JobResult::default()
+            }
+        }
+        JobRequest::PlacePoles { q, poles, seed, .. } => {
+            let ss = req.state_space();
+            let mut rng = seeded_rng(*seed);
+            let (comps, cont, _) = solve_dynamic_state_space_with_start(
+                &ss,
+                *q,
+                poles,
+                &mut rng,
+                &bundle,
+                &shared.settings,
+            );
+            let mut max_residual: f64 = 0.0;
+            let compensators = comps
+                .iter()
+                .zip(cont.maps.iter())
+                .map(|(comp, map)| {
+                    let (_, residual) = verify_closed_loop_ss(&ss, map, poles);
+                    max_residual = max_residual.max(residual);
+                    CompensatorAnswer {
+                        u_coeffs: comp.u().coeffs().to_vec(),
+                        v_coeffs: comp.v().coeffs().to_vec(),
+                        residual,
+                        proper: comp.gain_at(Complex64::ZERO).is_some(),
+                    }
+                })
+                .collect();
+            JobResult {
+                solutions: cont.maps.len(),
+                improper: cont.diverged,
+                failed: cont.failed,
+                coeffs: cont.coeffs,
+                compensators,
+                max_residual,
+                track: cont.stats,
+                ..JobResult::default()
+            }
+        }
+    };
+    // The bundle already knows d(m,p,q) — never rebuild the poset here.
+    result.expected = bundle.root_count() as u128;
+    result.cache_hit = cache_hit;
+    result.bundle_build = bundle_build;
+    result.queue_wait = queue_wait;
+    result.solve_time = t0.elapsed();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine(workers: usize, capacity: usize) -> Engine {
+        Engine::start(EngineConfig {
+            workers,
+            queue_capacity: capacity,
+            build_mode: BuildMode::Sequential,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn solve_req(seed: u64) -> JobRequest {
+        JobRequest::SolvePieri {
+            m: 2,
+            p: 2,
+            q: 0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn solve_job_round_trips_and_caches() {
+        let engine = small_engine(2, 8);
+        let cold = engine.run(solve_req(11)).unwrap();
+        assert_eq!(cold.solutions, 2);
+        assert_eq!(cold.expected, 2);
+        assert!(!cold.cache_hit);
+        assert!(cold.bundle_build > Duration::ZERO);
+        assert!(
+            cold.max_residual < 1e-7,
+            "residual {:.2e}",
+            cold.max_residual
+        );
+
+        let warm = engine.run(solve_req(11)).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.bundle_build, Duration::ZERO);
+        assert_eq!(warm.coeffs, cold.coeffs, "same seed → same bits");
+        assert_eq!(warm.track.total(), 2, "only d(2,2,0) paths tracked");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_at_submit() {
+        let engine = small_engine(1, 4);
+        let err = engine
+            .submit(JobRequest::SolvePieri {
+                m: 0,
+                p: 1,
+                q: 0,
+                seed: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_request");
+        assert_eq!(engine.stats().rejected, 1);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        // One worker, capacity 1: the worker occupies itself with the
+        // first job (a cold solve), the queue holds the second, and the
+        // third non-blocking submit must bounce.
+        let engine = small_engine(1, 1);
+        let t1 = engine.submit(solve_req(1)).unwrap();
+        let mut bounced = false;
+        let mut tickets = vec![t1];
+        for seed in 2..50 {
+            match engine.submit(solve_req(seed)) {
+                Ok(t) => tickets.push(t),
+                Err(JobError::QueueFull) => {
+                    bounced = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(bounced, "bounded queue must eventually reject");
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_then_rejects() {
+        let engine = small_engine(1, 8);
+        let tickets: Vec<_> = (0..3)
+            .map(|seed| engine.submit(solve_req(seed)).unwrap())
+            .collect();
+        engine.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "queued jobs finish on shutdown");
+        }
+        assert_eq!(
+            engine.submit(solve_req(99)).unwrap_err(),
+            JobError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn place_poles_job_places_the_satellite() {
+        let engine = small_engine(2, 8);
+        let sat = pieri_control::satellite_plant(1.0);
+        let mut rng = seeded_rng(77);
+        let poles = pieri_control::conjugate_pole_set(5, &mut rng);
+        let req = JobRequest::PlacePoles {
+            a: sat.a.clone(),
+            b: sat.b.clone(),
+            c: sat.c.clone(),
+            q: 1,
+            poles,
+            seed: 40,
+        };
+        let res = engine.run(req).unwrap();
+        assert_eq!(res.expected, 8, "d(2,2,1) = 8");
+        assert_eq!(res.solutions, 8);
+        assert_eq!(res.compensators.len(), 8);
+        assert!(res.max_residual < 1e-6, "residual {:.2e}", res.max_residual);
+        engine.shutdown();
+    }
+}

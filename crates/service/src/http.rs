@@ -1,0 +1,468 @@
+//! Hand-rolled HTTP/1.1 + JSON transport on `std::net`.
+//!
+//! The environment is offline (no hyper/axum), and the wire surface a
+//! batch solver needs is tiny, so the transport is written directly
+//! against `TcpListener`/`TcpStream`: one accept thread, one handler
+//! thread per connection, `Connection: close` semantics, bounded header
+//! and body sizes, and read timeouts so a stalled peer cannot pin a
+//! handler forever.
+//!
+//! Endpoints (see the README table):
+//!
+//! | Method | Path        | Body                  | Response |
+//! |--------|-------------|-----------------------|----------|
+//! | GET    | `/healthz`  | —                     | `{"ok":true}` |
+//! | GET    | `/v1/stats` | —                     | engine + cache counters |
+//! | POST   | `/v1/solve` | one tagged job        | job result |
+//! | POST   | `/v1/batch` | `{"jobs":[job, …]}`   | `{"results":[…]}` |
+//!
+//! Error responses carry the structured envelope of
+//! [`crate::wire::error_to_json`] with HTTP status mapped from the error
+//! kind (400 invalid, 413 too large, 503 back-pressure/shutdown, 500
+//! internal).
+
+use crate::engine::Engine;
+use crate::job::{JobError, JobRequest, JobResult};
+use crate::wire;
+use minijson::{object, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted header block.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Concurrent connection cap: beyond this the server answers 503
+/// immediately instead of spawning another handler thread, so a
+/// connection flood cannot exhaust threads/memory before the bounded
+/// job queue ever sees a request.
+const MAX_CONNECTIONS: usize = 256;
+
+/// The HTTP front end over an [`Engine`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    pub fn start(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let stop = stop.clone();
+            let engine = engine.clone();
+            std::thread::Builder::new()
+                .name("pieri-service-accept".into())
+                .spawn(move || accept_loop(&listener, &stop, &engine))?
+        };
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_handle: Mutex::new(Some(accept_handle)),
+            engine,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight handlers finish their response on their own threads;
+    /// the engine keeps running until its owner shuts it down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.lock().expect("accept handle").take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, engine: &Arc<Engine>) {
+    // Live handler-thread count; incremented before spawning, released
+    // by the guard when the handler returns for any reason.
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+            let e = JobError::QueueFull;
+            let _ = write_response(&stream, status_for(&e), &wire::error_to_json(&e));
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(active.clone());
+        let engine = engine.clone();
+        // One thread per (short-lived, Connection: close) connection,
+        // bounded by MAX_CONNECTIONS above.
+        let spawned = std::thread::Builder::new()
+            .name("pieri-service-conn".into())
+            .spawn(move || {
+                let _guard = guard;
+                let _ = handle_connection(stream, &engine);
+            });
+        // Spawn failure: the guard was moved into the failed closure
+        // and dropped with it, releasing the slot.
+        drop(spawned);
+    }
+}
+
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Arc<Engine>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        // Malformed transport framing still gets the structured error
+        // envelope with the documented kinds/statuses.
+        Err(ReadError::Job(e)) => {
+            return write_response(&stream, status_for(&e), &wire::error_to_json(&e))
+        }
+        // A socket error (timeout, disconnect) has no one to answer.
+        Err(ReadError::Io(e)) => return Err(e),
+    };
+    let (status, body) = route(&request, engine);
+    write_response(&stream, status, &body)
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+enum ReadError {
+    /// The peer sent something answerable-but-wrong.
+    Job(JobError),
+    /// The socket itself failed.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let bad = |msg: &str| ReadError::Job(JobError::InvalidRequest(msg.to_string()));
+    // Hard-bound the header block *before* buffering: `read_line` on the
+    // raw reader would happily accumulate an unbounded newline-free
+    // line, so every header read goes through a `Take` that enforces
+    // the limit at the byte level.
+    let mut head = reader.take(MAX_HEADER_BYTES as u64);
+    let mut line = String::new();
+    head.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_string();
+    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if head.read_line(&mut header)? == 0 {
+            // The Take ran dry before the blank separator line.
+            return Err(ReadError::Job(JobError::TooLarge {
+                detail: format!("header block exceeds {MAX_HEADER_BYTES} bytes (or is truncated)"),
+            }));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Job(JobError::TooLarge {
+            detail: format!("request body exceeds {MAX_BODY_BYTES} bytes"),
+        }));
+    }
+    let mut body = vec![0u8; content_length];
+    head.into_inner().read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn write_response(mut stream: &TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let payload = body.serialize();
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+fn status_for(e: &JobError) -> u16 {
+    match e {
+        JobError::InvalidRequest(_) => 400,
+        JobError::TooLarge { .. } => 413,
+        JobError::QueueFull | JobError::ShuttingDown => 503,
+        JobError::StartSystem(_) | JobError::Internal(_) => 500,
+    }
+}
+
+fn route(request: &Request, engine: &Arc<Engine>) -> (u16, Value) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, object([("ok", Value::Bool(true))])),
+        ("GET", "/v1/stats") => {
+            let stats = engine.stats();
+            let resident = engine.cache().resident();
+            (200, wire::stats_to_json(&stats, &resident))
+        }
+        // Non-blocking submit: a full queue answers 503 `queue_full`
+        // immediately instead of parking the handler thread — the
+        // bounded queue is the overload limit clients actually see.
+        ("POST", "/v1/solve") => match parse_job(&request.body) {
+            Ok(req) => match engine.submit(req).map(|t| t.wait()) {
+                Ok(Ok(result)) => (200, wire::result_to_json(&result)),
+                Ok(Err(e)) | Err(e) => (status_for(&e), wire::error_to_json(&e)),
+            },
+            Err(e) => (status_for(&e), wire::error_to_json(&e)),
+        },
+        ("POST", "/v1/batch") => batch(&request.body, engine),
+        (_, "/healthz" | "/v1/stats" | "/v1/solve" | "/v1/batch") => {
+            let e = JobError::InvalidRequest(format!(
+                "method {} not allowed on {}",
+                request.method, request.path
+            ));
+            (405, wire::error_to_json(&e))
+        }
+        _ => {
+            let e = JobError::InvalidRequest(format!("no such endpoint {}", request.path));
+            (404, wire::error_to_json(&e))
+        }
+    }
+}
+
+fn parse_job(body: &[u8]) -> Result<JobRequest, JobError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| JobError::InvalidRequest("body must be UTF-8".into()))?;
+    let json = minijson::parse(text)
+        .map_err(|e| JobError::InvalidRequest(format!("invalid JSON: {e}")))?;
+    Ok(wire::request_from_json(&json)?)
+}
+
+/// Runs a batch: submits every job (blocking on queue space, which is
+/// safe because batch size is capped at the queue capacity), then waits
+/// for all tickets. Per-job failures land in the per-job slot, not on
+/// the whole batch.
+fn batch(body: &[u8], engine: &Arc<Engine>) -> (u16, Value) {
+    let parsed: Result<Vec<JobRequest>, JobError> = (|| {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| JobError::InvalidRequest("body must be UTF-8".into()))?;
+        let json = minijson::parse(text)
+            .map_err(|e| JobError::InvalidRequest(format!("invalid JSON: {e}")))?;
+        let jobs = json
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| JobError::InvalidRequest("batch needs a \"jobs\" array".into()))?;
+        // One batch may not monopolise the engine: bound it by the
+        // queue capacity (the same knob that bounds every other client).
+        let cap = engine.queue_capacity();
+        if jobs.len() > cap {
+            return Err(JobError::TooLarge {
+                detail: format!(
+                    "batch of {} jobs exceeds the queue capacity {cap}; split it",
+                    jobs.len()
+                ),
+            });
+        }
+        jobs.iter()
+            .map(|j| wire::request_from_json(j).map_err(JobError::from))
+            .collect()
+    })();
+    let jobs = match parsed {
+        Ok(jobs) => jobs,
+        Err(e) => return (status_for(&e), wire::error_to_json(&e)),
+    };
+
+    let tickets: Vec<Result<crate::engine::JobTicket, JobError>> = jobs
+        .into_iter()
+        .map(|req| engine.submit_blocking(req))
+        .collect();
+    let results: Vec<Value> = tickets
+        .into_iter()
+        .map(|t| match t.and_then(|t| t.wait()) {
+            Ok(r) => wire::result_to_json(&r),
+            Err(e) => wire::error_to_json(&e),
+        })
+        .collect();
+    (200, object([("results", Value::Array(results))]))
+}
+
+// ---- client ------------------------------------------------------------
+
+/// A tiny blocking HTTP/1.1 client for the examples, tests and load
+/// generator (one request per connection, mirroring the server).
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Resolves `addr` ("127.0.0.1:8632" or a `SocketAddr`) with the
+    /// default 30 s socket timeout. `/v1/solve` blocks until the job
+    /// finishes, so for shapes near the admission limits (or deep
+    /// queues) use [`Client::with_timeout`] and size the timeout to the
+    /// workload — a too-small value reports a job the server completes
+    /// as a transport error.
+    pub fn new(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Client::with_timeout(addr, IO_TIMEOUT)
+    }
+
+    /// As [`Client::new`] with an explicit socket timeout.
+    pub fn with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+        Ok(Client { addr, timeout })
+    }
+
+    /// Raw GET; returns `(status, parsed body)`.
+    pub fn get(&self, path: &str) -> std::io::Result<(u16, Value)> {
+        self.request("GET", path, None)
+    }
+
+    /// Raw POST of a JSON body; returns `(status, parsed body)`.
+    pub fn post(&self, path: &str, body: &Value) -> std::io::Result<(u16, Value)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Typed job submission: POST the request to `/v1/solve` and decode
+    /// the result or the error envelope. Transport failures surface as
+    /// [`JobError::Internal`].
+    pub fn solve(&self, req: &JobRequest) -> Result<JobResult, JobError> {
+        let body = wire::request_to_json(req);
+        let (status, json) = self
+            .post("/v1/solve", &body)
+            .map_err(|e| JobError::Internal(format!("transport: {e}")))?;
+        if status == 200 {
+            Ok(wire::result_from_json(&json)?)
+        } else {
+            Err(wire::error_from_json(&json)
+                .unwrap_or_else(|e| JobError::Internal(format!("bad error envelope: {e}"))))
+        }
+    }
+
+    /// True when `/healthz` answers 200.
+    pub fn health(&self) -> bool {
+        matches!(self.get("/healthz"), Ok((200, _)))
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> std::io::Result<(u16, Value)> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let payload = body.map(Value::serialize).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            payload.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(payload.as_bytes())?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header)?;
+            let trimmed = header.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let json = minijson::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok((status, json))
+    }
+}

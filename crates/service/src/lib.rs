@@ -1,0 +1,56 @@
+//! Batch pole-placement service: feedback laws on demand.
+//!
+//! The paper's punchline is that Pieri homotopies make **all** feedback
+//! laws of a plant computable; the service layer makes them computable
+//! *cheaply, repeatedly and concurrently*. Everything expensive about a
+//! request depends only on the shape `(m, p, q)` — the poset (Fig. 4)
+//! and one generic run of the Pieri tree — so a long-lived server that
+//! caches that work per shape answers every subsequent request with just
+//! `d(m,p,q)` straight-line continuation paths (the coefficient-
+//! parameter "cheap trick" of Section III).
+//!
+//! The layers, outermost first — each reusable without the ones above
+//! it:
+//!
+//! * [`http`] — hand-rolled HTTP/1.1 + JSON transport on `std::net`
+//!   ([`Server`], [`Client`]), `Connection: close`, bounded inputs;
+//! * [`wire`] — the JSON codec for problems, compensators, errors and
+//!   diagnostics (on the vendored `minijson`);
+//! * [`engine`] — bounded job queue, worker threads, graceful shutdown,
+//!   per-job [`pieri_tracker::TrackStats`];
+//! * [`cache`] — the shape-keyed [`pieri_core::StartBundle`] cache
+//!   (build-once-per-shape, hits measured);
+//! * [`job`] — typed requests/results with structured errors; no panic
+//!   crosses this boundary.
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use pieri_service::{Engine, EngineConfig, JobRequest, BuildMode};
+//!
+//! let engine = Engine::start(EngineConfig {
+//!     build_mode: BuildMode::Sequential,
+//!     ..EngineConfig::default()
+//! });
+//! let job = JobRequest::SolvePieri { m: 2, p: 2, q: 0, seed: 1 };
+//! let cold = engine.run(job.clone()).unwrap();
+//! assert_eq!(cold.solutions, 2);
+//! assert!(!cold.cache_hit);
+//! let warm = engine.run(job).unwrap();
+//! assert!(warm.cache_hit, "second request skips the Pieri tree");
+//! assert_eq!(warm.coeffs, cold.coeffs, "and is bitwise identical");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod job;
+pub mod wire;
+
+pub use cache::{BuildMode, CacheStats, ShapeCache};
+pub use engine::{Engine, EngineConfig, EngineStats, JobTicket};
+pub use http::{Client, Server};
+pub use job::{CompensatorAnswer, JobError, JobLimits, JobRequest, JobResult};

@@ -1,0 +1,155 @@
+//! End-to-end HTTP smoke test: boot the server on an ephemeral port,
+//! drive it with the blocking client, and verify the answers
+//! *client-side* from the wire payload alone (rebuild the solution maps
+//! from the returned compensator coefficients and check the closed-loop
+//! characteristic polynomial at the prescribed poles).
+//!
+//! CI runs this file as the workflow's smoke job under both
+//! `PIERI_NUM_THREADS` configurations.
+
+use minijson::Value;
+use pieri_core::PMap;
+use pieri_num::seeded_rng;
+use pieri_service::{wire, BuildMode, Client, Engine, EngineConfig, JobRequest, Server};
+use std::sync::Arc;
+
+fn boot() -> (Server, Client) {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        build_mode: BuildMode::TreeParallel,
+        ..EngineConfig::default()
+    }));
+    let server = Server::start("127.0.0.1:0", engine).expect("bind ephemeral port");
+    let client = Client::new(server.addr()).expect("client");
+    (server, client)
+}
+
+#[test]
+fn place_satellite_poles_over_http() {
+    let (server, client) = boot();
+    assert!(client.health(), "healthz answers");
+
+    let sat = pieri_control::satellite_plant(1.0);
+    let mut rng = seeded_rng(31);
+    let poles = pieri_control::conjugate_pole_set(5, &mut rng);
+    let req = JobRequest::PlacePoles {
+        a: sat.a.clone(),
+        b: sat.b.clone(),
+        c: sat.c.clone(),
+        q: 1,
+        poles: poles.clone(),
+        seed: 2026,
+    };
+
+    let cold = client.solve(&req).expect("cold request");
+    assert_eq!(cold.expected, 8, "d(2,2,1) = 8");
+    assert_eq!(cold.solutions, 8);
+    assert!(!cold.cache_hit);
+    assert!(
+        cold.max_residual < 1e-6,
+        "server-side residual {:.2e}",
+        cold.max_residual
+    );
+
+    // Client-side verification from wire data only: X(s) = [U(s); V(s)].
+    for comp in &cold.compensators {
+        let coeffs: Vec<_> = comp
+            .u_coeffs
+            .iter()
+            .zip(&comp.v_coeffs)
+            .map(|(u, v)| u.vstack(v))
+            .collect();
+        let map = PMap::from_coeff_matrices(coeffs);
+        let (_, residual) = pieri_control::verify_closed_loop_ss(&sat, &map, &poles);
+        assert!(residual < 1e-6, "client-side residual {residual:.2e}");
+    }
+
+    // Warm repeat: cache hit, bitwise-identical compensators.
+    let warm = client.solve(&req).expect("warm request");
+    assert!(warm.cache_hit, "second identical request is a cache hit");
+    assert_eq!(warm.coeffs, cold.coeffs, "bitwise identical over the wire");
+
+    // Stats reflect the traffic.
+    let (status, stats) = client.get("/v1/stats").expect("stats");
+    assert_eq!(status, 200);
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("misses").and_then(Value::as_usize), Some(1));
+    assert!(cache.get("hits").and_then(Value::as_usize).unwrap_or(0) >= 1);
+
+    server.engine().shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn batch_endpoint_mixes_jobs_and_errors() {
+    let (server, client) = boot();
+    let jobs = Value::Array(vec![
+        wire::request_to_json(&JobRequest::SolvePieri {
+            m: 2,
+            p: 2,
+            q: 0,
+            seed: 7,
+        }),
+        // Oversized job: must fail in its slot without sinking the batch.
+        wire::request_to_json(&JobRequest::SolvePieri {
+            m: 4,
+            p: 4,
+            q: 2,
+            seed: 7,
+        }),
+        wire::request_to_json(&JobRequest::SolvePieri {
+            m: 2,
+            p: 2,
+            q: 0,
+            seed: 8,
+        }),
+    ]);
+    let body = minijson::object([("jobs", jobs)]);
+    let (status, response) = client.post("/v1/batch", &body).expect("batch");
+    assert_eq!(status, 200);
+    let results = response.get("results").and_then(Value::as_array).unwrap();
+    assert_eq!(results.len(), 3);
+    let first = wire::result_from_json(&results[0]).expect("first is a result");
+    assert_eq!(first.solutions, 2);
+    let second = wire::error_from_json(&results[1]).expect("second is an error");
+    assert_eq!(second.kind(), "too_large");
+    let third = wire::result_from_json(&results[2]).expect("third is a result");
+    assert_eq!(third.solutions, 2);
+    assert!(third.cache_hit, "batch shares the shape bundle");
+
+    server.engine().shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn http_error_surface() {
+    let (server, client) = boot();
+
+    // Unknown endpoint.
+    let (status, body) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+    assert!(body.get("error").is_some());
+
+    // Wrong method.
+    let (status, _) = client.get("/v1/solve").unwrap();
+    assert_eq!(status, 405);
+
+    // Malformed JSON body.
+    let (status, body) = client
+        .post("/v1/solve", &Value::String("not a job".into()))
+        .unwrap();
+    assert_eq!(status, 400, "{}", body.serialize());
+
+    // Structurally valid JSON, invalid job.
+    let bad = minijson::parse(r#"{"type":"solve_pieri","m":0,"p":1,"q":0,"seed":1}"#).unwrap();
+    let (status, body) = client.post("/v1/solve", &bad).unwrap();
+    assert_eq!(status, 400);
+    let err = wire::error_from_json(&body).unwrap();
+    assert_eq!(err.kind(), "invalid_request");
+
+    // The server survived all of it.
+    assert!(client.health());
+    server.engine().shutdown();
+    server.shutdown();
+}

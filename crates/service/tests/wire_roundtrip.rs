@@ -1,0 +1,179 @@
+//! Property tests: the JSON wire format round-trips every value it can
+//! carry, bitwise. Complex numbers ride on shortest-exact `f64`
+//! formatting, so `encode → serialize → parse → decode` must reproduce
+//! the input bits, not just something close.
+
+use pieri_linalg::CMat;
+use pieri_num::Complex64;
+use pieri_service::wire::{
+    complex_from_json, complex_to_json, mat_from_json, mat_to_json, request_from_json,
+    request_to_json, result_from_json, result_to_json,
+};
+use pieri_service::{CompensatorAnswer, JobRequest, JobResult};
+use proptest::prelude::*;
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    // Mix magnitudes: wire format must not lose tiny or huge finite
+    // components.
+    (-1e12f64..1e12, -30i32..30).prop_map(|(mantissa, exp)| mantissa * 10f64.powi(exp))
+}
+
+fn any_complex() -> impl Strategy<Value = Complex64> {
+    (any_f64(), any_f64()).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn bits(z: Complex64) -> (u64, u64) {
+    (z.re.to_bits(), z.im.to_bits())
+}
+
+/// Up-to-3×3 matrix as rows: dimensions and an entry pool drawn
+/// together (the vendored proptest has no `prop_flat_map`).
+fn any_mat() -> impl Strategy<Value = Vec<Vec<Complex64>>> {
+    (
+        1usize..=3,
+        1usize..=3,
+        proptest::collection::vec(any_complex(), 9..10),
+    )
+        .prop_map(|(r, c, pool)| {
+            (0..r)
+                .map(|i| (0..c).map(|j| pool[i * 3 + j]).collect())
+                .collect()
+        })
+}
+
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|x| x == 1)
+}
+
+fn to_cmat(rows: &[Vec<Complex64>]) -> CMat {
+    CMat::from_rows(rows)
+}
+
+fn assert_mat_bits(a: &CMat, b: &CMat) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(bits(a[(i, j)]), bits(b[(i, j)]), "entry ({i},{j})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn complex_round_trips_bitwise(z in any_complex()) {
+        let text = complex_to_json(z).serialize();
+        let back = complex_from_json(&minijson::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(bits(back), bits(z));
+    }
+
+    #[test]
+    fn matrix_round_trips_bitwise(rows in any_mat()) {
+        let m = to_cmat(&rows);
+        let text = mat_to_json(&m).serialize();
+        let back = mat_from_json(&minijson::parse(&text).unwrap()).unwrap();
+        assert_mat_bits(&m, &back);
+    }
+
+    #[test]
+    fn solve_request_round_trips(m in 1usize..4, p in 1usize..4, q in 0usize..3, seed in 0u64..(1 << 53)) {
+        let req = JobRequest::SolvePieri { m, p, q, seed };
+        let text = request_to_json(&req).serialize();
+        let back = request_from_json(&minijson::parse(&text).unwrap()).unwrap();
+        match back {
+            JobRequest::SolvePieri { m: m2, p: p2, q: q2, seed: s2 } => {
+                prop_assert_eq!((m, p, q, seed), (m2, p2, q2, s2));
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+    }
+
+    #[test]
+    fn place_request_round_trips(
+        a_rows in any_mat(),
+        q in 0usize..3,
+        poles in proptest::collection::vec(any_complex(), 1..6),
+        seed in 0u64..(1 << 53),
+    ) {
+        // Dimensional consistency is the validator's business, not the
+        // codec's: arbitrary rectangular matrices must survive transit.
+        let a = to_cmat(&a_rows);
+        let req = JobRequest::PlacePoles {
+            a: a.clone(),
+            b: a.clone(),
+            c: a.clone(),
+            q,
+            poles: poles.clone(),
+            seed,
+        };
+        let text = request_to_json(&req).serialize();
+        let back = request_from_json(&minijson::parse(&text).unwrap()).unwrap();
+        match back {
+            JobRequest::PlacePoles { a: a2, poles: p2, seed: s2, .. } => {
+                assert_mat_bits(&a, &a2);
+                prop_assert_eq!(poles.len(), p2.len());
+                for (x, y) in poles.iter().zip(&p2) {
+                    prop_assert_eq!(bits(*x), bits(*y));
+                }
+                prop_assert_eq!(seed, s2);
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+    }
+
+    #[test]
+    fn result_round_trips(
+        coeffs in proptest::collection::vec(proptest::collection::vec(any_complex(), 1..5), 0..4),
+        u_rows in any_mat(),
+        residual in 0f64..1.0,
+        cache_hit in any_bool(),
+        improper in 0usize..3,
+    ) {
+        let u = to_cmat(&u_rows);
+        let result = JobResult {
+            solutions: coeffs.len(),
+            expected: (coeffs.len() + improper) as u128,
+            improper,
+            failed: 0,
+            coeffs: coeffs.clone(),
+            compensators: vec![CompensatorAnswer {
+                u_coeffs: vec![u.clone(), u.clone()],
+                v_coeffs: vec![u.clone()],
+                residual,
+                proper: true,
+            }],
+            max_residual: residual,
+            cache_hit,
+            bundle_build: std::time::Duration::from_micros(1500),
+            queue_wait: std::time::Duration::from_micros(10),
+            solve_time: std::time::Duration::from_micros(900),
+            track: pieri_tracker::TrackStats {
+                converged: coeffs.len(),
+                diverged: improper,
+                failed: 0,
+                total_steps: 17,
+                total_newton_iters: 34,
+                total_time: std::time::Duration::from_micros(800),
+                max_path_time: std::time::Duration::from_micros(300),
+                path_times: Vec::new(),
+            },
+        };
+        let text = result_to_json(&result).serialize();
+        let back = result_from_json(&minijson::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.solutions, result.solutions);
+        prop_assert_eq!(back.expected, result.expected);
+        prop_assert_eq!(back.improper, result.improper);
+        prop_assert_eq!(back.cache_hit, result.cache_hit);
+        prop_assert_eq!(back.coeffs.len(), result.coeffs.len());
+        for (x, y) in result.coeffs.iter().flatten().zip(back.coeffs.iter().flatten()) {
+            prop_assert_eq!(bits(*x), bits(*y));
+        }
+        prop_assert_eq!(back.compensators.len(), 1);
+        assert_mat_bits(&back.compensators[0].u_coeffs[0], &u);
+        prop_assert_eq!(back.compensators[0].residual.to_bits(), residual.to_bits());
+        prop_assert_eq!(back.max_residual.to_bits(), result.max_residual.to_bits());
+        prop_assert_eq!(back.track.converged, result.track.converged);
+        prop_assert_eq!(back.track.total_steps, result.track.total_steps);
+    }
+}

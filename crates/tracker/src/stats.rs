@@ -37,18 +37,44 @@ impl TrackStats {
     pub fn from_results(results: &[PathResult]) -> Self {
         let mut s = TrackStats::default();
         for r in results {
-            match r.status {
-                PathStatus::Converged => s.converged += 1,
-                PathStatus::Diverged { .. } => s.diverged += 1,
-                PathStatus::Failed { .. } => s.failed += 1,
-            }
-            s.total_steps += r.steps;
-            s.total_newton_iters += r.newton_iters;
-            s.total_time += r.elapsed;
-            s.max_path_time = s.max_path_time.max(r.elapsed);
-            s.path_times.push(r.elapsed.as_secs_f64());
+            s.record(r.status, r.steps, r.newton_iters, r.elapsed);
         }
         s
+    }
+
+    /// Records one path incrementally — for callers (schedulers, the
+    /// batch service) that stream results and do not keep the full
+    /// [`PathResult`]s alive.
+    pub fn record(
+        &mut self,
+        status: PathStatus,
+        steps: usize,
+        newton_iters: usize,
+        elapsed: Duration,
+    ) {
+        match status {
+            PathStatus::Converged => self.converged += 1,
+            PathStatus::Diverged { .. } => self.diverged += 1,
+            PathStatus::Failed { .. } => self.failed += 1,
+        }
+        self.total_steps += steps;
+        self.total_newton_iters += newton_iters;
+        self.total_time += elapsed;
+        self.max_path_time = self.max_path_time.max(elapsed);
+        self.path_times.push(elapsed.as_secs_f64());
+    }
+
+    /// Merges another batch into this one (e.g. per-job stats rolled up
+    /// into service totals).
+    pub fn merge(&mut self, other: &TrackStats) {
+        self.converged += other.converged;
+        self.diverged += other.diverged;
+        self.failed += other.failed;
+        self.total_steps += other.total_steps;
+        self.total_newton_iters += other.total_newton_iters;
+        self.total_time += other.total_time;
+        self.max_path_time = self.max_path_time.max(other.max_path_time);
+        self.path_times.extend_from_slice(&other.path_times);
     }
 
     /// Number of paths accounted for.
@@ -137,6 +163,28 @@ mod tests {
         ];
         let s = TrackStats::from_results(&rs);
         assert!(s.time_cv() > 1.0);
+    }
+
+    #[test]
+    fn record_and_merge_match_from_results() {
+        let rs = vec![
+            result(PathStatus::Converged, 10, 5),
+            result(PathStatus::Diverged { at_t: 0.9 }, 30, 20),
+            result(PathStatus::Failed { at_t: 0.5 }, 20, 7),
+        ];
+        let whole = TrackStats::from_results(&rs);
+        let mut merged = TrackStats::from_results(&rs[..1]);
+        let mut rest = TrackStats::default();
+        for r in &rs[1..] {
+            rest.record(r.status, r.steps, r.newton_iters, r.elapsed);
+        }
+        merged.merge(&rest);
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.total_steps, whole.total_steps);
+        assert_eq!(merged.total_newton_iters, whole.total_newton_iters);
+        assert_eq!(merged.total_time, whole.total_time);
+        assert_eq!(merged.max_path_time, whole.max_path_time);
+        assert_eq!(merged.path_times, whole.path_times);
     }
 
     #[test]

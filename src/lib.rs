@@ -15,7 +15,9 @@
 //! * [`control`] — plants, pole placement, compensators, verification;
 //! * [`parallel`] — static/dynamic schedulers and the Fig. 6 tree master;
 //! * [`sim`] — the discrete-event cluster simulator behind the speedup
-//!   tables.
+//!   tables;
+//! * [`service`] — the batch pole-placement server: shape-keyed start-
+//!   system cache, bounded job engine, JSON-over-HTTP front end.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use pieri_linalg as linalg;
 pub use pieri_num as num;
 pub use pieri_parallel as parallel;
 pub use pieri_poly as poly;
+pub use pieri_service as service;
 pub use pieri_sim as sim;
 pub use pieri_systems as systems;
 pub use pieri_tracker as tracker;

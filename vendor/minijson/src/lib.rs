@@ -1,0 +1,694 @@
+//! Offline vendored minimal JSON library.
+//!
+//! The build environment has no access to crates.io, so `pieri-service`
+//! cannot use `serde_json`; this crate provides the small document-model
+//! surface the service's wire format needs, in the same spirit as the
+//! other `vendor/` stand-ins:
+//!
+//! * [`Value`] — the JSON document model (null, bool, finite `f64`
+//!   numbers, strings, arrays, objects);
+//! * [`parse`] — a recursive-descent parser with a depth limit and
+//!   precise error positions;
+//! * [`Value::serialize`] — compact serialization; round-trips every
+//!   value this crate can represent (`f64` via shortest-exact `{:?}`
+//!   formatting).
+//!
+//! Divergences from full JSON, all irrelevant to the wire format and
+//! documented here for honesty: numbers are IEEE `f64` (like
+//! `serde_json`'s default) so integers beyond 2⁵³ lose precision;
+//! objects preserve insertion order via a `Vec` of pairs (duplicate keys:
+//! last one wins on lookup, both are kept on serialize); `NaN`/`Inf`
+//! cannot be serialized (JSON has no representation — attempting it is
+//! an error at construction time, not a panic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth [`parse`] accepts, guarding the recursive
+/// parser against stack exhaustion from adversarial input.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Always finite — [`Value::number`] rejects NaN/Inf.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Errors from parsing or constructing JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input ended before a complete value was read.
+    UnexpectedEnd,
+    /// An unexpected byte at the given offset.
+    Unexpected {
+        /// Byte offset into the input.
+        at: usize,
+        /// What was found (a short description).
+        found: String,
+    },
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// Trailing non-whitespace after the top-level value.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        at: usize,
+    },
+    /// A non-finite number cannot be represented in JSON.
+    NonFiniteNumber,
+    /// A string contained an invalid escape or control character.
+    BadString {
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::UnexpectedEnd => write!(f, "unexpected end of JSON input"),
+            JsonError::Unexpected { at, found } => {
+                write!(f, "unexpected {found} at byte {at}")
+            }
+            JsonError::TooDeep => write!(f, "JSON nesting exceeds {MAX_DEPTH} levels"),
+            JsonError::TrailingData { at } => {
+                write!(f, "trailing data after JSON value at byte {at}")
+            }
+            JsonError::NonFiniteNumber => write!(f, "non-finite number has no JSON form"),
+            JsonError::BadString { at } => write!(f, "malformed JSON string at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// A finite number value; `Err(NonFiniteNumber)` for NaN/±Inf.
+    pub fn number(x: f64) -> Result<Value, JsonError> {
+        if x.is_finite() {
+            Ok(Value::Number(x))
+        } else {
+            Err(JsonError::NonFiniteNumber)
+        }
+    }
+
+    /// Object member by key (last occurrence wins), or `None`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a number that is a non-negative
+    /// integer representable without rounding.
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        if x >= 0.0 && x <= 2f64.powi(53) && x.fract() == 0.0 {
+            Some(x as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as `usize` (via [`Value::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|x| usize::try_from(x).ok())
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object pairs if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(x) => write_number(*x, out),
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Value {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(map: BTreeMap<String, Value>) -> Value {
+        Value::Object(map.into_iter().collect())
+    }
+}
+
+/// Builds an object value from key/value pairs in the given order.
+pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Shortest-exact `f64` formatting: Rust's `{:?}` prints the shortest
+/// decimal that parses back to the same bits, which is exactly the
+/// round-trip guarantee a wire format wants. Integral values print as
+/// `1.0`; trim the trailing `.0` to the canonical JSON integer form.
+fn write_number(x: f64, out: &mut String) {
+    debug_assert!(x.is_finite(), "Value::Number must hold a finite f64");
+    let s = format!("{x:?}");
+    out.push_str(s.strip_suffix(".0").unwrap_or(&s));
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON value from `input` (leading/trailing whitespace
+/// allowed; anything else after the value is [`JsonError::TrailingData`]).
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(JsonError::TrailingData { at: p.pos });
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(x) => Err(JsonError::Unexpected {
+                at: self.pos,
+                found: format!("byte {:?}", x as char),
+            }),
+            None => Err(JsonError::UnexpectedEnd),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(JsonError::Unexpected {
+                at: self.pos,
+                found: "invalid literal".to_string(),
+            })
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            None => Err(JsonError::UnexpectedEnd),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(x) => Err(JsonError::Unexpected {
+                at: self.pos,
+                found: format!("byte {:?}", x as char),
+            }),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                Some(x) => {
+                    return Err(JsonError::Unexpected {
+                        at: self.pos,
+                        found: format!("byte {:?} (expected ',' or ']')", x as char),
+                    })
+                }
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                Some(x) => {
+                    return Err(JsonError::Unexpected {
+                        at: self.pos,
+                        found: format!("byte {:?} (expected ',' or '}}')", x as char),
+                    })
+                }
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        let start = self.pos;
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(JsonError::UnexpectedEnd);
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).copied().ok_or(JsonError::UnexpectedEnd)?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling for astral chars.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(JsonError::BadString { at: start });
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or(JsonError::BadString { at: start })?);
+                        }
+                        _ => return Err(JsonError::BadString { at: self.pos - 1 }),
+                    }
+                }
+                0x00..=0x1F => return Err(JsonError::BadString { at: self.pos }),
+                _ => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid; find the char at this byte offset).
+                    let tail = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::BadString { at: self.pos })?;
+                    let c = tail.chars().next().ok_or(JsonError::UnexpectedEnd)?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let rest = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(JsonError::UnexpectedEnd)?;
+        let s = std::str::from_utf8(rest).map_err(|_| JsonError::BadString { at: self.pos })?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| JsonError::BadString { at: self.pos })?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one `0`, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                return Err(JsonError::Unexpected {
+                    at: self.pos,
+                    found: "invalid number".to_string(),
+                })
+            }
+        }
+        // Fraction.
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::Unexpected {
+                    at: self.pos,
+                    found: "digit expected after '.'".to_string(),
+                });
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::Unexpected {
+                    at: self.pos,
+                    found: "digit expected in exponent".to_string(),
+                });
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let x: f64 = text.parse().map_err(|_| JsonError::Unexpected {
+            at: start,
+            found: "unparseable number".to_string(),
+        })?;
+        if !x.is_finite() {
+            // Overflowing literals (1e999) have no faithful f64 form.
+            return Err(JsonError::NonFiniteNumber);
+        }
+        Ok(Value::Number(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let s = v.serialize();
+        let back = parse(&s).unwrap_or_else(|e| panic!("reparse {s:?}: {e}"));
+        assert_eq!(&back, v, "round-trip through {s:?}");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Value::Number(-1250.0));
+        assert_eq!(parse("0").unwrap(), Value::Number(0.0));
+        assert_eq!(
+            parse("\"a\\nb\\u00e9\"").unwrap(),
+            Value::String("a\nbé".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!(arr[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            std::f64::consts::PI,
+            1e-308,
+            1.7976931348623157e308,
+            0.1 + 0.2,
+        ] {
+            let s = Value::Number(x).serialize();
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:?} via {s:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_structures() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::String(
+            "quote \" backslash \\ tab \t déjà 🚀".into(),
+        ));
+        roundtrip(&object([
+            ("re", Value::Number(1.25)),
+            ("im", Value::Number(-3.5e-9)),
+            ("tags", Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]));
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".to_string())
+        );
+        assert!(matches!(
+            parse("\"\\ud83d\""),
+            Err(JsonError::BadString { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(parse(""), Err(JsonError::UnexpectedEnd)));
+        assert!(matches!(parse("[1,"), Err(JsonError::UnexpectedEnd)));
+        assert!(matches!(
+            parse("{\"a\" 1}"),
+            Err(JsonError::Unexpected { .. })
+        ));
+        assert!(matches!(parse("01"), Err(JsonError::TrailingData { .. })));
+        assert!(matches!(parse("1 2"), Err(JsonError::TrailingData { .. })));
+        assert!(matches!(parse("nul"), Err(JsonError::Unexpected { .. })));
+        assert!(matches!(parse("1e999"), Err(JsonError::NonFiniteNumber)));
+        assert!(matches!(
+            parse("\"\u{01}\""),
+            Err(JsonError::BadString { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(parse(&deep), Err(JsonError::TooDeep));
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins_on_get() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn integer_helpers() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("42").unwrap().as_usize(), Some(42));
+    }
+
+    #[test]
+    fn non_finite_numbers_rejected_at_construction() {
+        assert_eq!(Value::number(f64::NAN), Err(JsonError::NonFiniteNumber));
+        assert_eq!(
+            Value::number(f64::INFINITY),
+            Err(JsonError::NonFiniteNumber)
+        );
+        assert_eq!(Value::number(2.5), Ok(Value::Number(2.5)));
+    }
+}
