@@ -143,10 +143,35 @@ impl CoeffLayout {
     /// Evaluates the map at the homogenised point `(s, u)` as an
     /// `(m+p) × p` matrix.
     pub fn eval_map(&self, x: &[Complex64], s: Complex64, u: Complex64) -> CMat {
-        debug_assert_eq!(x.len(), self.dim(), "coefficient vector length");
         let shape = self.pattern.shape();
         let mut out = CMat::zeros(shape.big_n(), shape.p());
-        for j in 0..shape.p() {
+        self.eval_map_into(x, s, u, &mut out);
+        out
+    }
+
+    /// Evaluates the map at `(s, u)` into the **leading `p` columns** of
+    /// `out` (which may be wider — e.g. a full `[X | L]` condition matrix
+    /// whose plane block is already in place). Those columns are zeroed
+    /// first; nothing else is touched. Produces bitwise the same entries
+    /// as [`CoeffLayout::eval_map`], without allocating.
+    ///
+    /// # Panics
+    /// Panics when `out` has fewer than `p` columns or the wrong row
+    /// count.
+    pub fn eval_map_into(&self, x: &[Complex64], s: Complex64, u: Complex64, out: &mut CMat) {
+        debug_assert_eq!(x.len(), self.dim(), "coefficient vector length");
+        let shape = self.pattern.shape();
+        let (big_n, p) = (shape.big_n(), shape.p());
+        assert!(
+            out.rows() == big_n && out.cols() >= p,
+            "eval_map_into: output shape mismatch"
+        );
+        for i in 0..big_n {
+            for j in 0..p {
+                out[(i, j)] = Complex64::ZERO;
+            }
+        }
+        for j in 0..p {
             // Top pivot (concat row j+1, physical row j, block 0).
             out[(j, j)] += self.top_pivot_weight(j, s, u);
         }
@@ -155,7 +180,71 @@ impl CoeffLayout {
                 out[(self.phys[k], self.slots[k].1)] += xk * self.weight(k, s, u);
             }
         }
-        out
+    }
+
+    /// Fills `slot_w[k] = weight(k, s, u)` and `top_w[j]` with the
+    /// top-pivot weights — the hoisted form of the per-slot `powi` calls,
+    /// producing bitwise the values [`CoeffLayout::eval_map`] would
+    /// compute inline. For *fixed* interpolation points the caller
+    /// computes these once and reuses them across every evaluation.
+    ///
+    /// # Panics
+    /// Panics when the buffer lengths are not `dim()` and `p`.
+    pub fn weights_into(
+        &self,
+        s: Complex64,
+        u: Complex64,
+        slot_w: &mut [Complex64],
+        top_w: &mut [Complex64],
+    ) {
+        assert_eq!(slot_w.len(), self.dim(), "weights_into: slot buffer");
+        assert_eq!(
+            top_w.len(),
+            self.pattern.shape().p(),
+            "weights_into: top-pivot buffer"
+        );
+        for (k, w) in slot_w.iter_mut().enumerate() {
+            *w = self.weight(k, s, u);
+        }
+        for (j, w) in top_w.iter_mut().enumerate() {
+            *w = self.top_pivot_weight(j, s, u);
+        }
+    }
+
+    /// [`CoeffLayout::eval_map_into`] against precomputed weights (from
+    /// [`CoeffLayout::weights_into`]): no `powi` in the loop, same bits.
+    ///
+    /// # Panics
+    /// Panics on any buffer/shape mismatch.
+    pub fn eval_map_weighted_into(
+        &self,
+        x: &[Complex64],
+        slot_w: &[Complex64],
+        top_w: &[Complex64],
+        out: &mut CMat,
+    ) {
+        debug_assert_eq!(x.len(), self.dim(), "coefficient vector length");
+        assert_eq!(slot_w.len(), self.dim(), "weighted eval: slot buffer");
+        let shape = self.pattern.shape();
+        let (big_n, p) = (shape.big_n(), shape.p());
+        assert_eq!(top_w.len(), p, "weighted eval: top-pivot buffer");
+        assert!(
+            out.rows() == big_n && out.cols() >= p,
+            "weighted eval: output shape mismatch"
+        );
+        for i in 0..big_n {
+            for j in 0..p {
+                out[(i, j)] = Complex64::ZERO;
+            }
+        }
+        for j in 0..p {
+            out[(j, j)] += top_w[j];
+        }
+        for (k, &xk) in x.iter().enumerate() {
+            if xk != Complex64::ZERO {
+                out[(self.phys[k], self.slots[k].1)] += xk * slot_w[k];
+            }
+        }
     }
 
     /// Embeds a solution of `child` (a bottom child of this layout's

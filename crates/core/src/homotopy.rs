@@ -26,9 +26,10 @@
 use crate::eval::CoeffLayout;
 use crate::pattern::Pattern;
 use crate::problem::PieriProblem;
+use crate::scratch::CondScratch;
 use pieri_linalg::{det, det_gradient, CMat};
 use pieri_num::Complex64;
-use pieri_tracker::Homotopy;
+use pieri_tracker::{Homotopy, HomotopyScratch};
 
 /// The special plane `M_F` of a pattern: the `m` standard basis vectors of
 /// ℂ^{m+p} avoiding the bottom-pivot residues (which are pairwise distinct
@@ -53,6 +54,11 @@ pub fn special_plane(pattern: &Pattern) -> CMat {
 
 /// One Pieri homotopy instance: the square system whose tracking moves a
 /// child solution (rank `k−1`) to a solution of rank `k`.
+///
+/// Everything that does not depend on `(x, t)` is hoisted into the
+/// constructor: the fixed conditions' homogenisation weights (their
+/// interpolation points never move, so the `powi` ladders are computed
+/// once), and the moving plane's derivative `dM/dt = L_k − γ·M_F`.
 pub struct PieriHomotopy {
     layout: CoeffLayout,
     /// Fixed conditions `(L_i, s_i)`, `i = 0..k−1` (0-indexed).
@@ -63,6 +69,12 @@ pub struct PieriHomotopy {
     target_point: Complex64,
     /// `γ·M_F` (gamma premultiplied).
     gamma_special: CMat,
+    /// `dM/dt = L_k − γ·M_F` (loop-invariant of `dt`).
+    dm: CMat,
+    /// Per fixed condition: slot weights at `(s_i, 1)`.
+    fixed_slot_w: Vec<Vec<Complex64>>,
+    /// Per fixed condition: top-pivot weights at `(s_i, 1)`.
+    fixed_top_w: Vec<Vec<Complex64>>,
 }
 
 impl PieriHomotopy {
@@ -75,16 +87,31 @@ impl PieriHomotopy {
         let k = pattern.rank();
         assert!(k >= 1, "trivial pattern has no homotopy");
         let layout = CoeffLayout::new(pattern);
-        let fixed = (0..k - 1)
+        let fixed: Vec<(CMat, Complex64)> = (0..k - 1)
             .map(|i| (problem.plane(i).clone(), problem.point(i)))
             .collect();
         let gamma_special = special_plane(pattern).scale(problem.gamma());
+        let target_plane = problem.plane(k - 1).clone();
+        let dm = &target_plane - &gamma_special;
+        let p = pattern.shape().p();
+        let mut fixed_slot_w = Vec::with_capacity(fixed.len());
+        let mut fixed_top_w = Vec::with_capacity(fixed.len());
+        for (_, s) in &fixed {
+            let mut sw = vec![Complex64::ZERO; layout.dim()];
+            let mut tw = vec![Complex64::ZERO; p];
+            layout.weights_into(*s, Complex64::ONE, &mut sw, &mut tw);
+            fixed_slot_w.push(sw);
+            fixed_top_w.push(tw);
+        }
         PieriHomotopy {
             layout,
             fixed,
-            target_plane: problem.plane(k - 1).clone(),
+            target_plane,
             target_point: problem.point(k - 1),
             gamma_special,
+            dm,
+            fixed_slot_w,
+            fixed_top_w,
         }
     }
 
@@ -115,6 +142,50 @@ impl PieriHomotopy {
     /// Condition matrix `[X(s,u) | L]`.
     fn condition_matrix(&self, x: &[Complex64], s: Complex64, u: Complex64, plane: &CMat) -> CMat {
         self.layout.eval_map(x, s, u).hstack(plane)
+    }
+
+    /// Writes fixed condition `i`'s matrix `[X(s_i, 1) | L_i]` into
+    /// `cond` using the precomputed weights — no allocation, no `powi`.
+    fn build_fixed_cond(&self, i: usize, x: &[Complex64], cond: &mut CMat) {
+        let shape = self.layout.pattern().shape();
+        let (n, p, m) = (shape.big_n(), shape.p(), shape.m());
+        let plane = &self.fixed[i].0;
+        for r in 0..n {
+            for c in 0..m {
+                cond[(r, p + c)] = plane[(r, c)];
+            }
+        }
+        self.layout
+            .eval_map_weighted_into(x, &self.fixed_slot_w[i], &self.fixed_top_w[i], cond);
+    }
+
+    /// Writes the moving condition matrix `[X(ŝ, û) | M(t)]` into `cond`:
+    /// the moving plane `M(t) = (1−t)·γ·M_F + t·L_k` is scale-added
+    /// directly into the plane block (no intermediate matrices) and the
+    /// moving weights land in the scratch buffers for the caller's
+    /// Jacobian row.
+    #[allow(clippy::too_many_arguments)] // scratch buffers are split borrows
+    fn build_moving_cond(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        s: Complex64,
+        u: Complex64,
+        slot_w: &mut [Complex64],
+        top_w: &mut [Complex64],
+        cond: &mut CMat,
+    ) {
+        let shape = self.layout.pattern().shape();
+        let (n, p, m) = (shape.big_n(), shape.p(), shape.m());
+        let a = Complex64::real(1.0 - t);
+        let b = Complex64::real(t);
+        for r in 0..n {
+            for c in 0..m {
+                cond[(r, p + c)] = self.gamma_special[(r, c)] * a + self.target_plane[(r, c)] * b;
+            }
+        }
+        self.layout.weights_into(s, u, slot_w, top_w);
+        self.layout.eval_map_weighted_into(x, slot_w, top_w, cond);
     }
 }
 
@@ -188,17 +259,121 @@ impl Homotopy for PieriHomotopy {
                 acc += cof[(self.layout.phys_row(slot), self.layout.col(slot))] * x[slot] * wdt;
             }
         }
-        // d/dt of the moving plane block: dM/dt = L_k − γM_F.
-        let dm = &self.target_plane - &self.gamma_special;
+        // d/dt of the moving plane block: dM/dt = L_k − γM_F,
+        // precomputed at construction.
         for i in 0..shape.big_n() {
             for c in 0..shape.m() {
-                let v = dm[(i, c)];
+                let v = self.dm[(i, c)];
                 if v != Complex64::ZERO {
                     acc += cof[(i, p + c)] * v;
                 }
             }
         }
         out[k - 1] = acc;
+    }
+
+    fn eval_and_jacobian(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        fx: &mut [Complex64],
+        jac: &mut CMat,
+        scratch: &mut HomotopyScratch,
+    ) {
+        let k = self.dim();
+        debug_assert_eq!(fx.len(), k);
+        debug_assert_eq!((jac.rows(), jac.cols()), (k, k));
+        let shape = self.layout.pattern().shape();
+        let sc = scratch.get_or_insert_with(CondScratch::new);
+        sc.ensure(shape.big_n(), k, shape.p());
+        let p = shape.p();
+        // Fixed conditions: one matrix build, one factorisation each —
+        // the determinant is the residual entry, the cofactor entries
+        // contracted with the precomputed weights are the Jacobian row.
+        // Only the p X-block cofactor columns are ever read here.
+        for i in 0..self.fixed.len() {
+            self.build_fixed_cond(i, x, &mut sc.cond);
+            fx[i] = sc
+                .engine
+                .det_and_cofactor_cols_into(&sc.cond, &mut sc.cof, p);
+            for slot in 0..k {
+                jac[(i, slot)] = sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))]
+                    * self.fixed_slot_w[i][slot];
+            }
+        }
+        // Moving condition.
+        let (s, u) = self.moving_point(t);
+        self.build_moving_cond(x, t, s, u, &mut sc.slot_w, &mut sc.top_w, &mut sc.cond);
+        fx[k - 1] = sc
+            .engine
+            .det_and_cofactor_cols_into(&sc.cond, &mut sc.cof, p);
+        for slot in 0..k {
+            jac[(k - 1, slot)] =
+                sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))] * sc.slot_w[slot];
+        }
+    }
+
+    fn jacobian_and_dt(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        jac: &mut CMat,
+        ht: &mut [Complex64],
+        scratch: &mut HomotopyScratch,
+    ) {
+        let k = self.dim();
+        debug_assert_eq!(ht.len(), k);
+        debug_assert_eq!((jac.rows(), jac.cols()), (k, k));
+        let shape = self.layout.pattern().shape();
+        let p = shape.p();
+        let sc = scratch.get_or_insert_with(CondScratch::new);
+        sc.ensure(shape.big_n(), k, p);
+        // Fixed conditions do not depend on t: Jacobian rows only.
+        for i in 0..self.fixed.len() {
+            self.build_fixed_cond(i, x, &mut sc.cond);
+            sc.engine.det_and_cofactor_into(&sc.cond, &mut sc.cof);
+            for slot in 0..k {
+                jac[(i, slot)] = sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))]
+                    * self.fixed_slot_w[i][slot];
+            }
+            ht[i] = Complex64::ZERO;
+        }
+        // Moving condition: the same cofactor matrix feeds both the
+        // Jacobian row and the ∂H/∂t contraction.
+        let (s, u) = self.moving_point(t);
+        self.build_moving_cond(x, t, s, u, &mut sc.slot_w, &mut sc.top_w, &mut sc.cond);
+        sc.engine.det_and_cofactor_into(&sc.cond, &mut sc.cof);
+        for slot in 0..k {
+            jac[(k - 1, slot)] =
+                sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))] * sc.slot_w[slot];
+        }
+        let ds = self.target_point - Complex64::ONE; // dŝ/dt
+        let du = Complex64::ONE; // dû/dt
+        let mut acc = Complex64::ZERO;
+        for j in 0..p {
+            let wdt = self.layout.top_pivot_weight_dt(j, s, u, du);
+            if wdt != Complex64::ZERO {
+                acc += sc.cof[(j, j)] * wdt;
+            }
+        }
+        for slot in 0..k {
+            if x[slot] == Complex64::ZERO {
+                continue;
+            }
+            let wdt = self.layout.weight_dt(slot, s, u, ds, du);
+            if wdt != Complex64::ZERO {
+                acc += sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))] * x[slot] * wdt;
+            }
+        }
+        for r in 0..shape.big_n() {
+            for c in 0..shape.m() {
+                let v = self.dm[(r, c)];
+                if v != Complex64::ZERO {
+                    acc += sc.cof[(r, p + c)] * v;
+                }
+            }
+        }
+        ht[k - 1] = acc;
     }
 }
 

@@ -20,9 +20,13 @@
 use crate::eval::CoeffLayout;
 use crate::maps::PMap;
 use crate::problem::PieriProblem;
+use crate::scratch::CondScratch;
 use pieri_linalg::{det, det_gradient, CMat};
 use pieri_num::Complex64;
-use pieri_tracker::{track_path, Homotopy, PathStatus, TrackSettings, TrackStats};
+use pieri_tracker::{
+    track_path_with, Homotopy, HomotopyScratch, PathStatus, TrackSettings, TrackStats,
+    TrackWorkspace,
+};
 
 /// The instance homotopy: every condition's plane and interpolation point
 /// moves from the generic start instance to the target instance.
@@ -30,6 +34,8 @@ pub struct InstanceHomotopy {
     layout: CoeffLayout,
     /// Per condition: `(γ·R_i, L_i, r_i, s_i)`.
     conditions: Vec<(CMat, CMat, Complex64, Complex64)>,
+    /// Per condition: `dP/dt = L_i − γ·R_i` (loop-invariant of `dt`).
+    dplanes: Vec<CMat>,
 }
 
 impl InstanceHomotopy {
@@ -47,7 +53,7 @@ impl InstanceHomotopy {
         let root = shape.root();
         let layout = CoeffLayout::new(&root);
         let gamma = start.gamma();
-        let conditions = (0..shape.conditions())
+        let conditions: Vec<(CMat, CMat, Complex64, Complex64)> = (0..shape.conditions())
             .map(|i| {
                 (
                     start.plane(i).scale(gamma),
@@ -57,7 +63,12 @@ impl InstanceHomotopy {
                 )
             })
             .collect();
-        InstanceHomotopy { layout, conditions }
+        let dplanes = conditions.iter().map(|(gr, l, _, _)| l - gr).collect();
+        InstanceHomotopy {
+            layout,
+            conditions,
+            dplanes,
+        }
     }
 
     fn point_at(&self, i: usize, t: f64) -> (Complex64, Complex64) {
@@ -68,6 +79,36 @@ impl InstanceHomotopy {
     fn plane_at(&self, i: usize, t: f64) -> CMat {
         let (gr, l, _, _) = &self.conditions[i];
         &gr.scale(Complex64::real(1.0 - t)) + &l.scale(Complex64::real(t))
+    }
+
+    /// Writes condition `i`'s matrix `[X(σ_i(t), 1) | P_i(t)]` into
+    /// `cond`, leaving the homogenisation weights in the scratch buffers
+    /// for the caller's Jacobian row. The moving plane is scale-added
+    /// directly into the plane block — no intermediate matrices.
+    #[allow(clippy::too_many_arguments)] // scratch buffers are split borrows
+    fn build_cond(
+        &self,
+        i: usize,
+        x: &[Complex64],
+        t: f64,
+        sigma: Complex64,
+        slot_w: &mut [Complex64],
+        top_w: &mut [Complex64],
+        cond: &mut CMat,
+    ) {
+        let shape = self.layout.pattern().shape();
+        let (n, p, m) = (shape.big_n(), shape.p(), shape.m());
+        let (gr, l, _, _) = &self.conditions[i];
+        let a = Complex64::real(1.0 - t);
+        let b = Complex64::real(t);
+        for r in 0..n {
+            for c in 0..m {
+                cond[(r, p + c)] = gr[(r, c)] * a + l[(r, c)] * b;
+            }
+        }
+        self.layout
+            .weights_into(sigma, Complex64::ONE, slot_w, top_w);
+        self.layout.eval_map_weighted_into(x, slot_w, top_w, cond);
     }
 }
 
@@ -126,9 +167,9 @@ impl Homotopy for InstanceHomotopy {
                     acc += cof[(self.layout.phys_row(slot), self.layout.col(slot))] * x[slot] * wdt;
                 }
             }
-            // Plane motion: dP/dt = L_i − γR_i.
-            let (gr, l, _, _) = &self.conditions[i];
-            let dm = l - gr;
+            // Plane motion: dP/dt = L_i − γR_i, precomputed at
+            // construction.
+            let dm = &self.dplanes[i];
             for r in 0..shape.big_n() {
                 for c in 0..shape.m() {
                     let v = dm[(r, c)];
@@ -138,6 +179,85 @@ impl Homotopy for InstanceHomotopy {
                 }
             }
             out[i] = acc;
+        }
+    }
+
+    fn eval_and_jacobian(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        fx: &mut [Complex64],
+        jac: &mut CMat,
+        scratch: &mut HomotopyScratch,
+    ) {
+        let k = self.dim();
+        debug_assert_eq!(fx.len(), k);
+        debug_assert_eq!((jac.rows(), jac.cols()), (k, k));
+        let shape = self.layout.pattern().shape();
+        let p = shape.p();
+        let sc = scratch.get_or_insert_with(CondScratch::new);
+        sc.ensure(shape.big_n(), k, p);
+        // Only the p X-block cofactor columns are ever read here.
+        for i in 0..self.conditions.len() {
+            let (sigma, _) = self.point_at(i, t);
+            self.build_cond(i, x, t, sigma, &mut sc.slot_w, &mut sc.top_w, &mut sc.cond);
+            fx[i] = sc
+                .engine
+                .det_and_cofactor_cols_into(&sc.cond, &mut sc.cof, p);
+            for slot in 0..k {
+                jac[(i, slot)] =
+                    sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))] * sc.slot_w[slot];
+            }
+        }
+    }
+
+    fn jacobian_and_dt(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        jac: &mut CMat,
+        ht: &mut [Complex64],
+        scratch: &mut HomotopyScratch,
+    ) {
+        let k = self.dim();
+        debug_assert_eq!(ht.len(), k);
+        debug_assert_eq!((jac.rows(), jac.cols()), (k, k));
+        let shape = self.layout.pattern().shape();
+        let p = shape.p();
+        let sc = scratch.get_or_insert_with(CondScratch::new);
+        sc.ensure(shape.big_n(), k, p);
+        for i in 0..self.conditions.len() {
+            let (sigma, dsigma) = self.point_at(i, t);
+            self.build_cond(i, x, t, sigma, &mut sc.slot_w, &mut sc.top_w, &mut sc.cond);
+            sc.engine.det_and_cofactor_into(&sc.cond, &mut sc.cof);
+            // Jacobian row and ∂H/∂t entry from the same cofactors.
+            for slot in 0..k {
+                jac[(i, slot)] =
+                    sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))] * sc.slot_w[slot];
+            }
+            let mut acc = Complex64::ZERO;
+            for slot in 0..k {
+                if x[slot] == Complex64::ZERO {
+                    continue;
+                }
+                let wdt =
+                    self.layout
+                        .weight_dt(slot, sigma, Complex64::ONE, dsigma, Complex64::ZERO);
+                if wdt != Complex64::ZERO {
+                    acc +=
+                        sc.cof[(self.layout.phys_row(slot), self.layout.col(slot))] * x[slot] * wdt;
+                }
+            }
+            let dm = &self.dplanes[i];
+            for r in 0..shape.big_n() {
+                for c in 0..shape.m() {
+                    let v = dm[(r, c)];
+                    if v != Complex64::ZERO {
+                        acc += sc.cof[(r, p + c)] * v;
+                    }
+                }
+            }
+            ht[i] = acc;
         }
     }
 }
@@ -175,8 +295,10 @@ pub fn continue_to_instance(
     let mut diverged = 0;
     let mut failed = 0;
     let mut stats = TrackStats::default();
+    // One workspace across all d(m,p,q) continuation paths.
+    let mut ws = TrackWorkspace::new();
     for x0 in start_coeffs {
-        let r = track_path(&h, x0, settings);
+        let r = track_path_with(&h, x0, settings, &mut ws);
         stats.record(r.status, r.steps, r.newton_iters, r.elapsed);
         match r.status {
             PathStatus::Converged => {

@@ -47,6 +47,7 @@ mod maps;
 mod pattern;
 mod poset;
 mod problem;
+mod scratch;
 mod solver;
 mod start;
 
@@ -57,5 +58,7 @@ pub use maps::PMap;
 pub use pattern::{Pattern, Shape};
 pub use poset::{root_count, LevelProfile, Poset};
 pub use problem::PieriProblem;
-pub use solver::{run_job, solve, solve_prepared, solve_with_settings, JobRecord, PieriSolution};
+pub use solver::{
+    run_job, run_job_with, solve, solve_prepared, solve_with_settings, JobRecord, PieriSolution,
+};
 pub use start::StartBundle;

@@ -18,7 +18,7 @@ use crate::pattern::Pattern;
 use crate::poset::Poset;
 use crate::problem::PieriProblem;
 use pieri_num::Complex64;
-use pieri_tracker::{track_path, PathStatus, TrackSettings};
+use pieri_tracker::{track_path_with, PathStatus, TrackSettings, TrackWorkspace};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -138,6 +138,9 @@ pub fn solve_prepared(
 
     let mut records = Vec::new();
     let mut failures = 0usize;
+    // One tracking workspace threaded through every job of the solve —
+    // buffers grow once per level (ranks increase) and are reused.
+    let mut ws = TrackWorkspace::new();
 
     for k in 1..=n {
         let mut next: HashMap<Vec<usize>, Vec<Vec<Complex64>>> = HashMap::new();
@@ -151,7 +154,7 @@ pub fn solve_prepared(
                 let child_layout = CoeffLayout::new(&child);
                 for y in child_sols {
                     let x0 = homotopy.layout().embed_child(&child_layout, y);
-                    let result = track_path(&homotopy, &x0, settings);
+                    let result = track_path_with(&homotopy, &x0, settings, &mut ws);
                     records.push(JobRecord {
                         level: k,
                         pattern: pattern.shorthand(),
@@ -193,10 +196,25 @@ pub fn run_job(
     child_solution: &[Complex64],
     settings: &TrackSettings,
 ) -> (Option<Vec<Complex64>>, JobRecord) {
+    let mut ws = TrackWorkspace::new();
+    run_job_with(problem, pattern, child, child_solution, settings, &mut ws)
+}
+
+/// [`run_job`] against a caller-owned [`TrackWorkspace`] — the form the
+/// parallel schedulers use, each worker holding one workspace that is
+/// reused across every job it executes.
+pub fn run_job_with(
+    problem: &PieriProblem,
+    pattern: &Pattern,
+    child: &Pattern,
+    child_solution: &[Complex64],
+    settings: &TrackSettings,
+    ws: &mut TrackWorkspace,
+) -> (Option<Vec<Complex64>>, JobRecord) {
     let homotopy = PieriHomotopy::new(problem, pattern);
     let child_layout = CoeffLayout::new(child);
     let x0 = homotopy.layout().embed_child(&child_layout, child_solution);
-    let result = track_path(&homotopy, &x0, settings);
+    let result = track_path_with(&homotopy, &x0, settings, ws);
     let record = JobRecord {
         level: pattern.rank(),
         pattern: pattern.shorthand(),

@@ -1,0 +1,112 @@
+//! Steady-state tracking must not allocate per step.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up path has grown every buffer of the shared [`TrackWorkspace`]
+//! (and the homotopy's scratch inside it), tracking the same Pieri path
+//! again must perform only a small constant number of allocations —
+//! independent of the hundreds of predictor/corrector steps the path
+//! takes. The only expected allocations are the returned `PathResult::x`
+//! clone and the embedding of the start solution; a per-step or
+//! per-Newton-iteration allocation would scale with `steps` and blow the
+//! bound immediately.
+//!
+//! This file deliberately contains a single test: the counter is global,
+//! and a concurrently running test would pollute it.
+
+use pieri_core::{CoeffLayout, PieriHomotopy, PieriProblem, Shape};
+use pieri_num::seeded_rng;
+use pieri_tracker::{track_path_with, TrackSettings, TrackWorkspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Tracks one converging path twice through the same workspace and
+/// returns `(first, second, allocations during the second run)`.
+fn measure<H: pieri_tracker::Homotopy + ?Sized>(
+    h: &H,
+    x0: &[pieri_num::Complex64],
+    settings: &TrackSettings,
+    ws: &mut TrackWorkspace,
+) -> (pieri_tracker::PathResult, pieri_tracker::PathResult, usize) {
+    let warm = track_path_with(h, x0, settings, ws);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let again = track_path_with(h, x0, settings, ws);
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    (warm, again, during)
+}
+
+#[test]
+fn steady_state_tracking_does_not_allocate_per_step() {
+    let mut rng = seeded_rng(960);
+    let shape = Shape::new(2, 2, 1);
+    let start = PieriProblem::random(shape.clone(), &mut rng);
+    let target = PieriProblem::random(shape.clone(), &mut rng);
+    let solution = pieri_core::solve(&start);
+    assert_eq!(solution.failures, 0);
+    let settings = TrackSettings::default();
+    let mut ws = TrackWorkspace::new();
+
+    // A genuine full-rank converging path: the instance continuation of
+    // one generic root solution (dim 8, dozens of steps).
+    let instance = pieri_core::InstanceHomotopy::new(&start, &target);
+    let (warm, again, during) = measure(&instance, &solution.coeffs[0], &settings, &mut ws);
+    assert!(warm.status.is_converged(), "{:?}", warm.status);
+    assert_eq!(warm.x, again.x, "reuse does not change the result");
+    assert!(
+        again.steps >= 10,
+        "path long enough to expose per-step allocation (steps={})",
+        again.steps
+    );
+    // Expected: the PathResult::x clone plus a handful of terminal
+    // bookkeeping allocations — far below one per step. (Each step runs
+    // ≥ 1 fused Newton iteration and 4 tangent solves; one allocation
+    // per step would exceed the bound several times over.)
+    assert!(
+        during <= 8,
+        "steady-state track_path_with allocated {during} times over \
+         {} steps / {} newton iters — the hot path is allocating",
+        again.steps,
+        again.newton_iters
+    );
+
+    // A genuine Pieri tree job (level 1: child is the trivial pattern,
+    // whose solution is the empty vector) through the *same* workspace.
+    let level1 = pieri_core::Poset::build(&shape)
+        .level(1)
+        .first()
+        .expect("level 1 is non-empty")
+        .clone();
+    let homotopy = PieriHomotopy::new(&start, &level1);
+    let trivial_layout = CoeffLayout::new(&shape.trivial());
+    let x0 = homotopy.layout().embed_child(&trivial_layout, &[]);
+    let (warm, again, during) = measure(&homotopy, &x0, &settings, &mut ws);
+    assert!(warm.status.is_converged(), "{:?}", warm.status);
+    assert_eq!(warm.x, again.x);
+    assert!(
+        during <= 8,
+        "steady-state Pieri job allocated {during} times over {} steps",
+        again.steps
+    );
+}

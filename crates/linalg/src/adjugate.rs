@@ -102,6 +102,168 @@ pub fn det_gradient(a: &CMat) -> CMat {
     cofactor_matrix(a)
 }
 
+/// Pivot-ratio guard above which [`DetCofactor`] abandons the LU shortcut
+/// for the unconditionally stable minor expansion. The LU cofactor
+/// `det(A)·A⁻ᵀ` loses roughly `κ(A)·ε` relative accuracy, so beyond this
+/// ratio fewer than ~4 significant digits would survive — too few for a
+/// Newton Jacobian near a singular endpoint.
+pub const FUSED_PIVOT_RATIO_LIMIT: f64 = 1e12;
+
+/// Fused determinant + cofactor evaluation with reusable storage.
+///
+/// One LU factorisation yields the determinant (product of pivots) *and*
+/// every cofactor entry: column `c` of the cofactor matrix is
+/// `det(A) · y` where `Aᵀ·y = e_c`, i.e. two triangular solves per column
+/// against the factorisation already in hand — `O(n³)` total versus the
+/// `O(n⁵)` of [`cofactor_matrix`]'s per-entry minors. When the pivot
+/// ratio signals near-singularity (the regime where `det·A⁻ᵀ` cancels
+/// catastrophically — and, by construction, exactly where a Pieri
+/// condition matrix sits at a solution) the engine falls back to the
+/// minor expansion automatically, producing bitwise the same entries as
+/// [`cofactor_matrix`]. Every buffer is owned and reused, so steady-state
+/// calls perform no heap allocation.
+#[derive(Debug)]
+pub struct DetCofactor {
+    lu: Lu,
+    rhs: Vec<Complex64>,
+    minor: CMat,
+    minor_lu: Lu,
+}
+
+impl Default for DetCofactor {
+    fn default() -> Self {
+        DetCofactor::new()
+    }
+}
+
+impl DetCofactor {
+    /// Creates an engine with empty buffers; they grow on first use and
+    /// are reused afterwards.
+    pub fn new() -> Self {
+        DetCofactor {
+            lu: Lu::default(),
+            rhs: Vec::new(),
+            minor: CMat::zeros(0, 0),
+            minor_lu: Lu::default(),
+        }
+    }
+
+    /// Computes `det(a)` and writes the full cofactor matrix into `cof`.
+    ///
+    /// The determinant follows the [`crate::try_det`] convention:
+    /// numerically singular input reports `0`. The cofactor of a singular
+    /// matrix is still well-defined and nonzero for rank `n−1`, which is
+    /// what the homotopy Jacobians rely on.
+    ///
+    /// # Panics
+    /// Panics when `a` is not square or `cof` has a different shape.
+    pub fn det_and_cofactor_into(&mut self, a: &CMat, cof: &mut CMat) -> Complex64 {
+        self.det_and_cofactor_cols_into(a, cof, a.rows())
+    }
+
+    /// [`DetCofactor::det_and_cofactor_into`] restricted to the leading
+    /// `cols` cofactor columns; the remaining columns of `cof` are left
+    /// untouched. The Newton-corrector kernel only ever contracts the
+    /// `p` X-block columns of a condition matrix, so it skips the
+    /// plane-block extraction entirely (`jacobian_and_dt` still needs
+    /// every column for the `∂A/∂t` contraction).
+    ///
+    /// # Panics
+    /// Panics when `a` is not square, `cof` has a different shape, or
+    /// `cols > a.rows()`.
+    pub fn det_and_cofactor_cols_into(
+        &mut self,
+        a: &CMat,
+        cof: &mut CMat,
+        cols: usize,
+    ) -> Complex64 {
+        assert!(a.is_square(), "det_and_cofactor_into: non-square matrix");
+        assert_eq!(
+            (cof.rows(), cof.cols()),
+            (a.rows(), a.cols()),
+            "det_and_cofactor_into: cofactor shape mismatch"
+        );
+        assert!(cols <= a.rows(), "det_and_cofactor_into: column range");
+        let n = a.rows();
+        // Up to 4×4 the closed-form minors beat the triangular-solve
+        // route for the *cofactors* (no solves, unconditionally stable)
+        // — and `m + p = 4` is the most common condition-matrix size in
+        // the pole-placement workload. The determinant still comes from
+        // the LU pivots: near a singularity (= near a solution, where
+        // residual accuracy decides whether Newton converges) the pivot
+        // product is markedly more accurate than a Laplace expansion,
+        // whose four large terms cancel to the tiny value. This also
+        // keeps the fused residual bitwise identical to [`crate::det`].
+        if n <= 4 {
+            self.cofactor_via_minors(a, cof, cols);
+            return match Lu::factor_into(a, &mut self.lu) {
+                Ok(()) => self.lu.det(),
+                Err(LuError::Singular { .. }) => Complex64::ZERO,
+                Err(LuError::NotSquare) => unreachable!("squareness asserted above"),
+            };
+        }
+        match Lu::factor_into(a, &mut self.lu) {
+            Ok(()) if self.lu.pivot_ratio() <= FUSED_PIVOT_RATIO_LIMIT => {
+                let d = self.lu.det();
+                self.rhs.clear();
+                self.rhs.resize(n, Complex64::ZERO);
+                for c in 0..cols {
+                    self.rhs.fill(Complex64::ZERO);
+                    self.rhs[c] = Complex64::ONE;
+                    self.lu.solve_transpose_in_place(&mut self.rhs);
+                    for r in 0..n {
+                        cof[(r, c)] = d * self.rhs[r];
+                    }
+                }
+                d
+            }
+            Ok(()) => {
+                // Factorisation succeeded but the pivots are too spread:
+                // keep the LU determinant (the same value `det` reports)
+                // but take the cofactors from the stable minor expansion.
+                let d = self.lu.det();
+                self.cofactor_via_minors(a, cof, cols);
+                d
+            }
+            Err(LuError::Singular { .. }) => {
+                self.cofactor_via_minors(a, cof, cols);
+                Complex64::ZERO
+            }
+            Err(LuError::NotSquare) => unreachable!("squareness asserted above"),
+        }
+    }
+
+    /// Minor-expansion fallback writing the leading `cols` columns into
+    /// `cof` — the same arithmetic as [`cofactor_matrix`] (bitwise
+    /// identical entries), but against the engine's reusable minor/LU
+    /// scratch.
+    fn cofactor_via_minors(&mut self, a: &CMat, cof: &mut CMat, cols: usize) {
+        let n = a.rows();
+        if n == 0 {
+            return;
+        }
+        if (self.minor.rows(), self.minor.cols()) != (n - 1, n - 1) {
+            self.minor = CMat::zeros(n - 1, n - 1);
+        }
+        for r in 0..n {
+            for c in 0..cols {
+                a.minor_into(r, c, &mut self.minor);
+                let d = if n - 1 <= 3 {
+                    det_via_minors(&self.minor)
+                } else {
+                    match Lu::factor_into(&self.minor, &mut self.minor_lu) {
+                        Ok(()) => self.minor_lu.det(),
+                        Err(LuError::Singular { .. }) => Complex64::ZERO,
+                        Err(LuError::NotSquare) => unreachable!("minor is square"),
+                    }
+                };
+                let sign = if (r + c).is_multiple_of(2) { 1.0 } else { -1.0 };
+                cof[(r, c)] = d.scale(sign);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +350,175 @@ mod tests {
         assert!(adj[(0, 1)].dist(-a[(0, 1)]) < 1e-14);
         assert!(adj[(1, 0)].dist(-a[(1, 0)]) < 1e-14);
         assert!(adj[(1, 1)].dist(a[(0, 0)]) < 1e-14);
+    }
+
+    #[test]
+    fn fused_det_cofactor_matches_minors_on_generic_matrices() {
+        let mut rng = seeded_rng(23);
+        let mut engine = DetCofactor::new();
+        for n in 1..=8 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let mut cof = CMat::zeros(n, n);
+            let d = engine.det_and_cofactor_into(&a, &mut cof);
+            let d_ref = lu::det(&a);
+            assert!(d.dist(d_ref) < 1e-10 * (1.0 + d_ref.norm()), "n={n} det");
+            let c_ref = cofactor_matrix(&a);
+            let scale = c_ref.max_norm().max(1.0);
+            for r in 0..n {
+                for cc in 0..n {
+                    assert!(
+                        cof[(r, cc)].dist(c_ref[(r, cc)]) < 1e-12 * scale,
+                        "n={n} ({r},{cc}): fused={:?} minors={:?}",
+                        cof[(r, cc)],
+                        c_ref[(r, cc)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_engine_falls_back_on_singular_input() {
+        // Rank n−1 at n = 5 (past the closed-form cutoff): LU
+        // factorisation fails, the fallback must reproduce the
+        // minor-based cofactor bitwise and report det = 0.
+        let a = CMat::from_rows(&[
+            vec![
+                c(1.0, 0.0),
+                c(2.0, 0.0),
+                c(3.0, 0.0),
+                c(0.5, 1.0),
+                c(1.0, -1.0),
+            ],
+            vec![
+                c(4.0, 0.0),
+                c(5.0, 0.0),
+                c(6.0, 0.0),
+                c(-1.0, 0.25),
+                c(0.0, 2.0),
+            ],
+            vec![
+                c(5.0, 0.0),
+                c(7.0, 0.0),
+                c(9.0, 0.0),
+                c(-0.5, 1.25),
+                c(1.0, 1.0),
+            ], // row0 + row1
+            vec![
+                c(0.0, 2.0),
+                c(1.0, 1.0),
+                c(2.0, 0.0),
+                c(3.0, 0.0),
+                c(-2.0, 0.5),
+            ],
+            vec![
+                c(1.5, 0.0),
+                c(0.0, -1.0),
+                c(2.5, 2.0),
+                c(1.0, 0.0),
+                c(0.25, 0.0),
+            ],
+        ]);
+        let mut engine = DetCofactor::new();
+        let mut cof = CMat::zeros(5, 5);
+        let d = engine.det_and_cofactor_into(&a, &mut cof);
+        assert_eq!(d, Complex64::ZERO);
+        assert_eq!(cof, cofactor_matrix(&a), "fallback is bitwise the minors");
+        assert!(cof.fro_norm() > 1e-10, "rank n−1 cofactor is nonzero");
+    }
+
+    #[test]
+    fn fused_engine_small_matrices_use_closed_form_minors() {
+        // n ≤ 4 takes the closed-form route for the *cofactors*
+        // (bitwise the minor expansion) while the determinant still
+        // comes from the LU pivots — Laplace expansion loses the
+        // cancellation fight near singularity. Singular input reports
+        // a zero det without error.
+        let mut rng = seeded_rng(25);
+        let mut engine = DetCofactor::new();
+        for n in 1..=4 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let mut cof = CMat::zeros(n, n);
+            let d = engine.det_and_cofactor_into(&a, &mut cof);
+            assert_eq!(cof, cofactor_matrix(&a), "n={n}: bitwise minors");
+            let d_ref = det_via_minors(&a);
+            assert!(d.dist(d_ref) < 1e-12 * (1.0 + d_ref.norm()), "n={n}");
+        }
+        // Singular 3×3 (rank 1).
+        let s = CMat::from_fn(3, 3, |i, j| c((i + 1) as f64 * (j + 1) as f64, 0.0));
+        let mut cof = CMat::zeros(3, 3);
+        let d = engine.det_and_cofactor_into(&s, &mut cof);
+        assert!(d.norm() < 1e-12, "singular det ≈ 0, got {d:?}");
+    }
+
+    #[test]
+    fn fused_engine_falls_back_on_wild_pivot_ratio() {
+        // diag(1, …, 1, 1e-13): factorisation succeeds but the pivot
+        // ratio exceeds the guard, so cofactors must come from minors.
+        let n = 5;
+        let a = CMat::from_fn(n, n, |i, j| {
+            if i != j {
+                Complex64::ZERO
+            } else if i == n - 1 {
+                c(1e-13, 0.0)
+            } else {
+                Complex64::ONE
+            }
+        });
+        let mut engine = DetCofactor::new();
+        let mut cof = CMat::zeros(n, n);
+        let d = engine.det_and_cofactor_into(&a, &mut cof);
+        assert!(d.dist(c(1e-13, 0.0)) < 1e-25, "LU det survives");
+        assert_eq!(cof, cofactor_matrix(&a), "cofactors from the fallback");
+    }
+
+    #[test]
+    fn fused_engine_column_restriction_matches_full_run() {
+        let mut rng = seeded_rng(26);
+        let mut engine = DetCofactor::new();
+        for n in 2..=7 {
+            for cols in [0, 1, n / 2, n] {
+                let a = CMat::random(n, n, &mut rng, random_complex);
+                let mut full = CMat::zeros(n, n);
+                let d_full = engine.det_and_cofactor_into(&a, &mut full);
+                let mut part = CMat::zeros(n, n);
+                let d_part = engine.det_and_cofactor_cols_into(&a, &mut part, cols);
+                assert_eq!(d_full, d_part, "n={n} cols={cols}: same det");
+                for r in 0..n {
+                    for c in 0..cols {
+                        assert_eq!(
+                            part[(r, c)],
+                            full[(r, c)],
+                            "n={n} cols={cols} ({r},{c}): leading columns bitwise equal"
+                        );
+                    }
+                    for c in cols..n {
+                        assert_eq!(
+                            part[(r, c)],
+                            Complex64::ZERO,
+                            "n={n} cols={cols}: trailing columns untouched"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_engine_storage_survives_shape_changes() {
+        let mut rng = seeded_rng(24);
+        let mut engine = DetCofactor::new();
+        for &n in &[4usize, 6, 3, 6, 8, 4] {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let mut cof = CMat::zeros(n, n);
+            engine.det_and_cofactor_into(&a, &mut cof);
+            let c_ref = cofactor_matrix(&a);
+            let scale = c_ref.max_norm().max(1.0);
+            assert!(
+                (&cof - &c_ref).max_norm() < 1e-11 * scale,
+                "n={n} after resize"
+            );
+        }
     }
 
     #[test]

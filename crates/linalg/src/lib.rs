@@ -15,7 +15,11 @@
 //!   placement;
 //! * [`adjugate`]/[`det_gradient`] — cofactor machinery that differentiates
 //!   determinantal intersection conditions without symbolic expansion; this
-//!   is the kernel of the Pieri homotopy evaluator.
+//!   is the kernel of the Pieri homotopy evaluator;
+//! * [`DetCofactor`] — the fused det+cofactor engine behind the homotopy
+//!   fast path: one LU factorisation per condition matrix yields the
+//!   determinant and every cofactor entry (`O(n³)`), with an automatic
+//!   fall-back to the stable minor expansion near singularity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +35,10 @@ mod matrix;
 mod qr;
 mod vector;
 
-pub use adjugate::{adjugate, cofactor, cofactor_matrix, det_gradient, det_via_minors};
+pub use adjugate::{
+    adjugate, cofactor, cofactor_matrix, det_gradient, det_via_minors, DetCofactor,
+    FUSED_PIVOT_RATIO_LIMIT,
+};
 pub use eig::{eigenvalues, hessenberg, EigError};
 pub use lu::{det, try_det, Lu, LuError};
 pub use matrix::CMat;

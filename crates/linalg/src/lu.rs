@@ -32,17 +32,33 @@ impl std::error::Error for LuError {}
 /// Compact LU factorisation `P·A = L·U` with partial (row) pivoting.
 ///
 /// `L` (unit lower triangular) and `U` are packed into a single matrix;
-/// `perm` records row exchanges and `sign` the permutation parity, so the
-/// determinant comes out of [`Lu::det`] for free.
+/// `ipiv` records the row swapped at each elimination step (LAPACK-style
+/// swap replay, so permutations apply in place without a gather buffer)
+/// and `sign` the permutation parity, so the determinant comes out of
+/// [`Lu::det`] for free. The storage is reusable: [`Lu::factor_into`]
+/// refactors a new matrix into an existing `Lu` without allocating.
 #[derive(Debug, Clone)]
 pub struct Lu {
     lu: CMat,
-    perm: Vec<usize>,
+    ipiv: Vec<usize>,
     sign: f64,
     /// Largest pivot modulus observed (for condition diagnostics).
     max_pivot: f64,
     /// Smallest pivot modulus observed.
     min_pivot: f64,
+}
+
+impl Default for Lu {
+    /// An empty (0 × 0) factorisation slot for [`Lu::factor_into`] reuse.
+    fn default() -> Self {
+        Lu {
+            lu: CMat::zeros(0, 0),
+            ipiv: Vec::new(),
+            sign: 1.0,
+            max_pivot: 0.0,
+            min_pivot: f64::INFINITY,
+        }
+    }
 }
 
 impl Lu {
@@ -52,39 +68,84 @@ impl Lu {
     /// entry of `A`, so the result does not depend on the overall scale of
     /// the matrix.
     pub fn factor(a: &CMat) -> Result<Lu, LuError> {
+        let mut out = Lu::default();
+        Lu::factor_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// Factors `A` into `into`, reusing its storage (no allocation once
+    /// the slot has seen a matrix of this size).
+    ///
+    /// On error the contents of `into` are unspecified and must not be
+    /// used for solves.
+    pub fn factor_into(a: &CMat, into: &mut Lu) -> Result<(), LuError> {
         let n = a.rows();
         if !a.is_square() {
             return Err(LuError::NotSquare);
         }
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-        let scale = lu.max_norm().max(f64::MIN_POSITIVE);
+        if (into.lu.rows(), into.lu.cols()) == (n, n) {
+            into.lu.copy_from(a);
+        } else {
+            into.lu = a.clone();
+        }
+        into.ipiv.clear();
+        into.ipiv.resize(n, 0);
+        into.sign = 1.0;
+        into.max_pivot = 0.0;
+        into.min_pivot = f64::INFINITY;
+        let lu = &mut into.lu;
+        // Scale for the singularity threshold: one sqrt over the whole
+        // matrix instead of `hypot` per entry; fall back to the
+        // overflow/underflow-safe per-entry form when squaring leaves
+        // the finite range.
+        let scale_sq = lu
+            .as_slice()
+            .iter()
+            .map(|z| z.norm_sqr())
+            .fold(0.0f64, f64::max);
+        let scale = if scale_sq > 0.0 && scale_sq.is_finite() {
+            scale_sq.sqrt()
+        } else {
+            lu.max_norm().max(f64::MIN_POSITIVE)
+        };
         let tol = scale * 1e-14 * n as f64;
-        let mut max_pivot: f64 = 0.0;
-        let mut min_pivot = f64::INFINITY;
 
         for k in 0..n {
             // Partial pivoting: pick the largest modulus in column k.
+            // Squared moduli avoid a `hypot` per candidate; the sqrt-
+            // based scan below handles the under/overflow regime where
+            // squares leave the finite nonzero range.
             let mut best = k;
-            let mut best_norm = lu[(k, k)].norm();
+            let mut best_sq = lu[(k, k)].norm_sqr();
             for i in k + 1..n {
-                let v = lu[(i, k)].norm();
-                if v > best_norm {
+                let v = lu[(i, k)].norm_sqr();
+                if v > best_sq {
                     best = i;
-                    best_norm = v;
+                    best_sq = v;
+                }
+            }
+            let mut best_norm = best_sq.sqrt();
+            if best_sq == 0.0 || !best_sq.is_finite() {
+                best = k;
+                best_norm = lu[(k, k)].norm();
+                for i in k + 1..n {
+                    let v = lu[(i, k)].norm();
+                    if v > best_norm {
+                        best = i;
+                        best_norm = v;
+                    }
                 }
             }
             if best_norm <= tol {
                 return Err(LuError::Singular { step: k });
             }
+            into.ipiv[k] = best;
             if best != k {
                 lu.swap_rows(k, best);
-                perm.swap(k, best);
-                sign = -sign;
+                into.sign = -into.sign;
             }
-            max_pivot = max_pivot.max(best_norm);
-            min_pivot = min_pivot.min(best_norm);
+            into.max_pivot = into.max_pivot.max(best_norm);
+            into.min_pivot = into.min_pivot.min(best_norm);
             let pivot = lu[(k, k)];
             for i in k + 1..n {
                 let m = lu[(i, k)] / pivot;
@@ -98,13 +159,7 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu {
-            lu,
-            perm,
-            sign,
-            max_pivot,
-            min_pivot,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -136,36 +191,114 @@ impl Lu {
     /// # Panics
     /// Panics when `b.len() != self.dim()`.
     pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
-        let n = self.dim();
-        assert_eq!(b.len(), n, "solve: rhs length mismatch");
-        // Apply permutation.
-        let mut x: Vec<Complex64> = (0..n).map(|i| b[self.perm[i]]).collect();
-        // Forward substitution with unit-diagonal L.
-        for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc / self.lu[(i, i)];
-        }
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
         x
     }
 
-    /// Solves `A·X = B` column by column.
+    /// Solves `A·x = b` in place: `b` enters as the right-hand side and
+    /// leaves as the solution. No heap allocation.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != self.dim()`.
+    pub fn solve_in_place(&self, b: &mut [Complex64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_in_place: rhs length mismatch");
+        // Apply the permutation by replaying the elimination-step swaps.
+        for k in 0..n {
+            let p = self.ipiv[k];
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * b[j];
+            }
+            b[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * b[j];
+            }
+            b[i] = acc / self.lu[(i, i)];
+        }
+    }
+
+    /// Solves the transposed system `Aᵀ·y = b` in place (no conjugation).
+    ///
+    /// With `P·A = L·U` this is `Uᵀ·Lᵀ·P·y = b`: one forward sweep with
+    /// `Uᵀ` (lower triangular), one backward sweep with `Lᵀ` (unit upper
+    /// triangular), then the swap replay in reverse. This is the
+    /// "adjugate row extraction" primitive of the fused determinantal
+    /// kernels: column `c` of the cofactor matrix is
+    /// `det(A) · (Aᵀ)⁻¹·e_c`.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != self.dim()`.
+    pub fn solve_transpose_in_place(&self, b: &mut [Complex64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_transpose_in_place: length mismatch");
+        // Forward substitution with Uᵀ (diagonal division).
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * b[j];
+            }
+            b[i] = acc / self.lu[(i, i)];
+        }
+        // Back substitution with Lᵀ (unit diagonal).
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in i + 1..n {
+                acc -= self.lu[(j, i)] * b[j];
+            }
+            b[i] = acc;
+        }
+        // y = Pᵀ·w: replay the swaps in reverse order.
+        for k in (0..n).rev() {
+            let p = self.ipiv[k];
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+    }
+
+    /// Solves `A·X = B` column by column, operating in place on the
+    /// output's strided columns (no per-column gather/scatter buffers).
     pub fn solve_mat(&self, b: &CMat) -> CMat {
-        assert_eq!(b.rows(), self.dim(), "solve_mat: shape mismatch");
-        let mut out = CMat::zeros(b.rows(), b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            out.set_col(j, &self.solve(&col));
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "solve_mat: shape mismatch");
+        let mut out = b.clone();
+        for j in 0..out.cols() {
+            // The same permutation + substitution sweeps as
+            // `solve_in_place`, indexing one column of `out` directly.
+            for k in 0..n {
+                let p = self.ipiv[k];
+                if p != k {
+                    let (a, b) = (out[(k, j)], out[(p, j)]);
+                    out[(k, j)] = b;
+                    out[(p, j)] = a;
+                }
+            }
+            for i in 1..n {
+                let mut acc = out[(i, j)];
+                for r in 0..i {
+                    acc -= self.lu[(i, r)] * out[(r, j)];
+                }
+                out[(i, j)] = acc;
+            }
+            for i in (0..n).rev() {
+                let mut acc = out[(i, j)];
+                for r in i + 1..n {
+                    acc -= self.lu[(i, r)] * out[(r, j)];
+                }
+                out[(i, j)] = acc / self.lu[(i, i)];
+            }
         }
         out
     }
@@ -311,6 +444,50 @@ mod tests {
             let xj = lu.solve(&b.col(j));
             for i in 0..4 {
                 assert!(x[(i, j)].dist(xj[i]) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_into_reuses_storage_and_matches_factor() {
+        let mut rng = seeded_rng(15);
+        let mut slot = Lu::default();
+        for n in [3usize, 5, 5, 2, 6] {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            Lu::factor_into(&a, &mut slot).expect("generic matrix factors");
+            let fresh = Lu::factor(&a).unwrap();
+            assert_eq!(slot.det(), fresh.det(), "n={n}: bitwise same det");
+            let b: Vec<Complex64> = (0..n).map(|_| random_complex(&mut rng)).collect();
+            assert_eq!(slot.solve(&b), fresh.solve(&b), "n={n}: bitwise same solve");
+        }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let mut rng = seeded_rng(16);
+        for n in 1..=7 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let b: Vec<Complex64> = (0..n).map(|_| random_complex(&mut rng)).collect();
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve(&b);
+            let mut y = b.clone();
+            lu.solve_in_place(&mut y);
+            assert_eq!(x, y, "n={n}: identical bits");
+        }
+    }
+
+    #[test]
+    fn solve_transpose_solves_the_transposed_system() {
+        let mut rng = seeded_rng(17);
+        for n in 1..=7 {
+            let a = CMat::random(n, n, &mut rng, random_complex);
+            let x: Vec<Complex64> = (0..n).map(|_| random_complex(&mut rng)).collect();
+            let b = a.transpose().mul_vec(&x);
+            let lu = Lu::factor(&a).unwrap();
+            let mut y = b.clone();
+            lu.solve_transpose_in_place(&mut y);
+            for i in 0..n {
+                assert!(y[i].dist(x[i]) < 1e-9, "n={n} i={i}");
             }
         }
     }

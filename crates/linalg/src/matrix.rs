@@ -130,6 +130,20 @@ impl CMat {
         }
     }
 
+    /// Overwrites `self` with the entries of `src` without reallocating.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
+    #[inline]
+    pub fn copy_from(&mut self, src: &CMat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from: shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Transpose (no conjugation).
     pub fn transpose(&self) -> CMat {
         CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
@@ -156,6 +170,26 @@ impl CMat {
                 other[(i, j - self.cols)]
             }
         })
+    }
+
+    /// Horizontal concatenation `[self | other]` into an existing matrix,
+    /// reusing `out`'s storage — the zero-allocation form of
+    /// [`CMat::hstack`] used by the fused determinantal kernels.
+    ///
+    /// # Panics
+    /// Panics when the row counts differ or `out` has the wrong shape.
+    pub fn hstack_into(&self, other: &CMat, out: &mut CMat) {
+        assert_eq!(self.rows, other.rows, "hstack_into: row mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, self.cols + other.cols),
+            "hstack_into: output shape mismatch"
+        );
+        for i in 0..self.rows {
+            let dst = &mut out.data[i * out.cols..(i + 1) * out.cols];
+            dst[..self.cols].copy_from_slice(self.row(i));
+            dst[self.cols..].copy_from_slice(other.row(i));
+        }
     }
 
     /// Vertical concatenation of `self` on top of `other`.
@@ -186,11 +220,30 @@ impl CMat {
     /// The `(n−1) × (n−1)` minor obtained by deleting row `r` and column `c`.
     pub fn minor(&self, r: usize, c: usize) -> CMat {
         assert!(self.rows > 0 && self.cols > 0);
-        CMat::from_fn(self.rows - 1, self.cols - 1, |i, j| {
+        let mut out = CMat::zeros(self.rows - 1, self.cols - 1);
+        self.minor_into(r, c, &mut out);
+        out
+    }
+
+    /// [`CMat::minor`] into an existing `(n−1) × (n−1)` matrix — the
+    /// zero-allocation form used by the near-singular cofactor fallback.
+    ///
+    /// # Panics
+    /// Panics when `out` has the wrong shape.
+    pub fn minor_into(&self, r: usize, c: usize, out: &mut CMat) {
+        assert!(self.rows > 0 && self.cols > 0);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows - 1, self.cols - 1),
+            "minor_into: output shape mismatch"
+        );
+        for i in 0..self.rows - 1 {
             let ii = if i < r { i } else { i + 1 };
-            let jj = if j < c { j } else { j + 1 };
-            self[(ii, jj)]
-        })
+            for j in 0..self.cols - 1 {
+                let jj = if j < c { j } else { j + 1 };
+                out[(i, j)] = self[(ii, jj)];
+            }
+        }
     }
 
     /// Matrix–vector product `A·x`.
@@ -481,6 +534,39 @@ mod tests {
     #[should_panic(expected = "hstack")]
     fn hstack_mismatch_panics() {
         let _ = CMat::zeros(2, 2).hstack(&CMat::zeros(3, 2));
+    }
+
+    #[test]
+    fn copy_from_and_hstack_into_match_allocating_forms() {
+        let mut rng = seeded_rng(4);
+        let a = CMat::random(3, 2, &mut rng, random_complex);
+        let b = CMat::random(3, 4, &mut rng, random_complex);
+        let mut out = CMat::zeros(3, 6);
+        a.hstack_into(&b, &mut out);
+        assert_eq!(out, a.hstack(&b));
+        let mut copy = CMat::zeros(3, 6);
+        copy.copy_from(&out);
+        assert_eq!(copy, out);
+    }
+
+    #[test]
+    fn minor_into_matches_minor() {
+        let mut rng = seeded_rng(5);
+        let a = CMat::random(5, 5, &mut rng, random_complex);
+        let mut out = CMat::zeros(4, 4);
+        for r in 0..5 {
+            for c in 0..5 {
+                a.minor_into(r, c, &mut out);
+                assert_eq!(out, a.minor(r, c), "minor ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from")]
+    fn copy_from_shape_mismatch_panics() {
+        let mut a = CMat::zeros(2, 2);
+        a.copy_from(&CMat::zeros(3, 2));
     }
 
     #[test]

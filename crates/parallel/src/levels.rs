@@ -92,7 +92,9 @@ pub fn solve_by_levels_prepared(
         let outcomes: Vec<(Pattern, Option<Vec<Complex64>>, JobRecord)> = jobs
             .into_par_iter()
             .map(|(pattern, child, y)| {
-                let (sol, rec) = pieri_core::run_job(problem, &pattern, &child, &y, settings);
+                let (sol, rec) = crate::workspace::with_worker_workspace(|ws| {
+                    pieri_core::run_job_with(problem, &pattern, &child, &y, settings, ws)
+                });
                 (pattern, sol, rec)
             })
             .collect();

@@ -45,6 +45,7 @@ mod levels;
 mod paths;
 mod report;
 mod tree;
+mod workspace;
 
 pub use levels::{solve_by_levels_parallel, solve_by_levels_prepared, LevelRunStats};
 pub use paths::{track_paths_dynamic, track_paths_rayon, track_paths_static};

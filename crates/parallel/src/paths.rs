@@ -1,9 +1,10 @@
 //! Parallel tracking of independent solution paths (Section II).
 
 use crate::report::{ParallelReport, WorkerStats};
+use crate::workspace::with_worker_workspace;
 use crossbeam::channel;
 use pieri_num::Complex64;
-use pieri_tracker::{track_path, Homotopy, PathResult, TrackSettings};
+use pieri_tracker::{track_path_with, Homotopy, PathResult, TrackSettings, TrackWorkspace};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -39,8 +40,12 @@ pub fn track_paths_static<H: Homotopy>(
                 offset,
                 scope.spawn(move || {
                     let t = Instant::now();
-                    let out: Vec<PathResult> =
-                        block.iter().map(|s| track_path(h, s, settings)).collect();
+                    // One workspace per worker, reused across its block.
+                    let mut ws = TrackWorkspace::new();
+                    let out: Vec<PathResult> = block
+                        .iter()
+                        .map(|s| track_path_with(h, s, settings, &mut ws))
+                        .collect();
                     (out, t.elapsed())
                 }),
             ));
@@ -98,10 +103,12 @@ pub fn track_paths_dynamic<H: Homotopy>(
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             scope.spawn(move || {
-                // Slave: busy-wait on the job channel until it closes.
+                // Slave: busy-wait on the job channel until it closes,
+                // one tracking workspace for the slave's lifetime.
+                let mut ws = TrackWorkspace::new();
                 while let Ok(idx) = job_rx.recv() {
                     let t = Instant::now();
-                    let r = track_path(h, &starts[idx], settings);
+                    let r = track_path_with(h, &starts[idx], settings, &mut ws);
                     if res_tx.send((w, idx, r, t.elapsed())).is_err() {
                         break;
                     }
@@ -165,7 +172,7 @@ pub fn track_paths_rayon<H: Homotopy>(
 ) -> Vec<PathResult> {
     starts
         .par_iter()
-        .map(|s| track_path(h, s, settings))
+        .map(|s| with_worker_workspace(|ws| track_path_with(h, s, settings, ws)))
         .collect()
 }
 

@@ -175,7 +175,18 @@ pub fn solve_tree_parallel_prepared(
                 s.spawn(move |_| {
                     let t = Instant::now();
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        pieri_core::run_job(problem, &job.pattern, &job.child, &job.start, settings)
+                        // Pool threads are persistent: the thread-local
+                        // workspace survives across jobs and slaves.
+                        crate::workspace::with_worker_workspace(|ws| {
+                            pieri_core::run_job_with(
+                                problem,
+                                &job.pattern,
+                                &job.child,
+                                &job.start,
+                                settings,
+                                ws,
+                            )
+                        })
                     }));
                     // The master outlives every in-flight job, so the
                     // receiver is always alive.

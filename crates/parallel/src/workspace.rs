@@ -1,0 +1,22 @@
+//! Per-worker tracking workspaces.
+//!
+//! Every pool worker (and every scoped worker thread of the static /
+//! dynamic schedulers) holds one [`TrackWorkspace`] for its lifetime, so
+//! steady-state path tracking performs no heap allocation no matter
+//! which scheduler dispatched the job. The pool's threads are
+//! persistent, which makes a thread-local the natural per-worker slot:
+//! the first job on a thread grows the buffers, every later job reuses
+//! them. Tracking never re-enters the pool (a path is pure computation),
+//! so the `RefCell` borrow is never contended.
+
+use pieri_tracker::TrackWorkspace;
+use std::cell::RefCell;
+
+thread_local! {
+    static WORKER_WS: RefCell<TrackWorkspace> = RefCell::new(TrackWorkspace::new());
+}
+
+/// Runs `f` with this thread's tracking workspace.
+pub(crate) fn with_worker_workspace<R>(f: impl FnOnce(&mut TrackWorkspace) -> R) -> R {
+    WORKER_WS.with(|ws| f(&mut ws.borrow_mut()))
+}

@@ -1,5 +1,6 @@
 //! The homotopy abstraction and the convex linear homotopy.
 
+use crate::workspace::HomotopyScratch;
 use pieri_linalg::CMat;
 use pieri_num::Complex64;
 use pieri_poly::PolySystem;
@@ -22,6 +23,50 @@ pub trait Homotopy: Sync {
 
     /// Evaluates `∂H/∂t` at `(x, t)` into `out`.
     fn dt(&self, x: &[Complex64], t: f64, out: &mut [Complex64]);
+
+    /// Evaluates `H(x, t)` and `∂H/∂x` together — the fused kernel of the
+    /// Newton corrector.
+    ///
+    /// The default implementation is the two separate calls; determinantal
+    /// homotopies override it so each condition matrix is built **once**
+    /// and a single LU factorisation yields both the residual entry (the
+    /// determinant) and the Jacobian row (cofactor entries), with
+    /// `scratch` carrying the reusable condition/cofactor storage.
+    /// Implementations must agree with `eval` + `jacobian_x` up to
+    /// numerical roundoff (the fused-vs-reference property tests pin
+    /// this).
+    fn eval_and_jacobian(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        fx: &mut [Complex64],
+        jac: &mut CMat,
+        scratch: &mut HomotopyScratch,
+    ) {
+        let _ = scratch;
+        self.eval(x, t, fx);
+        self.jacobian_x(x, t, jac);
+    }
+
+    /// Evaluates `∂H/∂x` and `∂H/∂t` together — the fused kernel of the
+    /// Davidenko tangent system driving every predictor step.
+    ///
+    /// Same contract as [`Homotopy::eval_and_jacobian`]: the default is
+    /// the two separate calls, determinantal homotopies share one
+    /// condition-matrix build and one cofactor evaluation between the
+    /// Jacobian row and the `∂H/∂t` contraction.
+    fn jacobian_and_dt(
+        &self,
+        x: &[Complex64],
+        t: f64,
+        jac: &mut CMat,
+        ht: &mut [Complex64],
+        scratch: &mut HomotopyScratch,
+    ) {
+        let _ = scratch;
+        self.jacobian_x(x, t, jac);
+        self.dt(x, t, ht);
+    }
 
     /// Residual `‖H(x,t)‖∞`, used for reporting.
     fn residual(&self, x: &[Complex64], t: f64) -> f64 {

@@ -30,10 +30,12 @@ mod path;
 mod predictor;
 mod settings;
 mod stats;
+mod workspace;
 
 pub use homotopy::{Homotopy, LinearHomotopy};
-pub use newton::{newton_correct, NewtonOutcome};
-pub use path::{track_all, track_path, PathResult, PathStatus};
-pub use predictor::Predictor;
+pub use newton::{newton_correct, newton_correct_with, NewtonOutcome};
+pub use path::{track_all, track_path, track_path_with, PathResult, PathStatus};
+pub use predictor::{tangent, tangent_into, Predictor};
 pub use settings::TrackSettings;
 pub use stats::TrackStats;
+pub use workspace::{HomotopyScratch, TrackWorkspace};

@@ -1,7 +1,8 @@
 //! Newton's method as the corrector of the predictor–corrector scheme.
 
 use crate::homotopy::Homotopy;
-use pieri_linalg::{inf_norm, CMat, Lu};
+use crate::workspace::TrackWorkspace;
+use pieri_linalg::{inf_norm, Lu};
 use pieri_num::Complex64;
 
 /// Result of a Newton correction at fixed `t`.
@@ -35,56 +36,90 @@ pub fn newton_correct<H: Homotopy + ?Sized>(
     tol: f64,
     max_iters: usize,
 ) -> NewtonOutcome {
+    let mut ws = TrackWorkspace::new();
+    newton_correct_with(h, x, t, tol, max_iters, &mut ws)
+}
+
+/// [`newton_correct`] against a caller-owned [`TrackWorkspace`] — the
+/// zero-allocation form used by the path tracker.
+///
+/// Each iteration makes one fused [`Homotopy::eval_and_jacobian`] call
+/// (one condition-matrix build instead of two for determinantal
+/// homotopies), negates the residual directly into the solve buffer and
+/// solves in place on the reused LU storage. Convergence is detected at
+/// the top of the following iteration, whose fused evaluation doubles as
+/// the final-residual computation — no separate `eval` call after
+/// convergence. `iters` reports the number of Newton iterations
+/// performed; every one of them applied an update to `x` except a final
+/// iteration that found the Jacobian singular (which still did the
+/// evaluation work it is billed for).
+pub fn newton_correct_with<H: Homotopy + ?Sized>(
+    h: &H,
+    x: &mut [Complex64],
+    t: f64,
+    tol: f64,
+    max_iters: usize,
+    ws: &mut TrackWorkspace,
+) -> NewtonOutcome {
     let n = h.dim();
     debug_assert_eq!(x.len(), n);
-    let mut jac = CMat::zeros(n, n);
-    let mut fx = vec![Complex64::ZERO; n];
+    ws.ensure(n);
+    let TrackWorkspace {
+        fx,
+        rhs,
+        jac,
+        lu,
+        scratch,
+        ..
+    } = ws;
     let mut last_step = f64::INFINITY;
+    let mut updates = 0usize;
 
-    for iter in 1..=max_iters {
-        h.eval(x, t, &mut fx);
-        h.jacobian_x(x, t, &mut jac);
-        let lu = match Lu::factor(&jac) {
-            Ok(lu) => lu,
-            Err(_) => {
-                return NewtonOutcome {
-                    converged: false,
-                    residual: inf_norm(&fx),
-                    last_step,
-                    iters: iter,
-                    singular: true,
-                }
-            }
-        };
-        let neg_fx: Vec<Complex64> = fx.iter().map(|z| -*z).collect();
-        let dx = lu.solve(&neg_fx);
-        for (xi, di) in x.iter_mut().zip(dx.iter()) {
-            *xi += *di;
-        }
-        let prev_step = last_step;
-        last_step = inf_norm(&dx);
-
+    for _ in 0..max_iters {
+        h.eval_and_jacobian(x, t, fx, jac, scratch);
         if last_step <= tol * (1.0 + inf_norm(x)) {
-            h.eval(x, t, &mut fx);
             return NewtonOutcome {
                 converged: true,
-                residual: inf_norm(&fx),
+                residual: inf_norm(fx),
                 last_step,
-                iters: iter,
+                iters: updates,
                 singular: false,
             };
         }
+        if Lu::factor_into(jac, lu).is_err() {
+            return NewtonOutcome {
+                converged: false,
+                residual: inf_norm(fx),
+                last_step,
+                iters: updates + 1,
+                singular: true,
+            };
+        }
+        for (r, f) in rhs.iter_mut().zip(fx.iter()) {
+            *r = -*f;
+        }
+        lu.solve_in_place(rhs);
+        for (xi, di) in x.iter_mut().zip(rhs.iter()) {
+            *xi += *di;
+        }
+        updates += 1;
+        let prev_step = last_step;
+        last_step = inf_norm(rhs);
         if last_step > 4.0 * prev_step {
             // Diverging iteration: bail out, the predictor overshot.
             break;
         }
     }
-    h.eval(x, t, &mut fx);
+    // Budget exhausted or diverging: one more fused evaluation for the
+    // final residual (the update that just landed may still have
+    // converged). The fused call keeps this exit allocation-free — a
+    // rejected correction runs it on every predictor retry.
+    h.eval_and_jacobian(x, t, fx, jac, scratch);
     NewtonOutcome {
-        converged: false,
-        residual: inf_norm(&fx),
+        converged: last_step <= tol * (1.0 + inf_norm(x)),
+        residual: inf_norm(fx),
         last_step,
-        iters: max_iters,
+        iters: updates,
         singular: false,
     }
 }

@@ -1,11 +1,13 @@
 //! The adaptive predictor–corrector driver.
 
 use crate::homotopy::Homotopy;
-use crate::newton::newton_correct;
+use crate::newton::newton_correct_with;
 use crate::settings::TrackSettings;
 use crate::stats::TrackStats;
+use crate::workspace::TrackWorkspace;
 use pieri_linalg::inf_norm;
 use pieri_num::Complex64;
+use std::mem;
 use std::time::{Duration, Instant};
 
 /// Terminal state of one tracked path.
@@ -54,13 +56,17 @@ pub struct PathResult {
 }
 
 /// Mutable tracking state shared between the main loop and the endgame.
+/// The vectors are borrowed from the caller's [`TrackWorkspace`] and
+/// returned to it when the path ends, so repeated paths reuse them.
 struct Progress {
     x: Vec<Complex64>,
+    prev_x: Vec<Complex64>,
+    has_prev: bool,
+    prev_t: f64,
     t: f64,
     steps: usize,
     rejections: usize,
     newton_total: usize,
-    prev: Option<(Vec<Complex64>, f64)>,
 }
 
 /// Tracks one path of `h` from the start solution `x0` (a solution of
@@ -85,38 +91,97 @@ pub fn track_path<H: Homotopy + ?Sized>(
     x0: &[Complex64],
     settings: &TrackSettings,
 ) -> PathResult {
+    let mut ws = TrackWorkspace::new();
+    track_path_with(h, x0, settings, &mut ws)
+}
+
+/// [`track_path`] against a caller-owned [`TrackWorkspace`].
+///
+/// This is the zero-allocation form: path state, predictor stages,
+/// Newton buffers, LU storage and the homotopy's own scratch all live in
+/// `ws` and are reused across steps *and* across paths — in steady state
+/// the only per-path allocation is the returned [`PathResult::x`]. The
+/// workers of `pieri-parallel` hold one workspace each; sequential
+/// drivers thread a single workspace through every path of a solve.
+pub fn track_path_with<H: Homotopy + ?Sized>(
+    h: &H,
+    x0: &[Complex64],
+    settings: &TrackSettings,
+    ws: &mut TrackWorkspace,
+) -> PathResult {
     let start_time = Instant::now();
+    ws.ensure(h.dim());
+    // Borrow the state buffers out of the workspace for the duration of
+    // this path (mem::take is free for Vec); they return at the end.
+    let mut x = mem::take(&mut ws.state_x);
+    x.clear();
+    x.extend_from_slice(x0);
+    let mut prev_x = mem::take(&mut ws.state_prev);
+    prev_x.clear();
+    let mut predicted = mem::take(&mut ws.state_pred);
+    let mut x_before = mem::take(&mut ws.state_before);
+    let mut norms = mem::take(&mut ws.endgame_norms);
     let mut p = Progress {
-        x: x0.to_vec(),
+        x,
+        prev_x,
+        has_prev: false,
+        prev_t: 0.0,
         t: 0.0,
         steps: 0,
         rejections: 0,
         newton_total: 0,
-        prev: None,
     };
-    let mut dt = settings.initial_step;
-    let mut streak = 0usize;
-    let endgame_start = 1.0 - settings.endgame_radius.clamp(0.0, 0.5);
 
-    let finish = |status: PathStatus, p: Progress, residual: f64| PathResult {
+    let (status, residual) = drive(
+        h,
+        settings,
+        ws,
+        &mut p,
+        &mut predicted,
+        &mut x_before,
+        &mut norms,
+    );
+
+    let result = PathResult {
         status,
-        x: p.x,
+        x: p.x.clone(),
         residual,
         steps: p.steps,
         rejections: p.rejections,
         newton_iters: p.newton_total,
         elapsed: start_time.elapsed(),
     };
+    ws.state_x = p.x;
+    ws.state_prev = p.prev_x;
+    ws.state_pred = predicted;
+    ws.state_before = x_before;
+    ws.endgame_norms = norms;
+    result
+}
+
+/// The tracking loop proper: main adaptive phase, geometric endgame and
+/// final refinement. Split out of [`track_path_with`] so every early
+/// return funnels through the single buffer-restoring exit above.
+fn drive<H: Homotopy + ?Sized>(
+    h: &H,
+    settings: &TrackSettings,
+    ws: &mut TrackWorkspace,
+    p: &mut Progress,
+    predicted: &mut Vec<Complex64>,
+    x_before: &mut Vec<Complex64>,
+    endgame_norms: &mut Vec<f64>,
+) -> (PathStatus, f64) {
+    let mut dt = settings.initial_step;
+    let mut streak = 0usize;
+    let endgame_start = 1.0 - settings.endgame_radius.clamp(0.0, 0.5);
 
     // Main adaptive phase: up to the endgame boundary.
     while p.t < endgame_start {
         if p.steps + p.rejections > settings.max_steps {
-            let r = h.residual(&p.x, p.t);
-            let t = p.t;
-            return finish(PathStatus::Failed { at_t: t }, p, r);
+            return (PathStatus::Failed { at_t: p.t }, h.residual(&p.x, p.t));
         }
         let step = dt.min(endgame_start - p.t);
-        match try_step(h, &mut p, step, settings) {
+        match try_step(h, p, predicted, step, settings, ws) {
             StepOutcome::Accepted => {
                 streak += 1;
                 if streak >= settings.expand_after {
@@ -124,23 +189,19 @@ pub fn track_path<H: Homotopy + ?Sized>(
                     streak = 0;
                 }
                 if inf_norm(&p.x) > settings.divergence_threshold {
-                    let r = h.residual(&p.x, p.t);
-                    let t = p.t;
-                    return finish(PathStatus::Diverged { at_t: t }, p, r);
+                    return (PathStatus::Diverged { at_t: p.t }, h.residual(&p.x, p.t));
                 }
             }
             StepOutcome::Rejected => {
                 streak = 0;
                 dt *= settings.shrink_factor;
                 if dt < settings.min_step {
-                    let r = h.residual(&p.x, p.t);
-                    let t = p.t;
                     let status = if inf_norm(&p.x) > settings.divergence_threshold.sqrt() {
-                        PathStatus::Diverged { at_t: t }
+                        PathStatus::Diverged { at_t: p.t }
                     } else {
-                        PathStatus::Failed { at_t: t }
+                        PathStatus::Failed { at_t: p.t }
                     };
-                    return finish(status, p, r);
+                    return (status, h.residual(&p.x, p.t));
                 }
             }
         }
@@ -154,12 +215,11 @@ pub fn track_path<H: Homotopy + ?Sized>(
     // grows by the consistent factor 2^{1/k} per halving. The trailing
     // growth ratio is the cheap stand-in for PHCpack's winding-number
     // endgame test; bounded-but-stuck paths show ratio ≈ 1 instead.
-    let mut endgame_norms: Vec<f64> = vec![inf_norm(&p.x)];
+    endgame_norms.clear();
+    endgame_norms.push(inf_norm(&p.x));
     loop {
         if p.steps + p.rejections > settings.max_steps {
-            let r = h.residual(&p.x, p.t);
-            let t = p.t;
-            return finish(PathStatus::Failed { at_t: t }, p, r);
+            return (PathStatus::Failed { at_t: p.t }, h.residual(&p.x, p.t));
         }
         let remaining = 1.0 - p.t;
         if remaining < 1e-13 {
@@ -169,16 +229,15 @@ pub fn track_path<H: Homotopy + ?Sized>(
         if step < f64::EPSILON * 4.0 {
             break;
         }
-        let x_before = p.x.clone();
-        match try_step(h, &mut p, step, settings) {
+        x_before.clear();
+        x_before.extend_from_slice(&p.x);
+        match try_step(h, p, predicted, step, settings, ws) {
             StepOutcome::Accepted => {
                 endgame_fail_shrink = 1.0;
                 let norm = inf_norm(&p.x);
                 endgame_norms.push(norm);
                 if norm > settings.divergence_threshold {
-                    let r = h.residual(&p.x, p.t);
-                    let t = p.t;
-                    return finish(PathStatus::Diverged { at_t: t }, p, r);
+                    return (PathStatus::Diverged { at_t: p.t }, h.residual(&p.x, p.t));
                 }
                 // Cauchy test: iterates have stopped moving.
                 let diff: f64 =
@@ -199,16 +258,25 @@ pub fn track_path<H: Homotopy + ?Sized>(
         }
     }
 
-    // Final refinement at t = 1 from the endgame limit point.
-    let x_entry = p.x.clone();
-    let entry_norm = inf_norm(&x_entry);
-    let out = newton_correct(h, &mut p.x, 1.0, settings.final_tol, settings.final_iters);
+    // Final refinement at t = 1 from the endgame limit point; the
+    // predictor buffer is free here and keeps the entry point.
+    predicted.clear();
+    predicted.extend_from_slice(&p.x);
+    let entry_norm = inf_norm(predicted);
+    let out = newton_correct_with(
+        h,
+        &mut p.x,
+        1.0,
+        settings.final_tol,
+        settings.final_iters,
+        ws,
+    );
     p.newton_total += out.iters;
     // Reject a refinement that jumped far away from the tracked limit:
     // that is Newton snapping a divergent path onto an unrelated root.
     let jump: f64 =
         p.x.iter()
-            .zip(x_entry.iter())
+            .zip(predicted.iter())
             .map(|(a, b)| (*a - *b).norm())
             .fold(0.0, f64::max);
     let snapped = jump > 0.25 * (1.0 + entry_norm);
@@ -230,7 +298,7 @@ pub fn track_path<H: Homotopy + ?Sized>(
     } else {
         PathStatus::Failed { at_t: p.t }
     };
-    finish(status, p, out.residual)
+    (status, out.residual)
 }
 
 enum StepOutcome {
@@ -238,45 +306,50 @@ enum StepOutcome {
     Rejected,
 }
 
-/// One predict–correct attempt of length `step`; on success advances `p`.
+/// One predict–correct attempt of length `step`; on success advances `p`
+/// by rotating the state buffers (no copies, no allocation).
 fn try_step<H: Homotopy + ?Sized>(
     h: &H,
     p: &mut Progress,
+    predicted: &mut Vec<Complex64>,
     step: f64,
     settings: &TrackSettings,
+    ws: &mut TrackWorkspace,
 ) -> StepOutcome {
     let t_next = (p.t + step).min(1.0);
-    let predicted = settings.predictor.predict(
-        h,
-        &p.x,
-        p.t,
-        t_next - p.t,
-        p.prev.as_ref().map(|(xp, tp)| (xp.as_slice(), *tp)),
-    );
-    match predicted {
-        Some(mut xp) if xp.iter().all(|z| z.is_finite()) => {
-            let out = newton_correct(
-                h,
-                &mut xp,
-                t_next,
-                settings.corrector_tol,
-                settings.corrector_iters,
-            );
-            p.newton_total += out.iters;
-            if out.converged && xp.iter().all(|z| z.is_finite()) {
-                p.prev = Some((std::mem::replace(&mut p.x, xp), p.t));
-                p.t = t_next;
-                p.steps += 1;
-                StepOutcome::Accepted
-            } else {
-                p.rejections += 1;
-                StepOutcome::Rejected
-            }
-        }
-        _ => {
+    predicted.clear();
+    predicted.resize(h.dim(), Complex64::ZERO);
+    let prev = p.has_prev.then_some((p.prev_x.as_slice(), p.prev_t));
+    let ok = settings
+        .predictor
+        .predict_into(h, &p.x, p.t, t_next - p.t, prev, predicted, ws);
+    if ok && predicted.iter().all(|z| z.is_finite()) {
+        let out = newton_correct_with(
+            h,
+            predicted,
+            t_next,
+            settings.corrector_tol,
+            settings.corrector_iters,
+            ws,
+        );
+        p.newton_total += out.iters;
+        if out.converged && predicted.iter().all(|z| z.is_finite()) {
+            // prev ← x ← predicted, with the old prev buffer becoming
+            // the next prediction scratch.
+            mem::swap(&mut p.prev_x, &mut p.x);
+            mem::swap(&mut p.x, predicted);
+            p.prev_t = p.t;
+            p.has_prev = true;
+            p.t = t_next;
+            p.steps += 1;
+            StepOutcome::Accepted
+        } else {
             p.rejections += 1;
             StepOutcome::Rejected
         }
+    } else {
+        p.rejections += 1;
+        StepOutcome::Rejected
     }
 }
 
@@ -288,7 +361,11 @@ pub fn track_all<H: Homotopy + ?Sized>(
     starts: &[Vec<Complex64>],
     settings: &TrackSettings,
 ) -> (Vec<PathResult>, TrackStats) {
-    let results: Vec<PathResult> = starts.iter().map(|s| track_path(h, s, settings)).collect();
+    let mut ws = TrackWorkspace::new();
+    let results: Vec<PathResult> = starts
+        .iter()
+        .map(|s| track_path_with(h, s, settings, &mut ws))
+        .collect();
     let stats = TrackStats::from_results(&results);
     (results, stats)
 }

@@ -12,7 +12,8 @@
 //! measures that trade-off on cyclic-n paths.
 
 use crate::homotopy::Homotopy;
-use pieri_linalg::{CMat, Lu, LuError};
+use crate::workspace::TrackWorkspace;
+use pieri_linalg::Lu;
 use pieri_num::Complex64;
 
 /// Predictor order used by [`crate::track_path`].
@@ -33,18 +34,44 @@ pub enum Predictor {
 ///
 /// Returns `None` when the Jacobian is singular to working precision.
 pub fn tangent<H: Homotopy + ?Sized>(h: &H, x: &[Complex64], t: f64) -> Option<Vec<Complex64>> {
+    let mut ws = TrackWorkspace::new();
+    let mut out = vec![Complex64::ZERO; h.dim()];
+    tangent_into(h, x, t, &mut out, &mut ws).then_some(out)
+}
+
+/// [`tangent`] against a caller-owned workspace: one fused
+/// [`Homotopy::jacobian_and_dt`] call, an in-place solve on the reused LU
+/// storage, and no heap allocation. Returns `false` (leaving `out`
+/// unspecified) when the Jacobian is singular to working precision.
+///
+/// # Panics
+/// Panics when `out.len() != h.dim()`.
+pub fn tangent_into<H: Homotopy + ?Sized>(
+    h: &H,
+    x: &[Complex64],
+    t: f64,
+    out: &mut [Complex64],
+    ws: &mut TrackWorkspace,
+) -> bool {
     let n = h.dim();
-    let mut jac = CMat::zeros(n, n);
-    let mut ht = vec![Complex64::ZERO; n];
-    h.jacobian_x(x, t, &mut jac);
-    h.dt(x, t, &mut ht);
-    let lu = match Lu::factor(&jac) {
-        Ok(lu) => lu,
-        Err(LuError::Singular { .. }) => return None,
-        Err(LuError::NotSquare) => unreachable!("homotopy Jacobian is square"),
-    };
-    let rhs: Vec<Complex64> = ht.iter().map(|z| -*z).collect();
-    Some(lu.solve(&rhs))
+    assert_eq!(out.len(), n, "tangent_into: output length mismatch");
+    ws.ensure(n);
+    let TrackWorkspace {
+        ht,
+        jac,
+        lu,
+        scratch,
+        ..
+    } = ws;
+    h.jacobian_and_dt(x, t, jac, ht, scratch);
+    if Lu::factor_into(jac, lu).is_err() {
+        return false;
+    }
+    for (o, z) in out.iter_mut().zip(ht.iter()) {
+        *o = -*z;
+    }
+    lu.solve_in_place(out);
+    true
 }
 
 impl Predictor {
@@ -61,46 +88,99 @@ impl Predictor {
         dt: f64,
         prev: Option<(&[Complex64], f64)>,
     ) -> Option<Vec<Complex64>> {
+        let mut ws = TrackWorkspace::new();
+        let mut out = vec![Complex64::ZERO; h.dim()];
+        self.predict_into(h, x, t, dt, prev, &mut out, &mut ws)
+            .then_some(out)
+    }
+
+    /// [`Predictor::predict`] against a caller-owned workspace: the
+    /// Runge–Kutta stages, Davidenko solves and the prediction itself all
+    /// live in reused buffers, so steady-state prediction performs no
+    /// heap allocation. Returns `false` (leaving `out` unspecified) when
+    /// a required Jacobian is singular.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != h.dim()`.
+    #[allow(clippy::too_many_arguments)] // mirrors `predict` + (out, ws)
+    pub fn predict_into<H: Homotopy + ?Sized>(
+        self,
+        h: &H,
+        x: &[Complex64],
+        t: f64,
+        dt: f64,
+        prev: Option<(&[Complex64], f64)>,
+        out: &mut [Complex64],
+        ws: &mut TrackWorkspace,
+    ) -> bool {
+        let n = h.dim();
+        assert_eq!(out.len(), n, "predict_into: output length mismatch");
+        ws.ensure(n);
         match self {
             Predictor::Secant => match prev {
                 Some((xp, tp)) if (t - tp).abs() > 1e-14 => {
                     let scale = dt / (t - tp);
-                    Some(
-                        x.iter()
-                            .zip(xp.iter())
-                            .map(|(xi, pi)| *xi + (*xi - *pi).scale(scale))
-                            .collect(),
-                    )
+                    for i in 0..n {
+                        out[i] = x[i] + (x[i] - xp[i]).scale(scale);
+                    }
+                    true
                 }
                 // No history yet: fall back to a tangent step.
-                _ => Predictor::Tangent.predict(h, x, t, dt, None),
+                _ => Predictor::Tangent.predict_into(h, x, t, dt, None, out, ws),
             },
             Predictor::Tangent => {
-                let v = tangent(h, x, t)?;
-                Some(
-                    x.iter()
-                        .zip(v.iter())
-                        .map(|(xi, vi)| *xi + vi.scale(dt))
-                        .collect(),
-                )
+                // Solve into the k1 stage buffer (taken out so the
+                // workspace can be lent to the tangent solve).
+                let mut k1 = std::mem::take(&mut ws.k1);
+                let ok = tangent_into(h, x, t, &mut k1, ws);
+                if ok {
+                    for i in 0..n {
+                        out[i] = x[i] + k1[i].scale(dt);
+                    }
+                }
+                ws.k1 = k1;
+                ok
             }
             Predictor::RungeKutta4 => {
-                let n = h.dim();
-                let k1 = tangent(h, x, t)?;
-                let mid1: Vec<Complex64> = (0..n).map(|i| x[i] + k1[i].scale(dt / 2.0)).collect();
-                let k2 = tangent(h, &mid1, t + dt / 2.0)?;
-                let mid2: Vec<Complex64> = (0..n).map(|i| x[i] + k2[i].scale(dt / 2.0)).collect();
-                let k3 = tangent(h, &mid2, t + dt / 2.0)?;
-                let end: Vec<Complex64> = (0..n).map(|i| x[i] + k3[i].scale(dt)).collect();
-                let k4 = tangent(h, &end, t + dt)?;
-                Some(
-                    (0..n)
-                        .map(|i| {
-                            x[i] + (k1[i] + k2[i].scale(2.0) + k3[i].scale(2.0) + k4[i])
-                                .scale(dt / 6.0)
-                        })
-                        .collect(),
-                )
+                let mut k1 = std::mem::take(&mut ws.k1);
+                let mut k2 = std::mem::take(&mut ws.k2);
+                let mut k3 = std::mem::take(&mut ws.k3);
+                let mut k4 = std::mem::take(&mut ws.k4);
+                let mut xmid = std::mem::take(&mut ws.xmid);
+                let ok = (|| {
+                    if !tangent_into(h, x, t, &mut k1, ws) {
+                        return false;
+                    }
+                    for i in 0..n {
+                        xmid[i] = x[i] + k1[i].scale(dt / 2.0);
+                    }
+                    if !tangent_into(h, &xmid, t + dt / 2.0, &mut k2, ws) {
+                        return false;
+                    }
+                    for i in 0..n {
+                        xmid[i] = x[i] + k2[i].scale(dt / 2.0);
+                    }
+                    if !tangent_into(h, &xmid, t + dt / 2.0, &mut k3, ws) {
+                        return false;
+                    }
+                    for i in 0..n {
+                        xmid[i] = x[i] + k3[i].scale(dt);
+                    }
+                    if !tangent_into(h, &xmid, t + dt, &mut k4, ws) {
+                        return false;
+                    }
+                    for i in 0..n {
+                        out[i] = x[i]
+                            + (k1[i] + k2[i].scale(2.0) + k3[i].scale(2.0) + k4[i]).scale(dt / 6.0);
+                    }
+                    true
+                })();
+                ws.k1 = k1;
+                ws.k2 = k2;
+                ws.k3 = k3;
+                ws.k4 = k4;
+                ws.xmid = xmid;
+                ok
             }
         }
     }

@@ -283,12 +283,16 @@ impl Bencher {
         let mean = total / self.samples.len() as u32;
         let min = self.samples.iter().min().copied().unwrap_or_default();
         let max = self.samples.iter().max().copied().unwrap_or_default();
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
         let _ = write!(
             out,
-            "                        time:   [{} {} {}]  ({} samples)",
+            "                        time:   [{} {} {}]  median: {}  ({} samples)",
             fmt_duration(min),
             fmt_duration(mean),
             fmt_duration(max),
+            fmt_duration(median),
             self.samples.len()
         );
         out
