@@ -19,7 +19,13 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_shape_cache");
     group.sample_size(10);
     for &(m, p, q) in &shapes {
-        let req = JobRequest::SolvePieri { m, p, q, seed: 1 };
+        let req = JobRequest::SolvePieri {
+            m,
+            p,
+            q,
+            seed: 1,
+            certify: false,
+        };
         group.bench_with_input(
             BenchmarkId::new("cold", format!("{m}_{p}_{q}")),
             &req,
@@ -44,7 +50,15 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
                 let mut seed = 100u64;
                 b.iter(|| {
                     seed += 1;
-                    let res = e.run(JobRequest::SolvePieri { m, p, q, seed }).unwrap();
+                    let res = e
+                        .run(JobRequest::SolvePieri {
+                            m,
+                            p,
+                            q,
+                            seed,
+                            certify: false,
+                        })
+                        .unwrap();
                     assert!(res.cache_hit);
                     res.solutions
                 })

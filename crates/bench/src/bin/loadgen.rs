@@ -54,6 +54,7 @@ fn main() {
         q: 1,
         poles: poles.clone(),
         seed,
+        certify: false,
     };
 
     // Cold request: pays poset + Pieri tree + continuation.
@@ -70,6 +71,30 @@ fn main() {
         ms(cold.solve_time),
         cold.solutions,
         cold.max_residual,
+    );
+
+    // Transport microbenchmark: /healthz round trips isolate the
+    // connection cost from the solve cost. A fresh `Client` per request
+    // pays TCP setup + handler-thread spawn every time; a reused
+    // `Client` rides its kept-alive pooled connection.
+    let probes: u32 = 200;
+    let t = Instant::now();
+    for _ in 0..probes {
+        assert!(Client::new(addr).expect("probe client").health());
+    }
+    let fresh_probe = t.elapsed() / probes;
+    let kept_client = Client::new(addr).expect("probe client");
+    let t = Instant::now();
+    for _ in 0..probes {
+        assert!(kept_client.health());
+    }
+    let kept_probe = t.elapsed() / probes;
+    println!(
+        "transport: /healthz {:.0} µs/req over fresh connections vs {:.0} µs/req \
+         kept-alive ({:.1}× less overhead)",
+        fresh_probe.as_secs_f64() * 1e6,
+        kept_probe.as_secs_f64() * 1e6,
+        fresh_probe.as_secs_f64() / kept_probe.as_secs_f64().max(1e-9),
     );
 
     // Warm phase, single client: like-for-like latency against the cold
@@ -109,6 +134,7 @@ fn main() {
                         q: 1,
                         poles: poles.clone(),
                         seed,
+                        certify: false,
                     };
                     let t = Instant::now();
                     let res = client.solve(&req).expect("warm request");

@@ -35,8 +35,9 @@ mod statespace;
 pub use compensator::Compensator;
 pub use plant::Plant;
 pub use pole::{
-    conjugate_pole_set, solve_dynamic_state_space, solve_dynamic_state_space_with_start,
-    solve_static_state_space, solve_static_state_space_with_start, verify_closed_loop_ss,
+    conjugate_pole_set, solve_dynamic_state_space, solve_dynamic_state_space_certified,
+    solve_dynamic_state_space_with_start, solve_static_state_space,
+    solve_static_state_space_certified, solve_static_state_space_with_start, verify_closed_loop_ss,
     PolePlacement, PolePlacementOutcome,
 };
 pub use satellite::{satellite_plant, SATELLITE_OMEGA};

@@ -3,6 +3,7 @@
 use crate::compensator::Compensator;
 use crate::plant::Plant;
 use crate::statespace::{spectrum_distance, StateSpace};
+use pieri_certify::CertifyPolicy;
 use pieri_core::{InstanceContinuation, PieriProblem, PieriSolution, Shape, StartBundle};
 use pieri_linalg::{CMat, Lu, Qr};
 use pieri_num::{random_complex, random_gamma, Complex64};
@@ -186,21 +187,53 @@ fn unrotate_maps(cont: &mut InstanceContinuation, t: &CMat) {
 
 /// The warm path of [`solve_application_instance`]: skip the Pieri tree
 /// and continue the *cached* generic solutions of `start` to the
-/// application data. `d(m,p,q)` straight-line paths is all it costs —
-/// this is what a shape-cache hit buys the batch service.
-fn continue_application_instance<R: Rng + ?Sized>(
+/// application data (`d(m,p,q)` straight-line paths — what a shape-cache
+/// hit buys the batch service), re-tracking failed paths and
+/// certifying/refining endpoints per `policy` (in the rotated
+/// coordinates, where the homotopy lives — refinement happens before
+/// the maps are rotated back). [`CertifyPolicy::off`] is the plain
+/// uncertified warm path.
+fn continue_application_instance_certified<R: Rng + ?Sized>(
     shape: Shape,
     planes: Vec<CMat>,
     points: Vec<Complex64>,
     rng: &mut R,
     start: &StartBundle,
     settings: &TrackSettings,
+    policy: &CertifyPolicy,
 ) -> (InstanceContinuation, PieriProblem) {
     assert_eq!(start.shape(), &shape, "start bundle serves another shape");
     let (t, target) = rotated_target(&shape, &planes, points, rng);
-    let mut cont = start.continue_to(&target, settings);
+    let mut cont = start.continue_to_certified(&target, settings, policy);
     unrotate_maps(&mut cont, &t);
     (cont, target)
+}
+
+/// Verifies the closed-loop pole residuals of certified solutions
+/// against the *requested* poles and folds the result into the
+/// certificates: every certificate gains `pole_residual`, and a
+/// `Certified` verdict whose residual exceeds `policy.pole_residual_tol`
+/// is downgraded to `Suspect` — the Newton certificate alone never
+/// overrules the application-level check.
+fn verify_pole_certificates(
+    ss: &StateSpace,
+    cont: &mut InstanceContinuation,
+    poles: &[Complex64],
+    policy: &CertifyPolicy,
+) {
+    if cont.certificates.is_empty() {
+        return;
+    }
+    for (cert, map) in cont.certificates.iter_mut().zip(cont.maps.iter()) {
+        let (_, residual) = verify_closed_loop_ss(ss, map, poles);
+        cert.pole_residual = Some(residual);
+        if residual > policy.pole_residual_tol {
+            cert.downgrade(format!(
+                "closed-loop pole residual {residual:.2e} exceeds {:.0e}",
+                policy.pole_residual_tol
+            ));
+        }
+    }
 }
 
 /// Solves static (`q = 0`) output feedback for a state-space plant: the
@@ -250,13 +283,40 @@ pub fn solve_static_state_space_with_start<R: Rng + ?Sized>(
     start: &StartBundle,
     settings: &TrackSettings,
 ) -> (Vec<CMat>, InstanceContinuation, PieriProblem) {
+    solve_static_state_space_certified(ss, poles, rng, start, settings, &CertifyPolicy::off())
+}
+
+/// [`solve_static_state_space_with_start`] with a [`CertifyPolicy`]:
+/// failed continuation paths are re-tracked, every solution map gets a
+/// Newton certificate (double-double-refined per policy) **and** its
+/// closed-loop pole residual against the requested `poles` — a verdict
+/// is only `Certified` when both checks pass.
+///
+/// # Panics
+/// As [`solve_static_state_space_with_start`].
+pub fn solve_static_state_space_certified<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    poles: &[Complex64],
+    rng: &mut R,
+    start: &StartBundle,
+    settings: &TrackSettings,
+    policy: &CertifyPolicy,
+) -> (Vec<CMat>, InstanceContinuation, PieriProblem) {
     let m = ss.inputs();
     let p = ss.outputs();
     assert_eq!(poles.len(), m * p, "static output feedback needs m·p poles");
     let shape = Shape::new(m, p, 0);
     let planes: Vec<CMat> = poles.iter().map(|&s| ss.pole_plane(s)).collect();
-    let (cont, problem) =
-        continue_application_instance(shape, planes, poles.to_vec(), rng, start, settings);
+    let (mut cont, problem) = continue_application_instance_certified(
+        shape,
+        planes,
+        poles.to_vec(),
+        rng,
+        start,
+        settings,
+        policy,
+    );
+    verify_pole_certificates(ss, &mut cont, poles, policy);
     let gains = cont
         .maps
         .iter()
@@ -341,11 +401,32 @@ pub fn solve_dynamic_state_space_with_start<R: Rng + ?Sized>(
     start: &StartBundle,
     settings: &TrackSettings,
 ) -> (Vec<Compensator>, InstanceContinuation, PieriProblem) {
+    solve_dynamic_state_space_certified(ss, q, poles, rng, start, settings, &CertifyPolicy::off())
+}
+
+/// [`solve_dynamic_state_space_with_start`] with a [`CertifyPolicy`]:
+/// re-tracked paths, Newton certificates with double-double refinement,
+/// and closed-loop verification of the requested `poles` folded into
+/// each certificate (see [`solve_static_state_space_certified`]).
+///
+/// # Panics
+/// As [`solve_dynamic_state_space_with_start`].
+pub fn solve_dynamic_state_space_certified<R: Rng + ?Sized>(
+    ss: &StateSpace,
+    q: usize,
+    poles: &[Complex64],
+    rng: &mut R,
+    start: &StartBundle,
+    settings: &TrackSettings,
+    policy: &CertifyPolicy,
+) -> (Vec<Compensator>, InstanceContinuation, PieriProblem) {
     let m = ss.inputs();
     let p = ss.outputs();
     let (shape, planes, points) = dynamic_conditions(ss, q, poles, rng);
-    let (cont, problem) =
-        continue_application_instance(shape, planes, points, rng, start, settings);
+    let (mut cont, problem) = continue_application_instance_certified(
+        shape, planes, points, rng, start, settings, policy,
+    );
+    verify_pole_certificates(ss, &mut cont, poles, policy);
     let compensators = cont
         .maps
         .iter()
@@ -513,6 +594,65 @@ mod tests {
         assert_eq!(n_a, n_b);
         assert_eq!(coeffs_a, coeffs_b, "same bundle + request seed → same bits");
         assert!(n_a > 0);
+    }
+
+    #[test]
+    fn certified_dynamic_solve_certifies_and_verifies_poles() {
+        let mut rng = seeded_rng(537);
+        let sat = crate::satellite_plant(1.0);
+        let poles = conjugate_pole_set(5, &mut rng);
+        let bundle = StartBundle::build(Shape::new(2, 2, 1), &mut rng, &TrackSettings::default());
+        let (comps, cont, _) = solve_dynamic_state_space_certified(
+            &sat,
+            1,
+            &poles,
+            &mut rng,
+            &bundle,
+            &TrackSettings::default(),
+            &CertifyPolicy::full(),
+        );
+        assert_eq!(comps.len(), 8, "d(2,2,1) = 8");
+        assert_eq!(cont.certificates.len(), 8);
+        for (i, cert) in cont.certificates.iter().enumerate() {
+            assert!(cert.is_certified(), "solution {i}: {cert:?}");
+            assert!(cert.refined);
+            assert!(
+                cert.residual() <= 1e-13,
+                "solution {i} refined residual {:e}",
+                cert.residual()
+            );
+            let pr = cert.pole_residual.expect("pole residual filled");
+            assert!(pr < 1e-6, "solution {i} pole residual {pr:.2e}");
+        }
+        // Stats still account exactly the d(m,p,q) continuation paths.
+        assert_eq!(cont.stats.total(), 8);
+    }
+
+    #[test]
+    fn pole_residual_check_downgrades_wrong_certificates() {
+        // Verify against the WRONG pole set: the Newton certificate
+        // holds (the solutions solve the solved problem) but the
+        // closed-loop check must downgrade every verdict.
+        let mut rng = seeded_rng(538);
+        let sat = crate::satellite_plant(1.0);
+        let poles = conjugate_pole_set(5, &mut rng);
+        let bundle = StartBundle::build(Shape::new(2, 2, 1), &mut rng, &TrackSettings::default());
+        let policy = CertifyPolicy::full();
+        let (_, mut cont, _) = solve_dynamic_state_space_certified(
+            &sat,
+            1,
+            &poles,
+            &mut rng,
+            &bundle,
+            &TrackSettings::default(),
+            &policy,
+        );
+        let wrong: Vec<Complex64> = poles.iter().map(|s| *s + Complex64::real(0.5)).collect();
+        verify_pole_certificates(&sat, &mut cont, &wrong, &policy);
+        for cert in &cont.certificates {
+            assert!(!cert.is_certified(), "{cert:?}");
+            assert!(cert.pole_residual.unwrap() > policy.pole_residual_tol);
+        }
     }
 
     #[test]

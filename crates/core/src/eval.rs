@@ -110,6 +110,15 @@ impl CoeffLayout {
         self.phys[k]
     }
 
+    /// Degree `d` of slot `k` (the block index of its concatenated row):
+    /// the slot's weight at a dehomogenised point `(s, 1)` is `s^d`.
+    /// Exposed for evaluators that rebuild condition matrices at other
+    /// scalar precisions (the double-double refinement layer).
+    #[inline]
+    pub fn slot_degree(&self, k: usize) -> usize {
+        self.deg[k]
+    }
+
     /// Column (0-indexed) of slot `k`.
     #[inline]
     pub fn col(&self, k: usize) -> usize {

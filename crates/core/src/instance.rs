@@ -17,10 +17,12 @@
 //! Instance solutions lying outside the coordinate chart (improper
 //! feedback laws "at infinity") show up as honestly divergent paths.
 
+use crate::certified::certify_solution_set;
 use crate::eval::CoeffLayout;
 use crate::maps::PMap;
 use crate::problem::PieriProblem;
 use crate::scratch::CondScratch;
+use pieri_certify::{Certificate, CertifyPolicy};
 use pieri_linalg::{det, det_gradient, CMat};
 use pieri_num::Complex64;
 use pieri_tracker::{
@@ -277,6 +279,9 @@ pub struct InstanceContinuation {
     /// Aggregate tracking statistics over all continuation paths (the
     /// per-job diagnostics the batch service reports).
     pub stats: TrackStats,
+    /// One certificate per entry of `coeffs`/`maps`, in order — filled
+    /// by [`continue_to_instance_certified`], empty otherwise.
+    pub certificates: Vec<Certificate>,
 }
 
 /// Tracks all solutions of the generic `start` instance to the `target`
@@ -288,9 +293,25 @@ pub fn continue_to_instance(
     target: &PieriProblem,
     settings: &TrackSettings,
 ) -> InstanceContinuation {
+    continue_to_instance_certified(start, start_coeffs, target, settings, &CertifyPolicy::off())
+}
+
+/// [`continue_to_instance`] with a [`CertifyPolicy`]: failed paths are
+/// re-tracked per `policy.retrack`, converged endpoints are certified
+/// against the target conditions and (per policy) double-double-refined
+/// in place, with one [`Certificate`] per shipped solution.
+///
+/// [`CertifyPolicy::off`] reproduces the uncertified behaviour exactly.
+pub fn continue_to_instance_certified(
+    start: &PieriProblem,
+    start_coeffs: &[Vec<Complex64>],
+    target: &PieriProblem,
+    settings: &TrackSettings,
+    policy: &CertifyPolicy,
+) -> InstanceContinuation {
     let h = InstanceHomotopy::new(start, target);
     let root = start.shape().root();
-    let mut maps = Vec::new();
+    let track_settings = policy.effective_settings(settings);
     let mut coeffs = Vec::new();
     let mut diverged = 0;
     let mut failed = 0;
@@ -298,23 +319,26 @@ pub fn continue_to_instance(
     // One workspace across all d(m,p,q) continuation paths.
     let mut ws = TrackWorkspace::new();
     for x0 in start_coeffs {
-        let r = track_path_with(&h, x0, settings, &mut ws);
-        stats.record(r.status, r.steps, r.newton_iters, r.elapsed);
+        let r = track_path_with(&h, x0, &track_settings, &mut ws);
+        stats.record(&r);
         match r.status {
-            PathStatus::Converged => {
-                maps.push(PMap::from_coeffs(&root, &r.x));
-                coeffs.push(r.x);
-            }
+            PathStatus::Converged => coeffs.push(r.x),
             PathStatus::Diverged { .. } => diverged += 1,
             PathStatus::Failed { .. } => failed += 1,
         }
     }
+    // Certify + refine the shipped endpoints (refinement updates the
+    // coefficient vectors in place; maps are built from the refined
+    // values).
+    let certificates = certify_solution_set(target, &mut coeffs, policy);
+    let maps = coeffs.iter().map(|x| PMap::from_coeffs(&root, x)).collect();
     InstanceContinuation {
         maps,
         coeffs,
         diverged,
         failed,
         stats,
+        certificates,
     }
 }
 

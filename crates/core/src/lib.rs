@@ -40,6 +40,7 @@
 // clippy suggests obscures the index coupling.
 #![allow(clippy::needless_range_loop)]
 
+mod certified;
 mod eval;
 mod homotopy;
 mod instance;
@@ -51,14 +52,18 @@ mod scratch;
 mod solver;
 mod start;
 
+pub use certified::{certify_solution_set, TargetConditions};
 pub use eval::CoeffLayout;
 pub use homotopy::{special_plane, PieriHomotopy};
-pub use instance::{continue_to_instance, InstanceContinuation, InstanceHomotopy};
+pub use instance::{
+    continue_to_instance, continue_to_instance_certified, InstanceContinuation, InstanceHomotopy,
+};
 pub use maps::PMap;
 pub use pattern::{Pattern, Shape};
 pub use poset::{root_count, LevelProfile, Poset};
 pub use problem::PieriProblem;
 pub use solver::{
-    run_job, run_job_with, solve, solve_prepared, solve_with_settings, JobRecord, PieriSolution,
+    certify_roots, run_job, run_job_with, solve, solve_prepared, solve_prepared_certified,
+    solve_with_settings, JobRecord, PieriSolution,
 };
 pub use start::StartBundle;

@@ -11,12 +11,14 @@
 //! `pieri-parallel`; it runs the same jobs in dependency order and must
 //! produce the same solution set (a cross-check in the integration tests).
 
+use crate::certified::certify_solution_set;
 use crate::eval::CoeffLayout;
 use crate::homotopy::PieriHomotopy;
 use crate::maps::PMap;
 use crate::pattern::Pattern;
 use crate::poset::Poset;
 use crate::problem::PieriProblem;
+use pieri_certify::{Certificate, CertifyPolicy};
 use pieri_num::Complex64;
 use pieri_tracker::{track_path_with, PathStatus, TrackSettings, TrackWorkspace};
 use std::collections::HashMap;
@@ -49,6 +51,10 @@ pub struct PieriSolution {
     /// Jobs whose path did not converge (empty for generic inputs —
     /// Pieri homotopies are optimal, no path diverges).
     pub failures: usize,
+    /// One certificate per root solution, in `coeffs` order — filled by
+    /// [`solve_prepared_certified`] (and the certified parallel
+    /// drivers), empty otherwise.
+    pub certificates: Vec<Certificate>,
 }
 
 impl PieriSolution {
@@ -184,6 +190,43 @@ pub fn solve_prepared(
         coeffs,
         records,
         failures,
+        certificates: Vec::new(),
+    }
+}
+
+/// [`solve_prepared`] with a [`CertifyPolicy`] knob: tracking jobs
+/// re-track failed paths per `policy.retrack`, and the root solutions —
+/// the ones a solve ships — are certified against the problem's
+/// intersection conditions and (per policy) double-double-refined in
+/// place, filling [`PieriSolution::certificates`].
+///
+/// # Panics
+/// Panics when `poset` was built for a different shape.
+pub fn solve_prepared_certified(
+    problem: &PieriProblem,
+    poset: &Poset,
+    settings: &TrackSettings,
+    policy: &CertifyPolicy,
+) -> PieriSolution {
+    let track_settings = policy.effective_settings(settings);
+    let mut solution = solve_prepared(problem, poset, &track_settings);
+    certify_roots(problem, &mut solution, policy);
+    solution
+}
+
+/// Certifies (and per policy refines) the root solutions of an
+/// already-computed [`PieriSolution`] in place — the seam the parallel
+/// drivers use, since they own their job scheduling but ship the same
+/// root coefficient vectors.
+pub fn certify_roots(problem: &PieriProblem, solution: &mut PieriSolution, policy: &CertifyPolicy) {
+    solution.certificates = certify_solution_set(problem, &mut solution.coeffs, policy);
+    if policy.refine {
+        let root = problem.shape().root();
+        solution.maps = solution
+            .coeffs
+            .iter()
+            .map(|x| PMap::from_coeffs(&root, x))
+            .collect();
     }
 }
 

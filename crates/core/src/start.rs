@@ -122,6 +122,38 @@ impl StartBundle {
     ) -> InstanceContinuation {
         continue_to_instance(&self.problem, &self.coeffs, target, settings)
     }
+
+    /// [`StartBundle::continue_to`] with a
+    /// [`pieri_certify::CertifyPolicy`]: re-tracks failed paths,
+    /// certifies every shipped solution and refines per policy (see
+    /// [`crate::continue_to_instance_certified`]).
+    pub fn continue_to_certified(
+        &self,
+        target: &PieriProblem,
+        settings: &TrackSettings,
+        policy: &pieri_certify::CertifyPolicy,
+    ) -> InstanceContinuation {
+        crate::instance::continue_to_instance_certified(
+            &self.problem,
+            &self.coeffs,
+            target,
+            settings,
+            policy,
+        )
+    }
+
+    /// Rough resident size of this bundle in bytes: the generic solution
+    /// set, the problem data and the poset's patterns. Used by the
+    /// service's shape cache for byte-budget eviction — an estimate, not
+    /// an accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let shape = self.problem.shape();
+        let coeff_bytes: usize = self.coeffs.iter().map(|c| c.len() * 16 + 32).sum();
+        let plane_bytes = shape.conditions() * shape.big_n() * shape.m() * 16;
+        // Patterns store their pivot vectors; count nodes × pivots.
+        let poset_bytes = self.poset.node_count() * (shape.p() * 8 + 64);
+        coeff_bytes + plane_bytes + poset_bytes + 256
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Scalar-generic dense kernels: the same Gaussian elimination at any
+//! precision.
+//!
+//! The fused [`crate::DetCofactor`] engine is the `Complex64` fast path
+//! of the homotopy evaluators; this module is its precision-agnostic
+//! sibling, written over [`pieri_num::Scalar`] so the a-posteriori
+//! refinement layer can evaluate determinantal conditions in
+//! double-double ([`pieri_num::DdComplex`]) without duplicating the
+//! elimination logic. Matrices stay small (condition matrices are at
+//! most a few dozen rows), so a straightforward partial-pivot
+//! elimination is both robust and fast enough.
+
+use pieri_num::Scalar;
+
+/// Determinant of the `n × n` row-major matrix in `a`, by Gaussian
+/// elimination with partial pivoting (largest `mag_sqr` in the column).
+/// `a` is destroyed.
+///
+/// Returns the exact zero of `S` when the matrix is singular to the
+/// working precision of `S`.
+///
+/// # Panics
+/// Panics when `a.len() != n * n`.
+pub fn det_generic<S: Scalar>(a: &mut [S], n: usize) -> S {
+    assert_eq!(a.len(), n * n, "det_generic: matrix must be n×n");
+    let mut det = S::one();
+    for k in 0..n {
+        // Pivot search in column k.
+        let mut piv = k;
+        let mut best = a[k * n + k].mag_sqr();
+        for r in (k + 1)..n {
+            let m = a[r * n + k].mag_sqr();
+            if m > best {
+                best = m;
+                piv = r;
+            }
+        }
+        if best == 0.0 {
+            return S::zero();
+        }
+        if piv != k {
+            for c in k..n {
+                a.swap(k * n + c, piv * n + c);
+            }
+            det = -det;
+        }
+        let pivot = a[k * n + k];
+        det = det * pivot;
+        for r in (k + 1)..n {
+            let factor = a[r * n + k] / pivot;
+            if factor.is_zero() {
+                continue;
+            }
+            for c in (k + 1)..n {
+                let sub = factor * a[k * n + c];
+                a[r * n + c] = a[r * n + c] - sub;
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{det, CMat};
+    use pieri_num::{random_complex, seeded_rng, Complex64, DdComplex};
+
+    fn flatten<S: Scalar>(m: &CMat) -> Vec<S> {
+        let mut out = Vec::with_capacity(m.rows() * m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                out.push(S::from_c64(m[(i, j)]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn generic_det_matches_lu_det_both_scalars() {
+        let mut rng = seeded_rng(910);
+        for n in 1..=6 {
+            let m = CMat::random(n, n, &mut rng, random_complex);
+            let reference = det(&m);
+            let d64 = det_generic(&mut flatten::<Complex64>(&m), n);
+            let ddd = det_generic(&mut flatten::<DdComplex>(&m), n).to_c64();
+            assert!(
+                d64.dist(reference) < 1e-10 * (1.0 + reference.norm()),
+                "n={n} f64"
+            );
+            assert!(
+                ddd.dist(reference) < 1e-10 * (1.0 + reference.norm()),
+                "n={n} dd"
+            );
+        }
+    }
+
+    #[test]
+    fn singular_matrix_gives_zero() {
+        // Rank-1 matrix.
+        let m = CMat::from_fn(3, 3, |i, j| {
+            Complex64::real((i + 1) as f64 * (j + 1) as f64)
+        });
+        let d = det_generic(&mut flatten::<DdComplex>(&m), 3);
+        assert!(d.mag_sqr() < 1e-20, "{d:?}");
+    }
+
+    #[test]
+    fn dd_det_resolves_near_cancellation_better_than_f64() {
+        // A 2×2 with determinant 2^-60·(1 + small): ad − bc cancels
+        // catastrophically in f64 entries but the generic elimination in
+        // Dd keeps the full cross-term error.
+        let eps = 2f64.powi(-30);
+        let m = CMat::from_rows(&[
+            vec![Complex64::real(1.0 + eps), Complex64::real(1.0)],
+            vec![Complex64::real(1.0), Complex64::real(1.0 - eps)],
+        ]);
+        // Exact determinant: (1+eps)(1−eps) − 1 = −eps².
+        let exact = -(eps * eps);
+        let dd = det_generic(&mut flatten::<DdComplex>(&m), 2).to_c64();
+        assert!(
+            (dd.re - exact).abs() < 1e-12 * eps * eps,
+            "dd {:e} vs {exact:e}",
+            dd.re
+        );
+    }
+}

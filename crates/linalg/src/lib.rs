@@ -30,6 +30,7 @@
 
 mod adjugate;
 mod eig;
+mod generic;
 mod lu;
 mod matrix;
 mod qr;
@@ -40,6 +41,7 @@ pub use adjugate::{
     FUSED_PIVOT_RATIO_LIMIT,
 };
 pub use eig::{eigenvalues, hessenberg, EigError};
+pub use generic::det_generic;
 pub use lu::{det, try_det, Lu, LuError};
 pub use matrix::CMat;
 pub use qr::Qr;

@@ -1,0 +1,484 @@
+//! Double-double arithmetic: ~106-bit significands from pairs of `f64`s.
+//!
+//! A [`Dd`] value represents the exact, unevaluated sum `hi + lo` of two
+//! doubles with `|lo| ≤ ulp(hi)/2`, giving roughly twice the precision of
+//! `f64` at a handful of flops per operation. The building blocks are the
+//! classical *error-free transforms*: Knuth's `two_sum` (the rounded sum
+//! and its exact rounding error) and Dekker's `two_prod` (the rounded
+//! product and its exact error via 27-bit splitting). The composite
+//! add/mul/div follow the accurate variants of the QD library
+//! (Hida–Li–Bailey).
+//!
+//! [`DdComplex`] pairs two [`Dd`]s into a double-double complex number —
+//! the scalar the a-posteriori refinement layer (`pieri-certify`)
+//! iterates in when polishing tracked endpoints beyond `f64`.
+//!
+//! Range caveat: the Dekker split scales by `2²⁷ + 1`, so `two_prod`
+//! overflows for inputs above ~`2⁹⁹⁶`. Endpoint refinement operates on
+//! solution-scale data, far inside that range.
+
+use crate::complex::Complex64;
+use crate::scalar::Scalar;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Knuth's two-sum: returns `(s, e)` with `s = fl(a + b)` and
+/// `s + e = a + b` **exactly** (no assumption on the magnitudes).
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Fast two-sum, valid when `|a| ≥ |b|` (or either is zero): same
+/// contract as [`two_sum`] in three flops.
+#[inline]
+pub fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Dekker's splitting constant `2²⁷ + 1`.
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Splits `a` into a 26-bit high part and a 26-bit low part with
+/// `a = hi + lo` exactly.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let t = SPLITTER * a;
+    let hi = t - (t - a);
+    (hi, a - hi)
+}
+
+/// Dekker's two-product: returns `(p, e)` with `p = fl(a · b)` and
+/// `p + e = a · b` **exactly** (for inputs below ~`2⁹⁹⁶`).
+#[inline]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let e = ((ahi * bhi - p) + ahi * blo + alo * bhi) + alo * blo;
+    (p, e)
+}
+
+/// A double-double real number: the unevaluated sum `hi + lo`.
+///
+/// The representation is kept *normalised* (`|lo| ≤ ulp(hi)/2`) by every
+/// constructor and operation, so `hi` alone is the correctly rounded
+/// `f64` value and comparisons can proceed lexicographically.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Dd {
+    hi: f64,
+    lo: f64,
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+
+    /// Lifts an `f64` (exact).
+    #[inline]
+    pub const fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Builds from an (already rounded) high part and an error term,
+    /// renormalising.
+    #[inline]
+    pub fn from_parts(hi: f64, lo: f64) -> Dd {
+        let (s, e) = two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    /// The high (leading) component — the correctly rounded `f64` value.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// The low (error) component.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Rounds to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Dd {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.hi.is_finite() && self.lo.is_finite()
+    }
+}
+
+impl fmt::Debug for Dd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dd({:e} + {:e})", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for Dd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl From<f64> for Dd {
+    #[inline]
+    fn from(x: f64) -> Dd {
+        Dd::from_f64(x)
+    }
+}
+
+impl PartialOrd for Dd {
+    fn partial_cmp(&self, other: &Dd) -> Option<std::cmp::Ordering> {
+        // Normalised representation: lexicographic on (hi, lo).
+        match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Equal) => self.lo.partial_cmp(&other.lo),
+            ord => ord,
+        }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    /// Accurate (IEEE-style) double-double addition.
+    fn add(self, b: Dd) -> Dd {
+        let (s1, s2) = two_sum(self.hi, b.hi);
+        let (t1, t2) = two_sum(self.lo, b.lo);
+        let s2 = s2 + t1;
+        let (s1, s2) = quick_two_sum(s1, s2);
+        let s2 = s2 + t2;
+        let (s1, s2) = quick_two_sum(s1, s2);
+        Dd { hi: s1, lo: s2 }
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, b: Dd) -> Dd {
+        self + (-b)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    fn mul(self, b: Dd) -> Dd {
+        let (p1, p2) = two_prod(self.hi, b.hi);
+        let p2 = p2 + self.hi * b.lo + self.lo * b.hi;
+        let (p1, p2) = quick_two_sum(p1, p2);
+        Dd { hi: p1, lo: p2 }
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    /// Long division: three quotient digits with exact remainders.
+    fn div(self, b: Dd) -> Dd {
+        let q1 = self.hi / b.hi;
+        let r = self - b * Dd::from_f64(q1);
+        let q2 = r.hi / b.hi;
+        let r = r - b * Dd::from_f64(q2);
+        let q3 = r.hi / b.hi;
+        let (s, e) = quick_two_sum(q1, q2);
+        Dd { hi: s, lo: e } + Dd::from_f64(q3)
+    }
+}
+
+impl AddAssign for Dd {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dd) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Dd {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dd) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Dd {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Dd) {
+        *self = *self * rhs;
+    }
+}
+
+/// A double-double complex number: [`Dd`] real and imaginary parts.
+///
+/// Division clears the denominator with the conjugate — no Smith
+/// scaling; refinement operates at solution scale where the plain
+/// formula is safe (and twice-precise).
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct DdComplex {
+    /// Real part.
+    pub re: Dd,
+    /// Imaginary part.
+    pub im: Dd,
+}
+
+impl DdComplex {
+    /// Zero.
+    pub const ZERO: DdComplex = DdComplex {
+        re: Dd::ZERO,
+        im: Dd::ZERO,
+    };
+    /// One.
+    pub const ONE: DdComplex = DdComplex {
+        re: Dd::ONE,
+        im: Dd::ZERO,
+    };
+
+    /// Builds from double-double components.
+    #[inline]
+    pub const fn new(re: Dd, im: Dd) -> DdComplex {
+        DdComplex { re, im }
+    }
+
+    /// Lifts a [`Complex64`] (exact).
+    #[inline]
+    pub fn from_c64(z: Complex64) -> DdComplex {
+        DdComplex {
+            re: Dd::from_f64(z.re),
+            im: Dd::from_f64(z.im),
+        }
+    }
+
+    /// Rounds to [`Complex64`].
+    #[inline]
+    pub fn to_c64(self) -> Complex64 {
+        Complex64::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> DdComplex {
+        DdComplex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus in double-double.
+    #[inline]
+    pub fn norm_sqr(self) -> Dd {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus rounded to `f64` (precise enough for norms and pivoting).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().to_f64().sqrt()
+    }
+
+    /// True when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for DdComplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}+{:?}i)", self.re, self.im)
+    }
+}
+
+impl Add for DdComplex {
+    type Output = DdComplex;
+    #[inline]
+    fn add(self, b: DdComplex) -> DdComplex {
+        DdComplex {
+            re: self.re + b.re,
+            im: self.im + b.im,
+        }
+    }
+}
+
+impl Sub for DdComplex {
+    type Output = DdComplex;
+    #[inline]
+    fn sub(self, b: DdComplex) -> DdComplex {
+        DdComplex {
+            re: self.re - b.re,
+            im: self.im - b.im,
+        }
+    }
+}
+
+impl Neg for DdComplex {
+    type Output = DdComplex;
+    #[inline]
+    fn neg(self) -> DdComplex {
+        DdComplex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Mul for DdComplex {
+    type Output = DdComplex;
+    #[inline]
+    fn mul(self, b: DdComplex) -> DdComplex {
+        DdComplex {
+            re: self.re * b.re - self.im * b.im,
+            im: self.re * b.im + self.im * b.re,
+        }
+    }
+}
+
+impl Div for DdComplex {
+    type Output = DdComplex;
+    fn div(self, b: DdComplex) -> DdComplex {
+        let n = b.norm_sqr();
+        let t = self * b.conj();
+        DdComplex {
+            re: t.re / n,
+            im: t.im / n,
+        }
+    }
+}
+
+impl AddAssign for DdComplex {
+    #[inline]
+    fn add_assign(&mut self, rhs: DdComplex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for DdComplex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: DdComplex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for DdComplex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: DdComplex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Scalar for DdComplex {
+    #[inline]
+    fn zero() -> Self {
+        DdComplex::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        DdComplex::ONE
+    }
+    #[inline]
+    fn from_c64(z: Complex64) -> Self {
+        DdComplex::from_c64(z)
+    }
+    #[inline]
+    fn to_c64(self) -> Complex64 {
+        DdComplex::to_c64(self)
+    }
+    #[inline]
+    fn mag_sqr(self) -> f64 {
+        self.norm_sqr().to_f64()
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        DdComplex::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_error_free_on_cancellation() {
+        // 1 + 2^-60 loses the tail in f64; two_sum keeps it in e.
+        let a = 1.0;
+        let b = 2f64.powi(-60);
+        let (s, e) = two_sum(a, b);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn two_prod_error_matches_fma() {
+        let a = 1.1e10;
+        let b = 3.7e-3;
+        let (p, e) = two_prod(a, b);
+        assert_eq!(p, a * b);
+        assert_eq!(e, a.mul_add(b, -p), "exact product error");
+    }
+
+    #[test]
+    fn dd_keeps_106_bit_tails() {
+        let x = Dd::ONE;
+        let eps = Dd::from_f64(2f64.powi(-80));
+        let y = x + eps;
+        assert_eq!(y.to_f64(), 1.0, "tail invisible at f64");
+        let back = y - x;
+        assert_eq!(back, eps, "tail recovered exactly");
+        assert!(x < y, "ordering sees the tail");
+    }
+
+    #[test]
+    fn dd_division_inverts_multiplication_to_dd_precision() {
+        let a = Dd::from_f64(std::f64::consts::PI);
+        let b = Dd::from_f64(std::f64::consts::E);
+        let q = (a * b) / b;
+        let err = (q - a).abs();
+        assert!(err.to_f64() < 1e-30, "err {:?}", err);
+    }
+
+    #[test]
+    fn dd_complex_roundtrip_and_field_ops() {
+        let a = DdComplex::from_c64(Complex64::new(1.25, -0.5));
+        let b = DdComplex::from_c64(Complex64::new(-0.75, 2.0));
+        assert_eq!((a + b).to_c64(), Complex64::new(0.5, 1.5));
+        let q = (a * b) / b;
+        assert!((q - a).norm() < 1e-30);
+        assert_eq!(a.conj().to_c64(), Complex64::new(1.25, 0.5));
+    }
+
+    #[test]
+    fn dd_complex_mul_matches_f64_to_roundoff() {
+        let za = Complex64::new(0.3, -1.7);
+        let zb = Complex64::new(-2.1, 0.9);
+        let dd = DdComplex::from_c64(za) * DdComplex::from_c64(zb);
+        assert!(dd.to_c64().dist(za * zb) < 1e-15);
+    }
+}

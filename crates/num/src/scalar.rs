@@ -1,0 +1,99 @@
+//! Generic complex-scalar abstraction over precision levels.
+//!
+//! Numeric kernels that must run in more than one precision — the
+//! generic determinant in `pieri-linalg`, the endpoint refiner in
+//! `pieri-certify`, the double-double condition evaluator in
+//! `pieri-core` — are written once over this trait and instantiated
+//! with [`Complex64`] (working precision) or
+//! [`DdComplex`](crate::DdComplex) (~106-bit refinement precision).
+
+use crate::complex::Complex64;
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex field scalar usable by the generic numeric kernels.
+///
+/// Implementations must form a field under the arithmetic operators and
+/// convert losslessly *from* `Complex64` ([`Scalar::from_c64`] embeds
+/// working-precision data exactly; [`Scalar::to_c64`] rounds back).
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact embedding of a working-precision complex number.
+    fn from_c64(z: Complex64) -> Self;
+    /// Rounds to working precision.
+    fn to_c64(self) -> Complex64;
+    /// Approximate squared magnitude in `f64` — for pivot selection and
+    /// norms, where working precision is plenty.
+    fn mag_sqr(self) -> f64;
+    /// True when every component is finite.
+    fn is_finite(self) -> bool;
+    /// True when exactly zero.
+    fn is_zero(self) -> bool {
+        self.mag_sqr() == 0.0
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline]
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    #[inline]
+    fn from_c64(z: Complex64) -> Self {
+        z
+    }
+    #[inline]
+    fn to_c64(self) -> Complex64 {
+        self
+    }
+    #[inline]
+    fn mag_sqr(self) -> f64 {
+        self.norm_sqr()
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DdComplex;
+
+    fn generic_sum<S: Scalar>(zs: &[Complex64]) -> Complex64 {
+        let mut acc = S::zero();
+        for &z in zs {
+            acc = acc + S::from_c64(z);
+        }
+        acc.to_c64()
+    }
+
+    #[test]
+    fn complex64_and_dd_agree_through_the_trait() {
+        let zs = [
+            Complex64::new(1.0, 2.0),
+            Complex64::new(-0.5, 0.25),
+            Complex64::new(3.5, -1.0),
+        ];
+        let a = generic_sum::<Complex64>(&zs);
+        let b = generic_sum::<DdComplex>(&zs);
+        assert!(a.dist(b) < 1e-15);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the double-double layer: the error-free transforms
+//! really are error-free, `Dd` round-trips `f64`, and ordering is
+//! consistent with (and finer than) `f64` ordering.
+//!
+//! Exactness of `two_sum` is checked against 128-bit integer arithmetic:
+//! operands are generated on a dyadic grid (`mantissa · 2^exp` with
+//! bounded mantissas and exponents) so every intermediate value — the
+//! operands, their exact sum, the rounded sum and its error term — lies
+//! on a common grid that fits in `i128`. Exactness of `two_prod` is
+//! checked against `f64::mul_add`, whose single-rounding contract makes
+//! `fma(a, b, -fl(a·b))` the exact product error.
+
+use pieri_num::{quick_two_sum, two_prod, two_sum, Complex64, Dd, DdComplex};
+use proptest::prelude::*;
+
+/// Grid scale: every generated operand is `m · 2^e` with `e ≥ -GRID`.
+const GRID: i32 = 20;
+
+/// Exact value of `x` in grid units (`x · 2^GRID`), which is integral
+/// and small enough to convert exactly.
+fn to_grid_units(x: f64) -> i128 {
+    let scaled = x * 2f64.powi(GRID);
+    assert_eq!(scaled.fract(), 0.0, "{x} not on the 2^-{GRID} grid");
+    scaled as i128
+}
+
+/// A dyadic double on the test grid: |value| ≤ 2^60.
+fn dyadic() -> impl Strategy<Value = f64> {
+    ((-(1i64 << 40)..(1i64 << 40)), (-GRID..GRID)).prop_map(|(m, e)| m as f64 * 2f64.powi(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn two_sum_is_error_free(a in dyadic(), b in dyadic()) {
+        let (s, e) = two_sum(a, b);
+        prop_assert_eq!(s, a + b, "s is the rounded sum");
+        prop_assert_eq!(
+            to_grid_units(s) + to_grid_units(e),
+            to_grid_units(a) + to_grid_units(b),
+            "s + e reconstructs a + b exactly"
+        );
+    }
+
+    #[test]
+    fn quick_two_sum_matches_two_sum_when_ordered(a in dyadic(), b in dyadic()) {
+        let (big, small) = if a.abs() >= b.abs() { (a, b) } else { (b, a) };
+        let (s1, e1) = quick_two_sum(big, small);
+        let (s2, e2) = two_sum(big, small);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn two_prod_is_error_free(a in -1e150f64..1e150, b in -1e150f64..1e150) {
+        let (p, e) = two_prod(a, b);
+        prop_assert_eq!(p, a * b, "p is the rounded product");
+        prop_assert_eq!(e, a.mul_add(b, -p), "e is the exact product error");
+    }
+
+    #[test]
+    fn dd_roundtrips_f64(x in -1e300f64..1e300) {
+        prop_assert_eq!(Dd::from_f64(x).to_f64(), x);
+        let z = Complex64::new(x, -x / 3.0);
+        prop_assert_eq!(DdComplex::from_c64(z).to_c64(), z);
+    }
+
+    #[test]
+    fn dd_sum_rounds_to_f64_sum(a in dyadic(), b in dyadic()) {
+        // On the dyadic grid the double-double sum is exact, so its
+        // f64 rounding must be the f64 sum exactly.
+        let s = Dd::from_f64(a) + Dd::from_f64(b);
+        prop_assert_eq!(s.to_f64(), a + b);
+        // And subtracting one operand back recovers the other exactly.
+        prop_assert_eq!((s - Dd::from_f64(b)).to_f64(), a);
+    }
+
+    #[test]
+    fn dd_product_beats_f64(a in dyadic(), b in dyadic()) {
+        // a·b is exactly representable in double-double (106 ≥ 41+41
+        // mantissa bits); the Dd product must carry the full error term.
+        let p = Dd::from_f64(a) * Dd::from_f64(b);
+        let (hi, lo) = two_prod(a, b);
+        prop_assert_eq!(p.hi(), hi);
+        prop_assert_eq!(p.lo(), lo);
+    }
+
+    #[test]
+    fn dd_ordering_is_consistent_with_f64(a in dyadic(), b in dyadic()) {
+        let (da, db) = (Dd::from_f64(a), Dd::from_f64(b));
+        prop_assert_eq!(da.partial_cmp(&db), a.partial_cmp(&b));
+    }
+
+    #[test]
+    fn dd_ordering_resolves_sub_ulp_tails(x in 1.0f64..1e10) {
+        // A tail far below ulp(x) is invisible to f64 but must order.
+        let tail = Dd::from_f64(x * 2f64.powi(-80));
+        let bigger = Dd::from_f64(x) + tail;
+        prop_assert_eq!(bigger.to_f64(), x, "tail below f64 resolution");
+        prop_assert!(Dd::from_f64(x) < bigger);
+        prop_assert!(bigger - tail == Dd::from_f64(x));
+    }
+
+    #[test]
+    fn dd_complex_division_inverts_multiplication(
+        (ar, ai, br, bi) in (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3),
+    ) {
+        prop_assume!(br.abs() + bi.abs() > 1e-3);
+        let a = DdComplex::from_c64(Complex64::new(ar, ai));
+        let b = DdComplex::from_c64(Complex64::new(br, bi));
+        let q = (a * b) / b;
+        let scale = a.norm().max(1.0);
+        prop_assert!((q - a).norm() < 1e-28 * scale, "err {:e}", (q - a).norm());
+    }
+}

@@ -12,6 +12,7 @@
 //! so the benches can measure both effects against
 //! [`crate::solve_tree_parallel`].
 
+use pieri_certify::CertifyPolicy;
 use pieri_core::{JobRecord, PMap, Pattern, PieriProblem, PieriSolution, Poset};
 use pieri_num::Complex64;
 use pieri_tracker::TrackSettings;
@@ -44,6 +45,22 @@ pub fn solve_by_levels_parallel(
 ) -> (PieriSolution, LevelRunStats) {
     let poset = Poset::build(problem.shape());
     solve_by_levels_prepared(problem, &poset, settings)
+}
+
+/// [`solve_by_levels_prepared`] with a [`CertifyPolicy`] knob: tracking
+/// jobs re-track failed paths per `policy.retrack`, and the root
+/// solutions are certified/refined afterwards via
+/// [`pieri_core::certify_roots`].
+pub fn solve_by_levels_certified(
+    problem: &PieriProblem,
+    poset: &Poset,
+    settings: &TrackSettings,
+    policy: &CertifyPolicy,
+) -> (PieriSolution, LevelRunStats) {
+    let track = policy.effective_settings(settings);
+    let (mut solution, stats) = solve_by_levels_prepared(problem, poset, &track);
+    pieri_core::certify_roots(problem, &mut solution, policy);
+    (solution, stats)
 }
 
 /// [`solve_by_levels_parallel`] against a pre-built poset (the shared
@@ -124,6 +141,7 @@ pub fn solve_by_levels_prepared(
             coeffs,
             records,
             failures,
+            certificates: Vec::new(),
         },
         stats,
     )

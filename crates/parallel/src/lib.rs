@@ -47,7 +47,11 @@ mod report;
 mod tree;
 mod workspace;
 
-pub use levels::{solve_by_levels_parallel, solve_by_levels_prepared, LevelRunStats};
+pub use levels::{
+    solve_by_levels_certified, solve_by_levels_parallel, solve_by_levels_prepared, LevelRunStats,
+};
 pub use paths::{track_paths_dynamic, track_paths_rayon, track_paths_static};
 pub use report::{ParallelReport, WorkerStats};
-pub use tree::{solve_tree_parallel, solve_tree_parallel_prepared, TreeRunStats};
+pub use tree::{
+    solve_tree_parallel, solve_tree_parallel_certified, solve_tree_parallel_prepared, TreeRunStats,
+};

@@ -37,6 +37,7 @@
 
 use crate::report::{ParallelReport, WorkerStats};
 use crossbeam::channel;
+use pieri_certify::CertifyPolicy;
 use pieri_core::{JobRecord, PMap, Pattern, PieriProblem, PieriSolution, Poset};
 use pieri_num::Complex64;
 use pieri_tracker::TrackSettings;
@@ -88,10 +89,31 @@ pub fn solve_tree_parallel(
     solve_tree_parallel_prepared(problem, &poset, settings, workers)
 }
 
-/// [`solve_tree_parallel`] against a pre-built poset — the same seam as
-/// [`pieri_core::solve_prepared`], so shape-cached callers (the batch
-/// service) share one poset between the sequential and tree-parallel
-/// solvers.
+/// [`solve_tree_parallel_prepared`] with a [`CertifyPolicy`] knob: every
+/// tracking job re-tracks failed paths per `policy.retrack` (each slave
+/// inherits it through its `TrackSettings`), and the root solutions —
+/// the ones the solve ships — are certified and (per policy)
+/// double-double-refined afterwards via [`pieri_core::certify_roots`].
+/// The certification pass is sequential: `d(m,p,q)` root polishes are
+/// trivial next to the tree they conclude.
+///
+/// # Panics
+/// As [`solve_tree_parallel_prepared`].
+pub fn solve_tree_parallel_certified(
+    problem: &PieriProblem,
+    poset: &Poset,
+    settings: &TrackSettings,
+    workers: usize,
+    policy: &CertifyPolicy,
+) -> (PieriSolution, TreeRunStats) {
+    let track = policy.effective_settings(settings);
+    let (mut solution, stats) = solve_tree_parallel_prepared(problem, poset, &track, workers);
+    pieri_core::certify_roots(problem, &mut solution, policy);
+    (solution, stats)
+}
+
+/// [`solve_tree_parallel`] against a pre-built poset (the shared
+/// shape-cache seam; see [`pieri_core::solve_prepared`]).
 ///
 /// # Panics
 /// As [`solve_tree_parallel`], and additionally when `poset` was built
@@ -270,6 +292,7 @@ pub fn solve_tree_parallel_prepared(
         coeffs: root_coeffs,
         records,
         failures,
+        certificates: Vec::new(),
     };
     let stats = TreeRunStats {
         report: ParallelReport {
@@ -289,6 +312,36 @@ mod tests {
     use super::*;
     use pieri_core::Shape;
     use pieri_num::seeded_rng;
+
+    #[test]
+    fn certified_tree_solve_certifies_every_root() {
+        let mut rng = seeded_rng(990);
+        let shape = Shape::new(2, 2, 1);
+        let problem = PieriProblem::random(shape.clone(), &mut rng);
+        let poset = Poset::build(&shape);
+        let (solution, _) = solve_tree_parallel_certified(
+            &problem,
+            &poset,
+            &TrackSettings::default(),
+            3,
+            &CertifyPolicy::full(),
+        );
+        assert_eq!(solution.maps.len(), 8);
+        assert_eq!(solution.certificates.len(), 8);
+        for (i, cert) in solution.certificates.iter().enumerate() {
+            assert!(cert.is_certified(), "root {i}: {cert:?}");
+            assert!(
+                cert.residual() <= 1e-13,
+                "root {i} refined residual {:e}",
+                cert.residual()
+            );
+        }
+        // Refinement must not move the solutions away from the
+        // uncertified answer (it polishes in place).
+        let (plain, _) =
+            solve_tree_parallel_prepared(&problem, &poset, &TrackSettings::default(), 3);
+        assert!(solutions_match(&solution, &plain, 1e-8));
+    }
 
     /// Multiset match of solution coefficient vectors.
     fn solutions_match(a: &PieriSolution, b: &PieriSolution, tol: f64) -> bool {

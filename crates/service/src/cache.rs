@@ -15,6 +15,12 @@
 //! build themselves, each retry drawing a *fresh* generic instance
 //! (the attempt number is mixed into the seed — a deterministic
 //! failure must not recur identically forever).
+//!
+//! Residency is bounded: the cache enforces [`CacheLimits`] (a shape
+//! count and an approximate byte budget, sized from
+//! [`StartBundle::approx_bytes`]) with least-recently-used eviction, so
+//! a stream of distinct large shapes cannot grow the server without
+//! bound. Evictions are counted and exposed through `/v1/stats`.
 
 use crate::job::JobError;
 use pieri_core::{Shape, StartBundle};
@@ -23,7 +29,7 @@ use pieri_parallel::solve_tree_parallel_prepared;
 use pieri_tracker::TrackSettings;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,11 +45,35 @@ pub enum BuildMode {
     TreeParallel,
 }
 
+/// Residency bounds of the shape cache. Both limits apply; eviction is
+/// least-recently-used over *ready* bundles (in-flight builds are never
+/// evicted) and the most recently inserted bundle always survives, even
+/// when it alone exceeds the byte budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum number of resident shapes.
+    pub max_shapes: usize,
+    /// Approximate byte budget across all resident bundles
+    /// ([`StartBundle::approx_bytes`]).
+    pub max_bytes: usize,
+}
+
+impl Default for CacheLimits {
+    fn default() -> Self {
+        CacheLimits {
+            max_shapes: 32,
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
 /// Shared per-shape slot.
 #[derive(Default)]
 struct Slot {
     state: Mutex<SlotState>,
     ready: Condvar,
+    /// LRU clock value of the slot's last hit (or build completion).
+    last_used: AtomicU64,
     /// Build attempts so far; attempt 0 uses the pure
     /// `(bundle_seed, shape)` seed, retries after a failure mix the
     /// attempt number in so a doomed generic instance is not redrawn.
@@ -69,6 +99,10 @@ pub struct CacheStats {
     pub misses: usize,
     /// Distinct shapes currently resident.
     pub shapes: usize,
+    /// Bundles evicted by the LRU residency limits.
+    pub evictions: usize,
+    /// Approximate bytes held by the resident bundles.
+    pub resident_bytes: usize,
 }
 
 /// A concurrent map `(m, p, q) → Arc<StartBundle>`.
@@ -76,6 +110,10 @@ pub struct ShapeCache {
     slots: Mutex<HashMap<Shape, Arc<Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    /// Monotone LRU clock; slots stamp their `last_used` from it.
+    clock: AtomicU64,
+    limits: CacheLimits,
     /// Seed stream for bundle builds: the bundle for a shape is a
     /// deterministic function of `(bundle_seed, shape)`, independent of
     /// request order.
@@ -85,16 +123,35 @@ pub struct ShapeCache {
 }
 
 impl ShapeCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default [`CacheLimits`].
     pub fn new(bundle_seed: u64, settings: TrackSettings, mode: BuildMode) -> Self {
+        ShapeCache::with_limits(bundle_seed, settings, mode, CacheLimits::default())
+    }
+
+    /// Creates an empty cache with explicit residency limits.
+    pub fn with_limits(
+        bundle_seed: u64,
+        settings: TrackSettings,
+        mode: BuildMode,
+        limits: CacheLimits,
+    ) -> Self {
+        assert!(limits.max_shapes >= 1, "cache must hold at least one shape");
         ShapeCache {
             slots: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            limits,
             bundle_seed,
             settings,
             mode,
         }
+    }
+
+    fn touch(&self, slot: &Slot) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
     }
 
     /// Returns the bundle for `shape`, building it (once, whoever gets
@@ -109,6 +166,7 @@ impl ShapeCache {
         loop {
             match &*state {
                 SlotState::Ready(bundle) => {
+                    self.touch(&slot);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((bundle.clone(), true));
                 }
@@ -125,8 +183,11 @@ impl ShapeCache {
                         Ok(bundle) => {
                             let bundle = Arc::new(bundle);
                             *state = SlotState::Ready(bundle.clone());
+                            self.touch(&slot);
                             slot.ready.notify_all();
                             self.misses.fetch_add(1, Ordering::Relaxed);
+                            drop(state);
+                            self.evict_over_limit(shape);
                             return Ok((bundle, false));
                         }
                         Err(e) => {
@@ -173,27 +234,70 @@ impl ShapeCache {
         .map_err(|payload| JobError::StartSystem(panic_message(&payload)))
     }
 
+    /// Enforces the residency limits after `keep` became ready: evicts
+    /// least-recently-used ready bundles (never `keep`, never in-flight
+    /// builds) until both the shape count and the byte budget hold.
+    fn evict_over_limit(&self, keep: &Shape) {
+        let mut slots = self.slots.lock().expect("shape map poisoned");
+        loop {
+            // Snapshot the ready slots: (shape, last_used, bytes).
+            let mut ready: Vec<(Shape, u64, usize)> = Vec::new();
+            for (shape, slot) in slots.iter() {
+                if let SlotState::Ready(bundle) = &*slot.state.lock().expect("slot poisoned") {
+                    ready.push((
+                        shape.clone(),
+                        slot.last_used.load(Ordering::Relaxed),
+                        bundle.approx_bytes(),
+                    ));
+                }
+            }
+            let total: usize = ready.iter().map(|(_, _, b)| *b).sum();
+            if ready.len() <= self.limits.max_shapes && total <= self.limits.max_bytes {
+                return;
+            }
+            let victim = ready
+                .iter()
+                .filter(|(shape, _, _)| shape != keep)
+                .min_by_key(|(_, used, _)| *used)
+                .map(|(shape, _, _)| shape.clone());
+            let Some(victim) = victim else {
+                // Only the just-inserted bundle remains; it survives
+                // even over budget (evicting it would thrash).
+                return;
+            };
+            slots.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured residency limits.
+    pub fn limits(&self) -> CacheLimits {
+        self.limits
+    }
+
     /// Counter snapshot. `shapes` counts only *resident* bundles — a
     /// slot whose build is in flight (or failed and awaits retry) is
     /// not a shape the cache can serve, and must agree with
     /// [`ShapeCache::resident`].
     pub fn stats(&self) -> CacheStats {
-        let shapes = {
+        let (shapes, resident_bytes) = {
             let slots = self.slots.lock().expect("shape map poisoned");
-            slots
-                .values()
-                .filter(|slot| {
-                    matches!(
-                        &*slot.state.lock().expect("slot poisoned"),
-                        SlotState::Ready(_)
-                    )
-                })
-                .count()
+            let mut count = 0usize;
+            let mut bytes = 0usize;
+            for slot in slots.values() {
+                if let SlotState::Ready(bundle) = &*slot.state.lock().expect("slot poisoned") {
+                    count += 1;
+                    bytes += bundle.approx_bytes();
+                }
+            }
+            (count, bytes)
         };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             shapes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes,
         }
     }
 
@@ -250,14 +354,10 @@ mod tests {
         assert!(!hit_a);
         assert!(hit_b);
         assert!(Arc::ptr_eq(&a, &b), "one bundle per shape");
-        assert_eq!(
-            c.stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                shapes: 1
-            }
-        );
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.shapes), (1, 1, 1));
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.resident_bytes > 0, "byte estimate is nonzero");
     }
 
     #[test]
@@ -298,5 +398,72 @@ mod tests {
         let (bundle, hit) = c.get_or_build(&Shape::new(2, 2, 1)).unwrap();
         assert!(!hit);
         assert_eq!(bundle.root_count(), 8);
+    }
+
+    #[test]
+    fn lru_eviction_by_shape_count() {
+        let c = ShapeCache::with_limits(
+            0x5eed,
+            TrackSettings::default(),
+            BuildMode::Sequential,
+            CacheLimits {
+                max_shapes: 2,
+                max_bytes: usize::MAX,
+            },
+        );
+        let s220 = Shape::new(2, 2, 0);
+        let s320 = Shape::new(3, 2, 0);
+        let s210 = Shape::new(2, 1, 0);
+        c.get_or_build(&s220).unwrap();
+        c.get_or_build(&s320).unwrap();
+        // Touch (2,2,0) so (3,2,0) becomes the LRU victim.
+        assert!(c.get_or_build(&s220).unwrap().1, "hit refreshes LRU");
+        c.get_or_build(&s210).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.shapes, 2, "capacity enforced");
+        assert_eq!(stats.evictions, 1);
+        let resident: Vec<Shape> = c.resident().into_iter().map(|(s, _, _)| s).collect();
+        assert!(resident.contains(&s220), "recently used shape survives");
+        assert!(resident.contains(&s210), "newcomer survives");
+        assert!(!resident.contains(&s320), "LRU shape evicted");
+        // The evicted shape rebuilds on demand (a miss, not an error).
+        let (_, hit) = c.get_or_build(&s320).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_newcomer_survives() {
+        // A budget below a single bundle: every insert evicts the
+        // previous resident, but the newcomer itself always stays.
+        let c = ShapeCache::with_limits(
+            0x5eed,
+            TrackSettings::default(),
+            BuildMode::Sequential,
+            CacheLimits {
+                max_shapes: 8,
+                max_bytes: 1,
+            },
+        );
+        c.get_or_build(&Shape::new(2, 2, 0)).unwrap();
+        assert_eq!(c.stats().shapes, 1, "over-budget newcomer survives");
+        c.get_or_build(&Shape::new(3, 2, 0)).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.shapes, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(c.resident()[0].0, Shape::new(3, 2, 0));
+    }
+
+    #[test]
+    fn bundle_byte_estimate_scales_with_shape() {
+        let c = cache();
+        let (small, _) = c.get_or_build(&Shape::new(2, 2, 0)).unwrap();
+        let (large, _) = c.get_or_build(&Shape::new(2, 2, 1)).unwrap();
+        assert!(small.approx_bytes() > 0);
+        assert!(
+            large.approx_bytes() > small.approx_bytes(),
+            "(2,2,1) bundle ({}) must outweigh (2,2,0) ({})",
+            large.approx_bytes(),
+            small.approx_bytes()
+        );
     }
 }

@@ -14,10 +14,14 @@
 //! No panic crosses the boundary: execution is wrapped in
 //! `catch_unwind` and surfaces as [`JobError::Internal`].
 
-use crate::cache::{panic_message, BuildMode, CacheStats, ShapeCache};
+use crate::cache::{panic_message, BuildMode, CacheLimits, CacheStats, ShapeCache};
 use crate::job::{CompensatorAnswer, JobError, JobLimits, JobRequest, JobResult};
 use crossbeam::channel;
-use pieri_control::{solve_dynamic_state_space_with_start, verify_closed_loop_ss};
+use pieri_certify::{Certificate, CertifyPolicy};
+use pieri_control::{
+    solve_dynamic_state_space_certified, solve_dynamic_state_space_with_start,
+    verify_closed_loop_ss,
+};
 use pieri_core::Shape;
 use pieri_num::{seeded_rng, Complex64};
 use pieri_tracker::TrackSettings;
@@ -45,6 +49,12 @@ pub struct EngineConfig {
     pub limits: JobLimits,
     /// How cache misses run the Pieri tree.
     pub build_mode: BuildMode,
+    /// Residency limits of the shape cache (LRU eviction beyond them).
+    pub cache_limits: CacheLimits,
+    /// Policy applied to jobs that request certification (the wire's
+    /// `certify: true` flag). Jobs without the flag run exactly as
+    /// before, whatever this is set to.
+    pub certify: CertifyPolicy,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +66,8 @@ impl Default for EngineConfig {
             settings: TrackSettings::default(),
             limits: JobLimits::default(),
             build_mode: BuildMode::TreeParallel,
+            cache_limits: CacheLimits::default(),
+            certify: CertifyPolicy::full(),
         }
     }
 }
@@ -84,6 +96,44 @@ struct Shared {
     submitted: AtomicUsize,
     completed: AtomicUsize,
     rejected: AtomicUsize,
+    certify_policy: CertifyPolicy,
+    certified: AtomicUsize,
+    refined: AtomicUsize,
+    retracked: AtomicUsize,
+    cert_failed: AtomicUsize,
+}
+
+impl Shared {
+    /// Rolls a certified job's outcome into the engine-wide counters.
+    fn count_certificates(&self, certs: &[Certificate], retracked: usize) {
+        let certified = certs.iter().filter(|c| c.is_certified()).count();
+        let refined = certs.iter().filter(|c| c.refined).count();
+        let failed = certs.iter().filter(|c| c.is_failed()).count();
+        self.certified.fetch_add(certified, Ordering::Relaxed);
+        self.refined.fetch_add(refined, Ordering::Relaxed);
+        self.cert_failed.fetch_add(failed, Ordering::Relaxed);
+        self.retracked.fetch_add(retracked, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate certification counters (the `/v1/stats` `certify` block).
+///
+/// These count certification **outcomes observed**, whether or not the
+/// job ultimately shipped: a job with six certified solutions and two
+/// failed ones is answered with an `uncertified` error, yet still adds
+/// 6 to `certified` and 2 to `failed` — the counters describe what the
+/// certifier saw, `completed`/`rejected` describe what jobs returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertifyCounters {
+    /// Solutions whose certificate came back `Certified`.
+    pub certified: usize,
+    /// Solutions polished by the double-double refiner.
+    pub refined: usize,
+    /// Paths that needed at least one re-track attempt.
+    pub retracked: usize,
+    /// Solutions whose certificate came back `Failed` (their jobs were
+    /// answered with an `uncertified` error).
+    pub failed: usize,
 }
 
 /// A handle to one submitted job; resolve it with [`JobTicket::wait`].
@@ -121,6 +171,8 @@ pub struct EngineStats {
     pub completed: usize,
     /// Submissions bounced by back-pressure or shutdown.
     pub rejected: usize,
+    /// Certification counters (certified/refined/retracked/failed).
+    pub certify: CertifyCounters,
     /// Shape-cache counters.
     pub cache: CacheStats,
 }
@@ -148,13 +200,29 @@ impl Engine {
             }),
             jobs: Condvar::new(),
             space: Condvar::new(),
-            cache: ShapeCache::new(config.bundle_seed, config.settings, config.build_mode),
+            // Bundle builds inherit the re-track policy: a failed tree
+            // path inside a shape build is a server-side defect, and a
+            // bounded tightened retry is strictly better than losing a
+            // root (which fails the whole build). Determinism holds —
+            // retries only fire on paths that would otherwise fail, and
+            // a disabled policy leaves the operator's settings alone.
+            cache: ShapeCache::with_limits(
+                config.bundle_seed,
+                config.certify.effective_settings(&config.settings),
+                config.build_mode,
+                config.cache_limits,
+            ),
             limits: config.limits,
             settings: config.settings,
             capacity: config.queue_capacity,
             submitted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
+            certify_policy: config.certify,
+            certified: AtomicUsize::new(0),
+            refined: AtomicUsize::new(0),
+            retracked: AtomicUsize::new(0),
+            cert_failed: AtomicUsize::new(0),
         });
         let handles = (0..config.workers)
             .map(|i| {
@@ -239,6 +307,12 @@ impl Engine {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
+            certify: CertifyCounters {
+                certified: self.shared.certified.load(Ordering::Relaxed),
+                refined: self.shared.refined.load(Ordering::Relaxed),
+                retracked: self.shared.retracked.load(Ordering::Relaxed),
+                failed: self.shared.cert_failed.load(Ordering::Relaxed),
+            },
             cache: self.shared.cache.stats(),
         }
     }
@@ -306,6 +380,24 @@ fn execute(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
         .unwrap_or_else(|payload| Err(JobError::Internal(panic_message(&payload))))
 }
 
+/// A certified job whose continuation left numerically failed paths (even
+/// after bounded re-tracking) or whose solutions failed their Newton
+/// certificates is answered with a structured error, not a partial
+/// answer: with certification requested, "whatever Newton converged to"
+/// is not an acceptable response.
+fn require_certified(certs: &[Certificate], failed_paths: usize) -> Result<(), JobError> {
+    let failed_certs = certs.iter().filter(|c| c.is_failed()).count();
+    if failed_paths > 0 || failed_certs > 0 {
+        return Err(JobError::Uncertified {
+            detail: format!(
+                "{failed_paths} path(s) failed numerically after bounded re-tracking; \
+                 {failed_certs} solution(s) failed the Newton certificate"
+            ),
+        });
+    }
+    Ok(())
+}
+
 fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<JobResult, JobError> {
     let (m, p, q) = req.shape_dims();
     let shape = Shape::new(m, p, q);
@@ -315,13 +407,23 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
     } else {
         bundle.build_time()
     };
+    let certify = req.certify();
+    let policy = shared.certify_policy;
     let t0 = Instant::now();
 
     let mut result = match req {
         JobRequest::SolvePieri { seed, .. } => {
             let mut rng = seeded_rng(*seed);
             let target = pieri_core::PieriProblem::random(shape.clone(), &mut rng);
-            let cont = bundle.continue_to(&target, &shared.settings);
+            let cont = if certify {
+                bundle.continue_to_certified(&target, &shared.settings, &policy)
+            } else {
+                bundle.continue_to(&target, &shared.settings)
+            };
+            if certify {
+                shared.count_certificates(&cont.certificates, cont.stats.retracked);
+                require_certified(&cont.certificates, cont.failed)?;
+            }
             let max_residual = cont
                 .maps
                 .iter()
@@ -333,6 +435,7 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
                 failed: cont.failed,
                 coeffs: cont.coeffs,
                 compensators: Vec::new(),
+                certificates: cont.certificates,
                 max_residual,
                 track: cont.stats,
                 ..JobResult::default()
@@ -341,14 +444,30 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
         JobRequest::PlacePoles { q, poles, seed, .. } => {
             let ss = req.state_space();
             let mut rng = seeded_rng(*seed);
-            let (comps, cont, _) = solve_dynamic_state_space_with_start(
-                &ss,
-                *q,
-                poles,
-                &mut rng,
-                &bundle,
-                &shared.settings,
-            );
+            let (comps, cont, _) = if certify {
+                solve_dynamic_state_space_certified(
+                    &ss,
+                    *q,
+                    poles,
+                    &mut rng,
+                    &bundle,
+                    &shared.settings,
+                    &policy,
+                )
+            } else {
+                solve_dynamic_state_space_with_start(
+                    &ss,
+                    *q,
+                    poles,
+                    &mut rng,
+                    &bundle,
+                    &shared.settings,
+                )
+            };
+            if certify {
+                shared.count_certificates(&cont.certificates, cont.stats.retracked);
+                require_certified(&cont.certificates, cont.failed)?;
+            }
             let mut max_residual: f64 = 0.0;
             let compensators = comps
                 .iter()
@@ -370,6 +489,7 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
                 failed: cont.failed,
                 coeffs: cont.coeffs,
                 compensators,
+                certificates: cont.certificates,
                 max_residual,
                 track: cont.stats,
                 ..JobResult::default()
@@ -404,6 +524,7 @@ mod tests {
             p: 2,
             q: 0,
             seed,
+            certify: false,
         }
     }
 
@@ -438,6 +559,7 @@ mod tests {
                 p: 1,
                 q: 0,
                 seed: 0,
+                certify: false,
             })
             .unwrap_err();
         assert_eq!(err.kind(), "invalid_request");
@@ -499,6 +621,7 @@ mod tests {
             q: 1,
             poles,
             seed: 40,
+            certify: false,
         };
         let res = engine.run(req).unwrap();
         assert_eq!(res.expected, 8, "d(2,2,1) = 8");

@@ -3,9 +3,17 @@
 //! The environment is offline (no hyper/axum), and the wire surface a
 //! batch solver needs is tiny, so the transport is written directly
 //! against `TcpListener`/`TcpStream`: one accept thread, one handler
-//! thread per connection, `Connection: close` semantics, bounded header
-//! and body sizes, and read timeouts so a stalled peer cannot pin a
-//! handler forever.
+//! thread per connection, bounded header and body sizes, and read
+//! timeouts so a stalled peer cannot pin a handler forever.
+//!
+//! Connections are persistent when the client asks for it: a request
+//! carrying `Connection: keep-alive` is answered in kind and the
+//! handler loops for the next request on the same socket (up to
+//! [`MAX_REQUESTS_PER_CONN`], then a final `Connection: close`); any
+//! other request keeps the original one-shot `Connection: close`
+//! behaviour. The bundled [`Client`] pools one connection and retries
+//! once on a stale socket, so warm request streams skip the TCP
+//! handshake per call.
 //!
 //! Endpoints (see the README table):
 //!
@@ -43,6 +51,15 @@ const IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// connection flood cannot exhaust threads/memory before the bounded
 /// job queue ever sees a request.
 const MAX_CONNECTIONS: usize = 256;
+/// Requests served per kept-alive connection before the server closes
+/// it anyway — bounds how long one peer can pin a handler thread.
+pub const MAX_REQUESTS_PER_CONN: usize = 256;
+/// How long a kept-alive connection may sit idle between requests.
+/// Much shorter than [`IO_TIMEOUT`]: an idle connection pins a handler
+/// thread and a `MAX_CONNECTIONS` slot, so parked clients must release
+/// them quickly (their pooled [`Client`] reconnects transparently — a
+/// server-closed socket is the replay-safe retry case).
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
 /// The HTTP front end over an [`Engine`].
 pub struct Server {
@@ -114,7 +131,7 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool, engine: &Arc<Engine>) 
         let Ok(stream) = stream else { continue };
         if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
             let e = JobError::QueueFull;
-            let _ = write_response(&stream, status_for(&e), &wire::error_to_json(&e));
+            let _ = write_response(&stream, status_for(&e), &wire::error_to_json(&e), false);
             continue;
         }
         active.fetch_add(1, Ordering::SeqCst);
@@ -145,28 +162,66 @@ impl Drop for ConnGuard {
 fn handle_connection(stream: TcpStream, engine: &Arc<Engine>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // Responses are written in one buffer, but disable Nagle anyway:
+    // on a kept-alive connection a coalescing delay would serialise
+    // against the peer's delayed ACK at ~40 ms per round trip.
+    stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let request = match read_request(&mut reader) {
-        Ok(r) => r,
-        // Malformed transport framing still gets the structured error
-        // envelope with the documented kinds/statuses.
-        Err(ReadError::Job(e)) => {
-            return write_response(&stream, status_for(&e), &wire::error_to_json(&e))
+    for served in 1..=MAX_REQUESTS_PER_CONN {
+        // Between requests only the short idle timeout applies; once a
+        // request line arrives, `read_request` restores the full I/O
+        // timeout for the headers and body.
+        if served > 1 {
+            stream.set_read_timeout(Some(KEEP_ALIVE_IDLE))?;
         }
-        // A socket error (timeout, disconnect) has no one to answer.
-        Err(ReadError::Io(e)) => return Err(e),
-    };
-    let (status, body) = route(&request, engine);
-    write_response(&stream, status, &body)
+        let request = match read_request(&mut reader, &stream) {
+            Ok(r) => r,
+            // The peer closed between requests: a normal end of a
+            // kept-alive connection (or an empty connection).
+            Err(ReadError::Closed) => return Ok(()),
+            // Idle too long between requests: close quietly and free
+            // the handler slot; the peer owed us nothing.
+            Err(ReadError::Io(e))
+                if served > 1
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+            {
+                return Ok(())
+            }
+            // Malformed transport framing still gets the structured
+            // error envelope with the documented kinds/statuses; the
+            // framing is unrecoverable, so the connection closes.
+            Err(ReadError::Job(e)) => {
+                return write_response(&stream, status_for(&e), &wire::error_to_json(&e), false)
+            }
+            // A socket error (timeout, disconnect) has no one to answer.
+            Err(ReadError::Io(e)) => return Err(e),
+        };
+        // Keep-alive only when the client asked for it — anything else
+        // keeps the original one-shot `Connection: close` behaviour.
+        let keep = request.keep_alive && served < MAX_REQUESTS_PER_CONN;
+        let (status, body) = route(&request, engine);
+        write_response(&stream, status, &body, keep)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+    Ok(())
 }
 
 struct Request {
     method: String,
     path: String,
     body: Vec<u8>,
+    /// True when the request carried `Connection: keep-alive`.
+    keep_alive: bool,
 }
 
 enum ReadError {
+    /// The peer closed the socket before sending a request line.
+    Closed,
     /// The peer sent something answerable-but-wrong.
     Job(JobError),
     /// The socket itself failed.
@@ -179,7 +234,10 @@ impl From<std::io::Error> for ReadError {
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    stream: &TcpStream,
+) -> Result<Request, ReadError> {
     let bad = |msg: &str| ReadError::Job(JobError::InvalidRequest(msg.to_string()));
     // Hard-bound the header block *before* buffering: `read_line` on the
     // raw reader would happily accumulate an unbounded newline-free
@@ -187,7 +245,13 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError>
     // the limit at the byte level.
     let mut head = reader.take(MAX_HEADER_BYTES as u64);
     let mut line = String::new();
-    head.read_line(&mut line)?;
+    if head.read_line(&mut line)? == 0 {
+        return Err(ReadError::Closed);
+    }
+    // A request is in flight: from here on the peer gets the full I/O
+    // timeout (the caller may have armed the short keep-alive idle
+    // timeout while waiting for this line).
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -200,6 +264,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError>
     }
 
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     loop {
         let mut header = String::new();
         if head.read_line(&mut header)? == 0 {
@@ -218,6 +283,17 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError>
                     .trim()
                     .parse()
                     .map_err(|_| bad("invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Only Content-Length framing is implemented. Accepting
+                // a chunked request would leave its body bytes in the
+                // buffer to be parsed as the *next* request on a
+                // kept-alive connection (request smuggling); reject it
+                // and close.
+                return Err(bad(
+                    "Transfer-Encoding is not supported; use Content-Length",
+                ));
             }
         }
     }
@@ -227,11 +303,23 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError>
         }));
     }
     let mut body = vec![0u8; content_length];
+    // Hand the buffered reader back intact: a kept-alive connection
+    // reads its next request from the same buffer.
     head.into_inner().read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
-fn write_response(mut stream: &TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
+fn write_response(
+    mut stream: &TcpStream,
+    status: u16,
+    body: &Value,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -242,14 +330,18 @@ fn write_response(mut stream: &TcpStream, status: u16, body: &Value) -> std::io:
         503 => "Service Unavailable",
         _ => "Unknown",
     };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let payload = body.serialize();
-    let head = format!(
+    // One buffer, one write: never leaves a small unacknowledged
+    // segment for Nagle to hold the rest of the response behind.
+    let mut message = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
         payload.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(payload.as_bytes())?;
+    )
+    .into_bytes();
+    message.extend_from_slice(payload.as_bytes());
+    stream.write_all(&message)?;
     stream.flush()
 }
 
@@ -258,7 +350,7 @@ fn status_for(e: &JobError) -> u16 {
         JobError::InvalidRequest(_) => 400,
         JobError::TooLarge { .. } => 413,
         JobError::QueueFull | JobError::ShuttingDown => 503,
-        JobError::StartSystem(_) | JobError::Internal(_) => 500,
+        JobError::StartSystem(_) | JobError::Uncertified { .. } | JobError::Internal(_) => 500,
     }
 }
 
@@ -353,11 +445,53 @@ fn batch(body: &[u8], engine: &Arc<Engine>) -> (u16, Value) {
 
 // ---- client ------------------------------------------------------------
 
+/// A failed request/response exchange, remembering whether replaying
+/// the request on a fresh connection is safe: only when the pooled
+/// connection died **before any response byte arrived** (the HTTP
+/// convention for persistent connections) — a failure mid-response
+/// means the server may have executed the job, and jobs are not
+/// idempotent in cost. Timeouts are never replay-safe.
+struct ExchangeError {
+    error: std::io::Error,
+    replay_safe: bool,
+}
+
+impl ExchangeError {
+    /// An error from before any response byte was read: replay-safe
+    /// exactly when the error says the socket was dead, not slow.
+    fn before_response(error: std::io::Error) -> Self {
+        let replay_safe = matches!(
+            error.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::NotConnected
+        );
+        ExchangeError { error, replay_safe }
+    }
+
+    /// An error after response bytes arrived: never replay-safe.
+    fn mid_response(error: std::io::Error) -> Self {
+        ExchangeError {
+            error,
+            replay_safe: false,
+        }
+    }
+}
+
 /// A tiny blocking HTTP/1.1 client for the examples, tests and load
-/// generator (one request per connection, mirroring the server).
+/// generator.
+///
+/// The client requests `Connection: keep-alive` and pools one
+/// connection: consecutive requests from the same `Client` reuse the
+/// socket as long as the server keeps it open, falling back to a fresh
+/// connection (with one retry) when the pooled socket has gone stale.
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    /// The kept-alive connection from the previous request, if any.
+    conn: Mutex<Option<TcpStream>>,
 }
 
 impl Client {
@@ -377,7 +511,11 @@ impl Client {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
-        Ok(Client { addr, timeout })
+        Ok(Client {
+            addr,
+            timeout,
+            conn: Mutex::new(None),
+        })
     }
 
     /// Raw GET; returns `(status, parsed body)`.
@@ -417,34 +555,86 @@ impl Client {
         path: &str,
         body: Option<&Value>,
     ) -> std::io::Result<(u16, Value)> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
+        // Reuse the pooled kept-alive connection when there is one. The
+        // retry on a fresh connection is restricted to errors proving
+        // the pooled socket had gone stale (server closed it between
+        // requests): EOF/reset/broken-pipe. Anything else — above all a
+        // read *timeout*, where the server may be mid-execution — is
+        // surfaced, never silently re-sent: jobs are not idempotent in
+        // cost, and a blind replay would run them twice.
+        let pooled = self.conn.lock().expect("client conn poisoned").take();
+        if let Some(stream) = pooled {
+            match self.exchange(stream, method, path, body) {
+                Ok(answer) => return Ok(answer),
+                Err(e) if e.replay_safe => {}
+                Err(e) => return Err(e.error),
+            }
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        self.exchange(stream, method, path, body)
+            .map_err(|e| e.error)
+    }
+
+    /// One request/response exchange on `stream`; pools the stream back
+    /// when the server answered `Connection: keep-alive`. Errors record
+    /// whether any response byte had arrived (see [`ExchangeError`]).
+    fn exchange(
+        &self,
+        mut stream: TcpStream,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<(u16, Value), ExchangeError> {
+        let pre = ExchangeError::before_response;
+        stream.set_read_timeout(Some(self.timeout)).map_err(pre)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(pre)?;
+        stream.set_nodelay(true).map_err(pre)?;
         let payload = body.map(Value::serialize).unwrap_or_default();
-        let head = format!(
+        // Head and body go out in one write (see `write_response`).
+        let mut message = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n",
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             self.addr,
             payload.len()
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(payload.as_bytes())?;
-        stream.flush()?;
+        )
+        .into_bytes();
+        message.extend_from_slice(payload.as_bytes());
+        stream.write_all(&message).map_err(pre)?;
+        stream.flush().map_err(pre)?;
 
-        let mut reader = BufReader::new(stream);
+        // Read through a reference so the stream itself survives the
+        // buffered reader; nothing beyond this response is in flight,
+        // so dropping the buffer loses no bytes.
+        let mut reader = BufReader::new(&stream);
         let mut status_line = String::new();
-        reader.read_line(&mut status_line)?;
+        match reader.read_line(&mut status_line) {
+            Ok(0) => {
+                return Err(pre(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response",
+                )))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(pre(e)),
+        }
+        // From here on response bytes have arrived: failures are no
+        // longer replay-safe.
+        let mid = ExchangeError::mid_response;
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+                mid(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bad status line",
+                ))
             })?;
         let mut content_length = 0usize;
+        let mut keep_alive = false;
         loop {
             let mut header = String::new();
-            reader.read_line(&mut header)?;
+            reader.read_line(&mut header).map_err(mid)?;
             let trimmed = header.trim_end();
             if trimmed.is_empty() {
                 break;
@@ -452,17 +642,34 @@ impl Client {
             if let Some((name, value)) = trimmed.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().map_err(|_| {
-                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
+                        mid(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "bad Content-Length",
+                        ))
                     })?;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
                 }
             }
         }
         let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body)?;
-        let text = String::from_utf8(body)
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        let json = minijson::parse(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        reader.read_exact(&mut body).map_err(mid)?;
+        drop(reader);
+        if keep_alive {
+            *self.conn.lock().expect("client conn poisoned") = Some(stream);
+        }
+        let text = String::from_utf8(body).map_err(|_| {
+            mid(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "non-UTF-8 body",
+            ))
+        })?;
+        let json = minijson::parse(&text).map_err(|e| {
+            mid(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                e.to_string(),
+            ))
+        })?;
         Ok((status, json))
     }
 }

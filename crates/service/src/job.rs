@@ -7,6 +7,7 @@
 //! engine additionally wraps execution in `catch_unwind` as a backstop,
 //! surfacing anything that slips through as [`JobError::Internal`].
 
+use pieri_certify::Certificate;
 use pieri_control::StateSpace;
 use pieri_core::root_count;
 use pieri_linalg::CMat;
@@ -51,6 +52,11 @@ pub enum JobRequest {
         q: usize,
         /// Instance seed (same seed → same instance → same answer).
         seed: u64,
+        /// Request a-posteriori certification: re-track failed paths,
+        /// certify every solution and double-double-refine it; any
+        /// uncertifiable solution fails the job with a structured
+        /// [`JobError::Uncertified`] instead of silently shipping.
+        certify: bool,
     },
     /// Place the closed-loop poles of the state-space plant
     /// `ẋ = Ax + Bu, y = Cx` with a degree-`q` compensator: all
@@ -69,6 +75,11 @@ pub enum JobRequest {
         /// Seed for the request's randomisation (coordinate rotation,
         /// gamma, padding conditions) — same seed, same compensators.
         seed: u64,
+        /// Request a-posteriori certification (see
+        /// [`JobRequest::SolvePieri::certify`]); for pole placement the
+        /// certificate additionally carries the closed-loop pole
+        /// residual against the requested poles.
+        certify: bool,
     },
 }
 
@@ -78,6 +89,15 @@ impl JobRequest {
         match self {
             JobRequest::SolvePieri { m, p, q, .. } => (*m, *p, *q),
             JobRequest::PlacePoles { b, c, q, .. } => (b.cols(), c.rows(), *q),
+        }
+    }
+
+    /// Whether the request asked for certification.
+    pub fn certify(&self) -> bool {
+        match self {
+            JobRequest::SolvePieri { certify, .. } | JobRequest::PlacePoles { certify, .. } => {
+                *certify
+            }
         }
     }
 
@@ -247,6 +267,9 @@ pub struct JobResult {
     pub coeffs: Vec<Vec<Complex64>>,
     /// Compensators (empty for `SolvePieri` jobs).
     pub compensators: Vec<CompensatorAnswer>,
+    /// One certificate per shipped solution (in `coeffs` order), present
+    /// when the request asked for certification; empty otherwise.
+    pub certificates: Vec<Certificate>,
     /// Largest verification residual over all solutions: intersection-
     /// condition residual for `SolvePieri`, closed-loop characteristic
     /// residual for `PlacePoles`.
@@ -284,6 +307,14 @@ pub enum JobError {
     /// The shape-level generic solve lost roots (a numerics bug worth a
     /// report, not a client error).
     StartSystem(String),
+    /// The request asked for certification and at least one path stayed
+    /// numerically failed after bounded re-tracking, or a shipped
+    /// solution failed its Newton certificate. The job's answer is not
+    /// trustworthy and is withheld.
+    Uncertified {
+        /// What failed certification, with counts.
+        detail: String,
+    },
     /// A panic or other defect inside the solver, caught at the
     /// boundary.
     Internal(String),
@@ -298,6 +329,7 @@ impl JobError {
             JobError::QueueFull => "queue_full",
             JobError::ShuttingDown => "shutting_down",
             JobError::StartSystem(_) => "start_system",
+            JobError::Uncertified { .. } => "uncertified",
             JobError::Internal(_) => "internal",
         }
     }
@@ -310,7 +342,7 @@ impl JobError {
             JobError::InvalidRequest(msg)
             | JobError::StartSystem(msg)
             | JobError::Internal(msg) => msg.clone(),
-            JobError::TooLarge { detail } => detail.clone(),
+            JobError::TooLarge { detail } | JobError::Uncertified { detail } => detail.clone(),
             JobError::QueueFull => "job queue is full, retry later".into(),
             JobError::ShuttingDown => "service is shutting down".into(),
         }
@@ -325,6 +357,7 @@ impl fmt::Display for JobError {
             JobError::QueueFull => write!(f, "job queue is full, retry later"),
             JobError::ShuttingDown => write!(f, "service is shutting down"),
             JobError::StartSystem(msg) => write!(f, "start-system build failed: {msg}"),
+            JobError::Uncertified { detail } => write!(f, "certification failed: {detail}"),
             JobError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -347,6 +380,7 @@ mod tests {
             q,
             poles: pieri_control::conjugate_pole_set(n_poles, &mut rng),
             seed: 7,
+            certify: false,
         }
     }
 
@@ -359,6 +393,7 @@ mod tests {
             p: 2,
             q: 1,
             seed: 3,
+            certify: false,
         };
         assert_eq!(solve.validate(&limits), Ok(()));
     }
@@ -378,6 +413,7 @@ mod tests {
             p: 2,
             q: 0,
             seed: 0,
+            certify: false,
         };
         assert_eq!(req.validate(&limits).unwrap_err().kind(), "invalid_request");
     }
@@ -390,6 +426,7 @@ mod tests {
             p: 2,
             q: 0,
             seed: 1 << 53,
+            certify: false,
         };
         assert_eq!(req.validate(&limits).unwrap_err().kind(), "invalid_request");
     }
@@ -409,6 +446,7 @@ mod tests {
             q: 0,
             poles,
             seed: 1,
+            certify: false,
         };
         let err = req.validate(&limits).unwrap_err();
         assert_eq!(err.kind(), "invalid_request");
@@ -422,6 +460,7 @@ mod tests {
             p: 4,
             q: 2,
             seed: 0,
+            certify: false,
         };
         let err = req.validate(&JobLimits::default()).unwrap_err();
         assert_eq!(err.kind(), "too_large");
@@ -437,6 +476,7 @@ mod tests {
             q: 0,
             poles: vec![],
             seed: 0,
+            certify: false,
         };
         assert_eq!(req.validate(&limits).unwrap_err().kind(), "invalid_request");
     }
@@ -453,6 +493,7 @@ mod tests {
             q: 0,
             poles: vec![Complex64::ONE],
             seed: 0,
+            certify: false,
         };
         assert_eq!(req.validate(&limits).unwrap_err().kind(), "invalid_request");
     }

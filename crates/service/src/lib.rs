@@ -32,7 +32,7 @@
 //!     build_mode: BuildMode::Sequential,
 //!     ..EngineConfig::default()
 //! });
-//! let job = JobRequest::SolvePieri { m: 2, p: 2, q: 0, seed: 1 };
+//! let job = JobRequest::SolvePieri { m: 2, p: 2, q: 0, seed: 1, certify: false };
 //! let cold = engine.run(job.clone()).unwrap();
 //! assert_eq!(cold.solutions, 2);
 //! assert!(!cold.cache_hit);

@@ -15,9 +15,10 @@
 //! returns [`WireError`] — malformed bytes can never panic the server.
 
 use crate::cache::CacheStats;
-use crate::engine::EngineStats;
+use crate::engine::{CertifyCounters, EngineStats};
 use crate::job::{CompensatorAnswer, JobError, JobRequest, JobResult};
 use minijson::{object, JsonError, Value};
+use pieri_certify::{Certificate, Verdict};
 use pieri_linalg::CMat;
 use pieri_num::Complex64;
 use pieri_tracker::TrackStats;
@@ -66,6 +67,27 @@ fn uint(v: &Value, what: &str) -> Result<usize, WireError> {
 fn seed(v: &Value, what: &str) -> Result<u64, WireError> {
     v.as_u64()
         .ok_or_else(|| WireError(format!("{what} must be an integer below 2^53")))
+}
+
+/// Optional boolean: absent decodes as `false` (the wire's `certify`
+/// flag predates some clients), present must be a boolean.
+fn opt_bool(v: &Value, key: &str) -> Result<bool, WireError> {
+    match v.get(key) {
+        None => Ok(false),
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| WireError(format!("{key} must be a boolean"))),
+    }
+}
+
+/// Optional counter: absent decodes as `0` — the certification fields
+/// postdate the PR-3/PR-4 wire format, and a new client must keep
+/// decoding an old server's responses during a rolling upgrade.
+fn opt_uint(v: &Value, key: &str) -> Result<usize, WireError> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(n) => uint(n, key),
+    }
 }
 
 // ---- complex / matrix / polynomial ------------------------------------
@@ -195,12 +217,19 @@ fn ms_duration(v: &Value, what: &str) -> Result<Duration, WireError> {
 /// Encodes a request as its tagged JSON object.
 pub fn request_to_json(req: &JobRequest) -> Value {
     match req {
-        JobRequest::SolvePieri { m, p, q, seed } => object([
+        JobRequest::SolvePieri {
+            m,
+            p,
+            q,
+            seed,
+            certify,
+        } => object([
             ("type", Value::from("solve_pieri")),
             ("m", Value::from(*m)),
             ("p", Value::from(*p)),
             ("q", Value::from(*q)),
             ("seed", Value::Number(*seed as f64)),
+            ("certify", Value::Bool(*certify)),
         ]),
         JobRequest::PlacePoles {
             a,
@@ -209,6 +238,7 @@ pub fn request_to_json(req: &JobRequest) -> Value {
             q,
             poles,
             seed,
+            certify,
         } => object([
             ("type", Value::from("place_poles")),
             ("a", mat_to_json(a)),
@@ -217,6 +247,7 @@ pub fn request_to_json(req: &JobRequest) -> Value {
             ("q", Value::from(*q)),
             ("poles", complex_vec_to_json(poles)),
             ("seed", Value::Number(*seed as f64)),
+            ("certify", Value::Bool(*certify)),
         ]),
     }
 }
@@ -229,6 +260,7 @@ pub fn request_from_json(v: &Value) -> Result<JobRequest, WireError> {
             p: uint(field(v, "p")?, "p")?,
             q: uint(field(v, "q")?, "q")?,
             seed: seed(field(v, "seed")?, "seed")?,
+            certify: opt_bool(v, "certify")?,
         }),
         Some("place_poles") => Ok(JobRequest::PlacePoles {
             a: mat_from_json(field(v, "a")?)?,
@@ -237,6 +269,7 @@ pub fn request_from_json(v: &Value) -> Result<JobRequest, WireError> {
             q: uint(field(v, "q")?, "q")?,
             poles: complex_vec_from_json(field(v, "poles")?, "poles")?,
             seed: seed(field(v, "seed")?, "seed")?,
+            certify: opt_bool(v, "certify")?,
         }),
         Some(other) => Err(WireError(format!("unknown job type {other:?}"))),
         None => Err(WireError("type must be a string".into())),
@@ -252,6 +285,8 @@ fn track_to_json(t: &TrackStats) -> Value {
         ("failed", Value::from(t.failed)),
         ("total_steps", Value::from(t.total_steps)),
         ("total_newton_iters", Value::from(t.total_newton_iters)),
+        ("retracked", Value::from(t.retracked)),
+        ("retrack_attempts", Value::from(t.retrack_attempts)),
         ("total_ms", duration_ms(t.total_time)),
         ("max_path_ms", duration_ms(t.max_path_time)),
     ])
@@ -262,6 +297,8 @@ fn track_from_json(v: &Value) -> Result<TrackStats, WireError> {
         converged: uint(field(v, "converged")?, "converged")?,
         diverged: uint(field(v, "diverged")?, "diverged")?,
         failed: uint(field(v, "failed")?, "failed")?,
+        retracked: opt_uint(v, "retracked")?,
+        retrack_attempts: opt_uint(v, "retrack_attempts")?,
         total_steps: uint(field(v, "total_steps")?, "total_steps")?,
         total_newton_iters: uint(field(v, "total_newton_iters")?, "total_newton_iters")?,
         total_time: ms_duration(field(v, "total_ms")?, "total_ms")?,
@@ -292,6 +329,72 @@ fn compensator_from_json(v: &Value) -> Result<CompensatorAnswer, WireError> {
     })
 }
 
+/// Encodes one solution certificate: the verdict tag, the α-theory
+/// estimates (non-finite estimates encode as `null`), the refinement
+/// record and, for pole placement, the closed-loop pole residual.
+pub fn certificate_to_json(c: &Certificate) -> Value {
+    let reason = match &c.verdict {
+        Verdict::Certified { .. } => Value::Null,
+        Verdict::Suspect { reason, .. } | Verdict::Failed { reason } => {
+            Value::String(reason.clone())
+        }
+    };
+    object([
+        ("verdict", Value::from(c.verdict.kind())),
+        ("residual", residual_to_json(c.residual())),
+        ("alpha", residual_to_json(c.alpha)),
+        ("beta", residual_to_json(c.beta)),
+        ("gamma", residual_to_json(c.gamma)),
+        ("refined", Value::Bool(c.refined)),
+        ("refine_iters", Value::from(c.refine_iters)),
+        ("reason", reason),
+        (
+            "pole_residual",
+            match c.pole_residual {
+                Some(r) => residual_to_json(r),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Decodes a certificate block (the client side).
+pub fn certificate_from_json(v: &Value) -> Result<Certificate, WireError> {
+    let residual = residual_from_json(field(v, "residual")?, "residual")?;
+    let reason = field(v, "reason")?.as_str().unwrap_or_default().to_string();
+    let alpha = residual_from_json(field(v, "alpha")?, "alpha")?;
+    let verdict = match field(v, "verdict")?.as_str() {
+        Some("certified") => Verdict::Certified {
+            residual,
+            newton_contraction: alpha,
+        },
+        Some("suspect") => Verdict::Suspect { residual, reason },
+        Some("failed") => Verdict::Failed { reason },
+        _ => return Err(WireError("verdict must be certified/suspect/failed".into())),
+    };
+    // `pole_residual` is nullable-null vs present-number; a null means
+    // "not a pole-placement job".
+    let pole_residual = {
+        let pr = field(v, "pole_residual")?;
+        if pr.is_null() {
+            None
+        } else {
+            Some(num(pr, "pole_residual")?)
+        }
+    };
+    Ok(Certificate {
+        verdict,
+        alpha,
+        beta: residual_from_json(field(v, "beta")?, "beta")?,
+        gamma: residual_from_json(field(v, "gamma")?, "gamma")?,
+        refined: field(v, "refined")?
+            .as_bool()
+            .ok_or_else(|| WireError("refined must be a boolean".into()))?,
+        refine_iters: uint(field(v, "refine_iters")?, "refine_iters")?,
+        pole_residual,
+    })
+}
+
 /// Encodes a finished job.
 pub fn result_to_json(r: &JobResult) -> Value {
     object([
@@ -306,6 +409,10 @@ pub fn result_to_json(r: &JobResult) -> Value {
         (
             "compensators",
             Value::Array(r.compensators.iter().map(compensator_to_json).collect()),
+        ),
+        (
+            "certificates",
+            Value::Array(r.certificates.iter().map(certificate_to_json).collect()),
         ),
         ("max_residual", residual_to_json(r.max_residual)),
         ("cache_hit", Value::from(r.cache_hit)),
@@ -330,6 +437,16 @@ pub fn result_from_json(v: &Value) -> Result<JobResult, WireError> {
         .iter()
         .map(compensator_from_json)
         .collect::<Result<_, _>>()?;
+    // Absent on pre-certification servers: decode as "no certificates".
+    let certificates = match v.get("certificates") {
+        None => Vec::new(),
+        Some(arr) => arr
+            .as_array()
+            .ok_or_else(|| WireError("certificates must be an array".into()))?
+            .iter()
+            .map(certificate_from_json)
+            .collect::<Result<_, _>>()?,
+    };
     let expected = num(field(v, "expected")?, "expected")?;
     if !(0.0..=2f64.powi(53)).contains(&expected) || expected.fract() != 0.0 {
         return Err(WireError("expected must be a non-negative integer".into()));
@@ -341,6 +458,7 @@ pub fn result_from_json(v: &Value) -> Result<JobResult, WireError> {
         failed: uint(field(v, "failed")?, "failed")?,
         coeffs,
         compensators,
+        certificates,
         max_residual: residual_from_json(field(v, "max_residual")?, "max_residual")?,
         cache_hit: field(v, "cache_hit")?
             .as_bool()
@@ -382,6 +500,7 @@ pub fn error_from_json(v: &Value) -> Result<JobError, WireError> {
         "queue_full" => JobError::QueueFull,
         "shutting_down" => JobError::ShuttingDown,
         "start_system" => JobError::StartSystem(message),
+        "uncertified" => JobError::Uncertified { detail: message },
         _ => JobError::Internal(message),
     })
 }
@@ -395,7 +514,17 @@ pub fn stats_to_json(s: &EngineStats, resident: &[(pieri_core::Shape, usize, Dur
         ("submitted", Value::from(s.submitted)),
         ("completed", Value::from(s.completed)),
         ("rejected", Value::from(s.rejected)),
+        ("certify", certify_counters_to_json(&s.certify)),
         ("cache", cache_stats_to_json(&s.cache, resident)),
+    ])
+}
+
+fn certify_counters_to_json(c: &CertifyCounters) -> Value {
+    object([
+        ("certified", Value::from(c.certified)),
+        ("refined", Value::from(c.refined)),
+        ("retracked", Value::from(c.retracked)),
+        ("failed", Value::from(c.failed)),
     ])
 }
 
@@ -404,6 +533,8 @@ fn cache_stats_to_json(c: &CacheStats, resident: &[(pieri_core::Shape, usize, Du
         ("hits", Value::from(c.hits)),
         ("misses", Value::from(c.misses)),
         ("shapes", Value::from(c.shapes)),
+        ("evictions", Value::from(c.evictions)),
+        ("resident_bytes", Value::from(c.resident_bytes)),
         (
             "resident",
             Value::Array(
@@ -439,6 +570,7 @@ mod tests {
                 p: 2,
                 q: 1,
                 seed: 1234,
+                certify: true,
             },
             JobRequest::PlacePoles {
                 a: sat.a.clone(),
@@ -447,6 +579,7 @@ mod tests {
                 q: 1,
                 poles: pieri_control::conjugate_pole_set(5, &mut rng),
                 seed: 42,
+                certify: false,
             },
         ];
         for req in &reqs {
@@ -455,15 +588,22 @@ mod tests {
             let back = request_from_json(&minijson::parse(&text).unwrap()).unwrap();
             match (req, &back) {
                 (
-                    JobRequest::SolvePieri { m, p, q, seed },
+                    JobRequest::SolvePieri {
+                        m,
+                        p,
+                        q,
+                        seed,
+                        certify,
+                    },
                     JobRequest::SolvePieri {
                         m: m2,
                         p: p2,
                         q: q2,
                         seed: s2,
+                        certify: c2,
                     },
                 ) => {
-                    assert_eq!((m, p, q, seed), (m2, p2, q2, s2));
+                    assert_eq!((m, p, q, seed, certify), (m2, p2, q2, s2, c2));
                 }
                 (
                     JobRequest::PlacePoles { a, poles, seed, .. },
@@ -498,6 +638,26 @@ mod tests {
             let v = minijson::parse(text).unwrap();
             assert!(request_from_json(&v).is_err(), "{text}");
         }
+    }
+
+    #[test]
+    fn pre_certification_results_still_decode() {
+        // A PR-3/PR-4 server response: no `certificates`, no
+        // `retracked`/`retrack_attempts` in the track block. A new
+        // client must decode it with empty/zero defaults (rolling
+        // upgrades, recorded payloads).
+        let text = r#"{"solutions":1,"expected":1,"improper":0,"failed":0,
+            "coeffs":[[[1.0,0.0]]],"compensators":[],
+            "max_residual":1e-9,"cache_hit":true,"bundle_build_ms":0,
+            "queue_wait_ms":1,"solve_ms":2,
+            "track":{"converged":1,"diverged":0,"failed":0,
+                     "total_steps":10,"total_newton_iters":20,
+                     "total_ms":2,"max_path_ms":2}}"#;
+        let back = result_from_json(&minijson::parse(text).unwrap()).unwrap();
+        assert_eq!(back.solutions, 1);
+        assert!(back.certificates.is_empty());
+        assert_eq!(back.track.retracked, 0);
+        assert_eq!(back.track.retrack_attempts, 0);
     }
 
     #[test]

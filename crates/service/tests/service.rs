@@ -26,6 +26,7 @@ fn satellite_place(seed: u64) -> JobRequest {
         q: 1,
         poles: pieri_control::conjugate_pole_set(5, &mut rng),
         seed,
+        certify: false,
     }
 }
 
@@ -98,6 +99,7 @@ fn stress_more_jobs_than_workers() {
                             p: 2,
                             q: 0,
                             seed: (c * per_client + i) as u64,
+                            certify: false,
                         };
                         engine.run(req).unwrap()
                     })
@@ -133,7 +135,13 @@ fn stress_more_workers_than_jobs() {
             let engine = engine.clone();
             std::thread::spawn(move || {
                 engine
-                    .run(JobRequest::SolvePieri { m, p, q, seed: 3 })
+                    .run(JobRequest::SolvePieri {
+                        m,
+                        p,
+                        q,
+                        seed: 3,
+                        certify: false,
+                    })
                     .unwrap()
             })
         })
@@ -164,6 +172,7 @@ fn stress_same_cold_shape_races() {
                         p: 2,
                         q: 0,
                         seed: 42,
+                        certify: false,
                     })
                     .unwrap()
             })

@@ -77,13 +77,14 @@ proptest! {
     }
 
     #[test]
-    fn solve_request_round_trips(m in 1usize..4, p in 1usize..4, q in 0usize..3, seed in 0u64..(1 << 53)) {
-        let req = JobRequest::SolvePieri { m, p, q, seed };
+    fn solve_request_round_trips(m in 1usize..4, p in 1usize..4, q in 0usize..3, (seed, certify) in (0u64..(1 << 53), 0u8..2)) {
+        let certify = certify == 1;
+        let req = JobRequest::SolvePieri { m, p, q, seed, certify };
         let text = request_to_json(&req).serialize();
         let back = request_from_json(&minijson::parse(&text).unwrap()).unwrap();
         match back {
-            JobRequest::SolvePieri { m: m2, p: p2, q: q2, seed: s2 } => {
-                prop_assert_eq!((m, p, q, seed), (m2, p2, q2, s2));
+            JobRequest::SolvePieri { m: m2, p: p2, q: q2, seed: s2, certify: c2 } => {
+                prop_assert_eq!((m, p, q, seed, certify), (m2, p2, q2, s2, c2));
             }
             _ => prop_assert!(false, "kind changed"),
         }
@@ -106,11 +107,13 @@ proptest! {
             q,
             poles: poles.clone(),
             seed,
+            certify: true,
         };
         let text = request_to_json(&req).serialize();
         let back = request_from_json(&minijson::parse(&text).unwrap()).unwrap();
         match back {
-            JobRequest::PlacePoles { a: a2, poles: p2, seed: s2, .. } => {
+            JobRequest::PlacePoles { a: a2, poles: p2, seed: s2, certify: c2, .. } => {
+                prop_assert!(c2, "certify flag survives transit");
                 assert_mat_bits(&a, &a2);
                 prop_assert_eq!(poles.len(), p2.len());
                 for (x, y) in poles.iter().zip(&p2) {
@@ -143,6 +146,33 @@ proptest! {
                 residual,
                 proper: true,
             }],
+            certificates: vec![
+                pieri_certify::Certificate {
+                    verdict: pieri_certify::Verdict::Certified {
+                        residual,
+                        newton_contraction: 0.01,
+                    },
+                    alpha: 0.01,
+                    beta: 1e-12,
+                    gamma: 1e10,
+                    refined: true,
+                    refine_iters: 2,
+                    pole_residual: Some(residual),
+                },
+                pieri_certify::Certificate {
+                    verdict: pieri_certify::Verdict::Suspect {
+                        residual,
+                        reason: "slow Newton contraction (3.00e-1)".into(),
+                    },
+                    alpha: 0.3,
+                    beta: 1e-7,
+                    gamma: f64::INFINITY,
+                    refined: false,
+                    refine_iters: 0,
+                    pole_residual: None,
+                },
+                pieri_certify::Certificate::failed("Newton does not contract"),
+            ],
             max_residual: residual,
             cache_hit,
             bundle_build: std::time::Duration::from_micros(1500),
@@ -152,6 +182,8 @@ proptest! {
                 converged: coeffs.len(),
                 diverged: improper,
                 failed: 0,
+                retracked: 1,
+                retrack_attempts: 2,
                 total_steps: 17,
                 total_newton_iters: 34,
                 total_time: std::time::Duration::from_micros(800),
@@ -175,5 +207,14 @@ proptest! {
         prop_assert_eq!(back.max_residual.to_bits(), result.max_residual.to_bits());
         prop_assert_eq!(back.track.converged, result.track.converged);
         prop_assert_eq!(back.track.total_steps, result.track.total_steps);
+        prop_assert_eq!(back.track.retracked, 1);
+        prop_assert_eq!(back.track.retrack_attempts, 2);
+        // Certificates survive transit: verdict kinds, estimates, the
+        // refinement record and the optional pole residual.
+        prop_assert_eq!(back.certificates.len(), 3);
+        prop_assert_eq!(&back.certificates[0], &result.certificates[0]);
+        prop_assert_eq!(&back.certificates[1], &result.certificates[1]);
+        prop_assert_eq!(back.certificates[2].verdict.kind(), "failed");
+        prop_assert!(back.certificates[2].residual().is_infinite());
     }
 }

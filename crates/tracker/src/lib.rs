@@ -33,9 +33,11 @@ mod stats;
 mod workspace;
 
 pub use homotopy::{Homotopy, LinearHomotopy};
-pub use newton::{newton_correct, newton_correct_with, NewtonOutcome};
+pub use newton::{
+    newton_correct, newton_correct_with, newton_step_with, NewtonOutcome, NewtonStep,
+};
 pub use path::{track_all, track_path, track_path_with, PathResult, PathStatus};
 pub use predictor::{tangent, tangent_into, Predictor};
-pub use settings::TrackSettings;
+pub use settings::{RetrackPolicy, TrackSettings};
 pub use stats::TrackStats;
 pub use workspace::{HomotopyScratch, TrackWorkspace};

@@ -124,6 +124,66 @@ pub fn newton_correct_with<H: Homotopy + ?Sized>(
     }
 }
 
+/// Outcome of one explicit Newton step (see [`newton_step_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonStep {
+    /// `‖H(x, t)‖∞` at the **input** point (before the update).
+    pub residual: f64,
+    /// `‖Δx‖∞` of the applied update (`0` when singular).
+    pub step: f64,
+    /// True when the Jacobian at the input was singular to working
+    /// precision (no update was applied).
+    pub singular: bool,
+}
+
+/// One explicit Newton step on `x ↦ H(x, t)` at fixed `t`, updating `x`
+/// in place: a single fused `eval_and_jacobian` + one LU solve, nothing
+/// else — no convergence check, no trailing residual evaluation.
+///
+/// This is the primitive the a-posteriori certifier builds its two-step
+/// α-estimates from: it needs the residual at the input point and the
+/// update norm, and paying [`newton_correct_with`]'s extra exit
+/// evaluation twice per certificate would roughly double the cost.
+pub fn newton_step_with<H: Homotopy + ?Sized>(
+    h: &H,
+    x: &mut [Complex64],
+    t: f64,
+    ws: &mut TrackWorkspace,
+) -> NewtonStep {
+    let n = h.dim();
+    debug_assert_eq!(x.len(), n);
+    ws.ensure(n);
+    let TrackWorkspace {
+        fx,
+        rhs,
+        jac,
+        lu,
+        scratch,
+        ..
+    } = ws;
+    h.eval_and_jacobian(x, t, fx, jac, scratch);
+    let residual = inf_norm(fx);
+    if Lu::factor_into(jac, lu).is_err() {
+        return NewtonStep {
+            residual,
+            step: 0.0,
+            singular: true,
+        };
+    }
+    for (r, f) in rhs.iter_mut().zip(fx.iter()) {
+        *r = -*f;
+    }
+    lu.solve_in_place(rhs);
+    for (xi, di) in x.iter_mut().zip(rhs.iter()) {
+        *xi += *di;
+    }
+    NewtonStep {
+        residual,
+        step: inf_norm(rhs),
+        singular: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,13 @@ pub struct PathResult {
     pub rejections: usize,
     /// Total Newton iterations spent.
     pub newton_iters: usize,
+    /// Tracking attempts this result accounts for: 1 when the first
+    /// attempt settled the path, more when the re-track policy
+    /// ([`crate::RetrackPolicy`]) re-ran it with tightened settings.
+    /// `steps`, `rejections`, `newton_iters` and `elapsed` accumulate
+    /// over **all** attempts, so recording this result once accounts for
+    /// the path's full cost.
+    pub attempts: usize,
     /// Wall-clock time spent on this path.
     pub elapsed: Duration,
 }
@@ -103,7 +110,39 @@ pub fn track_path<H: Homotopy + ?Sized>(
 /// the only per-path allocation is the returned [`PathResult::x`]. The
 /// workers of `pieri-parallel` hold one workspace each; sequential
 /// drivers thread a single workspace through every path of a solve.
+///
+/// When `settings.retrack` is enabled, a [`PathStatus::Failed`] attempt
+/// is re-run from `x0` with tightened step control (bounded by the
+/// policy); the returned result is the **final** attempt with the cost
+/// of every attempt accumulated and [`PathResult::attempts`] counting
+/// them — one result per logical path, however many attempts ran.
 pub fn track_path_with<H: Homotopy + ?Sized>(
+    h: &H,
+    x0: &[Complex64],
+    settings: &TrackSettings,
+    ws: &mut TrackWorkspace,
+) -> PathResult {
+    let mut result = track_path_attempt(h, x0, settings, ws);
+    let policy = settings.retrack;
+    let mut attempt = 0usize;
+    while attempt < policy.max_retries && matches!(result.status, PathStatus::Failed { .. }) {
+        attempt += 1;
+        let tightened = policy.tightened(settings, attempt);
+        let mut retry = track_path_attempt(h, x0, &tightened, ws);
+        // Fold the earlier attempts' cost into the surviving result so
+        // TrackStats::record sees this path exactly once.
+        retry.steps += result.steps;
+        retry.rejections += result.rejections;
+        retry.newton_iters += result.newton_iters;
+        retry.elapsed += result.elapsed;
+        retry.attempts = result.attempts + 1;
+        result = retry;
+    }
+    result
+}
+
+/// One tracking attempt (no re-tracking).
+fn track_path_attempt<H: Homotopy + ?Sized>(
     h: &H,
     x0: &[Complex64],
     settings: &TrackSettings,
@@ -149,6 +188,7 @@ pub fn track_path_with<H: Homotopy + ?Sized>(
         steps: p.steps,
         rejections: p.rejections,
         newton_iters: p.newton_total,
+        attempts: 1,
         elapsed: start_time.elapsed(),
     };
     ws.state_x = p.x;
@@ -526,6 +566,83 @@ mod tests {
             "{:?}",
             r.status
         );
+    }
+
+    #[test]
+    fn retrack_policy_rescues_a_budget_starved_path() {
+        use crate::settings::RetrackPolicy;
+        let (g, starts) = unity_start(2);
+        let f = univar(&[c(-4.0, 0.0), Complex64::ZERO, Complex64::ONE]);
+        let mut rng = seeded_rng(106);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        // A 3-step budget fails (see max_steps_guard_fails_gracefully);
+        // the policy re-runs with an 8× larger budget per retry until the
+        // path converges.
+        let settings = TrackSettings {
+            max_steps: 3,
+            retrack: RetrackPolicy {
+                max_retries: 3,
+                step_scale: 1.0,
+                budget_scale: 8.0,
+            },
+            ..TrackSettings::default()
+        };
+        let r = track_path(&h, &starts[0], &settings);
+        assert!(r.status.is_converged(), "{:?}", r.status);
+        assert!(r.attempts > 1, "the first attempt must have failed");
+        assert!(r.attempts <= 4, "bounded retries");
+        assert!((r.x[0].norm() - 2.0).abs() < 1e-8);
+
+        // Stats see ONE logical path that was retracked.
+        let (results, stats) = track_all(&h, &starts[..1], &settings);
+        assert_eq!(stats.total(), 1);
+        assert_eq!(stats.converged, 1);
+        assert_eq!(stats.retracked, 1);
+        assert_eq!(stats.retrack_attempts, results[0].attempts - 1);
+        assert_eq!(stats.total_steps, results[0].steps);
+    }
+
+    #[test]
+    fn retrack_exhaustion_stays_failed_and_bounded() {
+        use crate::settings::RetrackPolicy;
+        let (g, starts) = unity_start(2);
+        let f = univar(&[c(-4.0, 0.0), Complex64::ZERO, Complex64::ONE]);
+        let mut rng = seeded_rng(107);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        // Budget so small that even the tightened retries cannot finish.
+        let settings = TrackSettings {
+            max_steps: 1,
+            retrack: RetrackPolicy {
+                max_retries: 2,
+                step_scale: 0.5,
+                budget_scale: 1.0,
+            },
+            ..TrackSettings::default()
+        };
+        let r = track_path(&h, &starts[0], &settings);
+        assert!(
+            matches!(r.status, PathStatus::Failed { .. }),
+            "{:?}",
+            r.status
+        );
+        assert_eq!(r.attempts, 3, "initial attempt + exactly max_retries");
+    }
+
+    #[test]
+    fn disabled_retrack_is_bitwise_identical_to_single_attempt() {
+        let (g, starts) = unity_start(3);
+        let f = univar(&[c(0.5, 0.25), c(-1.0, 0.5), c(0.0, -0.5), Complex64::ONE]);
+        let mut rng = seeded_rng(108);
+        let h = LinearHomotopy::new(g, f, random_gamma(&mut rng));
+        let settings = TrackSettings::default();
+        let mut ws = TrackWorkspace::new();
+        for s in &starts {
+            let a = track_path_with(&h, s, &settings, &mut ws);
+            let b = track_path_attempt(&h, s, &settings, &mut ws);
+            assert_eq!(a.x, b.x, "retry wrapper must not perturb results");
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.attempts, 1);
+        }
     }
 
     #[test]

@@ -2,6 +2,87 @@
 
 use crate::predictor::Predictor;
 
+/// Bounded-retry policy for numerically failed paths.
+///
+/// A path that ends in [`crate::PathStatus::Failed`] (step control
+/// collapsed, budget exhausted — *not* an honest divergence to infinity)
+/// is re-run from its start solution with tightened continuation
+/// parameters: smaller steps, a finer minimum step, a larger corrector
+/// and step budget. Retries are bounded by [`RetrackPolicy::max_retries`];
+/// each retry tightens further. The policy lives inside
+/// [`TrackSettings`], so every driver — sequential, work-stealing,
+/// tree-parallel, the batch service — inherits re-tracking without
+/// signature changes. The per-path cost of **all** attempts is
+/// accumulated into the one [`crate::PathResult`] the final attempt
+/// returns (`attempts` records how many ran), which is what keeps
+/// [`crate::TrackStats::record`]/[`crate::TrackStats::merge`] idempotent
+/// per logical path: drivers that merge worker stats never see a
+/// retracked path twice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrackPolicy {
+    /// Additional attempts after the first failed one (0 disables
+    /// re-tracking entirely — the default).
+    pub max_retries: usize,
+    /// Multiplier applied to the initial/maximum/minimum step per retry
+    /// (compounded: retry `k` scales by `step_scale^k`).
+    pub step_scale: f64,
+    /// Multiplier applied to the step budget per retry (compounded).
+    pub budget_scale: f64,
+}
+
+impl RetrackPolicy {
+    /// No re-tracking (the default inside [`TrackSettings`]).
+    pub fn disabled() -> Self {
+        RetrackPolicy {
+            max_retries: 0,
+            step_scale: 0.25,
+            budget_scale: 2.0,
+        }
+    }
+
+    /// The conservative production policy: up to two retries, each with
+    /// 4× smaller steps and a doubled step budget.
+    pub fn conservative() -> Self {
+        RetrackPolicy {
+            max_retries: 2,
+            step_scale: 0.25,
+            budget_scale: 2.0,
+        }
+    }
+
+    /// True when the policy allows at least one retry.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The tightened settings for retry number `attempt` (1-based) of
+    /// `base`. The returned settings have re-tracking disabled — the
+    /// retry loop lives in [`crate::track_path_with`], never recursively
+    /// inside an attempt.
+    pub fn tightened(&self, base: &TrackSettings, attempt: usize) -> TrackSettings {
+        let shrink = self.step_scale.powi(attempt as i32);
+        let budget = self.budget_scale.powi(attempt as i32);
+        TrackSettings {
+            initial_step: (base.initial_step * shrink).max(base.min_step * shrink),
+            max_step: (base.max_step * shrink).max(base.min_step * shrink),
+            // A finer floor lets the controller crawl past the region
+            // that defeated the first attempt.
+            min_step: base.min_step * shrink,
+            corrector_iters: base.corrector_iters + attempt,
+            max_steps: (base.max_steps as f64 * budget).ceil() as usize,
+            expand_after: base.expand_after + attempt,
+            retrack: RetrackPolicy::disabled(),
+            ..*base
+        }
+    }
+}
+
+impl Default for RetrackPolicy {
+    fn default() -> Self {
+        RetrackPolicy::disabled()
+    }
+}
+
 /// Step-size control and tolerance settings for [`crate::track_path`].
 ///
 /// The defaults reproduce PHCpack's conservative continuation parameters
@@ -48,6 +129,9 @@ pub struct TrackSettings {
     /// Cauchy criterion of the endgame: consecutive endgame iterates
     /// closer than `endgame_tol·(1+‖x‖)` end the path.
     pub endgame_tol: f64,
+    /// Bounded-retry policy for numerically failed paths (disabled by
+    /// default; see [`RetrackPolicy`]).
+    pub retrack: RetrackPolicy,
 }
 
 impl Default for TrackSettings {
@@ -68,6 +152,7 @@ impl Default for TrackSettings {
             max_steps: 20_000,
             endgame_radius: 0.01,
             endgame_tol: 1e-8,
+            retrack: RetrackPolicy::disabled(),
         }
     }
 }
@@ -98,5 +183,21 @@ mod tests {
         assert!(s.shrink_factor < 1.0 && s.expand_factor > 1.0);
         assert!(s.corrector_tol > s.final_tol);
         assert!(s.endgame_radius > 0.0 && s.endgame_radius < 0.5);
+        assert!(!s.retrack.enabled(), "re-tracking is opt-in");
+    }
+
+    #[test]
+    fn retrack_tightening_compounds() {
+        let base = TrackSettings::default();
+        let policy = RetrackPolicy::conservative();
+        let t1 = policy.tightened(&base, 1);
+        let t2 = policy.tightened(&base, 2);
+        assert!(t1.initial_step < base.initial_step);
+        assert!(t2.initial_step < t1.initial_step);
+        assert!(t1.min_step < base.min_step && t2.min_step < t1.min_step);
+        assert!(t2.max_steps > t1.max_steps && t1.max_steps > base.max_steps);
+        assert!(t1.corrector_iters > base.corrector_iters);
+        assert!(!t1.retrack.enabled(), "attempts never recurse");
+        assert!(t1.min_step <= t1.initial_step && t1.initial_step <= t1.max_step);
     }
 }

@@ -17,6 +17,12 @@ pub struct TrackStats {
     pub diverged: usize,
     /// Paths that got numerically stuck.
     pub failed: usize,
+    /// Paths that needed at least one re-track attempt (see
+    /// [`crate::RetrackPolicy`]); a subset of `total()`, whatever the
+    /// final status was.
+    pub retracked: usize,
+    /// Tracking attempts beyond the first, summed over all paths.
+    pub retrack_attempts: usize,
     /// Total accepted steps over all paths.
     pub total_steps: usize,
     /// Total Newton iterations over all paths.
@@ -37,39 +43,48 @@ impl TrackStats {
     pub fn from_results(results: &[PathResult]) -> Self {
         let mut s = TrackStats::default();
         for r in results {
-            s.record(r.status, r.steps, r.newton_iters, r.elapsed);
+            s.record(r);
         }
         s
     }
 
-    /// Records one path incrementally — for callers (schedulers, the
-    /// batch service) that stream results and do not keep the full
-    /// [`PathResult`]s alive.
-    pub fn record(
-        &mut self,
-        status: PathStatus,
-        steps: usize,
-        newton_iters: usize,
-        elapsed: Duration,
-    ) {
-        match status {
+    /// Records one *logical path* incrementally — for callers
+    /// (schedulers, the batch service) that stream results and do not
+    /// keep the full [`PathResult`]s alive.
+    ///
+    /// A [`PathResult`] already accumulates the cost of every re-track
+    /// attempt into one record ([`PathResult::attempts`]); recording it
+    /// once therefore accounts for the whole path, and merging worker
+    /// stats never double-counts a failed-then-retracked path (each
+    /// attempt is **not** recorded separately — that was the
+    /// double-counting bug this contract fixes).
+    pub fn record(&mut self, result: &PathResult) {
+        match result.status {
             PathStatus::Converged => self.converged += 1,
             PathStatus::Diverged { .. } => self.diverged += 1,
             PathStatus::Failed { .. } => self.failed += 1,
         }
-        self.total_steps += steps;
-        self.total_newton_iters += newton_iters;
-        self.total_time += elapsed;
-        self.max_path_time = self.max_path_time.max(elapsed);
-        self.path_times.push(elapsed.as_secs_f64());
+        if result.attempts > 1 {
+            self.retracked += 1;
+            self.retrack_attempts += result.attempts - 1;
+        }
+        self.total_steps += result.steps;
+        self.total_newton_iters += result.newton_iters;
+        self.total_time += result.elapsed;
+        self.max_path_time = self.max_path_time.max(result.elapsed);
+        self.path_times.push(result.elapsed.as_secs_f64());
     }
 
     /// Merges another batch into this one (e.g. per-job stats rolled up
-    /// into service totals).
+    /// into service totals). Each side must contain each logical path at
+    /// most once (the [`TrackStats::record`] contract), which makes the
+    /// merge itself idempotent per path.
     pub fn merge(&mut self, other: &TrackStats) {
         self.converged += other.converged;
         self.diverged += other.diverged;
         self.failed += other.failed;
+        self.retracked += other.retracked;
+        self.retrack_attempts += other.retrack_attempts;
         self.total_steps += other.total_steps;
         self.total_newton_iters += other.total_newton_iters;
         self.total_time += other.total_time;
@@ -122,6 +137,7 @@ mod tests {
             steps,
             rejections: 0,
             newton_iters: 2 * steps,
+            attempts: 1,
             elapsed: Duration::from_millis(millis),
         }
     }
@@ -176,7 +192,7 @@ mod tests {
         let mut merged = TrackStats::from_results(&rs[..1]);
         let mut rest = TrackStats::default();
         for r in &rs[1..] {
-            rest.record(r.status, r.steps, r.newton_iters, r.elapsed);
+            rest.record(r);
         }
         merged.merge(&rest);
         assert_eq!(merged.total(), whole.total());
@@ -185,6 +201,38 @@ mod tests {
         assert_eq!(merged.total_time, whole.total_time);
         assert_eq!(merged.max_path_time, whole.max_path_time);
         assert_eq!(merged.path_times, whole.path_times);
+    }
+
+    #[test]
+    fn retracked_path_counts_once_across_record_and_merge() {
+        // Regression (satellite fix): a failed-then-retracked path is one
+        // PathResult with attempts = 3 and accumulated cost. Recording it
+        // on one worker and merging into the driver totals must yield ONE
+        // path — not one per attempt — and count its steps exactly once.
+        let mut retracked = result(PathStatus::Converged, 40, 30);
+        retracked.attempts = 3;
+        let plain = result(PathStatus::Converged, 10, 5);
+
+        let mut worker_a = TrackStats::default();
+        worker_a.record(&retracked);
+        let mut worker_b = TrackStats::default();
+        worker_b.record(&plain);
+        let mut driver = TrackStats::default();
+        driver.merge(&worker_a);
+        driver.merge(&worker_b);
+
+        assert_eq!(driver.total(), 2, "two logical paths, five attempts");
+        assert_eq!(driver.converged, 2);
+        assert_eq!(driver.retracked, 1);
+        assert_eq!(driver.retrack_attempts, 2);
+        assert_eq!(driver.total_steps, 35, "steps counted once per path");
+        assert_eq!(driver.path_times.len(), 2);
+
+        // And the merge result is identical to recording directly.
+        let direct = TrackStats::from_results(&[retracked, plain]);
+        assert_eq!(driver.total_steps, direct.total_steps);
+        assert_eq!(driver.retracked, direct.retracked);
+        assert_eq!(driver.total_time, direct.total_time);
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn main() {
         q: 1,
         poles: poles.clone(),
         seed: 42,
+        certify: false,
     };
 
     let cold = client.solve(&req).expect("cold request");

@@ -12,6 +12,8 @@
 //! * [`systems`] — cyclic-n/katsura/noon benchmarks and start systems;
 //! * [`schubert`] — localization patterns, posets, Pieri trees, the Pieri
 //!   homotopy and its solver (the paper's core contribution);
+//! * [`certify`] — a-posteriori certification: α-theory Newton
+//!   certificates, double-double endpoint refinement, re-track policies;
 //! * [`control`] — plants, pole placement, compensators, verification;
 //! * [`parallel`] — static/dynamic schedulers and the Fig. 6 tree master;
 //! * [`sim`] — the discrete-event cluster simulator behind the speedup
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pieri_certify as certify;
 pub use pieri_control as control;
 pub use pieri_core as schubert;
 pub use pieri_linalg as linalg;
