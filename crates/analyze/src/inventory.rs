@@ -1,0 +1,126 @@
+//! Unsafe-code inventory: every textual `unsafe` site in the workspace,
+//! classified and checked for `// SAFETY:` coverage.
+//!
+//! The inventory feeds two consumers: the `safety-comment` rule (each
+//! uncovered site is a finding) and `--report` (the full list with a
+//! coverage percentage, so reviewers can see the entire unsafe surface
+//! of the workspace at a glance).
+
+use crate::model::{find_word, SourceFile};
+
+/// How far (in comment lines) the SAFETY search reaches up the
+/// contiguous comment block above a site.
+pub const SAFETY_REACH: usize = 12;
+
+/// Syntactic shape of an `unsafe` occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe fn …`
+    Fn,
+    /// `unsafe impl …`
+    Impl,
+    /// `unsafe trait …`
+    Trait,
+    /// An `unsafe { … }` block (or any other use).
+    Block,
+}
+
+impl UnsafeKind {
+    /// Short label for diagnostics and the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+            UnsafeKind::Trait => "unsafe trait",
+            UnsafeKind::Block => "unsafe block",
+        }
+    }
+}
+
+/// One `unsafe` site (at most one per line).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Repo-relative path of the file.
+    pub rel_path: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// Syntactic shape.
+    pub kind: UnsafeKind,
+    /// A `// SAFETY:` comment covers the site (same line, or the
+    /// contiguous comment block above, skipping attributes/blanks).
+    pub covered: bool,
+}
+
+/// Scans `file` for `unsafe` keywords in code (word-boundary matched, so
+/// `unsafe_code` in lint attributes never hits) and reports one site per
+/// line with its SAFETY coverage.
+pub fn unsafe_sites(file: &SourceFile) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    for (line_no, info) in file.iter_lines() {
+        let Some(at) = find_word(&info.code, "unsafe") else {
+            continue;
+        };
+        let after = info.code[at + "unsafe".len()..].trim_start();
+        let kind = if after.starts_with("fn") {
+            UnsafeKind::Fn
+        } else if after.starts_with("impl") {
+            UnsafeKind::Impl
+        } else if after.starts_with("trait") {
+            UnsafeKind::Trait
+        } else {
+            UnsafeKind::Block
+        };
+        let covered = file.preceding_comment_contains(line_no, "SAFETY:", SAFETY_REACH);
+        out.push(UnsafeSite {
+            rel_path: file.rel_path.clone(),
+            line: line_no,
+            kind,
+            covered,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<UnsafeSite> {
+        unsafe_sites(&SourceFile::from_source("x.rs", src))
+    }
+
+    #[test]
+    fn classifies_shapes() {
+        let s = sites("unsafe fn a() {}\nunsafe impl Send for X {}\nunsafe trait T {}\nlet x = unsafe { y() };\n");
+        let kinds: Vec<_> = s.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                UnsafeKind::Fn,
+                UnsafeKind::Impl,
+                UnsafeKind::Trait,
+                UnsafeKind::Block
+            ]
+        );
+    }
+
+    #[test]
+    fn coverage_same_line_and_block_above() {
+        let s = sites("unsafe { a() } // SAFETY: same line\n// SAFETY: block above\n#[allow(unsafe_code)]\nunsafe fn b() {}\nunsafe fn c() {}\n");
+        assert!(s[0].covered);
+        assert!(s[1].covered, "attr between comment and site is skipped");
+        assert!(!s[2].covered);
+    }
+
+    #[test]
+    fn attribute_unsafe_code_is_not_a_site() {
+        assert!(sites("#![forbid(unsafe_code)]\n#[allow(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn safety_in_string_does_not_cover() {
+        let s = sites("let m = \"SAFETY: nope\";\nunsafe { a() }\n");
+        assert_eq!(s.len(), 1);
+        assert!(!s[0].covered);
+    }
+}

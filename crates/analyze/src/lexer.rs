@@ -1,0 +1,485 @@
+//! A small hand-rolled Rust lexer, just accurate enough for linting.
+//!
+//! The rules in this crate pattern-match on *code* — `unsafe`,
+//! `.unwrap()`, `Ordering::SeqCst`, `vec!` — and none of those matches
+//! may fire on text that merely *mentions* them inside a comment, a
+//! string, or a char literal. So the lexer's one job is attribution:
+//! split a source file into [`Token`]s whose concatenation reproduces
+//! the input byte-for-byte (a property test pins this) and whose kinds
+//! are never confused. It handles:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * block comments (`/* */`, `/** */`, `/*! */`) with arbitrary
+//!   nesting,
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"…"`),
+//! * raw strings with any hash depth (`r"…"`, `r##"…"##`, `br#"…"#`),
+//! * char and byte literals (`'a'`, `'\''`, `'\u{1F600}'`, `b'\xFF'`)
+//!   versus lifetimes (`'static`, `'a`) — the classic ambiguity.
+//!
+//! Everything else — keywords, idents, punctuation, numbers — is plain
+//! [`TokenKind::Code`]; the rules do their own (word-boundary-aware)
+//! substring matching on it.
+
+/// What a [`Token`]'s text is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Plain code: identifiers, keywords, operators, numbers,
+    /// lifetimes.
+    Code,
+    /// A `//`-to-end-of-line comment, including doc forms.
+    LineComment,
+    /// A (possibly nested) `/* … */` comment, including doc forms.
+    BlockComment,
+    /// A string, byte-string, raw-string or raw-byte-string literal.
+    Str,
+    /// A char or byte literal (`'a'`, `b'\n'`).
+    Char,
+}
+
+impl TokenKind {
+    /// True for both comment kinds.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed span. `text` is the exact slice of the input (delimiters
+/// included); `line` is the 1-based line its first byte sits on.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    /// Classification of the span.
+    pub kind: TokenKind,
+    /// The exact input slice, delimiters included.
+    pub text: &'a str,
+    /// 1-based line of the span's first byte.
+    pub line: usize,
+}
+
+/// Splits `source` into tokens whose concatenation equals `source`.
+///
+/// Unterminated constructs (a string or block comment running to EOF)
+/// are tolerated: the open construct simply extends to the end of the
+/// input with its kind intact — a linter must not panic on code that
+/// does not compile yet.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        code_start: 0,
+        code_line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token<'a>>,
+    /// Start of the current run of plain-code bytes.
+    code_start: usize,
+    /// Line that run started on.
+    code_line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => self.take(TokenKind::LineComment, |l| {
+                    l.advance_until_newline();
+                }),
+                b'/' if self.peek(1) == Some(b'*') => self.take(TokenKind::BlockComment, |l| {
+                    l.advance_block_comment();
+                }),
+                b'"' => self.take(TokenKind::Str, |l| {
+                    l.advance(1);
+                    l.advance_string_body();
+                }),
+                b'r' | b'b' if l_starts_raw_or_str(self.bytes, self.pos) => {
+                    let (kind, scan): (TokenKind, fn(&mut Self)) =
+                        match classify_prefix(self.bytes, self.pos) {
+                            Prefix::Raw(prefix_len) => (TokenKind::Str, {
+                                let _ = prefix_len;
+                                |l: &mut Self| l.advance_raw_string()
+                            }),
+                            Prefix::Plain(prefix_len) => (TokenKind::Str, {
+                                let _ = prefix_len;
+                                |l: &mut Self| {
+                                    while l.pos < l.bytes.len() && l.bytes[l.pos] != b'"' {
+                                        l.advance(1);
+                                    }
+                                    l.advance(1); // opening quote
+                                    l.advance_string_body();
+                                }
+                            }),
+                            Prefix::ByteChar => (TokenKind::Char, |l: &mut Self| {
+                                l.advance(2); // b'
+                                l.advance_char_body();
+                            }),
+                        };
+                    self.take(kind, scan);
+                }
+                b'\'' => {
+                    if is_char_literal(self.bytes, self.pos) {
+                        self.take(TokenKind::Char, |l| {
+                            l.advance(1);
+                            l.advance_char_body();
+                        });
+                    } else {
+                        // A lifetime (or a stray quote): plain code.
+                        self.advance(1);
+                    }
+                }
+                _ => self.advance(1),
+            }
+        }
+        self.flush_code(self.bytes.len());
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Moves forward `n` bytes, counting newlines.
+    fn advance(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.bytes.len());
+        for &b in &self.bytes[self.pos..end] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    /// Emits the pending code run (if any) ending at `end`.
+    fn flush_code(&mut self, end: usize) {
+        if end > self.code_start {
+            self.tokens.push(Token {
+                kind: TokenKind::Code,
+                text: &self.src[self.code_start..end],
+                line: self.code_line,
+            });
+        }
+    }
+
+    /// Flushes pending code, scans one non-code token with `scan`, and
+    /// emits it.
+    fn take(&mut self, kind: TokenKind, scan: impl FnOnce(&mut Self)) {
+        self.flush_code(self.pos);
+        let start = self.pos;
+        let line = self.line;
+        scan(self);
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+        self.code_start = self.pos;
+        self.code_line = self.line;
+    }
+
+    fn advance_until_newline(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        // The newline itself stays outside the comment token.
+    }
+
+    /// From `/*`: consumes the whole comment, honouring nesting.
+    fn advance_block_comment(&mut self) {
+        self.advance(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.advance(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                self.advance(1);
+            }
+        }
+    }
+
+    /// After the opening `"`: consumes through the closing quote,
+    /// honouring `\"` and `\\` escapes.
+    fn advance_string_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance(2),
+                b'"' => {
+                    self.advance(1);
+                    return;
+                }
+                _ => self.advance(1),
+            }
+        }
+    }
+
+    /// After the opening `'` (or `b'`): consumes through the closing
+    /// quote, honouring escapes (`'\''`, `'\u{…}'`).
+    fn advance_char_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance(2),
+                b'\'' => {
+                    self.advance(1);
+                    return;
+                }
+                _ => self.advance(1),
+            }
+        }
+    }
+
+    /// From the `r`/`b` prefix of a raw string: consumes
+    /// `r#*"…"#*` with matching hash depth.
+    fn advance_raw_string(&mut self) {
+        // Skip prefix letters.
+        while self.pos < self.bytes.len() && matches!(self.bytes[self.pos], b'r' | b'b') {
+            self.advance(1);
+        }
+        let mut hashes = 0usize;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] == b'#' {
+            hashes += 1;
+            self.advance(1);
+        }
+        self.advance(1); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.bytes.get(self.pos + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.advance(1 + hashes);
+                    return;
+                }
+            }
+            self.advance(1);
+        }
+    }
+}
+
+enum Prefix {
+    /// `r"`, `r#"`, `br#"`, … — raw string; payload is prefix length.
+    Raw(usize),
+    /// `b"` — plain byte string.
+    Plain(usize),
+    /// `b'` — byte char literal.
+    ByteChar,
+}
+
+/// True when the `r`/`b` at `pos` starts a (raw/byte) string or byte
+/// char — and is not just a letter inside an identifier like `for` or
+/// `b2`.
+fn l_starts_raw_or_str(bytes: &[u8], pos: usize) -> bool {
+    if pos > 0 && is_ident_byte(bytes[pos - 1]) {
+        return false;
+    }
+    matches!(
+        try_classify_prefix(bytes, pos),
+        Some(Prefix::Raw(_) | Prefix::Plain(_) | Prefix::ByteChar)
+    )
+}
+
+fn classify_prefix(bytes: &[u8], pos: usize) -> Prefix {
+    try_classify_prefix(bytes, pos).expect("caller checked l_starts_raw_or_str")
+}
+
+fn try_classify_prefix(bytes: &[u8], pos: usize) -> Option<Prefix> {
+    let mut i = pos;
+    let mut saw_b = false;
+    let mut saw_r = false;
+    if bytes.get(i) == Some(&b'b') {
+        saw_b = true;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        saw_r = true;
+        i += 1;
+    }
+    if saw_r {
+        let mut j = i;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return Some(Prefix::Raw(i - pos));
+        }
+        return None;
+    }
+    if saw_b {
+        match bytes.get(i) {
+            Some(&b'"') => return Some(Prefix::Plain(i - pos)),
+            Some(&b'\'') => return Some(Prefix::ByteChar),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Disambiguates `'` at `pos`: `true` for a char literal, `false` for a
+/// lifetime. A char literal closes with `'` after one (possibly
+/// escaped, possibly multi-byte) character; a lifetime never does
+/// (`'static`, `'a` are followed by an ident boundary, not a quote).
+fn is_char_literal(bytes: &[u8], pos: usize) -> bool {
+    match bytes.get(pos + 1) {
+        None => false,
+        // `'\…'` — an escape is always a char literal.
+        Some(&b'\\') => true,
+        Some(&b'\'') => false, // `''` — malformed, treat as code
+        Some(&first) => {
+            if is_ident_byte(first) {
+                // `'x…`: char literal iff the very next byte closes it
+                // (`'x'`); otherwise it is a lifetime (`'xyz`, `'x1`).
+                // Multi-byte UTF-8 chars never start with an ASCII
+                // ident byte, so this arm is single-byte only.
+                bytes.get(pos + 2) == Some(&b'\'')
+            } else {
+                // Non-ident first byte (`'+'`, `'\u{…}'` handled above,
+                // UTF-8 lead bytes land here): scan to the close quote
+                // within the longest UTF-8 char (4 bytes).
+                let mut i = pos + 2;
+                let limit = (pos + 6).min(bytes.len());
+                while i < limit {
+                    if bytes[i] == b'\'' {
+                        return true;
+                    }
+                    i += 1;
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_reconstruction() {
+        let src = "fn main() { // hi\n let s = \"a\\\"b\"; /* c /* d */ e */ }\n";
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn line_comment_stops_at_newline() {
+        let toks = kinds("x // comment\ny");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Code, "x ".into()),
+                (TokenKind::LineComment, "// comment".into()),
+                (TokenKind::Code, "\ny".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("a/* x /* y */ z */b");
+        assert_eq!(
+            toks[1],
+            (TokenKind::BlockComment, "/* x /* y */ z */".into())
+        );
+        assert_eq!(toks[2], (TokenKind::Code, "b".into()));
+    }
+
+    #[test]
+    fn string_with_escapes_and_comment_lookalike() {
+        let toks = kinds(r#"let s = "not // a /* comment */ \" end";"#);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert!(toks[1].1.contains("comment"));
+        assert!(!toks[0].1.contains("comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r##"quote " and "# inside"##; x"####);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[1].1, r###"r##"quote " and "# inside"##"###);
+        assert_eq!(toks[2].0, TokenKind::Code);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'\xFF';"#);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[1].1, r#"b"bytes""#);
+        assert_eq!(toks[3].0, TokenKind::Char);
+        assert_eq!(toks[3].1, r"b'\xFF'");
+    }
+
+    #[test]
+    fn lifetimes_are_code_chars_are_not() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\''; }");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\''");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_or_b_is_not_a_prefix() {
+        // `for` ends in r, `grab` in b: the following quote is a plain
+        // string, not raw/byte.
+        let toks = kinds(r#"for x in grab"s" {}"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r#""s""#);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let toks = lex(src);
+            let rebuilt: String = toks.iter().map(|t| t.text).collect();
+            assert_eq!(rebuilt, src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb /* c\nd */ e\nf");
+        let code_lines: Vec<_> = toks.iter().map(|t| (t.kind, t.line)).collect();
+        assert_eq!(
+            code_lines,
+            vec![
+                (TokenKind::Code, 1),
+                (TokenKind::BlockComment, 2),
+                (TokenKind::Code, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_char_literal_vs_lifetime() {
+        let toks = kinds("let c = '∞'; fn g<'long>() {}");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'∞'");
+    }
+}

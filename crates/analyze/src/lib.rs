@@ -1,0 +1,131 @@
+//! `pieri-analyze` — repo-specific static analysis for the Pieri
+//! homotopy workspace.
+//!
+//! Clippy and rustc check that the code is valid Rust; this crate checks
+//! that it honours *this repository's* contracts, the ones PRs 2–5 were
+//! built on and that no general-purpose tool knows about:
+//!
+//! 1. `safety-comment` — every `unsafe` site carries a `// SAFETY:`
+//!    justification.
+//! 2. `forbid-unsafe` — every non-runtime crate root carries
+//!    `#![forbid(unsafe_code)]` (the vendored runtime:
+//!    `#![deny(unsafe_code)]` with per-site opt-ins).
+//! 3. `no-panic-in-service` — the service never panics across a request
+//!    boundary.
+//! 4. `ordering-comment` — every atomic ordering in the vendored runtime
+//!    is justified by an `// ORDERING:` comment.
+//! 5. `hot-path-alloc` — `lint:hot-path` modules stay allocation-free
+//!    (guarding the PR-4 ≤ 8-allocs/path invariant at the source level).
+//! 6. `no-raw-thread-spawn` — all compute stays on the deterministic
+//!    pool.
+//!
+//! The pass is a hand-rolled lexer ([`lexer`]) feeding a per-file model
+//! ([`model`]) and a rule registry ([`rules`]); `// lint:allow(<rule>)`
+//! comments suppress a finding on the next code line, and suppressed
+//! findings are counted (never silently dropped) so `--report` shows
+//! where the justified exceptions live.
+
+#![forbid(unsafe_code)]
+
+pub mod inventory;
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use inventory::UnsafeSite;
+use model::SourceFile;
+use rules::{all_rules, Finding, Rule};
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Active findings — not covered by any `lint:allow`.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an inline `lint:allow(<rule>)`.
+    pub suppressed: Vec<Finding>,
+    /// Every `unsafe` site in the scanned files, covered or not.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+impl Analysis {
+    /// Zero active findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs every rule in `rules` over `files`, splitting findings into
+/// active and suppressed and collecting the unsafe inventory.
+pub fn analyze_files(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Analysis {
+    let mut analysis = Analysis {
+        files_scanned: files.len(),
+        ..Analysis::default()
+    };
+    for file in files {
+        analysis.unsafe_sites.extend(inventory::unsafe_sites(file));
+        let mut raw = Vec::new();
+        for rule in rules {
+            rule.check(file, &mut raw);
+        }
+        for finding in raw {
+            if file.is_suppressed(finding.line, finding.rule) {
+                analysis.suppressed.push(finding);
+            } else {
+                analysis.findings.push(finding);
+            }
+        }
+    }
+    analysis
+}
+
+/// Walks `root`, loads every `.rs` file, and runs the full rule
+/// registry.
+pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for (rel, abs) in walk::rust_files(root)? {
+        let source = fs::read_to_string(&abs)?;
+        files.push(SourceFile::from_source(&rel, &source));
+    }
+    Ok(analyze_files(&files, &all_rules()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_findings_are_counted_not_dropped() {
+        let file = SourceFile::from_source(
+            "crates/service/src/engine.rs",
+            "// lint:allow(no-panic-in-service) startup precondition\nx.unwrap();\ny.unwrap();\n",
+        );
+        let analysis = analyze_files(&[file], &all_rules());
+        assert_eq!(analysis.suppressed.len(), 1);
+        assert_eq!(analysis.findings.len(), 1);
+        assert_eq!(analysis.findings[0].line, 3);
+    }
+
+    #[test]
+    fn wildcard_suppression_covers_any_rule() {
+        let file = SourceFile::from_source(
+            "crates/service/src/engine.rs",
+            "// lint:allow(*)\nx.unwrap();\n",
+        );
+        let analysis = analyze_files(&[file], &all_rules());
+        assert!(analysis.is_clean());
+        assert_eq!(analysis.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn six_rules_are_registered() {
+        assert!(all_rules().len() >= 6);
+    }
+}

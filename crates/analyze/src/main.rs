@@ -1,0 +1,130 @@
+//! `pieri-lint` — run the repo-specific static-analysis pass.
+//!
+//! ```text
+//! pieri-lint [--root DIR] [--deny] [--report] [--list-rules]
+//! ```
+//!
+//! * `--root DIR`   workspace root to scan (default: auto-detected by
+//!   walking up from the current directory to the outermost `Cargo.toml`)
+//! * `--deny`       exit nonzero if any unsuppressed finding remains
+//! * `--report`     print the summary table and unsafe inventory
+//! * `--list-rules` print the rule catalog and exit
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pieri_analyze::model::SourceFile;
+use pieri_analyze::rules::all_rules;
+use pieri_analyze::{analyze_files, report, walk};
+
+struct Options {
+    root: Option<PathBuf>,
+    deny: bool,
+    report: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        deny: false,
+        report: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--deny" => opts.deny = true,
+            "--report" => opts.report = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => {
+                println!("usage: pieri-lint [--root DIR] [--deny] [--report] [--list-rules]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the outermost directory that
+/// contains a `Cargo.toml` — the workspace root when invoked from
+/// anywhere inside the repo.
+fn detect_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut best: Option<PathBuf> = None;
+    let mut dir = Some(cwd.as_path());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() {
+            best = Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    best.unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pieri-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rules = all_rules();
+    if opts.list_rules {
+        for rule in &rules {
+            println!("{:<20} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = opts.root.unwrap_or_else(detect_root);
+    let files = match walk::rust_files(&root) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("pieri-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut sources = Vec::with_capacity(files.len());
+    for (rel, abs) in files {
+        match std::fs::read_to_string(&abs) {
+            Ok(text) => sources.push(SourceFile::from_source(&rel, &text)),
+            Err(e) => {
+                eprintln!("pieri-lint: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let analysis = analyze_files(&sources, &rules);
+
+    for finding in &analysis.findings {
+        println!("{}", finding.render());
+    }
+    if opts.report {
+        if !analysis.findings.is_empty() {
+            println!();
+        }
+        print!("{}", report::render(&analysis, &rules));
+    }
+    if !analysis.findings.is_empty() {
+        eprintln!(
+            "pieri-lint: {} finding(s) in {} file(s)",
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        if opts.deny {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

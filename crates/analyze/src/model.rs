@@ -1,0 +1,409 @@
+//! Per-file source model built on the [`crate::lexer`].
+//!
+//! A [`SourceFile`] reduces a lexed file to the per-line facts every
+//! rule needs:
+//!
+//! * `code` — the line's code text with string/char literal *contents*
+//!   masked (delimiters kept), so `".expect(\"..\")"` inside a string
+//!   can never trigger the panic rule but `.expect("msg")` in real code
+//!   still shows `.expect("")`;
+//! * `comment` — the line's comment text (line + block, doc included);
+//! * `in_test_region` — inside a `#[cfg(test)]`-gated item (brace-matched
+//!   on code text);
+//! * suppression bookkeeping for `// lint:allow(rule, …)` comments.
+//!
+//! It also carries the file-level facts: repo-relative path, whether the
+//! path itself marks a test context (`tests/`, `benches/`, `examples/`),
+//! and whether any comment declares `lint:hot-path`.
+
+use crate::lexer::{lex, TokenKind};
+
+/// One line's worth of classified text plus region flags.
+#[derive(Debug, Default, Clone)]
+pub struct LineInfo {
+    /// Code text with literal contents masked to `""` / `''`.
+    pub code: String,
+    /// Comment text (all comments that touch this line, concatenated).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]`-gated item.
+    pub in_test_region: bool,
+}
+
+impl LineInfo {
+    /// No code on this line (blank or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// Comment-only line: has a comment, no code.
+    pub fn is_comment_only(&self) -> bool {
+        self.is_code_blank() && !self.comment.trim().is_empty()
+    }
+
+    /// Entirely blank: no code, no comment.
+    pub fn is_blank(&self) -> bool {
+        self.is_code_blank() && self.comment.trim().is_empty()
+    }
+
+    /// The line's code is a single attribute (`#[…]` / `#![…]`).
+    pub fn is_attr_only(&self) -> bool {
+        let t = self.code.trim();
+        (t.starts_with("#[") || t.starts_with("#![")) && t.ends_with(']')
+    }
+}
+
+/// A fully classified source file, ready for rules.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (e.g.
+    /// `crates/service/src/engine.rs`).
+    pub rel_path: String,
+    /// Per-line facts; index 0 is line 1.
+    lines: Vec<LineInfo>,
+    /// `(line, rule)` pairs a `lint:allow` comment covers. `rule` may be
+    /// the wildcard `*`.
+    suppressions: Vec<(usize, String)>,
+    /// Path lives under a `tests/`, `benches/` or `examples/` directory.
+    pub is_test_file: bool,
+    /// Some comment contains the `lint:hot-path` marker.
+    pub hot_path: bool,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `source`, known by `rel_path` (repo-relative,
+    /// forward slashes).
+    pub fn from_source(rel_path: &str, source: &str) -> SourceFile {
+        let n_lines = source.split('\n').count();
+        let mut lines = vec![LineInfo::default(); n_lines.max(1)];
+        let mut hot_path = false;
+
+        for token in lex(source) {
+            match token.kind {
+                TokenKind::Code => {
+                    for (i, piece) in token.text.split('\n').enumerate() {
+                        lines[token.line - 1 + i].code.push_str(piece);
+                    }
+                }
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    for (i, piece) in token.text.split('\n').enumerate() {
+                        let info = &mut lines[token.line - 1 + i];
+                        if !info.comment.is_empty() {
+                            info.comment.push(' ');
+                        }
+                        info.comment.push_str(piece);
+                    }
+                    if declares_hot_path(token.text) {
+                        hot_path = true;
+                    }
+                }
+                TokenKind::Str => lines[token.line - 1].code.push_str("\"\""),
+                TokenKind::Char => lines[token.line - 1].code.push_str("''"),
+            }
+        }
+
+        mark_test_regions(&mut lines);
+        let suppressions = collect_suppressions(&lines);
+        let is_test_file = path_is_test(rel_path);
+
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+            suppressions,
+            is_test_file,
+            hot_path,
+        }
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The facts for 1-based `line`.
+    pub fn line(&self, line: usize) -> &LineInfo {
+        &self.lines[line - 1]
+    }
+
+    /// Iterates `(1-based line, info)`.
+    pub fn iter_lines(&self) -> impl Iterator<Item = (usize, &LineInfo)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// `rule` is suppressed at `line` by a `lint:allow` comment.
+    pub fn is_suppressed(&self, line: usize, rule: &str) -> bool {
+        self.suppressions
+            .iter()
+            .any(|(l, r)| *l == line && (r == rule || r == "*"))
+    }
+
+    /// Whether non-test-scoped rules should skip `line`.
+    pub fn is_test_code(&self, line: usize) -> bool {
+        self.is_test_file || self.line(line).in_test_region
+    }
+
+    /// Walks upward from `line` looking for the contiguous comment block
+    /// that documents it — skipping blank and attribute-only lines — and
+    /// returns `true` if the line's own comment or that block contains
+    /// `marker` (e.g. `SAFETY:`). `reach` caps how many comment lines
+    /// back the search extends.
+    pub fn preceding_comment_contains(&self, line: usize, marker: &str, reach: usize) -> bool {
+        if self.line(line).comment.contains(marker) {
+            return true;
+        }
+        let mut l = line;
+        // Skip blanks/attributes between the line and its doc block.
+        while l > 1 {
+            l -= 1;
+            let info = self.line(l);
+            if info.is_comment_only() {
+                break;
+            }
+            if info.is_blank() || info.is_attr_only() {
+                continue;
+            }
+            return false; // hit real code first: no comment block
+        }
+        if !self.line(l).is_comment_only() {
+            return false;
+        }
+        // Scan the contiguous comment block upward.
+        let mut seen = 0usize;
+        loop {
+            let info = self.line(l);
+            if !info.is_comment_only() {
+                return false;
+            }
+            if info.comment.contains(marker) {
+                return true;
+            }
+            seen += 1;
+            if seen >= reach || l == 1 {
+                return false;
+            }
+            l -= 1;
+        }
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item by brace-matching
+/// the code text (literal contents are masked, so stray braces in
+/// strings can't desynchronise the depth count).
+fn mark_test_regions(lines: &mut [LineInfo]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace of the gated item, then its close.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for ch in lines[j].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        // A gated `use`/`extern` without braces ends at
+                        // the first `;` before any `{`.
+                        ';' if !opened => break 'outer,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            for info in &mut lines[i..=end] {
+                info.in_test_region = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses `lint:allow(rule, …)` comments. A suppression covers its own
+/// line and the next line carrying real code (skipping blanks,
+/// comment-only lines and attribute-only lines), mirroring how
+/// `#[allow]` sits above the item it silences.
+fn collect_suppressions(lines: &[LineInfo]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, info) in lines.iter().enumerate() {
+        let comment = &info.comment;
+        let mut search = comment.as_str();
+        while let Some(at) = search.find("lint:allow(") {
+            let rest = &search[at + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            for rule in rest[..close].split(',') {
+                let rule = rule.trim();
+                if rule.is_empty() {
+                    continue;
+                }
+                out.push((idx + 1, rule.to_string()));
+                // Also cover the next real-code line.
+                let mut j = idx + 1;
+                while j < lines.len() {
+                    let next = &lines[j];
+                    if next.is_blank() || next.is_comment_only() || next.is_attr_only() {
+                        j += 1;
+                        continue;
+                    }
+                    out.push((j + 1, rule.to_string()));
+                    break;
+                }
+            }
+            search = &rest[close..];
+        }
+    }
+    out
+}
+
+/// True when a comment *declares* the hot-path marker — i.e. some line
+/// of it reads `//! lint:hot-path` (any comment delimiter). Prose that
+/// merely mentions `lint:hot-path` mid-sentence (like this crate's own
+/// docs) must not mark the file.
+fn declares_hot_path(comment_text: &str) -> bool {
+    comment_text.lines().any(|l| {
+        l.trim_start()
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start()
+            .starts_with("lint:hot-path")
+    })
+}
+
+fn path_is_test(rel_path: &str) -> bool {
+    rel_path.split('/').any(|seg| {
+        matches!(seg, "tests" | "benches" | "examples") ||
+        // Conventional in-crate fixture dirs for the analyzer's own tests.
+        seg == "fixtures"
+    })
+}
+
+/// Word-boundary substring search: `needle` occurs in `haystack` with
+/// non-identifier characters (or the text edge) on both sides. Keeps
+/// `unsafe` from matching inside `unsafe_code`.
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    find_word(haystack, needle).is_some()
+}
+
+/// Like [`contains_word`], returning the byte offset of the first hit.
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_contents_are_masked() {
+        let f =
+            SourceFile::from_source("x.rs", "let s = \".unwrap() inside\"; s.expect(\"boom\");");
+        let code = &f.line(1).code;
+        assert!(!code.contains(".unwrap()"), "masked: {code}");
+        assert!(code.contains(".expect(\"\")"), "delimiters kept: {code}");
+    }
+
+    #[test]
+    fn comments_and_code_are_split_per_line() {
+        let f = SourceFile::from_source("x.rs", "let x = 1; // trailing\n/* lead */ let y = 2;");
+        assert!(f.line(1).code.contains("let x"));
+        assert!(f.line(1).comment.contains("trailing"));
+        assert!(f.line(2).code.contains("let y"));
+        assert!(f.line(2).comment.contains("lead"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_brace_matched() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn a() { x(); }\n}\nfn after() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(!f.line(1).in_test_region);
+        assert!(f.line(2).in_test_region);
+        assert!(f.line(4).in_test_region);
+        assert!(f.line(5).in_test_region);
+        assert!(!f.line(6).in_test_region);
+    }
+
+    #[test]
+    fn suppression_covers_next_code_line() {
+        let src = "// lint:allow(no-panic-in-service) startup precondition\n#[inline]\nfoo.unwrap();\nbar.unwrap();\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.is_suppressed(1, "no-panic-in-service"));
+        assert!(
+            f.is_suppressed(3, "no-panic-in-service"),
+            "skips the attribute line"
+        );
+        assert!(!f.is_suppressed(4, "no-panic-in-service"));
+        assert!(!f.is_suppressed(3, "hot-path-alloc"));
+    }
+
+    #[test]
+    fn suppression_in_string_is_inert() {
+        let f = SourceFile::from_source("x.rs", "let s = \"lint:allow(x)\";\nfoo.unwrap();\n");
+        assert!(!f.is_suppressed(2, "x"));
+    }
+
+    #[test]
+    fn hot_path_marker_detected() {
+        let f = SourceFile::from_source("x.rs", "//! lint:hot-path\nfn f() {}\n");
+        assert!(f.hot_path);
+        let g = SourceFile::from_source("x.rs", "fn f() {}\n");
+        assert!(!g.hot_path);
+    }
+
+    #[test]
+    fn hot_path_mention_in_prose_is_not_a_marker() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "//! Modules marked `lint:hot-path` reject allocation.\nfn f() {}\n",
+        );
+        assert!(!f.hot_path);
+        let g = SourceFile::from_source("x.rs", "let s = \"lint:hot-path\";\n");
+        assert!(!g.hot_path, "marker in a string literal is inert");
+    }
+
+    #[test]
+    fn preceding_comment_walks_over_attrs_and_blanks() {
+        let src = "// SAFETY: fine\n#[allow(unsafe_code)]\nunsafe fn f() {}\n\nunsafe fn g() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.preceding_comment_contains(3, "SAFETY:", 8));
+        assert!(!f.preceding_comment_contains(5, "SAFETY:", 8));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(!contains_word("not_unsafe", "unsafe"));
+        assert!(contains_word("(unsafe)", "unsafe"));
+    }
+
+    #[test]
+    fn test_file_paths() {
+        assert!(path_is_test("crates/core/tests/alloc_count.rs"));
+        assert!(path_is_test("crates/bench/benches/track.rs"));
+        assert!(!path_is_test("crates/service/src/engine.rs"));
+    }
+}

@@ -1,0 +1,104 @@
+//! `--report` rendering: per-rule summary table plus the full
+//! unsafe-code inventory with SAFETY coverage.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Rule;
+use crate::Analysis;
+
+/// Renders the human-readable report for `analysis`.
+pub fn render(analysis: &Analysis, rules: &[Box<dyn Rule>]) -> String {
+    let mut out = String::new();
+    out.push_str("pieri-lint report\n");
+    out.push_str("=================\n\n");
+    out.push_str(&format!("files scanned : {}\n", analysis.files_scanned));
+    out.push_str(&format!("active findings : {}\n", analysis.findings.len()));
+    out.push_str(&format!(
+        "suppressed (lint:allow) : {}\n\n",
+        analysis.suppressed.len()
+    ));
+
+    let mut active: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut suppressed: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &analysis.findings {
+        *active.entry(f.rule).or_default() += 1;
+    }
+    for f in &analysis.suppressed {
+        *suppressed.entry(f.rule).or_default() += 1;
+    }
+
+    out.push_str("rule                  active  allowed  description\n");
+    out.push_str("--------------------  ------  -------  -----------\n");
+    for rule in rules {
+        let name = rule.name();
+        out.push_str(&format!(
+            "{:<20}  {:>6}  {:>7}  {}\n",
+            name,
+            active.get(name).copied().unwrap_or(0),
+            suppressed.get(name).copied().unwrap_or(0),
+            rule.description(),
+        ));
+    }
+
+    out.push_str("\nunsafe inventory\n");
+    out.push_str("----------------\n");
+    if analysis.unsafe_sites.is_empty() {
+        out.push_str("(no unsafe code anywhere in the scanned files)\n");
+    } else {
+        let covered = analysis.unsafe_sites.iter().filter(|s| s.covered).count();
+        let total = analysis.unsafe_sites.len();
+        for site in &analysis.unsafe_sites {
+            out.push_str(&format!(
+                "  {:<13} {} {}:{}\n",
+                site.kind.label(),
+                if site.covered {
+                    "SAFETY ok     "
+                } else {
+                    "SAFETY MISSING"
+                },
+                site.rel_path,
+                site.line,
+            ));
+        }
+        out.push_str(&format!(
+            "  {total} sites, {covered} with SAFETY comments ({:.0}% coverage)\n",
+            100.0 * covered as f64 / total as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_files;
+    use crate::model::SourceFile;
+    use crate::rules::all_rules;
+
+    #[test]
+    fn report_lists_rules_and_inventory() {
+        let files = vec![
+            SourceFile::from_source(
+                "vendor/rayon/src/job.rs",
+                "// SAFETY: covered\nunsafe { a() }\nunsafe { b() }\n",
+            ),
+            SourceFile::from_source("crates/service/src/engine.rs", "x.unwrap();\n"),
+        ];
+        let rules = all_rules();
+        let analysis = analyze_files(&files, &rules);
+        let report = render(&analysis, &rules);
+        assert!(report.contains("no-panic-in-service"), "{report}");
+        assert!(report.contains("unsafe inventory"));
+        assert!(report.contains("SAFETY ok"));
+        assert!(report.contains("SAFETY MISSING"));
+        assert!(report.contains("2 sites, 1 with SAFETY comments (50% coverage)"));
+    }
+
+    #[test]
+    fn empty_inventory_is_stated() {
+        let rules = all_rules();
+        let analysis = analyze_files(&[], &rules);
+        let report = render(&analysis, &rules);
+        assert!(report.contains("no unsafe code"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Rule `forbid-unsafe`: every crate root must pin down its unsafe
+//! policy at the language level.
+//!
+//! * Non-runtime crates (all of `crates/*`, the root facade crate, and
+//!   every vendored dependency except the work-stealing runtime) must
+//!   carry `#![forbid(unsafe_code)]` — unsafety is structurally
+//!   impossible there, not merely absent today.
+//! * The vendored runtime (`vendor/rayon`) legitimately needs type-erased
+//!   raw-pointer jobs, so it must instead carry `#![deny(unsafe_code)]`,
+//!   forcing every site through an explicit, reviewable
+//!   `#[allow(unsafe_code)]` opt-in.
+
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+/// Crate roots that are allowed (and required) to use the deny+opt-in
+/// pattern instead of a blanket forbid.
+const RUNTIME_ROOTS: &[&str] = &["vendor/rayon/src/lib.rs"];
+
+/// See module docs.
+pub struct ForbidUnsafe;
+
+impl ForbidUnsafe {
+    /// The attribute `rel_path` must carry, if it is a crate root.
+    fn required_attr(rel_path: &str) -> Option<&'static str> {
+        if !is_crate_root(rel_path) {
+            return None;
+        }
+        if RUNTIME_ROOTS.contains(&rel_path) {
+            Some("#![deny(unsafe_code)]")
+        } else {
+            Some("#![forbid(unsafe_code)]")
+        }
+    }
+}
+
+/// `src/lib.rs` of the facade crate, or any `crates/*/src/lib.rs` /
+/// `vendor/*/src/lib.rs`.
+fn is_crate_root(rel_path: &str) -> bool {
+    if rel_path == "src/lib.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    matches!(parts.as_slice(), ["crates" | "vendor", _, "src", "lib.rs"])
+}
+
+impl Rule for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "crate roots must declare `#![forbid(unsafe_code)]` (runtime: `#![deny(unsafe_code)]`)"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let Some(attr) = Self::required_attr(&file.rel_path) else {
+            return;
+        };
+        let present = file.iter_lines().any(|(_, info)| info.code.contains(attr));
+        if !present {
+            findings.push(Finding {
+                rule: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: 1,
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        ForbidUnsafe.check(&SourceFile::from_source(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_fires_on_crate_root() {
+        let f = run("crates/num/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn present_forbid_is_silent() {
+        assert!(run("crates/num/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn runtime_crate_requires_deny_not_forbid() {
+        assert!(run("vendor/rayon/src/lib.rs", "#![deny(unsafe_code)]\n").is_empty());
+        let f = run("vendor/rayon/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert_eq!(f.len(), 1, "forbid would reject the per-site allows");
+        assert!(f[0].message.contains("deny(unsafe_code)"));
+    }
+
+    #[test]
+    fn attribute_in_comment_does_not_count() {
+        let f = run("crates/num/src/lib.rs", "// #![forbid(unsafe_code)]\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn non_root_modules_are_exempt() {
+        assert!(run("crates/num/src/dd.rs", "pub fn f() {}\n").is_empty());
+        assert!(run("crates/num/src/main.rs", "fn main() {}\n").is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Rule `hot-path-alloc`: modules that declare `//! lint:hot-path` must
+//! not call allocating constructors in non-test code.
+//!
+//! PR 4 made steady-state path tracking allocation-free (≤ 8 allocations
+//! per tracked path, pinned by `crates/core/tests/alloc_count.rs`). That
+//! test catches regressions at runtime, but only on the configurations
+//! it happens to drive; this rule catches them at the source level for
+//! the whole marked module. Legitimate allocations — one-time workspace
+//! constructors, documented allocating convenience wrappers — carry an
+//! inline `lint:allow(hot-path-alloc)` with the justification next to
+//! the call.
+
+use crate::model::{find_word, SourceFile};
+use crate::rules::{Finding, Rule};
+
+/// Banned call patterns. Literal matches run against masked code text;
+/// macro names are word-boundary checked by the caller below.
+const BANNED_CALLS: &[&str] = &["Vec::new", "Box::new", ".to_vec(", ".clone(", ".collect("];
+
+const BANNED_MACROS: &[&str] = &["vec", "format"];
+
+/// See module docs.
+pub struct HotPathAlloc;
+
+impl Rule for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "`lint:hot-path` modules reject allocating calls (Vec::new, vec!, clone, collect, …)"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.hot_path {
+            return;
+        }
+        for (line_no, info) in file.iter_lines() {
+            if file.is_test_code(line_no) {
+                continue;
+            }
+            let mut hit: Option<String> = None;
+            for pat in BANNED_CALLS {
+                if info.code.contains(pat) {
+                    hit = Some((*pat).trim_matches(['.', '(']).to_string());
+                    break;
+                }
+            }
+            if hit.is_none() {
+                for mac in BANNED_MACROS {
+                    if let Some(at) = find_word(&info.code, mac) {
+                        if info.code[at + mac.len()..].starts_with('!') {
+                            hit = Some(format!("{mac}!"));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(what) = hit {
+                findings.push(Finding {
+                    rule: self.name(),
+                    rel_path: file.rel_path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "allocating call `{what}` in a `lint:hot-path` module — reuse a workspace buffer or justify with lint:allow"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "//! lint:hot-path\n";
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        HotPathAlloc.check(
+            &SourceFile::from_source("crates/tracker/src/path.rs", src),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn banned_calls_fire_in_marked_module() {
+        let src = format!("{HOT}let v = Vec::new();\nlet w = vec![0.0; n];\nlet c = x.clone();\n");
+        let f = run(&src);
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn unmarked_module_is_exempt() {
+        let mut out = Vec::new();
+        HotPathAlloc.check(
+            &SourceFile::from_source("crates/tracker/src/path.rs", "let v = Vec::new();\n"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_region_is_exempt() {
+        let src =
+            format!("{HOT}#[cfg(test)]\nmod tests {{\n  fn t() {{ let v = Vec::new(); }}\n}}\n");
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn vec_in_type_position_does_not_fire() {
+        let src = format!("{HOT}fn f(buf: &mut Vec<f64>) -> &[f64] {{ buf }}\n");
+        assert!(
+            run(&src).is_empty(),
+            "Vec<T> the type is fine; Vec::new is not"
+        );
+    }
+
+    #[test]
+    fn format_in_string_literal_does_not_fire() {
+        let src = format!("{HOT}let s = \"format! is banned here\";\n");
+        assert!(run(&src).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! The rule engine: a [`Rule`] trait, the [`Finding`] diagnostic type,
+//! and the registry of every active rule.
+//!
+//! Each rule is scoped by the repo's own conventions (which crates are
+//! "runtime", where the service's trust boundary sits, which modules are
+//! hot paths) — that specificity is the point: clippy checks Rust,
+//! `pieri-lint` checks *this* codebase's contracts.
+
+mod forbid_unsafe;
+mod hot_path_alloc;
+mod no_panic_service;
+mod ordering_comment;
+mod safety_comment;
+mod thread_spawn;
+
+pub use forbid_unsafe::ForbidUnsafe;
+pub use hot_path_alloc::HotPathAlloc;
+pub use no_panic_service::NoPanicInService;
+pub use ordering_comment::OrderingComment;
+pub use safety_comment::SafetyComment;
+pub use thread_spawn::NoRawThreadSpawn;
+
+use crate::model::SourceFile;
+
+/// One diagnostic: a rule fired at `rel_path:line`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule name (the token `lint:allow(…)` takes).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub rel_path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation of what fired and why it matters.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the one-line diagnostic form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.rel_path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable kebab-case name, used in diagnostics and `lint:allow(…)`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the report.
+    fn description(&self) -> &'static str;
+    /// Appends this rule's findings for `file` (suppressions are applied
+    /// later by the engine, so rules report everything they see).
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
+}
+
+/// Every active rule, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(SafetyComment),
+        Box::new(ForbidUnsafe),
+        Box::new(NoPanicInService),
+        Box::new(OrderingComment),
+        Box::new(HotPathAlloc),
+        Box::new(NoRawThreadSpawn),
+    ]
+}

@@ -1,0 +1,134 @@
+//! Rule `no-panic-in-service`: non-test code in `crates/service` must
+//! not contain panicking escape hatches — `.unwrap()`, `.expect(…)`,
+//! `panic!`, `todo!`, `unimplemented!`, `unreachable!`.
+//!
+//! The service promises never to panic across a request boundary:
+//! malformed input gets a structured `ServiceError`, worker panics are
+//! isolated by `catch_unwind`, and poisoned locks are *recovered*, not
+//! re-thrown. Every panic site is therefore either a bug or a
+//! startup-time precondition — the latter documented via an explicit
+//! `lint:allow(no-panic-in-service)` with a justification.
+//!
+//! `assert!`/`debug_assert!` are deliberately not flagged: they state
+//! internal invariants whose failure *should* abort the worker (and be
+//! contained by the engine's panic isolation), not be routed to clients.
+
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+/// Method-call patterns (matched literally against masked code text, so
+/// `.expect("…")` appears as `.expect("")` and still hits, while
+/// `.expect_err(` and `.unwrap_or_else(` never do).
+const CALL_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
+
+/// Macro patterns (word-boundary matched on the macro name).
+const MACRO_PATTERNS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// See module docs.
+pub struct NoPanicInService;
+
+impl Rule for NoPanicInService {
+    fn name(&self) -> &'static str {
+        "no-panic-in-service"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo! in crates/service non-test code"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.rel_path.starts_with("crates/service/src/") {
+            return;
+        }
+        for (line_no, info) in file.iter_lines() {
+            if file.is_test_code(line_no) {
+                continue;
+            }
+            for pat in CALL_PATTERNS {
+                if info.code.contains(pat) {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        rel_path: file.rel_path.clone(),
+                        line: line_no,
+                        message: format!(
+                            "`{pat}…` in service code — return a structured error instead"
+                        ),
+                    });
+                }
+            }
+            for mac in MACRO_PATTERNS {
+                if let Some(at) = crate::model::find_word(&info.code, mac) {
+                    if info.code[at + mac.len()..].starts_with('!') {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            rel_path: file.rel_path.clone(),
+                            line: line_no,
+                            message: format!(
+                                "`{mac}!` in service code — the service must not panic across a request boundary"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        NoPanicInService.check(&SourceFile::from_source(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire() {
+        let f = run(
+            "crates/service/src/engine.rs",
+            "let a = x.unwrap();\nlet b = y.expect(\"boom\");\n",
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn recovery_combinators_do_not_fire() {
+        let f = run(
+            "crates/service/src/engine.rs",
+            "let a = x.unwrap_or_else(|p| p.into_inner());\nlet b = y.unwrap_or_default();\nlet c = z.expect_err(\"want err\");\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_macros_fire_but_catch_unwind_does_not() {
+        let f = run(
+            "crates/service/src/engine.rs",
+            "panic::catch_unwind(|| f());\nunreachable!(\"nope\");\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_exempt() {
+        assert!(run(
+            "crates/service/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n"
+        )
+        .is_empty());
+        assert!(run("crates/tracker/src/path.rs", "x.unwrap();\n").is_empty());
+        assert!(run("crates/service/tests/api.rs", "x.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_doc_comment_is_exempt() {
+        assert!(run(
+            "crates/service/src/lib.rs",
+            "/// Calling `.unwrap()` here would panic.\nfn f() {}\n"
+        )
+        .is_empty());
+    }
+}

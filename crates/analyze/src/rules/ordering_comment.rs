@@ -1,0 +1,123 @@
+//! Rule `ordering-comment`: every explicit atomic memory ordering in
+//! the vendored runtime (`vendor/rayon`, `vendor/crossbeam`) must be
+//! justified by an `// ORDERING:` comment nearby.
+//!
+//! The deque/registry protocols are exactly where a silently-wrong
+//! `Relaxed` costs weeks: the code compiles, passes tests on x86's
+//! strong memory model, and loses wakeups on ARM. Requiring a written
+//! justification per ordering turns the choice into a reviewable claim.
+//!
+//! A justification counts if `ORDERING:` appears in a comment on the
+//! same line or within the preceding [`ORDERING_REACH`] lines — the
+//! protocols are usually documented once above a short function rather
+//! than per fence.
+
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+/// How many lines above a use the `ORDERING:` comment may sit.
+pub const ORDERING_REACH: usize = 12;
+
+const ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// See module docs.
+pub struct OrderingComment;
+
+impl Rule for OrderingComment {
+    fn name(&self) -> &'static str {
+        "ordering-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomic orderings in the vendored runtime need an `// ORDERING:` justification"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let in_scope = file.rel_path.starts_with("vendor/rayon/src/")
+            || file.rel_path.starts_with("vendor/crossbeam/src/");
+        if !in_scope {
+            return;
+        }
+        for (line_no, info) in file.iter_lines() {
+            if file.is_test_code(line_no) {
+                continue;
+            }
+            for ord in ORDERINGS {
+                if !info.code.contains(ord) {
+                    continue;
+                }
+                let lo = line_no.saturating_sub(ORDERING_REACH).max(1);
+                let justified = (lo..=line_no).any(|l| file.line(l).comment.contains("ORDERING:"));
+                if !justified {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        rel_path: file.rel_path.clone(),
+                        line: line_no,
+                        message: format!(
+                            "`{ord}` without an `// ORDERING:` justification within {ORDERING_REACH} lines"
+                        ),
+                    });
+                }
+                break; // one finding per line even if several orderings appear
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        OrderingComment.check(&SourceFile::from_source(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn unjustified_ordering_fires() {
+        let f = run(
+            "vendor/rayon/src/registry.rs",
+            "self.pending.fetch_add(1, Ordering::SeqCst);\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn nearby_justification_silences() {
+        let src = "// ORDERING: SeqCst pairs the submit-side increment with the\n// sleep-side pending check; see the sleep protocol notes.\nself.pending.fetch_add(1, Ordering::SeqCst);\n";
+        assert!(run("vendor/rayon/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn justification_out_of_reach_does_not_count() {
+        let mut src = String::from("// ORDERING: too far away\n");
+        for _ in 0..ORDERING_REACH {
+            src.push_str("let _pad = 0;\n");
+        }
+        src.push_str("x.load(Ordering::Acquire);\n");
+        let f = run("vendor/crossbeam/src/deque.rs", &src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn tests_and_other_paths_are_exempt() {
+        assert!(run(
+            "vendor/rayon/src/registry.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t() { x.load(Ordering::SeqCst); }\n}\n"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/service/src/engine.rs",
+            "x.load(Ordering::SeqCst);\n"
+        )
+        .is_empty());
+    }
+}

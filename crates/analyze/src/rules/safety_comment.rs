@@ -1,0 +1,74 @@
+//! Rule `safety-comment`: every `unsafe` block / fn / impl / trait must
+//! be documented by a `// SAFETY:` comment — on the same line or in the
+//! contiguous comment block directly above the site (attributes and
+//! blank lines between comment and site are fine).
+//!
+//! Applies everywhere, tests included: an unjustified `unsafe` in a test
+//! (e.g. a `GlobalAlloc` shim) is still an auditable obligation.
+
+use crate::inventory::unsafe_sites;
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+/// See module docs.
+pub struct SafetyComment;
+
+impl Rule for SafetyComment {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every `unsafe` site needs a preceding `// SAFETY:` justification"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        for site in unsafe_sites(file) {
+            if site.covered {
+                continue;
+            }
+            findings.push(Finding {
+                rule: self.name(),
+                rel_path: site.rel_path,
+                line: site.line,
+                message: format!(
+                    "{} without a `// SAFETY:` comment explaining why it is sound",
+                    site.kind.label()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        SafetyComment.check(
+            &SourceFile::from_source("crates/x/src/lib.rs", src),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn uncovered_site_fires() {
+        let f = run("fn f() { unsafe { g() } }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn covered_site_is_silent() {
+        assert!(run("// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n").is_empty());
+    }
+
+    #[test]
+    fn fires_inside_tests_too() {
+        let f = run("#[cfg(test)]\nmod tests {\n  fn f() { unsafe { g() } }\n}\n");
+        assert_eq!(f.len(), 1, "safety-comment has no test exemption");
+    }
+}

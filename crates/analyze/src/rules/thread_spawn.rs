@@ -1,0 +1,110 @@
+//! Rule `no-raw-thread-spawn`: `std::thread::spawn` / `thread::Builder`
+//! are forbidden outside the vendored runtime and the service's HTTP
+//! acceptor.
+//!
+//! All *compute* must run on the deterministic work-stealing pool —
+//! that is what makes `PIERI_NUM_THREADS=1` a faithful serialization of
+//! the parallel run and keeps the speedup numbers honest. The only
+//! legitimate raw threads are the pool's own workers (`vendor/rayon`)
+//! and the service's blocking accept/connection threads
+//! (`crates/service/src/http.rs`), which do I/O, not math.
+
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+/// Paths allowed to create raw threads in non-test code.
+fn allowlisted(rel_path: &str) -> bool {
+    rel_path.starts_with("vendor/rayon/src/") || rel_path == "crates/service/src/http.rs"
+}
+
+const PATTERNS: &[&str] = &["thread::spawn", "thread::Builder"];
+
+/// See module docs.
+pub struct NoRawThreadSpawn;
+
+impl Rule for NoRawThreadSpawn {
+    fn name(&self) -> &'static str {
+        "no-raw-thread-spawn"
+    }
+
+    fn description(&self) -> &'static str {
+        "raw std threads only in vendor/rayon and the service HTTP acceptor"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if allowlisted(&file.rel_path) {
+            return;
+        }
+        for (line_no, info) in file.iter_lines() {
+            if file.is_test_code(line_no) {
+                continue;
+            }
+            for pat in PATTERNS {
+                if info.code.contains(pat) {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        rel_path: file.rel_path.clone(),
+                        line: line_no,
+                        message: format!(
+                            "`{pat}` outside the runtime/acceptor — run compute on the pool (pieri_rayon::join/scope)"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        NoRawThreadSpawn.check(&SourceFile::from_source(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn spawn_outside_allowlist_fires() {
+        let f = run(
+            "crates/core/src/solver.rs",
+            "std::thread::spawn(move || work());\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn builder_fires_too() {
+        let f = run(
+            "crates/service/src/engine.rs",
+            "thread::Builder::new().name(n).spawn(f);\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn allowlisted_paths_are_silent() {
+        assert!(run(
+            "vendor/rayon/src/registry.rs",
+            "thread::Builder::new().spawn(f);\n"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/service/src/http.rs",
+            "std::thread::spawn(handler);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_may_spawn() {
+        assert!(run(
+            "crates/service/src/cache.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t() { std::thread::spawn(f); }\n}\n"
+        )
+        .is_empty());
+        assert!(run("crates/core/tests/e2e.rs", "std::thread::spawn(f);\n").is_empty());
+    }
+}

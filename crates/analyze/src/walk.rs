@@ -1,0 +1,63 @@
+//! Source discovery: every `.rs` file under the workspace root, with
+//! build output and VCS metadata skipped.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Collects all `.rs` files under `root`, returned as
+/// `(repo-relative path with forward slashes, absolute path)` sorted by
+/// relative path so diagnostics and reports are deterministic.
+pub fn rust_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    descend(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_target() {
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(manifest).expect("walk analyze crate");
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"src/walk.rs"), "{rels:?}");
+        assert!(rels.contains(&"src/lexer.rs"));
+        assert!(rels.iter().all(|r| !r.starts_with("target/")));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "deterministic order");
+    }
+}

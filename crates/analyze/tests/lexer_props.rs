@@ -1,0 +1,219 @@
+//! Property tests for the lint lexer and the suppression machinery.
+//!
+//! Strategy: assemble random source files from a pool of *tagged*
+//! fragments — code snippets carry no sentinel, every comment / string /
+//! raw-string fragment embeds a unique `ZS<i>Z` sentinel — then check
+//! that lexing (a) reconstructs the input losslessly, (b) never leaks a
+//! sentinel into a `Code` token, and (c) produces the non-code tokens in
+//! exactly the seeded order with exactly the seeded kinds. Misattributing
+//! any fragment (a comment swallowed by a string, a char literal read as
+//! a lifetime, …) breaks one of the three.
+
+use pieri_analyze::lexer::{lex, TokenKind};
+use pieri_analyze::model::SourceFile;
+use proptest::prelude::*;
+
+/// What a generated fragment is, pre-lexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Frag {
+    Code,
+    LineComment,
+    BlockComment,
+    Str,
+    RawStr,
+    Char,
+}
+
+/// Code snippets: no quotes, no comment markers, but deliberately full
+/// of the lexer's near-traps — lifetimes, idents ending in `r`/`b`,
+/// division, `#` and `!` punctuation.
+const CODE_POOL: &[&str] = &[
+    "fn f() {}",
+    "let x = a / b;",
+    "for r in s { grab(r); }",
+    "impl<'a> T<'a> for U {}",
+    "let l: &'static str = z;",
+    "#[inline]",
+    "x
+y",
+    "let n = m.b;",
+    "assert!(p != q);",
+];
+
+/// Char-literal snippets (no sentinel fits inside one char).
+const CHAR_POOL: &[&str] = &["'x'", "'\\''", "'\\u{41}'", "'*'", "b'\\xFF'"];
+
+/// Renders fragment `i` of kind `frag` (with its sentinel where one
+/// fits) and returns the text plus whether it must end in a newline
+/// before the next fragment.
+fn render(frag: Frag, i: usize, flavor: usize) -> String {
+    let s = format!("ZS{i}Z");
+    match frag {
+        Frag::Code => CODE_POOL[flavor % CODE_POOL.len()].to_string(),
+        Frag::LineComment => match flavor % 3 {
+            0 => format!("// {s} unsafe \" /* lint:hot-path\n"),
+            1 => format!("/// {s} .unwrap() r#\"\n"),
+            _ => format!("//! {s}\n"),
+        },
+        Frag::BlockComment => match flavor % 3 {
+            0 => format!("/* {s} \" // unsafe */"),
+            1 => format!("/* outer {s} /* nested */ tail */"),
+            _ => format!("/** {s}\nsecond line */"),
+        },
+        Frag::Str => match flavor % 3 {
+            0 => format!("\"{s} // not a comment\""),
+            1 => format!("\"{s} escaped \\\" quote /*\""),
+            _ => format!("b\"{s} bytes\""),
+        },
+        Frag::RawStr => match flavor % 2 {
+            0 => format!("r\"{s} plain raw\""),
+            _ => format!("r#\"{s} quote \" inside\"#"),
+        },
+        Frag::Char => CHAR_POOL[flavor % CHAR_POOL.len()].to_string(),
+    }
+}
+
+fn frag_from(tag: usize) -> Frag {
+    match tag % 6 {
+        0 => Frag::Code,
+        1 => Frag::LineComment,
+        2 => Frag::BlockComment,
+        3 => Frag::Str,
+        4 => Frag::RawStr,
+        _ => Frag::Char,
+    }
+}
+
+/// Expected token kind of a non-code fragment.
+fn expected_kind(frag: Frag) -> TokenKind {
+    match frag {
+        Frag::Code => TokenKind::Code,
+        Frag::LineComment => TokenKind::LineComment,
+        Frag::BlockComment => TokenKind::BlockComment,
+        Frag::Str | Frag::RawStr => TokenKind::Str,
+        Frag::Char => TokenKind::Char,
+    }
+}
+
+/// Builds one random source: returns `(source, seeded non-code kinds in
+/// order, sentinel index per non-code fragment where one fits)`.
+fn assemble(tags: &[(usize, usize, usize)]) -> (String, Vec<(TokenKind, Option<String>)>) {
+    let mut src = String::new();
+    let mut expected = Vec::new();
+    for (i, &(tag, flavor, sep)) in tags.iter().enumerate() {
+        let frag = frag_from(tag);
+        let text = render(frag, i, flavor);
+        src.push_str(&text);
+        if frag != Frag::Code {
+            let sentinel = match frag {
+                Frag::Char => None,
+                _ => Some(format!("ZS{i}Z")),
+            };
+            expected.push((expected_kind(frag), sentinel));
+        }
+        // Separator: space or newline; line comments already end in \n.
+        if !text.ends_with('\n') {
+            src.push(if sep % 2 == 0 { ' ' } else { '\n' });
+        }
+    }
+    (src, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn lexing_is_lossless_and_attributes_every_fragment(
+        tags in proptest::collection::vec((0usize..6, 0usize..6, 0usize..2), 0..24),
+    ) {
+        let (src, expected) = assemble(&tags);
+        let tokens = lex(&src);
+
+        // (a) lossless reconstruction.
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        prop_assert_eq!(&rebuilt, &src);
+
+        // (b) no sentinel ever lands in code.
+        for t in &tokens {
+            if t.kind == TokenKind::Code {
+                prop_assert!(!t.text.contains("ZS"), "sentinel leaked into code: {:?}", t.text);
+            }
+        }
+
+        // (c) the non-code tokens appear in seeded order, right kinds,
+        // right payloads.
+        let non_code: Vec<_> = tokens.iter().filter(|t| t.kind != TokenKind::Code).collect();
+        prop_assert_eq!(non_code.len(), expected.len(), "src: {:?}", src);
+        for (tok, (kind, sentinel)) in non_code.iter().zip(&expected) {
+            prop_assert_eq!(tok.kind, *kind, "token {:?} in {:?}", tok.text, src);
+            if let Some(s) = sentinel {
+                prop_assert!(tok.text.contains(s.as_str()), "{:?} missing {s}", tok.text);
+            }
+        }
+    }
+
+    #[test]
+    fn line_starts_are_consistent(
+        tags in proptest::collection::vec((0usize..6, 0usize..6, 0usize..2), 0..24),
+    ) {
+        let (src, _) = assemble(&tags);
+        let mut line = 1usize;
+        for t in lex(&src) {
+            prop_assert_eq!(t.line, line, "token {:?}", t.text);
+            line += t.text.matches('\n').count();
+        }
+    }
+
+    #[test]
+    fn masked_model_never_sees_literal_contents(
+        tags in proptest::collection::vec((0usize..6, 0usize..6, 0usize..2), 0..24),
+    ) {
+        let (src, expected) = assemble(&tags);
+        let file = SourceFile::from_source("x.rs", &src);
+        for (_, info) in file.iter_lines() {
+            prop_assert!(!info.code.contains("ZS"), "literal/comment text in code: {:?}", info.code);
+        }
+        // Comment sentinels all survive into comment text.
+        let comment_sentinels = expected
+            .iter()
+            .filter(|(k, _)| k.is_comment())
+            .filter_map(|(_, s)| s.as_ref());
+        let all_comments: String = file
+            .iter_lines()
+            .map(|(_, info)| info.comment.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for s in comment_sentinels {
+            prop_assert!(all_comments.contains(s.as_str()), "comment lost {s}");
+        }
+    }
+
+    #[test]
+    fn suppression_round_trips_over_padding(
+        rule_idx in 0usize..4,
+        pad in proptest::collection::vec(0usize..3, 0..4),
+    ) {
+        const RULES: &[&str] = &[
+            "no-panic-in-service",
+            "hot-path-alloc",
+            "safety-comment",
+            "no-raw-thread-spawn",
+        ];
+        let rule = RULES[rule_idx];
+        let mut src = format!("// lint:allow({rule}) justified here\n");
+        for p in &pad {
+            src.push_str(match p {
+                0 => "\n",
+                1 => "#[inline]\n",
+                _ => "// interleaved comment\n",
+            });
+        }
+        src.push_str("target_line();\n");
+        src.push_str("after_line();\n");
+        let file = SourceFile::from_source("x.rs", &src);
+        let target = 2 + pad.len();
+        prop_assert!(file.is_suppressed(target, rule), "src: {src:?}");
+        prop_assert!(!file.is_suppressed(target + 1, rule), "must not bleed: {src:?}");
+        prop_assert!(!file.is_suppressed(target, "ordering-comment"), "wrong rule: {src:?}");
+    }
+}

@@ -1,0 +1,64 @@
+//! The adoption gate, as a test: the analyzer run over the *actual*
+//! workspace must come back clean — zero unsuppressed findings, every
+//! `unsafe` site SAFETY-covered — with all six rules active. This is the
+//! same check CI's `pieri-lint --deny` step enforces, kept inside
+//! `cargo test` so a violation fails fast locally too.
+
+use std::path::{Path, PathBuf};
+
+use pieri_analyze::analyze_root;
+use pieri_analyze::rules::all_rules;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn repo_has_zero_unsuppressed_findings() {
+    let analysis = analyze_root(&workspace_root()).expect("scan workspace");
+    assert!(
+        analysis.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        analysis.files_scanned
+    );
+    let rendered: Vec<String> = analysis.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        analysis.is_clean(),
+        "pieri-lint findings in the repo:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn repo_unsafe_inventory_is_fully_covered() {
+    let analysis = analyze_root(&workspace_root()).expect("scan workspace");
+    let uncovered: Vec<String> = analysis
+        .unsafe_sites
+        .iter()
+        .filter(|s| !s.covered)
+        .map(|s| format!("{}:{} ({})", s.rel_path, s.line, s.kind.label()))
+        .collect();
+    assert!(
+        uncovered.is_empty(),
+        "unsafe sites without SAFETY comments:\n{}",
+        uncovered.join("\n")
+    );
+    // The inventory must actually see the vendored runtime's sites —
+    // an empty inventory would mean the walker or lexer went blind.
+    assert!(
+        analysis
+            .unsafe_sites
+            .iter()
+            .any(|s| s.rel_path == "vendor/rayon/src/job.rs"),
+        "expected unsafe sites in vendor/rayon/src/job.rs"
+    );
+}
+
+#[test]
+fn at_least_six_rules_are_active() {
+    assert!(all_rules().len() >= 6, "rule registry shrank");
+}

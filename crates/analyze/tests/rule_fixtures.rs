@@ -1,0 +1,159 @@
+//! Liveness fixtures: every shipped rule is proven to (a) catch a
+//! deliberately seeded violation, (b) honour an inline
+//! `lint:allow(<rule>)` suppression (counted, not dropped), and
+//! (c) stay silent on the fixed form of the same code.
+//!
+//! Fixtures are in-memory sources fed through the *full* pipeline
+//! (`analyze_files` + the real rule registry), so a rule accidentally
+//! dropped from `all_rules()` — or a lexer regression hiding code from
+//! it — fails here, not just in the rule's own unit tests.
+
+use pieri_analyze::model::SourceFile;
+use pieri_analyze::rules::all_rules;
+use pieri_analyze::{analyze_files, Analysis};
+
+fn analyze_one(path: &str, src: &str) -> Analysis {
+    analyze_files(&[SourceFile::from_source(path, src)], &all_rules())
+}
+
+/// Asserts exactly one active finding, of `rule`, at `line`.
+fn assert_fires(analysis: &Analysis, rule: &str, line: usize) {
+    assert_eq!(
+        analysis.findings.len(),
+        1,
+        "expected exactly one finding, got {:?}",
+        analysis.findings
+    );
+    assert_eq!(analysis.findings[0].rule, rule);
+    assert_eq!(
+        analysis.findings[0].line, line,
+        "{:?}",
+        analysis.findings[0]
+    );
+}
+
+fn assert_suppressed(analysis: &Analysis, rule: &str) {
+    assert!(
+        analysis.findings.is_empty(),
+        "suppressed variant must be clean, got {:?}",
+        analysis.findings
+    );
+    assert_eq!(analysis.suppressed.len(), 1, "{:?}", analysis.suppressed);
+    assert_eq!(analysis.suppressed[0].rule, rule);
+}
+
+fn assert_clean(analysis: &Analysis) {
+    assert!(
+        analysis.findings.is_empty() && analysis.suppressed.is_empty(),
+        "fixed variant must be clean, got {:?} / {:?}",
+        analysis.findings,
+        analysis.suppressed
+    );
+}
+
+#[test]
+fn safety_comment_fixture() {
+    let path = "crates/x/src/ffi.rs";
+    let seeded = "fn f() {\n    unsafe { danger() }\n}\n";
+    assert_fires(&analyze_one(path, seeded), "safety-comment", 2);
+
+    let suppressed =
+        "fn f() {\n    // lint:allow(safety-comment) audited elsewhere\n    unsafe { danger() }\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "safety-comment");
+
+    let fixed = "fn f() {\n    // SAFETY: danger() has no preconditions on this platform.\n    unsafe { danger() }\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+#[test]
+fn forbid_unsafe_fixture() {
+    let path = "crates/x/src/lib.rs";
+    let seeded = "//! A crate.\n\npub fn f() {}\n";
+    assert_fires(&analyze_one(path, seeded), "forbid-unsafe", 1);
+
+    let suppressed =
+        "// lint:allow(forbid-unsafe) migration in progress\n//! A crate.\npub fn f() {}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "forbid-unsafe");
+
+    let fixed = "//! A crate.\n\n#![forbid(unsafe_code)]\n\npub fn f() {}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+#[test]
+fn no_panic_in_service_fixture() {
+    let path = "crates/service/src/handler.rs";
+    let seeded =
+        "fn handle(r: Req) -> Resp {\n    let body = r.body.unwrap();\n    body.into()\n}\n";
+    assert_fires(&analyze_one(path, seeded), "no-panic-in-service", 2);
+
+    let suppressed = "fn handle(r: Req) -> Resp {\n    // lint:allow(no-panic-in-service) startup precondition\n    let body = r.body.unwrap();\n    body.into()\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "no-panic-in-service");
+
+    let fixed = "fn handle(r: Req) -> Result<Resp, ServiceError> {\n    let body = r.body.ok_or(ServiceError::MissingBody)?;\n    Ok(body.into())\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+#[test]
+fn ordering_comment_fixture() {
+    let path = "vendor/rayon/src/sleep.rs";
+    let seeded = "fn tick(c: &AtomicUsize) {\n    c.fetch_add(1, Ordering::AcqRel);\n}\n";
+    assert_fires(&analyze_one(path, seeded), "ordering-comment", 2);
+
+    let suppressed = "fn tick(c: &AtomicUsize) {\n    // lint:allow(ordering-comment) counter is advisory-only\n    c.fetch_add(1, Ordering::AcqRel);\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "ordering-comment");
+
+    let fixed = "fn tick(c: &AtomicUsize) {\n    // ORDERING: AcqRel pairs the release of our update with the\n    // acquire of prior updates; see the wakeup protocol.\n    c.fetch_add(1, Ordering::AcqRel);\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+#[test]
+fn hot_path_alloc_fixture() {
+    let path = "crates/tracker/src/step.rs";
+    let seeded = "//! lint:hot-path\nfn step(x: &[f64]) -> Vec<f64> {\n    x.to_vec()\n}\n";
+    assert_fires(&analyze_one(path, seeded), "hot-path-alloc", 3);
+
+    let suppressed = "//! lint:hot-path\nfn step(x: &[f64]) -> Vec<f64> {\n    // lint:allow(hot-path-alloc) allocating convenience wrapper\n    x.to_vec()\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "hot-path-alloc");
+
+    let fixed = "//! lint:hot-path\nfn step(x: &[f64], out: &mut [f64]) {\n    out.copy_from_slice(x);\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+#[test]
+fn no_raw_thread_spawn_fixture() {
+    let path = "crates/core/src/driver.rs";
+    let seeded = "fn run() {\n    std::thread::spawn(|| work());\n}\n";
+    assert_fires(&analyze_one(path, seeded), "no-raw-thread-spawn", 2);
+
+    let suppressed = "fn run() {\n    // lint:allow(no-raw-thread-spawn) I/O-only watchdog\n    std::thread::spawn(|| work());\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "no-raw-thread-spawn");
+
+    let fixed = "fn run() {\n    rayon::scope(|s| s.spawn(|_| work()));\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+/// A violation seeded in test code stays a violation for
+/// `safety-comment` (no test exemption) but not for the test-exempt
+/// rules — the scoping itself is part of each rule's contract.
+#[test]
+fn test_scoping_is_per_rule() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        unsafe { danger() };\n        x.unwrap();\n        std::thread::spawn(f);\n    }\n}\n";
+    let analysis = analyze_one("crates/service/src/handler.rs", src);
+    assert_eq!(
+        analysis.findings.len(),
+        1,
+        "only safety-comment survives the test region: {:?}",
+        analysis.findings
+    );
+    assert_eq!(analysis.findings[0].rule, "safety-comment");
+}
+
+/// The unsafe inventory feeding `--report` tracks coverage per site.
+#[test]
+fn inventory_counts_coverage() {
+    let src = "// SAFETY: fine\nunsafe fn a() {}\nfn b() { unsafe { c() } }\n";
+    let analysis = analyze_one("crates/x/src/lib.rs", src);
+    assert_eq!(analysis.unsafe_sites.len(), 2);
+    assert!(analysis.unsafe_sites[0].covered);
+    assert!(!analysis.unsafe_sites[1].covered);
+}

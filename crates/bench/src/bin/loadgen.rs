@@ -122,6 +122,10 @@ fn main() {
         .map(|c| {
             let sat = sat.clone();
             let poles = poles.clone();
+            // lint:allow(no-raw-thread-spawn) — these threads *are* the
+            // simulated clients of the load test; they only do socket
+            // I/O, and the compute they trigger runs server-side on the
+            // pool.
             std::thread::spawn(move || {
                 let client = Client::new(addr).expect("client");
                 let mut latencies = Vec::with_capacity(per_client);

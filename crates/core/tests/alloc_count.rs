@@ -23,18 +23,27 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a pure pass-through to the System allocator plus a relaxed
+// counter bump — every GlobalAlloc contract obligation (layout fidelity,
+// no unwinding, no reentrant allocation) is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller contract is forwarded verbatim to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller contract is forwarded verbatim to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from the caller's matching alloc.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller contract is forwarded verbatim to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` come from the caller's matching alloc.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

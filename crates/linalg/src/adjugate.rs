@@ -1,5 +1,8 @@
 //! Cofactor and adjugate machinery for determinantal conditions.
 //!
+//! lint:hot-path — evaluation/Jacobian kernels run per Newton iteration
+//! on reused buffers; only the one-time constructor allocates.
+//!
 //! The Pieri intersection conditions are determinants `det A(x,t)` of small
 //! matrices whose entries are *affine* in the unknowns. By Jacobi's formula,
 //!
@@ -142,6 +145,8 @@ impl DetCofactor {
     pub fn new() -> Self {
         DetCofactor {
             lu: Lu::default(),
+            // lint:allow(hot-path-alloc) — empty-capacity constructor;
+            // the buffer grows on first use and is reused afterwards.
             rhs: Vec::new(),
             minor: CMat::zeros(0, 0),
             minor_lu: Lu::default(),

@@ -1,4 +1,8 @@
 //! LU factorisation with partial pivoting.
+//!
+//! lint:hot-path — `factor_into`/`solve_in_place` run inside every
+//! Newton iteration; steady state reuses caller buffers, and the
+//! allocating constructors/wrappers below are individually justified.
 
 use crate::matrix::CMat;
 use pieri_num::Complex64;
@@ -53,6 +57,8 @@ impl Default for Lu {
     fn default() -> Self {
         Lu {
             lu: CMat::zeros(0, 0),
+            // lint:allow(hot-path-alloc) — empty-capacity constructor in
+            // a one-time Default impl; nothing is allocated until use.
             ipiv: Vec::new(),
             sign: 1.0,
             max_pivot: 0.0,
@@ -86,6 +92,8 @@ impl Lu {
         if (into.lu.rows(), into.lu.cols()) == (n, n) {
             into.lu.copy_from(a);
         } else {
+            // lint:allow(hot-path-alloc) — cold branch: first use (or a
+            // dimension change) grows the slot; steady state copies.
             into.lu = a.clone();
         }
         into.ipiv.clear();
@@ -191,6 +199,8 @@ impl Lu {
     /// # Panics
     /// Panics when `b.len() != self.dim()`.
     pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
+        // lint:allow(hot-path-alloc) — allocating convenience wrapper;
+        // hot callers use `solve_in_place` on their own buffer.
         let mut x = b.to_vec();
         self.solve_in_place(&mut x);
         x
@@ -273,6 +283,9 @@ impl Lu {
     pub fn solve_mat(&self, b: &CMat) -> CMat {
         let n = self.dim();
         assert_eq!(b.rows(), n, "solve_mat: shape mismatch");
+        // lint:allow(hot-path-alloc) — allocating convenience wrapper:
+        // the result matrix is the output; hot paths solve column-wise
+        // in place.
         let mut out = b.clone();
         for j in 0..out.cols() {
             // The same permutation + substitution sweeps as

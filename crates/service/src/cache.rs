@@ -158,11 +158,11 @@ impl ShapeCache {
     /// there first) on a miss. The boolean is `true` on a hit.
     pub fn get_or_build(&self, shape: &Shape) -> Result<(Arc<StartBundle>, bool), JobError> {
         let slot = {
-            let mut slots = self.slots.lock().expect("shape map poisoned");
+            let mut slots = crate::sync::lock_recover(&self.slots);
             slots.entry(shape.clone()).or_default().clone()
         };
 
-        let mut state = slot.state.lock().expect("slot poisoned");
+        let mut state = crate::sync::lock_recover(&slot.state);
         loop {
             match &*state {
                 SlotState::Ready(bundle) => {
@@ -171,14 +171,14 @@ impl ShapeCache {
                     return Ok((bundle.clone(), true));
                 }
                 SlotState::Building => {
-                    state = slot.ready.wait(state).expect("slot poisoned");
+                    state = crate::sync::wait_recover(&slot.ready, state);
                 }
                 SlotState::Empty => {
                     *state = SlotState::Building;
                     drop(state);
                     let attempt = slot.attempts.fetch_add(1, Ordering::Relaxed);
                     let built = self.build(shape, attempt);
-                    let mut state = slot.state.lock().expect("slot poisoned");
+                    let mut state = crate::sync::lock_recover(&slot.state);
                     match built {
                         Ok(bundle) => {
                             let bundle = Arc::new(bundle);
@@ -238,12 +238,12 @@ impl ShapeCache {
     /// least-recently-used ready bundles (never `keep`, never in-flight
     /// builds) until both the shape count and the byte budget hold.
     fn evict_over_limit(&self, keep: &Shape) {
-        let mut slots = self.slots.lock().expect("shape map poisoned");
+        let mut slots = crate::sync::lock_recover(&self.slots);
         loop {
             // Snapshot the ready slots: (shape, last_used, bytes).
             let mut ready: Vec<(Shape, u64, usize)> = Vec::new();
             for (shape, slot) in slots.iter() {
-                if let SlotState::Ready(bundle) = &*slot.state.lock().expect("slot poisoned") {
+                if let SlotState::Ready(bundle) = &*crate::sync::lock_recover(&slot.state) {
                     ready.push((
                         shape.clone(),
                         slot.last_used.load(Ordering::Relaxed),
@@ -281,11 +281,11 @@ impl ShapeCache {
     /// [`ShapeCache::resident`].
     pub fn stats(&self) -> CacheStats {
         let (shapes, resident_bytes) = {
-            let slots = self.slots.lock().expect("shape map poisoned");
+            let slots = crate::sync::lock_recover(&self.slots);
             let mut count = 0usize;
             let mut bytes = 0usize;
             for slot in slots.values() {
-                if let SlotState::Ready(bundle) = &*slot.state.lock().expect("slot poisoned") {
+                if let SlotState::Ready(bundle) = &*crate::sync::lock_recover(&slot.state) {
                     count += 1;
                     bytes += bundle.approx_bytes();
                 }
@@ -304,10 +304,10 @@ impl ShapeCache {
     /// The resident shapes with their root counts and build times — the
     /// `/v1/stats` payload.
     pub fn resident(&self) -> Vec<(Shape, usize, Duration)> {
-        let slots = self.slots.lock().expect("shape map poisoned");
+        let slots = crate::sync::lock_recover(&self.slots);
         let mut out = Vec::new();
         for (shape, slot) in slots.iter() {
-            if let SlotState::Ready(bundle) = &*slot.state.lock().expect("slot poisoned") {
+            if let SlotState::Ready(bundle) = &*crate::sync::lock_recover(&slot.state) {
                 out.push((shape.clone(), bundle.root_count(), bundle.build_time()));
             }
         }

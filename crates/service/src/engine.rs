@@ -20,7 +20,7 @@ use crossbeam::channel;
 use pieri_certify::{Certificate, CertifyPolicy};
 use pieri_control::{
     solve_dynamic_state_space_certified, solve_dynamic_state_space_with_start,
-    verify_closed_loop_ss,
+    verify_closed_loop_ss, StateSpace,
 };
 use pieri_core::Shape;
 use pieri_num::{seeded_rng, Complex64};
@@ -227,9 +227,16 @@ impl Engine {
         let handles = (0..config.workers)
             .map(|i| {
                 let shared = shared.clone();
+                // lint:allow(no-raw-thread-spawn) — these *are* the
+                // engine's bounded worker set, created once at startup;
+                // all per-job compute they run goes through the pool.
                 std::thread::Builder::new()
                     .name(format!("pieri-service-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint:allow(no-panic-in-service) — startup-time
+                    // precondition, not a request path: if the OS cannot
+                    // spawn the fixed worker set, the process cannot
+                    // serve at all and should die loudly at boot.
                     .expect("spawn worker")
             })
             .collect();
@@ -267,7 +274,7 @@ impl Engine {
             return Err(e);
         }
         let (tx, rx) = channel::unbounded();
-        let mut state = self.shared.state.lock().expect("queue poisoned");
+        let mut state = crate::sync::lock_recover(&self.shared.state);
         loop {
             if !state.open {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -287,19 +294,13 @@ impl Engine {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(JobError::QueueFull);
             }
-            state = self.shared.space.wait(state).expect("queue poisoned");
+            state = crate::sync::wait_recover(&self.shared.space, state);
         }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> EngineStats {
-        let queue_len = self
-            .shared
-            .state
-            .lock()
-            .expect("queue poisoned")
-            .queue
-            .len();
+        let queue_len = crate::sync::lock_recover(&self.shared.state).queue.len();
         EngineStats {
             workers: self.workers,
             queue_len,
@@ -332,12 +333,12 @@ impl Engine {
     /// finish, joins the workers. Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut state = self.shared.state.lock().expect("queue poisoned");
+            let mut state = crate::sync::lock_recover(&self.shared.state);
             state.open = false;
             self.shared.jobs.notify_all();
             self.shared.space.notify_all();
         }
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        let handles = std::mem::take(&mut *crate::sync::lock_recover(&self.handles));
         for h in handles {
             let _ = h.join();
         }
@@ -353,7 +354,7 @@ impl Drop for Engine {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("queue poisoned");
+            let mut state = crate::sync::lock_recover(&shared.state);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     shared.space.notify_one();
@@ -362,7 +363,7 @@ fn worker_loop(shared: &Shared) {
                 if !state.open {
                     break None;
                 }
-                state = shared.jobs.wait(state).expect("queue poisoned");
+                state = crate::sync::wait_recover(&shared.jobs, state);
             }
         };
         let Some(job) = job else { return };
@@ -441,8 +442,16 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
                 ..JobResult::default()
             }
         }
-        JobRequest::PlacePoles { q, poles, seed, .. } => {
-            let ss = req.state_space();
+        JobRequest::PlacePoles {
+            a,
+            b,
+            c,
+            q,
+            poles,
+            seed,
+            ..
+        } => {
+            let ss = StateSpace::new(a.clone(), b.clone(), c.clone());
             let mut rng = seeded_rng(*seed);
             let (comps, cont, _) = if certify {
                 solve_dynamic_state_space_certified(

@@ -108,7 +108,7 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept call with a no-op connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_handle.lock().expect("accept handle").take() {
+        if let Some(h) = crate::sync::lock_recover(&self.accept_handle).take() {
             let _ = h.join();
         }
     }
@@ -562,7 +562,7 @@ impl Client {
         // read *timeout*, where the server may be mid-execution — is
         // surfaced, never silently re-sent: jobs are not idempotent in
         // cost, and a blind replay would run them twice.
-        let pooled = self.conn.lock().expect("client conn poisoned").take();
+        let pooled = crate::sync::lock_recover(&self.conn).take();
         if let Some(stream) = pooled {
             match self.exchange(stream, method, path, body) {
                 Ok(answer) => return Ok(answer),
@@ -656,7 +656,7 @@ impl Client {
         reader.read_exact(&mut body).map_err(mid)?;
         drop(reader);
         if keep_alive {
-            *self.conn.lock().expect("client conn poisoned") = Some(stream);
+            *crate::sync::lock_recover(&self.conn) = Some(stream);
         }
         let text = String::from_utf8(body).map_err(|_| {
             mid(std::io::Error::new(

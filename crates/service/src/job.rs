@@ -8,7 +8,6 @@
 //! surfacing anything that slips through as [`JobError::Internal`].
 
 use pieri_certify::Certificate;
-use pieri_control::StateSpace;
 use pieri_core::root_count;
 use pieri_linalg::CMat;
 use pieri_num::Complex64;
@@ -216,20 +215,6 @@ impl JobRequest {
             }
         }
         Ok(())
-    }
-
-    /// Builds the validated state space of a `PlacePoles` job.
-    ///
-    /// # Panics
-    /// Panics when the request is not a validated `PlacePoles` (the
-    /// engine only calls this after [`JobRequest::validate`]).
-    pub(crate) fn state_space(&self) -> StateSpace {
-        match self {
-            JobRequest::PlacePoles { a, b, c, .. } => {
-                StateSpace::new(a.clone(), b.clone(), c.clone())
-            }
-            JobRequest::SolvePieri { .. } => unreachable!("state_space on SolvePieri"),
-        }
     }
 }
 

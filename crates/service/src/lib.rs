@@ -48,6 +48,7 @@ pub mod cache;
 pub mod engine;
 pub mod http;
 pub mod job;
+mod sync;
 pub mod wire;
 
 pub use cache::{BuildMode, CacheStats, ShapeCache};

@@ -1,4 +1,7 @@
 //! Newton's method as the corrector of the predictor–corrector scheme.
+//!
+//! lint:hot-path — runs every corrector iteration of every step; all
+//! scratch lives in the caller's [`TrackWorkspace`].
 
 use crate::homotopy::Homotopy;
 use crate::workspace::TrackWorkspace;

@@ -1,4 +1,8 @@
 //! The adaptive predictor–corrector driver.
+//!
+//! lint:hot-path — steady-state tracking must stay allocation-free
+//! (PR 4's ≤ 8-allocs/path bound, pinned by `alloc_count.rs`); every
+//! allocating call below carries its own justification.
 
 use crate::homotopy::Homotopy;
 use crate::newton::newton_correct_with;
@@ -183,6 +187,9 @@ fn track_path_attempt<H: Homotopy + ?Sized>(
 
     let result = PathResult {
         status,
+        // lint:allow(hot-path-alloc) — the one documented per-path
+        // allocation: the returned solution must outlive the reused
+        // workspace buffer it was computed in.
         x: p.x.clone(),
         residual,
         steps: p.steps,
@@ -405,6 +412,8 @@ pub fn track_all<H: Homotopy + ?Sized>(
     let results: Vec<PathResult> = starts
         .iter()
         .map(|s| track_path_with(h, s, settings, &mut ws))
+        // lint:allow(hot-path-alloc) — driver-level: one results vector
+        // per *batch* of paths, not per step.
         .collect();
     let stats = TrackStats::from_results(&results);
     (results, stats)

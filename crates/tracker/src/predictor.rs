@@ -1,5 +1,9 @@
 //! Predictors: secant, tangent (Euler) and fourth-order Runge–Kutta.
 //!
+//! lint:hot-path — the `*_into` entry points run once per step and must
+//! not allocate; only the documented allocating convenience wrappers
+//! ([`tangent`], [`Predictor::predict`]) may, and they say so inline.
+//!
 //! The solution path `x(t)` of `H(x(t), t) = 0` obeys the Davidenko ODE
 //!
 //! ```text
@@ -35,6 +39,8 @@ pub enum Predictor {
 /// Returns `None` when the Jacobian is singular to working precision.
 pub fn tangent<H: Homotopy + ?Sized>(h: &H, x: &[Complex64], t: f64) -> Option<Vec<Complex64>> {
     let mut ws = TrackWorkspace::new();
+    // lint:allow(hot-path-alloc) — allocating convenience wrapper; the
+    // tracker itself uses `tangent_into` with a reused workspace.
     let mut out = vec![Complex64::ZERO; h.dim()];
     tangent_into(h, x, t, &mut out, &mut ws).then_some(out)
 }
@@ -89,6 +95,8 @@ impl Predictor {
         prev: Option<(&[Complex64], f64)>,
     ) -> Option<Vec<Complex64>> {
         let mut ws = TrackWorkspace::new();
+        // lint:allow(hot-path-alloc) — allocating convenience wrapper;
+        // the tracker itself uses `predict_into` with a reused workspace.
         let mut out = vec![Complex64::ZERO; h.dim()];
         self.predict_into(h, x, t, dt, prev, &mut out, &mut ws)
             .then_some(out)

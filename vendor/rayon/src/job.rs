@@ -85,6 +85,9 @@ impl Latch {
 /// it is alive until `execute` runs.
 pub(crate) struct JobRef {
     data: *const (),
+    // SAFETY: this pointer type's contract is that `data` is alive and
+    // is passed at most once; the sole call site, `execute`, discharges
+    // both obligations.
     execute_fn: unsafe fn(*const ()),
 }
 
@@ -153,6 +156,10 @@ where
     /// The caller must keep `self` alive (not move or drop it) until
     /// `self.latch` is set — `join` guarantees this by blocking.
     pub(crate) fn as_job_ref(&self) -> JobRef {
+        // SAFETY: caller contract — `data` must point to a live
+        // StackJob<F, R> and the function must run at most once. Both
+        // hold because the only producer is the JobRef built below and
+        // `join` keeps the StackJob alive until the latch is set.
         #[allow(unsafe_code)]
         unsafe fn execute_erased<F, R>(data: *const ())
         where
@@ -160,14 +167,18 @@ where
             R: Send,
         {
             // SAFETY: `data` came from `as_job_ref` on a StackJob<F, R>
-            // that outlives its latch; this executor is the only thread
-            // touching the cells before the latch is set.
+            // that outlives its latch (see the fn-level contract above).
             let this = unsafe { &*(data as *const StackJob<F, R>) };
+            // SAFETY: this executor is the only thread touching the
+            // cells before the latch is set; the owner reads them only
+            // after `latch.set()` below.
             let func = unsafe { (*this.func.get()).take().expect("job run twice") };
             let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
                 Ok(r) => JobResult::Ok(r),
                 Err(payload) => JobResult::Panicked(payload),
             };
+            // SAFETY: still pre-latch, so the executor has exclusive
+            // access to the result cell; `latch.set()` publishes it.
             unsafe {
                 *this.result.get() = result;
             }
@@ -200,6 +211,9 @@ pub(crate) fn heap_job_erased<'a, F>(func: F) -> JobRef
 where
     F: FnOnce() + Send + 'a,
 {
+    // SAFETY: caller contract — `data` must be the Box::into_raw pointer
+    // produced below, handed over exactly once. The JobRef built below
+    // is the only producer and `JobRef::execute` the only caller.
     #[allow(unsafe_code)]
     unsafe fn execute_boxed<F: FnOnce() + Send>(data: *const ()) {
         // SAFETY: `data` is the unique Box::into_raw pointer produced

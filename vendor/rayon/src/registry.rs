@@ -138,6 +138,10 @@ impl Registry {
     /// from a pool thread (LIFO, fork-join locality), otherwise into the
     /// shared injector.
     pub(crate) fn submit(&self, job: JobRef) {
+        // ORDERING: SeqCst — this increment must be globally ordered
+        // against the sleeper-side `sleepers.fetch_add` / `pending.load`
+        // pair in `sleep` (see the wakeup argument below); anything
+        // weaker reintroduces the lost-wakeup window.
         self.pending.fetch_add(1, Ordering::SeqCst);
         let job = CTX.with(|ctx| {
             let ctx = ctx.borrow();
@@ -153,11 +157,13 @@ impl Registry {
             self.injector.push(job);
         }
         // Wake a parked worker, but only if one might exist — the busy
-        // pool's push path must stay lock-free. SeqCst makes the check
-        // sound: a sleeper registers in `sleepers` *before* loading
-        // `pending`, and we incremented `pending` *before* loading
-        // `sleepers`, so either we see its registration here or it sees
-        // our job there; a lost wakeup would need both loads to miss.
+        // pool's push path must stay lock-free.
+        // ORDERING: SeqCst makes the check sound: a sleeper registers in
+        // `sleepers` *before* loading `pending`, and we incremented
+        // `pending` *before* loading `sleepers`, so either we see its
+        // registration here or it sees our job there; a lost wakeup
+        // would need both SeqCst loads to miss, which the total order
+        // forbids.
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Taking the sleep lock orders the notification after the
             // sleeper's pending-check inside `sleep`.
@@ -175,6 +181,11 @@ impl Registry {
             let ctx = ctx.as_ref().expect("find_work called off-pool");
             (ctx.worker.pop(), ctx.index)
         });
+        // ORDERING: SeqCst on every `pending` decrement below keeps the
+        // counter in the same total order as `submit`'s increment and
+        // `sleep`'s zero-check; a sleeper may then under- but never
+        // over-estimate outstanding work, so it can park spuriously
+        // (timed wait recovers) but never miss a job.
         if let Some(job) = own {
             self.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
@@ -186,6 +197,8 @@ impl Registry {
         for k in 1..self.num_threads {
             let victim = (index + k) % self.num_threads;
             if let Some(job) = self.stealers[victim].steal().success() {
+                // ORDERING: SeqCst — same total-order argument as the
+                // decrements above.
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 return Some(job);
             }
@@ -196,10 +209,12 @@ impl Registry {
     /// Parks an idle worker until new work is (probably) available.
     fn sleep(&self) {
         let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
-        // Register before the pending-check (the mirror image of
-        // `submit`'s increment-then-check) so a concurrent submitter
+        // ORDERING: SeqCst on the register / check / deregister triple —
+        // registering before the pending-check is the mirror image of
+        // `submit`'s increment-then-check, so a concurrent submitter
         // either sees us in `sleepers` and notifies, or we see its job
-        // in `pending` and skip the wait.
+        // in `pending` and skip the wait; the shared total order is what
+        // rules out both sides missing.
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         if self.pending.load(Ordering::SeqCst) == 0 {
             let _ = self
@@ -207,6 +222,8 @@ impl Registry {
                 .wait_timeout(guard, PARK)
                 .expect("sleep lock poisoned");
         }
+        // ORDERING: SeqCst — deregistration completes the triple above;
+        // a submitter that misses us here has already notified.
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
