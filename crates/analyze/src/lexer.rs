@@ -101,6 +101,16 @@ impl<'a> Lexer<'a> {
                     l.advance(1);
                     l.advance_string_body();
                 }),
+                b'r' if starts_raw_ident(self.bytes, self.pos) => {
+                    // `r#ident` — a raw identifier, plain code. Consumed
+                    // in one step so its trailing letters can never be
+                    // taken for a string prefix (`r#b"x"` is the ident
+                    // `r#b` followed by a plain string).
+                    self.advance(2);
+                    while self.pos < self.bytes.len() && is_ident_byte(self.bytes[self.pos]) {
+                        self.advance(1);
+                    }
+                }
                 b'r' | b'b' if l_starts_raw_or_str(self.bytes, self.pos) => {
                     let (kind, scan): (TokenKind, fn(&mut Self)) =
                         match classify_prefix(self.bytes, self.pos) {
@@ -330,6 +340,20 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// True when the `r` at `pos` begins a raw identifier (`r#type`): not
+/// mid-identifier, exactly one `#`, then an identifier-start byte. Raw
+/// strings (`r#"…"#`, `r##"…"##`) keep falling through to the string
+/// classifier because `"` and `#` are not identifier bytes.
+fn starts_raw_ident(bytes: &[u8], pos: usize) -> bool {
+    if pos > 0 && is_ident_byte(bytes[pos - 1]) {
+        return false;
+    }
+    bytes.get(pos + 1) == Some(&b'#')
+        && bytes
+            .get(pos + 2)
+            .is_some_and(|&b| is_ident_byte(b) && !b.is_ascii_digit())
+}
+
 /// Disambiguates `'` at `pos`: `true` for a char literal, `false` for a
 /// lifetime. A char literal closes with `'` after one (possibly
 /// escaped, possibly multi-byte) character; a lifetime never does
@@ -450,6 +474,32 @@ mod tests {
         let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
         assert_eq!(strs.len(), 1);
         assert_eq!(strs[0].1, r#""s""#);
+    }
+
+    #[test]
+    fn raw_identifiers_are_code() {
+        let toks = kinds("let r#type = r#fn(r#in); match r#type {}");
+        assert!(
+            toks.iter().all(|(k, _)| *k == TokenKind::Code),
+            "raw identifiers must lex as plain code: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_identifier_adjacent_to_string_stays_plain() {
+        // `r#b"x"` is the raw ident `r#b` followed by a *plain* string;
+        // the ident's trailing `b` is not a byte-string prefix.
+        let toks = kinds(r##"let x = r#b"x";"##);
+        assert_eq!(toks[1], (TokenKind::Str, "\"x\"".into()));
+        assert!(toks[0].1.ends_with("r#b"), "{toks:?}");
+    }
+
+    #[test]
+    fn raw_strings_still_raw_next_to_raw_idents() {
+        let toks = kinds(r###"let r#in = r#"raw"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r###"r#"raw"#"###);
     }
 
     #[test]

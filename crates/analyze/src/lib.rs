@@ -18,15 +18,25 @@
 //!    (guarding the PR-4 ≤ 8-allocs/path invariant at the source level).
 //! 6. `no-raw-thread-spawn` — all compute stays on the deterministic
 //!    pool.
+//! 7. `lock-order` — `// lint:lock-rank(<name>, <N>)` lock sites are
+//!    only ever nested in strictly increasing rank order, workspace-wide
+//!    and through one level of calls; the same ranks back the runtime
+//!    `RankedMutex` debug-asserts in `crates/service`.
+//! 8. `no-blocking-in-nonblocking` — fns marked `// lint:nonblocking`
+//!    never reach a blocking API (locks, condvar waits, sleeps, file or
+//!    socket I/O) through the call graph; the gate reactor code runs
+//!    under.
 //!
 //! The pass is a hand-rolled lexer ([`lexer`]) feeding a per-file model
-//! ([`model`]) and a rule registry ([`rules`]); `// lint:allow(<rule>)`
-//! comments suppress a finding on the next code line, and suppressed
-//! findings are counted (never silently dropped) so `--report` shows
-//! where the justified exceptions live.
+//! ([`model`]), a workspace symbol/call-graph layer ([`graph`]) and a
+//! rule registry ([`rules`]); `// lint:allow(<rule>)` comments suppress
+//! a finding on the next code line, and suppressed findings are counted
+//! (never silently dropped) so `--report` shows where the justified
+//! exceptions live.
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
 pub mod inventory;
 pub mod lexer;
 pub mod model;
@@ -62,27 +72,42 @@ impl Analysis {
     }
 }
 
-/// Runs every rule in `rules` over `files`, splitting findings into
-/// active and suppressed and collecting the unsafe inventory.
+/// Runs every rule in `rules` over `files` — the per-file passes, then
+/// the workspace passes over the shared call graph — splitting findings
+/// into active and suppressed and collecting the unsafe inventory.
 pub fn analyze_files(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> Analysis {
     let mut analysis = Analysis {
         files_scanned: files.len(),
         ..Analysis::default()
     };
+    let mut raw = Vec::new();
     for file in files {
         analysis.unsafe_sites.extend(inventory::unsafe_sites(file));
-        let mut raw = Vec::new();
         for rule in rules {
             rule.check(file, &mut raw);
         }
-        for finding in raw {
-            if file.is_suppressed(finding.line, finding.rule) {
-                analysis.suppressed.push(finding);
-            } else {
-                analysis.findings.push(finding);
-            }
+    }
+    let ws = graph::Workspace::build(files);
+    for rule in rules {
+        rule.check_workspace(&ws, &mut raw);
+    }
+    let by_path: std::collections::HashMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    for finding in raw {
+        let suppressed = by_path
+            .get(finding.rel_path.as_str())
+            .is_some_and(|f| f.is_suppressed(finding.line, finding.rule));
+        if suppressed {
+            analysis.suppressed.push(finding);
+        } else {
+            analysis.findings.push(finding);
         }
     }
+    // Workspace findings arrive after the per-file sweep; keep the
+    // output deterministic and path-ordered regardless of origin.
+    let key = |f: &Finding| (f.rel_path.clone(), f.line, f.rule);
+    analysis.findings.sort_by_key(key);
+    analysis.suppressed.sort_by_key(key);
     analysis
 }
 
@@ -125,7 +150,7 @@ mod tests {
     }
 
     #[test]
-    fn six_rules_are_registered() {
-        assert!(all_rules().len() >= 6);
+    fn eight_rules_are_registered() {
+        assert!(all_rules().len() >= 8);
     }
 }

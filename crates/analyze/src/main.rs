@@ -1,13 +1,17 @@
 //! `pieri-lint` — run the repo-specific static-analysis pass.
 //!
 //! ```text
-//! pieri-lint [--root DIR] [--deny] [--report] [--list-rules]
+//! pieri-lint [--root DIR] [--deny] [--report] [--json] [--github] [--list-rules]
 //! ```
 //!
 //! * `--root DIR`   workspace root to scan (default: auto-detected by
 //!   walking up from the current directory to the outermost `Cargo.toml`)
 //! * `--deny`       exit nonzero if any unsuppressed finding remains
 //! * `--report`     print the summary table and unsafe inventory
+//! * `--json`       print the analysis as a JSON document (suppresses
+//!   the plain-text finding lines)
+//! * `--github`     print GitHub Actions `::error file=…` workflow
+//!   annotations for every finding
 //! * `--list-rules` print the rule catalog and exit
 
 #![forbid(unsafe_code)]
@@ -17,12 +21,14 @@ use std::process::ExitCode;
 
 use pieri_analyze::model::SourceFile;
 use pieri_analyze::rules::all_rules;
-use pieri_analyze::{analyze_files, report, walk};
+use pieri_analyze::{analyze_files, report, walk, Analysis};
 
 struct Options {
     root: Option<PathBuf>,
     deny: bool,
     report: bool,
+    json: bool,
+    github: bool,
     list_rules: bool,
 }
 
@@ -31,6 +37,8 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         deny: false,
         report: false,
+        json: false,
+        github: false,
         list_rules: false,
     };
     let mut args = std::env::args().skip(1);
@@ -42,15 +50,50 @@ fn parse_args() -> Result<Options, String> {
             }
             "--deny" => opts.deny = true,
             "--report" => opts.report = true,
+            "--json" => opts.json = true,
+            "--github" => opts.github = true,
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => {
-                println!("usage: pieri-lint [--root DIR] [--deny] [--report] [--list-rules]");
+                println!(
+                    "usage: pieri-lint [--root DIR] [--deny] [--report] [--json] \
+                     [--github] [--list-rules]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
+}
+
+/// The whole analysis as a JSON document for machine consumers.
+fn to_json(analysis: &Analysis) -> minijson::Value {
+    let finding_to_json = |f: &pieri_analyze::rules::Finding| {
+        minijson::object([
+            ("file", minijson::Value::String(f.rel_path.clone())),
+            ("line", minijson::Value::Number(f.line as f64)),
+            ("rule", minijson::Value::String(f.rule.to_string())),
+            ("message", minijson::Value::String(f.message.clone())),
+        ])
+    };
+    minijson::object([
+        (
+            "files_scanned",
+            minijson::Value::Number(analysis.files_scanned as f64),
+        ),
+        (
+            "findings",
+            minijson::Value::Array(analysis.findings.iter().map(finding_to_json).collect()),
+        ),
+        (
+            "suppressed",
+            minijson::Value::Array(analysis.suppressed.iter().map(finding_to_json).collect()),
+        ),
+        (
+            "unsafe_sites",
+            minijson::Value::Number(analysis.unsafe_sites.len() as f64),
+        ),
+    ])
 }
 
 /// Walks up from the current directory to the outermost directory that
@@ -87,6 +130,13 @@ fn main() -> ExitCode {
     }
 
     let root = opts.root.unwrap_or_else(detect_root);
+    if !root.is_dir() {
+        eprintln!(
+            "pieri-lint: root `{}` does not exist or is not a directory",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
     let files = match walk::rust_files(&root) {
         Ok(list) => list,
         Err(e) => {
@@ -107,8 +157,26 @@ fn main() -> ExitCode {
 
     let analysis = analyze_files(&sources, &rules);
 
-    for finding in &analysis.findings {
-        println!("{}", finding.render());
+    if opts.json {
+        println!("{}", to_json(&analysis).serialize());
+    } else {
+        for finding in &analysis.findings {
+            println!("{}", finding.render());
+        }
+    }
+    if opts.github {
+        // GitHub Actions workflow commands: one inline annotation per
+        // finding. Newlines would terminate the command; messages are
+        // single-line by construction, but don't rely on it.
+        for finding in &analysis.findings {
+            println!(
+                "::error file={},line={},title=pieri-lint {}::{}",
+                finding.rel_path,
+                finding.line,
+                finding.rule,
+                finding.message.replace('\n', " ")
+            );
+        }
     }
     if opts.report {
         if !analysis.findings.is_empty() {

@@ -52,6 +52,17 @@ impl LineInfo {
     }
 }
 
+/// A `lint:<tag>` marker comment and the code line it binds to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkerSite {
+    /// 1-based line of the marker comment itself.
+    pub decl_line: usize,
+    /// 1-based code line the marker binds to.
+    pub bound_line: usize,
+    /// Text inside the marker's `(…)`, empty for bare markers.
+    pub args: String,
+}
+
 /// A fully classified source file, ready for rules.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -139,6 +150,62 @@ impl SourceFile {
     /// Whether non-test-scoped rules should skip `line`.
     pub fn is_test_code(&self, line: usize) -> bool {
         self.is_test_file || self.line(line).in_test_region
+    }
+
+    /// Collects `lint:<tag>` marker comments and the code line each one
+    /// binds to — its own line when the marker rides a code line as a
+    /// trailing comment, else the next real-code line (the same binding
+    /// rule `lint:allow` uses). A marker must *start* its comment line
+    /// (after the comment delimiters); prose that mentions the tag
+    /// mid-sentence is inert, mirroring `lint:hot-path` detection.
+    pub fn bound_markers(&self, tag: &str) -> Vec<MarkerSite> {
+        let full = format!("lint:{tag}");
+        let mut out = Vec::new();
+        for (idx, info) in self.lines.iter().enumerate() {
+            let lead = info.comment.trim_start_matches(['/', '*', '!', ' ']);
+            if !lead.starts_with(&full) {
+                continue;
+            }
+            let rest = &lead[full.len()..];
+            // Reject longer tags sharing this prefix (`lint:lock-rankX`).
+            if rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '-' || c == '_')
+            {
+                continue;
+            }
+            let args = if let Some(inner) = rest.strip_prefix('(') {
+                match inner.find(')') {
+                    Some(close) => inner[..close].trim().to_string(),
+                    None => continue, // unterminated: not a marker
+                }
+            } else {
+                String::new()
+            };
+            let bound_line = if !info.is_code_blank() {
+                idx + 1
+            } else {
+                let mut j = idx + 1;
+                loop {
+                    match self.lines.get(j) {
+                        Some(next)
+                            if next.is_blank() || next.is_comment_only() || next.is_attr_only() =>
+                        {
+                            j += 1
+                        }
+                        Some(_) => break j + 1,
+                        None => break idx + 1, // dangling marker at EOF
+                    }
+                }
+            };
+            out.push(MarkerSite {
+                decl_line: idx + 1,
+                bound_line,
+                args,
+            });
+        }
+        out
     }
 
     /// Walks upward from `line` looking for the contiguous comment block
@@ -382,6 +449,43 @@ mod tests {
         assert!(!f.hot_path);
         let g = SourceFile::from_source("x.rs", "let s = \"lint:hot-path\";\n");
         assert!(!g.hot_path, "marker in a string literal is inert");
+    }
+
+    #[test]
+    fn bound_markers_bind_like_suppressions() {
+        let src = "// lint:lock-rank(cache-slots, 20)\n#[inline]\nlet g = m.lock();\n";
+        let f = SourceFile::from_source("x.rs", src);
+        let sites = f.bound_markers("lock-rank");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].decl_line, 1);
+        assert_eq!(sites[0].bound_line, 3, "skips the attribute line");
+        assert_eq!(sites[0].args, "cache-slots, 20");
+    }
+
+    #[test]
+    fn trailing_marker_binds_to_its_own_line() {
+        let src = "let g = m.lock(); // lint:lock-rank(q, 1)\n";
+        let f = SourceFile::from_source("x.rs", src);
+        let sites = f.bound_markers("lock-rank");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].bound_line, 1);
+        assert_eq!(sites[0].args, "q, 1");
+    }
+
+    #[test]
+    fn bare_marker_and_prose_mentions() {
+        let src = "// lint:nonblocking\nfn f() {}\n// docs mention lint:nonblocking mid-sentence\nfn g() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        let sites = f.bound_markers("nonblocking");
+        assert_eq!(sites.len(), 1, "prose mention is inert: {sites:?}");
+        assert_eq!(sites[0].bound_line, 2);
+        assert!(sites[0].args.is_empty());
+    }
+
+    #[test]
+    fn marker_in_string_is_inert() {
+        let f = SourceFile::from_source("x.rs", "let s = \"lint:nonblocking\";\nfn f() {}\n");
+        assert!(f.bound_markers("nonblocking").is_empty());
     }
 
     #[test]

@@ -27,12 +27,12 @@ pub fn render(analysis: &Analysis, rules: &[Box<dyn Rule>]) -> String {
         *suppressed.entry(f.rule).or_default() += 1;
     }
 
-    out.push_str("rule                  active  allowed  description\n");
-    out.push_str("--------------------  ------  -------  -----------\n");
+    out.push_str("rule                        active  allowed  description\n");
+    out.push_str("--------------------------  ------  -------  -----------\n");
     for rule in rules {
         let name = rule.name();
         out.push_str(&format!(
-            "{:<20}  {:>6}  {:>7}  {}\n",
+            "{:<26}  {:>6}  {:>7}  {}\n",
             name,
             active.get(name).copied().unwrap_or(0),
             suppressed.get(name).copied().unwrap_or(0),

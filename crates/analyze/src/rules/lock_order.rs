@@ -1,0 +1,556 @@
+//! `lock-order` — ranked-lock nesting must strictly increase.
+//!
+//! Lock sites are annotated `// lint:lock-rank(<name>, <N>)` at the
+//! acquisition (the annotation binds to the next code line, like
+//! `lint:allow`). The rule reconstructs guard lifetimes inside each fn,
+//! finds every nested acquisition — a ranked lock taken while another
+//! ranked guard is live, including through one level of calls — and
+//! builds the global lock-order graph. It denies:
+//!
+//! * **rank inversions** — an inner lock whose rank is not strictly
+//!   greater than every held lock's rank (equal ranks included: two
+//!   threads nesting equal-ranked locks in opposite orders deadlock);
+//! * **re-entrant acquisition** — a ranked lock taken while already
+//!   held;
+//! * **cycles** in the nesting graph, and **inconsistent ranks** — one
+//!   lock name annotated with two different ranks.
+//!
+//! The same `(name, rank)` pairs drive `service::sync::RankedMutex`,
+//! whose thread-local held-rank stack debug-asserts the identical
+//! invariant at runtime: the lint proves the order globally, the
+//! wrapper catches what the lint's approximations miss.
+//!
+//! Guard-lifetime model (deliberately simple, biased toward the
+//! repo's rustfmt'd style): `let g = …lock…;` lives until its block
+//! closes or an explicit `drop(g)`; any other annotated acquisition
+//! (temporaries like `m.lock_recover().field`) is scoped to its own
+//! line.
+
+use std::collections::HashMap;
+
+use crate::graph::Workspace;
+use crate::model::find_word;
+use crate::rules::{Finding, Rule};
+
+/// See the module docs.
+pub struct LockOrder;
+
+const RULE: &str = "lock-order";
+
+/// One annotated lock site.
+#[derive(Debug)]
+struct Site {
+    name: String,
+    rank: u32,
+    file: usize,
+    /// Line of the acquisition (the annotation's bound line).
+    line: usize,
+    /// `Some(var)` when the acquisition is `let var = …lock…;`.
+    guard_var: Option<String>,
+    /// The bound line contains a recognizable lock call; annotations on
+    /// other lines (fields, constructors) only declare the rank.
+    acquires: bool,
+}
+
+/// One observed nesting: `inner` acquired while `outer` was held.
+#[derive(Debug)]
+struct Edge {
+    outer: usize, // site index
+    inner: usize,
+    file: usize,
+    line: usize,
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        RULE
+    }
+
+    fn description(&self) -> &'static str {
+        "lint:lock-rank'd locks nest in strictly increasing rank order, workspace-wide"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, findings: &mut Vec<Finding>) {
+        let mut sites: Vec<Site> = Vec::new();
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            for marker in file.bound_markers("lock-rank") {
+                match parse_args(&marker.args) {
+                    Some((name, rank)) => {
+                        let code = &file.line(marker.bound_line).code;
+                        let lock_call = find_lock_call(code);
+                        sites.push(Site {
+                            name,
+                            rank,
+                            file: file_idx,
+                            line: marker.bound_line,
+                            guard_var: lock_call.and_then(|span| guard_binding(code, span)),
+                            acquires: lock_call.is_some(),
+                        });
+                    }
+                    None => findings.push(Finding {
+                        rule: RULE,
+                        rel_path: file.rel_path.clone(),
+                        line: marker.decl_line,
+                        message: format!(
+                            "malformed lint:lock-rank annotation `({})`: expected \
+                             (name, integer-rank)",
+                            marker.args
+                        ),
+                    }),
+                }
+            }
+        }
+
+        check_rank_consistency(ws, &sites, findings);
+
+        // Group acquisition sites by enclosing fn for the simulation.
+        let mut by_def: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, site) in sites.iter().enumerate() {
+            if !site.acquires {
+                continue;
+            }
+            if let Some(def) = ws.graph.def_at(site.file, site.line) {
+                by_def.entry(def).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Edge> = Vec::new();
+        for (&def, site_idxs) in &by_def {
+            simulate_fn(ws, def, site_idxs, &sites, &by_def, &mut edges);
+        }
+        // HashMap iteration order must not leak into the output.
+        edges.sort_by_key(|e| (e.file, e.line, e.outer, e.inner));
+
+        for edge in &edges {
+            let outer = &sites[edge.outer];
+            let inner = &sites[edge.inner];
+            let rel_path = ws.files[edge.file].rel_path.clone();
+            if outer.name == inner.name {
+                findings.push(Finding {
+                    rule: RULE,
+                    rel_path,
+                    line: edge.line,
+                    message: format!(
+                        "lock `{}` (rank {}) acquired while already held — \
+                         self-deadlock",
+                        inner.name, inner.rank
+                    ),
+                });
+            } else if inner.rank <= outer.rank {
+                findings.push(Finding {
+                    rule: RULE,
+                    rel_path,
+                    line: edge.line,
+                    message: format!(
+                        "lock-order inversion: `{}` (rank {}) acquired while \
+                         holding `{}` (rank {}); ranks must strictly increase",
+                        inner.name, inner.rank, outer.name, outer.rank
+                    ),
+                });
+            }
+        }
+
+        check_cycles(ws, &sites, &edges, findings);
+    }
+}
+
+/// `name, N` → `(name, N)`.
+fn parse_args(args: &str) -> Option<(String, u32)> {
+    let (name, rank) = args.split_once(',')?;
+    let name = name.trim();
+    if name.is_empty() {
+        return None;
+    }
+    Some((name.to_string(), rank.trim().parse().ok()?))
+}
+
+/// Finds the first lock call on a masked code line; returns its byte
+/// span (start of the pattern .. one past the matching close paren).
+fn find_lock_call(code: &str) -> Option<(usize, usize)> {
+    let start = find_word(code, "lock_recover")
+        .or_else(|| find_word(code, "lock"))
+        .filter(|&at| code[at..].contains('('))?;
+    let open = start + code[start..].find('(')?;
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None // unbalanced (line continues) — treat as no recognizable call
+}
+
+/// When the acquisition is a whole-statement `let` binding
+/// (`let [mut] g = …lock…;`, optionally `.unwrap()`/`.expect("…")`),
+/// returns the guard variable; anything else is a line-scoped
+/// temporary.
+fn guard_binding(code: &str, lock_span: (usize, usize)) -> Option<String> {
+    let t = code.trim_start();
+    let t = t.strip_prefix("let ")?;
+    let t = t.trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let end = t
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(t.len());
+    if end == 0 {
+        return None; // tuple/struct pattern — not a simple guard
+    }
+    let var = &t[..end];
+    if !t[end..].trim_start().starts_with('=') {
+        return None;
+    }
+    if statement_tail(&code[lock_span.1..]) {
+        Some(var.to_string())
+    } else {
+        None
+    }
+}
+
+/// True when `rest` (the text after the lock call) ends the statement —
+/// possibly through `.unwrap()` / `.expect("")` (message masked).
+fn statement_tail(rest: &str) -> bool {
+    let r = rest.trim();
+    if matches!(r, "" | ";") {
+        return true;
+    }
+    for prefix in [".unwrap()", ".expect(\"\")"] {
+        if let Some(next) = r.strip_prefix(prefix) {
+            return statement_tail(next);
+        }
+    }
+    false
+}
+
+/// A live ranked guard during the walk of one fn body.
+struct Active {
+    site: usize,
+    var: Option<String>,
+    /// Brace depth at the end of the acquisition line; the guard dies
+    /// when the depth drops below it (its block closed).
+    depth: i32,
+}
+
+/// Walks `def`'s body, tracking guard lifetimes and recording every
+/// nested acquisition (direct, or through one resolved call).
+fn simulate_fn(
+    ws: &Workspace<'_>,
+    def: usize,
+    site_idxs: &[usize],
+    sites: &[Site],
+    by_def: &HashMap<usize, Vec<usize>>,
+    edges: &mut Vec<Edge>,
+) {
+    let d = &ws.graph.defs[def];
+    let file = &ws.files[d.file];
+    let calls: Vec<_> = ws.graph.calls_of(def).collect();
+    let mut active: Vec<Active> = Vec::new();
+    let mut depth = 0i32;
+
+    for line_no in d.line..=d.body_end.min(file.line_count()) {
+        let code = &file.line(line_no).code;
+
+        // 1. Explicit `drop(g)` releases the most recent matching guard.
+        for var in dropped_vars(code) {
+            if let Some(pos) = active
+                .iter()
+                .rposition(|a| a.var.as_deref() == Some(var.as_str()))
+            {
+                active.remove(pos);
+            }
+        }
+
+        let depth_after = depth + brace_delta(code);
+
+        // 2. Annotated acquisitions on this line, in annotation order.
+        for &s in site_idxs.iter().filter(|&&s| sites[s].line == line_no) {
+            for held in &active {
+                edges.push(Edge {
+                    outer: held.site,
+                    inner: s,
+                    file: d.file,
+                    line: line_no,
+                });
+            }
+            active.push(Active {
+                site: s,
+                var: sites[s].guard_var.clone(),
+                depth: depth_after,
+            });
+        }
+
+        // 3. One level of calls: the callee's own annotated acquisitions
+        // count as nested under every guard held here.
+        if !active.is_empty() {
+            for call in calls.iter().filter(|c| c.line == line_no) {
+                let Some(target) = call.resolved else {
+                    continue;
+                };
+                let Some(callee_sites) = by_def.get(&target) else {
+                    continue;
+                };
+                for &s in callee_sites {
+                    for held in &active {
+                        edges.push(Edge {
+                            outer: held.site,
+                            inner: s,
+                            file: d.file,
+                            line: line_no,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 4. End of line: temporaries die, block-scoped guards die with
+        // their block.
+        depth = depth_after;
+        active.retain(|a| a.var.is_some() && a.depth <= depth);
+    }
+}
+
+/// Net brace depth change of one masked code line.
+fn brace_delta(code: &str) -> i32 {
+    let mut delta = 0i32;
+    for b in code.bytes() {
+        match b {
+            b'{' => delta += 1,
+            b'}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Variables released by `drop(x)` / `mem::drop(x)` on this line.
+fn dropped_vars(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(at) = find_word(&code[from..], "drop") {
+        let after = &code[from + at + "drop".len()..];
+        if let Some(inner) = after.strip_prefix('(') {
+            if let Some(close) = inner.find(')') {
+                let var = inner[..close].trim();
+                if !var.is_empty() && var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    out.push(var.to_string());
+                }
+            }
+        }
+        from += at + "drop".len();
+    }
+    out
+}
+
+/// One lock name, two ranks → a finding at the later declaration.
+fn check_rank_consistency(ws: &Workspace<'_>, sites: &[Site], findings: &mut Vec<Finding>) {
+    let mut first: HashMap<&str, &Site> = HashMap::new();
+    for site in sites {
+        match first.get(site.name.as_str()) {
+            None => {
+                first.insert(&site.name, site);
+            }
+            Some(prev) if prev.rank != site.rank => findings.push(Finding {
+                rule: RULE,
+                rel_path: ws.files[site.file].rel_path.clone(),
+                line: site.line,
+                message: format!(
+                    "lock `{}` annotated with rank {} here but rank {} at {}:{}",
+                    site.name, site.rank, prev.rank, ws.files[prev.file].rel_path, prev.line
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+/// DFS cycle detection on the name-level nesting graph.
+fn check_cycles(ws: &Workspace<'_>, sites: &[Site], edges: &[Edge], findings: &mut Vec<Finding>) {
+    // name → (successor name, anchoring edge), deduplicated, sorted for
+    // deterministic traversal.
+    let mut adj: HashMap<&str, Vec<(&str, &Edge)>> = HashMap::new();
+    for edge in edges {
+        let from = sites[edge.outer].name.as_str();
+        let to = sites[edge.inner].name.as_str();
+        if from == to {
+            continue; // self-edges are reported as re-entrancy already
+        }
+        let succ = adj.entry(from).or_default();
+        if !succ.iter().any(|(t, _)| *t == to) {
+            succ.push((to, edge));
+        }
+    }
+    let mut names: Vec<&str> = adj.keys().copied().collect();
+    names.sort_unstable();
+    for succ in adj.values_mut() {
+        succ.sort_by_key(|(t, _)| *t);
+    }
+
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state: HashMap<&str, u8> = HashMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+    for root in names {
+        dfs(root, &adj, &mut state, &mut stack, ws, findings);
+    }
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &HashMap<&'a str, Vec<(&'a str, &'a Edge)>>,
+    state: &mut HashMap<&'a str, u8>,
+    stack: &mut Vec<&'a str>,
+    ws: &Workspace<'_>,
+    findings: &mut Vec<Finding>,
+) {
+    if state.contains_key(node) {
+        return;
+    }
+    state.insert(node, 1);
+    stack.push(node);
+    if let Some(succ) = adj.get(node) {
+        for &(next, edge) in succ {
+            match state.get(next) {
+                Some(1) => {
+                    // Back edge: the cycle is next … node → next.
+                    let from = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut path: Vec<&str> = stack[from..].to_vec();
+                    path.push(next);
+                    findings.push(Finding {
+                        rule: RULE,
+                        rel_path: ws.files[edge.file].rel_path.clone(),
+                        line: edge.line,
+                        message: format!("lock-order cycle: {}", path.join(" -> ")),
+                    });
+                }
+                Some(_) => {}
+                None => dfs(next, adj, state, stack, ws, findings),
+            }
+        }
+    }
+    stack.pop();
+    state.insert(node, 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+    use crate::rules::all_rules;
+    use crate::{analyze_files, Analysis};
+
+    fn run(sources: &[(&str, &str)]) -> Analysis {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::from_source(p, s))
+            .collect();
+        analyze_files(&files, &all_rules())
+    }
+
+    fn lock_findings(a: &Analysis) -> Vec<&Finding> {
+        a.findings.iter().filter(|f| f.rule == RULE).collect()
+    }
+
+    const OK_NESTING: &str = "fn f(a: &M, b: &M) {\n    // lint:lock-rank(alpha, 10)\n    let g = a.lock_recover();\n    // lint:lock-rank(beta, 20)\n    let h = b.lock_recover();\n    use_both(g, h);\n}\n";
+
+    #[test]
+    fn increasing_ranks_are_clean() {
+        let a = run(&[("crates/x/src/lib.rs", OK_NESTING)]);
+        assert!(lock_findings(&a).is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn inversion_is_flagged_at_the_inner_acquisition() {
+        let src = "fn f(a: &M, b: &M) {\n    // lint:lock-rank(beta, 20)\n    let g = b.lock_recover();\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    use_both(g, h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        let f = lock_findings(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("inversion"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "fn f(a: &M, b: &M) {\n    // lint:lock-rank(beta, 20)\n    let g = b.lock_recover();\n    touch(&g);\n    drop(g);\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    touch(&h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(lock_findings(&a).is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let src = "fn f(a: &M, b: &M) {\n    {\n        // lint:lock-rank(beta, 20)\n        let g = b.lock_recover();\n        touch(&g);\n    }\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    touch(&h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(lock_findings(&a).is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn temporaries_are_line_scoped() {
+        let src = "fn f(a: &M, b: &M) {\n    // lint:lock-rank(beta, 20)\n    let n = b.lock_recover().len();\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    touch(n, h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(
+            lock_findings(&a).is_empty(),
+            "temporary guard must not outlive its line: {:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn nesting_through_one_call_is_seen() {
+        let src = "fn outer(a: &M, b: &M) {\n    // lint:lock-rank(beta, 20)\n    let g = b.lock_recover();\n    inner(a);\n    touch(&g);\n}\nfn inner(a: &M) {\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    touch(&h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        let f = lock_findings(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4, "anchored at the call site");
+        assert!(f[0].message.contains("inversion"));
+    }
+
+    #[test]
+    fn reentrant_acquisition_is_flagged() {
+        let src = "fn f(a: &M) {\n    // lint:lock-rank(alpha, 10)\n    let g = a.lock_recover();\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    touch(g, h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        let f = lock_findings(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("self-deadlock"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn opposite_orders_report_inversion_and_cycle() {
+        let src = "fn ab(a: &M, b: &M) {\n    // lint:lock-rank(alpha, 10)\n    let g = a.lock_recover();\n    // lint:lock-rank(beta, 20)\n    let h = b.lock_recover();\n    touch(g, h);\n}\nfn ba(a: &M, b: &M) {\n    // lint:lock-rank(beta, 20)\n    let g = b.lock_recover();\n    // lint:lock-rank(alpha, 10)\n    let h = a.lock_recover();\n    touch(g, h);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        let f = lock_findings(&a);
+        assert!(f.iter().any(|f| f.message.contains("inversion")), "{f:?}");
+        assert!(f.iter().any(|f| f.message.contains("cycle")), "{f:?}");
+    }
+
+    #[test]
+    fn inconsistent_ranks_are_flagged() {
+        let src = "fn f(a: &M) {\n    // lint:lock-rank(alpha, 10)\n    let g = a.lock_recover();\n    touch(g);\n}\nfn g(a: &M) {\n    // lint:lock-rank(alpha, 11)\n    let g = a.lock_recover();\n    touch(g);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        let f = lock_findings(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("rank 11"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn malformed_annotation_is_flagged() {
+        let src = "fn f(a: &M) {\n    // lint:lock-rank(alpha)\n    let g = a.lock_recover();\n    touch(g);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        let f = lock_findings(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("malformed"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn declaration_only_annotations_carry_rank_but_no_acquisition() {
+        // Annotating a struct field registers the rank without
+        // simulating an acquisition.
+        let src = "struct S {\n    // lint:lock-rank(alpha, 10)\n    inner: RankedMutex<u8>,\n}\nfn f(a: &M) {\n    // lint:lock-rank(alpha, 10)\n    let g = a.lock_recover();\n    touch(g);\n}\n";
+        let a = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(lock_findings(&a).is_empty(), "{:?}", a.findings);
+    }
+}

@@ -8,18 +8,23 @@
 
 mod forbid_unsafe;
 mod hot_path_alloc;
+mod lock_order;
 mod no_panic_service;
+mod nonblocking;
 mod ordering_comment;
 mod safety_comment;
 mod thread_spawn;
 
 pub use forbid_unsafe::ForbidUnsafe;
 pub use hot_path_alloc::HotPathAlloc;
+pub use lock_order::LockOrder;
 pub use no_panic_service::NoPanicInService;
+pub use nonblocking::NoBlockingInNonblocking;
 pub use ordering_comment::OrderingComment;
 pub use safety_comment::SafetyComment;
 pub use thread_spawn::NoRawThreadSpawn;
 
+use crate::graph::Workspace;
 use crate::model::SourceFile;
 
 /// One diagnostic: a rule fired at `rel_path:line`.
@@ -53,7 +58,13 @@ pub trait Rule {
     fn description(&self) -> &'static str;
     /// Appends this rule's findings for `file` (suppressions are applied
     /// later by the engine, so rules report everything they see).
-    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
+    /// Per-file rules implement this; workspace rules leave it empty.
+    fn check(&self, _file: &SourceFile, _findings: &mut Vec<Finding>) {}
+
+    /// Appends findings that need the cross-file view (call graph,
+    /// every file at once). Runs once per analysis, after the per-file
+    /// passes; suppressions are applied by the engine here too.
+    fn check_workspace(&self, _ws: &Workspace<'_>, _findings: &mut Vec<Finding>) {}
 }
 
 /// Every active rule, in catalog order.
@@ -65,5 +76,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(OrderingComment),
         Box::new(HotPathAlloc),
         Box::new(NoRawThreadSpawn),
+        Box::new(LockOrder),
+        Box::new(NoBlockingInNonblocking),
     ]
 }

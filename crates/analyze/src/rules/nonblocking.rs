@@ -1,0 +1,222 @@
+//! `no-blocking-in-nonblocking` — `lint:nonblocking` fns never block.
+//!
+//! A `// lint:nonblocking` marker above a fn definition declares it
+//! non-blocking: neither its own body nor anything it can reach through
+//! the call graph may hit a blocking API — mutex locks and condvar
+//! waits (including this repo's `lock_recover`/`wait_recover`
+//! wrappers), `thread::sleep`, thread joins, channel receives, and
+//! file/socket I/O. This is the gate ROADMAP item 1 (the epoll reactor)
+//! must land under: one blocking call on a reactor thread stalls every
+//! connection it multiplexes.
+//!
+//! Direct hits are reported on the blocking line itself; transitive
+//! hits are anchored on the call line *inside the marked fn* that first
+//! leads there (so a `lint:allow` at the marked fn stays local to it),
+//! with the blocking site named in the message. Resolution is
+//! best-effort — see [`crate::graph`] — so an unresolvable call can
+//! hide a blocking callee; the rule is a tripwire, not a proof.
+
+use std::collections::HashSet;
+
+use crate::graph::Workspace;
+use crate::model::contains_word;
+use crate::rules::{Finding, Rule};
+
+/// See the module docs.
+pub struct NoBlockingInNonblocking;
+
+const RULE: &str = "no-blocking-in-nonblocking";
+
+/// `(pattern, label)`. Patterns with punctuation match as substrings;
+/// bare identifiers match on word boundaries.
+const BLOCKING: &[(&str, &str)] = &[
+    ("thread::sleep", "thread::sleep"),
+    ("lock_recover", "mutex lock via lock_recover"),
+    ("wait_recover", "condvar wait via wait_recover"),
+    (".lock(", "Mutex::lock"),
+    (".wait(", "Condvar::wait"),
+    (".wait_timeout(", "Condvar::wait_timeout"),
+    (".join()", "thread join"),
+    (".recv(", "blocking channel recv"),
+    (".recv_timeout(", "blocking channel recv"),
+    (".accept(", "TcpListener::accept"),
+    ("TcpStream::connect", "TcpStream::connect"),
+    (".read(", "blocking read"),
+    (".read_exact(", "blocking read"),
+    (".read_to_end(", "blocking read"),
+    (".read_to_string(", "blocking read"),
+    (".read_line(", "blocking read"),
+    (".write(", "blocking write"),
+    (".write_all(", "blocking write"),
+    (".flush(", "blocking flush"),
+    ("File::open", "file I/O"),
+    ("File::create", "file I/O"),
+    ("fs::read", "file I/O"),
+    ("fs::write", "file I/O"),
+];
+
+/// First blocking API matched on a masked code line.
+fn blocking_hit(code: &str) -> Option<&'static str> {
+    for &(pattern, label) in BLOCKING {
+        let hit = if pattern
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            contains_word(code, pattern)
+        } else {
+            code.contains(pattern)
+        };
+        if hit {
+            return Some(label);
+        }
+    }
+    None
+}
+
+impl Rule for NoBlockingInNonblocking {
+    fn name(&self) -> &'static str {
+        RULE
+    }
+
+    fn description(&self) -> &'static str {
+        "lint:nonblocking fns never reach a blocking API through the call graph"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, findings: &mut Vec<Finding>) {
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            for marker in file.bound_markers("nonblocking") {
+                let root = ws
+                    .graph
+                    .def_at(file_idx, marker.bound_line)
+                    .filter(|&d| ws.graph.defs[d].line == marker.bound_line);
+                let Some(root) = root else {
+                    findings.push(Finding {
+                        rule: RULE,
+                        rel_path: file.rel_path.clone(),
+                        line: marker.decl_line,
+                        message: "lint:nonblocking must sit on a fn definition".to_string(),
+                    });
+                    continue;
+                };
+                check_root(ws, root, findings);
+            }
+        }
+    }
+}
+
+fn check_root(ws: &Workspace<'_>, root: usize, findings: &mut Vec<Finding>) {
+    let def = &ws.graph.defs[root];
+    let file = &ws.files[def.file];
+
+    // Direct hits: the marked fn's own body.
+    for line_no in def.line..=def.body_end.min(file.line_count()) {
+        if let Some(label) = blocking_hit(&file.line(line_no).code) {
+            findings.push(Finding {
+                rule: RULE,
+                rel_path: file.rel_path.clone(),
+                line: line_no,
+                message: format!(
+                    "blocking call ({label}) in `{}`, which is marked lint:nonblocking",
+                    def.name
+                ),
+            });
+        }
+    }
+
+    // Transitive hits: anchored on the first-hop call line in the
+    // marked fn, one finding per (entry line, blocking callee).
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for (target, entry_line) in ws.graph.reachable_via(root) {
+        if target == root || !seen.insert((entry_line, target)) {
+            continue;
+        }
+        let t = &ws.graph.defs[target];
+        let t_file = &ws.files[t.file];
+        let hit = (t.line..=t.body_end.min(t_file.line_count()))
+            .find_map(|l| blocking_hit(&t_file.line(l).code).map(|label| (l, label)));
+        if let Some((block_line, label)) = hit {
+            findings.push(Finding {
+                rule: RULE,
+                rel_path: file.rel_path.clone(),
+                line: entry_line,
+                message: format!(
+                    "`{}` is marked lint:nonblocking but reaches a blocking call \
+                     ({label}) in `{}` ({}:{block_line})",
+                    def.name, t.name, t_file.rel_path
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+    use crate::rules::all_rules;
+    use crate::{analyze_files, Analysis};
+
+    fn run(sources: &[(&str, &str)]) -> Analysis {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::from_source(p, s))
+            .collect();
+        analyze_files(&files, &all_rules())
+    }
+
+    fn hits(a: &Analysis) -> Vec<&Finding> {
+        a.findings.iter().filter(|f| f.rule == RULE).collect()
+    }
+
+    #[test]
+    fn direct_blocking_call_is_flagged() {
+        let src = "// lint:nonblocking\nfn poll_once(m: &M) {\n    let g = m.lock_recover();\n    touch(g);\n}\n";
+        let a = run(&[("crates/x/src/reactor.rs", src)]);
+        let f = hits(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("lock_recover"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn transitive_blocking_is_anchored_on_the_first_hop() {
+        let src = "// lint:nonblocking\nfn poll_once() {\n    dispatch();\n}\nfn dispatch() {\n    finish();\n}\nfn finish() {\n    std::thread::sleep(d);\n}\n";
+        let a = run(&[("crates/x/src/reactor.rs", src)]);
+        let f = hits(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3, "anchored on poll_once's own call line");
+        assert!(f[0].message.contains("thread::sleep"), "{}", f[0].message);
+        assert!(f[0].message.contains("`finish`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn nonblocking_code_is_clean_and_cycles_terminate() {
+        let src = "// lint:nonblocking\nfn poll_once() {\n    step();\n}\nfn step() {\n    if again() { poll_once(); }\n}\nfn again() -> bool {\n    false\n}\n";
+        let a = run(&[("crates/x/src/reactor.rs", src)]);
+        assert!(hits(&a).is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn marker_off_a_fn_is_flagged() {
+        let src = "// lint:nonblocking\nstatic X: u8 = 0;\nfn f() {}\n";
+        let a = run(&[("crates/x/src/reactor.rs", src)]);
+        let f = hits(&a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("fn definition"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unmarked_blocking_code_is_fine() {
+        let src = "fn worker(m: &M) {\n    let g = m.lock_recover();\n    touch(g);\n}\n";
+        let a = run(&[("crates/x/src/reactor.rs", src)]);
+        assert!(hits(&a).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_at_the_anchor() {
+        let src = "// lint:nonblocking\nfn poll_once(m: &M) {\n    // lint:allow(no-blocking-in-nonblocking) startup only\n    let g = m.lock_recover();\n    touch(g);\n}\n";
+        let a = run(&[("crates/x/src/reactor.rs", src)]);
+        assert!(hits(&a).is_empty(), "{:?}", a.findings);
+        assert!(a.suppressed.iter().any(|f| f.rule == RULE));
+    }
+}

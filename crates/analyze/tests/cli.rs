@@ -1,0 +1,65 @@
+//! End-to-end tests of the `pieri-lint` binary: argument errors,
+//! machine-readable output, and the exit-code contract scripts rely on.
+
+use std::path::Path;
+use std::process::Command;
+
+fn pieri_lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pieri-lint"))
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn missing_root_is_a_clear_one_line_error() {
+    let out = pieri_lint()
+        .args(["--root", "/nonexistent/definitely-not-here"])
+        .output()
+        .expect("run pieri-lint");
+    assert_eq!(out.status.code(), Some(2), "config errors exit 2");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert_eq!(
+        stderr.lines().count(),
+        1,
+        "one line, no backtrace: {stderr:?}"
+    );
+    assert!(
+        stderr.contains("/nonexistent/definitely-not-here") && stderr.contains("does not exist"),
+        "names the path and the problem: {stderr:?}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = pieri_lint().arg("--frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("--frobnicate"), "{stderr:?}");
+}
+
+#[test]
+fn json_output_parses_and_reports_the_scan() {
+    let out = pieri_lint()
+        .arg("--json")
+        .args(["--root".as_ref(), workspace_root().as_os_str()])
+        .output()
+        .expect("run pieri-lint --json");
+    assert!(out.status.success(), "repo scan is clean");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let doc = minijson::parse(stdout.trim()).expect("stdout is valid JSON");
+    let files = doc
+        .get("files_scanned")
+        .and_then(minijson::Value::as_f64)
+        .expect("files_scanned is a number");
+    assert!(files > 100.0, "scanned the whole workspace: {files}");
+    assert!(
+        doc.get("findings").is_some() && doc.get("suppressed").is_some(),
+        "findings arrays present"
+    );
+}

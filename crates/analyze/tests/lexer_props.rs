@@ -38,6 +38,8 @@ const CODE_POOL: &[&str] = &[
 y",
     "let n = m.b;",
     "assert!(p != q);",
+    "let r#type = grab(r#fn);",
+    "fn r#try(r#in: u8) {}",
 ];
 
 /// Char-literal snippets (no sentinel fits inside one char).
@@ -49,7 +51,9 @@ const CHAR_POOL: &[&str] = &["'x'", "'\\''", "'\\u{41}'", "'*'", "b'\\xFF'"];
 fn render(frag: Frag, i: usize, flavor: usize) -> String {
     let s = format!("ZS{i}Z");
     match frag {
-        Frag::Code => CODE_POOL[flavor % CODE_POOL.len()].to_string(),
+        // Mix in the fragment index: `flavor` only spans 0..6, the pool
+        // is longer, and every entry must stay reachable.
+        Frag::Code => CODE_POOL[(flavor + i) % CODE_POOL.len()].to_string(),
         Frag::LineComment => match flavor % 3 {
             0 => format!("// {s} unsafe \" /* lint:hot-path\n"),
             1 => format!("/// {s} .unwrap() r#\"\n"),

@@ -1,12 +1,16 @@
 //! The adoption gate, as a test: the analyzer run over the *actual*
 //! workspace must come back clean — zero unsuppressed findings, every
-//! `unsafe` site SAFETY-covered — with all six rules active. This is the
-//! same check CI's `pieri-lint --deny` step enforces, kept inside
-//! `cargo test` so a violation fails fast locally too.
+//! `unsafe` site SAFETY-covered — with all eight rules active
+//! (including the workspace-wide `lock-order` and
+//! `no-blocking-in-nonblocking` passes). This is the same check CI's
+//! `pieri-lint --deny` step enforces, kept inside `cargo test` so a
+//! violation fails fast locally too.
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use pieri_analyze::analyze_root;
+use pieri_analyze::model::SourceFile;
 use pieri_analyze::rules::all_rules;
 
 fn workspace_root() -> PathBuf {
@@ -59,6 +63,43 @@ fn repo_unsafe_inventory_is_fully_covered() {
 }
 
 #[test]
-fn at_least_six_rules_are_active() {
-    assert!(all_rules().len() >= 6, "rule registry shrank");
+fn at_least_eight_rules_are_active() {
+    assert!(all_rules().len() >= 8, "rule registry shrank");
+}
+
+/// The service's ranked locks are annotated where they are acquired, so
+/// the `lock-order` pass actually covers the runtime's six locks — if
+/// someone strips the annotations the rule silently proves nothing, and
+/// this test is what notices.
+#[test]
+fn service_lock_rank_annotations_cover_the_runtime() {
+    let service_src = workspace_root().join("crates").join("service").join("src");
+    let mut names: HashSet<String> = HashSet::new();
+    for entry in std::fs::read_dir(&service_src).expect("list service sources") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read service source");
+        let file = SourceFile::from_source(&path.display().to_string(), &text);
+        for marker in file.bound_markers("lock-rank") {
+            if let Some((name, _)) = marker.args.split_once(',') {
+                names.insert(name.trim().to_string());
+            }
+        }
+    }
+    for expected in [
+        "engine-queue",
+        "cache-slots",
+        "cache-slot",
+        "engine-handles",
+        "http-accept",
+        "client-conn",
+    ] {
+        assert!(
+            names.contains(expected),
+            "no lint:lock-rank({expected}, …) annotation found in crates/service/src \
+             (have: {names:?})"
+        );
+    }
 }

@@ -132,6 +132,36 @@ fn no_raw_thread_spawn_fixture() {
     assert_clean(&analyze_one(path, fixed));
 }
 
+#[test]
+fn lock_order_fixture() {
+    let path = "crates/x/src/locks.rs";
+    // The seeded inversion uses the service's real (name, rank) pairs:
+    // the same pair that makes `RankedMutex::lock_recover` debug-assert
+    // at runtime is caught statically here.
+    let seeded = "fn drain(a: &SlotMap, b: &Queue) {\n    // lint:lock-rank(cache-slots, 20)\n    let slots = a.lock_recover();\n    // lint:lock-rank(engine-queue, 10)\n    let queue = b.lock_recover();\n    use_both(slots, queue);\n}\n";
+    assert_fires(&analyze_one(path, seeded), "lock-order", 5);
+
+    let suppressed = "fn drain(a: &SlotMap, b: &Queue) {\n    // lint:lock-rank(cache-slots, 20)\n    let slots = a.lock_recover();\n    // lint:allow(lock-order) shutdown-only path, never concurrent\n    // lint:lock-rank(engine-queue, 10)\n    let queue = b.lock_recover();\n    use_both(slots, queue);\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "lock-order");
+
+    let fixed = "fn drain(a: &SlotMap, b: &Queue) {\n    // lint:lock-rank(engine-queue, 10)\n    let queue = b.lock_recover();\n    // lint:lock-rank(cache-slots, 20)\n    let slots = a.lock_recover();\n    use_both(slots, queue);\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
+#[test]
+fn no_blocking_in_nonblocking_fixture() {
+    let path = "crates/x/src/reactor.rs";
+    let seeded = "// lint:nonblocking\nfn poll_once(m: &M) {\n    let g = m.lock_recover();\n    dispatch(g);\n}\n";
+    assert_fires(&analyze_one(path, seeded), "no-blocking-in-nonblocking", 3);
+
+    let suppressed = "// lint:nonblocking\nfn poll_once(m: &M) {\n    // lint:allow(no-blocking-in-nonblocking) held ns-scale at startup\n    let g = m.lock_recover();\n    dispatch(g);\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "no-blocking-in-nonblocking");
+
+    let fixed =
+        "// lint:nonblocking\nfn poll_once(q: &Q) -> bool {\n    q.try_pop().is_some()\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
 /// A violation seeded in test code stays a violation for
 /// `safety-comment` (no test exemption) but not for the test-exempt
 /// rules — the scoping itself is part of each rule's contract.

@@ -23,6 +23,7 @@
 //! bound. Evictions are counted and exposed through `/v1/stats`.
 
 use crate::job::JobError;
+use crate::sync::{rank, RankedMutex};
 use pieri_core::{Shape, StartBundle};
 use pieri_num::seeded_rng;
 use pieri_parallel::solve_tree_parallel_prepared;
@@ -30,7 +31,7 @@ use pieri_tracker::TrackSettings;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// How the cache builds a bundle on a miss.
@@ -68,9 +69,8 @@ impl Default for CacheLimits {
 }
 
 /// Shared per-shape slot.
-#[derive(Default)]
 struct Slot {
-    state: Mutex<SlotState>,
+    state: RankedMutex<SlotState>,
     ready: Condvar,
     /// LRU clock value of the slot's last hit (or build completion).
     last_used: AtomicU64,
@@ -78,6 +78,17 @@ struct Slot {
     /// `(bundle_seed, shape)` seed, retries after a failure mix the
     /// attempt number in so a doomed generic instance is not redrawn.
     attempts: AtomicUsize,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            state: RankedMutex::new("cache-slot", rank::CACHE_SLOT, SlotState::Empty),
+            ready: Condvar::new(),
+            last_used: AtomicU64::new(0),
+            attempts: AtomicUsize::new(0),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -107,7 +118,7 @@ pub struct CacheStats {
 
 /// A concurrent map `(m, p, q) → Arc<StartBundle>`.
 pub struct ShapeCache {
-    slots: Mutex<HashMap<Shape, Arc<Slot>>>,
+    slots: RankedMutex<HashMap<Shape, Arc<Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -137,7 +148,7 @@ impl ShapeCache {
     ) -> Self {
         assert!(limits.max_shapes >= 1, "cache must hold at least one shape");
         ShapeCache {
-            slots: Mutex::new(HashMap::new()),
+            slots: RankedMutex::new("cache-slots", rank::CACHE_SLOTS, HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -158,11 +169,13 @@ impl ShapeCache {
     /// there first) on a miss. The boolean is `true` on a hit.
     pub fn get_or_build(&self, shape: &Shape) -> Result<(Arc<StartBundle>, bool), JobError> {
         let slot = {
-            let mut slots = crate::sync::lock_recover(&self.slots);
+            // lint:lock-rank(cache-slots, 20)
+            let mut slots = self.slots.lock_recover();
             slots.entry(shape.clone()).or_default().clone()
         };
 
-        let mut state = crate::sync::lock_recover(&slot.state);
+        // lint:lock-rank(cache-slot, 30)
+        let mut state = slot.state.lock_recover();
         loop {
             match &*state {
                 SlotState::Ready(bundle) => {
@@ -178,7 +191,8 @@ impl ShapeCache {
                     drop(state);
                     let attempt = slot.attempts.fetch_add(1, Ordering::Relaxed);
                     let built = self.build(shape, attempt);
-                    let mut state = crate::sync::lock_recover(&slot.state);
+                    // lint:lock-rank(cache-slot, 30)
+                    let mut state = slot.state.lock_recover();
                     match built {
                         Ok(bundle) => {
                             let bundle = Arc::new(bundle);
@@ -238,12 +252,14 @@ impl ShapeCache {
     /// least-recently-used ready bundles (never `keep`, never in-flight
     /// builds) until both the shape count and the byte budget hold.
     fn evict_over_limit(&self, keep: &Shape) {
-        let mut slots = crate::sync::lock_recover(&self.slots);
+        // lint:lock-rank(cache-slots, 20)
+        let mut slots = self.slots.lock_recover();
         loop {
             // Snapshot the ready slots: (shape, last_used, bytes).
             let mut ready: Vec<(Shape, u64, usize)> = Vec::new();
             for (shape, slot) in slots.iter() {
-                if let SlotState::Ready(bundle) = &*crate::sync::lock_recover(&slot.state) {
+                // lint:lock-rank(cache-slot, 30)
+                if let SlotState::Ready(bundle) = &*slot.state.lock_recover() {
                     ready.push((
                         shape.clone(),
                         slot.last_used.load(Ordering::Relaxed),
@@ -281,11 +297,13 @@ impl ShapeCache {
     /// [`ShapeCache::resident`].
     pub fn stats(&self) -> CacheStats {
         let (shapes, resident_bytes) = {
-            let slots = crate::sync::lock_recover(&self.slots);
+            // lint:lock-rank(cache-slots, 20)
+            let slots = self.slots.lock_recover();
             let mut count = 0usize;
             let mut bytes = 0usize;
             for slot in slots.values() {
-                if let SlotState::Ready(bundle) = &*crate::sync::lock_recover(&slot.state) {
+                // lint:lock-rank(cache-slot, 30)
+                if let SlotState::Ready(bundle) = &*slot.state.lock_recover() {
                     count += 1;
                     bytes += bundle.approx_bytes();
                 }
@@ -304,10 +322,12 @@ impl ShapeCache {
     /// The resident shapes with their root counts and build times — the
     /// `/v1/stats` payload.
     pub fn resident(&self) -> Vec<(Shape, usize, Duration)> {
-        let slots = crate::sync::lock_recover(&self.slots);
+        // lint:lock-rank(cache-slots, 20)
+        let slots = self.slots.lock_recover();
         let mut out = Vec::new();
         for (shape, slot) in slots.iter() {
-            if let SlotState::Ready(bundle) = &*crate::sync::lock_recover(&slot.state) {
+            // lint:lock-rank(cache-slot, 30)
+            if let SlotState::Ready(bundle) = &*slot.state.lock_recover() {
                 out.push((shape.clone(), bundle.root_count(), bundle.build_time()));
             }
         }

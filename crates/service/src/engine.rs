@@ -16,6 +16,7 @@
 
 use crate::cache::{panic_message, BuildMode, CacheLimits, CacheStats, ShapeCache};
 use crate::job::{CompensatorAnswer, JobError, JobLimits, JobRequest, JobResult};
+use crate::sync::{rank, RankedMutex};
 use crossbeam::channel;
 use pieri_certify::{Certificate, CertifyPolicy};
 use pieri_control::{
@@ -28,7 +29,7 @@ use pieri_tracker::TrackSettings;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -84,7 +85,7 @@ struct QueueState {
 }
 
 struct Shared {
-    state: Mutex<QueueState>,
+    state: RankedMutex<QueueState>,
     /// Workers wait here for jobs.
     jobs: Condvar,
     /// Blocking submitters wait here for queue space.
@@ -182,7 +183,7 @@ pub struct EngineStats {
 pub struct Engine {
     shared: Arc<Shared>,
     workers: usize,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    handles: RankedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl Engine {
@@ -194,10 +195,14 @@ impl Engine {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                open: true,
-            }),
+            state: RankedMutex::new(
+                "engine-queue",
+                rank::ENGINE_QUEUE,
+                QueueState {
+                    queue: VecDeque::new(),
+                    open: true,
+                },
+            ),
             jobs: Condvar::new(),
             space: Condvar::new(),
             // Bundle builds inherit the re-track policy: a failed tree
@@ -243,7 +248,7 @@ impl Engine {
         Engine {
             shared,
             workers: config.workers,
-            handles: Mutex::new(handles),
+            handles: RankedMutex::new("engine-handles", rank::ENGINE_HANDLES, handles),
         }
     }
 
@@ -274,7 +279,8 @@ impl Engine {
             return Err(e);
         }
         let (tx, rx) = channel::unbounded();
-        let mut state = crate::sync::lock_recover(&self.shared.state);
+        // lint:lock-rank(engine-queue, 10)
+        let mut state = self.shared.state.lock_recover();
         loop {
             if !state.open {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -300,7 +306,8 @@ impl Engine {
 
     /// Counter snapshot.
     pub fn stats(&self) -> EngineStats {
-        let queue_len = crate::sync::lock_recover(&self.shared.state).queue.len();
+        // lint:lock-rank(engine-queue, 10)
+        let queue_len = self.shared.state.lock_recover().queue.len();
         EngineStats {
             workers: self.workers,
             queue_len,
@@ -333,12 +340,14 @@ impl Engine {
     /// finish, joins the workers. Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut state = crate::sync::lock_recover(&self.shared.state);
+            // lint:lock-rank(engine-queue, 10)
+            let mut state = self.shared.state.lock_recover();
             state.open = false;
             self.shared.jobs.notify_all();
             self.shared.space.notify_all();
         }
-        let handles = std::mem::take(&mut *crate::sync::lock_recover(&self.handles));
+        // lint:lock-rank(engine-handles, 40)
+        let handles = std::mem::take(&mut *self.handles.lock_recover());
         for h in handles {
             let _ = h.join();
         }
@@ -354,7 +363,8 @@ impl Drop for Engine {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = crate::sync::lock_recover(&shared.state);
+            // lint:lock-rank(engine-queue, 10)
+            let mut state = shared.state.lock_recover();
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     shared.space.notify_one();

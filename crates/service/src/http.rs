@@ -31,12 +31,13 @@
 
 use crate::engine::Engine;
 use crate::job::{JobError, JobRequest, JobResult};
+use crate::sync::{rank, RankedMutex};
 use crate::wire;
 use minijson::{object, Value};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -65,7 +66,7 @@ const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    accept_handle: RankedMutex<Option<JoinHandle<()>>>,
     engine: Arc<Engine>,
 }
 
@@ -86,7 +87,7 @@ impl Server {
         Ok(Server {
             addr: local,
             stop,
-            accept_handle: Mutex::new(Some(accept_handle)),
+            accept_handle: RankedMutex::new("http-accept", rank::HTTP_ACCEPT, Some(accept_handle)),
             engine,
         })
     }
@@ -108,7 +109,8 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept call with a no-op connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = crate::sync::lock_recover(&self.accept_handle).take() {
+        // lint:lock-rank(http-accept, 50)
+        if let Some(h) = self.accept_handle.lock_recover().take() {
             let _ = h.join();
         }
     }
@@ -491,7 +493,7 @@ pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
     /// The kept-alive connection from the previous request, if any.
-    conn: Mutex<Option<TcpStream>>,
+    conn: RankedMutex<Option<TcpStream>>,
 }
 
 impl Client {
@@ -514,7 +516,7 @@ impl Client {
         Ok(Client {
             addr,
             timeout,
-            conn: Mutex::new(None),
+            conn: RankedMutex::new("client-conn", rank::CLIENT_CONN, None),
         })
     }
 
@@ -562,7 +564,8 @@ impl Client {
         // read *timeout*, where the server may be mid-execution — is
         // surfaced, never silently re-sent: jobs are not idempotent in
         // cost, and a blind replay would run them twice.
-        let pooled = crate::sync::lock_recover(&self.conn).take();
+        // lint:lock-rank(client-conn, 60)
+        let pooled = self.conn.lock_recover().take();
         if let Some(stream) = pooled {
             match self.exchange(stream, method, path, body) {
                 Ok(answer) => return Ok(answer),
@@ -656,7 +659,8 @@ impl Client {
         reader.read_exact(&mut body).map_err(mid)?;
         drop(reader);
         if keep_alive {
-            *crate::sync::lock_recover(&self.conn) = Some(stream);
+            // lint:lock-rank(client-conn, 60)
+            *self.conn.lock_recover() = Some(stream);
         }
         let text = String::from_utf8(body).map_err(|_| {
             mid(std::io::Error::new(
