@@ -5,17 +5,18 @@
 //!   every vendored dependency except the work-stealing runtime) must
 //!   carry `#![forbid(unsafe_code)]` — unsafety is structurally
 //!   impossible there, not merely absent today.
-//! * The vendored runtime (`vendor/rayon`) legitimately needs type-erased
-//!   raw-pointer jobs, so it must instead carry `#![deny(unsafe_code)]`,
-//!   forcing every site through an explicit, reviewable
-//!   `#[allow(unsafe_code)]` opt-in.
+//! * The vendored runtime crates legitimately need unsafety —
+//!   `vendor/rayon` for type-erased raw-pointer jobs, `vendor/mio-lite`
+//!   for the epoll/eventfd FFI call sites — so they must instead carry
+//!   `#![deny(unsafe_code)]`, forcing every site through an explicit,
+//!   reviewable `#[allow(unsafe_code)]` opt-in.
 
 use crate::model::SourceFile;
 use crate::rules::{Finding, Rule};
 
 /// Crate roots that are allowed (and required) to use the deny+opt-in
 /// pattern instead of a blanket forbid.
-const RUNTIME_ROOTS: &[&str] = &["vendor/rayon/src/lib.rs"];
+const RUNTIME_ROOTS: &[&str] = &["vendor/rayon/src/lib.rs", "vendor/mio-lite/src/lib.rs"];
 
 /// See module docs.
 pub struct ForbidUnsafe;
@@ -94,6 +95,7 @@ mod tests {
     #[test]
     fn runtime_crate_requires_deny_not_forbid() {
         assert!(run("vendor/rayon/src/lib.rs", "#![deny(unsafe_code)]\n").is_empty());
+        assert!(run("vendor/mio-lite/src/lib.rs", "#![deny(unsafe_code)]\n").is_empty());
         let f = run("vendor/rayon/src/lib.rs", "#![forbid(unsafe_code)]\n");
         assert_eq!(f.len(), 1, "forbid would reject the per-site allows");
         assert!(f[0].message.contains("deny(unsafe_code)"));

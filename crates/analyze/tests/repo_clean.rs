@@ -68,7 +68,7 @@ fn at_least_eight_rules_are_active() {
 }
 
 /// The service's ranked locks are annotated where they are acquired, so
-/// the `lock-order` pass actually covers the runtime's six locks — if
+/// the `lock-order` pass actually covers the runtime's locks — if
 /// someone strips the annotations the rule silently proves nothing, and
 /// this test is what notices.
 #[test]
@@ -89,6 +89,8 @@ fn service_lock_rank_annotations_cover_the_runtime() {
         }
     }
     for expected in [
+        "reactor-inbox",
+        "reactor-completions",
         "engine-queue",
         "cache-slots",
         "cache-slot",
@@ -102,4 +104,26 @@ fn service_lock_rank_annotations_cover_the_runtime() {
              (have: {names:?})"
         );
     }
+}
+
+/// The reactor's event loop and its handlers must stay under the
+/// `no-blocking-in-nonblocking` pass: every poll-loop/handler fn in
+/// `reactor.rs` carries a `lint:nonblocking` marker. If the markers
+/// are stripped, the rule silently audits nothing — this test pins a
+/// floor on how much of the reactor is actually covered.
+#[test]
+fn reactor_handlers_are_marked_nonblocking() {
+    let path = workspace_root()
+        .join("crates")
+        .join("service")
+        .join("src")
+        .join("reactor.rs");
+    let text = std::fs::read_to_string(&path).expect("read reactor.rs");
+    let file = SourceFile::from_source(&path.display().to_string(), &text);
+    let marked = file.bound_markers("nonblocking").len();
+    assert!(
+        marked >= 10,
+        "expected the poll loop and its handlers (>= 10 fns) to carry \
+         lint:nonblocking markers in reactor.rs; found {marked}"
+    );
 }

@@ -4,18 +4,29 @@
 //! numbers behind the README's "Service" section.
 //!
 //! ```sh
-//! cargo run --release --bin loadgen [clients] [requests-per-client]
+//! cargo run --release --bin loadgen [clients] [requests-per-client] \
+//!     [connections] [requests-per-connection]
 //! ```
 //!
 //! Defaults: 4 clients × 8 requests, satellite plant, shape (2,2,1).
 //! Every request goes over the wire (TCP + JSON both ways); the first
 //! request per shape is the only cold one, so the workload is exactly
 //! the service's steady state.
+//!
+//! When `connections > 0` a keep-alive **swarm** phase follows: that
+//! many sockets are opened and held open *simultaneously* (the reactor
+//! multiplexes them onto its few I/O threads), then every connection
+//! fires `requests-per-connection` warm solves at once. Reported:
+//! p50/p95/p99 latency, the shed rate (structured 503s from the
+//! bounded queue — answered, not dropped), and throughput. Any request
+//! that dies without a structured answer aborts the run. Each
+//! connection costs two fds in this process (client + server end), so
+//! 1000 connections need `ulimit -n` ≳ 2100.
 
 use pieri_control::{conjugate_pole_set, satellite_plant};
 use pieri_num::seeded_rng;
-use pieri_service::{Client, Engine, EngineConfig, JobRequest, Server};
-use std::sync::Arc;
+use pieri_service::{Client, Engine, EngineConfig, JobError, JobRequest, Server};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 fn percentile(sorted: &[Duration], pct: f64) -> Duration {
@@ -34,6 +45,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let per_client: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let connections: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let per_conn: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
 
     let engine = Arc::new(Engine::start(EngineConfig::default()));
     let server = Server::start("127.0.0.1:0", engine).expect("bind");
@@ -75,7 +88,7 @@ fn main() {
 
     // Transport microbenchmark: /healthz round trips isolate the
     // connection cost from the solve cost. A fresh `Client` per request
-    // pays TCP setup + handler-thread spawn every time; a reused
+    // pays TCP setup + reactor registration every time; a reused
     // `Client` rides its kept-alive pooled connection.
     let probes: u32 = 200;
     let t = Instant::now();
@@ -171,6 +184,101 @@ fn main() {
         ms(percentile(&latencies, 0.90)),
         ms(percentile(&latencies, 1.0)),
     );
+
+    // Keep-alive swarm: `connections` sockets held open at once, all
+    // firing warm solves on a small shape simultaneously. The reactor
+    // multiplexes every socket onto its fixed I/O threads; the bounded
+    // queue sheds what the workers cannot absorb — shed requests get a
+    // structured 503 and count as *answered*, never dropped.
+    if connections > 0 {
+        let swarm_req = |seed: u64| JobRequest::SolvePieri {
+            m: 2,
+            p: 2,
+            q: 0,
+            seed,
+            certify: false,
+        };
+        client.solve(&swarm_req(0)).expect("pre-warm swarm shape");
+        let shed_before = server.engine().stats().shed;
+        let barrier = Arc::new(Barrier::new(connections + 1));
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let barrier = barrier.clone();
+                // lint:allow(no-raw-thread-spawn) — these threads *are*
+                // the simulated clients; each holds one kept-alive
+                // socket and does nothing but socket I/O.
+                std::thread::spawn(move || {
+                    let client = Client::new(addr).expect("swarm client");
+                    // Open + pool the connection now, so the whole
+                    // swarm is connected before anyone fires.
+                    assert!(client.health(), "swarm connection {c} refused");
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(per_conn);
+                    let mut ok = 0usize;
+                    let mut shed = 0usize;
+                    for i in 0..per_conn {
+                        let seed = (c * per_conn + i) as u64 % 32;
+                        let t = Instant::now();
+                        match client.solve(&swarm_req(seed)) {
+                            Ok(res) => {
+                                latencies.push(t.elapsed());
+                                assert!(res.cache_hit, "swarm phase must stay warm");
+                                ok += 1;
+                            }
+                            // Load shedding is an *answer*: the bounded
+                            // queue said no, structurally, and the
+                            // connection remains usable.
+                            Err(
+                                JobError::QueueFull
+                                | JobError::ShuttingDown
+                                | JobError::DeadlineExceeded { .. },
+                            ) => {
+                                latencies.push(t.elapsed());
+                                shed += 1;
+                            }
+                            Err(e) => panic!("connection {c} request {i} dropped: {e:?}"),
+                        }
+                    }
+                    (latencies, ok, shed)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let mut latencies = Vec::with_capacity(connections * per_conn);
+        let (mut ok, mut shed) = (0usize, 0usize);
+        for h in handles {
+            let (l, o, s) = h.join().expect("swarm thread");
+            latencies.extend(l);
+            ok += o;
+            shed += s;
+        }
+        let wall = t0.elapsed();
+        latencies.sort();
+        let total = latencies.len();
+        assert_eq!(
+            total,
+            connections * per_conn,
+            "every swarm request must be answered"
+        );
+        println!(
+            "\nswarm: {connections} concurrent keep-alive connections × {per_conn} requests \
+             in {:.1} ms wall → {:.0} req/s",
+            ms(wall),
+            total as f64 / wall.as_secs_f64()
+        );
+        println!(
+            "swarm latency: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms; \
+             {ok} ok, {shed} shed ({:.1}% shed rate), 0 unanswered",
+            ms(percentile(&latencies, 0.50)),
+            ms(percentile(&latencies, 0.95)),
+            ms(percentile(&latencies, 0.99)),
+            ms(percentile(&latencies, 1.0)),
+            100.0 * shed as f64 / total as f64,
+        );
+        let shed_stats = server.engine().stats().shed - shed_before;
+        assert_eq!(shed_stats, shed, "/v1/stats agrees on the shed count");
+    }
 
     let stats = server.engine().stats();
     println!(

@@ -282,6 +282,12 @@ pub struct InstanceContinuation {
     /// One certificate per entry of `coeffs`/`maps`, in order — filled
     /// by [`continue_to_instance_certified`], empty otherwise.
     pub certificates: Vec<Certificate>,
+    /// The run was cut short by a [`pieri_tracker::cancel`] scope at a
+    /// path boundary: `maps`/`coeffs` hold only the paths finished
+    /// before the stop (never a half-tracked path) and certification
+    /// was skipped. Callers that cannot use a partial set (the service)
+    /// turn this into a structured error.
+    pub cancelled: bool,
 }
 
 /// Tracks all solutions of the generic `start` instance to the `target`
@@ -316,9 +322,17 @@ pub fn continue_to_instance_certified(
     let mut diverged = 0;
     let mut failed = 0;
     let mut stats = TrackStats::default();
-    // One workspace across all d(m,p,q) continuation paths.
+    // One workspace across all d(m,p,q) continuation paths. The
+    // cancellation check sits at the path boundary: a lapsed deadline
+    // stops the run before the next path starts, so a cancelled result
+    // never contains a half-tracked solution.
     let mut ws = TrackWorkspace::new();
+    let mut cancelled = false;
     for x0 in start_coeffs {
+        if pieri_tracker::cancel::active_cancelled() {
+            cancelled = true;
+            break;
+        }
         let r = track_path_with(&h, x0, &track_settings, &mut ws);
         stats.record(&r);
         match r.status {
@@ -329,8 +343,12 @@ pub fn continue_to_instance_certified(
     }
     // Certify + refine the shipped endpoints (refinement updates the
     // coefficient vectors in place; maps are built from the refined
-    // values).
-    let certificates = certify_solution_set(target, &mut coeffs, policy);
+    // values). A cancelled run is abandoned work — skip certification.
+    let certificates = if cancelled {
+        Vec::new()
+    } else {
+        certify_solution_set(target, &mut coeffs, policy)
+    };
     let maps = coeffs.iter().map(|x| PMap::from_coeffs(&root, x)).collect();
     InstanceContinuation {
         maps,
@@ -339,6 +357,7 @@ pub fn continue_to_instance_certified(
         failed,
         stats,
         certificates,
+        cancelled,
     }
 }
 
@@ -414,6 +433,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancelled_scope_stops_between_paths_with_no_partial_results() {
+        let mut rng = seeded_rng(353);
+        let shape = Shape::new(2, 2, 0);
+        let start = PieriProblem::random(shape.clone(), &mut rng);
+        let target = PieriProblem::random(shape.clone(), &mut rng);
+        let sol = crate::solver::solve(&start);
+
+        // Flag raised before the run: the boundary check fires before
+        // path 0, so the solver tracks nothing at all.
+        let token = pieri_tracker::CancelToken::new();
+        token.cancel();
+        let cont = pieri_tracker::cancel::scope(&token, || {
+            continue_to_instance(&start, &sol.coeffs, &target, &TrackSettings::default())
+        });
+        assert!(cont.cancelled);
+        assert_eq!(cont.stats.total(), 0, "no path was started");
+        assert!(cont.maps.is_empty() && cont.coeffs.is_empty());
+        assert!(cont.certificates.is_empty(), "certification skipped");
+
+        // A lapsed deadline behaves identically — and outside any
+        // scope the same run is unaffected.
+        let expired = pieri_tracker::CancelToken::with_deadline(std::time::Instant::now());
+        let cont = pieri_tracker::cancel::scope(&expired, || {
+            continue_to_instance(&start, &sol.coeffs, &target, &TrackSettings::default())
+        });
+        assert!(cont.cancelled && cont.coeffs.is_empty());
+        let cont = continue_to_instance(&start, &sol.coeffs, &target, &TrackSettings::default());
+        assert!(!cont.cancelled);
+        assert_eq!(cont.maps.len(), 2);
     }
 
     #[test]

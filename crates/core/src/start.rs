@@ -78,6 +78,67 @@ impl StartBundle {
         }
     }
 
+    /// Rebuilds a bundle from *persisted* generic-solution coefficients
+    /// without re-running the Pieri tree. The poset and the generic
+    /// instance are regenerated deterministically from `rng` — callers
+    /// persist the seed they originally built with and hand back the
+    /// same seeded stream — so only the coefficient vectors need to
+    /// survive on disk.
+    ///
+    /// Unlike [`StartBundle::from_parts`] this validates instead of
+    /// panicking: a stale or corrupted store must degrade to a rebuild,
+    /// not poison the server. Checks: root count equals `d(m,p,q)`,
+    /// every vector has the chart dimension with finite entries, and
+    /// the first and last solutions actually satisfy the regenerated
+    /// generic conditions.
+    pub fn restore<R: Rng + ?Sized>(
+        shape: Shape,
+        rng: &mut R,
+        coeffs: Vec<Vec<Complex64>>,
+        build_time: Duration,
+    ) -> Result<Self, String> {
+        let poset = Poset::build(&shape);
+        let problem = PieriProblem::random(shape, rng);
+        if coeffs.is_empty() || coeffs.len() as u128 != poset.root_count() {
+            return Err(format!(
+                "stored root count {} does not match d(m,p,q) = {}",
+                coeffs.len(),
+                poset.root_count()
+            ));
+        }
+        let root = problem.shape().root();
+        let dim = crate::eval::CoeffLayout::new(&root).dim();
+        for (i, x) in coeffs.iter().enumerate() {
+            if x.len() != dim {
+                return Err(format!(
+                    "stored solution {i} has {} coefficients, chart needs {dim}",
+                    x.len()
+                ));
+            }
+            if x.iter().any(|z| !z.re.is_finite() || !z.im.is_finite()) {
+                return Err(format!("stored solution {i} has non-finite entries"));
+            }
+        }
+        // Spot-check that the coefficients belong to *this* generic
+        // instance (same seed): a residual that large means the store
+        // was written under different generation code or data.
+        for &i in &[0, coeffs.len() - 1] {
+            let res = crate::maps::PMap::from_coeffs(&root, &coeffs[i]).max_residual(&problem);
+            if res.is_nan() || res >= 1e-6 {
+                return Err(format!(
+                    "stored solution {i} does not solve the regenerated generic instance \
+                     (residual {res:.2e})"
+                ));
+            }
+        }
+        Ok(StartBundle {
+            poset,
+            problem,
+            coeffs,
+            build_time,
+        })
+    }
+
     /// The shape this bundle serves.
     pub fn shape(&self) -> &Shape {
         self.problem.shape()
@@ -187,6 +248,66 @@ mod tests {
         let a = bundle.continue_to(&target, &TrackSettings::default());
         let b = bundle.continue_to(&target, &TrackSettings::default());
         assert_eq!(a.coeffs, b.coeffs, "same bundle + target → same bits");
+    }
+
+    #[test]
+    fn restore_round_trips_and_rejects_corruption() {
+        let shape = Shape::new(2, 2, 0);
+        let seed = 373_u64;
+        let bundle = StartBundle::build(
+            shape.clone(),
+            &mut seeded_rng(seed),
+            &TrackSettings::default(),
+        );
+
+        // Same seed + persisted coefficients → bit-identical bundle.
+        let restored = StartBundle::restore(
+            shape.clone(),
+            &mut seeded_rng(seed),
+            bundle.coeffs().to_vec(),
+            bundle.build_time(),
+        )
+        .expect("faithful restore succeeds");
+        assert_eq!(restored.coeffs(), bundle.coeffs());
+        let target = PieriProblem::random(shape.clone(), &mut seeded_rng(99));
+        let a = bundle.continue_to(&target, &TrackSettings::default());
+        let b = restored.continue_to(&target, &TrackSettings::default());
+        assert_eq!(a.coeffs, b.coeffs, "restored bundle continues identically");
+
+        // Wrong seed: well-formed coefficients that don't solve the
+        // regenerated instance are rejected by the residual check.
+        let err = StartBundle::restore(
+            shape.clone(),
+            &mut seeded_rng(seed + 1),
+            bundle.coeffs().to_vec(),
+            Duration::ZERO,
+        )
+        .unwrap_err();
+        assert!(err.contains("residual"), "{err}");
+
+        // Structural corruption: dropped root, wrong dimension,
+        // non-finite entries.
+        let mut short = bundle.coeffs().to_vec();
+        short.pop();
+        assert!(
+            StartBundle::restore(shape.clone(), &mut seeded_rng(seed), short, Duration::ZERO)
+                .unwrap_err()
+                .contains("root count")
+        );
+        let mut ragged = bundle.coeffs().to_vec();
+        ragged[1].pop();
+        assert!(
+            StartBundle::restore(shape.clone(), &mut seeded_rng(seed), ragged, Duration::ZERO)
+                .unwrap_err()
+                .contains("coefficients")
+        );
+        let mut nan = bundle.coeffs().to_vec();
+        nan[0][0] = Complex64::new(f64::NAN, 0.0);
+        assert!(
+            StartBundle::restore(shape, &mut seeded_rng(seed), nan, Duration::ZERO)
+                .unwrap_err()
+                .contains("non-finite")
+        );
     }
 
     #[test]

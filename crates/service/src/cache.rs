@@ -23,6 +23,7 @@
 //! bound. Evictions are counted and exposed through `/v1/stats`.
 
 use crate::job::JobError;
+use crate::store::BundleStore;
 use crate::sync::{rank, RankedMutex};
 use pieri_core::{Shape, StartBundle};
 use pieri_num::seeded_rng;
@@ -114,6 +115,9 @@ pub struct CacheStats {
     pub evictions: usize,
     /// Approximate bytes held by the resident bundles.
     pub resident_bytes: usize,
+    /// Bundles restored from the on-disk store at startup — warm
+    /// restarts that skipped the Pieri tree entirely.
+    pub restored: usize,
 }
 
 /// A concurrent map `(m, p, q) → Arc<StartBundle>`.
@@ -131,6 +135,10 @@ pub struct ShapeCache {
     bundle_seed: u64,
     settings: TrackSettings,
     mode: BuildMode,
+    /// Optional on-disk persistence: successful builds are saved
+    /// best-effort, [`ShapeCache::with_store`] preloads at startup.
+    store: Option<BundleStore>,
+    restored: AtomicUsize,
 }
 
 impl ShapeCache {
@@ -157,7 +165,48 @@ impl ShapeCache {
             bundle_seed,
             settings,
             mode,
+            store: None,
+            restored: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches an on-disk [`BundleStore`] and eagerly restores every
+    /// decodable bundle it holds, so a restarted server answers its
+    /// first request for a known shape warm. Restoration is fully
+    /// validated ([`StartBundle::restore`] regenerates the poset and
+    /// generic instance from the persisted seed and residual-checks the
+    /// coefficients); any defect silently degrades to a cold rebuild.
+    /// `None` (or an unopenable directory) leaves the cache storeless.
+    pub fn with_store(mut self, dir: Option<&std::path::Path>) -> Self {
+        let Some(store) = dir.and_then(BundleStore::open) else {
+            return self;
+        };
+        for (shape, stored) in store.load_all() {
+            // Only restore bundles this cache's own seed stream could
+            // have built (any plausible retry attempt): the resident
+            // set must stay a deterministic function of
+            // `(bundle_seed, shape)` even across a store written under
+            // a different server configuration.
+            if !(0..8).any(|attempt| stored.seed == self.seed_for(&shape, attempt)) {
+                continue;
+            }
+            let mut rng = seeded_rng(stored.seed);
+            let Ok(bundle) =
+                StartBundle::restore(shape.clone(), &mut rng, stored.coeffs, stored.build_time)
+            else {
+                continue;
+            };
+            let slot = Arc::new(Slot::default());
+            // lint:lock-rank(cache-slot, 30)
+            *slot.state.lock_recover() = SlotState::Ready(Arc::new(bundle));
+            self.touch(&slot);
+            // lint:lock-rank(cache-slots, 20)
+            self.slots.lock_recover().insert(shape.clone(), slot);
+            self.restored.fetch_add(1, Ordering::Relaxed);
+            self.evict_over_limit(&shape);
+        }
+        self.store = Some(store);
+        self
     }
 
     fn touch(&self, slot: &Slot) {
@@ -190,7 +239,8 @@ impl ShapeCache {
                     *state = SlotState::Building;
                     drop(state);
                     let attempt = slot.attempts.fetch_add(1, Ordering::Relaxed);
-                    let built = self.build(shape, attempt);
+                    let seed = self.seed_for(shape, attempt);
+                    let built = self.build(shape, seed);
                     // lint:lock-rank(cache-slot, 30)
                     let mut state = slot.state.lock_recover();
                     match built {
@@ -201,6 +251,9 @@ impl ShapeCache {
                             slot.ready.notify_all();
                             self.misses.fetch_add(1, Ordering::Relaxed);
                             drop(state);
+                            if let Some(store) = &self.store {
+                                store.save(shape, seed, bundle.coeffs(), bundle.build_time());
+                            }
                             self.evict_over_limit(shape);
                             return Ok((bundle, false));
                         }
@@ -218,15 +271,20 @@ impl ShapeCache {
         }
     }
 
+    /// The deterministic build seed for `shape` at build attempt
+    /// `attempt`. Attempt 0 seeds purely from `(bundle_seed, shape)`;
+    /// retries perturb the stream so a doomed generic instance is not
+    /// redrawn. The seed is what the on-disk store persists — replaying
+    /// it through `seeded_rng` regenerates the identical bundle.
+    fn seed_for(&self, shape: &Shape, attempt: usize) -> u64 {
+        self.bundle_seed ^ shape_tag(shape) ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
     /// Builds a bundle outside any lock. Panics inside the solvers are
     /// contained here (the build runs caller-side, possibly on an engine
-    /// worker thread). Attempt 0 seeds purely from
-    /// `(bundle_seed, shape)`; retries perturb the stream.
-    fn build(&self, shape: &Shape, attempt: usize) -> Result<StartBundle, JobError> {
+    /// worker thread).
+    fn build(&self, shape: &Shape, seed: u64) -> Result<StartBundle, JobError> {
         let shape = shape.clone();
-        let seed = self.bundle_seed
-            ^ shape_tag(&shape)
-            ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let settings = self.settings;
         let mode = self.mode;
         catch_unwind(AssertUnwindSafe(move || match mode {
@@ -316,6 +374,7 @@ impl ShapeCache {
             shapes,
             evictions: self.evictions.load(Ordering::Relaxed),
             resident_bytes,
+            restored: self.restored.load(Ordering::Relaxed),
         }
     }
 
@@ -471,6 +530,52 @@ mod tests {
         assert_eq!(stats.shapes, 1);
         assert_eq!(stats.evictions, 1);
         assert_eq!(c.resident()[0].0, Shape::new(3, 2, 0));
+    }
+
+    #[test]
+    fn store_warm_restarts_and_corruption_falls_back_to_rebuild() {
+        let dir = std::env::temp_dir().join(format!("pieri-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shape = Shape::new(2, 2, 0);
+
+        // First "process": cold build, persisted on the way out.
+        let first = ShapeCache::new(0x5eed, TrackSettings::default(), BuildMode::Sequential)
+            .with_store(Some(&dir));
+        assert_eq!(first.stats().restored, 0, "nothing on disk yet");
+        let (cold, hit) = first.get_or_build(&shape).unwrap();
+        assert!(!hit);
+
+        // Second "process": the bundle preloads at construction and the
+        // first request is a hit with bitwise-identical coefficients.
+        let second = ShapeCache::new(0x5eed, TrackSettings::default(), BuildMode::Sequential)
+            .with_store(Some(&dir));
+        let stats = second.stats();
+        assert_eq!((stats.restored, stats.shapes), (1, 1), "warm restart");
+        let (warm, hit) = second.get_or_build(&shape).unwrap();
+        assert!(hit, "restored bundle serves the first request");
+        assert_eq!(warm.coeffs(), cold.coeffs(), "bitwise identical");
+
+        // Corrupt the file: the next restart silently rebuilds.
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        std::fs::write(&file, "torn").unwrap();
+        let third = ShapeCache::new(0x5eed, TrackSettings::default(), BuildMode::Sequential)
+            .with_store(Some(&dir));
+        assert_eq!(third.stats().restored, 0, "corrupt store restores nothing");
+        let (rebuilt, hit) = third.get_or_build(&shape).unwrap();
+        assert!(!hit, "cold rebuild, not an error");
+        assert_eq!(rebuilt.coeffs(), cold.coeffs(), "same seed, same bundle");
+
+        // A mismatched bundle seed fails the residual validation and
+        // likewise degrades to a rebuild (no restore, no error).
+        let fourth = ShapeCache::new(0xbad_5eed, TrackSettings::default(), BuildMode::Sequential)
+            .with_store(Some(&dir));
+        assert_eq!(fourth.stats().restored, 0, "foreign-seed store rejected");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -25,9 +25,10 @@ use pieri_control::{
 };
 use pieri_core::Shape;
 use pieri_num::{seeded_rng, Complex64};
-use pieri_tracker::TrackSettings;
+use pieri_tracker::{CancelToken, TrackSettings};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
@@ -56,6 +57,12 @@ pub struct EngineConfig {
     /// `certify: true` flag). Jobs without the flag run exactly as
     /// before, whatever this is set to.
     pub certify: CertifyPolicy,
+    /// Directory of the on-disk [`crate::store::BundleStore`]. When set,
+    /// bundles persisted by earlier runs are loaded at startup (a
+    /// restarted server answers its first request warm) and every
+    /// freshly built bundle is saved best-effort. `None` disables
+    /// persistence.
+    pub bundle_store: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -69,14 +76,25 @@ impl Default for EngineConfig {
             build_mode: BuildMode::TreeParallel,
             cache_limits: CacheLimits::default(),
             certify: CertifyPolicy::full(),
+            bundle_store: None,
         }
     }
+}
+
+/// How a finished job reaches its submitter: a channel for the blocking
+/// [`JobTicket`] API, a callback for the reactor's completion queue.
+enum Done {
+    Channel(channel::Sender<Result<JobResult, JobError>>),
+    Callback(Box<dyn FnOnce(Result<JobResult, JobError>) + Send + 'static>),
 }
 
 struct Queued {
     req: JobRequest,
     enqueued: Instant,
-    tx: channel::Sender<Result<JobResult, JobError>>,
+    /// Cancelled explicitly (client gone) or via its embedded deadline;
+    /// checked before dequeue-execution and between continuation paths.
+    cancel: CancelToken,
+    done: Done,
 }
 
 struct QueueState {
@@ -97,6 +115,13 @@ struct Shared {
     submitted: AtomicUsize,
     completed: AtomicUsize,
     rejected: AtomicUsize,
+    /// Load-shedding rejections at admission: a full queue on the
+    /// non-blocking path, or a deadline already lapsed at submit.
+    /// Subset of `rejected`.
+    shed: AtomicUsize,
+    /// Deadlines that fired *after* admission — while queued (the
+    /// solver is never invoked) or between continuation paths.
+    expired: AtomicUsize,
     certify_policy: CertifyPolicy,
     certified: AtomicUsize,
     refined: AtomicUsize,
@@ -172,6 +197,12 @@ pub struct EngineStats {
     pub completed: usize,
     /// Submissions bounced by back-pressure or shutdown.
     pub rejected: usize,
+    /// Load-shed rejections at admission (full queue on the reactor
+    /// path, or deadline lapsed at submit) — a subset of `rejected`.
+    pub shed: usize,
+    /// Per-request deadlines that fired after admission: expired in the
+    /// queue (solver untouched) or cancelled between continuation paths.
+    pub deadline_expired: usize,
     /// Certification counters (certified/refined/retracked/failed).
     pub certify: CertifyCounters,
     /// Shape-cache counters.
@@ -216,13 +247,16 @@ impl Engine {
                 config.certify.effective_settings(&config.settings),
                 config.build_mode,
                 config.cache_limits,
-            ),
+            )
+            .with_store(config.bundle_store.as_deref()),
             limits: config.limits,
             settings: config.settings,
             capacity: config.queue_capacity,
             submitted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            expired: AtomicUsize::new(0),
             certify_policy: config.certify,
             certified: AtomicUsize::new(0),
             refined: AtomicUsize::new(0),
@@ -260,12 +294,46 @@ impl Engine {
     /// Validates and enqueues a job; non-blocking back-pressure — a full
     /// queue returns [`JobError::QueueFull`] immediately.
     pub fn submit(&self, req: JobRequest) -> Result<JobTicket, JobError> {
-        self.enqueue(req, false)
+        let (tx, rx) = channel::unbounded();
+        self.enqueue(req, None, false, Done::Channel(tx))?;
+        Ok(JobTicket { rx })
     }
 
     /// Validates and enqueues a job, waiting for queue space when full.
     pub fn submit_blocking(&self, req: JobRequest) -> Result<JobTicket, JobError> {
-        self.enqueue(req, true)
+        let (tx, rx) = channel::unbounded();
+        self.enqueue(req, None, true, Done::Channel(tx))?;
+        Ok(JobTicket { rx })
+    }
+
+    /// [`Engine::submit`] with an absolute deadline: lapsed-at-submit
+    /// sheds immediately, lapsed-in-queue answers without invoking the
+    /// solver, lapsed-mid-execution stops the tracker at the next path
+    /// boundary. The returned [`CancelToken`] cancels the job early
+    /// (e.g. when the client connection goes away).
+    pub fn submit_with_deadline(
+        &self,
+        req: JobRequest,
+        deadline: Option<Instant>,
+    ) -> Result<(JobTicket, CancelToken), JobError> {
+        let (tx, rx) = channel::unbounded();
+        let token = self.enqueue(req, deadline, false, Done::Channel(tx))?;
+        Ok((JobTicket { rx }, token))
+    }
+
+    /// Completion-callback admission for the reactor: never blocks, and
+    /// never calls `on_done` when admission itself fails (the error
+    /// comes back synchronously for the caller to render). On success
+    /// `on_done` runs exactly once, on the worker thread that finished
+    /// the job — callbacks must be cheap and non-blocking-ish (the
+    /// reactor's pushes one completion and wakes an eventfd).
+    pub fn submit_async(
+        &self,
+        req: JobRequest,
+        deadline: Option<Instant>,
+        on_done: impl FnOnce(Result<JobResult, JobError>) + Send + 'static,
+    ) -> Result<CancelToken, JobError> {
+        self.enqueue(req, deadline, false, Done::Callback(Box::new(on_done)))
     }
 
     /// Convenience: blocking submit + wait.
@@ -273,12 +341,30 @@ impl Engine {
         self.submit_blocking(req)?.wait()
     }
 
-    fn enqueue(&self, req: JobRequest, block: bool) -> Result<JobTicket, JobError> {
+    fn enqueue(
+        &self,
+        req: JobRequest,
+        deadline: Option<Instant>,
+        block: bool,
+        done: Done,
+    ) -> Result<CancelToken, JobError> {
         if let Err(e) = req.validate(&self.shared.limits) {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
-        let (tx, rx) = channel::unbounded();
+        // Deadline-aware admission control: work that cannot possibly
+        // answer in time is shed here, before it costs a queue slot.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(JobError::DeadlineExceeded {
+                detail: "deadline lapsed before admission".into(),
+            });
+        }
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
         // lint:lock-rank(engine-queue, 10)
         let mut state = self.shared.state.lock_recover();
         loop {
@@ -290,14 +376,16 @@ impl Engine {
                 state.queue.push_back(Queued {
                     req,
                     enqueued: Instant::now(),
-                    tx,
+                    cancel: cancel.clone(),
+                    done,
                 });
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
                 self.shared.jobs.notify_one();
-                return Ok(JobTicket { rx });
+                return Ok(cancel);
             }
             if !block {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(JobError::QueueFull);
             }
             state = crate::sync::wait_recover(&self.shared.space, state);
@@ -315,6 +403,8 @@ impl Engine {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            deadline_expired: self.shared.expired.load(Ordering::Relaxed),
             certify: CertifyCounters {
                 certified: self.shared.certified.load(Ordering::Relaxed),
                 refined: self.shared.refined.load(Ordering::Relaxed),
@@ -378,10 +468,33 @@ fn worker_loop(shared: &Shared) {
         };
         let Some(job) = job else { return };
         let queue_wait = job.enqueued.elapsed();
-        let result = execute(shared, &job.req, queue_wait);
+        // Expired-before-dequeue: the deadline (or an explicit cancel)
+        // fired while the job sat in the queue — answer structurally
+        // without ever invoking the solver.
+        let result = if job.cancel.is_cancelled() {
+            Err(JobError::DeadlineExceeded {
+                detail: format!(
+                    "deadline lapsed after {:.1} ms in the queue; solver not invoked",
+                    queue_wait.as_secs_f64() * 1e3
+                ),
+            })
+        } else {
+            // The cancel scope makes the token visible to the
+            // continuation drivers, which consult it between paths.
+            pieri_tracker::cancel::scope(&job.cancel, || execute(shared, &job.req, queue_wait))
+        };
+        if matches!(result, Err(JobError::DeadlineExceeded { .. })) {
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+        }
         shared.completed.fetch_add(1, Ordering::Relaxed);
-        // A dropped ticket (client gave up) is fine; ignore send errors.
-        let _ = job.tx.send(result);
+        match job.done {
+            // A dropped ticket (client gave up) is fine; ignore send
+            // errors.
+            Done::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Done::Callback(cb) => cb(result),
+        }
     }
 }
 
@@ -403,6 +516,23 @@ fn require_certified(certs: &[Certificate], failed_paths: usize) -> Result<(), J
             detail: format!(
                 "{failed_paths} path(s) failed numerically after bounded re-tracking; \
                  {failed_certs} solution(s) failed the Newton certificate"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A continuation the cancel token stopped at a path boundary is
+/// abandoned work: the partial solution set is withheld and the job
+/// answers with the structured deadline error (mirroring the queued
+/// case — either the client gets the whole answer or a clean error).
+fn reject_cancelled(cont: &pieri_core::InstanceContinuation) -> Result<(), JobError> {
+    if cont.cancelled {
+        return Err(JobError::DeadlineExceeded {
+            detail: format!(
+                "deadline lapsed mid-execution; stopped at a path boundary \
+                 after {} path(s), partial results withheld",
+                cont.stats.total()
             ),
         });
     }
@@ -431,6 +561,7 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
             } else {
                 bundle.continue_to(&target, &shared.settings)
             };
+            reject_cancelled(&cont)?;
             if certify {
                 shared.count_certificates(&cont.certificates, cont.stats.retracked);
                 require_certified(&cont.certificates, cont.failed)?;
@@ -483,6 +614,7 @@ fn run_job(shared: &Shared, req: &JobRequest, queue_wait: Duration) -> Result<Jo
                     &shared.settings,
                 )
             };
+            reject_cancelled(&cont)?;
             if certify {
                 shared.count_certificates(&cont.certificates, cont.stats.retracked);
                 require_certified(&cont.certificates, cont.failed)?;

@@ -2,18 +2,23 @@
 //!
 //! The environment is offline (no hyper/axum), and the wire surface a
 //! batch solver needs is tiny, so the transport is written directly
-//! against `TcpListener`/`TcpStream`: one accept thread, one handler
-//! thread per connection, bounded header and body sizes, and read
-//! timeouts so a stalled peer cannot pin a handler forever.
+//! against `TcpListener`/`TcpStream`. Since the reactor rework the
+//! server side is *event-driven*: [`Server::start`] spawns a handful
+//! of [`crate::reactor`] threads that multiplex every connection over
+//! epoll — this module keeps the protocol itself (the incremental
+//! request parser, the response renderer, the route → status mapping)
+//! and the blocking [`Client`].
 //!
 //! Connections are persistent when the client asks for it: a request
 //! carrying `Connection: keep-alive` is answered in kind and the
-//! handler loops for the next request on the same socket (up to
+//! connection stays registered for the next request (up to
 //! [`MAX_REQUESTS_PER_CONN`], then a final `Connection: close`); any
 //! other request keeps the original one-shot `Connection: close`
-//! behaviour. The bundled [`Client`] pools one connection and retries
-//! once on a stale socket, so warm request streams skip the TCP
-//! handshake per call.
+//! behaviour. Kept-alive connections may *pipeline*: several requests
+//! on the wire before the first response; responses always come back
+//! in request order. The bundled [`Client`] pools one connection and
+//! retries once on a stale socket, so warm request streams skip the
+//! TCP handshake per call.
 //!
 //! Endpoints (see the README table):
 //!
@@ -24,70 +29,103 @@
 //! | POST   | `/v1/solve` | one tagged job        | job result |
 //! | POST   | `/v1/batch` | `{"jobs":[job, …]}`   | `{"results":[…]}` |
 //!
+//! A request may carry `x-deadline-ms: N`: the job is only worth
+//! having for the next `N` milliseconds. The deadline rides into the
+//! engine — a job whose deadline lapses before a worker dequeues it is
+//! shed without touching the solver, and one that lapses mid-track is
+//! cancelled at the next path-tracker step — and lapsing surfaces as
+//! the structured `deadline_exceeded` envelope with status 503.
+//!
 //! Error responses carry the structured envelope of
 //! [`crate::wire::error_to_json`] with HTTP status mapped from the error
-//! kind (400 invalid, 413 too large, 503 back-pressure/shutdown, 500
-//! internal).
+//! kind (400 invalid, 413 too large, 503 back-pressure/shutdown/
+//! deadline, 500 internal).
 
 use crate::engine::Engine;
 use crate::job::{JobError, JobRequest, JobResult};
 use crate::sync::{rank, RankedMutex};
 use crate::wire;
-use minijson::{object, Value};
+use minijson::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted header block.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Largest accepted request body.
 const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
-/// Per-connection socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
-/// Concurrent connection cap: beyond this the server answers 503
-/// immediately instead of spawning another handler thread, so a
-/// connection flood cannot exhaust threads/memory before the bounded
-/// job queue ever sees a request.
-const MAX_CONNECTIONS: usize = 256;
+/// Budget for a stalled transfer (bytes buffered but none moving),
+/// and the [`Client`]'s default socket timeout.
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Concurrent connection cap across all reactor threads. A connection
+/// past the cap costs only a registered fd preloaded with a 503
+/// envelope (see [`crate::reactor`]), so the cap can sit far above the
+/// old thread-per-connection limit of 256 without risking thread or
+/// memory exhaustion.
+pub(crate) const MAX_CONNECTIONS: usize = 4096;
 /// Requests served per kept-alive connection before the server closes
-/// it anyway — bounds how long one peer can pin a handler thread.
+/// it anyway — bounds how long one peer can pin a connection slot.
 pub const MAX_REQUESTS_PER_CONN: usize = 256;
 /// How long a kept-alive connection may sit idle between requests.
-/// Much shorter than [`IO_TIMEOUT`]: an idle connection pins a handler
-/// thread and a `MAX_CONNECTIONS` slot, so parked clients must release
-/// them quickly (their pooled [`Client`] reconnects transparently — a
+/// Much shorter than [`IO_TIMEOUT`]: an idle connection pins a
+/// `MAX_CONNECTIONS` slot, so parked clients must release it quickly
+/// (their pooled [`Client`] reconnects transparently — a
 /// server-closed socket is the replay-safe retry case).
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+pub(crate) const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
 /// The HTTP front end over an [`Engine`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: RankedMutex<Option<JoinHandle<()>>>,
+    shared: Vec<Arc<crate::reactor::ReactorShared>>,
+    reactor_handles: RankedMutex<Vec<JoinHandle<()>>>,
     engine: Arc<Engine>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop.
+    /// reactor threads (see [`crate::reactor`]).
     pub fn start(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = {
-            let stop = stop.clone();
-            let engine = engine.clone();
-            std::thread::Builder::new()
-                .name("pieri-service-accept".into())
-                .spawn(move || accept_loop(&listener, &stop, &engine))?
-        };
+        let (reactors, shared) = crate::reactor::build(
+            crate::reactor::REACTOR_THREADS,
+            listener,
+            engine.clone(),
+            stop.clone(),
+        )?;
+        let mut handles = Vec::with_capacity(reactors.len());
+        for reactor in reactors {
+            // The event loops are the only threads the server owns: a
+            // fixed few I/O threads instead of one per connection.
+            let spawned = std::thread::Builder::new()
+                .name(format!("pieri-reactor-{}", reactor.index()))
+                .spawn(move || reactor.run());
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the reactors already running: raise the
+                    // stop flag they poll, nudge their wakers, join.
+                    stop.store(true, Ordering::SeqCst);
+                    for s in &shared {
+                        s.wake();
+                    }
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(Server {
             addr: local,
             stop,
-            accept_handle: RankedMutex::new("http-accept", rank::HTTP_ACCEPT, Some(accept_handle)),
+            shared,
+            reactor_handles: RankedMutex::new("http-accept", rank::HTTP_ACCEPT, handles),
             engine,
         })
     }
@@ -102,16 +140,18 @@ impl Server {
         &self.engine
     }
 
-    /// Stops accepting connections and joins the accept thread.
-    /// In-flight handlers finish their response on their own threads;
-    /// the engine keeps running until its owner shuts it down.
+    /// Stops the reactor threads and joins them. Open connections are
+    /// closed and their in-flight jobs cancelled; the engine keeps
+    /// running until its owner shuts it down.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
+        for s in &self.shared {
+            s.wake();
+        }
         // lint:lock-rank(http-accept, 50)
-        if let Some(h) = self.accept_handle.lock_recover().take() {
-            let _ = h.join();
+        let handles = std::mem::take(&mut *self.reactor_handles.lock_recover());
+        for handle in handles {
+            let _ = handle.join();
         }
     }
 }
@@ -122,169 +162,92 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, engine: &Arc<Engine>) {
-    // Live handler-thread count; incremented before spawning, released
-    // by the guard when the handler returns for any reason.
-    let active = Arc::new(AtomicUsize::new(0));
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
-            let e = JobError::QueueFull;
-            let _ = write_response(&stream, status_for(&e), &wire::error_to_json(&e), false);
-            continue;
-        }
-        active.fetch_add(1, Ordering::SeqCst);
-        let guard = ConnGuard(active.clone());
-        let engine = engine.clone();
-        // One thread per (short-lived, Connection: close) connection,
-        // bounded by MAX_CONNECTIONS above.
-        let spawned = std::thread::Builder::new()
-            .name("pieri-service-conn".into())
-            .spawn(move || {
-                let _guard = guard;
-                let _ = handle_connection(stream, &engine);
-            });
-        // Spawn failure: the guard was moved into the failed closure
-        // and dropped with it, releasing the slot.
-        drop(spawned);
-    }
-}
+// ---- protocol ----------------------------------------------------------
 
-struct ConnGuard(Arc<AtomicUsize>);
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn handle_connection(stream: TcpStream, engine: &Arc<Engine>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    // Responses are written in one buffer, but disable Nagle anyway:
-    // on a kept-alive connection a coalescing delay would serialise
-    // against the peer's delayed ACK at ~40 ms per round trip.
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    for served in 1..=MAX_REQUESTS_PER_CONN {
-        // Between requests only the short idle timeout applies; once a
-        // request line arrives, `read_request` restores the full I/O
-        // timeout for the headers and body.
-        if served > 1 {
-            stream.set_read_timeout(Some(KEEP_ALIVE_IDLE))?;
-        }
-        let request = match read_request(&mut reader, &stream) {
-            Ok(r) => r,
-            // The peer closed between requests: a normal end of a
-            // kept-alive connection (or an empty connection).
-            Err(ReadError::Closed) => return Ok(()),
-            // Idle too long between requests: close quietly and free
-            // the handler slot; the peer owed us nothing.
-            Err(ReadError::Io(e))
-                if served > 1
-                    && matches!(
-                        e.kind(),
-                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                    ) =>
-            {
-                return Ok(())
-            }
-            // Malformed transport framing still gets the structured
-            // error envelope with the documented kinds/statuses; the
-            // framing is unrecoverable, so the connection closes.
-            Err(ReadError::Job(e)) => {
-                return write_response(&stream, status_for(&e), &wire::error_to_json(&e), false)
-            }
-            // A socket error (timeout, disconnect) has no one to answer.
-            Err(ReadError::Io(e)) => return Err(e),
-        };
-        // Keep-alive only when the client asked for it — anything else
-        // keeps the original one-shot `Connection: close` behaviour.
-        let keep = request.keep_alive && served < MAX_REQUESTS_PER_CONN;
-        let (status, body) = route(&request, engine);
-        write_response(&stream, status, &body, keep)?;
-        if !keep {
-            return Ok(());
-        }
-    }
-    Ok(())
-}
-
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
+/// One fully parsed request head (the body stays in the caller's
+/// buffer, located by `body_start`/`body_len`).
+pub(crate) struct ParsedHead {
+    pub(crate) method: String,
+    pub(crate) path: String,
     /// True when the request carried `Connection: keep-alive`.
-    keep_alive: bool,
+    pub(crate) keep_alive: bool,
+    /// Value of `x-deadline-ms`, if the header was present.
+    deadline_ms: Option<u64>,
+    /// Byte offset of the body within the parse buffer.
+    pub(crate) body_start: usize,
+    /// Body length (the declared `Content-Length`).
+    pub(crate) body_len: usize,
 }
 
-enum ReadError {
-    /// The peer closed the socket before sending a request line.
-    Closed,
-    /// The peer sent something answerable-but-wrong.
-    Job(JobError),
-    /// The socket itself failed.
-    Io(std::io::Error),
-}
-
-impl From<std::io::Error> for ReadError {
-    fn from(e: std::io::Error) -> Self {
-        ReadError::Io(e)
+impl ParsedHead {
+    /// The request's absolute deadline, anchored now: the client's
+    /// `x-deadline-ms` budget starts counting when the server has the
+    /// full request, not when the client sent it (clocks differ).
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 }
 
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    stream: &TcpStream,
-) -> Result<Request, ReadError> {
-    let bad = |msg: &str| ReadError::Job(JobError::InvalidRequest(msg.to_string()));
-    // Hard-bound the header block *before* buffering: `read_line` on the
-    // raw reader would happily accumulate an unbounded newline-free
-    // line, so every header read goes through a `Take` that enforces
-    // the limit at the byte level.
-    let mut head = reader.take(MAX_HEADER_BYTES as u64);
-    let mut line = String::new();
-    if head.read_line(&mut line)? == 0 {
-        return Err(ReadError::Closed);
+/// Outcome of one [`parse_request`] attempt over a growing buffer.
+pub(crate) enum Parse {
+    /// Not enough bytes yet — read more and try again.
+    Partial,
+    /// Unrecoverable framing error: answer it and close.
+    Bad(JobError),
+    /// One complete request.
+    Request(ParsedHead),
+}
+
+/// Incremental HTTP/1.1 request parser: inspects `buf` (the bytes
+/// received so far on a connection) and reports whether a complete
+/// request is present. The caller consumes `body_start + body_len`
+/// bytes on [`Parse::Request`] and re-invokes on the remainder —
+/// that re-invocation is what makes pipelining work.
+pub(crate) fn parse_request(buf: &[u8]) -> Parse {
+    let bad = |msg: &str| Parse::Bad(JobError::InvalidRequest(msg.to_string()));
+    let Some(head_end) = find_header_end(buf) else {
+        // No terminator yet: either an incomplete head or one that
+        // already overflows the bound (a peer streaming garbage must
+        // not grow the buffer forever).
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad(JobError::TooLarge {
+                detail: format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+            });
+        }
+        return Parse::Partial;
+    };
+    if head_end > MAX_HEADER_BYTES {
+        return Parse::Bad(JobError::TooLarge {
+            detail: format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+        });
     }
-    // A request is in flight: from here on the peer gets the full I/O
-    // timeout (the caller may have armed the short keep-alive idle
-    // timeout while waiting for this line).
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| bad("empty request line"))?
-        .to_string();
-    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return bad("header block must be UTF-8");
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let Some(method) = parts.next() else {
+        return bad("empty request line");
+    };
+    let Some(path) = parts.next() else {
+        return bad("missing path");
+    };
     let version = parts.next().unwrap_or_default();
     if !version.starts_with("HTTP/1.") {
-        return Err(bad("unsupported HTTP version"));
+        return bad("unsupported HTTP version");
     }
-
     let mut content_length = 0usize;
     let mut keep_alive = false;
-    loop {
-        let mut header = String::new();
-        if head.read_line(&mut header)? == 0 {
-            // The Take ran dry before the blank separator line.
-            return Err(ReadError::Job(JobError::TooLarge {
-                detail: format!("header block exceeds {MAX_HEADER_BYTES} bytes (or is truncated)"),
-            }));
-        }
-        let trimmed = header.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = trimmed.split_once(':') {
+    let mut deadline_ms = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("invalid Content-Length"))?;
+                let Ok(n) = value.trim().parse() else {
+                    return bad("invalid Content-Length");
+                };
+                content_length = n;
             } else if name.eq_ignore_ascii_case("connection") {
                 keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
@@ -293,35 +256,42 @@ fn read_request(
                 // buffer to be parsed as the *next* request on a
                 // kept-alive connection (request smuggling); reject it
                 // and close.
-                return Err(bad(
-                    "Transfer-Encoding is not supported; use Content-Length",
-                ));
+                return bad("Transfer-Encoding is not supported; use Content-Length");
+            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+                let Ok(ms) = value.trim().parse::<u64>() else {
+                    return bad("invalid x-deadline-ms");
+                };
+                deadline_ms = Some(ms);
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::Job(JobError::TooLarge {
+        return Parse::Bad(JobError::TooLarge {
             detail: format!("request body exceeds {MAX_BODY_BYTES} bytes"),
-        }));
+        });
     }
-    let mut body = vec![0u8; content_length];
-    // Hand the buffered reader back intact: a kept-alive connection
-    // reads its next request from the same buffer.
-    head.into_inner().read_exact(&mut body)?;
-    Ok(Request {
-        method,
-        path,
-        body,
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parse::Partial;
+    }
+    Parse::Request(ParsedHead {
+        method: method.to_string(),
+        path: path.to_string(),
         keep_alive,
+        deadline_ms,
+        body_start,
+        body_len: content_length,
     })
 }
 
-fn write_response(
-    mut stream: &TcpStream,
-    status: u16,
-    body: &Value,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Renders one response — status line, headers, JSON body — into a
+/// byte buffer ready for the wire.
+pub(crate) fn render_response(status: u16, body: &Value, keep_alive: bool) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -343,53 +313,21 @@ fn write_response(
     )
     .into_bytes();
     message.extend_from_slice(payload.as_bytes());
-    stream.write_all(&message)?;
-    stream.flush()
+    message
 }
 
-fn status_for(e: &JobError) -> u16 {
+/// HTTP status for a structured error.
+pub(crate) fn status_for(e: &JobError) -> u16 {
     match e {
         JobError::InvalidRequest(_) => 400,
         JobError::TooLarge { .. } => 413,
-        JobError::QueueFull | JobError::ShuttingDown => 503,
+        JobError::QueueFull | JobError::ShuttingDown | JobError::DeadlineExceeded { .. } => 503,
         JobError::StartSystem(_) | JobError::Uncertified { .. } | JobError::Internal(_) => 500,
     }
 }
 
-fn route(request: &Request, engine: &Arc<Engine>) -> (u16, Value) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, object([("ok", Value::Bool(true))])),
-        ("GET", "/v1/stats") => {
-            let stats = engine.stats();
-            let resident = engine.cache().resident();
-            (200, wire::stats_to_json(&stats, &resident))
-        }
-        // Non-blocking submit: a full queue answers 503 `queue_full`
-        // immediately instead of parking the handler thread — the
-        // bounded queue is the overload limit clients actually see.
-        ("POST", "/v1/solve") => match parse_job(&request.body) {
-            Ok(req) => match engine.submit(req).map(|t| t.wait()) {
-                Ok(Ok(result)) => (200, wire::result_to_json(&result)),
-                Ok(Err(e)) | Err(e) => (status_for(&e), wire::error_to_json(&e)),
-            },
-            Err(e) => (status_for(&e), wire::error_to_json(&e)),
-        },
-        ("POST", "/v1/batch") => batch(&request.body, engine),
-        (_, "/healthz" | "/v1/stats" | "/v1/solve" | "/v1/batch") => {
-            let e = JobError::InvalidRequest(format!(
-                "method {} not allowed on {}",
-                request.method, request.path
-            ));
-            (405, wire::error_to_json(&e))
-        }
-        _ => {
-            let e = JobError::InvalidRequest(format!("no such endpoint {}", request.path));
-            (404, wire::error_to_json(&e))
-        }
-    }
-}
-
-fn parse_job(body: &[u8]) -> Result<JobRequest, JobError> {
+/// Decodes one `/v1/solve` body.
+pub(crate) fn parse_job(body: &[u8]) -> Result<JobRequest, JobError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| JobError::InvalidRequest("body must be UTF-8".into()))?;
     let json = minijson::parse(text)
@@ -397,52 +335,29 @@ fn parse_job(body: &[u8]) -> Result<JobRequest, JobError> {
     Ok(wire::request_from_json(&json)?)
 }
 
-/// Runs a batch: submits every job (blocking on queue space, which is
-/// safe because batch size is capped at the queue capacity), then waits
-/// for all tickets. Per-job failures land in the per-job slot, not on
-/// the whole batch.
-fn batch(body: &[u8], engine: &Arc<Engine>) -> (u16, Value) {
-    let parsed: Result<Vec<JobRequest>, JobError> = (|| {
-        let text = std::str::from_utf8(body)
-            .map_err(|_| JobError::InvalidRequest("body must be UTF-8".into()))?;
-        let json = minijson::parse(text)
-            .map_err(|e| JobError::InvalidRequest(format!("invalid JSON: {e}")))?;
-        let jobs = json
-            .get("jobs")
-            .and_then(Value::as_array)
-            .ok_or_else(|| JobError::InvalidRequest("batch needs a \"jobs\" array".into()))?;
-        // One batch may not monopolise the engine: bound it by the
-        // queue capacity (the same knob that bounds every other client).
-        let cap = engine.queue_capacity();
-        if jobs.len() > cap {
-            return Err(JobError::TooLarge {
-                detail: format!(
-                    "batch of {} jobs exceeds the queue capacity {cap}; split it",
-                    jobs.len()
-                ),
-            });
-        }
-        jobs.iter()
-            .map(|j| wire::request_from_json(j).map_err(JobError::from))
-            .collect()
-    })();
-    let jobs = match parsed {
-        Ok(jobs) => jobs,
-        Err(e) => return (status_for(&e), wire::error_to_json(&e)),
-    };
-
-    let tickets: Vec<Result<crate::engine::JobTicket, JobError>> = jobs
-        .into_iter()
-        .map(|req| engine.submit_blocking(req))
-        .collect();
-    let results: Vec<Value> = tickets
-        .into_iter()
-        .map(|t| match t.and_then(|t| t.wait()) {
-            Ok(r) => wire::result_to_json(&r),
-            Err(e) => wire::error_to_json(&e),
-        })
-        .collect();
-    (200, object([("results", Value::Array(results))]))
+/// Decodes one `/v1/batch` body into its jobs. One batch may not
+/// monopolise the engine: it is bounded by `cap` (the queue capacity,
+/// the same knob that bounds every other client).
+pub(crate) fn parse_batch(body: &[u8], cap: usize) -> Result<Vec<JobRequest>, JobError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| JobError::InvalidRequest("body must be UTF-8".into()))?;
+    let json = minijson::parse(text)
+        .map_err(|e| JobError::InvalidRequest(format!("invalid JSON: {e}")))?;
+    let jobs = json
+        .get("jobs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| JobError::InvalidRequest("batch needs a \"jobs\" array".into()))?;
+    if jobs.len() > cap {
+        return Err(JobError::TooLarge {
+            detail: format!(
+                "batch of {} jobs exceeds the queue capacity {cap}; split it",
+                jobs.len()
+            ),
+        });
+    }
+    jobs.iter()
+        .map(|j| wire::request_from_json(j).map_err(JobError::from))
+        .collect()
 }
 
 // ---- client ------------------------------------------------------------

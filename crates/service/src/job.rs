@@ -287,6 +287,14 @@ pub enum JobError {
     },
     /// The bounded queue is full — back-pressure; retry later.
     QueueFull,
+    /// The request's deadline lapsed before an answer could be
+    /// produced: shed at admission, expired while queued, or cancelled
+    /// between continuation paths mid-execution. No partial result is
+    /// ever shipped under this error.
+    DeadlineExceeded {
+        /// Where in the pipeline the deadline fired.
+        detail: String,
+    },
     /// The engine is shutting down and accepts no new work.
     ShuttingDown,
     /// The shape-level generic solve lost roots (a numerics bug worth a
@@ -312,6 +320,7 @@ impl JobError {
             JobError::InvalidRequest(_) => "invalid_request",
             JobError::TooLarge { .. } => "too_large",
             JobError::QueueFull => "queue_full",
+            JobError::DeadlineExceeded { .. } => "deadline_exceeded",
             JobError::ShuttingDown => "shutting_down",
             JobError::StartSystem(_) => "start_system",
             JobError::Uncertified { .. } => "uncertified",
@@ -327,7 +336,9 @@ impl JobError {
             JobError::InvalidRequest(msg)
             | JobError::StartSystem(msg)
             | JobError::Internal(msg) => msg.clone(),
-            JobError::TooLarge { detail } | JobError::Uncertified { detail } => detail.clone(),
+            JobError::TooLarge { detail }
+            | JobError::Uncertified { detail }
+            | JobError::DeadlineExceeded { detail } => detail.clone(),
             JobError::QueueFull => "job queue is full, retry later".into(),
             JobError::ShuttingDown => "service is shutting down".into(),
         }
@@ -340,6 +351,7 @@ impl fmt::Display for JobError {
             JobError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             JobError::TooLarge { detail } => write!(f, "job too large: {detail}"),
             JobError::QueueFull => write!(f, "job queue is full, retry later"),
+            JobError::DeadlineExceeded { detail } => write!(f, "deadline exceeded: {detail}"),
             JobError::ShuttingDown => write!(f, "service is shutting down"),
             JobError::StartSystem(msg) => write!(f, "start-system build failed: {msg}"),
             JobError::Uncertified { detail } => write!(f, "certification failed: {detail}"),

@@ -13,13 +13,19 @@
 //! it:
 //!
 //! * [`http`] — hand-rolled HTTP/1.1 + JSON transport on `std::net`
-//!   ([`Server`], [`Client`]), `Connection: close`, bounded inputs;
+//!   ([`Server`], [`Client`]), bounded inputs, keep-alive and
+//!   pipelining, per-request `x-deadline-ms` deadlines;
+//! * `reactor` (internal) — the event-driven core behind [`Server`]: a
+//!   few epoll threads multiplex every connection, shed load with
+//!   structured 503s, and never block on a socket;
 //! * [`wire`] — the JSON codec for problems, compensators, errors and
 //!   diagnostics (on the vendored `minijson`);
 //! * [`engine`] — bounded job queue, worker threads, graceful shutdown,
 //!   per-job [`pieri_tracker::TrackStats`];
 //! * [`cache`] — the shape-keyed [`pieri_core::StartBundle`] cache
 //!   (build-once-per-shape, hits measured);
+//! * [`store`] — versioned on-disk bundle persistence so a restarted
+//!   server answers its first request warm;
 //! * [`job`] — typed requests/results with structured errors; no panic
 //!   crosses this boundary.
 //!
@@ -48,6 +54,8 @@ pub mod cache;
 pub mod engine;
 pub mod http;
 pub mod job;
+mod reactor;
+pub mod store;
 mod sync;
 pub mod wire;
 

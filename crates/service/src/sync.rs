@@ -17,7 +17,7 @@
 //! `SlotState`s, and the client's connection pool holds an `Option` that
 //! is at worst `None`. Nothing is ever left half-written under a lock.
 //!
-//! **Deadlock.** The service has six independent lock objects; nesting
+//! **Deadlock.** The service has eight independent lock objects; nesting
 //! them in inconsistent orders across threads deadlocks. Every lock is
 //! therefore a [`RankedMutex`] carrying a `(name, rank)` pair from
 //! [`rank`], and acquisition debug-asserts that the new rank is
@@ -35,9 +35,16 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// The global lock order: ranks must strictly increase along every
 /// nesting chain, so a lock may only be taken while holding locks of
-/// *lower* rank. Gaps leave room for future locks (the epoll reactor's
-/// will slot in below the queue).
+/// *lower* rank. The reactor locks sit below the queue so an I/O
+/// thread holding one may still submit into the engine; nothing above
+/// the queue may reach back into a reactor lock.
 pub(crate) mod rank {
+    /// `reactor::ReactorShared.inbox` — freshly accepted connections
+    /// handed to an I/O thread.
+    pub(crate) const REACTOR_INBOX: u32 = 4;
+    /// `reactor::ReactorShared.completions` — finished jobs on their
+    /// way back to a reactor.
+    pub(crate) const REACTOR_COMPLETIONS: u32 = 6;
     /// `engine::Shared.state` — the job queue.
     pub(crate) const ENGINE_QUEUE: u32 = 10;
     /// `cache::ShapeCache.slots` — the shape → slot map.
@@ -46,7 +53,8 @@ pub(crate) mod rank {
     pub(crate) const CACHE_SLOT: u32 = 30;
     /// `engine::Engine.handles` — worker join handles (shutdown only).
     pub(crate) const ENGINE_HANDLES: u32 = 40;
-    /// `http::Server.accept_handle` — acceptor join handle.
+    /// `http::Server.reactor_handles` — reactor join handles
+    /// (shutdown only).
     pub(crate) const HTTP_ACCEPT: u32 = 50;
     /// `http::Client.conn` — the pooled client connection.
     pub(crate) const CLIENT_CONN: u32 = 60;

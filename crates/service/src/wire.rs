@@ -170,11 +170,11 @@ fn matpoly_from_json(v: &Value, what: &str) -> Result<Vec<CMat>, WireError> {
     items.iter().map(mat_from_json).collect()
 }
 
-fn complex_vec_to_json(zs: &[Complex64]) -> Value {
+pub(crate) fn complex_vec_to_json(zs: &[Complex64]) -> Value {
     Value::Array(zs.iter().map(|&z| complex_to_json(z)).collect())
 }
 
-fn complex_vec_from_json(v: &Value, what: &str) -> Result<Vec<Complex64>, WireError> {
+pub(crate) fn complex_vec_from_json(v: &Value, what: &str) -> Result<Vec<Complex64>, WireError> {
     let items = v
         .as_array()
         .ok_or_else(|| WireError(format!("{what} must be an array")))?;
@@ -498,6 +498,7 @@ pub fn error_from_json(v: &Value) -> Result<JobError, WireError> {
         "invalid_request" => JobError::InvalidRequest(message),
         "too_large" => JobError::TooLarge { detail: message },
         "queue_full" => JobError::QueueFull,
+        "deadline_exceeded" => JobError::DeadlineExceeded { detail: message },
         "shutting_down" => JobError::ShuttingDown,
         "start_system" => JobError::StartSystem(message),
         "uncertified" => JobError::Uncertified { detail: message },
@@ -514,6 +515,8 @@ pub fn stats_to_json(s: &EngineStats, resident: &[(pieri_core::Shape, usize, Dur
         ("submitted", Value::from(s.submitted)),
         ("completed", Value::from(s.completed)),
         ("rejected", Value::from(s.rejected)),
+        ("shed", Value::from(s.shed)),
+        ("deadline_expired", Value::from(s.deadline_expired)),
         ("certify", certify_counters_to_json(&s.certify)),
         ("cache", cache_stats_to_json(&s.cache, resident)),
     ])
@@ -535,6 +538,7 @@ fn cache_stats_to_json(c: &CacheStats, resident: &[(pieri_core::Shape, usize, Du
         ("shapes", Value::from(c.shapes)),
         ("evictions", Value::from(c.evictions)),
         ("resident_bytes", Value::from(c.resident_bytes)),
+        ("restored", Value::from(c.restored)),
         (
             "resident",
             Value::Array(

@@ -16,6 +16,9 @@
 //!   [`PathResult`] (converged / diverged-to-infinity / failed), plus
 //!   [`track_all`] and [`TrackStats`] for whole-system runs.
 //!
+//! * [`cancel`] — cooperative cancellation tokens with deadlines,
+//!   consulted by continuation drivers at path boundaries.
+//!
 //! Paths that diverge to infinity are first-class citizens: the cyclic
 //! 10-roots and RPS experiments of the paper owe their load-balancing
 //! behaviour to them, so the tracker reports them (with the `t` reached
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod homotopy;
 mod newton;
 mod path;
@@ -32,6 +36,7 @@ mod settings;
 mod stats;
 mod workspace;
 
+pub use cancel::CancelToken;
 pub use homotopy::{Homotopy, LinearHomotopy};
 pub use newton::{
     newton_correct, newton_correct_with, newton_step_with, NewtonOutcome, NewtonStep,

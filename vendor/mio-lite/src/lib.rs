@@ -1,0 +1,707 @@
+//! Offline vendored stand-in for the slice of [`mio`](https://crates.io/crates/mio)
+//! this workspace uses: a readiness poller over Linux `epoll` with an
+//! `eventfd` waker, declared through raw `extern "C"` prototypes (the
+//! build environment has no crates.io access, so there is no `libc`
+//! crate either).
+//!
+//! The API mirrors mio's shape without its generality:
+//!
+//! * [`Poll`] wraps an epoll instance — `register`/`reregister`/
+//!   `deregister` raw fds with a [`Token`] and an [`Interest`]
+//!   (readable/writable, level-triggered by default, edge-triggered on
+//!   request), and [`Poll::poll`] fills an [`Events`] buffer;
+//! * [`Waker`] wraps an `eventfd` registered with a `Poll`; `wake()` is
+//!   async-signal-ish cheap (one 8-byte write) and safe to call from
+//!   any thread, which is how worker threads nudge a reactor parked in
+//!   `epoll_wait`;
+//! * fds stay owned by the caller (std sockets set nonblocking via
+//!   `set_nonblocking`); this crate only owns the epoll and eventfd
+//!   descriptors it creates.
+//!
+//! Divergences from upstream: no `Source` trait (raw fds only), no
+//! `Registry` split, single-threaded `poll` (callers own the `Poll`
+//! from one thread), and non-Linux targets get a stub whose operations
+//! fail with [`std::io::ErrorKind::Unsupported`].
+//!
+//! `unsafe` is confined to the FFI call sites in `sys`; every block
+//! carries a SAFETY argument. The crate root deliberately carries
+//! `#![deny(unsafe_code)]` (not `forbid`) so each site is an explicit,
+//! reviewable `#[allow(unsafe_code)]` opt-in — the same policy as the
+//! vendored rayon runtime.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// Raw file descriptor, as in `std::os::fd::RawFd` on Unix.
+pub type RawFd = i32;
+
+// ---- tokens & interest -------------------------------------------------
+
+/// Caller-chosen identifier attached to a registration and echoed back
+/// in every [`Event`] for that fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness classes a registration subscribes to. Combine with
+/// [`Interest::add`]; level-triggered unless [`Interest::edge`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    bits: u8,
+}
+
+const INT_READ: u8 = 1;
+const INT_WRITE: u8 = 2;
+const INT_EDGE: u8 = 4;
+
+impl Interest {
+    /// Readable readiness (`EPOLLIN`, plus peer-close via `EPOLLRDHUP`).
+    pub const READABLE: Interest = Interest { bits: INT_READ };
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest { bits: INT_WRITE };
+    /// No readiness classes: the registration stays armed for the
+    /// always-on error/hangup notifications (`EPOLLERR`/`EPOLLHUP`)
+    /// but delivers neither readable nor writable events — how a
+    /// reactor suspends a connection (e.g. a full pipeline) without
+    /// deregistering it.
+    pub const NONE: Interest = Interest { bits: 0 };
+
+    /// Union of two interests. The name matches upstream `mio`'s
+    /// `Interest::add`, which is what callers are written against.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Switches the registration to edge-triggered (`EPOLLET`): an event
+    /// fires once per readiness *transition*, so the caller must drain
+    /// the fd to `WouldBlock` before the next event can arrive.
+    #[must_use]
+    pub fn edge(self) -> Interest {
+        Interest {
+            bits: self.bits | INT_EDGE,
+        }
+    }
+
+    /// Subscribes to readable readiness?
+    pub fn is_readable(self) -> bool {
+        self.bits & INT_READ != 0
+    }
+
+    /// Subscribes to writable readiness?
+    pub fn is_writable(self) -> bool {
+        self.bits & INT_WRITE != 0
+    }
+
+    /// Edge-triggered?
+    pub fn is_edge(self) -> bool {
+        self.bits & INT_EDGE != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut ev = 0;
+        if self.is_readable() {
+            ev |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            ev |= sys::EPOLLOUT;
+        }
+        if self.is_edge() {
+            ev |= sys::EPOLLET;
+        }
+        ev
+    }
+}
+
+// ---- events ------------------------------------------------------------
+
+/// One readiness notification: the registration's [`Token`] plus the
+/// readiness classes the kernel reported.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    bits: u32,
+    token: u64,
+}
+
+impl Event {
+    /// The token supplied at registration.
+    pub fn token(&self) -> Token {
+        Token(self.token as usize)
+    }
+
+    /// Readable — data available, or the peer closed (a read will
+    /// observe EOF rather than block).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+
+    /// Writable — the send buffer has room.
+    pub fn is_writable(&self) -> bool {
+        self.bits & sys::EPOLLOUT != 0
+    }
+
+    /// Error condition on the fd (e.g. `ECONNRESET`); the next I/O call
+    /// surfaces the specific errno.
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+
+    /// The peer closed its end (`EPOLLHUP`/`EPOLLRDHUP`).
+    pub fn is_closed(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// Reusable buffer `Poll::poll` fills with the ready [`Event`]s.
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![sys::EpollEvent::default(); capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|e| Event {
+            bits: e.events(),
+            token: e.data(),
+        })
+    }
+
+    /// Number of events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No events were delivered by the last poll.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum events a single poll can deliver into this buffer.
+    pub fn capacity(&self) -> usize {
+        self.raw.len()
+    }
+}
+
+// ---- poll --------------------------------------------------------------
+
+/// An epoll instance. Registrations map raw fds to [`Token`]s; `poll`
+/// parks the calling thread until an fd is ready, the timeout lapses,
+/// or a [`Waker`] fires.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: sys::OwnedFd,
+}
+
+impl Poll {
+    /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Adds `fd` with the given token and interest. The fd must remain
+    /// open while registered; the caller keeps ownership.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl_op(
+            self.epfd.raw(),
+            sys::EPOLL_CTL_ADD,
+            fd,
+            interest.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Replaces the token/interest of an existing registration.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl_op(
+            self.epfd.raw(),
+            sys::EPOLL_CTL_MOD,
+            fd,
+            interest.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Removes an fd's registration. Closing an fd deregisters it
+    /// implicitly, so reactors usually just drop the socket.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_ctl_op(self.epfd.raw(), sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for readiness. `None` blocks indefinitely (until an event
+    /// or a waker); `Some(d)` waits at most `d` (rounded up to whole
+    /// milliseconds so short timeouts don't busy-spin). Interrupted
+    /// waits (`EINTR`) report zero events rather than an error.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        events.len = sys::epoll_wait_into(self.epfd.raw(), &mut events.raw, timeout_ms)?;
+        Ok(events.len)
+    }
+}
+
+// ---- waker -------------------------------------------------------------
+
+/// Cross-thread wakeup for a [`Poll`]: an `eventfd` registered
+/// level-triggered readable under a caller-chosen token. `wake()` from
+/// any thread makes the next (or current) `poll` return an event with
+/// that token; the poller calls [`Waker::drain`] to re-arm it.
+#[derive(Debug)]
+pub struct Waker {
+    efd: sys::OwnedFd,
+}
+
+impl Waker {
+    /// Creates the eventfd and registers it with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let efd = sys::eventfd_new()?;
+        poll.register(efd.raw(), token, Interest::READABLE)?;
+        Ok(Waker { efd })
+    }
+
+    /// Nudges the poller. Never blocks: if the eventfd counter is
+    /// already saturated a pending wakeup exists, which is all a caller
+    /// needs.
+    pub fn wake(&self) -> io::Result<()> {
+        match sys::fd_write_u64(self.efd.raw(), 1) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            other => other.map(|_| ()),
+        }
+    }
+
+    /// Consumes pending wakeups so the next `poll` blocks again.
+    /// Nonblocking; safe to call when no wakeup is pending.
+    pub fn drain(&self) {
+        sys::fd_drain_u64(self.efd.raw());
+    }
+}
+
+// ---- sys: Linux FFI ----------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw epoll/eventfd bindings. All `unsafe` lives here.
+
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// Kernel `struct epoll_event`. Packed on x86-64 (the kernel ABI
+    /// packs it there so 32-bit userland matches); naturally aligned
+    /// everywhere else.
+    #[cfg(target_arch = "x86_64")]
+    #[derive(Debug, Clone, Copy, Default)]
+    #[repr(C, packed)]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Kernel `struct epoll_event` (naturally aligned variant).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[derive(Debug, Clone, Copy, Default)]
+    #[repr(C)]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    impl EpollEvent {
+        /// Readiness bit set (by-value copy, safe on the packed layout).
+        pub fn events(&self) -> u32 {
+            self.events
+        }
+
+        /// User data = the registration token.
+        pub fn data(&self) -> u64 {
+            self.data
+        }
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    /// An fd this crate created and must close. Not `Clone`; dropping
+    /// closes.
+    #[derive(Debug)]
+    pub struct OwnedFd(i32);
+
+    impl OwnedFd {
+        pub fn raw(&self) -> i32 {
+            self.0
+        }
+    }
+
+    impl Drop for OwnedFd {
+        fn drop(&mut self) {
+            // SAFETY: `self.0` came from a successful epoll_create1 or
+            // eventfd call and is closed exactly once (OwnedFd is not
+            // Clone and the field is never exposed mutably).
+            #[allow(unsafe_code)]
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<OwnedFd> {
+        // SAFETY: epoll_create1 takes a flags word and touches no
+        // caller memory; a negative return is the error case.
+        #[allow(unsafe_code)]
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(OwnedFd(fd))
+    }
+
+    pub fn epoll_ctl_op(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` is a live, properly laid out (repr(C)) stack
+        // value for the duration of the call; the kernel only reads it
+        // (EPOLL_CTL_DEL ignores it entirely).
+        #[allow(unsafe_code)]
+        let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn epoll_wait_into(
+        epfd: i32,
+        buf: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        debug_assert!(!buf.is_empty());
+        // SAFETY: `buf` is a live mutable slice; maxevents is exactly
+        // its length (capped to i32), so the kernel writes only within
+        // bounds. EpollEvent is plain old data, so partially
+        // initialised tails are never read (we take only `n` entries).
+        #[allow(unsafe_code)]
+        let n = unsafe {
+            epoll_wait(
+                epfd,
+                buf.as_mut_ptr(),
+                buf.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+
+    pub fn eventfd_new() -> io::Result<OwnedFd> {
+        // SAFETY: eventfd takes two scalar arguments and touches no
+        // caller memory; a negative return is the error case.
+        #[allow(unsafe_code)]
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(OwnedFd(fd))
+    }
+
+    pub fn fd_write_u64(fd: i32, value: u64) -> io::Result<()> {
+        let bytes = value.to_ne_bytes();
+        // SAFETY: writes exactly 8 bytes from a live stack buffer of
+        // that size; the fd is nonblocking so the call cannot park.
+        #[allow(unsafe_code)]
+        let n = unsafe { write(fd, bytes.as_ptr(), bytes.len()) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn fd_drain_u64(fd: i32) {
+        let mut bytes = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live stack buffer of
+        // that size; the fd is nonblocking so the call cannot park.
+        #[allow(unsafe_code)]
+        let n = unsafe { read(fd, bytes.as_mut_ptr(), bytes.len()) };
+        // An eventfd read empties the whole counter in one shot; errors
+        // (EAGAIN when already empty) mean there is nothing to drain.
+        let _ = n;
+    }
+}
+
+// ---- sys: non-Linux stub -----------------------------------------------
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Stub for non-Linux targets: compiles, every operation fails with
+    //! `ErrorKind::Unsupported`. The service falls back to refusing to
+    //! start its reactor there.
+
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    /// Mirror of the Linux event record.
+    #[derive(Debug, Clone, Copy, Default)]
+    #[repr(C)]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    impl EpollEvent {
+        pub fn events(&self) -> u32 {
+            self.events
+        }
+
+        pub fn data(&self) -> u64 {
+            self.data
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct OwnedFd(i32);
+
+    impl OwnedFd {
+        pub fn raw(&self) -> i32 {
+            self.0
+        }
+    }
+
+    fn unsupported() -> io::Error {
+        io::Error::new(io::ErrorKind::Unsupported, "mio-lite requires Linux epoll")
+    }
+
+    pub fn epoll_create() -> io::Result<OwnedFd> {
+        Err(unsupported())
+    }
+
+    pub fn epoll_ctl_op(
+        _epfd: i32,
+        _op: i32,
+        _fd: i32,
+        _events: u32,
+        _data: u64,
+    ) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn epoll_wait_into(
+        _epfd: i32,
+        _buf: &mut [EpollEvent],
+        _timeout_ms: i32,
+    ) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    pub fn eventfd_new() -> io::Result<OwnedFd> {
+        Err(unsupported())
+    }
+
+    pub fn fd_write_u64(_fd: i32, _value: u64) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn fd_drain_u64(_fd: i32) {}
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    /// Connected nonblocking (client, server) pair on loopback.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn writable_readiness_on_fresh_socket() {
+        let poll = Poll::new().unwrap();
+        let (client, _server) = tcp_pair();
+        poll.register(client.as_raw_fd(), Token(7), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_writable());
+    }
+
+    #[test]
+    fn readable_after_peer_write_and_deregister_silences() {
+        let poll = Poll::new().unwrap();
+        let (mut client, server) = tcp_pair();
+        poll.register(server.as_raw_fd(), Token(3), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap(),
+            0,
+            "no data yet"
+        );
+        client.write_all(b"ping").unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(3));
+        assert!(ev.is_readable());
+
+        poll.deregister(server.as_raw_fd()).unwrap();
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap(),
+            0,
+            "deregistered fd no longer reports"
+        );
+    }
+
+    #[test]
+    fn level_refires_until_drained_edge_fires_once() {
+        let poll = Poll::new().unwrap();
+        let (mut client, mut server) = tcp_pair();
+        poll.register(server.as_raw_fd(), Token(1), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"data").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        // Level-triggered: unread data keeps the fd ready.
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "level readiness re-fires");
+
+        // Edge-triggered: after one notification, silence until the
+        // next transition.
+        poll.reregister(server.as_raw_fd(), Token(1), Interest::READABLE.edge())
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "re-arm reports the pending data once");
+        poll.poll(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert_eq!(events.len(), 0, "edge does not re-fire without new bytes");
+
+        let mut buf = [0u8; 16];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"data");
+        client.write_all(b"more").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "new bytes are a fresh edge");
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(0)).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        // lint:allow(no-raw-thread-spawn) — test-only: the cross-thread wake is the behaviour under test
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().token(), Token(0));
+        handle.join().unwrap();
+
+        waker.drain();
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap(),
+            0,
+            "drained waker re-arms"
+        );
+        // Saturating wakes never error or block.
+        for _ in 0..100 {
+            waker.wake().unwrap();
+        }
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_secs(2)))
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn interest_algebra() {
+        let rw = Interest::READABLE.add(Interest::WRITABLE);
+        assert!(rw.is_readable() && rw.is_writable() && !rw.is_edge());
+        assert!(rw.edge().is_edge());
+        assert_eq!(Token(5), Token(5));
+    }
+}
