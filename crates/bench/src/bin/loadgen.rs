@@ -6,6 +6,7 @@
 //! ```sh
 //! cargo run --release --bin loadgen [clients] [requests-per-client] \
 //!     [connections] [requests-per-connection]
+//! cargo run --release --bin loadgen restart [clients] [duration-ms]
 //! ```
 //!
 //! Defaults: 4 clients × 8 requests, satellite plant, shape (2,2,1).
@@ -22,10 +23,21 @@
 //! that dies without a structured answer aborts the run. Each
 //! connection costs two fds in this process (client + server end), so
 //! 1000 connections need `ulimit -n` ≳ 2100.
+//!
+//! `loadgen restart` runs the **zero-downtime restart drill** instead:
+//! a swarm of retrying clients hammers server A (bound with
+//! `SO_REUSEPORT`), a replacement server B starts on the *same* port
+//! mid-swarm, A drains, and the drill asserts zero failed non-shed
+//! requests across the handoff, an exactly-once completion ledger
+//! across both engines, and bit-identical answers whichever server
+//! responded.
 
 use pieri_control::{conjugate_pole_set, satellite_plant};
 use pieri_num::seeded_rng;
-use pieri_service::{Client, Engine, EngineConfig, JobError, JobRequest, Server};
+use pieri_service::{
+    Client, Engine, EngineConfig, JobError, JobRequest, RetryPolicy, Server, ServerOptions,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -41,9 +53,144 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Zero-downtime restart drill (`loadgen restart [clients] [duration-ms]`):
+/// server A serves a swarm of retrying clients via `SO_REUSEPORT`, a
+/// replacement server B binds the same port mid-swarm, and A drains.
+/// Aborts unless every non-shed request is answered exactly once with
+/// bit-identical results across the handoff.
+fn restart_drill(clients: usize, duration: Duration) {
+    let reuse = || ServerOptions {
+        reuseport: true,
+        ..ServerOptions::default()
+    };
+    let engine_a = Arc::new(Engine::start(EngineConfig::default()));
+    let server_a =
+        Server::start_with("127.0.0.1:0", Arc::clone(&engine_a), reuse()).expect("bind A");
+    let addr = server_a.addr();
+    println!(
+        "restart drill: {clients} retrying clients against http://{addr} for {:.0} ms, \
+         SO_REUSEPORT handoff mid-swarm",
+        ms(duration)
+    );
+
+    let swarm_req = |seed: u64| JobRequest::SolvePieri {
+        m: 2,
+        p: 2,
+        q: 0,
+        seed,
+        certify: false,
+    };
+    // Warm the shape on A so the swarm measures the steady state (the
+    // warm answer joins the ledger: it completed on A like any other).
+    let warm = Client::new(addr)
+        .expect("warm client")
+        .solve(&swarm_req(0))
+        .expect("pre-warm drill shape");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let next_seed = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let next_seed = Arc::clone(&next_seed);
+            // lint:allow(no-raw-thread-spawn) — these threads *are* the
+            // simulated clients of the restart drill; they only do
+            // socket I/O and retry bookkeeping.
+            std::thread::spawn(move || {
+                let client =
+                    Client::with_retry(addr, Duration::from_secs(30), RetryPolicy::attempts(6))
+                        .expect("drill client");
+                let mut answers = Vec::new();
+                let mut shed = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let seed = next_seed.fetch_add(1, Ordering::SeqCst) % 3;
+                    match client.solve(&swarm_req(seed)) {
+                        Ok(res) => answers.push((seed, res.coeffs)),
+                        // Load shedding stays a structured *answer*
+                        // during the handoff, same as in the swarm.
+                        Err(
+                            JobError::QueueFull
+                            | JobError::ShuttingDown
+                            | JobError::DeadlineExceeded { .. },
+                        ) => shed += 1,
+                        Err(e) => panic!("client {c} dropped a request mid-restart: {e:?}"),
+                    }
+                }
+                (answers, shed)
+            })
+        })
+        .collect();
+
+    // Mid-swarm: start the replacement on the same port, then drain
+    // the old server while the swarm keeps firing.
+    std::thread::sleep(duration / 3);
+    let engine_b = Arc::new(Engine::start(EngineConfig::default()));
+    let server_b = Server::start_with(&addr.to_string(), Arc::clone(&engine_b), reuse())
+        .expect("bind B on the same port while A still serves");
+    let t_drain = Instant::now();
+    let drained = server_a.drain(Duration::from_secs(30));
+    let drain_time = t_drain.elapsed();
+    assert!(drained, "server A drained every connection cleanly");
+
+    std::thread::sleep(duration - duration / 3);
+    stop.store(true, Ordering::SeqCst);
+    let mut answers = vec![(0u64, warm.coeffs)];
+    let mut shed = 0usize;
+    for h in handles {
+        let (a, s) = h.join().expect("drill client thread");
+        answers.extend(a);
+        shed += s;
+    }
+
+    // Exactly-once ledger: every client success is one completed job
+    // on exactly one engine; A finished everything it admitted.
+    let stats_a = engine_a.stats();
+    let stats_b = engine_b.stats();
+    assert_eq!(stats_a.completed, stats_a.submitted, "A drained clean");
+    assert_eq!(
+        stats_a.completed + stats_b.completed,
+        answers.len(),
+        "exactly-once ledger across the restart: A={stats_a:?} B={stats_b:?}"
+    );
+    assert!(
+        stats_b.completed >= 1,
+        "the replacement server took over the swarm: {stats_b:?}"
+    );
+    // Bit-identical results regardless of which server answered.
+    for seed in 0..3u64 {
+        let mut per_seed = answers.iter().filter(|(s, _)| *s == seed);
+        if let Some((_, first)) = per_seed.next() {
+            for (_, coeffs) in per_seed {
+                assert_eq!(coeffs, first, "seed {seed} differed across the restart");
+            }
+        }
+    }
+    println!(
+        "restart drill: {} answered ({} shed as structured 503s), drain took {:.1} ms; \
+         A completed {} of {} admitted, B completed {}; 0 dropped, answers bit-identical",
+        answers.len(),
+        shed,
+        ms(drain_time),
+        stats_a.completed,
+        stats_a.submitted,
+        stats_b.completed,
+    );
+
+    server_b.shutdown();
+    engine_b.shutdown();
+    engine_a.shutdown();
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let first = args.next();
+    if first.as_deref() == Some("restart") {
+        let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+        let duration_ms: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
+        restart_drill(clients, Duration::from_millis(duration_ms));
+        return;
+    }
+    let clients: usize = first.and_then(|s| s.parse().ok()).unwrap_or(4);
     let per_client: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let connections: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
     let per_conn: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);

@@ -1,0 +1,537 @@
+//! Deterministic fault injection for the pieri service stack.
+//!
+//! A [`FaultPlan`] is a seeded, schedule-addressable description of *which*
+//! fault sites fire and *when*. Sites are plain string names compiled into
+//! the service and the vendored I/O layer (e.g. `sock.read.eagain`,
+//! `worker.panic`, `store.write.torn`); the plan decides, per hit, whether
+//! the site triggers. Everything is deterministic: the same plan against
+//! the same sequence of hits produces the same faults, so a chaos run that
+//! finds a bug is replayable from its spec string alone.
+//!
+//! # Spec grammar
+//!
+//! A plan is a `;`-separated list of clauses:
+//!
+//! ```text
+//! seed=42; worker.wedge@1:ms=400; sock.read.eagain%0.25; store.write.torn@1..3; poll.spurious/7
+//! ```
+//!
+//! | clause          | meaning                                             |
+//! |-----------------|-----------------------------------------------------|
+//! | `seed=N`        | seeds every probabilistic schedule in the plan      |
+//! | `site@N`        | fire on exactly the N-th hit of `site` (1-based)    |
+//! | `site@A..B`     | fire on hits A through B inclusive                  |
+//! | `site/K`        | fire on every K-th hit                              |
+//! | `site%P`        | fire each hit with probability P (deterministic)    |
+//! | `site`          | fire on every hit                                   |
+//! | `...:KEY=V`     | attach an integer parameter (e.g. `:ms=400`)        |
+//!
+//! A site name may end in `.*` to match every site sharing the prefix.
+//! Multiple clauses may target the same site; each keeps its own hit
+//! counter and the first clause (in spec order) that triggers wins.
+//!
+//! # Activation
+//!
+//! Downstream crates consult the process-global registry through
+//! [`fires`]. Nothing fires until a plan is [`install`]ed (tests) or
+//! loaded from the `PIERI_CHAOS` environment variable via
+//! [`install_from_env`] (live runs). Downstream call sites are themselves
+//! behind a `chaos` cargo feature, so a default build carries no
+//! injection code at all — this crate is only linked when that feature
+//! is enabled.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable consulted by [`install_from_env`].
+pub const ENV_VAR: &str = "PIERI_CHAOS";
+
+/// Probability schedules draw 53 mantissa bits per hit; `P` is compared
+/// against `draw / 2^53`.
+const PROB_BITS: u32 = 53;
+
+/// When a clause fires, the hit carries the clause's optional integer
+/// parameter (e.g. a wedge duration in milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultHit {
+    /// Value of the `:key=V` parameter, if the clause had one.
+    pub param: Option<u64>,
+}
+
+impl FaultHit {
+    /// The parameter, or `default` when the clause carried none.
+    pub fn param_or(&self, default: u64) -> u64 {
+        self.param.unwrap_or(default)
+    }
+}
+
+/// When (in a site's hit sequence) a clause triggers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Schedule {
+    /// `@N` — exactly the N-th hit.
+    Nth(u64),
+    /// `@A..B` — hits A through B inclusive.
+    Range(u64, u64),
+    /// `/K` — every K-th hit.
+    Every(u64),
+    /// `%P` — each hit independently with probability P.
+    Prob(f64),
+    /// Bare site — every hit.
+    Always,
+}
+
+/// One parsed clause: a site pattern, a schedule, per-clause counters and
+/// (for probabilistic schedules) a private deterministic RNG stream.
+#[derive(Debug)]
+struct Clause {
+    pattern: String,
+    schedule: Schedule,
+    param: Option<u64>,
+    hits: AtomicU64,
+    fired: AtomicU64,
+    rng: Mutex<u64>,
+}
+
+impl Clause {
+    fn matches(&self, site: &str) -> bool {
+        match self.pattern.strip_suffix(".*") {
+            Some(prefix) => {
+                site.strip_prefix(prefix)
+                    .is_some_and(|rest| rest.starts_with('.'))
+                    || site == prefix
+            }
+            None => site == self.pattern,
+        }
+    }
+
+    /// Records one hit and reports whether this clause triggers on it.
+    fn hit(&self) -> Option<FaultHit> {
+        let n = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        let triggered = match self.schedule {
+            Schedule::Nth(k) => n == k,
+            Schedule::Range(a, b) => (a..=b).contains(&n),
+            Schedule::Every(k) => k > 0 && n.is_multiple_of(k),
+            Schedule::Always => true,
+            Schedule::Prob(p) => {
+                let mut state = match self.rng.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let draw = xorshift(&mut state) >> (64 - PROB_BITS);
+                (draw as f64) < p * (1u64 << PROB_BITS) as f64
+            }
+        };
+        if triggered {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            Some(FaultHit { param: self.param })
+        } else {
+            None
+        }
+    }
+}
+
+/// Observed activity of one clause, for test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClauseCounters {
+    /// The clause's site pattern as written in the spec.
+    pub pattern: String,
+    /// How many matching hits the clause has seen.
+    pub hits: u64,
+    /// How many of those hits it fired on.
+    pub fired: u64,
+}
+
+/// A parsed, seeded fault schedule. Immutable after parse apart from the
+/// per-clause hit counters; safe to share across every service thread.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    clauses: Vec<Clause>,
+}
+
+impl FaultPlan {
+    /// Parses a plan from its spec string (see the module docs for the
+    /// grammar). Returns a message naming the offending clause on error.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0xc4a0_5eedu64;
+        let mut raw: Vec<(String, Schedule, Option<u64>)> = Vec::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(value) = clause.strip_prefix("seed=") {
+                seed = value
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed clause `{clause}`"))?;
+                continue;
+            }
+            raw.push(parse_clause(clause)?);
+        }
+        let clauses = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pattern, schedule, param))| {
+                // Each probabilistic clause gets a private xorshift stream
+                // derived from the plan seed, the clause position and the
+                // pattern, so reordering unrelated clauses does not change
+                // an existing clause's draws.
+                let stream =
+                    splitmix(seed ^ fnv1a(pattern.as_bytes()) ^ (i as u64).wrapping_mul(0x9e37));
+                Clause {
+                    pattern,
+                    schedule,
+                    param,
+                    hits: AtomicU64::new(0),
+                    fired: AtomicU64::new(0),
+                    rng: Mutex::new(stream.max(1)),
+                }
+            })
+            .collect();
+        Ok(FaultPlan { seed, clauses })
+    }
+
+    /// The plan's seed (default or from a `seed=` clause).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Records a hit of `site` against every matching clause, in spec
+    /// order, and returns the first triggered fault, if any.
+    pub fn fires(&self, site: &str) -> Option<FaultHit> {
+        let mut hit = None;
+        for clause in self.clauses.iter().filter(|c| c.matches(site)) {
+            let fired = clause.hit();
+            if hit.is_none() {
+                hit = fired;
+            }
+        }
+        hit
+    }
+
+    /// Per-clause hit/fire counters, in spec order.
+    pub fn counters(&self) -> Vec<ClauseCounters> {
+        self.clauses
+            .iter()
+            .map(|c| ClauseCounters {
+                pattern: c.pattern.clone(),
+                hits: c.hits.load(Ordering::Relaxed),
+                fired: c.fired.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total fires across every clause matching `pattern` literally.
+    pub fn fired(&self, pattern: &str) -> u64 {
+        self.clauses
+            .iter()
+            .filter(|c| c.pattern == pattern)
+            .map(|c| c.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<(String, Schedule, Option<u64>), String> {
+    let (head, param) = match clause.split_once(':') {
+        Some((head, tail)) => {
+            let (_key, value) = tail
+                .split_once('=')
+                .ok_or_else(|| format!("bad parameter in `{clause}` (want `:key=value`)"))?;
+            let value = value
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad parameter value in `{clause}`"))?;
+            (head, Some(value))
+        }
+        None => (clause, None),
+    };
+    let (site, schedule) = if let Some((site, sched)) = head.split_once('@') {
+        let schedule = match sched.split_once("..") {
+            Some((a, b)) => {
+                let a = a.trim().parse::<u64>().map_err(|_| bad_sched(clause))?;
+                let b = b.trim().parse::<u64>().map_err(|_| bad_sched(clause))?;
+                if a == 0 || b < a {
+                    return Err(bad_sched(clause));
+                }
+                Schedule::Range(a, b)
+            }
+            None => {
+                let n = sched.trim().parse::<u64>().map_err(|_| bad_sched(clause))?;
+                if n == 0 {
+                    return Err(bad_sched(clause));
+                }
+                Schedule::Nth(n)
+            }
+        };
+        (site, schedule)
+    } else if let Some((site, every)) = head.split_once('/') {
+        let k = every.trim().parse::<u64>().map_err(|_| bad_sched(clause))?;
+        if k == 0 {
+            return Err(bad_sched(clause));
+        }
+        (site, Schedule::Every(k))
+    } else if let Some((site, prob)) = head.split_once('%') {
+        let p = prob.trim().parse::<f64>().map_err(|_| bad_sched(clause))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(bad_sched(clause));
+        }
+        (site, Schedule::Prob(p))
+    } else {
+        (head, Schedule::Always)
+    };
+    let site = site.trim();
+    let valid = !site.is_empty()
+        && site
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '*' || c == '-');
+    if !valid {
+        return Err(format!("bad site name in `{clause}`"));
+    }
+    Ok((site.to_string(), schedule, param))
+}
+
+fn bad_sched(clause: &str) -> String {
+    format!("bad schedule in `{clause}`")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+// ---------------------------------------------------------------------------
+// Process-global registry
+// ---------------------------------------------------------------------------
+
+/// Fast-path gate: call sites check one relaxed atomic before touching
+/// the registry mutex, so an installed-but-irrelevant plan costs a load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static REGISTRY: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+fn registry_lock() -> std::sync::MutexGuard<'static, Option<Arc<FaultPlan>>> {
+    match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs `plan` as the process-global active plan, replacing any
+/// previous one. Returns the previous plan, if any.
+pub fn install(plan: Arc<FaultPlan>) -> Option<Arc<FaultPlan>> {
+    let mut slot = registry_lock();
+    let previous = slot.replace(plan);
+    ENABLED.store(true, Ordering::Release);
+    previous
+}
+
+/// Deactivates fault injection and returns the plan that was active.
+pub fn clear() -> Option<Arc<FaultPlan>> {
+    let mut slot = registry_lock();
+    ENABLED.store(false, Ordering::Release);
+    slot.take()
+}
+
+/// The currently installed plan, if any.
+pub fn active() -> Option<Arc<FaultPlan>> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    registry_lock().clone()
+}
+
+/// Records a hit of `site` against the active plan. `None` when no plan
+/// is installed or no clause triggers.
+pub fn fires(site: &str) -> Option<FaultHit> {
+    active()?.fires(site)
+}
+
+/// Installs a plan from the `PIERI_CHAOS` environment variable. Returns
+/// `Ok(true)` when a plan was installed, `Ok(false)` when the variable is
+/// unset or empty, and the parse error otherwise.
+pub fn install_from_env() -> Result<bool, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            install(Arc::new(FaultPlan::parse(&spec)?));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_schedule_fires_exactly_once() {
+        let plan = FaultPlan::parse("worker.panic@3").unwrap();
+        let fired: Vec<bool> = (0..6)
+            .map(|_| plan.fires("worker.panic").is_some())
+            .collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(plan.fired("worker.panic"), 1);
+    }
+
+    #[test]
+    fn range_schedule_covers_inclusive_window() {
+        let plan = FaultPlan::parse("sock.accept.fail@2..4").unwrap();
+        let fired: Vec<bool> = (0..6)
+            .map(|_| plan.fires("sock.accept.fail").is_some())
+            .collect();
+        assert_eq!(fired, vec![false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn every_schedule_is_periodic() {
+        let plan = FaultPlan::parse("poll.spurious/3").unwrap();
+        let fired: Vec<bool> = (0..9)
+            .map(|_| plan.fires("poll.spurious").is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn bare_site_always_fires_and_carries_param() {
+        let plan = FaultPlan::parse("worker.delay:ms=120").unwrap();
+        let hit = plan.fires("worker.delay").unwrap();
+        assert_eq!(hit.param, Some(120));
+        assert_eq!(hit.param_or(5), 120);
+        assert!(plan.fires("worker.delay").is_some());
+        assert!(plan.fires("worker.other").is_none());
+    }
+
+    #[test]
+    fn probability_is_deterministic_for_a_seed() {
+        let a = FaultPlan::parse("seed=42;sock.read.eagain%0.5").unwrap();
+        let b = FaultPlan::parse("seed=42;sock.read.eagain%0.5").unwrap();
+        let seq_a: Vec<bool> = (0..64)
+            .map(|_| a.fires("sock.read.eagain").is_some())
+            .collect();
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| b.fires("sock.read.eagain").is_some())
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        let fired = seq_a.iter().filter(|f| **f).count();
+        assert!(
+            (8..=56).contains(&fired),
+            "p=0.5 over 64 draws fired {fired} times"
+        );
+
+        let c = FaultPlan::parse("seed=43;sock.read.eagain%0.5").unwrap();
+        let seq_c: Vec<bool> = (0..64)
+            .map(|_| c.fires("sock.read.eagain").is_some())
+            .collect();
+        assert_ne!(
+            seq_a, seq_c,
+            "different seeds should differ somewhere in 64 draws"
+        );
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = FaultPlan::parse("a%0").unwrap();
+        assert!((0..32).all(|_| never.fires("a").is_none()));
+        let always = FaultPlan::parse("a%1").unwrap();
+        assert!((0..32).all(|_| always.fires("a").is_some()));
+    }
+
+    #[test]
+    fn prefix_pattern_matches_subtree() {
+        let plan = FaultPlan::parse("sock.read.*").unwrap();
+        assert!(plan.fires("sock.read.eagain").is_some());
+        assert!(plan.fires("sock.read.short").is_some());
+        assert!(plan.fires("sock.read").is_some());
+        assert!(plan.fires("sock.write.short").is_none());
+        assert!(plan.fires("sock.readx").is_none());
+    }
+
+    #[test]
+    fn first_matching_clause_wins_but_all_count_hits() {
+        let plan = FaultPlan::parse("w.x@1:ms=7;w.x@1:ms=9").unwrap();
+        let hit = plan.fires("w.x").unwrap();
+        assert_eq!(hit.param, Some(7));
+        let counters = plan.counters();
+        assert_eq!(counters[0].hits, 1);
+        assert_eq!(counters[1].hits, 1);
+        // The second clause also triggered on its own first hit, but the
+        // first clause's parameter is the one delivered.
+        assert_eq!(counters[1].fired, 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "site@0",
+            "site@3..1",
+            "site/0",
+            "site%1.5",
+            "site%-0.1",
+            "@3",
+            "seed=notanumber",
+            "site:ms",
+            "site:ms=xyz",
+            "si te@1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_empty_clauses() {
+        let plan =
+            FaultPlan::parse(" seed=9 ; ; worker.panic@1 ;; sock.read.eagain%0.25 ").unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.counters().len(), 2);
+    }
+
+    #[test]
+    fn registry_install_fires_clear() {
+        // Serialise against other registry tests in this binary.
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+
+        clear();
+        assert!(
+            fires("worker.panic").is_none(),
+            "nothing fires before install"
+        );
+        let plan = Arc::new(FaultPlan::parse("worker.panic@1").unwrap());
+        install(Arc::clone(&plan));
+        assert!(fires("worker.panic").is_some());
+        assert!(fires("worker.panic").is_none(), "Nth schedule spent");
+        assert_eq!(plan.fired("worker.panic"), 1);
+        let removed = clear().expect("plan was installed");
+        assert!(Arc::ptr_eq(&removed, &plan));
+        assert!(fires("worker.panic").is_none());
+    }
+}

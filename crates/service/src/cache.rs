@@ -118,6 +118,9 @@ pub struct CacheStats {
     /// Bundles restored from the on-disk store at startup — warm
     /// restarts that skipped the Pieri tree entirely.
     pub restored: usize,
+    /// Store loads rescued from the `.bak` fallback after a torn or
+    /// corrupt primary file (see [`crate::store::BundleStore`]).
+    pub store_recovered: usize,
 }
 
 /// A concurrent map `(m, p, q) → Arc<StartBundle>`.
@@ -375,6 +378,7 @@ impl ShapeCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             resident_bytes,
             restored: self.restored.load(Ordering::Relaxed),
+            store_recovered: self.store.as_ref().map_or(0, |s| s.recovered()),
         }
     }
 

@@ -13,6 +13,20 @@
 //!
 //! No panic crosses the boundary: execution is wrapped in
 //! `catch_unwind` and surfaces as [`JobError::Internal`].
+//!
+//! Behind the workers sits a **supervisor** thread: each worker claims
+//! its current job in a per-worker supervision slot (a heartbeat — the
+//! claim carries a start timestamp), and the supervisor restarts
+//! workers that die (a panic escaping the `catch_unwind` frame, e.g.
+//! while holding the queue lock) or *wedge* (a claimed job running past
+//! [`SupervisorConfig::stall_timeout`]), with capped exponential
+//! backoff between a worker's consecutive failures. An orphaned job
+//! whose solver never started is requeued at the front (replay-safe:
+//! the computation is deterministic and had no observable effect yet);
+//! one lost mid-execution is answered with a structured internal error.
+//! Exactly-once answering is structural: whoever takes the claim out of
+//! the slot — finishing worker or recovering supervisor — owns the
+//! completion, so no job is ever answered twice or dropped.
 
 use crate::cache::{panic_message, BuildMode, CacheLimits, CacheStats, ShapeCache};
 use crate::job::{CompensatorAnswer, JobError, JobLimits, JobRequest, JobResult};
@@ -63,6 +77,9 @@ pub struct EngineConfig {
     /// freshly built bundle is saved best-effort. `None` disables
     /// persistence.
     pub bundle_store: Option<PathBuf>,
+    /// Worker supervision: failure detection cadence, wedge threshold
+    /// and restart backoff.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +94,36 @@ impl Default for EngineConfig {
             cache_limits: CacheLimits::default(),
             certify: CertifyPolicy::full(),
             bundle_store: None,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// How the engine's supervisor detects and replaces failed workers.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Wedge-scan cadence. Panicked workers are reported immediately
+    /// (the dying thread notifies the supervisor); this bounds only how
+    /// fast *stalls* are noticed.
+    pub tick: Duration,
+    /// A claimed job running longer than this marks its worker wedged:
+    /// the worker is failed over and the job recovered. Must comfortably
+    /// exceed the longest legitimate job (cold bundle builds included).
+    pub stall_timeout: Duration,
+    /// Restart backoff after a worker's first consecutive failure;
+    /// doubles per further failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential restart backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            tick: Duration::from_millis(250),
+            stall_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(2),
         }
     }
 }
@@ -100,6 +147,42 @@ struct Queued {
 struct QueueState {
     queue: VecDeque<Queued>,
     open: bool,
+}
+
+/// A worker's claim on the job it is currently running — the heartbeat
+/// the supervisor reads. Created when the worker moves a popped job
+/// into its slot; removed by whoever completes the job (the worker on
+/// success, the supervisor on fail-over). Taking it out of the slot is
+/// the exactly-once point: the taker owns `job.done`.
+struct InFlight {
+    job: Queued,
+    /// When the claim was made; `started.elapsed()` past the stall
+    /// timeout marks the worker wedged.
+    started: Instant,
+    /// Set once the solver is actually invoked. A claim recovered with
+    /// this still `false` is replay-safe to requeue — the computation
+    /// had no observable effect yet.
+    executing: bool,
+}
+
+/// Supervision state of one worker index.
+struct WorkerSlot {
+    /// Bumped on every fail-over. A worker whose generation no longer
+    /// matches its slot has been superseded: it must not touch the
+    /// claim and must exit (a wedge that woke up late, for example).
+    generation: u64,
+    busy: Option<InFlight>,
+    handle: Option<JoinHandle<()>>,
+    /// Consecutive failures feeding the exponential restart backoff;
+    /// reset by any successfully completed job.
+    consecutive_failures: u32,
+}
+
+/// The supervisor's inbox: dying workers push `(index, generation)`
+/// here from their panic sentinel, shutdown raises `stop`.
+struct ReaperState {
+    dead: Vec<(usize, u64)>,
+    stop: bool,
 }
 
 struct Shared {
@@ -127,6 +210,18 @@ struct Shared {
     refined: AtomicUsize,
     retracked: AtomicUsize,
     cert_failed: AtomicUsize,
+    /// Per-worker supervision slots; indexed by worker id.
+    slots: RankedMutex<Vec<WorkerSlot>>,
+    /// Dead-worker notifications and the supervisor stop flag.
+    reaper: RankedMutex<ReaperState>,
+    /// The supervisor parks here between ticks; dying workers and
+    /// shutdown notify it.
+    reaper_cv: Condvar,
+    supervisor: SupervisorConfig,
+    /// Workers replaced after a panic or wedge.
+    workers_restarted: AtomicUsize,
+    /// Orphaned jobs requeued replay-safely by the supervisor.
+    jobs_recovered: AtomicUsize,
 }
 
 impl Shared {
@@ -205,6 +300,11 @@ pub struct EngineStats {
     pub deadline_expired: usize,
     /// Certification counters (certified/refined/retracked/failed).
     pub certify: CertifyCounters,
+    /// Workers the supervisor replaced after a panic or wedge.
+    pub workers_restarted: usize,
+    /// Orphaned in-flight jobs the supervisor requeued replay-safely
+    /// (their solver had not started when the worker died).
+    pub jobs_recovered: usize,
     /// Shape-cache counters.
     pub cache: CacheStats,
 }
@@ -262,27 +362,57 @@ impl Engine {
             refined: AtomicUsize::new(0),
             retracked: AtomicUsize::new(0),
             cert_failed: AtomicUsize::new(0),
+            slots: RankedMutex::new(
+                "engine-workers",
+                rank::ENGINE_WORKERS,
+                (0..config.workers)
+                    .map(|_| WorkerSlot {
+                        generation: 0,
+                        busy: None,
+                        handle: None,
+                        consecutive_failures: 0,
+                    })
+                    .collect(),
+            ),
+            reaper: RankedMutex::new(
+                "engine-supervisor",
+                rank::ENGINE_SUPERVISOR,
+                ReaperState {
+                    dead: Vec::new(),
+                    stop: false,
+                },
+            ),
+            reaper_cv: Condvar::new(),
+            supervisor: config.supervisor,
+            workers_restarted: AtomicUsize::new(0),
+            jobs_recovered: AtomicUsize::new(0),
         });
-        let handles = (0..config.workers)
-            .map(|i| {
-                let shared = shared.clone();
-                // lint:allow(no-raw-thread-spawn) — these *are* the
-                // engine's bounded worker set, created once at startup;
-                // all per-job compute they run goes through the pool.
-                std::thread::Builder::new()
-                    .name(format!("pieri-service-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    // lint:allow(no-panic-in-service) — startup-time
-                    // precondition, not a request path: if the OS cannot
-                    // spawn the fixed worker set, the process cannot
-                    // serve at all and should die loudly at boot.
-                    .expect("spawn worker")
-            })
-            .collect();
+        for i in 0..config.workers {
+            let handle = spawn_worker(&shared, i, 0)
+                // lint:allow(no-panic-in-service) — startup-time
+                // precondition, not a request path: if the OS cannot
+                // spawn the fixed worker set, the process cannot
+                // serve at all and should die loudly at boot.
+                .expect("spawn worker");
+            // lint:lock-rank(engine-workers, 12)
+            shared.slots.lock_recover()[i].handle = Some(handle);
+        }
+        let supervisor = {
+            let shared = shared.clone();
+            // lint:allow(no-raw-thread-spawn) — the singleton
+            // supervisor thread, created once at startup; it runs no
+            // per-job compute, only failure detection and respawns.
+            std::thread::Builder::new()
+                .name("pieri-service-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))
+                // lint:allow(no-panic-in-service) — startup-time
+                // precondition, same argument as the worker spawns.
+                .expect("spawn supervisor")
+        };
         Engine {
             shared,
             workers: config.workers,
-            handles: RankedMutex::new("engine-handles", rank::ENGINE_HANDLES, handles),
+            handles: RankedMutex::new("engine-handles", rank::ENGINE_HANDLES, vec![supervisor]),
         }
     }
 
@@ -411,6 +541,8 @@ impl Engine {
                 retracked: self.shared.retracked.load(Ordering::Relaxed),
                 failed: self.shared.cert_failed.load(Ordering::Relaxed),
             },
+            workers_restarted: self.shared.workers_restarted.load(Ordering::Relaxed),
+            jobs_recovered: self.shared.jobs_recovered.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
         }
     }
@@ -427,7 +559,9 @@ impl Engine {
     }
 
     /// Graceful shutdown: closes intake, lets queued and in-flight jobs
-    /// finish, joins the workers. Idempotent.
+    /// finish, retires the supervisor, joins the workers, and answers
+    /// anything left orphaned by workers that died with no supervisor
+    /// left to replace them. Idempotent.
     pub fn shutdown(&self) {
         {
             // lint:lock-rank(engine-queue, 10)
@@ -436,10 +570,50 @@ impl Engine {
             self.shared.jobs.notify_all();
             self.shared.space.notify_all();
         }
+        // Stop the supervisor first so it cannot spawn replacement
+        // workers (or requeue orphans) while shutdown drains.
+        {
+            // lint:lock-rank(engine-supervisor, 8)
+            let mut reaper = self.shared.reaper.lock_recover();
+            reaper.stop = true;
+            self.shared.reaper_cv.notify_all();
+        }
         // lint:lock-rank(engine-handles, 40)
         let handles = std::mem::take(&mut *self.handles.lock_recover());
         for h in handles {
             let _ = h.join();
+        }
+        // Join the current worker generation. Handles of failed-over
+        // (wedged) workers were detached at fail-over and are not here.
+        let workers: Vec<JoinHandle<()>> = {
+            // lint:lock-rank(engine-workers, 12)
+            let mut slots = self.shared.slots.lock_recover();
+            slots.iter_mut().filter_map(|s| s.handle.take()).collect()
+        };
+        for h in workers {
+            let _ = h.join();
+        }
+        // Workers drain the queue before exiting, so normally both of
+        // these are empty. They are populated only when workers died
+        // during shutdown (after the supervisor stopped): their queued
+        // jobs and orphaned claims still get a structured answer rather
+        // than a hang.
+        let leftovers: Vec<Queued> = {
+            // lint:lock-rank(engine-queue, 10)
+            let mut state = self.shared.state.lock_recover();
+            state.queue.drain(..).collect()
+        };
+        let orphans: Vec<InFlight> = {
+            // lint:lock-rank(engine-workers, 12)
+            let mut slots = self.shared.slots.lock_recover();
+            slots.iter_mut().filter_map(|s| s.busy.take()).collect()
+        };
+        for job in leftovers
+            .into_iter()
+            .chain(orphans.into_iter().map(|o| o.job))
+        {
+            self.shared.completed.fetch_add(1, Ordering::Relaxed);
+            deliver(job.done, Err(JobError::ShuttingDown));
         }
     }
 }
@@ -450,11 +624,66 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn deliver(done: Done, result: Result<JobResult, JobError>) {
+    match done {
+        // A dropped ticket (client gave up) is fine; ignore send
+        // errors.
+        Done::Channel(tx) => {
+            let _ = tx.send(result);
+        }
+        Done::Callback(cb) => cb(result),
+    }
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    id: usize,
+    generation: u64,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    // lint:allow(no-raw-thread-spawn) — these *are* the engine's
+    // bounded worker set (initial spawns and supervised replacements);
+    // all per-job compute they run goes through the pool.
+    std::thread::Builder::new()
+        .name(format!("pieri-service-worker-{id}"))
+        .spawn(move || worker_loop(&shared, id, generation))
+}
+
+/// Reports a worker death to the supervisor. Declared as the *first*
+/// local of `worker_loop`, so it drops last: by the time the report is
+/// filed, every guard the dying frame held has been released (nothing
+/// is reported while holding a lock, and the poisoned queue mutex is
+/// already droppped — recovery at the other lock sites handles it).
+struct Sentinel {
+    shared: Arc<Shared>,
+    id: usize,
+    generation: u64,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // lint:lock-rank(engine-supervisor, 8)
+            let mut reaper = self.shared.reaper.lock_recover();
+            reaper.dead.push((self.id, self.generation));
+            self.shared.reaper_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
+    let _sentinel = Sentinel {
+        shared: Arc::clone(shared),
+        id,
+        generation,
+    };
     loop {
         let job = {
             // lint:lock-rank(engine-queue, 10)
             let mut state = shared.state.lock_recover();
+            // chaos: die while holding the queue lock — poisons the
+            // mutex, which every other lock site must recover from.
+            crate::chaos::panic_site("worker.panic");
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     shared.space.notify_one();
@@ -467,11 +696,53 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { return };
-        let queue_wait = job.enqueued.elapsed();
+        // Claim the job in this worker's supervision slot. The clones
+        // keep the worker running off its own copies while the slot
+        // holds the authoritative one (the supervisor requeues from
+        // there on fail-over).
+        let req = job.req.clone();
+        let cancel = job.cancel.clone();
+        let enqueued = job.enqueued;
+        let unclaimed = {
+            // lint:lock-rank(engine-workers, 12)
+            let mut slots = shared.slots.lock_recover();
+            let slot = &mut slots[id];
+            if slot.generation == generation {
+                slot.busy = Some(InFlight {
+                    job,
+                    started: Instant::now(),
+                    executing: false,
+                });
+                None
+            } else {
+                Some(job)
+            }
+        };
+        if let Some(job) = unclaimed {
+            // Superseded: the supervisor failed this generation over
+            // (e.g. a wedge that cleared late). Hand the job back
+            // untouched and bow out — the replacement worker owns this
+            // slot now.
+            // lint:lock-rank(engine-queue, 10)
+            let mut state = shared.state.lock_recover();
+            state.queue.push_front(job);
+            shared.jobs.notify_one();
+            return;
+        }
+        // chaos: die after claiming — the supervisor must requeue the
+        // claim replay-safely (its solver never ran).
+        crate::chaos::panic_site("worker.panic.job");
+        if let Some(hit) = crate::chaos::fault("worker.wedge") {
+            std::thread::sleep(Duration::from_millis(hit.param_or(500)));
+        }
+        if let Some(hit) = crate::chaos::fault("worker.delay") {
+            std::thread::sleep(Duration::from_millis(hit.param_or(10)));
+        }
+        let queue_wait = enqueued.elapsed();
         // Expired-before-dequeue: the deadline (or an explicit cancel)
         // fired while the job sat in the queue — answer structurally
         // without ever invoking the solver.
-        let result = if job.cancel.is_cancelled() {
+        let result = if cancel.is_cancelled() {
             Err(JobError::DeadlineExceeded {
                 detail: format!(
                     "deadline lapsed after {:.1} ms in the queue; solver not invoked",
@@ -479,23 +750,188 @@ fn worker_loop(shared: &Shared) {
                 ),
             })
         } else {
+            // Mark the claim executing; if the slot is no longer ours
+            // the supervisor failed us over while we stalled above and
+            // the job belongs to the recovery path now.
+            let ours = {
+                // lint:lock-rank(engine-workers, 12)
+                let mut slots = shared.slots.lock_recover();
+                let slot = &mut slots[id];
+                slot.generation == generation
+                    && match slot.busy.as_mut() {
+                        Some(busy) => {
+                            busy.executing = true;
+                            true
+                        }
+                        None => false,
+                    }
+            };
+            if !ours {
+                return;
+            }
             // The cancel scope makes the token visible to the
             // continuation drivers, which consult it between paths.
-            pieri_tracker::cancel::scope(&job.cancel, || execute(shared, &job.req, queue_wait))
+            pieri_tracker::cancel::scope(&cancel, || execute(shared, &req, queue_wait))
         };
+        // Completion: take the claim back out of the slot. Whoever
+        // takes it answers; if the supervisor already did (we were
+        // declared wedged mid-execution), this thread is a ghost and
+        // its result is discarded — the client was already answered.
+        let done = {
+            // lint:lock-rank(engine-workers, 12)
+            let mut slots = shared.slots.lock_recover();
+            let slot = &mut slots[id];
+            if slot.generation == generation {
+                slot.consecutive_failures = 0;
+                slot.busy.take().map(|inflight| inflight.job.done)
+            } else {
+                None
+            }
+        };
+        let Some(done) = done else { return };
         if matches!(result, Err(JobError::DeadlineExceeded { .. })) {
             shared.expired.fetch_add(1, Ordering::Relaxed);
         }
         shared.completed.fetch_add(1, Ordering::Relaxed);
-        match job.done {
-            // A dropped ticket (client gave up) is fine; ignore send
-            // errors.
-            Done::Channel(tx) => {
-                let _ = tx.send(result);
+        deliver(done, result);
+    }
+}
+
+fn supervisor_loop(shared: &Arc<Shared>) {
+    loop {
+        let dead: Vec<(usize, u64)> = {
+            // lint:lock-rank(engine-supervisor, 8)
+            let mut reaper = shared.reaper.lock_recover();
+            if reaper.dead.is_empty() && !reaper.stop {
+                let (g, _timed_out) = crate::sync::wait_timeout_recover(
+                    &shared.reaper_cv,
+                    reaper,
+                    shared.supervisor.tick,
+                );
+                reaper = g;
             }
-            Done::Callback(cb) => cb(result),
+            if reaper.stop {
+                return;
+            }
+            std::mem::take(&mut reaper.dead)
+        };
+        for (id, generation) in dead {
+            restart_worker(shared, id, generation);
+        }
+        // Wedge scan: any claimed job running past the stall timeout
+        // marks its worker for fail-over. The per-job claim timestamp
+        // is the heartbeat — no cooperation from the wedged thread is
+        // needed.
+        let now = Instant::now();
+        let stalled: Vec<(usize, u64)> = {
+            // lint:lock-rank(engine-workers, 12)
+            let slots = shared.slots.lock_recover();
+            slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.busy.as_ref().is_some_and(|b| {
+                        now.duration_since(b.started) > shared.supervisor.stall_timeout
+                    })
+                })
+                .map(|(id, s)| (id, s.generation))
+                .collect()
+        };
+        for (id, generation) in stalled {
+            restart_worker(shared, id, generation);
         }
     }
+}
+
+/// Fails over worker `id` at `generation`: retires the generation,
+/// recovers its claimed job (requeue or shed), and spawns the
+/// replacement after the backoff. Stale generations are ignored, so a
+/// panic report racing a wedge scan acts once.
+fn restart_worker(shared: &Arc<Shared>, id: usize, generation: u64) {
+    let (orphan, failures) = {
+        // lint:lock-rank(engine-workers, 12)
+        let mut slots = shared.slots.lock_recover();
+        let slot = &mut slots[id];
+        if slot.generation != generation {
+            return;
+        }
+        slot.generation += 1;
+        slot.consecutive_failures += 1;
+        // A wedged thread may never return; detach its handle rather
+        // than ever joining it. (A panicked thread is already gone.)
+        drop(slot.handle.take());
+        (slot.busy.take(), slot.consecutive_failures)
+    };
+    if let Some(inflight) = orphan {
+        recover_inflight(shared, inflight);
+    }
+    // Capped exponential backoff between one worker's consecutive
+    // failures, so a deterministic crasher cannot hot-loop the spawn
+    // path. The supervisor sleeping here also slows other restarts
+    // down — intentional: a panic storm should throttle the engine,
+    // not race it.
+    let backoff = backoff_delay(&shared.supervisor, failures);
+    if !backoff.is_zero() {
+        std::thread::sleep(backoff);
+    }
+    shared.workers_restarted.fetch_add(1, Ordering::Relaxed);
+    match spawn_worker(shared, id, generation + 1) {
+        Ok(handle) => {
+            // lint:lock-rank(engine-workers, 12)
+            shared.slots.lock_recover()[id].handle = Some(handle);
+        }
+        Err(_) => {
+            // Spawn failure (resource exhaustion): file the slot as
+            // dead again so the next tick retries with more backoff.
+            // lint:lock-rank(engine-supervisor, 8)
+            let mut reaper = shared.reaper.lock_recover();
+            reaper.dead.push((id, generation + 1));
+        }
+    }
+}
+
+/// Completes or requeues a claim recovered from a failed worker.
+fn recover_inflight(shared: &Arc<Shared>, inflight: InFlight) {
+    let InFlight { job, executing, .. } = inflight;
+    if job.cancel.is_cancelled() {
+        shared.expired.fetch_add(1, Ordering::Relaxed);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        deliver(
+            job.done,
+            Err(JobError::DeadlineExceeded {
+                detail: "deadline lapsed while the job was recovered from a failed worker".into(),
+            }),
+        );
+    } else if executing {
+        // The solver was already running when the worker died or
+        // wedged. Re-running would be answer-deterministic, but a job
+        // that wedges its worker would then wedge every replacement —
+        // shed it with a structured error instead.
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        deliver(
+            job.done,
+            Err(JobError::Internal(
+                "worker failed mid-execution; job shed during fail-over".into(),
+            )),
+        );
+    } else {
+        // The solver never started: requeue at the front, replay-safe.
+        // The transient over-capacity this may cause is deliberate —
+        // recovered work must not be lost to a momentarily full queue.
+        shared.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+        // lint:lock-rank(engine-queue, 10)
+        let mut state = shared.state.lock_recover();
+        state.queue.push_front(job);
+        shared.jobs.notify_one();
+    }
+}
+
+fn backoff_delay(config: &SupervisorConfig, failures: u32) -> Duration {
+    let shift = failures.saturating_sub(1).min(16);
+    config
+        .backoff_base
+        .saturating_mul(1u32 << shift)
+        .min(config.backoff_cap)
 }
 
 /// Runs one validated job; never panics across this frame.

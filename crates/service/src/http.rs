@@ -48,7 +48,7 @@ use crate::wire;
 use minijson::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,10 +76,39 @@ pub const MAX_REQUESTS_PER_CONN: usize = 256;
 /// server-closed socket is the replay-safe retry case).
 pub(crate) const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
+/// Tunables for [`Server::start_with`]. [`Default`] reproduces
+/// [`Server::start`]: an exclusive bind with the production sweep
+/// budgets.
+pub struct ServerOptions {
+    /// Bind the listener with `SO_REUSEPORT` so a replacement server
+    /// can share the port while this one drains — the kernel
+    /// load-balances new connections across live listeners, which is
+    /// what makes [`Server::drain`] a zero-downtime restart.
+    pub reuseport: bool,
+    /// Idle budget for quiescent kept-alive connections
+    /// (default [`KEEP_ALIVE_IDLE`]).
+    pub keep_alive_idle: Duration,
+    /// Budget for stalled transfers — bytes buffered but none moving
+    /// (default [`IO_TIMEOUT`]).
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            reuseport: false,
+            keep_alive_idle: KEEP_ALIVE_IDLE,
+            io_timeout: IO_TIMEOUT,
+        }
+    }
+}
+
 /// The HTTP front end over an [`Engine`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    conn_total: Arc<AtomicUsize>,
     shared: Vec<Arc<crate::reactor::ReactorShared>>,
     reactor_handles: RankedMutex<Vec<JoinHandle<()>>>,
     engine: Arc<Engine>,
@@ -89,14 +118,36 @@ impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
     /// reactor threads (see [`crate::reactor`]).
     pub fn start(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        Server::start_with(addr, engine, ServerOptions::default())
+    }
+
+    /// As [`Server::start`] with explicit [`ServerOptions`].
+    pub fn start_with(
+        addr: &str,
+        engine: Arc<Engine>,
+        opts: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let listener = if opts.reuseport {
+            let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no address to bind")
+            })?;
+            mio_lite::net::bind_reuseport(sock)?
+        } else {
+            TcpListener::bind(addr)?
+        };
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (reactors, shared) = crate::reactor::build(
+        let draining = Arc::new(AtomicBool::new(false));
+        let (reactors, shared, conn_total) = crate::reactor::build(
             crate::reactor::REACTOR_THREADS,
             listener,
             engine.clone(),
             stop.clone(),
+            draining.clone(),
+            crate::reactor::Tuning {
+                keep_alive_idle: opts.keep_alive_idle,
+                io_timeout: opts.io_timeout,
+            },
         )?;
         let mut handles = Vec::with_capacity(reactors.len());
         for reactor in reactors {
@@ -124,6 +175,8 @@ impl Server {
         Ok(Server {
             addr: local,
             stop,
+            draining,
+            conn_total,
             shared,
             reactor_handles: RankedMutex::new("http-accept", rank::HTTP_ACCEPT, handles),
             engine,
@@ -138,6 +191,35 @@ impl Server {
     /// The engine behind the server.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// Graceful drain for a zero-downtime restart: stop accepting
+    /// (reactor 0 drops the listener — with [`ServerOptions::reuseport`]
+    /// the kernel immediately routes new connections to the replacement
+    /// server sharing the port), let admitted requests finish and their
+    /// responses flush, then stop the reactors. Returns `true` when
+    /// every connection drained before `timeout`; on `false` the
+    /// stragglers were closed anyway (their unanswered requests are the
+    /// clients' replay-safe retry case). The bundle store needs no
+    /// separate flush: saves are write-through and fsynced at save
+    /// time, so a drained server's cache is already durable.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.draining.store(true, Ordering::SeqCst);
+        for s in &self.shared {
+            s.wake();
+        }
+        let deadline = Instant::now() + timeout;
+        let mut clean = false;
+        while Instant::now() < deadline {
+            if self.conn_total.load(Ordering::SeqCst) == 0 {
+                clean = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        clean = clean || self.conn_total.load(Ordering::SeqCst) == 0;
+        self.shutdown();
+        clean
     }
 
     /// Stops the reactor threads and joins them. Open connections are
@@ -388,6 +470,15 @@ impl ExchangeError {
         ExchangeError { error, replay_safe }
     }
 
+    /// An error establishing the connection: always replay-safe — no
+    /// request byte was ever sent, so nothing can have executed.
+    fn connect(error: std::io::Error) -> Self {
+        ExchangeError {
+            error,
+            replay_safe: true,
+        }
+    }
+
     /// An error after response bytes arrived: never replay-safe.
     fn mid_response(error: std::io::Error) -> Self {
         ExchangeError {
@@ -395,6 +486,129 @@ impl ExchangeError {
             replay_safe: false,
         }
     }
+}
+
+// ---- retry policy ------------------------------------------------------
+
+/// Bounded retry policy for the [`Client`] (see
+/// [`Client::with_retry`]). The default is **one attempt** — no
+/// retries — matching the client's historical behaviour; swarm and
+/// restart tests opt into more via [`RetryPolicy::attempts`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so `1` = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter added to each backoff, so a
+    /// swarm of clients retrying the same outage decorrelates without
+    /// the policy becoming nondeterministic under test.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `n` total attempts with the default backoff.
+    pub fn attempts(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: n.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// What one failed attempt looked like to [`retry_decision`].
+#[derive(Debug, Clone, Copy)]
+pub enum AttemptOutcome<'a> {
+    /// A transport-level failure. `replay_safe` is true only when the
+    /// request provably never started executing: connect failures and
+    /// connections that died before any response byte arrived.
+    Transport {
+        /// Whether re-sending the request cannot double-execute it.
+        replay_safe: bool,
+    },
+    /// An HTTP response, with the error envelope's `kind` tag (empty
+    /// for responses without an envelope).
+    Response {
+        /// HTTP status code of the response.
+        status: u16,
+        /// The `error.kind` tag, or `""`.
+        kind: &'a str,
+    },
+}
+
+/// Decides whether attempt `attempt` (1-based) may be followed by
+/// another, and after what backoff. `None` means surface the outcome
+/// as final. The rules, in order:
+///
+/// * Past `max_attempts`, never.
+/// * Transport failures: only when replay-safe. A timeout or a
+///   mid-response failure may mean the server executed (or is still
+///   executing) the job — jobs are not idempotent in cost, so a blind
+///   replay would run them twice.
+/// * `503 queue_full` / `503 shutting_down`: retryable — both are the
+///   server *declining* work before execution (load shed, drain), the
+///   exact case backoff-and-retry exists for.
+/// * `503 deadline_exceeded`: **not** retryable — the request's own
+///   time budget is spent; a replay would carry the same lapsed
+///   deadline and be shed again.
+/// * Any other response (including 4xx/5xx envelopes): not retryable —
+///   the server answered authoritatively; resending the same bytes
+///   yields the same answer.
+///
+/// The backoff doubles per attempt from `base_backoff` up to
+/// `max_backoff`, plus deterministic jitter (up to a quarter of the
+/// backoff) derived from `jitter_seed` and the attempt number.
+pub fn retry_decision(
+    policy: &RetryPolicy,
+    attempt: u32,
+    outcome: &AttemptOutcome<'_>,
+) -> Option<Duration> {
+    if attempt >= policy.max_attempts {
+        return None;
+    }
+    let retryable = match outcome {
+        AttemptOutcome::Transport { replay_safe } => *replay_safe,
+        AttemptOutcome::Response { status: 503, kind } => {
+            matches!(*kind, "queue_full" | "shutting_down")
+        }
+        AttemptOutcome::Response { .. } => false,
+    };
+    if !retryable {
+        return None;
+    }
+    Some(backoff_with_jitter(policy, attempt))
+}
+
+/// Exponential backoff with deterministic jitter for the wait after
+/// attempt `attempt` (1-based).
+fn backoff_with_jitter(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    let base = policy
+        .base_backoff
+        .saturating_mul(1u32 << exp)
+        .min(policy.max_backoff)
+        .max(Duration::from_millis(1));
+    // xorshift over the seed and attempt number: stable per (seed,
+    // attempt), different across seeds so a swarm decorrelates.
+    let mut x = policy.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let span = (base.as_millis() as u64 / 4).max(1);
+    base + Duration::from_millis(x % span)
 }
 
 /// A tiny blocking HTTP/1.1 client for the examples, tests and load
@@ -407,6 +621,7 @@ impl ExchangeError {
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    retry: RetryPolicy,
     /// The kept-alive connection from the previous request, if any.
     conn: RankedMutex<Option<TcpStream>>,
 }
@@ -424,6 +639,17 @@ impl Client {
 
     /// As [`Client::new`] with an explicit socket timeout.
     pub fn with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        Client::with_retry(addr, timeout, RetryPolicy::default())
+    }
+
+    /// As [`Client::with_timeout`] with an explicit [`RetryPolicy`]:
+    /// failed attempts that [`retry_decision`] rules replay-safe are
+    /// re-sent after its backoff, up to the policy's attempt budget.
+    pub fn with_retry(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        retry: RetryPolicy,
+    ) -> std::io::Result<Client> {
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -431,6 +657,7 @@ impl Client {
         Ok(Client {
             addr,
             timeout,
+            retry,
             conn: RankedMutex::new("client-conn", rank::CLIENT_CONN, None),
         })
     }
@@ -472,25 +699,64 @@ impl Client {
         path: &str,
         body: Option<&Value>,
     ) -> std::io::Result<(u16, Value)> {
-        // Reuse the pooled kept-alive connection when there is one. The
-        // retry on a fresh connection is restricted to errors proving
-        // the pooled socket had gone stale (server closed it between
-        // requests): EOF/reset/broken-pipe. Anything else — above all a
-        // read *timeout*, where the server may be mid-execution — is
-        // surfaced, never silently re-sent: jobs are not idempotent in
-        // cost, and a blind replay would run them twice.
+        // The attempt loop: each failed attempt is put to
+        // `retry_decision`, which only ever green-lights replay-safe
+        // failures (stale sockets, refused connects, shed 503s) —
+        // never a timeout or mid-response error, where the server may
+        // be mid-execution and a blind replay would run the job twice.
+        let mut attempt = 1u32;
+        loop {
+            match self.request_once(method, path, body) {
+                Ok((status, json)) => {
+                    let kind = json
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("");
+                    let outcome = AttemptOutcome::Response { status, kind };
+                    match retry_decision(&self.retry, attempt, &outcome) {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => return Ok((status, json)),
+                    }
+                }
+                Err(e) => {
+                    let outcome = AttemptOutcome::Transport {
+                        replay_safe: e.replay_safe,
+                    };
+                    match retry_decision(&self.retry, attempt, &outcome) {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => return Err(e.error),
+                    }
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// One attempt: the pooled kept-alive connection when there is one
+    /// (falling back to a fresh connection when the pooled socket had
+    /// provably gone stale — server closed it between requests), else
+    /// a fresh connection. This stale-socket fallback predates the
+    /// retry policy and stays within a single attempt: it re-sends
+    /// only when zero response bytes arrived on a dead socket.
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<(u16, Value), ExchangeError> {
         // lint:lock-rank(client-conn, 60)
         let pooled = self.conn.lock_recover().take();
         if let Some(stream) = pooled {
             match self.exchange(stream, method, path, body) {
                 Ok(answer) => return Ok(answer),
                 Err(e) if e.replay_safe => {}
-                Err(e) => return Err(e.error),
+                Err(e) => return Err(e),
             }
         }
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.timeout).map_err(ExchangeError::connect)?;
         self.exchange(stream, method, path, body)
-            .map_err(|e| e.error)
     }
 
     /// One request/response exchange on `stream`; pools the stream back
@@ -590,5 +856,120 @@ impl Client {
             ))
         })?;
         Ok((status, json))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full retry decision table: one row per (attempt, outcome)
+    /// case the policy distinguishes.
+    #[test]
+    fn retry_decision_table() {
+        let policy = RetryPolicy::attempts(3);
+        let transport_safe = AttemptOutcome::Transport { replay_safe: true };
+        let transport_unsafe = AttemptOutcome::Transport { replay_safe: false };
+        let shed = AttemptOutcome::Response {
+            status: 503,
+            kind: "queue_full",
+        };
+        let draining = AttemptOutcome::Response {
+            status: 503,
+            kind: "shutting_down",
+        };
+        let expired = AttemptOutcome::Response {
+            status: 503,
+            kind: "deadline_exceeded",
+        };
+        let bad_request = AttemptOutcome::Response {
+            status: 400,
+            kind: "invalid_request",
+        };
+        let internal = AttemptOutcome::Response {
+            status: 500,
+            kind: "internal",
+        };
+        let ok = AttemptOutcome::Response {
+            status: 200,
+            kind: "",
+        };
+        let cases: &[(u32, &AttemptOutcome<'_>, bool)] = &[
+            // Replay-safe transport failures retry until the budget.
+            (1, &transport_safe, true),
+            (2, &transport_safe, true),
+            (3, &transport_safe, false),
+            // A timeout / mid-response failure is never replayed: the
+            // server may be (or have been) executing the job.
+            (1, &transport_unsafe, false),
+            // Shed and drain 503s are pre-execution refusals: retry.
+            (1, &shed, true),
+            (1, &draining, true),
+            (2, &draining, true),
+            (3, &shed, false),
+            // A lapsed deadline is final — a replay carries the same
+            // spent budget and is shed again.
+            (1, &expired, false),
+            // Authoritative answers are final, success trivially so.
+            (1, &bad_request, false),
+            (1, &internal, false),
+            (1, &ok, false),
+        ];
+        for (attempt, outcome, retries) in cases {
+            let decision = retry_decision(&policy, *attempt, outcome);
+            assert_eq!(
+                decision.is_some(),
+                *retries,
+                "attempt {attempt} against {outcome:?}"
+            );
+        }
+    }
+
+    /// A one-attempt policy (the default) never retries anything.
+    #[test]
+    fn default_policy_never_retries() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.max_attempts, 1);
+        let outcome = AttemptOutcome::Transport { replay_safe: true };
+        assert!(retry_decision(&policy, 1, &outcome).is_none());
+    }
+
+    /// Backoff doubles per attempt, saturates at the cap, and its
+    /// jitter is deterministic per (seed, attempt) while differing
+    /// across seeds.
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        let outcome = AttemptOutcome::Transport { replay_safe: true };
+        let waits: Vec<Duration> = (1..=5)
+            .map(|attempt| retry_decision(&policy, attempt, &outcome).expect("within budget"))
+            .collect();
+        // Exponential base: 10, 20, 40, 80, then capped at 100; jitter
+        // adds at most a quarter of the base on top.
+        let bases = [10u64, 20, 40, 80, 100];
+        for (wait, base) in waits.iter().zip(bases) {
+            let ms = wait.as_millis() as u64;
+            assert!(
+                (base..base + base / 4 + 1).contains(&ms),
+                "{ms} vs base {base}"
+            );
+        }
+        // Deterministic: the same (seed, attempt) repeats exactly.
+        let again = retry_decision(&policy, 3, &outcome).expect("within budget");
+        assert_eq!(waits[2], again);
+        // Decorrelated: another seed jitters differently somewhere.
+        let other = RetryPolicy {
+            jitter_seed: 8,
+            ..policy
+        };
+        let differs = (1..=5).any(|attempt| {
+            retry_decision(&other, attempt, &outcome) != retry_decision(&policy, attempt, &outcome)
+        });
+        assert!(differs, "jitter ignored the seed");
     }
 }

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod chaos;
 pub mod engine;
 pub mod http;
 pub mod job;
@@ -59,7 +60,13 @@ pub mod store;
 mod sync;
 pub mod wire;
 
+/// The deterministic fault-injection registry (`chaos` feature only),
+/// re-exported so integration tests and harnesses can install and
+/// inspect fault plans against this very process.
+#[cfg(feature = "chaos")]
+pub use pieri_chaos;
+
 pub use cache::{BuildMode, CacheStats, ShapeCache};
-pub use engine::{Engine, EngineConfig, EngineStats, JobTicket};
-pub use http::{Client, Server};
+pub use engine::{Engine, EngineConfig, EngineStats, JobTicket, SupervisorConfig};
+pub use http::{retry_decision, AttemptOutcome, Client, RetryPolicy, Server, ServerOptions};
 pub use job::{CompensatorAnswer, JobError, JobLimits, JobRequest, JobResult};

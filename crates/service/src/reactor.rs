@@ -36,9 +36,22 @@
 //! Overload is answered, not ignored: past the connection cap a new
 //! socket is registered just long enough to receive a preloaded 503
 //! envelope; past cap + headroom it is dropped outright.
+//!
+//! **Draining** (zero-downtime restart): when the server raises the
+//! shared `draining` flag, reactor 0 drops the listener — with
+//! `SO_REUSEPORT` the kernel immediately routes new connections to the
+//! replacement process sharing the port — and every reactor flags its
+//! connections `closing`. In-flight jobs still complete and their
+//! responses still flush; only *new* work is refused. A connection
+//! closed before its response starts is the client's replay-safe retry
+//! case, so a retrying client never loses a request across a restart.
+//!
+//! Socket syscalls on connections go through [`crate::chaos`]: under
+//! the `chaos` feature an installed fault plan can inject `EAGAIN`
+//! storms, short reads/writes, and dropped accepts; without the
+//! feature the shims inline away to the bare syscalls.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -82,6 +95,17 @@ const READ_CHUNK: usize = 16 * 1024;
 const OVERLOAD_HEADROOM: usize = 64;
 /// Cadence of the idle-connection sweep.
 const SWEEP_EVERY: Duration = Duration::from_secs(1);
+
+/// Per-server sweep budgets, threaded from
+/// [`crate::http::ServerOptions`] so tests can shrink them without
+/// waiting out the production constants.
+#[derive(Clone, Copy)]
+pub(crate) struct Tuning {
+    /// Idle budget for quiescent kept-alive connections.
+    pub(crate) keep_alive_idle: Duration,
+    /// Budget for stalled transfers (bytes buffered, none moving).
+    pub(crate) io_timeout: Duration,
+}
 
 /// One finished engine job on its way back to a reactor thread.
 struct Completion {
@@ -183,6 +207,12 @@ pub(crate) struct Reactor {
     /// The listener, owned by reactor 0.
     listener: Option<TcpListener>,
     stop: Arc<AtomicBool>,
+    /// Graceful-drain flag shared with [`crate::http::Server`]: once
+    /// raised, the listener is dropped and connections finish their
+    /// in-flight work but accept nothing new.
+    draining: Arc<AtomicBool>,
+    /// Whether this reactor has already acted on the drain flag.
+    drain_started: bool,
     /// Connections across *all* reactors, for the overload cap.
     conn_total: Arc<AtomicUsize>,
     conns: HashMap<usize, Conn>,
@@ -190,18 +220,24 @@ pub(crate) struct Reactor {
     /// Round-robin cursor for dealing accepted sockets.
     rr: usize,
     last_sweep: Instant,
+    tuning: Tuning,
 }
 
+/// What [`build`] hands the server: the reactors (to be moved onto
+/// threads by the caller), their shared halves (for shutdown
+/// wake-ups), and the live-connection counter (for the drain wait).
+pub(crate) type BuildParts = (Vec<Reactor>, Vec<Arc<ReactorShared>>, Arc<AtomicUsize>);
+
 /// Builds `threads` reactors sharing `listener` (owned and polled by
-/// reactor 0), `engine`, and the `stop` flag. Returns the reactors
-/// (to be moved onto threads by the caller) and their shared halves
-/// (for shutdown wake-ups).
+/// reactor 0), `engine`, and the `stop`/`draining` flags.
 pub(crate) fn build(
     threads: usize,
     listener: TcpListener,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
-) -> std::io::Result<(Vec<Reactor>, Vec<Arc<ReactorShared>>)> {
+    draining: Arc<AtomicBool>,
+    tuning: Tuning,
+) -> std::io::Result<BuildParts> {
     listener.set_nonblocking(true)?;
     let threads = threads.max(1);
     let conn_total = Arc::new(AtomicUsize::new(0));
@@ -233,14 +269,17 @@ pub(crate) fn build(
             engine: engine.clone(),
             listener: if index == 0 { listener.take() } else { None },
             stop: stop.clone(),
+            draining: draining.clone(),
+            drain_started: false,
             conn_total: conn_total.clone(),
             conns: HashMap::new(),
             next_token: FIRST_CONN,
             rr: 0,
             last_sweep: Instant::now(),
+            tuning,
         })
         .collect();
-    Ok((reactors, shared))
+    Ok((reactors, shared, conn_total))
 }
 
 impl Reactor {
@@ -256,8 +295,14 @@ impl Reactor {
         let mut events = Events::with_capacity(512);
         // lint:allow(no-blocking-in-nonblocking) — AtomicBool::load; the name-keyed call graph resolves `load` to the store's file loader
         while !self.stop.load(Ordering::SeqCst) {
+            // lint:allow(no-blocking-in-nonblocking) — epoll_wait with a bounded timeout; the chaos-feature hook inside takes one bounded registry lock
             if self.poll.poll(&mut events, Some(POLL_TICK)).is_err() {
                 break;
+            }
+            // lint:allow(no-blocking-in-nonblocking) — AtomicBool::load; the name-keyed call graph resolves `load` to the store's file loader
+            if !self.drain_started && self.draining.load(Ordering::SeqCst) {
+                // lint:allow(no-blocking-in-nonblocking) — drops the listener and flags connections; pump is the usual nonblocking path
+                self.begin_drain();
             }
             let fired: Vec<mio_lite::Event> = events.iter().collect();
             for event in fired {
@@ -278,6 +323,29 @@ impl Reactor {
         self.close_all();
     }
 
+    /// Enters drain mode: drops the listener (reactor 0 — with
+    /// `SO_REUSEPORT` the kernel instantly reroutes new connections to
+    /// the replacement listener sharing the port), flags every
+    /// connection `closing`, and pumps each so quiescent ones close
+    /// now. Connections with in-flight jobs stay until their responses
+    /// flush: a drain answers admitted work, it only refuses new work.
+    // lint:nonblocking — one epoll_ctl for the listener, then the usual nonblocking pump per connection
+    fn begin_drain(&mut self) {
+        self.drain_started = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poll.deregister(listener.as_raw_fd());
+            // The listener drops here, releasing its accept queue.
+        }
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.closing = true;
+            }
+            // lint:allow(no-blocking-in-nonblocking) — pump performs nonblocking writes and sheds via submit_async
+            self.pump(token);
+        }
+    }
+
     /// Accepts until `WouldBlock`, dealing sockets round-robin across
     /// reactors. Runs on reactor 0 only (the listener's owner).
     // lint:nonblocking — listener is nonblocking; accept returns WouldBlock when drained
@@ -295,6 +363,11 @@ impl Reactor {
                     Err(_) => return,
                 }
             };
+            if crate::chaos::accept_dropped() {
+                // Injected accept failure: the peer sees a reset before
+                // any byte is answered — its replay-safe retry case.
+                continue;
+            }
             let target = self.rr % self.shared.len();
             self.rr = self.rr.wrapping_add(1);
             if target == self.index {
@@ -327,6 +400,13 @@ impl Reactor {
     /// without an answer.
     // lint:nonblocking — configures the socket and registers it; no I/O beyond the preloaded-503 pump
     fn register_conn(&mut self, stream: TcpStream) {
+        if self.drain_started {
+            // No new work during a drain: dropping the socket before
+            // any byte is answered is the client's replay-safe retry
+            // case, and with SO_REUSEPORT the retry lands on the
+            // replacement listener.
+            return;
+        }
         if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
             return;
         }
@@ -417,8 +497,8 @@ impl Reactor {
             };
             let mut chunk = [0u8; READ_CHUNK];
             loop {
-                // lint:allow(no-blocking-in-nonblocking) — nonblocking read: WouldBlock instead of parking
-                match conn.stream.read(&mut chunk) {
+                // lint:allow(no-blocking-in-nonblocking) — nonblocking read (chaos shim passthrough): WouldBlock instead of parking
+                match crate::chaos::sock_read(&mut conn.stream, &mut chunk) {
                     Ok(0) => {
                         eof = true;
                         break;
@@ -718,8 +798,8 @@ impl Reactor {
             }
             let mut dead = false;
             while conn.written < conn.write_buf.len() {
-                // lint:allow(no-blocking-in-nonblocking) — nonblocking write: WouldBlock instead of parking
-                match conn.stream.write(&conn.write_buf[conn.written..]) {
+                // lint:allow(no-blocking-in-nonblocking) — nonblocking write (chaos shim passthrough): WouldBlock instead of parking
+                match crate::chaos::sock_write(&mut conn.stream, &conn.write_buf[conn.written..]) {
                     Ok(0) => {
                         dead = true;
                         break;
@@ -737,6 +817,7 @@ impl Reactor {
                 }
             }
             if conn.written == conn.write_buf.len() {
+                // lint:allow(no-blocking-in-nonblocking) — Vec::clear; the name-keyed call graph collides with pieri_chaos::clear (registry lock)
                 conn.write_buf.clear();
                 conn.written = 0;
             }
@@ -801,16 +882,24 @@ impl Reactor {
     /// Closes connections idle past their budget. A connection with
     /// unanswered slots is exempt — the engine (and its deadlines)
     /// governs job latency, not the transport. Quiescent kept-alive
-    /// connections get [`http::KEEP_ALIVE_IDLE`]; connections with
-    /// buffered bytes (a stalled request or response) get the larger
-    /// [`http::IO_TIMEOUT`].
+    /// connections get the server's `keep_alive_idle` budget;
+    /// connections with buffered bytes (a stalled request or response)
+    /// get the larger `io_timeout` (both from [`Tuning`], defaulted by
+    /// [`crate::http::ServerOptions`]).
     // lint:nonblocking — clock reads and map removals only
     fn sweep_idle(&mut self) {
         let now = Instant::now();
-        if now.duration_since(self.last_sweep) < SWEEP_EVERY {
+        // Sweep at least as often as the smallest budget, so shrunken
+        // test budgets are enforced promptly (poll ticks bound the
+        // cadence floor).
+        let cadence = SWEEP_EVERY
+            .min(self.tuning.keep_alive_idle)
+            .min(self.tuning.io_timeout);
+        if now.duration_since(self.last_sweep) < cadence {
             return;
         }
         self.last_sweep = now;
+        let tuning = self.tuning;
         let expired: Vec<usize> = self
             .conns
             .iter()
@@ -820,9 +909,9 @@ impl Reactor {
                 }
                 let quiescent = conn.read_buf.is_empty() && conn.write_buf.is_empty();
                 let budget = if quiescent {
-                    http::KEEP_ALIVE_IDLE
+                    tuning.keep_alive_idle
                 } else {
-                    http::IO_TIMEOUT
+                    tuning.io_timeout
                 };
                 now.duration_since(conn.last_activity) > budget
             })

@@ -25,15 +25,24 @@
 //! dimension, residuals against the regenerated generic instance) is
 //! one level up in [`pieri_core::StartBundle::restore`].
 //!
-//! Writes go through a temp file + rename so a crash mid-save leaves
-//! either the old bundle or the new one, not a torn file.
+//! Writes are crash-atomic: the new bundle is written to a temp file
+//! and fsynced *before* it replaces the primary, and the previous
+//! primary is kept as a `.json.bak` fallback until the next save — a
+//! crash at any instruction leaves either the old durable bundle, the
+//! new durable bundle, or both. [`BundleStore::load`] falls back to the
+//! `.bak` when the primary is missing or defective (repairing the
+//! primary from it, best-effort) and counts each such rescue in
+//! [`BundleStore::recovered`], surfaced as `cache.store_recovered` in
+//! `/v1/stats`.
 
 use crate::wire;
 use minijson::{object, Value};
 use pieri_core::Shape;
 use pieri_num::Complex64;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// On-disk format version; bumped on any incompatible layout change.
@@ -44,6 +53,9 @@ const VERSION: u64 = 1;
 #[derive(Debug)]
 pub struct BundleStore {
     dir: PathBuf,
+    /// Loads rescued from the `.bak` fallback after a defective (torn,
+    /// corrupt, missing) primary.
+    recovered: AtomicUsize,
 }
 
 /// The persisted part of a bundle: the build seed, the tracked generic
@@ -68,6 +80,7 @@ impl BundleStore {
         fs::create_dir_all(dir).ok()?;
         Some(BundleStore {
             dir: dir.to_path_buf(),
+            recovered: AtomicUsize::new(0),
         })
     }
 
@@ -78,6 +91,11 @@ impl BundleStore {
             shape.p(),
             shape.q()
         ))
+    }
+
+    /// Loads rescued from the `.bak` fallback so far.
+    pub fn recovered(&self) -> usize {
+        self.recovered.load(Ordering::Relaxed)
     }
 
     /// Persists a freshly built bundle, best-effort: I/O errors are
@@ -101,17 +119,70 @@ impl BundleStore {
             ("coeffs", coeffs_json),
             ("checksum", Value::String(format!("{checksum:016x}"))),
         ]);
+        let mut bytes = doc.serialize().into_bytes();
         let path = self.path_for(shape);
         let tmp = path.with_extension("json.tmp");
-        if fs::write(&tmp, doc.serialize()).is_ok() && fs::rename(&tmp, &path).is_err() {
-            let _ = fs::remove_file(&tmp);
+        let bak = path.with_extension("json.bak");
+        // chaos: the disk is full — the save silently does not happen,
+        // exactly like a real ENOSPC under the best-effort policy.
+        if crate::chaos::fault("store.write.enospc").is_some() {
+            return;
         }
+        // chaos: a crash mid-write — half the payload lands in the temp
+        // file and the rename never runs. The primary (and `.bak`)
+        // from before the "crash" must stay intact.
+        if crate::chaos::fault("store.write.torn").is_some() {
+            let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            return;
+        }
+        // chaos: silent payload corruption after the checksum was
+        // computed — the load-side checksum must catch it.
+        if crate::chaos::fault("store.corrupt").is_some() {
+            let mid = bytes.len() / 2;
+            bytes[mid] = bytes[mid].wrapping_add(1);
+        }
+        if write_durable(&tmp, &bytes).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        // Keep the previous bundle until the new one is durable: the
+        // old primary rotates to the `.bak` fallback (a rename, so the
+        // window with neither primary nor fallback is empty), then the
+        // fsynced temp file becomes the new primary.
+        if path.exists() {
+            let _ = fs::rename(&path, &bak);
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            // Best-effort: put the old primary back so readers that
+            // don't know about the fallback still see a bundle.
+            if !path.exists() {
+                let _ = fs::rename(&bak, &path);
+            }
+            return;
+        }
+        // Make the renames themselves durable.
+        let _ = fs::File::open(&self.dir).and_then(|d| d.sync_all());
     }
 
     /// Loads the stored bundle for one shape, or `None` on any defect.
+    /// A missing or defective primary falls back to the `.bak` kept
+    /// from before the last save; a successful rescue repairs the
+    /// primary (best-effort) and counts in [`BundleStore::recovered`].
     pub fn load(&self, shape: &Shape) -> Option<StoredBundle> {
-        let text = fs::read_to_string(self.path_for(shape)).ok()?;
-        decode(shape, &text)
+        let path = self.path_for(shape);
+        if let Some(stored) = fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| decode(shape, &text))
+        {
+            return Some(stored);
+        }
+        let bak = path.with_extension("json.bak");
+        let text = fs::read_to_string(&bak).ok()?;
+        let stored = decode(shape, &text)?;
+        self.recovered.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::copy(&bak, &path);
+        Some(stored)
     }
 
     /// Every decodable `(shape, bundle)` pair in the directory —
@@ -134,6 +205,14 @@ impl BundleStore {
         out.sort_by_key(|(s, _)| (s.m(), s.p(), s.q()));
         out
     }
+}
+
+/// Writes `bytes` and fsyncs before returning, so a later rename
+/// publishes only durable content.
+fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()
 }
 
 /// `bundle-v1-<m>-<p>-<q>.json → Shape` (current version only).
@@ -276,9 +355,69 @@ mod tests {
             "bundle-v1-2-2-1-9.json",
             "bundle-v1-0-2-1.json",
             "bundle-v1-2-2-1.json.tmp",
+            "bundle-v1-2-2-1.json.bak",
             "notes.txt",
         ] {
             assert_eq!(shape_from_filename(bad), None, "{bad}");
         }
+    }
+
+    /// The crash-atomicity guarantee: a save keeps the previous bundle
+    /// as a `.bak` until the new primary is durable, and a defective
+    /// primary is rescued from it (repairing the primary, counting the
+    /// rescue).
+    #[test]
+    fn bak_fallback_rescues_a_torn_primary() {
+        let dir = tmp_dir("bak");
+        let store = BundleStore::open(&dir).unwrap();
+        let shape = Shape::new(2, 2, 0);
+        let old = sample_coeffs();
+        store.save(&shape, 7, &old, Duration::from_millis(5));
+        let path = store.path_for(&shape);
+        let bak = path.with_extension("json.bak");
+        assert!(!bak.exists(), "no fallback until a second save");
+
+        let mut new = sample_coeffs();
+        new[0][0] = Complex64::new(9.75, -4.5);
+        store.save(&shape, 7, &new, Duration::from_millis(6));
+        assert!(bak.exists(), "second save rotates the old primary to .bak");
+        assert_eq!(store.load(&shape).unwrap().coeffs, new);
+        assert_eq!(store.recovered(), 0, "healthy primary needs no rescue");
+
+        // Tear the primary: load falls back to the previous bundle,
+        // counts the rescue, and repairs the primary in place.
+        let good = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let rescued = store.load(&shape).expect("rescued from .bak");
+        assert_eq!(rescued.coeffs, old, "fallback holds the previous bundle");
+        assert_eq!(store.recovered(), 1);
+        let again = store.load(&shape).expect("repaired primary");
+        assert_eq!(again.coeffs, old);
+        assert_eq!(store.recovered(), 1, "repair means no second rescue");
+
+        // A primary deleted outright is also rescued.
+        fs::remove_file(&path).unwrap();
+        assert!(store.load(&shape).is_some());
+        assert_eq!(store.recovered(), 2);
+
+        // load_all sees exactly one bundle per shape (.bak/.tmp skipped).
+        assert_eq!(store.load_all().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A stray torn temp file (the artifact of a crash mid-save) never
+    /// disturbs the durable primary.
+    #[test]
+    fn torn_tmp_file_is_inert() {
+        let dir = tmp_dir("torntmp");
+        let store = BundleStore::open(&dir).unwrap();
+        let shape = Shape::new(2, 2, 0);
+        store.save(&shape, 11, &sample_coeffs(), Duration::ZERO);
+        let tmp = store.path_for(&shape).with_extension("json.tmp");
+        fs::write(&tmp, "{\"version\":1,\"m\":2,\"p\":2,\"q\":0,\"se").unwrap();
+        assert_eq!(store.load(&shape).unwrap().coeffs, sample_coeffs());
+        assert_eq!(store.load_all().len(), 1);
+        assert_eq!(store.recovered(), 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

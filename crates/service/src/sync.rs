@@ -17,7 +17,7 @@
 //! `SlotState`s, and the client's connection pool holds an `Option` that
 //! is at worst `None`. Nothing is ever left half-written under a lock.
 //!
-//! **Deadlock.** The service has eight independent lock objects; nesting
+//! **Deadlock.** The service has ten independent lock objects; nesting
 //! them in inconsistent orders across threads deadlocks. Every lock is
 //! therefore a [`RankedMutex`] carrying a `(name, rank)` pair from
 //! [`rank`], and acquisition debug-asserts that the new rank is
@@ -45,8 +45,17 @@ pub(crate) mod rank {
     /// `reactor::ReactorShared.completions` — finished jobs on their
     /// way back to a reactor.
     pub(crate) const REACTOR_COMPLETIONS: u32 = 6;
+    /// `engine::Shared.reaper` — dead-worker notifications for the
+    /// supervisor. Below the queue: a dying worker's sentinel reports
+    /// here with every other guard already released, and the supervisor
+    /// takes the queue only after dropping this.
+    pub(crate) const ENGINE_SUPERVISOR: u32 = 8;
     /// `engine::Shared.state` — the job queue.
     pub(crate) const ENGINE_QUEUE: u32 = 10;
+    /// `engine::Shared.slots` — per-worker supervision slots (claimed
+    /// job, generation, join handle). Above the queue: a worker claims
+    /// its slot after popping, with the queue lock released.
+    pub(crate) const ENGINE_WORKERS: u32 = 12;
     /// `cache::ShapeCache.slots` — the shape → slot map.
     pub(crate) const CACHE_SLOTS: u32 = 20;
     /// `cache::Slot.state` — one slot's build state.
@@ -189,6 +198,26 @@ pub(crate) fn wait_recover_raw<'a, T>(
     condvar
         .wait(guard)
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`wait_recover`] with a timeout: parks at most `timeout`, recovering
+/// the reacquired guard from poison either way. The second return is
+/// `true` when the wait timed out rather than being notified (spurious
+/// wakeups report `false`, as with [`std::sync::Condvar`]).
+pub(crate) fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: RankedGuard<'a, T>,
+    timeout: std::time::Duration,
+) -> (RankedGuard<'a, T>, bool) {
+    let RankedGuard { guard, entry } = guard;
+    let (guard, timed_out) = match condvar.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    };
+    (RankedGuard { guard, entry }, timed_out)
 }
 
 #[cfg(test)]

@@ -517,6 +517,8 @@ pub fn stats_to_json(s: &EngineStats, resident: &[(pieri_core::Shape, usize, Dur
         ("rejected", Value::from(s.rejected)),
         ("shed", Value::from(s.shed)),
         ("deadline_expired", Value::from(s.deadline_expired)),
+        ("workers_restarted", Value::from(s.workers_restarted)),
+        ("jobs_recovered", Value::from(s.jobs_recovered)),
         ("certify", certify_counters_to_json(&s.certify)),
         ("cache", cache_stats_to_json(&s.cache, resident)),
     ])
@@ -539,6 +541,7 @@ fn cache_stats_to_json(c: &CacheStats, resident: &[(pieri_core::Shape, usize, Du
         ("evictions", Value::from(c.evictions)),
         ("resident_bytes", Value::from(c.resident_bytes)),
         ("restored", Value::from(c.restored)),
+        ("store_recovered", Value::from(c.store_recovered)),
         (
             "resident",
             Value::Array(

@@ -248,6 +248,16 @@ impl Poll {
     /// milliseconds so short timeouts don't busy-spin). Interrupted
     /// waits (`EINTR`) report zero events rather than an error.
     pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        // chaos: a spurious wakeup — poll returns empty-handed as if the
+        // kernel woke it for nothing. Registrations are level-triggered
+        // by default, so no readiness is lost; the caller's next tick
+        // re-observes it. Callers that can't tolerate this are the bug
+        // this site exists to flush out.
+        #[cfg(feature = "chaos")]
+        if pieri_chaos::fires("poll.spurious").is_some() {
+            events.len = 0;
+            return Ok(0);
+        }
         let timeout_ms: i32 = match timeout {
             None => -1,
             Some(d) => {
@@ -297,6 +307,36 @@ impl Waker {
     /// Nonblocking; safe to call when no wakeup is pending.
     pub fn drain(&self) {
         sys::fd_drain_u64(self.efd.raw());
+    }
+}
+
+// ---- net: SO_REUSEPORT listeners ---------------------------------------
+
+/// Socket creation beyond what std exposes: `SO_REUSEPORT` listener
+/// binding, the primitive behind zero-downtime restarts. Several
+/// listeners (across processes or server generations within one) bind
+/// the same address and the kernel load-balances incoming connections
+/// across whichever are still open; when the old generation closes its
+/// listener, every new connection lands on the new one — no accept
+/// gap, no dropped SYN backlog handoff dance.
+pub mod net {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+
+    /// Creates an IPv4 TCP listener with `SO_REUSEADDR` and
+    /// `SO_REUSEPORT` set before `bind`. The returned listener is an
+    /// ordinary [`std::net::TcpListener`] (blocking until the caller
+    /// says otherwise). IPv6 addresses fail with
+    /// [`io::ErrorKind::Unsupported`], as does any call on non-Linux
+    /// targets.
+    pub fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+        match addr {
+            SocketAddr::V4(v4) => super::sys::bind_reuseport(v4),
+            SocketAddr::V6(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "bind_reuseport supports IPv4 only",
+            )),
+        }
     }
 }
 
@@ -363,6 +403,10 @@ mod sys {
         fn close(fd: i32) -> i32;
         fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
     }
 
     /// An fd this crate created and must close. Not `Clone`; dropping
@@ -373,6 +417,14 @@ mod sys {
     impl OwnedFd {
         pub fn raw(&self) -> i32 {
             self.0
+        }
+
+        /// Releases ownership: the fd is returned un-closed and this
+        /// handle's Drop never runs.
+        pub fn into_raw(self) -> i32 {
+            let fd = self.0;
+            std::mem::forget(self);
+            fd
         }
     }
 
@@ -474,6 +526,76 @@ mod sys {
         // (EAGAIN when already empty) mean there is nothing to drain.
         let _ = n;
     }
+
+    /// Kernel `struct sockaddr_in` (IPv4). Port and address are stored
+    /// in network byte order.
+    #[repr(C)]
+    pub struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    pub fn bind_reuseport(addr: std::net::SocketAddrV4) -> io::Result<std::net::TcpListener> {
+        const AF_INET: i32 = 2;
+        const SOCK_STREAM: i32 = 1;
+        const SOCK_CLOEXEC: i32 = 0o2000000;
+        const SOL_SOCKET: i32 = 1;
+        const SO_REUSEADDR: i32 = 2;
+        const SO_REUSEPORT: i32 = 15;
+
+        // SAFETY: socket takes three scalars and touches no caller
+        // memory; a negative return is the error case.
+        // SAFETY: `socket(2)` takes three plain integers and touches no
+        // caller memory; the returned fd (checked below) is wrapped in
+        // `OwnedFd` immediately so every exit path closes it.
+        #[allow(unsafe_code)]
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // From here the fd is owned: any early error path closes it.
+        let owned = OwnedFd(fd);
+        let one: i32 = 1;
+        let optval = (&one as *const i32).cast();
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: `optval` points at a live 4-byte i32 for the
+            // duration of the call and optlen matches its size; the
+            // kernel only reads it.
+            #[allow(unsafe_code)]
+            let rc = unsafe { setsockopt(owned.raw(), SOL_SOCKET, opt, optval, 4) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        let sa = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from(*addr.ip()).to_be(),
+            sin_zero: [0; 8],
+        };
+        // SAFETY: `sa` is a live repr(C) sockaddr_in for the duration of
+        // the call and addrlen is exactly its size; the kernel only
+        // reads it.
+        #[allow(unsafe_code)]
+        let rc = unsafe { bind(owned.raw(), &sa, std::mem::size_of::<SockAddrIn>() as u32) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: listen takes two scalars and touches no caller memory.
+        #[allow(unsafe_code)]
+        let rc = unsafe { listen(owned.raw(), 1024) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        use std::os::fd::FromRawFd;
+        // SAFETY: the fd is a freshly created listening socket whose
+        // sole owner is `owned`; `into_raw` transfers that ownership
+        // exactly once to the std listener, which closes it on drop.
+        #[allow(unsafe_code)]
+        Ok(unsafe { std::net::TcpListener::from_raw_fd(owned.into_raw()) })
+    }
 }
 
 // ---- sys: non-Linux stub -----------------------------------------------
@@ -559,6 +681,10 @@ mod sys {
     }
 
     pub fn fd_drain_u64(_fd: i32) {}
+
+    pub fn bind_reuseport(_addr: std::net::SocketAddrV4) -> io::Result<std::net::TcpListener> {
+        Err(unsupported())
+    }
 }
 
 #[cfg(all(test, target_os = "linux"))]
@@ -695,6 +821,62 @@ mod tests {
                 .unwrap(),
             1
         );
+    }
+
+    #[test]
+    fn reuseport_listeners_share_an_address() {
+        let first = net::bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        // A second listener on the very same address must succeed — that
+        // concurrent-bind window is the whole point of SO_REUSEPORT.
+        let second = net::bind_reuseport(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        // The kernel hashes each connection to one of the live
+        // listeners; with both nonblocking, every connect must be
+        // accepted by exactly one of them.
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let mut accepted = 0;
+        let mut clients = Vec::new();
+        for _ in 0..8 {
+            clients.push(TcpStream::connect(addr).unwrap());
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while accepted < clients.len() && std::time::Instant::now() < deadline {
+            for listener in [&first, &second] {
+                match listener.accept() {
+                    Ok(_) => accepted += 1,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(accepted, clients.len());
+
+        // After the first listener closes, connects still succeed via
+        // the survivor — the drain/restart handoff in miniature.
+        drop(first);
+        let late = TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match second.accept() {
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "survivor never accepted"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+        drop(late);
+
+        let v6 = net::bind_reuseport("[::1]:0".parse().unwrap());
+        assert_eq!(v6.unwrap_err().kind(), io::ErrorKind::Unsupported);
     }
 
     #[test]
