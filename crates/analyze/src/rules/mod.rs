@@ -13,6 +13,7 @@ mod no_panic_service;
 mod nonblocking;
 mod ordering_comment;
 mod safety_comment;
+mod span_guard;
 mod thread_spawn;
 
 pub use forbid_unsafe::ForbidUnsafe;
@@ -22,6 +23,7 @@ pub use no_panic_service::NoPanicInService;
 pub use nonblocking::NoBlockingInNonblocking;
 pub use ordering_comment::OrderingComment;
 pub use safety_comment::SafetyComment;
+pub use span_guard::SpanGuardBound;
 pub use thread_spawn::NoRawThreadSpawn;
 
 use crate::graph::Workspace;
@@ -78,5 +80,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoRawThreadSpawn),
         Box::new(LockOrder),
         Box::new(NoBlockingInNonblocking),
+        Box::new(SpanGuardBound),
     ]
 }

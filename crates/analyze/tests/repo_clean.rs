@@ -63,8 +63,8 @@ fn repo_unsafe_inventory_is_fully_covered() {
 }
 
 #[test]
-fn at_least_eight_rules_are_active() {
-    assert!(all_rules().len() >= 8, "rule registry shrank");
+fn at_least_nine_rules_are_active() {
+    assert!(all_rules().len() >= 9, "rule registry shrank");
 }
 
 /// The service's ranked locks are annotated where they are acquired, so
@@ -127,5 +127,43 @@ fn reactor_handlers_are_marked_nonblocking() {
         marked >= 14,
         "expected the poll loop, its handlers and the drain path (>= 14 fns) \
          to carry lint:nonblocking markers in reactor.rs; found {marked}"
+    );
+}
+
+/// `pieri-trace` sits below the reactor in the lock order, so its locks
+/// must be annotated (ranks 1–3, all under `reactor-inbox` at 4) and its
+/// hot recording path must stay under the `no-blocking-in-nonblocking`
+/// pass. Stripping either would let the tracer silently reintroduce the
+/// blocking/lock-inversion hazards PR 10 was designed around.
+#[test]
+fn trace_crate_lock_ranks_and_nonblocking_markers_are_present() {
+    let trace_src = workspace_root().join("crates").join("trace").join("src");
+    let mut rank_names: HashSet<String> = HashSet::new();
+    let mut nonblocking = 0usize;
+    for entry in std::fs::read_dir(&trace_src).expect("list trace sources") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read trace source");
+        let file = SourceFile::from_source(&path.display().to_string(), &text);
+        for marker in file.bound_markers("lock-rank") {
+            if let Some((name, _)) = marker.args.split_once(',') {
+                rank_names.insert(name.trim().to_string());
+            }
+        }
+        nonblocking += file.bound_markers("nonblocking").len();
+    }
+    for expected in ["trace-rings", "trace-ring", "trace-store", "trace-registry"] {
+        assert!(
+            rank_names.contains(expected),
+            "no lint:lock-rank({expected}, …) annotation found in crates/trace/src \
+             (have: {rank_names:?})"
+        );
+    }
+    assert!(
+        nonblocking >= 2,
+        "expected the span-record fast path (>= 2 fns) to carry \
+         lint:nonblocking markers in crates/trace/src; found {nonblocking}"
     );
 }

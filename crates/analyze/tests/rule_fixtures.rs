@@ -162,6 +162,20 @@ fn no_blocking_in_nonblocking_fixture() {
     assert_clean(&analyze_one(path, fixed));
 }
 
+#[test]
+fn span_guard_fixture() {
+    let path = "crates/x/src/work.rs";
+    let seeded = "fn admit(id: u64) {\n    request_span(\"admit\", id);\n    submit(id);\n}\n";
+    assert_fires(&analyze_one(path, seeded), "span-guard", 2);
+
+    let suppressed = "fn admit(id: u64) {\n    // lint:allow(span-guard) intentional zero-width marker\n    request_span(\"admit\", id);\n    submit(id);\n}\n";
+    assert_suppressed(&analyze_one(path, suppressed), "span-guard");
+
+    let fixed =
+        "fn admit(id: u64) {\n    let _span = request_span(\"admit\", id);\n    submit(id);\n}\n";
+    assert_clean(&analyze_one(path, fixed));
+}
+
 /// A violation seeded in test code stays a violation for
 /// `safety-comment` (no test exemption) but not for the test-exempt
 /// rules — the scoping itself is part of each rule's contract.

@@ -5,7 +5,7 @@
 //!
 //! ```sh
 //! cargo run --release --bin loadgen [clients] [requests-per-client] \
-//!     [connections] [requests-per-connection]
+//!     [connections] [requests-per-connection] [--trace-out PATH]
 //! cargo run --release --bin loadgen restart [clients] [duration-ms]
 //! ```
 //!
@@ -23,6 +23,13 @@
 //! that dies without a structured answer aborts the run. Each
 //! connection costs two fds in this process (client + server end), so
 //! 1000 connections need `ulimit -n` ≳ 2100.
+//!
+//! `--trace-out PATH` installs the `pieri-trace` recorder before the
+//! run and writes everything it captured as Chrome `trace_event` JSON
+//! on exit (open the file in `chrome://tracing` or Perfetto). The
+//! server-side spans — parse/admit/queue.wait/track/render per request
+//! — only exist when the stack is built with `--features trace`;
+//! without it the flag still writes a valid (near-empty) document.
 //!
 //! `loadgen restart` runs the **zero-downtime restart drill** instead:
 //! a swarm of retrying clients hammers server A (bound with
@@ -181,13 +188,61 @@ fn restart_drill(clients: usize, duration: Duration) {
     engine_a.shutdown();
 }
 
+/// Extracts `--trace-out PATH` from `args` (removing both tokens) and
+/// returns the path, if present. Everything else stays positional.
+fn take_trace_out(args: &mut Vec<String>) -> Option<std::path::PathBuf> {
+    let idx = args.iter().position(|a| a == "--trace-out")?;
+    args.remove(idx);
+    if idx < args.len() {
+        Some(std::path::PathBuf::from(args.remove(idx)))
+    } else {
+        eprintln!("loadgen: --trace-out requires a PATH argument");
+        std::process::exit(2);
+    }
+}
+
+/// Writes the Chrome `trace_event` document and sanity-checks its
+/// framing, so a CI artifact produced by `--trace-out` is always
+/// loadable in a trace viewer even when it captured zero events.
+fn write_trace(path: &std::path::Path) {
+    let events = pieri_trace::export_chrome(path).expect("write --trace-out file");
+    let doc = std::fs::read_to_string(path).expect("re-read --trace-out file");
+    assert!(
+        doc.starts_with("{\"traceEvents\":[") && doc.ends_with("\"displayTimeUnit\":\"ms\"}"),
+        "exported trace is not a Chrome trace_event document"
+    );
+    println!(
+        "\ntrace: {events} span(s) exported to {} ({})",
+        path.display(),
+        if cfg!(feature = "trace") {
+            "open in chrome://tracing or Perfetto"
+        } else {
+            "rebuild with --features trace to capture service spans"
+        }
+    );
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = take_trace_out(&mut raw);
+    if trace_out.is_some() {
+        // Recorder on from the first request. Deep (per-step) spans are
+        // wanted here: the artifact exists to be read in a trace viewer,
+        // and the run is a benchmark of the *server*, not the recorder.
+        pieri_trace::install(pieri_trace::TraceConfig {
+            deep: true,
+            ..pieri_trace::TraceConfig::default()
+        });
+    }
+    let mut args = raw.into_iter();
     let first = args.next();
     if first.as_deref() == Some("restart") {
         let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
         let duration_ms: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
         restart_drill(clients, Duration::from_millis(duration_ms));
+        if let Some(path) = trace_out {
+            write_trace(&path);
+        }
         return;
     }
     let clients: usize = first.and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -435,4 +490,7 @@ fn main() {
 
     server.engine().shutdown();
     server.shutdown();
+    if let Some(path) = trace_out {
+        write_trace(&path);
+    }
 }

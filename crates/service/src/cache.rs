@@ -28,6 +28,7 @@ use crate::sync::{rank, RankedMutex};
 use pieri_core::{Shape, StartBundle};
 use pieri_num::seeded_rng;
 use pieri_parallel::solve_tree_parallel_prepared;
+use pieri_trace::Counter;
 use pieri_tracker::TrackSettings;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -126,9 +127,14 @@ pub struct CacheStats {
 /// A concurrent map `(m, p, q) → Arc<StartBundle>`.
 pub struct ShapeCache {
     slots: RankedMutex<HashMap<Shape, Arc<Slot>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    evictions: AtomicUsize,
+    // The monotone counters are `pieri_trace::Counter`s so the engine
+    // can adopt them into its metrics registry
+    // ([`ShapeCache::register_metrics`]): `/v1/stats` and `/v1/metrics`
+    // then read cache activity from the same coherent snapshot as the
+    // job ledger, instead of racing these fields one by one.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
     /// Monotone LRU clock; slots stamp their `last_used` from it.
     clock: AtomicU64,
     limits: CacheLimits,
@@ -141,7 +147,7 @@ pub struct ShapeCache {
     /// Optional on-disk persistence: successful builds are saved
     /// best-effort, [`ShapeCache::with_store`] preloads at startup.
     store: Option<BundleStore>,
-    restored: AtomicUsize,
+    restored: Counter,
 }
 
 impl ShapeCache {
@@ -160,17 +166,30 @@ impl ShapeCache {
         assert!(limits.max_shapes >= 1, "cache must hold at least one shape");
         ShapeCache {
             slots: RankedMutex::new("cache-slots", rank::CACHE_SLOTS, HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            evictions: AtomicUsize::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
             clock: AtomicU64::new(0),
             limits,
             bundle_seed,
             settings,
             mode,
             store: None,
-            restored: AtomicUsize::new(0),
+            restored: Counter::new(),
         }
+    }
+
+    /// Adopts this cache's counters into `registry` (as
+    /// `pieri_cache_*_total`), so registry snapshots — `/v1/stats`,
+    /// `/v1/metrics` — cover cache activity coherently. Call once,
+    /// before the cache serves traffic; counters accumulated earlier
+    /// (e.g. store restores) stay visible, the instruments are shared,
+    /// not copied.
+    pub fn register_metrics(&self, registry: &pieri_trace::Registry) {
+        registry.adopt_counter("pieri_cache_hits_total", self.hits.clone());
+        registry.adopt_counter("pieri_cache_misses_total", self.misses.clone());
+        registry.adopt_counter("pieri_cache_evictions_total", self.evictions.clone());
+        registry.adopt_counter("pieri_cache_restored_total", self.restored.clone());
     }
 
     /// Attaches an on-disk [`BundleStore`] and eagerly restores every
@@ -205,7 +224,7 @@ impl ShapeCache {
             self.touch(&slot);
             // lint:lock-rank(cache-slots, 20)
             self.slots.lock_recover().insert(shape.clone(), slot);
-            self.restored.fetch_add(1, Ordering::Relaxed);
+            self.restored.inc();
             self.evict_over_limit(&shape);
         }
         self.store = Some(store);
@@ -232,7 +251,7 @@ impl ShapeCache {
             match &*state {
                 SlotState::Ready(bundle) => {
                     self.touch(&slot);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Ok((bundle.clone(), true));
                 }
                 SlotState::Building => {
@@ -252,7 +271,7 @@ impl ShapeCache {
                             *state = SlotState::Ready(bundle.clone());
                             self.touch(&slot);
                             slot.ready.notify_all();
-                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            self.misses.inc();
                             drop(state);
                             if let Some(store) = &self.store {
                                 store.save(shape, seed, bundle.coeffs(), bundle.build_time());
@@ -343,7 +362,7 @@ impl ShapeCache {
                 return;
             };
             slots.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -357,6 +376,32 @@ impl ShapeCache {
     /// not a shape the cache can serve, and must agree with
     /// [`ShapeCache::resident`].
     pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
+            evictions: self.evictions.get() as usize,
+            restored: self.restored.get() as usize,
+            ..self.residency_stats()
+        }
+    }
+
+    /// [`ShapeCache::stats`] with the monotone counters read from an
+    /// already-taken registry snapshot (see
+    /// [`ShapeCache::register_metrics`]) instead of the live atomics —
+    /// the engine uses this so one `/v1/stats` payload is a single
+    /// coherent read of the whole registry.
+    pub fn stats_from(&self, snap: &pieri_trace::Snapshot) -> CacheStats {
+        CacheStats {
+            hits: snap.counter("pieri_cache_hits_total") as usize,
+            misses: snap.counter("pieri_cache_misses_total") as usize,
+            evictions: snap.counter("pieri_cache_evictions_total") as usize,
+            restored: snap.counter("pieri_cache_restored_total") as usize,
+            ..self.residency_stats()
+        }
+    }
+
+    /// The lock-derived (non-counter) half of [`CacheStats`].
+    fn residency_stats(&self) -> CacheStats {
         let (shapes, resident_bytes) = {
             // lint:lock-rank(cache-slots, 20)
             let slots = self.slots.lock_recover();
@@ -372,13 +417,10 @@ impl ShapeCache {
             (count, bytes)
         };
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
             shapes,
-            evictions: self.evictions.load(Ordering::Relaxed),
             resident_bytes,
-            restored: self.restored.load(Ordering::Relaxed),
             store_recovered: self.store.as_ref().map_or(0, |s| s.recovered()),
+            ..CacheStats::default()
         }
     }
 

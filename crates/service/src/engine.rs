@@ -39,11 +39,11 @@ use pieri_control::{
 };
 use pieri_core::Shape;
 use pieri_num::{seeded_rng, Complex64};
+use pieri_trace::{Counter, Gauge, Histogram, Registry};
 use pieri_tracker::{CancelToken, TrackSettings};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -141,6 +141,10 @@ struct Queued {
     /// Cancelled explicitly (client gone) or via its embedded deadline;
     /// checked before dequeue-execution and between continuation paths.
     cancel: CancelToken,
+    /// The request's trace id (0 = untraced). Spans emitted while this
+    /// job runs — queue wait, the solve itself, tracker phases — carry
+    /// it, so `/v1/trace/<id>` reassembles the whole lifecycle.
+    trace_id: u64,
     done: Done,
 }
 
@@ -185,6 +189,66 @@ struct ReaperState {
     stop: bool,
 }
 
+/// The engine's instruments, registered on the shared [`Registry`].
+///
+/// Field order here **is** registration order, which is also the
+/// snapshot read order — each bounded counter registers before the
+/// counter that bounds it, and every increment site bumps the bound
+/// *first* (`completed` before `expired`, `rejected` before `shed`,
+/// `submitted` at admission long before `completed` at delivery). With
+/// the registry's SeqCst contract that makes the `/v1/stats` ledger
+/// invariants (`deadline_expired ≤ completed ≤ submitted`,
+/// `shed ≤ rejected`) hold in *every* snapshot, not just at quiescence
+/// — see the coherence notes in [`pieri_trace::metrics`].
+struct EngineMetrics {
+    /// Deadlines that fired *after* admission — while queued (the
+    /// solver is never invoked) or between continuation paths.
+    expired: Counter,
+    completed: Counter,
+    /// Load-shedding rejections at admission: a full queue on the
+    /// non-blocking path, or a deadline already lapsed at submit.
+    /// Subset of `rejected`.
+    shed: Counter,
+    rejected: Counter,
+    submitted: Counter,
+    certified: Counter,
+    refined: Counter,
+    retracked: Counter,
+    cert_failed: Counter,
+    /// Workers replaced after a panic or wedge.
+    workers_restarted: Counter,
+    /// Orphaned jobs requeued replay-safely by the supervisor.
+    jobs_recovered: Counter,
+    /// Jobs currently queued; set under the engine-queue lock at every
+    /// push/pop site, so it never drifts from `queue.len()`.
+    queue_depth: Gauge,
+    /// Admission-to-dequeue latency of jobs a worker picked up.
+    queue_wait_us: Histogram,
+    /// Solver wall time of successfully completed jobs.
+    solve_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn register_all(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            expired: registry.counter("pieri_jobs_deadline_expired_total"),
+            completed: registry.counter("pieri_jobs_completed_total"),
+            shed: registry.counter("pieri_jobs_shed_total"),
+            rejected: registry.counter("pieri_jobs_rejected_total"),
+            submitted: registry.counter("pieri_jobs_submitted_total"),
+            certified: registry.counter("pieri_certify_certified_total"),
+            refined: registry.counter("pieri_certify_refined_total"),
+            retracked: registry.counter("pieri_certify_retracked_total"),
+            cert_failed: registry.counter("pieri_certify_failed_total"),
+            workers_restarted: registry.counter("pieri_workers_restarted_total"),
+            jobs_recovered: registry.counter("pieri_jobs_recovered_total"),
+            queue_depth: registry.gauge("pieri_queue_depth"),
+            queue_wait_us: registry.histogram("pieri_job_queue_wait_us"),
+            solve_us: registry.histogram("pieri_job_solve_us"),
+        }
+    }
+}
+
 struct Shared {
     state: RankedMutex<QueueState>,
     /// Workers wait here for jobs.
@@ -195,21 +259,15 @@ struct Shared {
     limits: JobLimits,
     settings: TrackSettings,
     capacity: usize,
-    submitted: AtomicUsize,
-    completed: AtomicUsize,
-    rejected: AtomicUsize,
-    /// Load-shedding rejections at admission: a full queue on the
-    /// non-blocking path, or a deadline already lapsed at submit.
-    /// Subset of `rejected`.
-    shed: AtomicUsize,
-    /// Deadlines that fired *after* admission — while queued (the
-    /// solver is never invoked) or between continuation paths.
-    expired: AtomicUsize,
+    /// The single source of truth behind `/v1/stats` and `/v1/metrics`:
+    /// every engine counter above lives here, the shape cache's
+    /// counters are adopted into it, and the reactor registers its
+    /// per-path HTTP metrics on it too.
+    registry: Arc<Registry>,
+    metrics: EngineMetrics,
+    /// Engine start time (`/v1/stats` reports `uptime_secs` from it).
+    started: Instant,
     certify_policy: CertifyPolicy,
-    certified: AtomicUsize,
-    refined: AtomicUsize,
-    retracked: AtomicUsize,
-    cert_failed: AtomicUsize,
     /// Per-worker supervision slots; indexed by worker id.
     slots: RankedMutex<Vec<WorkerSlot>>,
     /// Dead-worker notifications and the supervisor stop flag.
@@ -218,10 +276,6 @@ struct Shared {
     /// shutdown notify it.
     reaper_cv: Condvar,
     supervisor: SupervisorConfig,
-    /// Workers replaced after a panic or wedge.
-    workers_restarted: AtomicUsize,
-    /// Orphaned jobs requeued replay-safely by the supervisor.
-    jobs_recovered: AtomicUsize,
 }
 
 impl Shared {
@@ -230,10 +284,10 @@ impl Shared {
         let certified = certs.iter().filter(|c| c.is_certified()).count();
         let refined = certs.iter().filter(|c| c.refined).count();
         let failed = certs.iter().filter(|c| c.is_failed()).count();
-        self.certified.fetch_add(certified, Ordering::Relaxed);
-        self.refined.fetch_add(refined, Ordering::Relaxed);
-        self.cert_failed.fetch_add(failed, Ordering::Relaxed);
-        self.retracked.fetch_add(retracked, Ordering::Relaxed);
+        self.metrics.certified.add(certified as u64);
+        self.metrics.refined.add(refined as u64);
+        self.metrics.cert_failed.add(failed as u64);
+        self.metrics.retracked.add(retracked as u64);
     }
 }
 
@@ -305,6 +359,8 @@ pub struct EngineStats {
     /// Orphaned in-flight jobs the supervisor requeued replay-safely
     /// (their solver had not started when the worker died).
     pub jobs_recovered: usize,
+    /// Time since the engine started.
+    pub uptime: Duration,
     /// Shape-cache counters.
     pub cache: CacheStats,
 }
@@ -325,6 +381,30 @@ impl Engine {
     pub fn start(config: EngineConfig) -> Engine {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
+        // Honour `PIERI_TRACE` on every engine start so any binary
+        // embedding the service (examples, loadgen, operator tools)
+        // records spans without code changes. A no-op when the
+        // variable is unset or a recorder is already installed by the
+        // harness; the metrics registry below is on regardless.
+        if !pieri_trace::enabled() {
+            pieri_trace::install_from_env();
+        }
+        let registry = Arc::new(Registry::new());
+        let metrics = EngineMetrics::register_all(&registry);
+        // Bundle builds inherit the re-track policy: a failed tree
+        // path inside a shape build is a server-side defect, and a
+        // bounded tightened retry is strictly better than losing a
+        // root (which fails the whole build). Determinism holds —
+        // retries only fire on paths that would otherwise fail, and
+        // a disabled policy leaves the operator's settings alone.
+        let cache = ShapeCache::with_limits(
+            config.bundle_seed,
+            config.certify.effective_settings(&config.settings),
+            config.build_mode,
+            config.cache_limits,
+        )
+        .with_store(config.bundle_store.as_deref());
+        cache.register_metrics(&registry);
         let shared = Arc::new(Shared {
             state: RankedMutex::new(
                 "engine-queue",
@@ -336,32 +416,14 @@ impl Engine {
             ),
             jobs: Condvar::new(),
             space: Condvar::new(),
-            // Bundle builds inherit the re-track policy: a failed tree
-            // path inside a shape build is a server-side defect, and a
-            // bounded tightened retry is strictly better than losing a
-            // root (which fails the whole build). Determinism holds —
-            // retries only fire on paths that would otherwise fail, and
-            // a disabled policy leaves the operator's settings alone.
-            cache: ShapeCache::with_limits(
-                config.bundle_seed,
-                config.certify.effective_settings(&config.settings),
-                config.build_mode,
-                config.cache_limits,
-            )
-            .with_store(config.bundle_store.as_deref()),
+            cache,
             limits: config.limits,
             settings: config.settings,
             capacity: config.queue_capacity,
-            submitted: AtomicUsize::new(0),
-            completed: AtomicUsize::new(0),
-            rejected: AtomicUsize::new(0),
-            shed: AtomicUsize::new(0),
-            expired: AtomicUsize::new(0),
+            registry,
+            metrics,
+            started: Instant::now(),
             certify_policy: config.certify,
-            certified: AtomicUsize::new(0),
-            refined: AtomicUsize::new(0),
-            retracked: AtomicUsize::new(0),
-            cert_failed: AtomicUsize::new(0),
             slots: RankedMutex::new(
                 "engine-workers",
                 rank::ENGINE_WORKERS,
@@ -384,8 +446,6 @@ impl Engine {
             ),
             reaper_cv: Condvar::new(),
             supervisor: config.supervisor,
-            workers_restarted: AtomicUsize::new(0),
-            jobs_recovered: AtomicUsize::new(0),
         });
         for i in 0..config.workers {
             let handle = spawn_worker(&shared, i, 0)
@@ -425,14 +485,14 @@ impl Engine {
     /// queue returns [`JobError::QueueFull`] immediately.
     pub fn submit(&self, req: JobRequest) -> Result<JobTicket, JobError> {
         let (tx, rx) = channel::unbounded();
-        self.enqueue(req, None, false, Done::Channel(tx))?;
+        self.enqueue(req, None, false, 0, Done::Channel(tx))?;
         Ok(JobTicket { rx })
     }
 
     /// Validates and enqueues a job, waiting for queue space when full.
     pub fn submit_blocking(&self, req: JobRequest) -> Result<JobTicket, JobError> {
         let (tx, rx) = channel::unbounded();
-        self.enqueue(req, None, true, Done::Channel(tx))?;
+        self.enqueue(req, None, true, 0, Done::Channel(tx))?;
         Ok(JobTicket { rx })
     }
 
@@ -447,7 +507,7 @@ impl Engine {
         deadline: Option<Instant>,
     ) -> Result<(JobTicket, CancelToken), JobError> {
         let (tx, rx) = channel::unbounded();
-        let token = self.enqueue(req, deadline, false, Done::Channel(tx))?;
+        let token = self.enqueue(req, deadline, false, 0, Done::Channel(tx))?;
         Ok((JobTicket { rx }, token))
     }
 
@@ -457,13 +517,24 @@ impl Engine {
     /// `on_done` runs exactly once, on the worker thread that finished
     /// the job — callbacks must be cheap and non-blocking-ish (the
     /// reactor's pushes one completion and wakes an eventfd).
+    ///
+    /// `trace_id` (0 = untraced) tags the job's spans — queue wait,
+    /// solve, tracker phases — so `/v1/trace/<id>` can reassemble the
+    /// request's full lifecycle across threads.
     pub fn submit_async(
         &self,
         req: JobRequest,
         deadline: Option<Instant>,
+        trace_id: u64,
         on_done: impl FnOnce(Result<JobResult, JobError>) + Send + 'static,
     ) -> Result<CancelToken, JobError> {
-        self.enqueue(req, deadline, false, Done::Callback(Box::new(on_done)))
+        self.enqueue(
+            req,
+            deadline,
+            false,
+            trace_id,
+            Done::Callback(Box::new(on_done)),
+        )
     }
 
     /// Convenience: blocking submit + wait.
@@ -476,17 +547,21 @@ impl Engine {
         req: JobRequest,
         deadline: Option<Instant>,
         block: bool,
+        trace_id: u64,
         done: Done,
     ) -> Result<CancelToken, JobError> {
         if let Err(e) = req.validate(&self.shared.limits) {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rejected.inc();
             return Err(e);
         }
         // Deadline-aware admission control: work that cannot possibly
         // answer in time is shed here, before it costs a queue slot.
+        // `rejected` first, `shed` second — the snapshot coherence
+        // contract (see [`EngineMetrics`]) needs the superset bumped
+        // before its subset.
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rejected.inc();
+            self.shared.metrics.shed.inc();
             return Err(JobError::DeadlineExceeded {
                 detail: "deadline lapsed before admission".into(),
             });
@@ -499,7 +574,7 @@ impl Engine {
         let mut state = self.shared.state.lock_recover();
         loop {
             if !state.open {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected.inc();
                 return Err(JobError::ShuttingDown);
             }
             if state.queue.len() < self.shared.capacity {
@@ -507,44 +582,70 @@ impl Engine {
                     req,
                     enqueued: Instant::now(),
                     cancel: cancel.clone(),
+                    trace_id,
                     done,
                 });
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.submitted.inc();
+                self.shared
+                    .metrics
+                    .queue_depth
+                    .set(state.queue.len() as i64);
                 self.shared.jobs.notify_one();
                 return Ok(cancel);
             }
             if !block {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected.inc();
+                self.shared.metrics.shed.inc();
                 return Err(JobError::QueueFull);
             }
             state = crate::sync::wait_recover(&self.shared.space, state);
         }
     }
 
-    /// Counter snapshot.
+    /// One coherent counter snapshot: every field comes from a single
+    /// registration-order read of the registry, so the ledger
+    /// invariants (`deadline_expired ≤ completed ≤ submitted`,
+    /// `shed ≤ rejected`) hold in the returned value even while
+    /// workers are mid-update.
     pub fn stats(&self) -> EngineStats {
+        let snap = self.shared.registry.snapshot();
+        let count = |name: &str| snap.counter(name) as usize;
         // lint:lock-rank(engine-queue, 10)
         let queue_len = self.shared.state.lock_recover().queue.len();
         EngineStats {
             workers: self.workers,
             queue_len,
             queue_capacity: self.shared.capacity,
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            deadline_expired: self.shared.expired.load(Ordering::Relaxed),
+            submitted: count("pieri_jobs_submitted_total"),
+            completed: count("pieri_jobs_completed_total"),
+            rejected: count("pieri_jobs_rejected_total"),
+            shed: count("pieri_jobs_shed_total"),
+            deadline_expired: count("pieri_jobs_deadline_expired_total"),
             certify: CertifyCounters {
-                certified: self.shared.certified.load(Ordering::Relaxed),
-                refined: self.shared.refined.load(Ordering::Relaxed),
-                retracked: self.shared.retracked.load(Ordering::Relaxed),
-                failed: self.shared.cert_failed.load(Ordering::Relaxed),
+                certified: count("pieri_certify_certified_total"),
+                refined: count("pieri_certify_refined_total"),
+                retracked: count("pieri_certify_retracked_total"),
+                failed: count("pieri_certify_failed_total"),
             },
-            workers_restarted: self.shared.workers_restarted.load(Ordering::Relaxed),
-            jobs_recovered: self.shared.jobs_recovered.load(Ordering::Relaxed),
-            cache: self.shared.cache.stats(),
+            workers_restarted: count("pieri_workers_restarted_total"),
+            jobs_recovered: count("pieri_jobs_recovered_total"),
+            uptime: self.shared.started.elapsed(),
+            cache: self.shared.cache.stats_from(&snap),
         }
+    }
+
+    /// The metrics registry — the single source of truth behind
+    /// `/v1/stats` and `/v1/metrics`. The HTTP layer registers its
+    /// per-path counters and latency histograms here, so one snapshot
+    /// covers the whole service.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Time since this engine started (drives `uptime_secs` in
+    /// `/healthz` and `/v1/stats` without a full registry snapshot).
+    pub fn uptime(&self) -> Duration {
+        self.shared.started.elapsed()
     }
 
     /// The shape cache (read access for diagnostics).
@@ -601,7 +702,9 @@ impl Engine {
         let leftovers: Vec<Queued> = {
             // lint:lock-rank(engine-queue, 10)
             let mut state = self.shared.state.lock_recover();
-            state.queue.drain(..).collect()
+            let drained = state.queue.drain(..).collect();
+            self.shared.metrics.queue_depth.set(0);
+            drained
         };
         let orphans: Vec<InFlight> = {
             // lint:lock-rank(engine-workers, 12)
@@ -612,7 +715,7 @@ impl Engine {
             .into_iter()
             .chain(orphans.into_iter().map(|o| o.job))
         {
-            self.shared.completed.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.completed.inc();
             deliver(job.done, Err(JobError::ShuttingDown));
         }
     }
@@ -686,6 +789,7 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
             crate::chaos::panic_site("worker.panic");
             loop {
                 if let Some(job) = state.queue.pop_front() {
+                    shared.metrics.queue_depth.set(state.queue.len() as i64);
                     shared.space.notify_one();
                     break Some(job);
                 }
@@ -703,6 +807,7 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
         let req = job.req.clone();
         let cancel = job.cancel.clone();
         let enqueued = job.enqueued;
+        let trace_id = job.trace_id;
         let unclaimed = {
             // lint:lock-rank(engine-workers, 12)
             let mut slots = shared.slots.lock_recover();
@@ -726,6 +831,7 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
             // lint:lock-rank(engine-queue, 10)
             let mut state = shared.state.lock_recover();
             state.queue.push_front(job);
+            shared.metrics.queue_depth.set(state.queue.len() as i64);
             shared.jobs.notify_one();
             return;
         }
@@ -739,6 +845,11 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
             std::thread::sleep(Duration::from_millis(hit.param_or(10)));
         }
         let queue_wait = enqueued.elapsed();
+        shared.metrics.queue_wait_us.record_duration(queue_wait);
+        // The queue wait crosses threads (stamped at enqueue, observed
+        // here), so it is recorded as an already-closed span rather
+        // than an RAII guard.
+        crate::trace::note_queue_wait(trace_id, queue_wait);
         // Expired-before-dequeue: the deadline (or an explicit cancel)
         // fired while the job sat in the queue — answer structurally
         // without ever invoking the solver.
@@ -771,6 +882,10 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
             }
             // The cancel scope makes the token visible to the
             // continuation drivers, which consult it between paths.
+            // The job scope sets this thread's current trace id for
+            // the duration (tracker spans inherit it) and wraps the
+            // solve in a "track" span.
+            let _span = crate::trace::job_span(trace_id);
             pieri_tracker::cancel::scope(&cancel, || execute(shared, &req, queue_wait))
         };
         // Completion: take the claim back out of the slot. Whoever
@@ -789,10 +904,17 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, generation: u64) {
             }
         };
         let Some(done) = done else { return };
-        if matches!(result, Err(JobError::DeadlineExceeded { .. })) {
-            shared.expired.fetch_add(1, Ordering::Relaxed);
+        if let Ok(res) = &result {
+            shared.metrics.solve_us.record_duration(res.solve_time);
         }
-        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // `completed` before `expired`: the snapshot coherence contract
+        // (see [`EngineMetrics`]) needs the bounding counter bumped
+        // first for `deadline_expired ≤ completed` to hold in every
+        // snapshot.
+        shared.metrics.completed.inc();
+        if matches!(result, Err(JobError::DeadlineExceeded { .. })) {
+            shared.metrics.expired.inc();
+        }
         deliver(done, result);
     }
 }
@@ -874,7 +996,7 @@ fn restart_worker(shared: &Arc<Shared>, id: usize, generation: u64) {
     if !backoff.is_zero() {
         std::thread::sleep(backoff);
     }
-    shared.workers_restarted.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.workers_restarted.inc();
     match spawn_worker(shared, id, generation + 1) {
         Ok(handle) => {
             // lint:lock-rank(engine-workers, 12)
@@ -894,8 +1016,10 @@ fn restart_worker(shared: &Arc<Shared>, id: usize, generation: u64) {
 fn recover_inflight(shared: &Arc<Shared>, inflight: InFlight) {
     let InFlight { job, executing, .. } = inflight;
     if job.cancel.is_cancelled() {
-        shared.expired.fetch_add(1, Ordering::Relaxed);
-        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // `completed` before `expired` — same coherence-contract
+        // ordering as the worker's completion path.
+        shared.metrics.completed.inc();
+        shared.metrics.expired.inc();
         deliver(
             job.done,
             Err(JobError::DeadlineExceeded {
@@ -907,7 +1031,7 @@ fn recover_inflight(shared: &Arc<Shared>, inflight: InFlight) {
         // wedged. Re-running would be answer-deterministic, but a job
         // that wedges its worker would then wedge every replacement —
         // shed it with a structured error instead.
-        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.completed.inc();
         deliver(
             job.done,
             Err(JobError::Internal(
@@ -918,10 +1042,11 @@ fn recover_inflight(shared: &Arc<Shared>, inflight: InFlight) {
         // The solver never started: requeue at the front, replay-safe.
         // The transient over-capacity this may cause is deliberate —
         // recovered work must not be lost to a momentarily full queue.
-        shared.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.jobs_recovered.inc();
         // lint:lock-rank(engine-queue, 10)
         let mut state = shared.state.lock_recover();
         state.queue.push_front(job);
+        shared.metrics.queue_depth.set(state.queue.len() as i64);
         shared.jobs.notify_one();
     }
 }

@@ -255,6 +255,11 @@ pub(crate) struct ParsedHead {
     pub(crate) keep_alive: bool,
     /// Value of `x-deadline-ms`, if the header was present.
     deadline_ms: Option<u64>,
+    /// The request's trace id: the `x-trace-id` header when it parsed
+    /// (1–16 hex digits, nonzero), else freshly generated — and always
+    /// 0 when tracing is compiled out or not installed. A malformed
+    /// header never fails the request; it is treated as absent.
+    pub(crate) trace_id: u64,
     /// Byte offset of the body within the parse buffer.
     pub(crate) body_start: usize,
     /// Body length (the declared `Content-Length`).
@@ -323,6 +328,7 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
     let mut content_length = 0usize;
     let mut keep_alive = false;
     let mut deadline_ms = None;
+    let mut trace_header = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -344,6 +350,8 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
                     return bad("invalid x-deadline-ms");
                 };
                 deadline_ms = Some(ms);
+            } else if name.eq_ignore_ascii_case("x-trace-id") {
+                trace_header = Some(value.trim());
             }
         }
     }
@@ -361,6 +369,7 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
         path: path.to_string(),
         keep_alive,
         deadline_ms,
+        trace_id: crate::trace::request_trace_id(trace_header),
         body_start,
         body_len: content_length,
     })
@@ -371,9 +380,43 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Renders one response — status line, headers, JSON body — into a
-/// byte buffer ready for the wire.
-pub(crate) fn render_response(status: u16, body: &Value, keep_alive: bool) -> Vec<u8> {
+/// Renders one JSON response — status line, headers, body — into a
+/// byte buffer ready for the wire. A nonzero `trace_id` is echoed back
+/// as an `x-trace-id` header so clients can fetch `/v1/trace/<id>`.
+pub(crate) fn render_response(
+    status: u16,
+    body: &Value,
+    keep_alive: bool,
+    trace_id: u64,
+) -> Vec<u8> {
+    render_raw(
+        status,
+        "application/json",
+        body.serialize().as_bytes(),
+        keep_alive,
+        trace_id,
+    )
+}
+
+/// Renders one plain-text response — the `/v1/metrics` Prometheus
+/// exposition path, which must not be wrapped in JSON.
+pub(crate) fn render_text_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    render_raw(
+        status,
+        "text/plain; version=0.0.4; charset=utf-8",
+        body.as_bytes(),
+        keep_alive,
+        0,
+    )
+}
+
+fn render_raw(
+    status: u16,
+    content_type: &str,
+    payload: &[u8],
+    keep_alive: bool,
+    trace_id: u64,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -385,16 +428,20 @@ pub(crate) fn render_response(status: u16, body: &Value, keep_alive: bool) -> Ve
         _ => "Unknown",
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let payload = body.serialize();
+    let trace_header = if trace_id != 0 {
+        format!("x-trace-id: {trace_id:016x}\r\n")
+    } else {
+        String::new()
+    };
     // One buffer, one write: never leaves a small unacknowledged
     // segment for Nagle to hold the rest of the response behind.
     let mut message = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n{trace_header}\r\n",
         payload.len()
     )
     .into_bytes();
-    message.extend_from_slice(payload.as_bytes());
+    message.extend_from_slice(payload);
     message
 }
 

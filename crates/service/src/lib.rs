@@ -58,6 +58,7 @@ pub mod job;
 mod reactor;
 pub mod store;
 mod sync;
+mod trace;
 pub mod wire;
 
 /// The deterministic fault-injection registry (`chaos` feature only),
@@ -65,6 +66,13 @@ pub mod wire;
 /// inspect fault plans against this very process.
 #[cfg(feature = "chaos")]
 pub use pieri_chaos;
+
+/// The observability layer (always compiled: the metrics registry
+/// behind `/v1/stats` and `/v1/metrics` is unconditional; spans and
+/// trace ids additionally need the `trace` feature), re-exported so
+/// integration tests and harnesses can install trace configs and read
+/// this process's rings and registry.
+pub use pieri_trace;
 
 pub use cache::{BuildMode, CacheStats, ShapeCache};
 pub use engine::{Engine, EngineConfig, EngineStats, JobTicket, SupervisorConfig};

@@ -60,6 +60,7 @@ use std::time::{Duration, Instant};
 
 use minijson::Value;
 use mio_lite::{Events, Interest, Poll, Token, Waker};
+use pieri_trace::{Counter, Histogram, Registry};
 use pieri_tracker::CancelToken;
 
 use crate::engine::Engine;
@@ -95,6 +96,62 @@ const READ_CHUNK: usize = 16 * 1024;
 const OVERLOAD_HEADROOM: usize = 64;
 /// Cadence of the idle-connection sweep.
 const SWEEP_EVERY: Duration = Duration::from_secs(1);
+
+/// Path classes for the per-endpoint HTTP metrics
+/// (`pieri_http_requests_total{path=...}` and
+/// `pieri_http_request_us{path=...}`). Unknown paths fold into `other`
+/// so hostile clients cannot mint unbounded label values.
+const PATH_CLASSES: [&str; 7] = [
+    "/healthz",
+    "/v1/stats",
+    "/v1/metrics",
+    "/v1/trace",
+    "/v1/solve",
+    "/v1/batch",
+    "other",
+];
+/// Index of the catch-all class in [`PATH_CLASSES`].
+const CLASS_OTHER: usize = 6;
+
+/// Maps a request path onto its [`PATH_CLASSES`] index.
+fn class_of(path: &str) -> usize {
+    if path.starts_with("/v1/trace/") {
+        return 3;
+    }
+    PATH_CLASSES
+        .iter()
+        .position(|p| *p == path)
+        .unwrap_or(CLASS_OTHER)
+}
+
+/// Per-path-class request counters and latency histograms, registered
+/// once on the engine's metrics registry (in [`build`]) and shared by
+/// every reactor thread. Latency is measured from dispatch to the
+/// response hitting the write buffer, so solve/batch classes include
+/// queue wait and solve time.
+struct HttpMetrics {
+    /// `pieri_http_requests_total{path=...}`, indexed by class.
+    requests: Vec<Counter>,
+    /// `pieri_http_request_us{path=...}`, indexed by class.
+    latency_us: Vec<Histogram>,
+}
+
+impl HttpMetrics {
+    fn register_all(registry: &Registry) -> Self {
+        let requests = PATH_CLASSES
+            .iter()
+            .map(|p| registry.counter_with("pieri_http_requests_total", "path", p))
+            .collect();
+        let latency_us = PATH_CLASSES
+            .iter()
+            .map(|p| registry.histogram_with("pieri_http_request_us", "path", p))
+            .collect();
+        HttpMetrics {
+            requests,
+            latency_us,
+        }
+    }
+}
 
 /// Per-server sweep budgets, threaded from
 /// [`crate::http::ServerOptions`] so tests can shrink them without
@@ -148,6 +205,14 @@ enum SlotState {
         /// JSON response body.
         body: Value,
     },
+    /// Response known, plain-text payload (the Prometheus exposition
+    /// behind `/v1/metrics`); waiting for its turn at the front.
+    ReadyText {
+        /// HTTP status code.
+        status: u16,
+        /// Text response body.
+        text: String,
+    },
     /// A single job in flight in the engine.
     Pending {
         /// Cancels the job if the connection dies first.
@@ -171,6 +236,14 @@ struct Slot {
     seq: u64,
     /// Close the connection after this response is written.
     close_after: bool,
+    /// The request's trace id (0 = untraced; emitted as the
+    /// `x-trace-id` response header when nonzero).
+    trace_id: u64,
+    /// [`PATH_CLASSES`] index for the per-path metrics.
+    class: usize,
+    /// When the request was dispatched, for the latency histogram and
+    /// the slow-request log.
+    started: Instant,
     state: SlotState,
 }
 
@@ -221,6 +294,8 @@ pub(crate) struct Reactor {
     rr: usize,
     last_sweep: Instant,
     tuning: Tuning,
+    /// Per-path request counters/latency, shared across reactors.
+    http_metrics: Arc<HttpMetrics>,
 }
 
 /// What [`build`] hands the server: the reactors (to be moved onto
@@ -259,6 +334,7 @@ pub(crate) fn build(
     }
     polls[0].register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
     let mut listener = Some(listener);
+    let http_metrics = Arc::new(HttpMetrics::register_all(engine.registry()));
     let reactors = polls
         .into_iter()
         .enumerate()
@@ -277,6 +353,7 @@ pub(crate) fn build(
             rr: 0,
             last_sweep: Instant::now(),
             tuning,
+            http_metrics: http_metrics.clone(),
         })
         .collect();
     Ok((reactors, shared, conn_total))
@@ -448,6 +525,9 @@ impl Reactor {
             conn.slots.push_back(Slot {
                 seq: 0,
                 close_after: true,
+                trace_id: 0,
+                class: CLASS_OTHER,
+                started: Instant::now(),
                 state: SlotState::Ready {
                     status: http::status_for(&e),
                     body: wire::error_to_json(&e),
@@ -544,6 +624,7 @@ impl Reactor {
     // lint:nonblocking — pure parsing plus nonblocking dispatch into the engine
     fn parse_ready(&mut self, token: usize) {
         loop {
+            let parse_start = Instant::now();
             let parsed = {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return;
@@ -562,6 +643,9 @@ impl Reactor {
                         conn.slots.push_back(Slot {
                             seq,
                             close_after: true,
+                            trace_id: 0,
+                            class: CLASS_OTHER,
+                            started: Instant::now(),
                             state: SlotState::Ready {
                                 status: http::status_for(&e),
                                 body: wire::error_to_json(&e),
@@ -586,6 +670,8 @@ impl Reactor {
                 }
             };
             let (head, body, seq, close_after) = parsed;
+            crate::trace::note_parse(head.trace_id, parse_start.elapsed());
+            let _span = crate::trace::request_span("admit", head.trace_id);
             // lint:allow(no-blocking-in-nonblocking) — dispatch submits async; engine admission sheds instead of waiting
             let slot = self.dispatch(token, seq, &head, &body, close_after);
             if let Some(conn) = self.conns.get_mut(&token) {
@@ -606,30 +692,76 @@ impl Reactor {
         body: &[u8],
         close_after: bool,
     ) -> Slot {
+        let trace_id = head.trace_id;
+        let class = class_of(&head.path);
+        let started = Instant::now();
         let ready = |status: u16, body: Value| Slot {
             seq,
             close_after,
+            trace_id,
+            class,
+            started,
             state: SlotState::Ready { status, body },
         };
         match (head.method.as_str(), head.path.as_str()) {
-            ("GET", "/healthz") => ready(200, minijson::object([("ok", Value::Bool(true))])),
+            ("GET", "/healthz") => {
+                // lint:allow(no-blocking-in-nonblocking) — uptime is a clock read
+                ready(200, wire::health_to_json(self.engine.uptime()))
+            }
             ("GET", "/v1/stats") => {
-                // lint:allow(no-blocking-in-nonblocking) — stats reads counters under short internal locks, never I/O
+                // lint:allow(no-blocking-in-nonblocking) — stats reads one registry snapshot plus the queue length, never I/O
                 let stats = self.engine.stats();
                 // lint:allow(no-blocking-in-nonblocking) — resident() is a bounded walk under the cache-slots lock
                 let resident = self.engine.cache().resident();
                 ready(200, wire::stats_to_json(&stats, &resident))
+            }
+            ("GET", "/v1/metrics") => {
+                // The exposition is rendered here, off the write path,
+                // from the same snapshot `/v1/stats` uses.
+                // lint:allow(no-blocking-in-nonblocking) — snapshot is a bounded walk under the trace-registry lock
+                let snap = self.engine.registry().snapshot();
+                Slot {
+                    seq,
+                    close_after,
+                    trace_id,
+                    class,
+                    started,
+                    state: SlotState::ReadyText {
+                        status: 200,
+                        // lint:allow(no-blocking-in-nonblocking) — renders from the already-taken snapshot; the name-keyed graph collides Snapshot accessors with Registry lockers
+                        text: pieri_trace::render_prometheus(&snap),
+                    },
+                }
+            }
+            ("GET", path) if path.starts_with("/v1/trace/") => {
+                let suffix = &path["/v1/trace/".len()..];
+                // lint:allow(no-blocking-in-nonblocking) — trace_lookup is a bounded copy under the trace-store lock
+                let found = pieri_trace::parse_trace_id(suffix)
+                    .and_then(|id| crate::trace::trace_lookup(id).map(|spans| (id, spans)));
+                match found {
+                    Some((id, spans)) => ready(200, wire::trace_to_json(id, &spans)),
+                    None => {
+                        // Unknown, evicted, malformed, or tracing off:
+                        // all answer a structured 404.
+                        let e = JobError::InvalidRequest(format!("no recorded trace '{suffix}'"));
+                        ready(404, wire::error_to_json(&e))
+                    }
+                }
             }
             ("POST", "/v1/solve") => match http::parse_job(body) {
                 Err(e) => ready(http::status_for(&e), wire::error_to_json(&e)),
                 Ok(req) => {
                     // lint:allow(no-blocking-in-nonblocking) — the hook's queue push runs later, on an engine worker thread
                     let done = self.completion_hook(token, seq, 0);
+                    let deadline = head.deadline();
                     // lint:allow(no-blocking-in-nonblocking) — submit_async sheds on a full queue instead of waiting
-                    match self.engine.submit_async(req, head.deadline(), done) {
+                    match self.engine.submit_async(req, deadline, trace_id, done) {
                         Ok(cancel) => Slot {
                             seq,
                             close_after,
+                            trace_id,
+                            class,
+                            started,
                             state: SlotState::Pending { cancel },
                         },
                         Err(e) => ready(http::status_for(&e), wire::error_to_json(&e)),
@@ -648,10 +780,11 @@ impl Reactor {
                         results.resize_with(n, || None);
                         let mut cancels = Vec::new();
                         let mut remaining = n;
+                        let deadline = head.deadline();
                         for (i, job) in jobs.into_iter().enumerate() {
                             let done = self.completion_hook(token, seq, i);
                             // lint:allow(no-blocking-in-nonblocking) — submit_async sheds on a full queue instead of waiting
-                            match self.engine.submit_async(job, head.deadline(), done) {
+                            match self.engine.submit_async(job, deadline, trace_id, done) {
                                 Ok(cancel) => cancels.push(cancel),
                                 Err(e) => {
                                     results[i] = Some(wire::error_to_json(&e));
@@ -665,6 +798,9 @@ impl Reactor {
                             Slot {
                                 seq,
                                 close_after,
+                                trace_id,
+                                class,
+                                started,
                                 state: SlotState::Batch {
                                     results,
                                     remaining,
@@ -675,7 +811,14 @@ impl Reactor {
                     }
                 }
             }
-            (_, "/healthz" | "/v1/stats" | "/v1/solve" | "/v1/batch") => {
+            (_, "/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/solve" | "/v1/batch") => {
+                let e = JobError::InvalidRequest(format!(
+                    "method {} not allowed on {}",
+                    head.method, head.path
+                ));
+                ready(405, wire::error_to_json(&e))
+            }
+            (_, path) if path.starts_with("/v1/trace/") => {
                 let e = JobError::InvalidRequest(format!(
                     "method {} not allowed on {}",
                     head.method, head.path
@@ -736,7 +879,7 @@ impl Reactor {
                 return;
             };
             match &mut slot.state {
-                SlotState::Ready { .. } => {}
+                SlotState::Ready { .. } | SlotState::ReadyText { .. } => {}
                 SlotState::Pending { .. } => {
                     let (status, body) = match &completion.result {
                         Ok(r) => (200, wire::result_to_json(r)),
@@ -784,13 +927,29 @@ impl Reactor {
             // Render every leading slot whose response is known; order
             // on the wire is FIFO order regardless of completion order.
             while let Some(slot) = conn.slots.front() {
-                let SlotState::Ready { status, body } = &slot.state else {
-                    break;
-                };
                 let keep = !slot.close_after;
-                // lint:allow(no-blocking-in-nonblocking) — renders into a Vec<u8>; the flagged `write` is minijson's in-memory buffer
-                let rendered = http::render_response(*status, body, keep);
+                let (rendered, status) = match &slot.state {
+                    SlotState::Ready { status, body } => {
+                        let _span = crate::trace::request_span("render", slot.trace_id);
+                        // lint:allow(no-blocking-in-nonblocking) — renders into a Vec<u8>; the flagged `write` is minijson's in-memory buffer
+                        let bytes = http::render_response(*status, body, keep, slot.trace_id);
+                        (bytes, *status)
+                    }
+                    SlotState::ReadyText { status, text } => {
+                        (http::render_text_response(*status, text, keep), *status)
+                    }
+                    SlotState::Pending { .. } | SlotState::Batch { .. } => break,
+                };
                 conn.write_buf.extend_from_slice(&rendered);
+                let elapsed = slot.started.elapsed();
+                self.http_metrics.requests[slot.class].inc();
+                self.http_metrics.latency_us[slot.class].record_duration(elapsed);
+                crate::trace::request_done(
+                    PATH_CLASSES[slot.class],
+                    status,
+                    slot.trace_id,
+                    elapsed,
+                );
                 if slot.close_after {
                     conn.closing = true;
                 }
@@ -866,7 +1025,7 @@ impl Reactor {
         };
         for slot in &conn.slots {
             match &slot.state {
-                SlotState::Ready { .. } => {}
+                SlotState::Ready { .. } | SlotState::ReadyText { .. } => {}
                 SlotState::Pending { cancel } => cancel.cancel(),
                 SlotState::Batch { cancels, .. } => {
                     for cancel in cancels {

@@ -1,0 +1,172 @@
+//! Zero-cost-when-off span/trace-id shims for the service stack.
+//!
+//! With the `trace` cargo feature enabled these helpers call into the
+//! process-global [`pieri_trace`] span layer: per-request trace ids
+//! (the `x-trace-id` header), structured spans over the request
+//! lifecycle (parse → admit → queue wait → track → render), the
+//! bounded recent-trace store behind `/v1/trace/<id>` and the
+//! slow-request log. Without the feature every helper is an
+//! `#[inline(always)]` no-op the optimiser erases — a default build
+//! carries no span branches on the hot paths, exactly like
+//! [`crate::chaos`].
+//!
+//! The **metrics registry** is deliberately *not* behind this shim:
+//! counters, gauges and histograms are always on (`/v1/stats` and
+//! `/v1/metrics` must work on every build), so the engine and reactor
+//! use [`pieri_trace`] metrics types directly.
+//!
+//! Span sites recorded here (categories in parentheses):
+//!
+//! | span           | where                                            |
+//! |----------------|--------------------------------------------------|
+//! | `parse`        | (`http`) request head + body parse in the reactor |
+//! | `admit`        | (`http`) dispatch + engine admission in the reactor |
+//! | `queue.wait`   | (`engine`) admission → worker dequeue, cross-thread |
+//! | `track`        | (`engine`) the solve, on the worker thread       |
+//! | `render`       | (`http`) response serialization                  |
+//! | `request`      | (`http`) whole request, closed at response write |
+//!
+//! (`predict`/`correct`/`retrack` spans live in `pieri-tracker` behind
+//! its own `trace` feature, and `poll.wake`/`waker.notify` events in
+//! `vendor/mio-lite` — this crate's feature enables both transitively.)
+
+#[cfg(not(feature = "trace"))]
+pub(crate) use disabled::*;
+#[cfg(feature = "trace")]
+pub(crate) use enabled::*;
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use std::time::Duration;
+
+    /// Resolves a request's trace id from its `x-trace-id` header:
+    /// a valid header value (1–16 hex digits, nonzero) is honoured so
+    /// callers can correlate across services, anything else gets a
+    /// fresh id. Never rejects a request — a malformed header is
+    /// treated as absent. Returns 0 when tracing is not installed.
+    pub(crate) fn request_trace_id(header: Option<&str>) -> u64 {
+        if !pieri_trace::enabled() {
+            return 0;
+        }
+        header
+            .and_then(pieri_trace::parse_trace_id)
+            .unwrap_or_else(pieri_trace::next_trace_id)
+    }
+
+    /// An RAII span over a request-lifecycle phase on this thread,
+    /// tagged with `trace_id`.
+    pub(crate) fn request_span(name: &'static str, trace_id: u64) -> pieri_trace::SpanGuard {
+        pieri_trace::span_for(name, "http", trace_id)
+    }
+
+    /// Records the admission-to-dequeue wait of a job as an
+    /// already-closed span (the interval crosses threads, so no RAII
+    /// guard can cover it).
+    pub(crate) fn note_queue_wait(trace_id: u64, wait: Duration) {
+        pieri_trace::span_closed(
+            "queue.wait",
+            "engine",
+            trace_id,
+            wait.as_micros().min(u64::MAX as u128) as u64,
+        );
+    }
+
+    /// Records the head+body parse of one request as an already-closed
+    /// span (the trace id only exists once parsing finishes, so no
+    /// RAII guard can cover it).
+    pub(crate) fn note_parse(trace_id: u64, elapsed: Duration) {
+        pieri_trace::span_closed(
+            "parse",
+            "http",
+            trace_id,
+            elapsed.as_micros().min(u64::MAX as u128) as u64,
+        );
+    }
+
+    /// The worker-side scope of one job: sets the thread's current
+    /// trace id (tracker spans inherit it) and opens the `track` span;
+    /// both are undone on drop.
+    pub(crate) struct JobScope {
+        prev: u64,
+        _span: pieri_trace::SpanGuard,
+    }
+
+    pub(crate) fn job_span(trace_id: u64) -> JobScope {
+        let prev = pieri_trace::set_current_trace(trace_id);
+        JobScope {
+            prev,
+            _span: pieri_trace::span_for("track", "engine", trace_id),
+        }
+    }
+
+    impl Drop for JobScope {
+        fn drop(&mut self) {
+            // Restores the previous id first; the `track` span guard
+            // captured its trace id at creation, so it closes
+            // correctly when the field drops after this body.
+            pieri_trace::set_current_trace(self.prev);
+        }
+    }
+
+    /// The spans recorded for `trace_id`, or `None` when the id is
+    /// unknown, evicted, or tracing is off (`/v1/trace/<id>` answers
+    /// 404 either way).
+    pub(crate) fn trace_lookup(trace_id: u64) -> Option<Vec<pieri_trace::SpanRecord>> {
+        pieri_trace::trace_spans(trace_id)
+    }
+
+    /// Closes out one request at response-write time: records the
+    /// whole-request span and feeds the slow-request log (the latter a
+    /// no-op unless a threshold is configured).
+    pub(crate) fn request_done(path: &'static str, status: u16, trace_id: u64, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        pieri_trace::span_closed("request", "http", trace_id, us);
+        pieri_trace::slow_request(path, status, trace_id, us);
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    use std::time::Duration;
+
+    /// Stand-in span guard; dropping it does nothing.
+    pub(crate) struct SpanGuard {}
+
+    /// Stand-in job scope; dropping it does nothing.
+    pub(crate) struct JobScope {}
+
+    #[inline(always)]
+    pub(crate) fn request_trace_id(_header: Option<&str>) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn request_span(_name: &'static str, _trace_id: u64) -> SpanGuard {
+        SpanGuard {}
+    }
+
+    #[inline(always)]
+    pub(crate) fn note_queue_wait(_trace_id: u64, _wait: Duration) {}
+
+    #[inline(always)]
+    pub(crate) fn note_parse(_trace_id: u64, _elapsed: Duration) {}
+
+    #[inline(always)]
+    pub(crate) fn job_span(_trace_id: u64) -> JobScope {
+        JobScope {}
+    }
+
+    #[inline(always)]
+    pub(crate) fn trace_lookup(_trace_id: u64) -> Option<Vec<pieri_trace::SpanRecord>> {
+        None
+    }
+
+    #[inline(always)]
+    pub(crate) fn request_done(
+        _path: &'static str,
+        _status: u16,
+        _trace_id: u64,
+        _elapsed: Duration,
+    ) {
+    }
+}

@@ -506,6 +506,63 @@ pub fn error_from_json(v: &Value) -> Result<JobError, WireError> {
     })
 }
 
+/// The build block shared by `/healthz` and `/v1/stats`: crate
+/// version, the git hash baked in at build time (`PIERI_GIT_HASH`,
+/// `"unknown"` when the build ran outside the repo), and which
+/// optional features this binary was compiled with.
+pub fn build_info_json() -> Value {
+    object([
+        ("version", Value::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "git_hash",
+            Value::from(option_env!("PIERI_GIT_HASH").unwrap_or("unknown")),
+        ),
+        (
+            "features",
+            object([
+                ("trace", Value::Bool(cfg!(feature = "trace"))),
+                ("chaos", Value::Bool(cfg!(feature = "chaos"))),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes the `/healthz` payload: liveness plus enough build identity
+/// to tell *what* is alive (version, git hash, features, uptime).
+pub fn health_to_json(uptime: Duration) -> Value {
+    object([
+        ("ok", Value::Bool(true)),
+        ("uptime_secs", Value::Number(uptime.as_secs() as f64)),
+        ("build", build_info_json()),
+    ])
+}
+
+/// Encodes the `/v1/trace/<id>` payload: the recorded span tree of one
+/// request, ordered as recorded (start order within each thread).
+pub fn trace_to_json(trace_id: u64, spans: &[pieri_trace::SpanRecord]) -> Value {
+    object([
+        ("trace_id", Value::from(format!("{trace_id:016x}"))),
+        (
+            "spans",
+            Value::Array(
+                spans
+                    .iter()
+                    .map(|s| {
+                        object([
+                            ("name", Value::from(s.name)),
+                            ("cat", Value::from(s.cat)),
+                            ("tid", Value::from(s.tid as usize)),
+                            ("start_us", Value::Number(s.start_us as f64)),
+                            ("dur_us", Value::Number(s.dur_us as f64)),
+                            ("depth", Value::from(s.depth as usize)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Encodes the `/v1/stats` payload.
 pub fn stats_to_json(s: &EngineStats, resident: &[(pieri_core::Shape, usize, Duration)]) -> Value {
     object([
@@ -519,6 +576,8 @@ pub fn stats_to_json(s: &EngineStats, resident: &[(pieri_core::Shape, usize, Dur
         ("deadline_expired", Value::from(s.deadline_expired)),
         ("workers_restarted", Value::from(s.workers_restarted)),
         ("jobs_recovered", Value::from(s.jobs_recovered)),
+        ("uptime_secs", Value::Number(s.uptime.as_secs() as f64)),
+        ("build", build_info_json()),
         ("certify", certify_counters_to_json(&s.certify)),
         ("cache", cache_stats_to_json(&s.cache, resident)),
     ])

@@ -1,0 +1,717 @@
+//! The metrics registry: counters, gauges and log-linear histograms
+//! with coherent, mergeable snapshots and Prometheus text rendering.
+//!
+//! # Coherence
+//!
+//! `/v1/stats` used to read a dozen live atomics field-by-field, so a
+//! reader racing a worker could observe `completed > submitted`. The
+//! registry closes that window without a global lock, by contract:
+//!
+//! * every counter mutation is a `SeqCst` RMW and every snapshot read
+//!   a `SeqCst` load, so all counter operations embed into one total
+//!   order consistent with each thread's program order;
+//! * [`Registry::snapshot`] reads metrics **in registration order**;
+//! * callers register a dependent counter *before* the counter it is
+//!   bounded by whenever the increments happen in the matching order
+//!   (e.g. `completed` is bumped after the job's `submitted` bump, so
+//!   registering `completed` first means any completion visible to
+//!   the snapshot has its submission visible too).
+//!
+//! The result: invariants like `completed ≤ submitted` hold in every
+//! snapshot, which the service's stats regression test hammers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonically increasing counter. Cheap to clone (an `Arc`); the
+/// clone observes and mutates the same underlying value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, detached counter (attach it with
+    /// [`Registry::adopt_counter`] to make it visible in snapshots).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        // SeqCst so snapshot reads can rely on cross-counter ordering;
+        // see the module docs.
+        self.0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, resident
+/// bytes). Cheap to clone.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, detached gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::SeqCst);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Sub-buckets per octave: each power-of-two range is split into 8
+/// linear sub-buckets, so bucket width is at most 12.5% of the value —
+/// percentile estimates land within one bucket width of exact.
+const SUB: usize = 8;
+/// Buckets: values `< 8` get exact unit buckets, then 61 octaves
+/// (`2^3 ..= 2^63`) of 8 sub-buckets each.
+const NUM_BUCKETS: usize = SUB + 61 * SUB;
+
+/// Maps a recorded value to its bucket index (total order preserving).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 3
+    let sub = ((v >> (msb - 3)) - SUB as u64) as usize; // 0..8
+    SUB + (msb - 3) * SUB + sub
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value mapping to
+/// it).
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let oct = (i - SUB) / SUB;
+    let sub = (i - SUB) % SUB;
+    ((SUB + sub) as u64) << oct
+}
+
+/// Width of bucket `i`: values in `[lower, lower + width)` share it.
+fn bucket_width(i: usize) -> u64 {
+    if i < SUB {
+        1
+    } else {
+        1u64 << ((i - SUB) / SUB)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log-linear-bucket histogram of `u64` samples (the service records
+/// microseconds). Recording is three relaxed atomic adds — no locks,
+/// no allocation. Cheap to clone.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Histogram(Arc::new(HistogramInner {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, detached histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u16, n));
+            }
+        }
+        // Count/sum are folded from the buckets we actually saw, so a
+        // snapshot racing writers stays internally consistent (count
+        // always equals the bucket total; sum may lag by in-flight
+        // samples, which merge tests tolerate by construction).
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramSnapshot {
+            count,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable bucket counts captured by [`Histogram::snapshot`];
+/// supports percentile estimation and lossless merging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Estimates the `p`-th percentile (0 < p ≤ 100): returns the lower
+    /// bound of the bucket holding the rank-`⌈p·n/100⌉` sample, which
+    /// is within one bucket width (≤ 12.5% relative) of the exact
+    /// order statistic. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower(i as usize);
+            }
+        }
+        bucket_lower(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+
+    /// Width of the bucket an exact value `v` falls into — the error
+    /// bound of [`Self::percentile`] around `v`.
+    pub fn bucket_width_at(v: u64) -> u64 {
+        bucket_width(bucket_index(v))
+    }
+
+    /// Merges two snapshots into the snapshot the union of their
+    /// samples would have produced. Commutative and associative.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        buckets.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        buckets.push((ia, na));
+                        a.next();
+                    } else {
+                        buckets.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&e), None) => {
+                    buckets.push(e);
+                    a.next();
+                }
+                (None, Some(&&e)) => {
+                    buckets.push(e);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            buckets,
+        }
+    }
+}
+
+/// A registered metric's identity: a static name plus an optional
+/// `key="value"` label (the service labels request histograms by path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricId {
+    /// Prometheus metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: &'static str,
+    /// Optional single label pair.
+    pub label: Option<(&'static str, String)>,
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    id: MetricId,
+    instrument: Instrument,
+}
+
+/// The registry: the single source of truth behind `/v1/stats` and
+/// `/v1/metrics`. Registration order is snapshot read order — register
+/// dependent counters first (see the module docs).
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entries(&self) -> MutexGuard<'_, Vec<Entry>> {
+        // Held only for registration (startup) and snapshot reads;
+        // never while any service lock is held.
+        // lint:lock-rank(trace-registry, 3)
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, id: MetricId, instrument: Instrument) {
+        self.entries().push(Entry { id, instrument });
+    }
+
+    /// Registers and returns a new counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let c = Counter::new();
+        self.adopt_counter(name, c.clone());
+        c
+    }
+
+    /// Registers and returns a counter labeled `key="value"`.
+    pub fn counter_with(&self, name: &'static str, key: &'static str, value: &str) -> Counter {
+        let c = Counter::new();
+        self.push(
+            MetricId {
+                name,
+                label: Some((key, value.to_string())),
+            },
+            Instrument::Counter(c.clone()),
+        );
+        c
+    }
+
+    /// Attaches an existing counter (e.g. one owned by the shape cache)
+    /// to this registry under `name`.
+    pub fn adopt_counter(&self, name: &'static str, c: Counter) {
+        self.push(MetricId { name, label: None }, Instrument::Counter(c));
+    }
+
+    /// Registers and returns a new gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let g = Gauge::new();
+        self.push(MetricId { name, label: None }, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers and returns a new histogram.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let h = Histogram::new();
+        self.push(
+            MetricId { name, label: None },
+            Instrument::Histogram(h.clone()),
+        );
+        h
+    }
+
+    /// Registers and returns a histogram labeled `key="value"`.
+    pub fn histogram_with(&self, name: &'static str, key: &'static str, value: &str) -> Histogram {
+        let h = Histogram::new();
+        self.push(
+            MetricId {
+                name,
+                label: Some((key, value.to_string())),
+            },
+            Instrument::Histogram(h.clone()),
+        );
+        h
+    }
+
+    /// One coherent snapshot of every registered metric, read in
+    /// registration order (the coherence contract; see module docs).
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries();
+        let mut metrics = Vec::with_capacity(entries.len());
+        for e in entries.iter() {
+            let value = match &e.instrument {
+                Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            };
+            metrics.push(MetricSnapshot {
+                id: e.id.clone(),
+                value,
+            });
+        }
+        Snapshot { metrics }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Name + optional label.
+    pub id: MetricId,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// The captured value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// A coherent point-in-time view of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Metrics in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of the first unlabeled counter named `name`, or 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        for m in &self.metrics {
+            if m.id.name == name && m.id.label.is_none() {
+                if let MetricValue::Counter(v) = m.value {
+                    return v;
+                }
+            }
+        }
+        0
+    }
+
+    /// The value of the first gauge named `name`, or 0.
+    pub fn gauge(&self, name: &str) -> i64 {
+        for m in &self.metrics {
+            if m.id.name == name {
+                if let MetricValue::Gauge(v) = m.value {
+                    return v;
+                }
+            }
+        }
+        0
+    }
+
+    /// The first histogram named `name` (any label), if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        for m in &self.metrics {
+            if m.id.name == name {
+                if let MetricValue::Histogram(h) = &m.value {
+                    return Some(h);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn write_label(
+    out: &mut String,
+    label: &Option<(&'static str, String)>,
+    extra: Option<(&str, &str)>,
+) {
+    if label.is_none() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    if let Some((k, v)) = label {
+        out.push_str(&format!(
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        first = false;
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{v}\""));
+    }
+    out.push('}');
+}
+
+/// Renders a snapshot in Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` lines, cumulative `_bucket{le=…}` histogram series
+/// with `_sum`/`_count`, one sample per line, terminated by newlines.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<&str> = Vec::new();
+    for m in &snap.metrics {
+        let name = m.id.name;
+        let kind = match &m.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if !typed.contains(&name) {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            typed.push(name);
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(name);
+                write_label(&mut out, &m.id.label, None);
+                out.push_str(&format!(" {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(name);
+                write_label(&mut out, &m.id.label, None);
+                out.push_str(&format!(" {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for &(i, n) in &h.buckets {
+                    cum += n;
+                    let le = bucket_lower(i as usize) + bucket_width(i as usize);
+                    out.push_str(&format!("{name}_bucket"));
+                    write_label(&mut out, &m.id.label, Some(("le", &le.to_string())));
+                    out.push_str(&format!(" {cum}\n"));
+                }
+                out.push_str(&format!("{name}_bucket"));
+                write_label(&mut out, &m.id.label, Some(("le", "+Inf")));
+                out.push_str(&format!(" {cum}\n"));
+                out.push_str(&format!("{name}_sum"));
+                write_label(&mut out, &m.id.label, None);
+                out.push_str(&format!(" {}\n", h.sum));
+                out.push_str(&format!("{name}_count"));
+                write_label(&mut out, &m.id.label, None);
+                out.push_str(&format!(" {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// A tiny exposition-format validator (the CI smoke and loadgen use it
+/// against a live `/v1/metrics` body): every line must be a comment or
+/// `name[{labels}] value`, histogram `_bucket` series must be
+/// cumulative and end with `le="+Inf"` matching `_count`. Returns the
+/// number of samples parsed.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut bucket_state: Option<(String, u64)> = None; // (series name, last cum)
+    let mut last_inf: Option<(String, u64)> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", ln + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value: {line:?}", ln + 1))?;
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: bad metric name: {name:?}", ln + 1));
+        }
+        if name_end < series.len() && !series.ends_with('}') {
+            return Err(format!("line {}: unterminated labels: {line:?}", ln + 1));
+        }
+        if name.ends_with("_bucket") {
+            let cum = value as u64;
+            if let Some((prev_name, prev_cum)) = &bucket_state {
+                if *prev_name == name && cum < *prev_cum {
+                    return Err(format!("line {}: non-cumulative bucket: {line:?}", ln + 1));
+                }
+            }
+            bucket_state = Some((name.to_string(), cum));
+            if series.contains("le=\"+Inf\"") {
+                last_inf = Some((name.trim_end_matches("_bucket").to_string(), cum));
+            }
+        } else {
+            bucket_state = None;
+            if name.ends_with("_count") {
+                if let Some((base, inf)) = &last_inf {
+                    if name == format!("{base}_count") && value as u64 != *inf {
+                        return Err(format!(
+                            "line {}: _count {} disagrees with le=\"+Inf\" {}",
+                            ln + 1,
+                            value,
+                            inf
+                        ));
+                    }
+                }
+            }
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut prev = 0usize;
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "v={v}");
+            assert!(bucket_lower(i) <= v);
+            assert!(v < bucket_lower(i) + bucket_width(i), "v={v} i={i}");
+            prev = i;
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_lower(bucket_index(v)), v);
+            assert_eq!(bucket_width(bucket_index(v)), 1);
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        let g = r.gauge("g_now");
+        c.add(3);
+        c.inc();
+        g.set(7);
+        g.add(-2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c_total"), 4);
+        assert_eq!(s.gauge("g_now"), 5);
+    }
+
+    #[test]
+    fn percentile_hits_exact_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        // p50 exact = 500; estimate within one bucket width.
+        let est = s.percentile(50.0);
+        let w = HistogramSnapshot::bucket_width_at(500);
+        assert!(est <= 500 && 500 < est + w, "est={est} w={w}");
+        assert_eq!(s.percentile(100.0), {
+            let i = bucket_index(1000);
+            bucket_lower(i)
+        });
+    }
+
+    #[test]
+    fn merge_is_commutative_here() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in [1u64, 5, 900, 5, 1 << 40] {
+            a.record(v);
+        }
+        for v in [2u64, 900, 12345] {
+            b.record(v);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        assert_eq!(sa.merge(&sb).count, 8);
+    }
+
+    #[test]
+    fn labels_render_and_validate() {
+        let r = Registry::new();
+        let c = r.counter_with("req_total", "path", "/v1/solve");
+        c.inc();
+        let h = r.histogram_with("req_us", "path", "/v1/solve");
+        h.record(100);
+        h.record(90_000);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("req_total{path=\"/v1/solve\"} 1"));
+        assert!(text.contains("req_us_bucket{path=\"/v1/solve\",le=\"+Inf\"} 2"));
+        let n = validate_exposition(&text).expect("valid exposition");
+        assert!(n >= 5, "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("novalue\n").is_err());
+        assert!(validate_exposition("9bad 1\n").is_err());
+        assert!(validate_exposition("x_bucket{le=\"1\"} 5\nx_bucket{le=\"+Inf\"} 3\n").is_err());
+        assert!(
+            validate_exposition("x_bucket{le=\"+Inf\"} 3\nx_count 2\n").is_err(),
+            "count/+Inf mismatch"
+        );
+        assert!(validate_exposition("ok_total 3\n").is_ok());
+    }
+
+    #[test]
+    fn snapshot_folds_count_from_buckets() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(70);
+        let s = h.snapshot();
+        assert_eq!(s.count, s.buckets.iter().map(|&(_, n)| n).sum::<u64>());
+        assert_eq!(s.sum, 76);
+    }
+}

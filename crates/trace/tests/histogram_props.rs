@@ -1,0 +1,105 @@
+//! Property tests for the log-linear histogram: percentile estimates
+//! stay within one bucket width of the exact order statistic, and
+//! merging snapshots is commutative, associative and lossless
+//! (snapshot-of-merged-samples == merge-of-snapshots).
+
+use pieri_trace::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Samples across nine decades so every bucket regime (exact unit
+/// buckets, small octaves, wide octaves) is exercised.
+fn any_sample() -> impl Strategy<Value = u64> {
+    (0u32..30, 0u64..1024).prop_map(|(shift, fill)| (1u64 << shift).wrapping_add(fill))
+}
+
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentile_within_one_bucket_width(
+        samples in proptest::collection::vec(any_sample(), 1..400),
+        pct in 1u32..=100,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let p = pct as f64;
+        let exact = exact_percentile(&sorted, p);
+        let est = snap.percentile(p);
+        let width = HistogramSnapshot::bucket_width_at(exact);
+        // The estimate is the lower bound of the bucket holding the
+        // exact order statistic.
+        prop_assert!(
+            est <= exact && exact < est + width,
+            "p{}: est={} exact={} width={}",
+            pct, est, exact, width
+        );
+    }
+
+    #[test]
+    fn merge_commutes_and_associates(
+        a in proptest::collection::vec(any_sample(), 0..100),
+        b in proptest::collection::vec(any_sample(), 0..100),
+        c in proptest::collection::vec(any_sample(), 0..100),
+    ) {
+        let record_all = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa.clone());
+    }
+
+    #[test]
+    fn snapshot_of_merge_equals_merge_of_snapshots(
+        a in proptest::collection::vec(any_sample(), 0..150),
+        b in proptest::collection::vec(any_sample(), 0..150),
+    ) {
+        // One histogram fed the union of the samples…
+        let all = Histogram::new();
+        for &v in a.iter().chain(b.iter()) {
+            all.record(v);
+        }
+        // …must snapshot identically to two histograms merged after
+        // the fact: bucketing loses nothing that merging needs.
+        let (ha, hb) = (Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        prop_assert_eq!(all.snapshot(), ha.snapshot().merge(&hb.snapshot()));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(
+        samples in proptest::collection::vec(any_sample(), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut prev = 0u64;
+        for pct in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let est = snap.percentile(pct);
+            prop_assert!(est >= prev, "p{} went backwards: {} < {}", pct, est, prev);
+            prev = est;
+        }
+    }
+}

@@ -34,6 +34,7 @@ mod path;
 mod predictor;
 mod settings;
 mod stats;
+mod trace;
 mod workspace;
 
 pub use cancel::CancelToken;

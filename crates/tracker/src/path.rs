@@ -132,6 +132,7 @@ pub fn track_path_with<H: Homotopy + ?Sized>(
     while attempt < policy.max_retries && matches!(result.status, PathStatus::Failed { .. }) {
         attempt += 1;
         let tightened = policy.tightened(settings, attempt);
+        let _span = crate::trace::phase_span("retrack");
         let mut retry = track_path_attempt(h, x0, &tightened, ws);
         // Fold the earlier attempts' cost into the surviving result so
         // TrackStats::record sees this path exactly once.
@@ -153,6 +154,7 @@ fn track_path_attempt<H: Homotopy + ?Sized>(
     ws: &mut TrackWorkspace,
 ) -> PathResult {
     let start_time = Instant::now();
+    let _span = crate::trace::phase_span("track.path");
     ws.ensure(h.dim());
     // Borrow the state buffers out of the workspace for the duration of
     // this path (mem::take is free for Vec); they return at the end.
@@ -367,10 +369,14 @@ fn try_step<H: Homotopy + ?Sized>(
     predicted.clear();
     predicted.resize(h.dim(), Complex64::ZERO);
     let prev = p.has_prev.then_some((p.prev_x.as_slice(), p.prev_t));
-    let ok = settings
-        .predictor
-        .predict_into(h, &p.x, p.t, t_next - p.t, prev, predicted, ws);
+    let ok = {
+        let _span = crate::trace::step_span("predict");
+        settings
+            .predictor
+            .predict_into(h, &p.x, p.t, t_next - p.t, prev, predicted, ws)
+    };
     if ok && predicted.iter().all(|z| z.is_finite()) {
+        let _span = crate::trace::step_span("correct");
         let out = newton_correct_with(
             h,
             predicted,

@@ -1,0 +1,49 @@
+//! Zero-cost-when-off span shims for the tracker phases.
+//!
+//! With the `trace` feature on, these record `retrack` and `track.path`
+//! spans (category `tracker`) on the process-global [`pieri_trace`]
+//! layer, plus per-step `predict`/`correct` spans when the installed
+//! config asks for *deep* tracing; the spans inherit the worker
+//! thread's current trace id, set by the service's job scope. Without
+//! the feature every helper is an `#[inline(always)]` no-op — the
+//! predictor–corrector loop carries no span branches, preserving the
+//! crate's zero-allocation hot path exactly.
+
+#[cfg(not(feature = "trace"))]
+pub(crate) use disabled::*;
+#[cfg(feature = "trace")]
+pub(crate) use enabled::*;
+
+#[cfg(feature = "trace")]
+mod enabled {
+    /// An RAII span over one tracker phase on this thread, tagged with
+    /// the thread's current trace id.
+    pub(crate) fn phase_span(name: &'static str) -> pieri_trace::SpanGuard {
+        pieri_trace::span(name, "tracker")
+    }
+
+    /// A *per-step* span (`predict`/`correct`): recorded only under
+    /// `TraceConfig { deep: true, .. }`. These sites fire thousands of
+    /// times per solve, so in the default config the cost here is one
+    /// relaxed atomic load and an inert guard — that is what keeps the
+    /// warm-path trace overhead under 2%.
+    pub(crate) fn step_span(name: &'static str) -> pieri_trace::SpanGuard {
+        pieri_trace::deep_span(name, "tracker")
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    /// Stand-in span guard; dropping it does nothing.
+    pub(crate) struct SpanGuard {}
+
+    #[inline(always)]
+    pub(crate) fn phase_span(_name: &'static str) -> SpanGuard {
+        SpanGuard {}
+    }
+
+    #[inline(always)]
+    pub(crate) fn step_span(_name: &'static str) -> SpanGuard {
+        SpanGuard {}
+    }
+}

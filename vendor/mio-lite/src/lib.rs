@@ -270,6 +270,12 @@ impl Poll {
             }
         };
         events.len = sys::epoll_wait_into(self.epfd.raw(), &mut events.raw, timeout_ms)?;
+        // trace: an instantaneous event per productive wakeup (idle
+        // timeout ticks stay silent to keep the rings signal-dense).
+        #[cfg(feature = "trace")]
+        if events.len > 0 {
+            pieri_trace::event("poll.wake", "io");
+        }
         Ok(events.len)
     }
 }
@@ -297,6 +303,10 @@ impl Waker {
     /// already saturated a pending wakeup exists, which is all a caller
     /// needs.
     pub fn wake(&self) -> io::Result<()> {
+        // trace: records on the *waking* thread (an engine worker or
+        // acceptor), marking the cross-thread nudge itself.
+        #[cfg(feature = "trace")]
+        pieri_trace::event("waker.notify", "io");
         match sys::fd_write_u64(self.efd.raw(), 1) {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
             other => other.map(|_| ()),
